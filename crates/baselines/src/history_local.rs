@@ -1,0 +1,166 @@
+//! A local-history baseline: history-based access control that can only
+//! see the current site.
+//!
+//! Abadi & Fournet's history-based access control determines run-time
+//! rights from the attributes of code that has executed *locally*; the
+//! paper's §7 notes it "can not be applied to access control in a
+//! coalition environment, where the authorization decision depends on the
+//! access actions on other related sites". This guard applies per-object
+//! cardinality caps like the coordinated model's `#(m,n,σ)` — but counts
+//! only proofs issued **by the server being asked**, so coalition-wide
+//! overuse slips through (experiment E6's "who wins" contrast).
+
+use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_naplet::guard::{GuardRequest, SecurityGuard};
+use stacl_srac::Selector;
+use stacl_trace::AccessTable;
+
+/// One local cap: at most `max` accesses matching `selector` per
+/// (object, server) pair.
+#[derive(Clone, Debug)]
+pub struct LocalCap {
+    /// Which accesses are counted.
+    pub selector: Selector,
+    /// The per-site cap.
+    pub max: usize,
+}
+
+/// The local-history guard.
+pub struct LocalHistoryGuard {
+    caps: Vec<LocalCap>,
+}
+
+impl LocalHistoryGuard {
+    /// A guard with the given caps (an empty list grants everything).
+    pub fn new(caps: Vec<LocalCap>) -> Self {
+        LocalHistoryGuard { caps }
+    }
+
+    /// Convenience: one cap.
+    pub fn single(selector: Selector, max: usize) -> Self {
+        LocalHistoryGuard {
+            caps: vec![LocalCap { selector, max }],
+        }
+    }
+}
+
+impl SecurityGuard for LocalHistoryGuard {
+    fn check(
+        &mut self,
+        req: &GuardRequest<'_>,
+        proofs: &ProofStore,
+        _table: &mut AccessTable,
+    ) -> DecisionKind {
+        for cap in &self.caps {
+            if !cap.selector.matches(req.access) {
+                continue;
+            }
+            // Local visibility: only proofs issued at *this* server count.
+            let local_count = proofs.count_matching(|p| {
+                &*p.object == req.object
+                    && p.access.server == req.access.server
+                    && cap.selector.matches(&p.access)
+            });
+            if local_count >= cap.max {
+                return DecisionKind::DeniedSpatial {
+                    constraint: format!(
+                        "local cap: at most {} of [{}] at {}",
+                        cap.max, cap.selector, req.access.server
+                    ),
+                };
+            }
+        }
+        DecisionKind::Granted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacl_sral::builder::access;
+    use stacl_sral::Access;
+    use stacl_temporal::TimePoint;
+
+    fn tp(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    #[test]
+    fn caps_apply_per_site() {
+        let mut g = LocalHistoryGuard::single(Selector::any().with_resources(["rsw"]), 2);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let a1 = Access::new("exec", "rsw", "s1");
+        let p1 = access("exec", "rsw", "s1");
+        let req1 = GuardRequest {
+            object: "o",
+            access: &a1,
+            remaining: &p1,
+            time: tp(0.0),
+        };
+        // Two allowed on s1, third denied.
+        assert!(g.check(&req1, &proofs, &mut table).is_granted());
+        proofs.issue("o", a1.clone(), tp(0.0));
+        assert!(g.check(&req1, &proofs, &mut table).is_granted());
+        proofs.issue("o", a1.clone(), tp(1.0));
+        assert!(matches!(
+            g.check(&req1, &proofs, &mut table),
+            DecisionKind::DeniedSpatial { .. }
+        ));
+    }
+
+    #[test]
+    fn blind_to_other_sites() {
+        // The defining weakness: history on s1 is invisible at s2.
+        let mut g = LocalHistoryGuard::single(Selector::any().with_resources(["rsw"]), 2);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        for i in 0..10 {
+            proofs.issue("o", Access::new("exec", "rsw", "s1"), tp(i as f64));
+        }
+        let a2 = Access::new("exec", "rsw", "s2");
+        let p2 = access("exec", "rsw", "s2");
+        let req = GuardRequest {
+            object: "o",
+            access: &a2,
+            remaining: &p2,
+            time: tp(20.0),
+        };
+        // Coalition-wide the object is far over budget, but the local
+        // guard on s2 sees nothing and grants.
+        assert!(g.check(&req, &proofs, &mut table).is_granted());
+    }
+
+    #[test]
+    fn unmatched_accesses_bypass_caps() {
+        let mut g = LocalHistoryGuard::single(Selector::any().with_resources(["rsw"]), 0);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let a = Access::new("read", "logs", "s1");
+        let p = access("read", "logs", "s1");
+        let req = GuardRequest {
+            object: "o",
+            access: &a,
+            remaining: &p,
+            time: tp(0.0),
+        };
+        assert!(g.check(&req, &proofs, &mut table).is_granted());
+    }
+
+    #[test]
+    fn other_objects_counts_are_separate() {
+        let mut g = LocalHistoryGuard::single(Selector::any(), 1);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        proofs.issue("other", Access::new("exec", "rsw", "s1"), tp(0.0));
+        let a = Access::new("exec", "rsw", "s1");
+        let p = access("exec", "rsw", "s1");
+        let req = GuardRequest {
+            object: "o",
+            access: &a,
+            remaining: &p,
+            time: tp(1.0),
+        };
+        assert!(g.check(&req, &proofs, &mut table).is_granted());
+    }
+}

@@ -1,0 +1,33 @@
+//! # stacl-baselines — the access-control models the paper compares
+//! against
+//!
+//! §7 (related work) positions the coordinated model against three
+//! families; each is implemented here as a [`SecurityGuard`](stacl_naplet::guard::SecurityGuard) so the
+//! benchmark harness (experiments E4/E6) can swap them into the same
+//! Naplet system and measure *who denies what, where, and at what cost*:
+//!
+//! * [`plain_rbac::PlainRbacGuard`] — RBAC96 with role hierarchy but **no
+//!   spatial or temporal constraints**: whatever a role grants is granted
+//!   always and everywhere. This is the "Casbin-style" baseline: it
+//!   cannot express "≥5 uses on s1 ⇒ denied on s2".
+//! * [`trbac::TrbacGuard`] — TRBAC/GTRBAC-style periodic *role
+//!   enabling*: roles are enabled on wall-clock intervals of a repeating
+//!   period; a disabled role grants nothing. Temporal, but (a) the
+//!   granularity is the role, not the permission, and (b) there is no
+//!   notion of accumulated usage — exactly the §4 criticisms.
+//! * [`history_local::LocalHistoryGuard`] — Abadi–Fournet-style
+//!   history-based control that inspects **only the local site's**
+//!   history (§7: "this mechanism only inspects the execution history on
+//!   the local site"): per-(object, server) cardinality caps. It misses
+//!   coalition-wide overuse by construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod history_local;
+pub mod plain_rbac;
+pub mod trbac;
+
+pub use history_local::LocalHistoryGuard;
+pub use plain_rbac::PlainRbacGuard;
+pub use trbac::TrbacGuard;

@@ -1,0 +1,151 @@
+//! Plain RBAC: role/permission lookup only — no history, no time.
+
+use std::collections::HashMap;
+
+use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_naplet::guard::{GuardRequest, SecurityGuard};
+use stacl_rbac::RbacModel;
+use stacl_trace::AccessTable;
+
+/// The RBAC96 baseline guard: grants iff some enrolled role of the object
+/// carries a covering permission. Spatial and temporal attachments on
+/// permissions are ignored (that is the point of the baseline).
+pub struct PlainRbacGuard {
+    model: RbacModel,
+    /// object → activated roles.
+    enrollments: HashMap<String, Vec<String>>,
+}
+
+impl PlainRbacGuard {
+    /// Wrap a model.
+    pub fn new(model: RbacModel) -> Self {
+        PlainRbacGuard {
+            model,
+            enrollments: HashMap::new(),
+        }
+    }
+
+    /// Register the roles an object activates.
+    pub fn enroll<S: AsRef<str>>(
+        &mut self,
+        object: impl AsRef<str>,
+        roles: impl IntoIterator<Item = S>,
+    ) {
+        self.enrollments.insert(
+            object.as_ref().to_string(),
+            roles.into_iter().map(|r| r.as_ref().to_string()).collect(),
+        );
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &RbacModel {
+        &self.model
+    }
+}
+
+impl SecurityGuard for PlainRbacGuard {
+    fn check(
+        &mut self,
+        req: &GuardRequest<'_>,
+        _proofs: &ProofStore,
+        _table: &mut AccessTable,
+    ) -> DecisionKind {
+        let Some(roles) = self.enrollments.get(req.object) else {
+            return DecisionKind::DeniedNoPermission;
+        };
+        for role in roles {
+            if !self.model.authorized_for_role(req.object, role) {
+                continue;
+            }
+            for perm_name in self.model.permissions_of_role(role) {
+                if let Some(perm) = self.model.permission(&perm_name) {
+                    if perm.grants.covers(req.access) {
+                        return DecisionKind::Granted;
+                    }
+                }
+            }
+        }
+        DecisionKind::DeniedNoPermission
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacl_rbac::{AccessPattern, Permission};
+    use stacl_sral::builder::access;
+    use stacl_sral::Access;
+    use stacl_srac::Constraint;
+    use stacl_temporal::TimePoint;
+
+    fn model() -> RbacModel {
+        let mut m = RbacModel::new();
+        m.add_user("n1");
+        m.add_role("worker");
+        // Note: the permission carries a spatial constraint — plain RBAC
+        // ignores it, which is exactly the baseline's weakness.
+        m.add_permission(
+            Permission::new("p", AccessPattern::parse("exec:rsw:*").unwrap())
+                .with_spatial(Constraint::at_most(
+                    5,
+                    stacl_srac::Selector::any().with_resources(["rsw"]),
+                )),
+        )
+        .unwrap();
+        m.assign_permission("worker", "p").unwrap();
+        m.assign_user("n1", "worker").unwrap();
+        m
+    }
+
+    #[test]
+    fn grants_covered_accesses_regardless_of_history() {
+        let mut g = PlainRbacGuard::new(model());
+        g.enroll("n1", ["worker"]);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let a = Access::new("exec", "rsw", "s2");
+        // Pile on history that the coordinated model would reject…
+        for i in 0..100 {
+            proofs.issue("n1", Access::new("exec", "rsw", "s1"), TimePoint::new(i as f64));
+        }
+        let p = access("exec", "rsw", "s2");
+        let req = GuardRequest {
+            object: "n1",
+            access: &a,
+            remaining: &p,
+            time: TimePoint::new(200.0),
+        };
+        // …and plain RBAC still grants: it cannot see the history.
+        assert!(g.check(&req, &proofs, &mut table).is_granted());
+    }
+
+    #[test]
+    fn denies_uncovered_and_unenrolled() {
+        let mut g = PlainRbacGuard::new(model());
+        g.enroll("n1", ["worker"]);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let a = Access::new("write", "db", "s1");
+        let p = access("write", "db", "s1");
+        let req = GuardRequest {
+            object: "n1",
+            access: &a,
+            remaining: &p,
+            time: TimePoint::ZERO,
+        };
+        assert_eq!(
+            g.check(&req, &proofs, &mut table),
+            DecisionKind::DeniedNoPermission
+        );
+        let req2 = GuardRequest {
+            object: "stranger",
+            access: &a,
+            remaining: &p,
+            time: TimePoint::ZERO,
+        };
+        assert_eq!(
+            g.check(&req2, &proofs, &mut table),
+            DecisionKind::DeniedNoPermission
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! A TRBAC/GTRBAC-style baseline: periodic interval-based *role
+//! enabling*.
+//!
+//! Bertino et al.'s TRBAC \[3\] (generalised by Joshi et al. \[12\]) attaches
+//! periodicity constraints to roles: a role is enabled during specified
+//! intervals of a repeating period and disabled outside them, and "a
+//! disabling event of a role would revoke all of its granted privileges"
+//! (§4). This baseline reproduces that discipline:
+//!
+//! * enabling windows are `[from, to)` offsets within a repeating period;
+//! * the granularity is the **role** — all its permissions share the
+//!   windows (the paper's first criticism);
+//! * there is no accumulated-usage budget: inside a window everything
+//!   goes, outside nothing does (the second criticism — no duration
+//!   semantics);
+//! * there is no access history at all, so no spatial coordination.
+
+use std::collections::HashMap;
+
+use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_naplet::guard::{GuardRequest, SecurityGuard};
+use stacl_rbac::RbacModel;
+use stacl_temporal::TimePoint;
+use stacl_trace::AccessTable;
+
+/// A periodic enabling schedule for one role.
+#[derive(Clone, Debug)]
+pub struct RoleSchedule {
+    /// The repeating period length in seconds (e.g. 86 400 for daily).
+    pub period: f64,
+    /// Enabled windows as `[from, to)` offsets within the period.
+    pub windows: Vec<(f64, f64)>,
+}
+
+impl RoleSchedule {
+    /// A schedule enabled during the given windows of each period.
+    pub fn periodic(period: f64, windows: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        assert!(period > 0.0 && period.is_finite());
+        let windows: Vec<(f64, f64)> = windows.into_iter().collect();
+        for &(from, to) in &windows {
+            assert!(
+                (0.0..=period).contains(&from) && from < to && to <= period,
+                "window ({from}, {to}) must lie within the period"
+            );
+        }
+        RoleSchedule { period, windows }
+    }
+
+    /// Always enabled.
+    pub fn always() -> Self {
+        RoleSchedule {
+            period: 1.0,
+            windows: vec![(0.0, 1.0)],
+        }
+    }
+
+    /// Is the role enabled at `t`?
+    pub fn enabled_at(&self, t: TimePoint) -> bool {
+        let phase = t.seconds().rem_euclid(self.period);
+        self.windows
+            .iter()
+            .any(|&(from, to)| phase >= from && phase < to)
+    }
+}
+
+/// The TRBAC-style guard.
+pub struct TrbacGuard {
+    model: RbacModel,
+    schedules: HashMap<String, RoleSchedule>,
+    enrollments: HashMap<String, Vec<String>>,
+}
+
+impl TrbacGuard {
+    /// Wrap a model; roles without a schedule are always enabled.
+    pub fn new(model: RbacModel) -> Self {
+        TrbacGuard {
+            model,
+            schedules: HashMap::new(),
+            enrollments: HashMap::new(),
+        }
+    }
+
+    /// Attach a periodic schedule to a role.
+    pub fn schedule_role(&mut self, role: impl AsRef<str>, schedule: RoleSchedule) {
+        self.schedules.insert(role.as_ref().to_string(), schedule);
+    }
+
+    /// Register the roles an object activates.
+    pub fn enroll<S: AsRef<str>>(
+        &mut self,
+        object: impl AsRef<str>,
+        roles: impl IntoIterator<Item = S>,
+    ) {
+        self.enrollments.insert(
+            object.as_ref().to_string(),
+            roles.into_iter().map(|r| r.as_ref().to_string()).collect(),
+        );
+    }
+
+    fn role_enabled(&self, role: &str, t: TimePoint) -> bool {
+        self.schedules.get(role).map_or(true, |s| s.enabled_at(t))
+    }
+}
+
+impl SecurityGuard for TrbacGuard {
+    fn check(
+        &mut self,
+        req: &GuardRequest<'_>,
+        _proofs: &ProofStore,
+        _table: &mut AccessTable,
+    ) -> DecisionKind {
+        let Some(roles) = self.enrollments.get(req.object) else {
+            return DecisionKind::DeniedNoPermission;
+        };
+        let mut had_candidate = false;
+        for role in roles {
+            if !self.model.authorized_for_role(req.object, role) {
+                continue;
+            }
+            let covering = self
+                .model
+                .permissions_of_role(role)
+                .into_iter()
+                .any(|p| {
+                    self.model
+                        .permission(&p)
+                        .is_some_and(|perm| perm.grants.covers(req.access))
+                });
+            if !covering {
+                continue;
+            }
+            had_candidate = true;
+            if self.role_enabled(role, req.time) {
+                return DecisionKind::Granted;
+            }
+        }
+        if had_candidate {
+            DecisionKind::DeniedTemporal {
+                reason: "role disabled outside its periodic enabling window".into(),
+            }
+        } else {
+            DecisionKind::DeniedNoPermission
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacl_rbac::{AccessPattern, Permission};
+    use stacl_sral::builder::access;
+    use stacl_sral::Access;
+
+    fn model() -> RbacModel {
+        let mut m = RbacModel::new();
+        m.add_user("n1");
+        m.add_role("editor");
+        m.add_permission(Permission::new("p-edit", AccessPattern::parse("edit:issue:*").unwrap()))
+            .unwrap();
+        m.assign_permission("editor", "p-edit").unwrap();
+        m.assign_user("n1", "editor").unwrap();
+        m
+    }
+
+    fn req_at<'a>(
+        a: &'a Access,
+        p: &'a stacl_sral::Program,
+        t: f64,
+    ) -> GuardRequest<'a> {
+        GuardRequest {
+            object: "n1",
+            access: a,
+            remaining: p,
+            time: TimePoint::new(t),
+        }
+    }
+
+    #[test]
+    fn schedule_windows() {
+        // Daily period: enabled 21:00–03:00 (i.e. [75600, 86400) ∪ [0, 10800)).
+        let s = RoleSchedule::periodic(86_400.0, [(75_600.0, 86_400.0), (0.0, 10_800.0)]);
+        assert!(s.enabled_at(TimePoint::new(80_000.0)));
+        assert!(s.enabled_at(TimePoint::new(5_000.0)));
+        assert!(!s.enabled_at(TimePoint::new(50_000.0)));
+        // Next day, same phase.
+        assert!(s.enabled_at(TimePoint::new(86_400.0 + 80_000.0)));
+    }
+
+    #[test]
+    fn grants_inside_window_denies_outside() {
+        let mut g = TrbacGuard::new(model());
+        g.enroll("n1", ["editor"]);
+        g.schedule_role("editor", RoleSchedule::periodic(100.0, [(0.0, 50.0)]));
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let a = Access::new("edit", "issue", "s1");
+        let p = access("edit", "issue", "s1");
+        assert!(g.check(&req_at(&a, &p, 10.0), &proofs, &mut table).is_granted());
+        assert!(matches!(
+            g.check(&req_at(&a, &p, 60.0), &proofs, &mut table),
+            DecisionKind::DeniedTemporal { .. }
+        ));
+        // Periodicity: next period's window grants again — unlike the
+        // paper's duration model, where an exhausted budget stays exhausted.
+        assert!(g.check(&req_at(&a, &p, 110.0), &proofs, &mut table).is_granted());
+    }
+
+    #[test]
+    fn unscheduled_roles_are_always_enabled() {
+        let mut g = TrbacGuard::new(model());
+        g.enroll("n1", ["editor"]);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let a = Access::new("edit", "issue", "s1");
+        let p = access("edit", "issue", "s1");
+        assert!(g
+            .check(&req_at(&a, &p, 1e6), &proofs, &mut table)
+            .is_granted());
+    }
+
+    #[test]
+    fn uncovered_access_is_no_permission_not_temporal() {
+        let mut g = TrbacGuard::new(model());
+        g.enroll("n1", ["editor"]);
+        g.schedule_role("editor", RoleSchedule::periodic(100.0, [(0.0, 50.0)]));
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let a = Access::new("rm", "issue", "s1");
+        let p = access("rm", "issue", "s1");
+        assert_eq!(
+            g.check(&req_at(&a, &p, 60.0), &proofs, &mut table),
+            DecisionKind::DeniedNoPermission
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "within the period")]
+    fn malformed_window_rejected() {
+        let _ = RoleSchedule::periodic(10.0, [(5.0, 15.0)]);
+    }
+}

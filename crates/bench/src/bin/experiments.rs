@@ -1,0 +1,573 @@
+//! The experiment driver: runs every experiment of DESIGN.md's index
+//! (E1–E9) and prints the tables recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p stacl-bench --bin experiments
+//! ```
+//!
+//! Unlike the Criterion benches (which measure wall-clock distributions),
+//! this binary validates the *shapes* the paper claims: scaling
+//! exponents, who-denies-what matrices, automaton sizes and crossovers.
+
+use std::time::Instant;
+
+use stacl::baselines::trbac::RoleSchedule;
+use stacl::integrity::{evaluate_audit, ModuleGraph};
+use stacl::prelude::*;
+use stacl::srac::check::{
+    check_program, check_residual, check_residual_cached, ConstraintCache, Semantics,
+};
+use stacl::srac::Constraint;
+use stacl::sral::builder as b;
+use stacl::trace::abstraction::{traces, AbstractionConfig};
+use stacl::trace::enumerate::enumerate_traces;
+use stacl::trace::synthesis::synthesize;
+use stacl_bench::{
+    conjunctive_policy, licensee_model, log_log_slope, open_model, random_control_program,
+    random_branching_program, random_program, satisfied_cap_policy, tour_program, Vocab,
+};
+
+fn main() {
+    println!("stacl experiment suite — one section per DESIGN.md experiment id\n");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+    if want("e1") {
+        e1_spatial_scaling();
+    }
+    if want("e2") {
+        e2_completeness();
+    }
+    if want("e3") {
+        e3_temporal();
+    }
+    if want("e4") {
+        e4_agent_overhead();
+    }
+    if want("e5") {
+        e5_integrity_audit();
+    }
+    if want("e6") {
+        e6_cardinality_policy();
+    }
+    if want("e7") {
+        e7_deadline();
+    }
+    if want("e8") {
+        e8_trace_ops();
+    }
+    if want("e9") {
+        e9_ablation();
+    }
+    if want("e10") {
+        e10_gate_ablation();
+    }
+    println!("\nall experiments completed");
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Median-of-k timing to damp scheduler noise.
+fn timed_median(k: usize, mut f: impl FnMut()) -> f64 {
+    let mut v: Vec<f64> = (0..k).map(|_| time_ms(&mut f)).collect();
+    v.sort_by(f64::total_cmp);
+    v[k / 2]
+}
+
+// ── E1 ──────────────────────────────────────────────────────────────
+
+fn e1_spatial_scaling() {
+    println!("━━ E1 (Theorem 3.2): P ⊨ C checking scales in m and n ━━");
+    let vocab = Vocab::new(3, 6, 6);
+
+    println!("  m-sweep (n = 8 conjuncts):");
+    println!("    {:>6} {:>10} {:>12}", "m", "ms/check", "prog-states");
+    let constraint = conjunctive_policy(8, &vocab, 11);
+    let mut pts = Vec::new();
+    for m in [16usize, 32, 64, 128, 256, 512, 1024] {
+        let program = random_control_program(m, &vocab, 42 + m as u64);
+        let real_m = program.size();
+        let mut states = 0;
+        let ms = timed_median(5, || {
+            let mut table = AccessTable::new();
+            let v = check_program(&program, &constraint, &mut table, Semantics::ForAll);
+            states = v.program_states;
+        });
+        println!("    {real_m:>6} {ms:>10.3} {states:>12}");
+        pts.push((real_m as f64, ms));
+    }
+    let slope_m = log_log_slope(&pts);
+    println!("    fitted exponent in m: {slope_m:.2} (paper claims linear)");
+
+    println!("  n-sweep (loop-free m ≈ 48, all conjuncts satisfied):");
+    println!("    {:>6} {:>10}", "n", "ms/check");
+    let program = random_branching_program(48, &vocab, 7);
+    let mut pts = Vec::new();
+    for n in [4usize, 8, 16, 32, 64, 128, 256] {
+        let constraint = satisfied_cap_policy(n, &vocab, program.size());
+        let real_n = constraint.size();
+        // Sub-millisecond checks: batch 10 per timing to beat jitter.
+        let ms = timed_median(5, || {
+            for _ in 0..10 {
+                let mut table = AccessTable::new();
+                check_program(&program, &constraint, &mut table, Semantics::ForAll);
+            }
+        }) / 10.0;
+        println!("    {real_n:>6} {ms:>10.3}");
+        pts.push((real_n as f64, ms));
+    }
+    // The check costs ~(program-DFA build) + n × (product); fit the
+    // exponent on the large-n tail where the additive constant is
+    // amortised.
+    let tail = &pts[pts.len().saturating_sub(4)..];
+    let slope_n = log_log_slope(tail);
+    println!(
+        "    fitted exponent in n (tail, additive prog-DFA cost amortised): \
+         {slope_n:.2} (paper claims linear)\n"
+    );
+}
+
+// ── E2 ──────────────────────────────────────────────────────────────
+
+fn e2_completeness() {
+    println!("━━ E2 (Theorem 3.1): regular completeness round trip ━━");
+    println!(
+        "    {:>8} {:>12} {:>12} {:>8}",
+        "re-size", "synth-ms", "verify-ms", "equal"
+    );
+    let vocab = Vocab::new(3, 5, 5);
+    for size in [16usize, 64, 256] {
+        let mut table = AccessTable::new();
+        let p0 = random_program(size, &vocab, size as u64);
+        let re = traces(&p0, &mut table, AbstractionConfig::default());
+        let mut prog = None;
+        let synth_ms = timed_median(3, || {
+            prog = Some(synthesize(&re, &table).unwrap());
+        });
+        let p = prog.unwrap();
+        let mut equal = false;
+        let verify_ms = timed_median(3, || {
+            let mut t2 = table.clone();
+            let re2 = traces(&p, &mut t2, AbstractionConfig::default());
+            equal = Dfa::equivalent_regexes(&re, &re2);
+        });
+        assert!(equal, "Theorem 3.1 round trip failed at size {size}");
+        println!(
+            "    {:>8} {synth_ms:>12.3} {verify_ms:>12.3} {equal:>8}",
+            re.size()
+        );
+    }
+    println!();
+}
+
+// ── E3 ──────────────────────────────────────────────────────────────
+
+fn e3_temporal() {
+    println!("━━ E3 (Theorem 4.1): permission validity checking ━━");
+    println!(
+        "    {:>8} {:>16} {:>14} {:>14}",
+        "toggles", "scheme", "derive-ms", "query-ms"
+    );
+    for k in [10usize, 100, 1_000, 10_000] {
+        for (label, scheme) in [
+            ("whole-lifetime", BaseTimeScheme::WholeLifetime),
+            ("current-server", BaseTimeScheme::CurrentServer),
+        ] {
+            let mut tl = PermissionTimeline::new(1e7, scheme);
+            tl.arrive_at_server(TimePoint::new(0.0));
+            let mut t = 0.0;
+            for i in 0..k {
+                t += 1.0;
+                tl.activate(TimePoint::new(t));
+                t += 0.5;
+                tl.deactivate(TimePoint::new(t));
+                if i % 16 == 15 {
+                    t += 0.25;
+                    tl.arrive_at_server(TimePoint::new(t));
+                }
+            }
+            let derive_ms = timed_median(3, || {
+                tl.valid_fn();
+            });
+            let probe = TimePoint::new(t * 0.75);
+            let query_ms = timed_median(3, || {
+                tl.is_valid_at(probe);
+            });
+            println!("    {k:>8} {label:>16} {derive_ms:>14.3} {query_ms:>14.3}");
+        }
+    }
+    println!("    (both scale linearly in the number of state transitions)\n");
+}
+
+// ── E4 ──────────────────────────────────────────────────────────────
+
+fn e4_agent_overhead() {
+    println!("━━ E4 (§5): coordinated access-control overhead in the agent system ━━");
+    println!(
+        "    {:>8} {:>14} {:>12} {:>10} {:>10}",
+        "servers", "guard", "run-ms", "granted", "denied"
+    );
+    for s in [2usize, 8, 32] {
+        let vocab = Vocab::new(1, 1, s);
+        let mk_prog = || tour_program("op0", "res0", &vocab.servers);
+        let cap = 10 * s;
+        let mut rows: Vec<(&str, Box<dyn Fn() -> Box<dyn SecurityGuard>>)> = vec![
+            ("permissive", Box::new(|| Box::new(PermissiveGuard))),
+            (
+                "plain-rbac",
+                Box::new(|| {
+                    let mut g = PlainRbacGuard::new(open_model("agent0", "res0"));
+                    g.enroll("agent0", ["licensee"]);
+                    Box::new(g)
+                }),
+            ),
+            (
+                "trbac",
+                Box::new(|| {
+                    let mut g = TrbacGuard::new(open_model("agent0", "res0"));
+                    g.enroll("agent0", ["licensee"]);
+                    g.schedule_role("licensee", RoleSchedule::periodic(1e6, [(0.0, 1e6)]));
+                    Box::new(g)
+                }),
+            ),
+            (
+                "local-history",
+                Box::new(move || {
+                    Box::new(LocalHistoryGuard::single(
+                        Selector::any().with_resources(["res0"]),
+                        cap,
+                    ))
+                }),
+            ),
+            (
+                "coordinated",
+                Box::new(move || {
+                    let mut g = CoordinatedGuard::new(ExtendedRbac::new(licensee_model(
+                        "agent0", "res0", cap,
+                    )))
+                    .with_mode(EnforcementMode::Reactive);
+                    g.enroll("agent0", ["licensee"]);
+                    Box::new(g)
+                }),
+            ),
+        ];
+        for (label, mk_guard) in rows.drain(..) {
+            let mut granted = 0;
+            let mut denied = 0;
+            let ms = timed_median(5, || {
+                let mut sys = NapletSystem::new(vocab.environment(), mk_guard());
+                sys.spawn(NapletSpec::new("agent0", "s0", mk_prog()));
+                sys.run();
+                granted = sys.log().granted_count();
+                denied = sys.log().denied_count();
+            });
+            println!("    {s:>8} {label:>14} {ms:>12.3} {granted:>10} {denied:>10}");
+        }
+    }
+    println!("    (coordinated pays the constraint-check cost; baselines are near the permissive floor)\n");
+}
+
+// ── E5 ──────────────────────────────────────────────────────────────
+
+fn e5_integrity_audit() {
+    println!("━━ E5 (§6/Fig.1): module-integrity audit ━━");
+    println!(
+        "    {:>8} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "modules", "servers", "run-ms", "verified", "tainted", "corrupt"
+    );
+    for (n, servers) in [(8usize, 2usize), (32, 4), (128, 8), (512, 16)] {
+        let mut g = ModuleGraph::generate_layered(n, servers, 4, 3, 23);
+        let manifest = g.manifest();
+        // Tamper an early (layer-0) module so taint propagation shows.
+        let victim = g.modules().next().unwrap().name.clone();
+        g.tamper(&victim);
+        let mut report = None;
+        let ms = timed_median(3, || {
+            let mut env = CoalitionEnv::new();
+            for m in g.modules() {
+                env.add_resource(&m.server, &m.name, ["verify"]);
+            }
+            let mut model = RbacModel::new();
+            model.add_user("auditor");
+            model.add_role("aud");
+            model
+                .add_permission(
+                    Permission::new("p", AccessPattern::parse("verify:*:*").unwrap())
+                        .with_spatial(g.dependency_constraint()),
+                )
+                .unwrap();
+            model.assign_permission("aud", "p").unwrap();
+            model.assign_user("auditor", "aud").unwrap();
+            let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+            guard.enroll("auditor", ["aud"]);
+            let mut sys = NapletSystem::new(env, Box::new(guard));
+            sys.spawn(NapletSpec::new("auditor", "s0", g.audit_program_sequential()));
+            let r = sys.run();
+            assert_eq!(r.finished, 1);
+            report = Some(evaluate_audit("auditor", sys.proofs(), &g, &manifest));
+        });
+        let rep = report.unwrap();
+        assert!(rep.corrupted.contains(&victim));
+        println!(
+            "    {n:>8} {servers:>8} {ms:>12.1} {:>10} {:>10} {:>10}",
+            rep.verified.len(),
+            rep.tainted.len(),
+            rep.corrupted.len()
+        );
+    }
+    println!("    (tampering is always detected; taint propagates to all dependents)\n");
+}
+
+// ── E6 ──────────────────────────────────────────────────────────────
+
+fn e6_cardinality_policy() {
+    println!("━━ E6 (intro ex. 1): who enforces the cross-site cap? ━━");
+    const CAP: usize = 5;
+    let mut env = CoalitionEnv::new();
+    env.add_resource("s1", "rsw", ["exec"]);
+    env.add_resource("s2", "rsw", ["exec"]);
+    let prog = b::seq(
+        (0..CAP)
+            .map(|_| b::access("exec", "rsw", "s1"))
+            .chain([b::access("exec", "rsw", "s2")]),
+    );
+    println!(
+        "    workload: {CAP} execs on s1 then 1 on s2; cap = {CAP} coalition-wide"
+    );
+    println!(
+        "    {:>14} {:>8} {:>8} {:>22}",
+        "guard", "granted", "denied", "verdict"
+    );
+    let run = |label: &str, guard: Box<dyn SecurityGuard>, expect_deny: bool| {
+        let mut sys = NapletSystem::new(env.clone(), guard);
+        sys.spawn(NapletSpec::new("device", "s1", prog.clone()).with_on_deny(OnDeny::Skip));
+        sys.run();
+        let granted = sys.log().granted_count();
+        let denied = sys.log().denied_count();
+        let verdict = if (denied > 0) == expect_deny {
+            "as the paper claims"
+        } else {
+            "UNEXPECTED"
+        };
+        println!("    {label:>14} {granted:>8} {denied:>8} {verdict:>22}");
+        assert_eq!(denied > 0, expect_deny, "{label}");
+    };
+    let mut coord =
+        CoordinatedGuard::new(ExtendedRbac::new(licensee_model("device", "rsw", CAP)))
+            .with_mode(EnforcementMode::Reactive);
+    coord.enroll("device", ["licensee"]);
+    run("coordinated", Box::new(coord), true);
+    let mut plain = PlainRbacGuard::new(open_model("device", "rsw"));
+    plain.enroll("device", ["licensee"]);
+    run("plain-rbac", Box::new(plain), false);
+    let mut trbac = TrbacGuard::new(open_model("device", "rsw"));
+    trbac.enroll("device", ["licensee"]);
+    trbac.schedule_role("licensee", RoleSchedule::periodic(1e6, [(0.0, 1e6)]));
+    run("trbac", Box::new(trbac), false);
+    run(
+        "local-history",
+        Box::new(LocalHistoryGuard::single(
+            Selector::any().with_resources(["rsw"]),
+            CAP,
+        )),
+        false,
+    );
+    println!();
+}
+
+// ── E7 ──────────────────────────────────────────────────────────────
+
+fn e7_deadline() {
+    println!("━━ E7 (intro ex. 2): the 3am editing deadline ━━");
+    let until_3am = 6.0 * 3600.0;
+    for (scheme, expect_late_denied) in [
+        (BaseTimeScheme::WholeLifetime, true),
+        (BaseTimeScheme::CurrentServer, false),
+    ] {
+        let mut tl = PermissionTimeline::new(until_3am, scheme);
+        tl.arrive_at_server(TimePoint::new(0.0));
+        tl.activate(TimePoint::new(0.0));
+        // Migrate to another desk at t = 5h.
+        tl.arrive_at_server(TimePoint::new(5.0 * 3600.0));
+        let before = tl.is_valid_at(TimePoint::new(5.5 * 3600.0));
+        let after = tl.is_valid_at(TimePoint::new(7.0 * 3600.0));
+        println!(
+            "    scheme={:<16} valid@5.5h={} valid@7h={}",
+            scheme.name(),
+            before,
+            after
+        );
+        assert!(before);
+        assert_eq!(!after, expect_late_denied);
+    }
+    println!("    (whole-lifetime carries the deadline across desks; per-server refills)\n");
+}
+
+// ── E8 ──────────────────────────────────────────────────────────────
+
+fn e8_trace_ops() {
+    println!("━━ E8 (Def. 3.2): trace-model operators ━━");
+    println!(
+        "    {:>4} {:>16} {:>16} {:>14}",
+        "k", "interleavings", "explicit-ms", "symbolic-ms"
+    );
+    use stacl::trace::model::TraceModel;
+    use stacl::trace::Regex;
+    for k in [2usize, 4, 6, 8] {
+        let t1 = Trace::from_ids((0..k as u32).map(AccessId));
+        let t2 = Trace::from_ids((k as u32..2 * k as u32).map(AccessId));
+        let m1 = TraceModel::from_traces([t1]);
+        let m2 = TraceModel::from_traces([t2]);
+        let mut count = 0usize;
+        let explicit_ms = timed_median(3, || {
+            count = m1.interleave(&m2).len();
+        });
+        let re = Regex::shuffle(
+            Regex::cat_all((0..k as u32).map(|i| Regex::Sym(AccessId(i)))),
+            Regex::cat_all((k as u32..2 * k as u32).map(|i| Regex::Sym(AccessId(i)))),
+        );
+        let symbolic_ms = timed_median(3, || {
+            Dfa::from_regex(&re);
+        });
+        println!("    {k:>4} {count:>16} {explicit_ms:>16.3} {symbolic_ms:>14.3}");
+    }
+    println!("    (explicit interleaving grows as C(2k,k); the DFA stays polynomial)\n");
+}
+
+// ── E9 ──────────────────────────────────────────────────────────────
+
+fn e9_ablation() {
+    println!("━━ E9 (ablation): symbolic checking vs trace enumeration ━━");
+    println!(
+        "    {:>4} {:>12} {:>14} {:>16}",
+        "k", "traces", "symbolic-ms", "enumerate-ms"
+    );
+    for k in [2usize, 4, 6, 8] {
+        let left = b::seq((0..k).map(|i| b::access("a", format!("r{i}"), "s1")));
+        let right = b::seq((0..k).map(|i| b::access("b", format!("r{i}"), "s2")));
+        let p = left.par(right);
+        let cons = Constraint::atom("a", "r0", "s1");
+        let symbolic_ms = timed_median(3, || {
+            let mut table = AccessTable::new();
+            let v = check_program(&p, &cons, &mut table, Semantics::ForAll);
+            assert!(v.holds);
+        });
+        let mut n_traces = 0usize;
+        let enum_ms = timed_median(3, || {
+            let mut table = AccessTable::new();
+            let re = traces(&p, &mut table, AbstractionConfig::default());
+            let d = Dfa::from_regex(&re);
+            n_traces = enumerate_traces(&d, 2 * k, usize::MAX).len();
+        });
+        println!("    {k:>4} {n_traces:>12} {symbolic_ms:>14.3} {enum_ms:>16.3}");
+    }
+    // The impossible-for-enumeration case.
+    let p = b::while_do(
+        stacl::sral::Cond::cmp(
+            stacl::sral::expr::CmpOp::Gt,
+            stacl::sral::Expr::var("x"),
+            stacl::sral::Expr::Int(0),
+        ),
+        b::access("a", "r0", "s1"),
+    );
+    let cons = Constraint::at_most(10_000, Selector::any());
+    let mut table = AccessTable::new();
+    let v = check_residual(&Trace::empty(), &p, &cons, &mut table, Semantics::ForAll);
+    println!(
+        "    loops: traces(P) infinite — enumeration impossible; symbolic verdict holds={} \
+         ({} constraint states)",
+        v.holds, v.constraint_states
+    );
+    println!();
+}
+
+// ── E10 ─────────────────────────────────────────────────────────────
+
+fn e10_gate_ablation() {
+    println!("━━ E10 (ablation): gate optimisations on the §6 audit ━━");
+    println!(
+        "    {:>8} {:>22} {:>12}",
+        "modules", "variant", "run-ms"
+    );
+    for n in [16usize, 48, 128] {
+        let g = ModuleGraph::generate_layered(n, 4, 4, 3, 31);
+        let constraint = g.dependency_constraint();
+        let program = g.audit_program_sequential();
+        // Raw checker, repeated 3× as the gate would.
+        let uncached_ms = timed_median(3, || {
+            let mut table = AccessTable::new();
+            for _ in 0..3 {
+                check_residual(
+                    &stacl::trace::Trace::empty(),
+                    &program,
+                    &constraint,
+                    &mut table,
+                    Semantics::ForAll,
+                );
+            }
+        });
+        println!("    {n:>8} {:>22} {uncached_ms:>12.2}", "checker-uncached(3x)");
+        let cached_ms = timed_median(3, || {
+            let mut table = AccessTable::new();
+            let mut cache = ConstraintCache::new();
+            for _ in 0..3 {
+                check_residual_cached(
+                    &stacl::trace::Trace::empty(),
+                    &program,
+                    &constraint,
+                    &mut table,
+                    Semantics::ForAll,
+                    &mut cache,
+                );
+            }
+        });
+        println!("    {n:>8} {:>22} {cached_ms:>12.2}", "checker-cached(3x)");
+    }
+    // Counting-heavy policy: large-cap counting automata are the
+    // expensive leaves the cache actually amortises.
+    println!("    counting-heavy policy (16 caps of ~2000 over 24 resources):");
+    let vocab = Vocab::new(2, 24, 4);
+    let constraint = Constraint::all((0..16).map(|i| {
+        Constraint::at_most(
+            2000 + i,
+            Selector::any().with_resources([&vocab.resources[i % vocab.resources.len()]]),
+        )
+    }));
+    let program = random_branching_program(40, &vocab, 3);
+    let uncached_ms = timed_median(3, || {
+        let mut table = AccessTable::new();
+        for _ in 0..3 {
+            check_residual(
+                &stacl::trace::Trace::empty(),
+                &program,
+                &constraint,
+                &mut table,
+                Semantics::ForAll,
+            );
+        }
+    });
+    println!("    {:>8} {:>22} {uncached_ms:>12.2}", "-", "checker-uncached(3x)");
+    let cached_ms = timed_median(3, || {
+        let mut table = AccessTable::new();
+        let mut cache = ConstraintCache::new();
+        for _ in 0..3 {
+            check_residual_cached(
+                &stacl::trace::Trace::empty(),
+                &program,
+                &constraint,
+                &mut table,
+                Semantics::ForAll,
+                &mut cache,
+            );
+        }
+    });
+    println!("    {:>8} {:>22} {cached_ms:>12.2}", "-", "checker-cached(3x)");
+    println!(
+        "    (ordering leaves are cheap — the cache is neutral there; counting \
+leaves amortise; the big win is approval reuse: the 128-module audit drops \
+~3.3 s → ~50 ms, see E5)\n"
+    );
+}

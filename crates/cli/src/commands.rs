@@ -1,0 +1,318 @@
+//! The CLI subcommands.
+
+use std::fs;
+
+use stacl::integrity::{evaluate_audit, ModuleGraph};
+use stacl::prelude::*;
+use stacl::rbac::policy::{parse_policy, render_policy};
+use stacl::sral::parser::parse_program;
+use stacl::sral::pretty::pretty;
+use stacl::sral::validate::validate;
+use stacl::srac::check::{check_residual, Semantics};
+use stacl::srac::parser::parse_constraint;
+use stacl::trace::AccessTable;
+
+use crate::opts::Opts;
+
+fn read(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// `stacl parse <program.sral>`
+pub fn parse(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let [path] = opts.expect_positional(&["<program.sral>"])? else {
+        unreachable!()
+    };
+    let src = read(path)?;
+    let program = parse_program(&src).map_err(|e| e.to_string())?;
+    let metrics = stacl::sral::metrics::metrics(&program);
+    println!("{}", pretty(&program));
+    println!(
+        "size={} depth={} accesses={} alphabet={} loops={} parallel-blocks={}",
+        metrics.size, metrics.depth, metrics.accesses, metrics.alphabet, metrics.whiles,
+        metrics.pars
+    );
+    let report = validate(&program);
+    for d in &report.diagnostics {
+        println!("{:?}: {}", d.severity, d.message);
+    }
+    if report.is_ok() {
+        println!("program is well-formed");
+        Ok(())
+    } else {
+        Err("program has validation errors".into())
+    }
+}
+
+/// `stacl traces <program.sral> [--max-len N] [--max-count N]`
+pub fn traces_cmd(args: &[String]) -> Result<(), String> {
+    use stacl::trace::abstraction::{traces, AbstractionConfig};
+    use stacl::trace::enumerate::enumerate_traces;
+    use stacl::trace::{dfa_to_regex, Dfa};
+    let opts = Opts::parse(args, &["max-len", "max-count"])?;
+    let [path] = opts.expect_positional(&["<program.sral>"])? else {
+        unreachable!()
+    };
+    let program = parse_program(&read(path)?).map_err(|e| e.to_string())?;
+    let mut table = AccessTable::new();
+    let re = traces(&program, &mut table, AbstractionConfig::default());
+    let dfa = Dfa::from_regex(&re);
+    let canonical = dfa_to_regex(&dfa);
+    println!("trace model (Definition 3.2):");
+    println!("  {}", re.display(&table));
+    println!("canonical form (via minimal DFA, {} states):", dfa.num_states());
+    println!("  {}", canonical.display(&table));
+
+    let max_len: usize = opts.get_parsed("max-len", 6)?;
+    let max_count: usize = opts.get_parsed("max-count", 20)?;
+    let sample = enumerate_traces(&dfa, max_len, max_count);
+    println!("sample traces (≤{max_len} accesses, first {max_count}):");
+    for t in &sample {
+        println!("  {}", t.display(&table));
+    }
+    if sample.len() == max_count {
+        println!("  …");
+    }
+    Ok(())
+}
+
+/// `stacl check <program.sral> <constraint> [--semantics ...] [--history ...]`
+pub fn check(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["semantics", "history"])?;
+    let [path, constraint_src] =
+        opts.expect_positional(&["<program.sral>", "<constraint>"])?
+    else {
+        unreachable!()
+    };
+    let program = parse_program(&read(path)?).map_err(|e| e.to_string())?;
+    let constraint = parse_constraint(constraint_src).map_err(|e| e.to_string())?;
+    let semantics = match opts.get("semantics").unwrap_or("forall") {
+        "forall" => Semantics::ForAll,
+        "exists" => Semantics::Exists,
+        other => return Err(format!("unknown semantics `{other}` (forall|exists)")),
+    };
+
+    let mut table = AccessTable::new();
+    // History: semicolon-separated `op resource server` triples.
+    let mut history_ids = Vec::new();
+    if let Some(h) = opts.get("history") {
+        for entry in h.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = entry.split_whitespace().collect();
+            let [op, resource, server] = parts[..] else {
+                return Err(format!(
+                    "history entry `{entry}` must be `op resource server`"
+                ));
+            };
+            history_ids.push(table.intern(&Access::new(op, resource, server)));
+        }
+    }
+    let history = Trace::from_ids(history_ids);
+
+    let verdict = check_residual(&history, &program, &constraint, &mut table, semantics);
+    println!(
+        "constraint: {constraint}\nsemantics:  {:?}\nholds:      {}",
+        verdict.semantics, verdict.holds
+    );
+    println!(
+        "automata:   program {} states, constraint {} states",
+        verdict.program_states, verdict.constraint_states
+    );
+    match (&verdict.witness, verdict.holds, semantics) {
+        (Some(w), false, Semantics::ForAll) => {
+            println!("violating trace: {}", w.display(&table));
+        }
+        (Some(w), true, Semantics::Exists) => {
+            println!("satisfying trace: {}", w.display(&table));
+        }
+        _ => {}
+    }
+    if verdict.holds {
+        Ok(())
+    } else {
+        Err("constraint does not hold".into())
+    }
+}
+
+/// `stacl policy <file.policy>`
+pub fn policy(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let [path] = opts.expect_positional(&["<file.policy>"])? else {
+        unreachable!()
+    };
+    let model = parse_policy(&read(path)?).map_err(|e| e.to_string())?;
+    print!("{}", render_policy(&model));
+    println!(
+        "# {} user(s), {} role(s), {} permission(s)",
+        model.all_users().count(),
+        model.all_roles().count(),
+        model.permissions().count()
+    );
+    Ok(())
+}
+
+/// `stacl run <file.policy> <program.sral> [...]`
+pub fn run(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["agent", "roles", "home", "mode", "on-deny"])?;
+    let [policy_path, program_path] =
+        opts.expect_positional(&["<file.policy>", "<program.sral>"])?
+    else {
+        unreachable!()
+    };
+    let model = parse_policy(&read(policy_path)?).map_err(|e| e.to_string())?;
+    let program = parse_program(&read(program_path)?).map_err(|e| e.to_string())?;
+
+    // Agent identity: --agent or the first user of the policy.
+    let agent = match opts.get("agent") {
+        Some(a) => a.to_string(),
+        None => model
+            .all_users()
+            .next()
+            .ok_or("policy defines no users; pass --agent")?
+            .to_string(),
+    };
+    // Roles: --roles or all roles assigned to the agent.
+    let roles: Vec<String> = match opts.get("roles") {
+        Some(r) => r.split(',').map(|s| s.trim().to_string()).collect(),
+        None => model.roles_of(&agent).iter().map(|n| n.to_string()).collect(),
+    };
+    if roles.is_empty() {
+        return Err(format!(
+            "agent `{agent}` has no roles; assign some in the policy or pass --roles"
+        ));
+    }
+    // Home server: --home or the first access's server.
+    let home = match opts.get("home") {
+        Some(h) => h.to_string(),
+        None => program
+            .accesses()
+            .next()
+            .map(|a| a.server.to_string())
+            .ok_or("program performs no accesses; pass --home")?,
+    };
+    let mode = match opts.get("mode").unwrap_or("preventive") {
+        "preventive" => EnforcementMode::Preventive,
+        "reactive" => EnforcementMode::Reactive,
+        other => return Err(format!("unknown mode `{other}` (preventive|reactive)")),
+    };
+    let on_deny = match opts.get("on-deny").unwrap_or("abort") {
+        "abort" => OnDeny::Abort,
+        "skip" => OnDeny::Skip,
+        other => return Err(format!("unknown on-deny `{other}` (abort|skip)")),
+    };
+
+    // Topology: register every access the program mentions.
+    let mut env = CoalitionEnv::new();
+    for a in program.accesses() {
+        env.add_resource(&a.server, &a.resource, [&a.op]);
+    }
+    env.add_server(&home);
+
+    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model)).with_mode(mode);
+    guard.enroll(&agent, roles.iter());
+    let mut sys = NapletSystem::new(env, Box::new(guard));
+    sys.spawn(NapletSpec::new(&agent, &home, program).with_on_deny(on_deny));
+    let report = sys.run();
+
+    println!("agent `{agent}` from `{home}` ({mode:?}, {on_deny:?})");
+    println!("decisions:");
+    for d in sys.log().snapshot() {
+        println!(
+            "  t={:<8} {:<28} {}",
+            d.time.seconds(),
+            d.access.to_string(),
+            match &d.kind {
+                DecisionKind::Granted => "granted".to_string(),
+                other => format!("DENIED ({other:?})"),
+            }
+        );
+    }
+    println!(
+        "result: finished={} aborted={} faulted={} deadlocked={} \
+         granted={} denied={} end-time={}",
+        report.finished,
+        report.aborted,
+        report.faulted,
+        report.deadlocked,
+        sys.log().granted_count(),
+        sys.log().denied_count(),
+        report.end_time
+    );
+    for (name, status) in &report.statuses {
+        if let stacl::naplet::agent::AgentStatus::Faulted(msg) = status {
+            println!("  {name}: faulted — {msg}");
+        }
+    }
+    Ok(())
+}
+
+/// `stacl audit [--modules N] [--servers K] [--seed S] [--tamper NAME|first]`
+pub fn audit(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["modules", "servers", "seed", "tamper"])?;
+    opts.expect_positional(&[])?;
+    let n: usize = opts.get_parsed("modules", 16)?;
+    let servers: usize = opts.get_parsed("servers", 4)?;
+    let seed: u64 = opts.get_parsed("seed", 7)?;
+
+    let mut g = ModuleGraph::generate_layered(n, servers, 4, 3, seed);
+    let manifest = g.manifest();
+    if let Some(t) = opts.get("tamper") {
+        let victim = if t == "first" {
+            g.modules().next().map(|m| m.name.clone())
+        } else {
+            g.module(t).map(|m| m.name.clone())
+        }
+        .ok_or_else(|| format!("no module `{t}` to tamper"))?;
+        g.tamper(&victim);
+        println!("tampered: {victim}");
+    }
+
+    let mut env = CoalitionEnv::new();
+    for m in g.modules() {
+        env.add_resource(&m.server, &m.name, ["verify"]);
+    }
+    let mut model = RbacModel::new();
+    model.add_user("auditor");
+    model.add_role("aud");
+    model
+        .add_permission(
+            Permission::new("p", AccessPattern::parse("verify:*:*").unwrap())
+                .with_spatial(g.dependency_constraint()),
+        )
+        .map_err(|e| e.to_string())?;
+    model.assign_permission("aud", "p").map_err(|e| e.to_string())?;
+    model.assign_user("auditor", "aud").map_err(|e| e.to_string())?;
+    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    guard.enroll("auditor", ["aud"]);
+
+    let mut sys = NapletSystem::new(env, Box::new(guard));
+    sys.spawn(NapletSpec::new(
+        "auditor",
+        g.modules().next().map(|m| m.server.clone()).unwrap_or_default(),
+        g.audit_program_sequential(),
+    ));
+    let report = sys.run();
+    let audit = evaluate_audit("auditor", sys.proofs(), &g, &manifest);
+
+    println!(
+        "audit of {n} modules on {servers} server(s): finished={} aborted={}",
+        report.finished, report.aborted
+    );
+    println!(
+        "verified={} corrupted={:?} tainted={:?} unverified={}",
+        audit.verified.len(),
+        audit.corrupted,
+        audit.tainted,
+        audit.unverified.len()
+    );
+    if audit.all_verified() {
+        println!("integrity: OK");
+        Ok(())
+    } else {
+        Err("integrity violations found".into())
+    }
+}

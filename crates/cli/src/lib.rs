@@ -1,0 +1,8 @@
+//! Library surface of the `stacl` CLI — the subcommand implementations
+//! are exposed so integration tests can drive them without spawning
+//! processes.
+
+#![forbid(unsafe_code)]
+
+pub mod commands;
+pub mod opts;

@@ -1,0 +1,110 @@
+//! Minimal flag parsing: positionals plus `--key value` options.
+
+use std::collections::HashMap;
+
+/// Parsed command-line tail: positional arguments and `--key value` pairs.
+pub struct Opts {
+    pub positional: Vec<String>,
+    pub flags: HashMap<String, String>,
+}
+
+impl Opts {
+    /// Parse `args`; every `--key` consumes the following token as its
+    /// value. `allowed` lists the recognised flag names (without `--`).
+    pub fn parse(args: &[String], allowed: &[&str]) -> Result<Opts, String> {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if !allowed.contains(&key) {
+                    return Err(format!(
+                        "unknown option `--{key}` (expected one of: {})",
+                        allowed
+                            .iter()
+                            .map(|k| format!("--{k}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option `--{key}` requires a value"))?;
+                flags.insert(key.to_string(), value.clone());
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Opts { positional, flags })
+    }
+
+    /// The value of `--key`, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// The value of `--key` parsed as `T`, or `default`.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for --{key}")),
+        }
+    }
+
+    /// Exactly `n` positional arguments, or an error naming them.
+    pub fn expect_positional(&self, names: &[&str]) -> Result<&[String], String> {
+        if self.positional.len() != names.len() {
+            return Err(format!(
+                "expected {} argument(s): {}",
+                names.len(),
+                names.join(" ")
+            ));
+        }
+        Ok(&self.positional)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let o = Opts::parse(&v(&["a.sral", "--mode", "reactive", "b"]), &["mode"]).unwrap();
+        assert_eq!(o.positional, ["a.sral", "b"]);
+        assert_eq!(o.get("mode"), Some("reactive"));
+        assert_eq!(o.get("missing"), None);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(Opts::parse(&v(&["--bogus", "1"]), &["mode"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(Opts::parse(&v(&["--mode"]), &["mode"]).is_err());
+    }
+
+    #[test]
+    fn parsed_values() {
+        let o = Opts::parse(&v(&["--modules", "64"]), &["modules"]).unwrap();
+        assert_eq!(o.get_parsed("modules", 8usize).unwrap(), 64);
+        assert_eq!(o.get_parsed("servers", 4usize).unwrap(), 4);
+        let bad = Opts::parse(&v(&["--modules", "lots"]), &["modules"]).unwrap();
+        assert!(bad.get_parsed::<usize>("modules", 8).is_err());
+    }
+
+    #[test]
+    fn expect_positional_counts() {
+        let o = Opts::parse(&v(&["one"]), &[]).unwrap();
+        assert!(o.expect_positional(&["file"]).is_ok());
+        assert!(o.expect_positional(&["file", "constraint"]).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Integration tests for the `stacl` CLI subcommands, driven in-process
+//! through the library surface (no subprocess spawning).
+
+use std::fs;
+use std::path::PathBuf;
+
+use stacl_cli::commands;
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+/// Write a temp file unique to this test run.
+fn temp_file(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stacl-cli-test-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    fs::write(&path, contents).unwrap();
+    path
+}
+
+const PROGRAM: &str = "read manifest @ home ; verify libA @ s1 ; write report @ home\n";
+
+const POLICY: &str = r#"
+user  bot
+role  auditor
+permission p-all grants=*:*:* spatial="count(0, 10, all)"
+grant auditor p-all
+assign bot auditor
+"#;
+
+#[test]
+fn parse_accepts_valid_program() {
+    let f = temp_file("ok.sral", PROGRAM);
+    assert!(commands::parse(&args(&[f.to_str().unwrap()])).is_ok());
+}
+
+#[test]
+fn parse_rejects_missing_file_and_bad_syntax() {
+    assert!(commands::parse(&args(&["/no/such/file.sral"])).is_err());
+    let f = temp_file("bad.sral", "read read read\n");
+    assert!(commands::parse(&args(&[f.to_str().unwrap()])).is_err());
+    // Wrong arity.
+    assert!(commands::parse(&args(&[])).is_err());
+}
+
+#[test]
+fn check_verdicts_and_exit_semantics() {
+    let f = temp_file("check.sral", PROGRAM);
+    let path = f.to_str().unwrap();
+    // Held constraint → Ok.
+    assert!(commands::check(&args(&[
+        path,
+        "[read manifest @ home] before [write report @ home]",
+    ]))
+    .is_ok());
+    // Violated constraint → Err (non-zero exit).
+    assert!(commands::check(&args(&[path, "count(0, 1, all)"])).is_err());
+    // Exists semantics flips a branch-dependent verdict.
+    assert!(commands::check(&args(&[
+        path,
+        "count(0, 1, all)",
+        "--semantics",
+        "exists",
+    ]))
+    .is_err());
+    // Malformed constraint text.
+    assert!(commands::check(&args(&[path, "count(("])).is_err());
+    // Unknown semantics value.
+    assert!(commands::check(&args(&[path, "true", "--semantics", "maybe"])).is_err());
+}
+
+#[test]
+fn check_with_history() {
+    let f = temp_file("hist.sral", "exec rsw @ s2\n");
+    let path = f.to_str().unwrap();
+    // Cap 5, 5 already consumed on s1 → the s2 access violates.
+    assert!(commands::check(&args(&[
+        path,
+        "count(0, 5, resource=rsw)",
+        "--history",
+        "exec rsw s1; exec rsw s1; exec rsw s1; exec rsw s1; exec rsw s1",
+    ]))
+    .is_err());
+    // With room left it holds.
+    assert!(commands::check(&args(&[
+        path,
+        "count(0, 5, resource=rsw)",
+        "--history",
+        "exec rsw s1; exec rsw s1",
+    ]))
+    .is_ok());
+    // Malformed history entry.
+    assert!(commands::check(&args(&[
+        path,
+        "true",
+        "--history",
+        "exec rsw",
+    ]))
+    .is_err());
+}
+
+#[test]
+fn traces_prints_model() {
+    let f = temp_file("traces.sral", PROGRAM);
+    assert!(commands::traces_cmd(&args(&[f.to_str().unwrap()])).is_ok());
+    assert!(commands::traces_cmd(&args(&[
+        f.to_str().unwrap(),
+        "--max-len",
+        "3",
+        "--max-count",
+        "5",
+    ]))
+    .is_ok());
+    assert!(
+        commands::traces_cmd(&args(&[f.to_str().unwrap(), "--max-len", "three"])).is_err()
+    );
+}
+
+#[test]
+fn policy_roundtrip_and_errors() {
+    let f = temp_file("p.policy", POLICY);
+    assert!(commands::policy(&args(&[f.to_str().unwrap()])).is_ok());
+    let bad = temp_file("bad.policy", "grant nobody nothing\n");
+    assert!(commands::policy(&args(&[bad.to_str().unwrap()])).is_err());
+}
+
+#[test]
+fn run_executes_compliant_program() {
+    let pf = temp_file("run.policy", POLICY);
+    let sf = temp_file("run.sral", PROGRAM);
+    assert!(commands::run(&args(&[
+        pf.to_str().unwrap(),
+        sf.to_str().unwrap(),
+    ]))
+    .is_ok());
+    // Explicit flags.
+    assert!(commands::run(&args(&[
+        pf.to_str().unwrap(),
+        sf.to_str().unwrap(),
+        "--agent",
+        "bot",
+        "--home",
+        "home",
+        "--mode",
+        "reactive",
+        "--on-deny",
+        "skip",
+    ]))
+    .is_ok());
+    // Unknown agent (no roles) errors out.
+    assert!(commands::run(&args(&[
+        pf.to_str().unwrap(),
+        sf.to_str().unwrap(),
+        "--agent",
+        "ghost",
+    ]))
+    .is_err());
+    // Bad mode value.
+    assert!(commands::run(&args(&[
+        pf.to_str().unwrap(),
+        sf.to_str().unwrap(),
+        "--mode",
+        "psychic",
+    ]))
+    .is_err());
+}
+
+#[test]
+fn audit_clean_and_tampered() {
+    // Clean audit passes.
+    assert!(commands::audit(&args(&["--modules", "8", "--servers", "2"])).is_ok());
+    // Tampered audit reports violations (non-zero).
+    assert!(commands::audit(&args(&[
+        "--modules",
+        "8",
+        "--servers",
+        "2",
+        "--tamper",
+        "first",
+    ]))
+    .is_err());
+    // Unknown module name to tamper.
+    assert!(commands::audit(&args(&["--tamper", "no-such-module"])).is_err());
+}

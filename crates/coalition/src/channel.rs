@@ -1,0 +1,114 @@
+//! Named FIFO channels — the `Z` of the system model and the `ch?x` /
+//! `ch!e` constructs of Definition 3.1.
+//!
+//! Semantics from the paper: `ch?x` takes a value from the channel,
+//! *waiting* while it is empty; `ch!e` appends a value and wakes waiters.
+//! The hub itself is non-blocking (`try_recv` returns `None` on empty);
+//! the agent scheduler implements the waiting by parking the agent until
+//! the channel becomes non-empty.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use stacl_sral::ast::{name, Name};
+use stacl_sral::Value;
+
+/// A hub of named channels, shareable across threads.
+#[derive(Clone, Default, Debug)]
+pub struct ChannelHub {
+    inner: Arc<Mutex<HashMap<Name, VecDeque<Value>>>>,
+}
+
+impl ChannelHub {
+    /// An empty hub; channels are created on first use.
+    pub fn new() -> Self {
+        ChannelHub::default()
+    }
+
+    /// Append `value` to channel `ch` (the `ch!e` action).
+    pub fn send(&self, ch: impl AsRef<str>, value: Value) {
+        self.inner
+            .lock()
+            .entry(name(ch))
+            .or_default()
+            .push_back(value);
+    }
+
+    /// Take the oldest value from `ch`, or `None` when the channel is
+    /// empty (the scheduler then blocks the agent).
+    pub fn try_recv(&self, ch: &str) -> Option<Value> {
+        self.inner.lock().get_mut(ch)?.pop_front()
+    }
+
+    /// Number of queued values on `ch`.
+    pub fn len(&self, ch: &str) -> usize {
+        self.inner.lock().get(ch).map_or(0, VecDeque::len)
+    }
+
+    /// True when `ch` has no queued values.
+    pub fn is_empty(&self, ch: &str) -> bool {
+        self.len(ch) == 0
+    }
+
+    /// Names of all channels that currently hold at least one value.
+    pub fn ready_channels(&self) -> Vec<Name> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let hub = ChannelHub::new();
+        hub.send("ch", Value::Int(1));
+        hub.send("ch", Value::Int(2));
+        assert_eq!(hub.try_recv("ch"), Some(Value::Int(1)));
+        assert_eq!(hub.try_recv("ch"), Some(Value::Int(2)));
+        assert_eq!(hub.try_recv("ch"), None);
+    }
+
+    #[test]
+    fn empty_and_unknown_channels() {
+        let hub = ChannelHub::new();
+        assert!(hub.is_empty("nope"));
+        assert_eq!(hub.try_recv("nope"), None);
+        assert_eq!(hub.len("nope"), 0);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let hub = ChannelHub::new();
+        hub.send("a", Value::Int(1));
+        hub.send("b", Value::Bool(true));
+        assert_eq!(hub.try_recv("b"), Some(Value::Bool(true)));
+        assert_eq!(hub.len("a"), 1);
+    }
+
+    #[test]
+    fn ready_channels_lists_nonempty() {
+        let hub = ChannelHub::new();
+        hub.send("a", Value::Int(1));
+        hub.send("b", Value::Int(2));
+        let _ = hub.try_recv("b");
+        let ready = hub.ready_channels();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(&*ready[0], "a");
+    }
+
+    #[test]
+    fn clones_share_queues() {
+        let hub = ChannelHub::new();
+        let hub2 = hub.clone();
+        hub.send("ch", Value::Int(9));
+        assert_eq!(hub2.try_recv("ch"), Some(Value::Int(9)));
+    }
+}

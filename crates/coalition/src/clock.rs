@@ -1,0 +1,103 @@
+//! The shared virtual clock.
+//!
+//! The paper assumes a continuous time model with *no global physical
+//! clock*; each server timestamps proofs with its local view. The
+//! emulation uses one shared virtual clock advanced by the scheduler,
+//! which both keeps runs reproducible and models the paper's time line ℝ
+//! directly. An optional per-server skew can be applied to model the
+//! absence of a global clock.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use stacl_temporal::{TimeDelta, TimePoint};
+
+/// A monotone virtual clock shared by every component of a simulation.
+#[derive(Clone, Debug)]
+pub struct VirtualClock {
+    inner: Arc<Mutex<TimePoint>>,
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        VirtualClock::new()
+    }
+}
+
+impl VirtualClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> Self {
+        VirtualClock {
+            inner: Arc::new(Mutex::new(TimePoint::ZERO)),
+        }
+    }
+
+    /// A clock starting at an arbitrary origin.
+    pub fn starting_at(t: TimePoint) -> Self {
+        VirtualClock {
+            inner: Arc::new(Mutex::new(t)),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> TimePoint {
+        *self.inner.lock()
+    }
+
+    /// Advance the clock by a non-negative delta, returning the new time.
+    pub fn advance(&self, by: TimeDelta) -> TimePoint {
+        assert!(by.is_non_negative(), "clock cannot run backwards");
+        let mut t = self.inner.lock();
+        *t = *t + by;
+        *t
+    }
+
+    /// Jump the clock forward to `target` (no-op if already past it).
+    pub fn advance_to(&self, target: TimePoint) -> TimePoint {
+        let mut t = self.inner.lock();
+        if target > *t {
+            *t = target;
+        }
+        *t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), TimePoint::ZERO);
+    }
+
+    #[test]
+    fn advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.advance(TimeDelta::new(2.5)), TimePoint::new(2.5));
+        assert_eq!(c.advance(TimeDelta::new(0.5)), TimePoint::new(3.0));
+        assert_eq!(c.now(), TimePoint::new(3.0));
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = VirtualClock::starting_at(TimePoint::new(10.0));
+        assert_eq!(c.advance_to(TimePoint::new(5.0)), TimePoint::new(10.0));
+        assert_eq!(c.advance_to(TimePoint::new(12.0)), TimePoint::new(12.0));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = VirtualClock::new();
+        let c2 = c.clone();
+        c.advance(TimeDelta::new(1.0));
+        assert_eq!(c2.now(), TimePoint::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn negative_advance_panics() {
+        VirtualClock::new().advance(TimeDelta::new(-1.0));
+    }
+}

@@ -1,0 +1,236 @@
+//! The coalition server/resource registry.
+//!
+//! Tracks which coalition servers exist, which shared resources each one
+//! hosts, and which operations each resource supports. Private resources
+//! (§2: "private resources in a site can be accessed under local control")
+//! are out of scope — only *shared* resources are registered here.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use stacl_sral::ast::{name, Name};
+use stacl_sral::Access;
+
+/// A shared resource hosted by a server: its name and supported operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResourceInfo {
+    /// The resource name.
+    pub resource: Name,
+    /// Operations the resource supports (e.g. read/write/execute).
+    pub ops: BTreeSet<Name>,
+}
+
+/// The static topology of a coalition environment.
+#[derive(Clone, Default, Debug)]
+pub struct CoalitionEnv {
+    /// server → resource → supported ops.
+    servers: BTreeMap<Name, BTreeMap<Name, BTreeSet<Name>>>,
+}
+
+/// Errors raised when resolving an access against the environment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EnvError {
+    /// The named server is not part of the coalition.
+    UnknownServer(String),
+    /// The server exists but does not host the resource.
+    UnknownResource(String, String),
+    /// The resource exists but does not support the operation.
+    UnsupportedOp(String, String, String),
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::UnknownServer(s) => write!(f, "unknown coalition server `{s}`"),
+            EnvError::UnknownResource(s, r) => {
+                write!(f, "server `{s}` hosts no shared resource `{r}`")
+            }
+            EnvError::UnsupportedOp(s, r, op) => {
+                write!(f, "resource `{r}` at `{s}` does not support operation `{op}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+impl CoalitionEnv {
+    /// An empty coalition.
+    pub fn new() -> Self {
+        CoalitionEnv::default()
+    }
+
+    /// Add a server (idempotent).
+    pub fn add_server(&mut self, server: impl AsRef<str>) -> &mut Self {
+        self.servers.entry(name(server)).or_default();
+        self
+    }
+
+    /// Register a shared resource on a server with its supported
+    /// operations, creating the server if needed. Repeated registration
+    /// unions the operation sets.
+    pub fn add_resource<S: AsRef<str>>(
+        &mut self,
+        server: impl AsRef<str>,
+        resource: impl AsRef<str>,
+        ops: impl IntoIterator<Item = S>,
+    ) -> &mut Self {
+        let entry = self
+            .servers
+            .entry(name(server))
+            .or_default()
+            .entry(name(resource))
+            .or_default();
+        for op in ops {
+            entry.insert(name(op));
+        }
+        self
+    }
+
+    /// Does the coalition contain this server?
+    pub fn has_server(&self, server: &str) -> bool {
+        self.servers.contains_key(server)
+    }
+
+    /// Validate an access against the topology: the server must exist,
+    /// host the resource, and support the operation.
+    pub fn resolve(&self, access: &Access) -> Result<(), EnvError> {
+        let resources = self
+            .servers
+            .get(&access.server)
+            .ok_or_else(|| EnvError::UnknownServer(access.server.to_string()))?;
+        let ops = resources.get(&access.resource).ok_or_else(|| {
+            EnvError::UnknownResource(access.server.to_string(), access.resource.to_string())
+        })?;
+        if ops.contains(&access.op) {
+            Ok(())
+        } else {
+            Err(EnvError::UnsupportedOp(
+                access.server.to_string(),
+                access.resource.to_string(),
+                access.op.to_string(),
+            ))
+        }
+    }
+
+    /// All servers, in name order.
+    pub fn servers(&self) -> impl Iterator<Item = &Name> {
+        self.servers.keys()
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The resources hosted by `server`, in name order.
+    pub fn resources_of(&self, server: &str) -> impl Iterator<Item = ResourceInfo> + '_ {
+        self.servers
+            .get(server)
+            .into_iter()
+            .flat_map(|m| m.iter())
+            .map(|(r, ops)| ResourceInfo {
+                resource: r.clone(),
+                ops: ops.clone(),
+            })
+    }
+
+    /// Which servers host a resource with this name (resources may be
+    /// replicated or sharded across the coalition).
+    pub fn servers_hosting(&self, resource: &str) -> Vec<Name> {
+        self.servers
+            .iter()
+            .filter(|(_, m)| m.contains_key(resource))
+            .map(|(s, _)| s.clone())
+            .collect()
+    }
+
+    /// Every valid access in the environment, enumerated deterministically
+    /// (useful for workload generation).
+    pub fn all_accesses(&self) -> Vec<Access> {
+        let mut out = Vec::new();
+        for (s, resources) in &self.servers {
+            for (r, ops) in resources {
+                for op in ops {
+                    out.push(Access {
+                        op: op.clone(),
+                        resource: r.clone(),
+                        server: s.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> CoalitionEnv {
+        let mut e = CoalitionEnv::new();
+        e.add_resource("s1", "db", ["read", "write"])
+            .add_resource("s1", "app", ["exec"])
+            .add_resource("s2", "db", ["read"])
+            .add_server("s3");
+        e
+    }
+
+    #[test]
+    fn resolve_valid_access() {
+        let e = env();
+        assert!(e.resolve(&Access::new("read", "db", "s1")).is_ok());
+        assert!(e.resolve(&Access::new("exec", "app", "s1")).is_ok());
+    }
+
+    #[test]
+    fn resolve_errors_are_specific() {
+        let e = env();
+        assert!(matches!(
+            e.resolve(&Access::new("read", "db", "s9")),
+            Err(EnvError::UnknownServer(_))
+        ));
+        assert!(matches!(
+            e.resolve(&Access::new("read", "app", "s2")),
+            Err(EnvError::UnknownResource(_, _))
+        ));
+        assert!(matches!(
+            e.resolve(&Access::new("write", "db", "s2")),
+            Err(EnvError::UnsupportedOp(_, _, _))
+        ));
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_unioning() {
+        let mut e = env();
+        e.add_resource("s1", "db", ["read"]); // already there
+        e.add_resource("s1", "db", ["delete"]); // union in a new op
+        assert!(e.resolve(&Access::new("delete", "db", "s1")).is_ok());
+        assert_eq!(e.server_count(), 3);
+    }
+
+    #[test]
+    fn servers_hosting_finds_replicas() {
+        let e = env();
+        let hosts = e.servers_hosting("db");
+        assert_eq!(hosts.len(), 2);
+        assert!(e.servers_hosting("nothing").is_empty());
+    }
+
+    #[test]
+    fn empty_server_has_no_resources() {
+        let e = env();
+        assert!(e.has_server("s3"));
+        assert_eq!(e.resources_of("s3").count(), 0);
+    }
+
+    #[test]
+    fn all_accesses_enumeration() {
+        let e = env();
+        let all = e.all_accesses();
+        // s1: db(read,write) + app(exec) = 3; s2: db(read) = 1.
+        assert_eq!(all.len(), 4);
+        assert!(all.contains(&Access::new("write", "db", "s1")));
+    }
+}

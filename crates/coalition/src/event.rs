@@ -1,0 +1,138 @@
+//! A generic discrete-event queue for the simulation core.
+//!
+//! Events are ordered by virtual time, with a monotone sequence number as
+//! the tiebreaker so that simultaneous events fire in submission order —
+//! this keeps every run fully deterministic regardless of hash-map
+//! iteration or thread scheduling.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use stacl_temporal::TimePoint;
+
+/// A time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: TimePoint,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at `time`.
+    pub fn schedule(&mut self, time: TimePoint, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Remove and return the earliest event with its time.
+    pub fn pop(&mut self) -> Option<(TimePoint, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<TimePoint> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(tp(3.0), "c");
+        q.schedule(tp(1.0), "a");
+        q.schedule(tp(2.0), "b");
+        assert_eq!(q.pop(), Some((tp(1.0), "a")));
+        assert_eq!(q.pop(), Some((tp(2.0), "b")));
+        assert_eq!(q.pop(), Some((tp(3.0), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_submission_order() {
+        let mut q = EventQueue::new();
+        q.schedule(tp(1.0), "first");
+        q.schedule(tp(1.0), "second");
+        q.schedule(tp(1.0), "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(tp(5.0), ());
+        assert_eq!(q.peek_time(), Some(tp(5.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(tp(2.0), 2);
+        assert_eq!(q.pop(), Some((tp(2.0), 2)));
+        q.schedule(tp(1.0), 1);
+        q.schedule(tp(3.0), 3);
+        assert_eq!(q.pop(), Some((tp(1.0), 1)));
+        assert_eq!(q.pop(), Some((tp(3.0), 3)));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! The access-decision audit log.
+//!
+//! Every grant or denial made by a security guard is recorded with its
+//! reason — the raw material for the overhead experiments (E4/E6) and for
+//! demonstrating *who wins where* against the baseline models.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use stacl_sral::ast::Name;
+use stacl_sral::Access;
+use stacl_temporal::TimePoint;
+
+/// Why an access was granted or denied.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecisionKind {
+    /// Granted: all checks passed.
+    Granted,
+    /// Denied: the requesting subject holds no role granting the
+    /// permission.
+    DeniedNoPermission,
+    /// Denied: a spatial (SRAC) constraint failed.
+    DeniedSpatial {
+        /// Rendering of the failed constraint.
+        constraint: String,
+    },
+    /// Denied: the temporal validity duration was exhausted or the
+    /// permission was not yet valid.
+    DeniedTemporal {
+        /// Human-readable reason (e.g. "validity duration exhausted").
+        reason: String,
+    },
+    /// Denied: the access does not resolve in the coalition topology.
+    DeniedUnknownTarget {
+        /// The topology error text.
+        reason: String,
+    },
+}
+
+impl DecisionKind {
+    /// True for `Granted`.
+    pub fn is_granted(&self) -> bool {
+        matches!(self, DecisionKind::Granted)
+    }
+}
+
+/// One audit-log entry.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Decision {
+    /// The requesting mobile object.
+    pub object: Name,
+    /// The requested access.
+    pub access: Access,
+    /// When the decision was made.
+    pub time: TimePoint,
+    /// The outcome.
+    pub kind: DecisionKind,
+}
+
+/// A shared, append-only audit log.
+#[derive(Clone, Default, Debug)]
+pub struct AccessLog {
+    inner: Arc<RwLock<Vec<Decision>>>,
+}
+
+impl AccessLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        AccessLog::default()
+    }
+
+    /// Append a decision.
+    pub fn record(&self, object: impl AsRef<str>, access: Access, time: TimePoint, kind: DecisionKind) {
+        self.inner.write().push(Decision {
+            object: stacl_sral::ast::name(object),
+            access,
+            time,
+            kind,
+        });
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Number of grants.
+    pub fn granted_count(&self) -> usize {
+        self.inner.read().iter().filter(|d| d.kind.is_granted()).count()
+    }
+
+    /// Number of denials.
+    pub fn denied_count(&self) -> usize {
+        self.len() - self.granted_count()
+    }
+
+    /// A snapshot of all decisions in order.
+    pub fn snapshot(&self) -> Vec<Decision> {
+        self.inner.read().clone()
+    }
+
+    /// Decisions for one object, in order.
+    pub fn for_object(&self, object: &str) -> Vec<Decision> {
+        self.inner
+            .read()
+            .iter()
+            .filter(|d| &*d.object == object)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    #[test]
+    fn record_and_count() {
+        let log = AccessLog::new();
+        log.record("o", Access::new("read", "r", "s"), tp(0.0), DecisionKind::Granted);
+        log.record(
+            "o",
+            Access::new("write", "r", "s"),
+            tp(1.0),
+            DecisionKind::DeniedSpatial {
+                constraint: "count(0, 5, resource=r)".into(),
+            },
+        );
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.granted_count(), 1);
+        assert_eq!(log.denied_count(), 1);
+    }
+
+    #[test]
+    fn filter_by_object() {
+        let log = AccessLog::new();
+        log.record("a", Access::new("x", "r", "s"), tp(0.0), DecisionKind::Granted);
+        log.record("b", Access::new("y", "r", "s"), tp(0.0), DecisionKind::Granted);
+        assert_eq!(log.for_object("a").len(), 1);
+        assert_eq!(log.for_object("c").len(), 0);
+    }
+
+    #[test]
+    fn decision_kinds_classify() {
+        assert!(DecisionKind::Granted.is_granted());
+        assert!(!DecisionKind::DeniedNoPermission.is_granted());
+        assert!(!DecisionKind::DeniedTemporal {
+            reason: "expired".into()
+        }
+        .is_granted());
+    }
+}

@@ -1,0 +1,173 @@
+//! Execution proofs — the paper's `Pr_x(·)`.
+//!
+//! §2: "when an access request to a shared resource is executed by a
+//! coalition server, an execution proof will be issued to the mobile
+//! object. It records the information of (o, op, r, s) for the access, and
+//! the execution time." The proof store carries the proofs a mobile object
+//! has accumulated across servers; `Pr_x(a)` is true iff a proof for `a`
+//! exists.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use stacl_sral::ast::Name;
+use stacl_sral::Access;
+use stacl_temporal::TimePoint;
+use stacl_trace::{AccessTable, Trace};
+
+/// One execution proof: who did what, where, when.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExecutionProof {
+    /// The mobile object the proof was issued to.
+    pub object: Name,
+    /// The proven access (op, resource, server).
+    pub access: Access,
+    /// The server-local execution time.
+    pub time: TimePoint,
+    /// Monotone sequence number within the store (issue order).
+    pub seq: u64,
+}
+
+/// A mobile object's collection of execution proofs, in issue order.
+#[derive(Clone, Default, Debug)]
+pub struct ProofStore {
+    inner: Arc<RwLock<Vec<ExecutionProof>>>,
+}
+
+impl ProofStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ProofStore::default()
+    }
+
+    /// Issue a proof for `access` by `object` at `time`, returning it.
+    pub fn issue(&self, object: impl AsRef<str>, access: Access, time: TimePoint) -> ExecutionProof {
+        let mut v = self.inner.write();
+        let proof = ExecutionProof {
+            object: stacl_sral::ast::name(object),
+            access,
+            time,
+            seq: v.len() as u64,
+        };
+        v.push(proof.clone());
+        proof
+    }
+
+    /// `Pr_x(a)`: does a proof for this exact access exist (for any
+    /// object)?
+    pub fn proven(&self, access: &Access) -> bool {
+        self.inner.read().iter().any(|p| &p.access == access)
+    }
+
+    /// `Pr_x(a)` restricted to one mobile object.
+    pub fn proven_by(&self, object: &str, access: &Access) -> bool {
+        self.inner
+            .read()
+            .iter()
+            .any(|p| &*p.object == object && &p.access == access)
+    }
+
+    /// The history trace of one object (its proven accesses in issue
+    /// order), interned through `table`.
+    pub fn history_of(&self, object: &str, table: &mut AccessTable) -> Trace {
+        Trace::from_ids(
+            self.inner
+                .read()
+                .iter()
+                .filter(|p| &*p.object == object)
+                .map(|p| table.intern(&p.access)),
+        )
+    }
+
+    /// The combined history of *all* objects in issue order — the
+    /// coalition-wide view used for teamwork constraints ("the previous
+    /// access actions of the device and even of its companions", §1).
+    pub fn combined_history(&self, table: &mut AccessTable) -> Trace {
+        Trace::from_ids(self.inner.read().iter().map(|p| table.intern(&p.access)))
+    }
+
+    /// Count proven accesses matching a predicate.
+    pub fn count_matching(&self, mut pred: impl FnMut(&ExecutionProof) -> bool) -> usize {
+        self.inner.read().iter().filter(|p| pred(p)).count()
+    }
+
+    /// Total number of proofs.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no proofs have been issued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// A snapshot of all proofs, in issue order.
+    pub fn snapshot(&self) -> Vec<ExecutionProof> {
+        self.inner.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    #[test]
+    fn issue_and_query() {
+        let store = ProofStore::new();
+        let a = Access::new("read", "db", "s1");
+        assert!(!store.proven(&a));
+        store.issue("naplet-1", a.clone(), tp(1.0));
+        assert!(store.proven(&a));
+        assert!(store.proven_by("naplet-1", &a));
+        assert!(!store.proven_by("naplet-2", &a));
+    }
+
+    #[test]
+    fn seq_numbers_are_monotone() {
+        let store = ProofStore::new();
+        let p0 = store.issue("o", Access::new("a", "r", "s"), tp(0.0));
+        let p1 = store.issue("o", Access::new("b", "r", "s"), tp(1.0));
+        assert_eq!(p0.seq, 0);
+        assert_eq!(p1.seq, 1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn history_preserves_order_and_object_filter() {
+        let store = ProofStore::new();
+        store.issue("o1", Access::new("a", "r", "s1"), tp(0.0));
+        store.issue("o2", Access::new("x", "r", "s1"), tp(0.5));
+        store.issue("o1", Access::new("b", "r", "s2"), tp(1.0));
+        let mut table = AccessTable::new();
+        let h = store.history_of("o1", &mut table);
+        assert_eq!(h.len(), 2);
+        assert_eq!(table.resolve(h.0[0]), &Access::new("a", "r", "s1"));
+        assert_eq!(table.resolve(h.0[1]), &Access::new("b", "r", "s2"));
+        let all = store.combined_history(&mut table);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn count_matching_by_server() {
+        let store = ProofStore::new();
+        store.issue("o", Access::new("exec", "rsw", "s1"), tp(0.0));
+        store.issue("o", Access::new("exec", "rsw", "s1"), tp(1.0));
+        store.issue("o", Access::new("exec", "rsw", "s2"), tp(2.0));
+        let on_s1 = store.count_matching(|p| &*p.access.server == "s1");
+        assert_eq!(on_s1, 2);
+    }
+
+    #[test]
+    fn snapshot_is_stable() {
+        let store = ProofStore::new();
+        store.issue("o", Access::new("a", "r", "s"), tp(0.0));
+        let snap = store.snapshot();
+        store.issue("o", Access::new("b", "r", "s"), tp(1.0));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(store.len(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! The signal board — `signal(ξ)` / `wait(ξ)` order synchronisation.
+//!
+//! Definition 3.1: `signal(ξ)` must be performed before `wait(ξ)` can
+//! proceed. Signals are sticky (once raised they stay raised), matching
+//! the paper's order-synchronisation reading; a consuming variant is also
+//! provided for producer/consumer patterns.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use stacl_sral::ast::{name, Name};
+
+/// A board of named sticky signals, shareable across threads.
+#[derive(Clone, Default, Debug)]
+pub struct SignalBoard {
+    /// signal → number of times raised.
+    inner: Arc<Mutex<HashMap<Name, u64>>>,
+}
+
+impl SignalBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        SignalBoard::default()
+    }
+
+    /// Raise a signal (the `signal(ξ)` action).
+    pub fn raise(&self, sig: impl AsRef<str>) {
+        *self.inner.lock().entry(name(sig)).or_insert(0) += 1;
+    }
+
+    /// Has the signal been raised at least once? (The `wait(ξ)` guard:
+    /// when false, the waiting agent parks.)
+    pub fn is_raised(&self, sig: &str) -> bool {
+        self.inner.lock().get(sig).copied().unwrap_or(0) > 0
+    }
+
+    /// Number of times the signal has been raised.
+    pub fn count(&self, sig: &str) -> u64 {
+        self.inner.lock().get(sig).copied().unwrap_or(0)
+    }
+
+    /// Consume one raising of the signal, returning whether one was
+    /// available — for rendezvous-style uses where each `signal` admits
+    /// exactly one `wait`.
+    pub fn try_consume(&self, sig: &str) -> bool {
+        let mut map = self.inner.lock();
+        match map.get_mut(sig) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sticky_semantics() {
+        let b = SignalBoard::new();
+        assert!(!b.is_raised("go"));
+        b.raise("go");
+        assert!(b.is_raised("go"));
+        assert!(b.is_raised("go"), "signals stay raised");
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let b = SignalBoard::new();
+        b.raise("x");
+        b.raise("x");
+        assert_eq!(b.count("x"), 2);
+        assert_eq!(b.count("y"), 0);
+    }
+
+    #[test]
+    fn consume_decrements() {
+        let b = SignalBoard::new();
+        b.raise("x");
+        assert!(b.try_consume("x"));
+        assert!(!b.try_consume("x"));
+        assert!(!b.is_raised("x"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let b = SignalBoard::new();
+        let b2 = b.clone();
+        b.raise("go");
+        assert!(b2.is_raised("go"));
+    }
+}

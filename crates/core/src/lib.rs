@@ -1,0 +1,89 @@
+//! # stacl — coordinated spatio-temporal access control for mobile
+//! computing in coalition environments
+//!
+//! A Rust implementation of Fu & Xu, *"A Coordinated Spatio-Temporal
+//! Access Control Model for Mobile Computing in Coalition Environments"*
+//! (IPPS 2005). Mobile objects roam a coalition of cooperating servers;
+//! their behaviour is declared in the **SRAL** access language, their
+//! spatial obligations in the **SRAC** constraint language, and their
+//! temporal budgets as continuous-time validity durations — all enforced
+//! by an extended **RBAC** gate inside a Naplet-style mobile-agent
+//! system.
+//!
+//! This facade crate re-exports the component crates and adds the
+//! [`integrity`] module implementing the paper's §6 worked example
+//! (distributed software-module integrity verification).
+//!
+//! | Paper concept | Crate |
+//! |---|---|
+//! | SRAL programs (Def. 3.1) | [`sral`] |
+//! | Trace models, Theorem 3.1 (Defs. 3.2–3.3) | [`trace`] |
+//! | SRAC constraints, Theorem 3.2 (Defs. 3.4–3.7) | [`srac`] |
+//! | Continuous time, Eq. 4.1, Theorem 4.1 | [`temporal`] |
+//! | Extended RBAC (Eq. 3.1, §3.4) | [`rbac`] |
+//! | Coalition substrate (§2) | [`coalition`] |
+//! | Naplet emulation (§5) | [`naplet`] |
+//! | Related-work comparators (§7) | [`baselines`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stacl::prelude::*;
+//! use stacl::sral::parser::parse_program;
+//! use stacl::rbac::policy::parse_policy;
+//!
+//! // Topology: two servers sharing a database.
+//! let mut env = CoalitionEnv::new();
+//! env.add_resource("s1", "db", ["read"]);
+//! env.add_resource("s2", "db", ["read"]);
+//!
+//! // Policy: readers may read the db anywhere, at most 3 times total.
+//! let model = parse_policy(r#"
+//!     user  n1
+//!     role  reader
+//!     permission p-read grants=read:db:* spatial="count(0, 3, resource=db)"
+//!     grant reader p-read
+//!     assign n1 reader
+//! "#).unwrap();
+//! let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+//! guard.enroll("n1", ["reader"]);
+//!
+//! // An agent reading on both servers.
+//! let mut sys = NapletSystem::new(env, Box::new(guard));
+//! let prog = parse_program("read db @ s1 ; read db @ s2").unwrap();
+//! sys.spawn(NapletSpec::new("n1", "s1", prog));
+//! let report = sys.run();
+//! assert_eq!(report.finished, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod integrity;
+
+pub use stacl_baselines as baselines;
+pub use stacl_coalition as coalition;
+pub use stacl_naplet as naplet;
+pub use stacl_rbac as rbac;
+pub use stacl_sral as sral;
+pub use stacl_srac as srac;
+pub use stacl_temporal as temporal;
+pub use stacl_trace as trace;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use stacl_baselines::{LocalHistoryGuard, PlainRbacGuard, TrbacGuard};
+    pub use stacl_coalition::{
+        AccessLog, ChannelHub, CoalitionEnv, DecisionKind, ExecutionProof, ProofStore,
+        SignalBoard, VirtualClock,
+    };
+    pub use stacl_naplet::prelude::*;
+    pub use stacl_rbac::{
+        AccessPattern, AccessRequest, ExtendedRbac, HistoryScope, Permission, PermissionState,
+        RbacModel,
+    };
+    pub use stacl_sral::{Access, Cond, Env, Expr, Program, Value};
+    pub use stacl_srac::{check_program, Constraint, Selector, Semantics, Verdict};
+    pub use stacl_temporal::{BaseTimeScheme, PermissionTimeline, StepFn, TimeDelta, TimePoint};
+    pub use stacl_trace::{AccessId, AccessTable, Dfa, Regex, Trace};
+}

@@ -1,0 +1,155 @@
+//! Agent specifications and run-time status.
+
+use std::sync::Arc;
+
+use stacl_sral::ast::{name, Name};
+use stacl_sral::{Env, Program};
+
+/// Application-specific lifecycle hooks — the Naplet object's "hooks for
+/// application-specific functions to be performed in different stages of
+/// its life cycle in each server" (§5).
+///
+/// Hooks run synchronously inside the scheduler with mutable access to
+/// the agent's variable environment, so applications can seed per-server
+/// state (e.g. a guard condition the SRAL program branches on).
+/// All methods default to no-ops.
+pub trait Hooks: Send + Sync {
+    /// The agent was created at its home server.
+    fn on_create(&self, _env: &mut Env, _server: &str) {}
+    /// The agent arrived at a server after a migration.
+    fn on_arrival(&self, _env: &mut Env, _server: &str) {}
+    /// The agent is about to leave a server.
+    fn on_departure(&self, _env: &mut Env, _server: &str) {}
+    /// The agent completed its program (read-only view of its state).
+    fn on_finish(&self, _env: &Env) {}
+}
+
+/// The no-op hook set.
+pub struct NoHooks;
+
+impl Hooks for NoHooks {}
+
+/// What an agent does when the security guard denies one of its accesses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OnDeny {
+    /// Abort the whole agent (the Naplet prototype throws a
+    /// `SecurityException`). The default.
+    #[default]
+    Abort,
+    /// Skip the denied access and continue with the rest of the program
+    /// (useful for best-effort sweeps and for measuring denial rates).
+    Skip,
+}
+
+/// A specification for one mobile agent: identity, starting server,
+/// program and initial variable bindings.
+#[derive(Clone)]
+pub struct NapletSpec {
+    /// The agent's unique name (also its RBAC user identity).
+    pub name: Name,
+    /// The server where the agent is created (its home).
+    pub home: Name,
+    /// The SRAL program it executes.
+    pub program: Program,
+    /// Initial variable environment.
+    pub env: Env,
+    /// Denial behaviour.
+    pub on_deny: OnDeny,
+    /// Lifecycle hooks (default: no-ops).
+    pub hooks: Arc<dyn Hooks>,
+}
+
+impl std::fmt::Debug for NapletSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NapletSpec")
+            .field("name", &self.name)
+            .field("home", &self.home)
+            .field("program", &self.program)
+            .field("env", &self.env)
+            .field("on_deny", &self.on_deny)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NapletSpec {
+    /// A new agent spec with an empty environment and abort-on-deny.
+    pub fn new(name_: impl AsRef<str>, home: impl AsRef<str>, program: Program) -> Self {
+        NapletSpec {
+            name: name(name_),
+            home: name(home),
+            program,
+            env: Env::new(),
+            on_deny: OnDeny::Abort,
+            hooks: Arc::new(NoHooks),
+        }
+    }
+
+    /// Set the initial environment.
+    pub fn with_env(mut self, env: Env) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Set the denial behaviour.
+    pub fn with_on_deny(mut self, on_deny: OnDeny) -> Self {
+        self.on_deny = on_deny;
+        self
+    }
+
+    /// Attach lifecycle hooks.
+    pub fn with_hooks(mut self, hooks: Arc<dyn Hooks>) -> Self {
+        self.hooks = hooks;
+        self
+    }
+}
+
+/// The terminal status of an agent after a run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AgentStatus {
+    /// Ran its whole program.
+    Finished,
+    /// Aborted after a denied access (the denial reason is in the access
+    /// log).
+    Aborted,
+    /// Still blocked when the system ran out of work — part of a deadlock
+    /// (or waiting for a companion that never came).
+    Deadlocked,
+    /// Stopped because the scheduler hit its step budget.
+    OutOfBudget,
+    /// A run-time evaluation error (unbound variable, division by zero).
+    Faulted(String),
+}
+
+impl AgentStatus {
+    /// True for `Finished`.
+    pub fn is_finished(&self) -> bool {
+        matches!(self, AgentStatus::Finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacl_sral::builder::access;
+    use stacl_sral::Value;
+
+    #[test]
+    fn spec_builders() {
+        let mut env = Env::new();
+        env.set("k", Value::Int(3));
+        let spec = NapletSpec::new("n1", "home", access("read", "r", "s"))
+            .with_env(env)
+            .with_on_deny(OnDeny::Skip);
+        assert_eq!(&*spec.name, "n1");
+        assert_eq!(&*spec.home, "home");
+        assert_eq!(spec.on_deny, OnDeny::Skip);
+        assert_eq!(spec.env.get("k"), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(AgentStatus::Finished.is_finished());
+        assert!(!AgentStatus::Aborted.is_finished());
+        assert!(!AgentStatus::Faulted("x".into()).is_finished());
+    }
+}

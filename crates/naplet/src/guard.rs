@@ -1,0 +1,331 @@
+//! The security-guard interception point — the Rust counterpart of the
+//! Naplet prototype's `NapletSecurityManager` (§5.2).
+//!
+//! Every shared-resource access an agent attempts flows through exactly
+//! one [`SecurityGuard::check`] call carrying the requesting object, the
+//! access, the object's *remaining program* and the current time; the
+//! guard also sees the proof store (the object's cross-server history) and
+//! may record state of its own.
+
+use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_rbac::{AccessRequest, ExtendedRbac, SessionId};
+use stacl_sral::{Access, Program};
+use stacl_srac::Constraint;
+use stacl_temporal::TimePoint;
+use stacl_trace::AccessTable;
+
+use std::collections::HashMap;
+
+/// One interception: everything a guard may consult.
+pub struct GuardRequest<'a> {
+    /// The requesting mobile object.
+    pub object: &'a str,
+    /// The access being attempted.
+    pub access: &'a Access,
+    /// The object's remaining program (declared future behaviour),
+    /// including the access being attempted.
+    pub remaining: &'a Program,
+    /// Current virtual time.
+    pub time: TimePoint,
+}
+
+/// The interception interface.
+pub trait SecurityGuard: Send {
+    /// Decide the request. Proof issuance and logging are done by the
+    /// system after a grant.
+    fn check(
+        &mut self,
+        req: &GuardRequest<'_>,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> DecisionKind;
+
+    /// Notification that `object` arrived at a server (migration or
+    /// creation) — lets temporal schemes refill per-server budgets.
+    fn note_arrival(&mut self, _object: &str, _time: TimePoint) {}
+}
+
+/// A guard that grants everything — the no-access-control baseline and
+/// the default for substrate tests.
+pub struct PermissiveGuard;
+
+impl SecurityGuard for PermissiveGuard {
+    fn check(
+        &mut self,
+        _req: &GuardRequest<'_>,
+        _proofs: &ProofStore,
+        _table: &mut AccessTable,
+    ) -> DecisionKind {
+        DecisionKind::Granted
+    }
+}
+
+/// How the coordinated guard interprets the spatial constraint at each
+/// interception.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EnforcementMode {
+    /// **Preventive** (Eq. 3.1 verbatim): the object's *entire declared
+    /// remaining program* must satisfy the constraint on every trace. An
+    /// over-committing program is denied at its very first access, before
+    /// any damage. The default.
+    #[default]
+    Preventive,
+    /// **Reactive**: only the proven history plus the access being
+    /// attempted are checked. Denial happens exactly at the access that
+    /// would cross the line — the reading behind the paper's motivating
+    /// "overused on s1 ⇒ denied on s2" example.
+    Reactive,
+}
+
+/// The coordinated guard: extended RBAC with spatio-temporal constraints
+/// (the paper's model, end to end).
+///
+/// Each mobile object is an RBAC user; on its first access the guard
+/// opens a session and activates the roles registered for the object via
+/// [`CoordinatedGuard::enroll`].
+pub struct CoordinatedGuard {
+    rbac: ExtendedRbac,
+    /// object → roles to activate on first contact.
+    enrollments: HashMap<String, Vec<String>>,
+    /// object → open session.
+    sessions: HashMap<String, SessionId>,
+    mode: EnforcementMode,
+    /// Objects whose every decision so far was a grant — the condition
+    /// under which preventive-mode spatial approvals may be reused.
+    clean: HashMap<String, bool>,
+    /// Whether monotone approval reuse is enabled (on by default; turn
+    /// off to measure the unoptimised Eq. 3.1 gate — see E10).
+    approval_reuse: bool,
+}
+
+impl CoordinatedGuard {
+    /// Wrap a configured extended-RBAC instance (preventive mode).
+    pub fn new(rbac: ExtendedRbac) -> Self {
+        CoordinatedGuard {
+            rbac,
+            enrollments: HashMap::new(),
+            sessions: HashMap::new(),
+            mode: EnforcementMode::Preventive,
+            clean: HashMap::new(),
+            approval_reuse: true,
+        }
+    }
+
+    /// Select the enforcement mode.
+    pub fn with_mode(mut self, mode: EnforcementMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enable/disable monotone spatial-approval reuse (default on).
+    pub fn with_approval_reuse(mut self, on: bool) -> Self {
+        self.approval_reuse = on;
+        self
+    }
+
+    /// Register which roles an object activates when it first appears
+    /// (the Naplet authentication + role-activation step of §5.1).
+    pub fn enroll<S: AsRef<str>>(
+        &mut self,
+        object: impl AsRef<str>,
+        roles: impl IntoIterator<Item = S>,
+    ) {
+        self.enrollments.insert(
+            object.as_ref().to_string(),
+            roles.into_iter().map(|r| r.as_ref().to_string()).collect(),
+        );
+    }
+
+    /// Access the underlying RBAC engine (e.g. to inspect permission
+    /// states after a run).
+    pub fn rbac(&self) -> &ExtendedRbac {
+        &self.rbac
+    }
+
+    /// Mutable access to the underlying RBAC engine.
+    pub fn rbac_mut(&mut self) -> &mut ExtendedRbac {
+        &mut self.rbac
+    }
+
+    fn session_for(&mut self, object: &str) -> Option<SessionId> {
+        if let Some(&sid) = self.sessions.get(object) {
+            return Some(sid);
+        }
+        let roles = self.enrollments.get(object)?.clone();
+        let sid = self.rbac.open_session(object, vec![]).ok()?;
+        for role in &roles {
+            // A role the user isn't authorized for fails activation; the
+            // object then simply lacks those permissions.
+            let _ = self.rbac.activate_role(sid, role);
+        }
+        self.sessions.insert(object.to_string(), sid);
+        Some(sid)
+    }
+}
+
+impl SecurityGuard for CoordinatedGuard {
+    fn check(
+        &mut self,
+        req: &GuardRequest<'_>,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> DecisionKind {
+        let Some(sid) = self.session_for(req.object) else {
+            return DecisionKind::DeniedNoPermission;
+        };
+        // In reactive mode only the attempted access itself is declared.
+        let single;
+        let program: &Program = match self.mode {
+            EnforcementMode::Preventive => req.remaining,
+            EnforcementMode::Reactive => {
+                single = Program::Access(req.access.clone());
+                &single
+            }
+        };
+        // Spatial approvals are monotone along clean preventive execution
+        // (see `AccessRequest::reuse_spatial`).
+        let object_clean = *self.clean.get(req.object).unwrap_or(&true);
+        let request = AccessRequest {
+            object: req.object,
+            session: sid,
+            access: req.access,
+            program,
+            time: req.time,
+            reuse_spatial: self.approval_reuse
+                && self.mode == EnforcementMode::Preventive
+                && object_clean,
+        };
+        let decision = self.rbac.decide(&request, proofs, table);
+        self.clean
+            .insert(req.object.to_string(), object_clean && decision.is_granted());
+        decision
+    }
+
+    fn note_arrival(&mut self, object: &str, time: TimePoint) {
+        self.rbac.note_arrival(object, time);
+    }
+}
+
+/// A guard enforcing one global SRAC constraint on every object — handy
+/// for tests and ablations that isolate the spatial checker from RBAC.
+pub struct SpatialOnlyGuard {
+    constraint: Constraint,
+}
+
+impl SpatialOnlyGuard {
+    /// Guard with a single coalition-wide constraint.
+    pub fn new(constraint: Constraint) -> Self {
+        SpatialOnlyGuard { constraint }
+    }
+}
+
+impl SecurityGuard for SpatialOnlyGuard {
+    fn check(
+        &mut self,
+        req: &GuardRequest<'_>,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> DecisionKind {
+        let history = proofs.history_of(req.object, table);
+        let verdict = stacl_srac::check::check_residual(
+            &history,
+            req.remaining,
+            &self.constraint,
+            table,
+            stacl_srac::check::Semantics::ForAll,
+        );
+        if verdict.holds {
+            DecisionKind::Granted
+        } else {
+            DecisionKind::DeniedSpatial {
+                constraint: self.constraint.to_string(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacl_rbac::{AccessPattern, Permission, RbacModel};
+    use stacl_sral::builder::access;
+
+    fn tp(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    #[test]
+    fn permissive_grants_everything() {
+        let mut g = PermissiveGuard;
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let a = Access::new("anything", "at-all", "anywhere");
+        let p = access("anything", "at-all", "anywhere");
+        let req = GuardRequest {
+            object: "o",
+            access: &a,
+            remaining: &p,
+            time: tp(0.0),
+        };
+        assert!(g.check(&req, &proofs, &mut table).is_granted());
+    }
+
+    #[test]
+    fn coordinated_guard_opens_sessions_lazily() {
+        let mut m = RbacModel::new();
+        m.add_user("n1");
+        m.add_role("r");
+        m.add_permission(Permission::new("p", AccessPattern::any()))
+            .unwrap();
+        m.assign_permission("r", "p").unwrap();
+        m.assign_user("n1", "r").unwrap();
+        let mut g = CoordinatedGuard::new(ExtendedRbac::new(m));
+        g.enroll("n1", ["r"]);
+
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let a = Access::new("read", "x", "s");
+        let p = access("read", "x", "s");
+        let req = GuardRequest {
+            object: "n1",
+            access: &a,
+            remaining: &p,
+            time: tp(0.0),
+        };
+        assert!(g.check(&req, &proofs, &mut table).is_granted());
+        // Unenrolled object: denied.
+        let req2 = GuardRequest {
+            object: "stranger",
+            access: &a,
+            remaining: &p,
+            time: tp(0.0),
+        };
+        assert_eq!(
+            g.check(&req2, &proofs, &mut table),
+            DecisionKind::DeniedNoPermission
+        );
+    }
+
+    #[test]
+    fn spatial_only_guard_enforces_constraint() {
+        use stacl_srac::parser::parse_constraint;
+        let mut g = SpatialOnlyGuard::new(parse_constraint("count(0, 1, resource=rsw)").unwrap());
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let a = Access::new("exec", "rsw", "s1");
+        let p = access("exec", "rsw", "s1");
+        let req = GuardRequest {
+            object: "o",
+            access: &a,
+            remaining: &p,
+            time: tp(0.0),
+        };
+        assert!(g.check(&req, &proofs, &mut table).is_granted());
+        // After one proof, a second access would exceed the cap.
+        proofs.issue("o", a.clone(), tp(0.0));
+        assert!(matches!(
+            g.check(&req, &proofs, &mut table),
+            DecisionKind::DeniedSpatial { .. }
+        ));
+    }
+}

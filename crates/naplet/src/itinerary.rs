@@ -1,0 +1,207 @@
+//! Structured itineraries — the "structured navigation facility" of the
+//! Naplet system (§5).
+//!
+//! An itinerary describes the roaming agenda of a mobile device: the
+//! servers to visit and their ordering. Itineraries compose like the
+//! programs they drive: sequential legs, alternative legs (take the
+//! first that resolves) and parallel legs (served by cloned naplets, as
+//! in the §5.2 `ApplAgentProg` example).
+
+use stacl_sral::ast::{name, Name};
+
+/// A travel plan over coalition servers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Itinerary {
+    /// Visit a single server.
+    Visit(Name),
+    /// Visit legs in order.
+    Seq(Vec<Itinerary>),
+    /// Alternative legs: any one of them fulfils this part of the plan.
+    Alt(Vec<Itinerary>),
+    /// Parallel legs: executed by cloned agents.
+    Par(Vec<Itinerary>),
+}
+
+impl Itinerary {
+    /// Visit one server.
+    pub fn visit(server: impl AsRef<str>) -> Self {
+        Itinerary::Visit(name(server))
+    }
+
+    /// A sequential tour of servers.
+    pub fn tour<S: AsRef<str>>(servers: impl IntoIterator<Item = S>) -> Self {
+        Itinerary::Seq(servers.into_iter().map(Itinerary::visit).collect())
+    }
+
+    /// Split a tour into `k` parallel legs of (nearly) equal share — the
+    /// §5.2 pattern where `k` cloned naplets each take `n/k` servers.
+    pub fn split_tour<S: AsRef<str>>(servers: impl IntoIterator<Item = S>, k: usize) -> Self {
+        assert!(k >= 1);
+        let all: Vec<Name> = servers.into_iter().map(name).collect();
+        let per = all.len().div_ceil(k.max(1));
+        let legs: Vec<Itinerary> = all
+            .chunks(per.max(1))
+            .map(|chunk| Itinerary::Seq(chunk.iter().cloned().map(Itinerary::Visit).collect()))
+            .collect();
+        Itinerary::Par(legs)
+    }
+
+    /// The sequential visit order, flattening `Seq` and taking the first
+    /// alternative of every `Alt`; `Par` legs are concatenated (for the
+    /// true parallel reading, see [`Itinerary::parallel_legs`]).
+    pub fn stops(&self) -> Vec<Name> {
+        let mut out = Vec::new();
+        self.collect_stops(&mut out);
+        out
+    }
+
+    fn collect_stops(&self, out: &mut Vec<Name>) {
+        match self {
+            Itinerary::Visit(s) => out.push(s.clone()),
+            Itinerary::Seq(legs) | Itinerary::Par(legs) => {
+                for leg in legs {
+                    leg.collect_stops(out);
+                }
+            }
+            Itinerary::Alt(legs) => {
+                if let Some(first) = legs.first() {
+                    first.collect_stops(out);
+                }
+            }
+        }
+    }
+
+    /// The top-level parallel decomposition: the legs a cloning agent
+    /// hands to its clones (a non-`Par` itinerary is a single leg).
+    pub fn parallel_legs(&self) -> Vec<Itinerary> {
+        match self {
+            Itinerary::Par(legs) => legs.clone(),
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Number of `Visit` leaves.
+    pub fn len(&self) -> usize {
+        match self {
+            Itinerary::Visit(_) => 1,
+            Itinerary::Seq(legs) | Itinerary::Par(legs) | Itinerary::Alt(legs) => {
+                legs.iter().map(Itinerary::len).sum()
+            }
+        }
+    }
+
+    /// True when the itinerary has no stops at all.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Itinerary::Visit(_) => false,
+            Itinerary::Seq(legs) | Itinerary::Par(legs) | Itinerary::Alt(legs) => {
+                legs.iter().all(Itinerary::is_empty)
+            }
+        }
+    }
+}
+
+/// Compile an itinerary into an SRAL program by instantiating `work` at
+/// every visited server: `Seq` legs run in order, `Par` legs run as
+/// cloned strands, `Alt` legs take their first resolvable alternative.
+///
+/// This is the bridge between the paper's "structured navigation
+/// facility" and its access programs: the itinerary shapes the travel,
+/// `work` supplies what the agent does at each stop.
+pub fn itinerary_program(
+    itinerary: &Itinerary,
+    work: &impl Fn(&Name) -> stacl_sral::Program,
+) -> stacl_sral::Program {
+    use stacl_sral::Program;
+    match itinerary {
+        Itinerary::Visit(server) => work(server),
+        Itinerary::Seq(legs) => {
+            Program::seq_all(legs.iter().map(|leg| itinerary_program(leg, work)))
+        }
+        Itinerary::Par(legs) => {
+            Program::par_all(legs.iter().map(|leg| itinerary_program(leg, work)))
+        }
+        Itinerary::Alt(legs) => match legs.first() {
+            Some(first) => itinerary_program(first, work),
+            None => Program::Skip,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tour_orders_stops() {
+        let it = Itinerary::tour(["s1", "s2", "s3"]);
+        let stops: Vec<String> = it.stops().iter().map(|n| n.to_string()).collect();
+        assert_eq!(stops, ["s1", "s2", "s3"]);
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn split_tour_balances() {
+        let it = Itinerary::split_tour(["a", "b", "c", "d", "e"], 2);
+        let legs = it.parallel_legs();
+        assert_eq!(legs.len(), 2);
+        assert_eq!(legs[0].len(), 3);
+        assert_eq!(legs[1].len(), 2);
+        // All stops covered exactly once.
+        let mut all: Vec<String> = it.stops().iter().map(|n| n.to_string()).collect();
+        all.sort();
+        assert_eq!(all, ["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn split_tour_with_k_exceeding_servers() {
+        let it = Itinerary::split_tour(["a", "b"], 5);
+        let legs = it.parallel_legs();
+        assert!(legs.len() <= 5);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn alt_takes_first() {
+        let it = Itinerary::Seq(vec![
+            Itinerary::visit("s1"),
+            Itinerary::Alt(vec![Itinerary::visit("mirror-a"), Itinerary::visit("mirror-b")]),
+        ]);
+        let stops: Vec<String> = it.stops().iter().map(|n| n.to_string()).collect();
+        assert_eq!(stops, ["s1", "mirror-a"]);
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Itinerary::Seq(vec![]).is_empty());
+        assert!(!Itinerary::visit("s").is_empty());
+        assert_eq!(Itinerary::Seq(vec![]).len(), 0);
+    }
+
+    #[test]
+    fn non_par_is_single_leg() {
+        let it = Itinerary::tour(["x", "y"]);
+        assert_eq!(it.parallel_legs().len(), 1);
+    }
+
+    #[test]
+    fn itinerary_compiles_to_program() {
+        use stacl_sral::Program;
+        let work = |s: &Name| {
+            Program::Access(stacl_sral::Access::new("scan", "data", &**s))
+        };
+        let seq = itinerary_program(&Itinerary::tour(["a", "b"]), &work);
+        assert_eq!(seq.to_string(), "scan data @ a ; scan data @ b");
+        let par = itinerary_program(&Itinerary::split_tour(["a", "b"], 2), &work);
+        assert!(matches!(par, Program::Par(_, _)));
+        let alt = itinerary_program(
+            &Itinerary::Alt(vec![Itinerary::visit("m1"), Itinerary::visit("m2")]),
+            &work,
+        );
+        assert_eq!(alt.to_string(), "scan data @ m1");
+        assert_eq!(
+            itinerary_program(&Itinerary::Seq(vec![]), &work),
+            Program::Skip
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! # stacl-naplet — a mobile-agent system emulating mobile computing
+//!
+//! The paper's prototype (§5) is built on Naplet, a Java mobile-agent
+//! framework: agents ("naplets") travel an itinerary across coalition
+//! servers, execute recursively-constructed resource-access patterns, and
+//! every access is intercepted by a `SecurityManager` that enforces the
+//! coordinated spatio-temporal policy. Physical device mobility is
+//! *emulated* by agent migration — exactly the substitution the paper
+//! itself makes (§2).
+//!
+//! This crate is the Rust counterpart:
+//!
+//! * [`agent`] — agent specifications ([`agent::NapletSpec`]) and run-time
+//!   status;
+//! * [`itinerary`] — structured travel plans (sequential, alternative and
+//!   parallel/cloning legs — the paper's "structured navigation facility");
+//! * [`pattern`] — the §5.2 access-pattern constructors (`Singleton`,
+//!   `SeqPattern`, `ParPattern`, `Loop`) compiling to SRAL programs;
+//! * [`guard`] — the [`guard::SecurityGuard`] interception point with a
+//!   [`guard::PermissiveGuard`] (no control) and the
+//!   [`guard::CoordinatedGuard`] (extended RBAC, the paper's
+//!   `NapletSecurityManager`);
+//! * [`system`] — [`system::NapletSystem`]: a deterministic cooperative
+//!   scheduler executing agents' SRAL programs over the coalition
+//!   substrate, with automatic migration, channel/signal blocking,
+//!   execution-proof issuance and virtual-time accounting;
+//! * [`monitor`] — lifecycle-event monitoring (create/arrive/depart/
+//!   block/finish/abort), the "agent monitoring" facility.
+//!
+//! ## Example
+//!
+//! ```
+//! use stacl_naplet::prelude::*;
+//! use stacl_sral::parser::parse_program;
+//!
+//! let mut env = CoalitionEnv::new();
+//! env.add_resource("s1", "db", ["read"]);
+//! env.add_resource("s2", "db", ["read"]);
+//!
+//! let mut sys = NapletSystem::new(env, Box::new(PermissiveGuard));
+//! let prog = parse_program("read db @ s1 ; read db @ s2").unwrap();
+//! sys.spawn(NapletSpec::new("n1", "s1", prog));
+//! let report = sys.run();
+//! assert_eq!(report.finished, 1);
+//! assert_eq!(sys.proofs().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod guard;
+pub mod itinerary;
+pub mod monitor;
+pub mod pattern;
+pub mod system;
+
+/// Convenient re-exports for building Naplet applications.
+pub mod prelude {
+    pub use crate::agent::{AgentStatus, NapletSpec, OnDeny};
+    pub use crate::guard::{CoordinatedGuard, EnforcementMode, PermissiveGuard, SecurityGuard};
+    pub use crate::itinerary::Itinerary;
+    pub use crate::monitor::{LifecycleEvent, Monitor};
+    pub use crate::pattern::{Pattern, Singleton};
+    pub use crate::system::{NapletSystem, RunReport, SystemConfig};
+    pub use stacl_coalition::{CoalitionEnv, DecisionKind};
+}

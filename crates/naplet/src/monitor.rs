@@ -1,0 +1,202 @@
+//! Lifecycle monitoring — the Naplet system's "mechanisms for agent
+//! monitoring \[and\] control".
+//!
+//! The scheduler emits a [`LifecycleEvent`] at every interesting point of
+//! an agent's life; applications and tests inspect the [`Monitor`] after
+//! (or during) a run.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use stacl_sral::ast::Name;
+use stacl_temporal::TimePoint;
+
+/// One lifecycle event.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LifecycleEvent {
+    /// The agent was created at its home server.
+    Created {
+        /// Agent name.
+        agent: Name,
+        /// Home server.
+        server: Name,
+        /// Virtual time.
+        time: TimePoint,
+    },
+    /// The agent departed a server (start of a migration).
+    Departed {
+        /// Agent name.
+        agent: Name,
+        /// Server left behind.
+        server: Name,
+        /// Virtual time.
+        time: TimePoint,
+    },
+    /// The agent arrived at a server (end of a migration).
+    Arrived {
+        /// Agent name.
+        agent: Name,
+        /// New hosting server.
+        server: Name,
+        /// Virtual time.
+        time: TimePoint,
+    },
+    /// The agent cloned a strand for parallel execution.
+    Cloned {
+        /// Agent name.
+        agent: Name,
+        /// Strand index of the clone.
+        strand: usize,
+        /// Virtual time.
+        time: TimePoint,
+    },
+    /// A strand blocked (channel empty or signal unraised).
+    Blocked {
+        /// Agent name.
+        agent: Name,
+        /// What it is waiting for.
+        on: String,
+        /// Virtual time.
+        time: TimePoint,
+    },
+    /// The agent finished its program.
+    Finished {
+        /// Agent name.
+        agent: Name,
+        /// Virtual time.
+        time: TimePoint,
+    },
+    /// The agent aborted (denied access with abort-on-deny, or a fault).
+    Aborted {
+        /// Agent name.
+        agent: Name,
+        /// Why.
+        reason: String,
+        /// Virtual time.
+        time: TimePoint,
+    },
+}
+
+impl LifecycleEvent {
+    /// The agent the event concerns.
+    pub fn agent(&self) -> &Name {
+        match self {
+            LifecycleEvent::Created { agent, .. }
+            | LifecycleEvent::Departed { agent, .. }
+            | LifecycleEvent::Arrived { agent, .. }
+            | LifecycleEvent::Cloned { agent, .. }
+            | LifecycleEvent::Blocked { agent, .. }
+            | LifecycleEvent::Finished { agent, .. }
+            | LifecycleEvent::Aborted { agent, .. } => agent,
+        }
+    }
+}
+
+/// A shared, append-only event sink.
+#[derive(Clone, Default, Debug)]
+pub struct Monitor {
+    inner: Arc<RwLock<Vec<LifecycleEvent>>>,
+}
+
+impl Monitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        Monitor::default()
+    }
+
+    /// Record an event.
+    pub fn emit(&self, event: LifecycleEvent) {
+        self.inner.write().push(event);
+    }
+
+    /// All events so far, in order.
+    pub fn events(&self) -> Vec<LifecycleEvent> {
+        self.inner.read().clone()
+    }
+
+    /// Events for one agent.
+    pub fn events_for(&self, agent: &str) -> Vec<LifecycleEvent> {
+        self.inner
+            .read()
+            .iter()
+            .filter(|e| &**e.agent() == agent)
+            .cloned()
+            .collect()
+    }
+
+    /// The servers an agent visited, in arrival order (home first).
+    pub fn route_of(&self, agent: &str) -> Vec<Name> {
+        self.inner
+            .read()
+            .iter()
+            .filter_map(|e| match e {
+                LifecycleEvent::Created { agent: a, server, .. }
+                | LifecycleEvent::Arrived { agent: a, server, .. }
+                    if &**a == agent =>
+                {
+                    Some(server.clone())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of migrations (arrivals excluding creation) of an agent.
+    pub fn migrations_of(&self, agent: &str) -> usize {
+        self.inner
+            .read()
+            .iter()
+            .filter(|e| matches!(e, LifecycleEvent::Arrived { agent: a, .. } if &**a == agent))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacl_sral::ast::name;
+
+    fn tp(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    #[test]
+    fn emit_and_filter() {
+        let m = Monitor::new();
+        m.emit(LifecycleEvent::Created {
+            agent: name("a"),
+            server: name("s1"),
+            time: tp(0.0),
+        });
+        m.emit(LifecycleEvent::Finished {
+            agent: name("b"),
+            time: tp(1.0),
+        });
+        assert_eq!(m.events().len(), 2);
+        assert_eq!(m.events_for("a").len(), 1);
+        assert_eq!(m.events_for("c").len(), 0);
+    }
+
+    #[test]
+    fn route_tracks_arrivals() {
+        let m = Monitor::new();
+        m.emit(LifecycleEvent::Created {
+            agent: name("a"),
+            server: name("s1"),
+            time: tp(0.0),
+        });
+        m.emit(LifecycleEvent::Departed {
+            agent: name("a"),
+            server: name("s1"),
+            time: tp(1.0),
+        });
+        m.emit(LifecycleEvent::Arrived {
+            agent: name("a"),
+            server: name("s2"),
+            time: tp(2.0),
+        });
+        let route: Vec<String> = m.route_of("a").iter().map(|n| n.to_string()).collect();
+        assert_eq!(route, ["s1", "s2"]);
+        assert_eq!(m.migrations_of("a"), 1);
+    }
+}

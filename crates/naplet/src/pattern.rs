@@ -1,0 +1,274 @@
+//! Recursively-constructed resource-access patterns — the §5.2 SRAL
+//! prototype (`AccessPattn` base with `SeqPattern`, `ParPattern` and
+//! `Loop` composites).
+//!
+//! "Its base is a Singleton pattern, comprising of a single shared
+//! resource access at a server guarded by a pre-condition. Over the set of
+//! access patterns, we define three composite operators … to recursively
+//! form resource accesses of regular trace models."
+//!
+//! Patterns compile to SRAL [`Program`]s via [`Pattern::to_program`]; the
+//! guard pre-condition becomes an `if` wrapper, so the compiled program's
+//! trace model includes both the guarded and skipped behaviours — exactly
+//! what the spatial checker must reason about.
+
+use stacl_sral::ast::Program;
+use stacl_sral::expr::Cond;
+use stacl_sral::Access;
+
+/// The base pattern: one access, optionally guarded by a pre-condition
+/// (the `Checkable` guard of the Naplet API).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Singleton {
+    /// The guard that must hold for the access to run; `None` = always.
+    pub precondition: Option<Cond>,
+    /// The access to perform.
+    pub access: Access,
+    /// An optional signal raised after the access completes (the
+    /// `Observable` report hook of the Naplet API).
+    pub report: Option<String>,
+}
+
+impl Singleton {
+    /// An unguarded access.
+    pub fn new(access: Access) -> Self {
+        Singleton {
+            precondition: None,
+            access,
+            report: None,
+        }
+    }
+
+    /// Guard the access with a pre-condition.
+    pub fn guarded(cond: Cond, access: Access) -> Self {
+        Singleton {
+            precondition: Some(cond),
+            access,
+            report: None,
+        }
+    }
+
+    /// Raise `signal` after the access (result reporting).
+    pub fn reporting(mut self, signal: impl Into<String>) -> Self {
+        self.report = Some(signal.into());
+        self
+    }
+}
+
+/// A recursively-constructed access pattern.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Pattern {
+    /// A single (possibly guarded) access.
+    Single(Singleton),
+    /// `SeqPattern`: patterns in sequence.
+    Seq(Vec<Pattern>),
+    /// `ParPattern`: patterns in parallel (cloned naplets / strands).
+    Par(Vec<Pattern>),
+    /// `Loop`: repeat the body while the pre-condition holds.
+    Loop {
+        /// The loop pre-condition.
+        cond: Cond,
+        /// The repeated pattern.
+        body: Box<Pattern>,
+    },
+}
+
+impl Pattern {
+    /// Shorthand for an unguarded single access.
+    pub fn access(op: impl AsRef<str>, resource: impl AsRef<str>, server: impl AsRef<str>) -> Self {
+        Pattern::Single(Singleton::new(Access::new(op, resource, server)))
+    }
+
+    /// A sequential pattern.
+    pub fn seq(parts: impl IntoIterator<Item = Pattern>) -> Self {
+        Pattern::Seq(parts.into_iter().collect())
+    }
+
+    /// A parallel pattern.
+    pub fn par(parts: impl IntoIterator<Item = Pattern>) -> Self {
+        Pattern::Par(parts.into_iter().collect())
+    }
+
+    /// A loop pattern.
+    pub fn repeat_while(cond: Cond, body: Pattern) -> Self {
+        Pattern::Loop {
+            cond,
+            body: Box::new(body),
+        }
+    }
+
+    /// Compile to an SRAL program.
+    pub fn to_program(&self) -> Program {
+        match self {
+            Pattern::Single(s) => {
+                let mut p = Program::Access(s.access.clone());
+                if let Some(sig) = &s.report {
+                    p = p.then(Program::Signal(stacl_sral::ast::name(sig)));
+                }
+                match &s.precondition {
+                    Some(c) => Program::If {
+                        cond: c.clone(),
+                        then_branch: Box::new(p),
+                        else_branch: Box::new(Program::Skip),
+                    },
+                    None => p,
+                }
+            }
+            Pattern::Seq(parts) => Program::seq_all(parts.iter().map(Pattern::to_program)),
+            Pattern::Par(parts) => Program::par_all(parts.iter().map(Pattern::to_program)),
+            Pattern::Loop { cond, body } => Program::While {
+                cond: cond.clone(),
+                body: Box::new(body.to_program()),
+            },
+        }
+    }
+
+    /// Number of `Singleton` leaves.
+    pub fn len(&self) -> usize {
+        match self {
+            Pattern::Single(_) => 1,
+            Pattern::Seq(ps) | Pattern::Par(ps) => ps.iter().map(Pattern::len).sum(),
+            Pattern::Loop { body, .. } => body.len(),
+        }
+    }
+
+    /// True when the pattern performs no access at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Build the §5.2 `ApplAgentProg`: `k` parallel legs, each a sequential
+/// sweep performing `op` on `resource` at an equal share of `servers`,
+/// with an optional per-access guard.
+pub fn appl_agent_prog<S: AsRef<str>>(
+    op: &str,
+    resource: &str,
+    servers: impl IntoIterator<Item = S>,
+    k: usize,
+    guard: Option<Cond>,
+) -> Pattern {
+    let all: Vec<String> = servers
+        .into_iter()
+        .map(|s| s.as_ref().to_string())
+        .collect();
+    let per = all.len().div_ceil(k.max(1));
+    let legs: Vec<Pattern> = all
+        .chunks(per.max(1))
+        .map(|chunk| {
+            Pattern::seq(chunk.iter().map(|server| {
+                let a = Access::new(op, resource, server);
+                Pattern::Single(match &guard {
+                    Some(c) => Singleton::guarded(c.clone(), a),
+                    None => Singleton::new(a),
+                })
+            }))
+        })
+        .collect();
+    Pattern::par(legs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacl_sral::expr::{CmpOp, Expr};
+
+    #[test]
+    fn singleton_compiles_to_access() {
+        let p = Pattern::access("read", "db", "s1").to_program();
+        assert_eq!(p, Program::Access(Access::new("read", "db", "s1")));
+    }
+
+    #[test]
+    fn guarded_singleton_wraps_in_if() {
+        let cond = Cond::cmp(CmpOp::Gt, Expr::var("x"), Expr::Int(0));
+        let p = Pattern::Single(Singleton::guarded(cond, Access::new("a", "r", "s"))).to_program();
+        match p {
+            Program::If { else_branch, .. } => assert_eq!(*else_branch, Program::Skip),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reporting_singleton_appends_signal() {
+        let p = Pattern::Single(
+            Singleton::new(Access::new("a", "r", "s")).reporting("done"),
+        )
+        .to_program();
+        match p {
+            Program::Seq(_, b) => assert!(matches!(*b, Program::Signal(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn seq_par_loop_compile_structurally() {
+        let pat = Pattern::repeat_while(
+            Cond::cmp(CmpOp::Lt, Expr::var("i"), Expr::Int(2)),
+            Pattern::seq([
+                Pattern::access("a", "r", "s1"),
+                Pattern::par([Pattern::access("b", "r", "s2"), Pattern::access("c", "r", "s3")]),
+            ]),
+        );
+        let p = pat.to_program();
+        assert!(matches!(p, Program::While { .. }));
+        assert_eq!(pat.len(), 3);
+        assert_eq!(p.accesses().count(), 3);
+    }
+
+    #[test]
+    fn appl_agent_prog_splits_servers() {
+        let pat = appl_agent_prog("verify", "mod", ["s1", "s2", "s3", "s4"], 2, None);
+        match &pat {
+            Pattern::Par(legs) => {
+                assert_eq!(legs.len(), 2);
+                assert_eq!(legs[0].len(), 2);
+                assert_eq!(legs[1].len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The compiled program mentions each server exactly once.
+        let prog = pat.to_program();
+        let servers: std::collections::BTreeSet<String> = prog
+            .accesses()
+            .map(|a| a.server.to_string())
+            .collect();
+        assert_eq!(servers.len(), 4);
+    }
+
+    #[test]
+    fn appl_agent_prog_with_guard() {
+        let cond = Cond::Var(stacl_sral::ast::name("ok"));
+        let pat = appl_agent_prog("verify", "mod", ["s1", "s2"], 1, Some(cond));
+        let prog = pat.to_program();
+        // Each access is wrapped in an if.
+        let mut ifs = 0;
+        fn count_ifs(p: &Program, n: &mut usize) {
+            match p {
+                Program::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    *n += 1;
+                    count_ifs(then_branch, n);
+                    count_ifs(else_branch, n);
+                }
+                Program::Seq(a, b) | Program::Par(a, b) => {
+                    count_ifs(a, n);
+                    count_ifs(b, n);
+                }
+                Program::While { body, .. } => count_ifs(body, n),
+                _ => {}
+            }
+        }
+        count_ifs(&prog, &mut ifs);
+        assert_eq!(ifs, 2);
+    }
+
+    #[test]
+    fn empty_pattern_compiles_to_skip() {
+        assert_eq!(Pattern::seq([]).to_program(), Program::Skip);
+        assert!(Pattern::seq([]).is_empty());
+    }
+}

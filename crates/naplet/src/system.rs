@@ -1,0 +1,956 @@
+//! The Naplet system: a deterministic cooperative scheduler that executes
+//! agents' SRAL programs over the coalition substrate.
+//!
+//! Semantics follow Definition 3.1 and the Naplet prototype (§5):
+//!
+//! * **Accesses** `op r @ s` are intercepted by the system's
+//!   [`SecurityGuard`]; a grant issues an execution proof and costs
+//!   [`SystemConfig::access_cost`] virtual seconds. If the agent is not at
+//!   server `s`, it migrates there first (departure/arrival events,
+//!   [`SystemConfig::migration_cost`], per-server budget refills).
+//! * **Channels** `ch?x` / `ch!e` block the receiving strand while empty
+//!   and wake it on send.
+//! * **Signals** `signal(ξ)` / `wait(ξ)` enforce the signal-first order.
+//! * **Parallel composition** clones a strand (the paper's cloned
+//!   naplets); the parent joins both strands before continuing.
+//!
+//! Scheduling is round-robin over runnable strands, with FIFO wake-ups —
+//! fully deterministic, so every test and benchmark is reproducible.
+
+use std::collections::VecDeque;
+
+use stacl_coalition::{
+    AccessLog, ChannelHub, CoalitionEnv, DecisionKind, EventQueue, ProofStore, SignalBoard,
+    VirtualClock,
+};
+use stacl_sral::ast::{Name, Program};
+use stacl_sral::{Env, Value};
+use stacl_temporal::{TimeDelta, TimePoint};
+use stacl_trace::AccessTable;
+
+use crate::agent::{AgentStatus, NapletSpec, OnDeny};
+use crate::guard::{GuardRequest, SecurityGuard};
+use crate::monitor::{LifecycleEvent, Monitor};
+
+/// Virtual-time costs and budgets for a run.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Seconds charged per granted access.
+    pub access_cost: f64,
+    /// Seconds charged per migration between servers.
+    pub migration_cost: f64,
+    /// Seconds charged per silent step (assignment, branch, send…).
+    pub step_cost: f64,
+    /// Maximum scheduler steps before the run is cut off.
+    pub max_steps: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            access_cost: 1.0,
+            migration_cost: 5.0,
+            step_cost: 0.0,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Aggregate results of a run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Agents that completed their programs.
+    pub finished: usize,
+    /// Agents aborted on a denial or kill.
+    pub aborted: usize,
+    /// Agents still blocked at quiescence (deadlock / missing companion).
+    pub deadlocked: usize,
+    /// Agents stopped by the step budget.
+    pub out_of_budget: usize,
+    /// Agents that faulted on an evaluation error.
+    pub faulted: usize,
+    /// Total scheduler steps executed.
+    pub steps: u64,
+    /// Virtual time at the end of the run.
+    pub end_time: TimePoint,
+    /// Final status of every agent, in spawn order.
+    pub statuses: Vec<(Name, AgentStatus)>,
+}
+
+/// One execution frame of a strand.
+#[derive(Clone, Debug)]
+enum Frame {
+    /// Run a program fragment.
+    Prog(Program),
+    /// Wait until join counter `0` (parent side of a `||`).
+    Join(usize),
+    /// Decrement join counter and wake the parent (child side).
+    JoinDone(usize),
+}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Block {
+    Channel(Name),
+    Signal(Name),
+    Join(usize),
+}
+
+struct Strand {
+    agent: usize,
+    frames: Vec<Frame>,
+    server: Name,
+    blocked: Option<Block>,
+    dead: bool,
+}
+
+struct AgentRt {
+    spec: NapletSpec,
+    env: Env,
+    status: Option<AgentStatus>,
+    live_strands: usize,
+}
+
+/// The mobile-agent system (scheduler + substrate handles).
+pub struct NapletSystem {
+    env: CoalitionEnv,
+    /// Per-server clock skew (seconds) applied to proof timestamps — the
+    /// paper's "no global clock in distributed systems": each server
+    /// stamps execution proofs with its local view of time. The scheduler
+    /// itself stays on the global virtual clock.
+    skews: std::collections::HashMap<Name, f64>,
+    guard: Box<dyn SecurityGuard>,
+    config: SystemConfig,
+    clock: VirtualClock,
+    channels: ChannelHub,
+    signals: SignalBoard,
+    proofs: ProofStore,
+    log: AccessLog,
+    monitor: Monitor,
+    table: AccessTable,
+    agents: Vec<AgentRt>,
+    strands: Vec<Strand>,
+    runnable: VecDeque<usize>,
+    joins: Vec<usize>,
+    /// Agents scheduled to appear at future virtual times (the
+    /// discrete-event spawning facility).
+    pending_spawns: EventQueue<NapletSpec>,
+}
+
+impl NapletSystem {
+    /// Create a system over a coalition topology with a security guard.
+    pub fn new(env: CoalitionEnv, guard: Box<dyn SecurityGuard>) -> Self {
+        NapletSystem {
+            env,
+            skews: std::collections::HashMap::new(),
+            guard,
+            config: SystemConfig::default(),
+            clock: VirtualClock::new(),
+            channels: ChannelHub::new(),
+            signals: SignalBoard::new(),
+            proofs: ProofStore::new(),
+            log: AccessLog::new(),
+            monitor: Monitor::new(),
+            table: AccessTable::new(),
+            agents: Vec::new(),
+            strands: Vec::new(),
+            runnable: VecDeque::new(),
+            joins: Vec::new(),
+            pending_spawns: EventQueue::new(),
+        }
+    }
+
+    /// Override the cost model.
+    pub fn with_config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Model the absence of a global clock: `server`'s proof timestamps
+    /// are offset by `skew_seconds` from the scheduler's virtual time.
+    pub fn with_server_skew(mut self, server: impl AsRef<str>, skew_seconds: f64) -> Self {
+        assert!(skew_seconds.is_finite());
+        self.skews
+            .insert(stacl_sral::ast::name(server), skew_seconds);
+        self
+    }
+
+    /// The server-local timestamp for an event happening now at `server`.
+    fn local_time(&self, server: &str) -> TimePoint {
+        let skew = self.skews.get(server).copied().unwrap_or(0.0);
+        TimePoint::new(self.clock.now().seconds() + skew)
+    }
+
+    /// Spawn an agent; it becomes runnable immediately. Returns its index.
+    pub fn spawn(&mut self, spec: NapletSpec) -> usize {
+        let agent_ix = self.agents.len();
+        let now = self.clock.now();
+        self.monitor.emit(LifecycleEvent::Created {
+            agent: spec.name.clone(),
+            server: spec.home.clone(),
+            time: now,
+        });
+        self.guard.note_arrival(&spec.name, now);
+        let mut spec = spec;
+        {
+            let hooks = spec.hooks.clone();
+            hooks.on_create(&mut spec.env, &spec.home);
+        }
+        let strand = Strand {
+            agent: agent_ix,
+            frames: vec![Frame::Prog(spec.program.clone())],
+            server: spec.home.clone(),
+            blocked: None,
+            dead: false,
+        };
+        self.agents.push(AgentRt {
+            env: spec.env.clone(),
+            spec,
+            status: None,
+            live_strands: 1,
+        });
+        let sid = self.strands.len();
+        self.strands.push(strand);
+        self.runnable.push_back(sid);
+        agent_ix
+    }
+
+    /// The execution-proof store (the objects' `Pr_x` history).
+    pub fn proofs(&self) -> &ProofStore {
+        &self.proofs
+    }
+
+    /// The grant/denial audit log.
+    pub fn log(&self) -> &AccessLog {
+        &self.log
+    }
+
+    /// The lifecycle monitor.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The channel hub (e.g. to seed inputs or read results).
+    pub fn channels(&self) -> &ChannelHub {
+        &self.channels
+    }
+
+    /// The signal board.
+    pub fn signals(&self) -> &SignalBoard {
+        &self.signals
+    }
+
+    /// The access interner shared with the guard.
+    pub fn table(&self) -> &AccessTable {
+        &self.table
+    }
+
+    /// The security guard (e.g. to inspect RBAC state after a run).
+    pub fn guard(&self) -> &dyn SecurityGuard {
+        &*self.guard
+    }
+
+    /// Final status of an agent by spawn index (after [`run`](Self::run)).
+    pub fn status_of(&self, agent_ix: usize) -> Option<&AgentStatus> {
+        self.agents.get(agent_ix).and_then(|a| a.status.as_ref())
+    }
+
+    /// Schedule an agent to be created at a future virtual time — e.g.
+    /// staggered device arrivals or a delayed auditor dispatch. Times in
+    /// the past spawn at the current clock.
+    pub fn spawn_at(&mut self, time: TimePoint, spec: NapletSpec) {
+        self.pending_spawns.schedule(time, spec);
+    }
+
+    /// Create any scheduled agents whose time has come; when nothing is
+    /// runnable, jump the clock to the next scheduled spawn. Returns
+    /// whether any agent was spawned.
+    fn release_due_spawns(&mut self, jump: bool) -> bool {
+        if jump && self.runnable.is_empty() {
+            if let Some(t) = self.pending_spawns.peek_time() {
+                self.clock.advance_to(t);
+            }
+        }
+        let mut spawned = false;
+        while self
+            .pending_spawns
+            .peek_time()
+            .is_some_and(|t| t <= self.clock.now())
+        {
+            let (_, spec) = self.pending_spawns.pop().expect("peeked");
+            self.spawn(spec);
+            spawned = true;
+        }
+        spawned
+    }
+
+    /// Run to quiescence: all agents finished/aborted, deadlock, or the
+    /// step budget is exhausted.
+    pub fn run(&mut self) -> RunReport {
+        let mut steps: u64 = 0;
+        self.release_due_spawns(false);
+        loop {
+            if steps >= self.config.max_steps {
+                self.mark_remaining(AgentStatus::OutOfBudget);
+                break;
+            }
+            self.release_due_spawns(false);
+            let Some(sid) = self.runnable.pop_front() else {
+                // Nothing runnable: any wakeable blocked strands? Any
+                // future spawns to jump to?
+                if self.wake_blocked() {
+                    continue;
+                }
+                if self.release_due_spawns(true) {
+                    continue;
+                }
+                self.mark_remaining(AgentStatus::Deadlocked);
+                break;
+            };
+            if self.strands[sid].dead {
+                continue;
+            }
+            steps += 1;
+            self.step(sid);
+        }
+        self.report(steps)
+    }
+
+    /// Execute one frame of strand `sid`.
+    fn step(&mut self, sid: usize) {
+        let Some(frame) = self.strands[sid].frames.pop() else {
+            self.strand_finished(sid);
+            return;
+        };
+        match frame {
+            Frame::Join(j) => {
+                if self.joins[j] == 0 {
+                    self.requeue(sid);
+                } else {
+                    self.block(sid, Block::Join(j), Frame::Join(j));
+                }
+            }
+            Frame::JoinDone(j) => {
+                self.joins[j] = self.joins[j].saturating_sub(1);
+                if self.joins[j] == 0 {
+                    self.wake_matching(&Block::Join(j));
+                }
+                self.requeue(sid);
+            }
+            Frame::Prog(p) => self.step_program(sid, p),
+        }
+        // A strand whose stack drained after this step is finished.
+        if !self.strands[sid].dead
+            && self.strands[sid].blocked.is_none()
+            && self.strands[sid].frames.is_empty()
+        {
+            // It may still be queued; completion is detected when popped.
+        }
+    }
+
+    fn step_program(&mut self, sid: usize, p: Program) {
+        match p {
+            Program::Skip => {
+                self.charge(self.config.step_cost);
+                self.requeue(sid);
+            }
+            Program::Seq(a, b) => {
+                let frames = &mut self.strands[sid].frames;
+                frames.push(Frame::Prog(*b));
+                frames.push(Frame::Prog(*a));
+                self.requeue(sid);
+            }
+            Program::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.charge(self.config.step_cost);
+                let agent = self.strands[sid].agent;
+                match cond.eval(&self.agents[agent].env) {
+                    Ok(true) => self.strands[sid].frames.push(Frame::Prog(*then_branch)),
+                    Ok(false) => self.strands[sid].frames.push(Frame::Prog(*else_branch)),
+                    Err(e) => {
+                        self.fault(agent, format!("condition `{cond}`: {e}"));
+                        return;
+                    }
+                }
+                self.requeue(sid);
+            }
+            Program::While { cond, body } => {
+                self.charge(self.config.step_cost);
+                let agent = self.strands[sid].agent;
+                match cond.eval(&self.agents[agent].env) {
+                    Ok(true) => {
+                        let frames = &mut self.strands[sid].frames;
+                        frames.push(Frame::Prog(Program::While {
+                            cond,
+                            body: body.clone(),
+                        }));
+                        frames.push(Frame::Prog(*body));
+                    }
+                    Ok(false) => {}
+                    Err(e) => {
+                        self.fault(agent, format!("loop guard `{cond}`: {e}"));
+                        return;
+                    }
+                }
+                self.requeue(sid);
+            }
+            Program::Par(a, b) => {
+                let agent = self.strands[sid].agent;
+                let j = self.joins.len();
+                self.joins.push(1);
+                // Child strand runs `b` then reports the join.
+                let child = Strand {
+                    agent,
+                    frames: vec![Frame::JoinDone(j), Frame::Prog(*b)],
+                    server: self.strands[sid].server.clone(),
+                    blocked: None,
+                    dead: false,
+                };
+                let child_id = self.strands.len();
+                self.strands.push(child);
+                self.agents[agent].live_strands += 1;
+                self.monitor.emit(LifecycleEvent::Cloned {
+                    agent: self.agents[agent].spec.name.clone(),
+                    strand: child_id,
+                    time: self.clock.now(),
+                });
+                self.runnable.push_back(child_id);
+                // Parent runs `a`, then waits for the join.
+                let frames = &mut self.strands[sid].frames;
+                frames.push(Frame::Join(j));
+                frames.push(Frame::Prog(*a));
+                self.requeue(sid);
+            }
+            Program::Assign { var, expr } => {
+                self.charge(self.config.step_cost);
+                let agent = self.strands[sid].agent;
+                match expr.eval(&self.agents[agent].env) {
+                    Ok(v) => {
+                        self.agents[agent].env.set(&*var, Value::Int(v));
+                        self.requeue(sid);
+                    }
+                    Err(e) => self.fault(agent, format!("assignment to `{var}`: {e}")),
+                }
+            }
+            Program::Send { channel, expr } => {
+                self.charge(self.config.step_cost);
+                let agent = self.strands[sid].agent;
+                match expr.eval(&self.agents[agent].env) {
+                    Ok(v) => {
+                        self.channels.send(&*channel, Value::Int(v));
+                        self.wake_matching(&Block::Channel(channel));
+                        self.requeue(sid);
+                    }
+                    Err(e) => self.fault(agent, format!("send on `{channel}`: {e}")),
+                }
+            }
+            Program::Recv { channel, var } => match self.channels.try_recv(&channel) {
+                Some(v) => {
+                    self.charge(self.config.step_cost);
+                    let agent = self.strands[sid].agent;
+                    self.agents[agent].env.set(&*var, v);
+                    self.requeue(sid);
+                }
+                None => {
+                    let frame = Frame::Prog(Program::Recv {
+                        channel: channel.clone(),
+                        var,
+                    });
+                    self.block(sid, Block::Channel(channel), frame);
+                }
+            },
+            Program::Signal(s) => {
+                self.charge(self.config.step_cost);
+                self.signals.raise(&*s);
+                self.wake_matching(&Block::Signal(s));
+                self.requeue(sid);
+            }
+            Program::Wait(s) => {
+                if self.signals.is_raised(&s) {
+                    self.charge(self.config.step_cost);
+                    self.requeue(sid);
+                } else {
+                    let frame = Frame::Prog(Program::Wait(s.clone()));
+                    self.block(sid, Block::Signal(s), frame);
+                }
+            }
+            Program::Access(access) => self.perform_access(sid, access),
+        }
+    }
+
+    fn perform_access(&mut self, sid: usize, access: stacl_sral::Access) {
+        let agent_ix = self.strands[sid].agent;
+        let name = self.agents[agent_ix].spec.name.clone();
+        let now = self.clock.now();
+
+        // 1. Topology resolution.
+        if let Err(e) = self.env.resolve(&access) {
+            self.log.record(
+                &*name,
+                access.clone(),
+                now,
+                DecisionKind::DeniedUnknownTarget {
+                    reason: e.to_string(),
+                },
+            );
+            self.deny(sid, agent_ix, format!("unresolvable access {access}: {e}"));
+            return;
+        }
+
+        // 2. Migration to the access's server.
+        if self.strands[sid].server != access.server {
+            let from = self.strands[sid].server.clone();
+            let hooks = self.agents[agent_ix].spec.hooks.clone();
+            hooks.on_departure(&mut self.agents[agent_ix].env, &from);
+            self.monitor.emit(LifecycleEvent::Departed {
+                agent: name.clone(),
+                server: from,
+                time: self.clock.now(),
+            });
+            self.charge(self.config.migration_cost);
+            self.strands[sid].server = access.server.clone();
+            let arrived = self.clock.now();
+            self.monitor.emit(LifecycleEvent::Arrived {
+                agent: name.clone(),
+                server: access.server.clone(),
+                time: arrived,
+            });
+            self.guard.note_arrival(&name, arrived);
+            hooks.on_arrival(&mut self.agents[agent_ix].env, &access.server);
+        }
+
+        // 3. The guard decision, against the strand's remaining program
+        //    (the attempted access itself at its head).
+        let remaining = self.remaining_program(sid, &access);
+        let now = self.clock.now();
+        let req = GuardRequest {
+            object: &name,
+            access: &access,
+            remaining: &remaining,
+            time: now,
+        };
+        let decision = self.guard.check(&req, &self.proofs, &mut self.table);
+        self.log
+            .record(&*name, access.clone(), now, decision.clone());
+        match decision {
+            DecisionKind::Granted => {
+                // Proofs carry the issuing server's local time (§2).
+                let local = self.local_time(&access.server);
+                self.proofs.issue(&*name, access, local);
+                self.charge(self.config.access_cost);
+                self.requeue(sid);
+            }
+            other => {
+                self.deny(sid, agent_ix, format!("access denied: {other:?}"));
+            }
+        }
+    }
+
+    /// The strand's declared future behaviour: the attempted access
+    /// followed by the rest of its frame stack.
+    fn remaining_program(&self, sid: usize, access: &stacl_sral::Access) -> Program {
+        let mut rest = Program::Skip;
+        for frame in &self.strands[sid].frames {
+            if let Frame::Prog(p) = frame {
+                // frames is a stack: bottom is the latest continuation, so
+                // fold bottom-up by prepending.
+                rest = p.clone().then(rest);
+            }
+        }
+        Program::Access(access.clone()).then(rest)
+    }
+
+    fn deny(&mut self, sid: usize, agent_ix: usize, reason: String) {
+        match self.agents[agent_ix].spec.on_deny {
+            OnDeny::Skip => {
+                self.charge(self.config.step_cost);
+                self.requeue(sid);
+            }
+            OnDeny::Abort => {
+                self.monitor.emit(LifecycleEvent::Aborted {
+                    agent: self.agents[agent_ix].spec.name.clone(),
+                    reason,
+                    time: self.clock.now(),
+                });
+                self.kill_agent(agent_ix, AgentStatus::Aborted);
+            }
+        }
+    }
+
+    fn fault(&mut self, agent_ix: usize, message: String) {
+        self.monitor.emit(LifecycleEvent::Aborted {
+            agent: self.agents[agent_ix].spec.name.clone(),
+            reason: message.clone(),
+            time: self.clock.now(),
+        });
+        self.kill_agent(agent_ix, AgentStatus::Faulted(message));
+    }
+
+    fn kill_agent(&mut self, agent_ix: usize, status: AgentStatus) {
+        if self.agents[agent_ix].status.is_none() {
+            self.agents[agent_ix].status = Some(status);
+        }
+        for s in &mut self.strands {
+            if s.agent == agent_ix {
+                s.dead = true;
+                s.blocked = None;
+            }
+        }
+    }
+
+    fn strand_finished(&mut self, sid: usize) {
+        let agent_ix = self.strands[sid].agent;
+        self.strands[sid].dead = true;
+        let a = &mut self.agents[agent_ix];
+        a.live_strands = a.live_strands.saturating_sub(1);
+        if a.live_strands == 0 && a.status.is_none() {
+            a.status = Some(AgentStatus::Finished);
+            a.spec.hooks.clone().on_finish(&a.env);
+            self.monitor.emit(LifecycleEvent::Finished {
+                agent: a.spec.name.clone(),
+                time: self.clock.now(),
+            });
+        }
+    }
+
+    fn requeue(&mut self, sid: usize) {
+        if !self.strands[sid].dead {
+            self.runnable.push_back(sid);
+        }
+    }
+
+    fn block(&mut self, sid: usize, reason: Block, retry: Frame) {
+        let agent_ix = self.strands[sid].agent;
+        let desc = match &reason {
+            Block::Channel(c) => format!("channel `{c}`"),
+            Block::Signal(s) => format!("signal `{s}`"),
+            Block::Join(j) => format!("join #{j}"),
+        };
+        self.monitor.emit(LifecycleEvent::Blocked {
+            agent: self.agents[agent_ix].spec.name.clone(),
+            on: desc,
+            time: self.clock.now(),
+        });
+        self.strands[sid].frames.push(retry);
+        self.strands[sid].blocked = Some(reason);
+    }
+
+    /// Wake every strand blocked on `reason`.
+    fn wake_matching(&mut self, reason: &Block) {
+        for sid in 0..self.strands.len() {
+            if !self.strands[sid].dead && self.strands[sid].blocked.as_ref() == Some(reason) {
+                self.strands[sid].blocked = None;
+                self.runnable.push_back(sid);
+            }
+        }
+    }
+
+    /// Re-check every blocked strand's condition; wake the satisfiable
+    /// ones. Returns whether anything woke.
+    fn wake_blocked(&mut self) -> bool {
+        let mut woke = false;
+        for sid in 0..self.strands.len() {
+            if self.strands[sid].dead {
+                continue;
+            }
+            let wake = match &self.strands[sid].blocked {
+                Some(Block::Channel(c)) => !self.channels.is_empty(c),
+                Some(Block::Signal(s)) => self.signals.is_raised(s),
+                Some(Block::Join(j)) => self.joins[*j] == 0,
+                None => false,
+            };
+            if wake {
+                self.strands[sid].blocked = None;
+                self.runnable.push_back(sid);
+                woke = true;
+            }
+        }
+        woke
+    }
+
+    fn mark_remaining(&mut self, status: AgentStatus) {
+        for a in &mut self.agents {
+            if a.status.is_none() {
+                a.status = Some(status.clone());
+            }
+        }
+    }
+
+    fn charge(&self, seconds: f64) {
+        if seconds > 0.0 {
+            self.clock.advance(TimeDelta::new(seconds));
+        }
+    }
+
+    fn report(&self, steps: u64) -> RunReport {
+        let mut r = RunReport {
+            steps,
+            end_time: self.clock.now(),
+            ..Default::default()
+        };
+        for a in &self.agents {
+            let status = a.status.clone().unwrap_or(AgentStatus::Deadlocked);
+            match status {
+                AgentStatus::Finished => r.finished += 1,
+                AgentStatus::Aborted => r.aborted += 1,
+                AgentStatus::Deadlocked => r.deadlocked += 1,
+                AgentStatus::OutOfBudget => r.out_of_budget += 1,
+                AgentStatus::Faulted(_) => r.faulted += 1,
+            }
+            r.statuses.push((a.spec.name.clone(), status));
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::PermissiveGuard;
+    use stacl_sral::parser::parse_program;
+
+    fn env3() -> CoalitionEnv {
+        let mut e = CoalitionEnv::new();
+        for s in ["s1", "s2", "s3"] {
+            e.add_resource(s, "db", ["read", "write"]);
+            e.add_resource(s, "app", ["exec"]);
+        }
+        e
+    }
+
+    fn permissive(env: CoalitionEnv) -> NapletSystem {
+        NapletSystem::new(env, Box::new(PermissiveGuard))
+    }
+
+    #[test]
+    fn single_agent_runs_to_completion() {
+        let mut sys = permissive(env3());
+        let p = parse_program("read db @ s1 ; write db @ s1").unwrap();
+        sys.spawn(NapletSpec::new("n1", "s1", p));
+        let r = sys.run();
+        assert_eq!(r.finished, 1);
+        assert_eq!(sys.proofs().len(), 2);
+        assert_eq!(sys.log().granted_count(), 2);
+        // Two accesses at 1.0 each, no migration.
+        assert_eq!(r.end_time, TimePoint::new(2.0));
+    }
+
+    #[test]
+    fn migration_happens_and_costs_time() {
+        let mut sys = permissive(env3());
+        let p = parse_program("read db @ s1 ; read db @ s2 ; read db @ s3").unwrap();
+        sys.spawn(NapletSpec::new("n1", "s1", p));
+        let r = sys.run();
+        assert_eq!(r.finished, 1);
+        assert_eq!(sys.monitor().migrations_of("n1"), 2);
+        let route: Vec<String> = sys
+            .monitor()
+            .route_of("n1")
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        assert_eq!(route, ["s1", "s2", "s3"]);
+        // 3 accesses + 2 migrations = 3*1 + 2*5 = 13.
+        assert_eq!(r.end_time, TimePoint::new(13.0));
+    }
+
+    #[test]
+    fn unknown_target_aborts_by_default() {
+        let mut sys = permissive(env3());
+        let p = parse_program("read nothing @ s1 ; read db @ s1").unwrap();
+        sys.spawn(NapletSpec::new("n1", "s1", p));
+        let r = sys.run();
+        assert_eq!(r.aborted, 1);
+        assert_eq!(sys.proofs().len(), 0);
+        assert_eq!(sys.log().denied_count(), 1);
+    }
+
+    #[test]
+    fn skip_on_deny_continues() {
+        let mut sys = permissive(env3());
+        let p = parse_program("read nothing @ s1 ; read db @ s1").unwrap();
+        sys.spawn(NapletSpec::new("n1", "s1", p).with_on_deny(crate::agent::OnDeny::Skip));
+        let r = sys.run();
+        assert_eq!(r.finished, 1);
+        assert_eq!(sys.proofs().len(), 1);
+    }
+
+    #[test]
+    fn conditionals_and_loops_execute() {
+        let mut sys = permissive(env3());
+        let p = parse_program(
+            "n := 0 ; while n < 3 do { exec app @ s1 ; n := n + 1 } ; \
+             if n == 3 then { write db @ s1 } else { skip }",
+        )
+        .unwrap();
+        sys.spawn(NapletSpec::new("n1", "s1", p));
+        let r = sys.run();
+        assert_eq!(r.finished, 1);
+        // 3 execs + 1 write.
+        assert_eq!(sys.proofs().len(), 4);
+    }
+
+    #[test]
+    fn parallel_strands_join_before_continuation() {
+        let mut sys = permissive(env3());
+        // After the parallel block, exactly one more access must follow.
+        let p = parse_program("{ read db @ s1 || read db @ s2 } ; write db @ s3").unwrap();
+        sys.spawn(NapletSpec::new("n1", "s1", p));
+        let r = sys.run();
+        assert_eq!(r.finished, 1);
+        assert_eq!(sys.proofs().len(), 3);
+        // The write is last in proof order.
+        let snap = sys.proofs().snapshot();
+        assert_eq!(&*snap.last().unwrap().access.op, "write");
+    }
+
+    #[test]
+    fn channels_block_and_wake() {
+        let mut sys = permissive(env3());
+        let consumer = parse_program("jobs ? x ; exec app @ s1").unwrap();
+        let producer = parse_program("read db @ s2 ; jobs ! 7").unwrap();
+        sys.spawn(NapletSpec::new("consumer", "s1", consumer));
+        sys.spawn(NapletSpec::new("producer", "s2", producer));
+        let r = sys.run();
+        assert_eq!(r.finished, 2);
+        assert_eq!(sys.proofs().len(), 2);
+        // The consumer blocked at least once.
+        assert!(sys
+            .monitor()
+            .events_for("consumer")
+            .iter()
+            .any(|e| matches!(e, LifecycleEvent::Blocked { .. })));
+    }
+
+    #[test]
+    fn received_value_lands_in_env() {
+        let mut sys = permissive(env3());
+        let p = parse_program("jobs ? x ; if x > 5 then { exec app @ s1 } else { skip }").unwrap();
+        sys.channels().send("jobs", Value::Int(9));
+        sys.spawn(NapletSpec::new("n1", "s1", p));
+        let r = sys.run();
+        assert_eq!(r.finished, 1);
+        assert_eq!(sys.proofs().len(), 1);
+    }
+
+    #[test]
+    fn signals_enforce_order() {
+        let mut sys = permissive(env3());
+        let waiter = parse_program("wait(go) ; exec app @ s1").unwrap();
+        let signaller = parse_program("read db @ s2 ; signal(go)").unwrap();
+        sys.spawn(NapletSpec::new("w", "s1", waiter));
+        sys.spawn(NapletSpec::new("s", "s2", signaller));
+        let r = sys.run();
+        assert_eq!(r.finished, 2);
+        // The waiter's exec proof comes after the signaller's read.
+        let snap = sys.proofs().snapshot();
+        assert_eq!(&*snap[0].object, "s");
+        assert_eq!(&*snap[1].object, "w");
+    }
+
+    #[test]
+    fn missing_signal_deadlocks() {
+        let mut sys = permissive(env3());
+        sys.spawn(NapletSpec::new("w", "s1", parse_program("wait(never)").unwrap()));
+        let r = sys.run();
+        assert_eq!(r.deadlocked, 1);
+        assert_eq!(r.finished, 0);
+    }
+
+    #[test]
+    fn unbound_variable_faults() {
+        let mut sys = permissive(env3());
+        let p = parse_program("if ghost > 0 then { skip } else { skip }").unwrap();
+        sys.spawn(NapletSpec::new("n1", "s1", p));
+        let r = sys.run();
+        assert_eq!(r.faulted, 1);
+        assert!(matches!(
+            sys.status_of(0),
+            Some(AgentStatus::Faulted(msg)) if msg.contains("ghost")
+        ));
+    }
+
+    #[test]
+    fn step_budget_cuts_infinite_loops() {
+        let mut sys = permissive(env3()).with_config(SystemConfig {
+            max_steps: 100,
+            ..SystemConfig::default()
+        });
+        let p = parse_program("while true do { exec app @ s1 }").unwrap();
+        sys.spawn(NapletSpec::new("n1", "s1", p));
+        let r = sys.run();
+        assert_eq!(r.out_of_budget, 1);
+        assert!(r.steps <= 100);
+    }
+
+    #[test]
+    fn initial_env_is_respected() {
+        let mut env0 = Env::new();
+        env0.set("k", Value::Int(2));
+        let mut sys = permissive(env3());
+        let p = parse_program("while k > 0 do { exec app @ s1 ; k := k - 1 }").unwrap();
+        sys.spawn(NapletSpec::new("n1", "s1", p).with_env(env0));
+        sys.run();
+        assert_eq!(sys.proofs().len(), 2);
+    }
+
+    #[test]
+    fn two_agents_interleave_deterministically() {
+        let mk = || {
+            let mut sys = permissive(env3());
+            sys.spawn(NapletSpec::new(
+                "a",
+                "s1",
+                parse_program("read db @ s1 ; read db @ s1").unwrap(),
+            ));
+            sys.spawn(NapletSpec::new(
+                "b",
+                "s2",
+                parse_program("read db @ s2 ; read db @ s2").unwrap(),
+            ));
+            sys.run();
+            sys.proofs()
+                .snapshot()
+                .into_iter()
+                .map(|p| p.object.to_string())
+                .collect::<Vec<_>>()
+        };
+        let r1 = mk();
+        let r2 = mk();
+        assert_eq!(r1, r2, "scheduling must be deterministic");
+    }
+
+    #[test]
+    fn remaining_program_reaches_guard() {
+        // A guard that records the remaining program sizes it sees.
+        struct Recorder(std::sync::Arc<parking_lot::Mutex<Vec<usize>>>);
+        impl SecurityGuard for Recorder {
+            fn check(
+                &mut self,
+                req: &GuardRequest<'_>,
+                _proofs: &ProofStore,
+                _table: &mut AccessTable,
+            ) -> DecisionKind {
+                self.0.lock().push(req.remaining.size());
+                DecisionKind::Granted
+            }
+        }
+        let sizes = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut sys = NapletSystem::new(env3(), Box::new(Recorder(sizes.clone())));
+        let p = parse_program("read db @ s1 ; read db @ s1 ; read db @ s1").unwrap();
+        sys.spawn(NapletSpec::new("n1", "s1", p));
+        sys.run();
+        let seen = sizes.lock().clone();
+        // Remaining program shrinks monotonically: 3 accesses+2 seqs, then
+        // smaller.
+        assert_eq!(seen.len(), 3);
+        assert!(seen[0] > seen[1] && seen[1] > seen[2], "{seen:?}");
+    }
+}

@@ -1,0 +1,335 @@
+//! Failure-injection and stress tests for the Naplet scheduler: aborted
+//! agents must leave consistent state; deadlocks must be detected, not
+//! spun on; large agent populations must stay deterministic.
+
+use stacl_coalition::{CoalitionEnv, DecisionKind, ProofStore};
+use stacl_naplet::guard::{GuardRequest, SecurityGuard};
+use stacl_naplet::prelude::*;
+use stacl_sral::builder::*;
+use stacl_sral::parser::parse_program;
+use stacl_sral::Value;
+use stacl_trace::AccessTable;
+
+fn env(n: usize) -> CoalitionEnv {
+    let mut e = CoalitionEnv::new();
+    for i in 0..n {
+        e.add_resource(format!("s{i}"), "res", ["op"]);
+    }
+    e
+}
+
+/// A guard that denies the k-th check it sees (then grants for ever).
+struct DenyNth {
+    countdown: usize,
+}
+
+impl SecurityGuard for DenyNth {
+    fn check(
+        &mut self,
+        _req: &GuardRequest<'_>,
+        _proofs: &ProofStore,
+        _table: &mut AccessTable,
+    ) -> DecisionKind {
+        if self.countdown == 0 {
+            return DecisionKind::Granted;
+        }
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            DecisionKind::DeniedNoPermission
+        } else {
+            DecisionKind::Granted
+        }
+    }
+}
+
+#[test]
+fn abort_mid_parallel_kills_all_strands() {
+    // The 3rd access is denied while two strands are in flight: the whole
+    // agent dies and no further proofs appear.
+    let mut sys = NapletSystem::new(env(4), Box::new(DenyNth { countdown: 3 }));
+    let p = parse_program(
+        "{ op res @ s0 ; op res @ s1 } || { op res @ s2 ; op res @ s3 }",
+    )
+    .unwrap();
+    sys.spawn(NapletSpec::new("n", "s0", p));
+    let r = sys.run();
+    assert_eq!(r.aborted, 1);
+    assert_eq!(r.finished, 0);
+    // Exactly the two granted accesses have proofs.
+    assert_eq!(sys.proofs().len(), 2);
+    assert_eq!(sys.log().denied_count(), 1);
+    // No strand keeps running after the kill: steps are bounded.
+    assert!(r.steps < 50);
+}
+
+#[test]
+fn one_agent_abort_does_not_disturb_others() {
+    let mut sys = NapletSystem::new(env(2), Box::new(DenyNth { countdown: 2 }));
+    // Agent a's second access is the 2nd check → denied; agent b's
+    // accesses are checks 3.. → granted.
+    sys.spawn(NapletSpec::new(
+        "a",
+        "s0",
+        parse_program("op res @ s0 ; op res @ s0 ; op res @ s0").unwrap(),
+    ));
+    sys.spawn(NapletSpec::new(
+        "b",
+        "s1",
+        parse_program("op res @ s1 ; op res @ s1").unwrap(),
+    ));
+    let r = sys.run();
+    assert_eq!(r.aborted + r.finished, 2);
+    assert_eq!(r.finished, 1);
+    let b_proofs = sys.proofs().count_matching(|p| &*p.object == "b");
+    assert_eq!(b_proofs, 2, "agent b completes untouched");
+}
+
+#[test]
+fn deadlocked_ring_is_detected() {
+    // Three agents each wait for the next one's signal — a cycle with no
+    // initial signal: all deadlock, the scheduler terminates.
+    let mut sys = NapletSystem::new(env(1), Box::new(PermissiveGuard));
+    for (me, next) in [("a", "b"), ("b", "c"), ("c", "a")] {
+        sys.spawn(NapletSpec::new(
+            me,
+            "s0",
+            parse_program(&format!("wait(sig-{next}) ; signal(sig-{me})")).unwrap(),
+        ));
+    }
+    let r = sys.run();
+    assert_eq!(r.deadlocked, 3);
+    assert_eq!(r.finished, 0);
+}
+
+#[test]
+fn partial_deadlock_reports_only_stuck_agents() {
+    let mut sys = NapletSystem::new(env(1), Box::new(PermissiveGuard));
+    sys.spawn(NapletSpec::new(
+        "stuck",
+        "s0",
+        parse_program("wait(never)").unwrap(),
+    ));
+    sys.spawn(NapletSpec::new(
+        "fine",
+        "s0",
+        parse_program("op res @ s0").unwrap(),
+    ));
+    let r = sys.run();
+    assert_eq!(r.finished, 1);
+    assert_eq!(r.deadlocked, 1);
+}
+
+#[test]
+fn hundred_agents_run_deterministically() {
+    let run = || {
+        let mut sys = NapletSystem::new(env(8), Box::new(PermissiveGuard));
+        for i in 0..100 {
+            let servers: Vec<String> = (0..4).map(|k| format!("s{}", (i + k) % 8)).collect();
+            let p = seq(servers.iter().map(|s| access("op", "res", s)));
+            sys.spawn(NapletSpec::new(format!("agent{i}"), &servers[0], p));
+        }
+        let r = sys.run();
+        assert_eq!(r.finished, 100);
+        // A stable fingerprint of the interleaving.
+        sys.proofs()
+            .snapshot()
+            .iter()
+            .map(|p| format!("{}@{}", p.object, p.access.server))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn producer_consumer_pipeline_of_agents() {
+    // Three-stage pipeline over channels; ensures no lost wakeups under
+    // repeated blocking.
+    let mut sys = NapletSystem::new(env(3), Box::new(PermissiveGuard));
+    sys.spawn(NapletSpec::new(
+        "source",
+        "s0",
+        parse_program("n := 3 ; while n > 0 do { op res @ s0 ; stage1 ! n ; n := n - 1 }")
+            .unwrap(),
+    ));
+    sys.spawn(NapletSpec::new(
+        "relay",
+        "s1",
+        parse_program(
+            "k := 3 ; while k > 0 do { stage1 ? x ; op res @ s1 ; stage2 ! x ; k := k - 1 }",
+        )
+        .unwrap(),
+    ));
+    sys.spawn(NapletSpec::new(
+        "sink",
+        "s2",
+        parse_program("j := 3 ; while j > 0 do { stage2 ? y ; op res @ s2 ; j := j - 1 }")
+            .unwrap(),
+    ));
+    let r = sys.run();
+    assert_eq!(r.finished, 3, "{:?}", r.statuses);
+    assert_eq!(sys.proofs().len(), 9);
+    // Channels fully drained.
+    assert!(sys.channels().is_empty("stage1"));
+    assert!(sys.channels().is_empty("stage2"));
+}
+
+#[test]
+fn skip_mode_sweeps_past_repeated_denials() {
+    struct DenyServer;
+    impl SecurityGuard for DenyServer {
+        fn check(
+            &mut self,
+            req: &GuardRequest<'_>,
+            _proofs: &ProofStore,
+            _table: &mut AccessTable,
+        ) -> DecisionKind {
+            if &*req.access.server == "s1" {
+                DecisionKind::DeniedNoPermission
+            } else {
+                DecisionKind::Granted
+            }
+        }
+    }
+    let mut sys = NapletSystem::new(env(3), Box::new(DenyServer));
+    let p = parse_program("op res @ s0 ; op res @ s1 ; op res @ s2 ; op res @ s1").unwrap();
+    sys.spawn(NapletSpec::new("n", "s0", p).with_on_deny(OnDeny::Skip));
+    let r = sys.run();
+    assert_eq!(r.finished, 1);
+    assert_eq!(sys.log().denied_count(), 2);
+    assert_eq!(sys.proofs().len(), 2);
+}
+
+#[test]
+fn environment_values_flow_between_strands() {
+    // Parallel strands of ONE agent share its environment; a value
+    // assigned in one branch is visible after the join.
+    let mut sys = NapletSystem::new(env(2), Box::new(PermissiveGuard));
+    let p = parse_program(
+        "{ x := 7 ; op res @ s0 || op res @ s1 } ; \
+         if x == 7 then { op res @ s0 } else { skip }",
+    )
+    .unwrap();
+    sys.spawn(NapletSpec::new("n", "s0", p));
+    let r = sys.run();
+    assert_eq!(r.finished, 1, "{:?}", r.statuses);
+    assert_eq!(sys.proofs().len(), 3, "the post-join access must run");
+}
+
+#[test]
+fn lifecycle_hooks_fire_in_order_with_env_access() {
+    use parking_lot::Mutex;
+    use stacl_naplet::agent::Hooks;
+    use std::sync::Arc;
+
+    struct Recorder(Arc<Mutex<Vec<String>>>);
+    impl Hooks for Recorder {
+        fn on_create(&self, env: &mut stacl_sral::Env, server: &str) {
+            env.set("hooked", Value::Int(1));
+            self.0.lock().push(format!("create@{server}"));
+        }
+        fn on_arrival(&self, _env: &mut stacl_sral::Env, server: &str) {
+            self.0.lock().push(format!("arrive@{server}"));
+        }
+        fn on_departure(&self, _env: &mut stacl_sral::Env, server: &str) {
+            self.0.lock().push(format!("depart@{server}"));
+        }
+        fn on_finish(&self, env: &stacl_sral::Env) {
+            assert_eq!(env.get("hooked"), Some(Value::Int(1)));
+            self.0.lock().push("finish".into());
+        }
+    }
+
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut sys = NapletSystem::new(env(2), Box::new(PermissiveGuard));
+    // The program branches on the variable the create-hook seeded.
+    let p = parse_program(
+        "if hooked == 1 then { op res @ s0 ; op res @ s1 } else { skip }",
+    )
+    .unwrap();
+    sys.spawn(NapletSpec::new("n", "s0", p).with_hooks(Arc::new(Recorder(log.clone()))));
+    let r = sys.run();
+    assert_eq!(r.finished, 1, "{:?}", r.statuses);
+    assert_eq!(
+        log.lock().clone(),
+        vec!["create@s0", "depart@s0", "arrive@s1", "finish"]
+    );
+    assert_eq!(sys.proofs().len(), 2, "the hook-seeded branch ran");
+}
+
+#[test]
+fn scheduled_spawns_fire_at_their_times() {
+    use stacl_temporal::TimePoint;
+    let mut sys = NapletSystem::new(env(1), Box::new(PermissiveGuard));
+    // One immediate agent and two scheduled ones; the last starts after a
+    // quiescent gap, forcing the clock to jump.
+    sys.spawn(NapletSpec::new("now", "s0", parse_program("op res @ s0").unwrap()));
+    sys.spawn_at(
+        TimePoint::new(10.0),
+        NapletSpec::new("later", "s0", parse_program("op res @ s0").unwrap()),
+    );
+    sys.spawn_at(
+        TimePoint::new(50.0),
+        NapletSpec::new("latest", "s0", parse_program("op res @ s0").unwrap()),
+    );
+    let r = sys.run();
+    assert_eq!(r.finished, 3, "{:?}", r.statuses);
+    let proofs = sys.proofs().snapshot();
+    assert_eq!(proofs.len(), 3);
+    // Proofs appear in schedule order with non-decreasing times.
+    assert_eq!(&*proofs[0].object, "now");
+    assert_eq!(&*proofs[1].object, "later");
+    assert!(proofs[1].time.seconds() >= 10.0);
+    assert_eq!(&*proofs[2].object, "latest");
+    assert!(proofs[2].time.seconds() >= 50.0);
+}
+
+#[test]
+fn scheduled_spawn_can_unblock_a_waiter() {
+    use stacl_temporal::TimePoint;
+    let mut sys = NapletSystem::new(env(1), Box::new(PermissiveGuard));
+    sys.spawn(NapletSpec::new(
+        "waiter",
+        "s0",
+        parse_program("wait(go) ; op res @ s0").unwrap(),
+    ));
+    sys.spawn_at(
+        TimePoint::new(5.0),
+        NapletSpec::new("signaller", "s0", parse_program("signal(go)").unwrap()),
+    );
+    let r = sys.run();
+    assert_eq!(r.finished, 2, "{:?}", r.statuses);
+    assert_eq!(r.deadlocked, 0);
+}
+
+#[test]
+fn server_clock_skew_stamps_proofs_locally() {
+    // s1 runs 100 seconds ahead of the coalition's virtual time; its
+    // proofs carry the local timestamp while scheduling stays global.
+    let mut sys = NapletSystem::new(env(2), Box::new(PermissiveGuard))
+        .with_server_skew("s1", 100.0);
+    let p = parse_program("op res @ s0 ; op res @ s1").unwrap();
+    sys.spawn(NapletSpec::new("n", "s0", p));
+    let r = sys.run();
+    assert_eq!(r.finished, 1);
+    let proofs = sys.proofs().snapshot();
+    // First proof at global t=0 (s0, no skew); second after 1 access +
+    // 1 migration = 6 global seconds, stamped 100 ahead.
+    assert_eq!(proofs[0].time.seconds(), 0.0);
+    assert_eq!(proofs[1].time.seconds(), 106.0);
+    // The global clock itself is unaffected.
+    assert_eq!(r.end_time.seconds(), 7.0);
+}
+
+#[test]
+fn seeded_channel_input_feeds_first_receiver() {
+    let mut sys = NapletSystem::new(env(1), Box::new(PermissiveGuard));
+    sys.channels().send("boot", Value::Int(42));
+    sys.spawn(NapletSpec::new(
+        "n",
+        "s0",
+        parse_program("boot ? v ; if v == 42 then { op res @ s0 } else { skip }").unwrap(),
+    ));
+    sys.run();
+    assert_eq!(sys.proofs().len(), 1);
+}

@@ -1,0 +1,827 @@
+//! The coordinated access-control decision procedure — RBAC extended with
+//! the paper's spatial (Eq. 3.1) and temporal (Eq. 4.1) permission states.
+//!
+//! For a mobile object, every permission is in one of three states:
+//!
+//! * **inactive** — not carried by any activated role of the subject, or
+//!   never yet activated for this object;
+//! * **active-but-invalid** — carried by an activated role and spatially
+//!   admissible, but its validity duration is exhausted (or not started);
+//! * **valid** — active and within its validity duration: only this state
+//!   grants access.
+//!
+//! [`ExtendedRbac::decide`] runs the full gate in the order the paper's
+//! prototype does (§5.2's `NapletSecurityManager`): role/permission
+//! lookup → spatial constraint check against the program and the
+//! execution proofs → temporal validity check → grant.
+
+use std::collections::{BTreeMap, HashMap};
+
+use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_sral::ast::Name;
+use stacl_sral::{Access, Program};
+use stacl_srac::check::{check_residual_cached, ConstraintCache, Semantics};
+use stacl_temporal::{PermissionTimeline, TimePoint};
+use stacl_trace::AccessTable;
+
+use crate::model::{RbacError, RbacModel};
+use crate::session::{Session, SessionId};
+use crate::sod::SodConstraint;
+
+/// The three-state permission lifecycle of §4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PermissionState {
+    /// Not active for the object.
+    Inactive,
+    /// Active but its validity duration is exhausted.
+    ActiveButInvalid,
+    /// Active and within its validity duration.
+    Valid,
+}
+
+/// One access request, as presented to the permission gate.
+#[derive(Debug)]
+pub struct AccessRequest<'a> {
+    /// The requesting mobile object (also the RBAC user of the subject).
+    pub object: &'a str,
+    /// The object's session (subject).
+    pub session: SessionId,
+    /// The access being requested.
+    pub access: &'a Access,
+    /// The object's declared *remaining* program (its future behaviour).
+    pub program: &'a Program,
+    /// The request time on the continuous time line.
+    pub time: TimePoint,
+    /// Allow reusing a previously-established spatial approval for this
+    /// (object, permission) pair.
+    ///
+    /// Sound only when (a) `program` is the object's *full* remaining
+    /// program derived by executing the originally-approved program, and
+    /// (b) every prior decision for the object was a grant — then every
+    /// future full trace was already covered by the original ∀-check
+    /// (Eq. 3.1's "the permission stays active"). The caller asserts
+    /// those conditions; the Naplet guard does so in preventive mode
+    /// while the object's record is clean.
+    pub reuse_spatial: bool,
+}
+
+/// RBAC with coordinated spatio-temporal enforcement.
+#[derive(Debug, Default)]
+pub struct ExtendedRbac {
+    /// The underlying role/permission model.
+    pub model: RbacModel,
+    sessions: BTreeMap<SessionId, Session>,
+    next_session: u64,
+    /// (object, permission) → validity timeline.
+    timelines: HashMap<(Name, Name), PermissionTimeline>,
+    /// object → recorded server-arrival times (replayed into new
+    /// timelines so late-activated permissions see the same epochs).
+    arrivals: HashMap<Name, Vec<TimePoint>>,
+    /// Memo of compiled constraint automata (policies are stable; only
+    /// programs and histories change between gate calls).
+    cache: ConstraintCache,
+    /// (object, permission) pairs whose spatial constraint has been
+    /// established for the object's declared program (see
+    /// [`AccessRequest::reuse_spatial`]).
+    spatial_ok: std::collections::HashSet<(Name, Name)>,
+    /// Named validity classes: shared budgets that aggregate the validity
+    /// durations of all member permissions (the paper's future-work item).
+    classes: HashMap<Name, (f64, stacl_temporal::BaseTimeScheme)>,
+}
+
+impl ExtendedRbac {
+    /// Wrap a configured model.
+    pub fn new(model: RbacModel) -> Self {
+        ExtendedRbac {
+            model,
+            ..Default::default()
+        }
+    }
+
+    /// Open a session (subject) for an authenticated user, with dynamic
+    /// SoD constraints.
+    pub fn open_session(
+        &mut self,
+        user: impl AsRef<str>,
+        dsd: Vec<SodConstraint>,
+    ) -> Result<SessionId, RbacError> {
+        let id = SessionId(self.next_session);
+        let s = Session::open(&self.model, id, user, dsd)?;
+        self.next_session += 1;
+        self.sessions.insert(id, s);
+        Ok(id)
+    }
+
+    /// Activate a role within a session.
+    pub fn activate_role(&mut self, session: SessionId, role: &str) -> Result<(), RbacError> {
+        let model = &self.model;
+        let s = self
+            .sessions
+            .get_mut(&session)
+            .ok_or_else(|| RbacError::UnknownUser(format!("session {session:?}")))?;
+        s.activate_role(model, role)
+    }
+
+    /// Access a session (read-only).
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.get(&id)
+    }
+
+    /// Define (or redefine) a validity class: every permission declaring
+    /// `class = name` draws from one shared budget of `dur_seconds` per
+    /// object under `scheme`, rather than from its own duration. This is
+    /// the paper's future-work aggregation: e.g. all "editing" permissions
+    /// jointly limited to the time until the 3am deadline.
+    pub fn define_validity_class(
+        &mut self,
+        name_: impl AsRef<str>,
+        dur_seconds: f64,
+        scheme: stacl_temporal::BaseTimeScheme,
+    ) {
+        assert!(dur_seconds.is_finite() && dur_seconds >= 0.0);
+        self.classes
+            .insert(stacl_sral::ast::name(name_), (dur_seconds, scheme));
+    }
+
+    /// Look up a validity class.
+    pub fn validity_class(&self, name_: &str) -> Option<(f64, stacl_temporal::BaseTimeScheme)> {
+        self.classes.get(name_).copied()
+    }
+
+    /// Record that `object` arrived at a (new) coalition server at `time`.
+    /// Refills per-server validity budgets (Eq. 4.1's `t_b = t_i` scheme).
+    pub fn note_arrival(&mut self, object: &str, time: TimePoint) {
+        self.arrivals
+            .entry(stacl_sral::ast::name(object))
+            .or_default()
+            .push(time);
+        for ((o, _), tl) in self.timelines.iter_mut() {
+            if &**o == object {
+                tl.arrive_at_server(time);
+            }
+        }
+    }
+
+    /// The paper's permission gate. On success the caller must issue an
+    /// execution proof (via the [`ProofStore`]) and record the grant.
+    pub fn decide(
+        &mut self,
+        req: &AccessRequest<'_>,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> DecisionKind {
+        // 1. Subject and candidate permissions.
+        let Some(session) = self.sessions.get(&req.session) else {
+            return DecisionKind::DeniedNoPermission;
+        };
+        if &*session.user != req.object {
+            return DecisionKind::DeniedNoPermission;
+        }
+        let available = session.available_permissions(&self.model);
+        let candidates: Vec<Name> = available
+            .into_iter()
+            .filter(|p| {
+                self.model
+                    .permission(p)
+                    .is_some_and(|perm| perm.grants.covers(req.access))
+            })
+            .collect();
+        if candidates.is_empty() {
+            return DecisionKind::DeniedNoPermission;
+        }
+
+        // 2–3. Try each candidate: spatial, then temporal.
+        let mut spatial_failure: Option<String> = None;
+        let mut temporal_failure: Option<String> = None;
+        for perm_name in candidates {
+            let perm = self
+                .model
+                .permission(&perm_name)
+                .expect("candidate came from the model")
+                .clone();
+
+            // Spatial (Eq. 3.1): the object's remaining program, prefixed
+            // by its proven history, must satisfy the constraint.
+            if let Some(c) = &perm.spatial {
+                let ok_key = (stacl_sral::ast::name(req.object), perm.name.clone());
+                // Approval reuse is unsound for team scope: companions'
+                // histories grow independently of this object's execution.
+                let already_approved = req.reuse_spatial
+                    && perm.scope == crate::perm::HistoryScope::PerObject
+                    && self.spatial_ok.contains(&ok_key);
+                if !already_approved {
+                    let history = match perm.scope {
+                        crate::perm::HistoryScope::PerObject => {
+                            proofs.history_of(req.object, table)
+                        }
+                        crate::perm::HistoryScope::Team => proofs.combined_history(table),
+                    };
+                    let verdict = check_residual_cached(
+                        &history,
+                        req.program,
+                        c,
+                        table,
+                        Semantics::ForAll,
+                        &mut self.cache,
+                    );
+                    if !verdict.holds {
+                        self.spatial_ok.remove(&ok_key);
+                        spatial_failure = Some(c.to_string());
+                        continue;
+                    }
+                    self.spatial_ok.insert(ok_key);
+                }
+            }
+
+            // Temporal (Eq. 4.1): activate on first grant, then require
+            // the valid state. A permission in a validity class shares the
+            // class's per-object timeline (aggregated budget).
+            let (budget_key, validity, scheme) = match &perm.class {
+                Some(class) => match self.classes.get(class) {
+                    Some(&(dur, scheme)) => (
+                        stacl_sral::ast::name(format!("class:{class}")),
+                        Some(dur),
+                        scheme,
+                    ),
+                    // Undefined class: fall back to the permission's own
+                    // attributes (and note it in the failure message).
+                    None => (perm.name.clone(), perm.validity, perm.scheme),
+                },
+                None => (perm.name.clone(), perm.validity, perm.scheme),
+            };
+            let key = (stacl_sral::ast::name(req.object), budget_key);
+            let tl = self.timelines.entry(key).or_insert_with(|| {
+                let mut tl = match validity {
+                    Some(d) => PermissionTimeline::new(d, scheme),
+                    None => PermissionTimeline::unlimited(scheme),
+                };
+                for &t in self
+                    .arrivals
+                    .get(req.object)
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[])
+                {
+                    if t <= req.time {
+                        tl.arrive_at_server(t);
+                    }
+                }
+                tl
+            });
+            tl.activate(req.time);
+            if tl.is_valid_at(req.time) {
+                return DecisionKind::Granted;
+            }
+            temporal_failure = Some(format!(
+                "permission `{}` validity duration exhausted (dur={:?}, scheme={}{})",
+                perm.name,
+                validity,
+                scheme.name(),
+                perm.class
+                    .as_ref()
+                    .map(|c| format!(", class={c}"))
+                    .unwrap_or_default()
+            ));
+        }
+
+        // All candidates failed: report the most informative reason.
+        if let Some(reason) = temporal_failure {
+            DecisionKind::DeniedTemporal { reason }
+        } else if let Some(constraint) = spatial_failure {
+            DecisionKind::DeniedSpatial { constraint }
+        } else {
+            DecisionKind::DeniedNoPermission
+        }
+    }
+
+    /// The timeline key a permission draws its validity budget from: its
+    /// class key when it belongs to a defined validity class, otherwise
+    /// its own name.
+    fn budget_key_of(&self, perm: &str) -> Name {
+        match self.model.permission(perm).and_then(|p| p.class.clone()) {
+            Some(class) if self.classes.contains_key(&class) => {
+                stacl_sral::ast::name(format!("class:{class}"))
+            }
+            _ => stacl_sral::ast::name(perm),
+        }
+    }
+
+    /// The three-state classification of a permission for an object at a
+    /// time (§4).
+    pub fn permission_state(&self, object: &str, perm: &str, time: TimePoint) -> PermissionState {
+        let key = (stacl_sral::ast::name(object), self.budget_key_of(perm));
+        match self.timelines.get(&key) {
+            None => PermissionState::Inactive,
+            Some(tl) => {
+                if !tl.active_fn().at(time) {
+                    PermissionState::Inactive
+                } else if tl.is_valid_at(time) {
+                    PermissionState::Valid
+                } else {
+                    PermissionState::ActiveButInvalid
+                }
+            }
+        }
+    }
+
+    /// Deactivate a permission for an object (role released, session
+    /// closed, or an enforcement event set `valid` to 0).
+    pub fn release_permission(&mut self, object: &str, perm: &str, time: TimePoint) {
+        let key = (stacl_sral::ast::name(object), self.budget_key_of(perm));
+        if let Some(tl) = self.timelines.get_mut(&key) {
+            tl.deactivate(time);
+        }
+    }
+
+    /// Inspect a permission's timeline, if it ever became active.
+    pub fn timeline(&self, object: &str, perm: &str) -> Option<&PermissionTimeline> {
+        let key = (stacl_sral::ast::name(object), self.budget_key_of(perm));
+        self.timelines.get(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::{AccessPattern, Permission};
+    use stacl_sral::builder::*;
+    use stacl_srac::parser::parse_constraint;
+    use stacl_temporal::BaseTimeScheme;
+
+    fn tp(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    /// A model with one mobile object `naplet-1` holding role `worker`
+    /// with permission `p-exec` = `exec:rsw:*`.
+    fn setup(perm: Permission) -> (ExtendedRbac, SessionId) {
+        let mut m = RbacModel::new();
+        m.add_user("naplet-1");
+        m.add_role("worker");
+        m.add_permission(perm).unwrap();
+        m.assign_permission("worker", "p-exec").unwrap();
+        m.assign_user("naplet-1", "worker").unwrap();
+        let mut x = ExtendedRbac::new(m);
+        let sid = x.open_session("naplet-1", vec![]).unwrap();
+        x.activate_role(sid, "worker").unwrap();
+        (x, sid)
+    }
+
+    fn exec_perm() -> Permission {
+        Permission::new("p-exec", AccessPattern::parse("exec:rsw:*").unwrap())
+    }
+
+    #[test]
+    fn plain_grant() {
+        let (mut x, sid) = setup(exec_perm());
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let access = Access::new("exec", "rsw", "s1");
+        let req = AccessRequest {
+            object: "naplet-1",
+            session: sid,
+            access: &access,
+            program: &access_prog(),
+            time: tp(0.0),
+            reuse_spatial: false,
+        };
+        assert!(x.decide(&req, &proofs, &mut table).is_granted());
+    }
+
+    fn access_prog() -> Program {
+        access("exec", "rsw", "s1")
+    }
+
+    #[test]
+    fn denied_without_role_permission() {
+        let (mut x, sid) = setup(exec_perm());
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let access_ = Access::new("write", "db", "s1"); // not covered
+        let prog = access("write", "db", "s1");
+        let req = AccessRequest {
+            object: "naplet-1",
+            session: sid,
+            access: &access_,
+            program: &prog,
+            time: tp(0.0),
+            reuse_spatial: false,
+        };
+        assert_eq!(
+            x.decide(&req, &proofs, &mut table),
+            DecisionKind::DeniedNoPermission
+        );
+    }
+
+    #[test]
+    fn spatial_constraint_denies_overuse_across_servers() {
+        // Example 3.5 / the intro example: ≤5 coalition-wide accesses to
+        // the restricted software.
+        let perm = exec_perm().with_spatial(
+            parse_constraint("count(0, 5, resource=rsw)").unwrap(),
+        );
+        let (mut x, sid) = setup(perm);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        // 5 proofs already accumulated on s1.
+        for i in 0..5 {
+            proofs.issue("naplet-1", Access::new("exec", "rsw", "s1"), tp(i as f64));
+        }
+        let access_ = Access::new("exec", "rsw", "s2");
+        let prog = access("exec", "rsw", "s2");
+        let req = AccessRequest {
+            object: "naplet-1",
+            session: sid,
+            access: &access_,
+            program: &prog,
+            time: tp(10.0),
+            reuse_spatial: false,
+        };
+        let d = x.decide(&req, &proofs, &mut table);
+        assert!(
+            matches!(d, DecisionKind::DeniedSpatial { .. }),
+            "expected spatial denial, got {d:?}"
+        );
+    }
+
+    #[test]
+    fn spatial_constraint_allows_within_budget() {
+        let perm = exec_perm().with_spatial(
+            parse_constraint("count(0, 5, resource=rsw)").unwrap(),
+        );
+        let (mut x, sid) = setup(perm);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        for i in 0..4 {
+            proofs.issue("naplet-1", Access::new("exec", "rsw", "s1"), tp(i as f64));
+        }
+        let access_ = Access::new("exec", "rsw", "s2");
+        let prog = access("exec", "rsw", "s2");
+        let req = AccessRequest {
+            object: "naplet-1",
+            session: sid,
+            access: &access_,
+            program: &prog,
+            time: tp(10.0),
+            reuse_spatial: false,
+        };
+        assert!(x.decide(&req, &proofs, &mut table).is_granted());
+    }
+
+    #[test]
+    fn ordering_constraint_gates_on_program() {
+        // "read manifest before exec": the declared remaining program must
+        // prove the ordering (or the history must already contain it).
+        let perm = Permission::new("p-exec", AccessPattern::any()).with_spatial(
+            parse_constraint("[read manifest @ s1] before [exec rsw @ s1]").unwrap(),
+        );
+        let mut m = RbacModel::new();
+        m.add_user("o");
+        m.add_role("r");
+        m.add_permission(perm).unwrap();
+        m.assign_permission("r", "p-exec").unwrap();
+        m.assign_user("o", "r").unwrap();
+        let mut x = ExtendedRbac::new(m);
+        let sid = x.open_session("o", vec![]).unwrap();
+        x.activate_role(sid, "r").unwrap();
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+
+        let access_ = Access::new("read", "manifest", "s1");
+        // Good program: read then exec.
+        let good = seq([access("read", "manifest", "s1"), access("exec", "rsw", "s1")]);
+        let req = AccessRequest {
+            object: "o",
+            session: sid,
+            access: &access_,
+            program: &good,
+            time: tp(0.0),
+            reuse_spatial: false,
+        };
+        assert!(x.decide(&req, &proofs, &mut table).is_granted());
+
+        // Bad program: exec then read.
+        let bad = seq([access("exec", "rsw", "s1"), access("read", "manifest", "s1")]);
+        let req2 = AccessRequest {
+            object: "o",
+            session: sid,
+            access: &access_,
+            program: &bad,
+            time: tp(1.0),
+            reuse_spatial: false,
+        };
+        assert!(matches!(
+            x.decide(&req2, &proofs, &mut table),
+            DecisionKind::DeniedSpatial { .. }
+        ));
+    }
+
+    #[test]
+    fn temporal_validity_exhausts() {
+        let perm = exec_perm().with_validity(5.0, BaseTimeScheme::WholeLifetime);
+        let (mut x, sid) = setup(perm);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        x.note_arrival("naplet-1", tp(0.0));
+        let access_ = Access::new("exec", "rsw", "s1");
+        let prog = access_prog();
+        // First grant at t=0 activates the permission.
+        let mk = |t: f64| AccessRequest {
+            object: "naplet-1",
+            session: sid,
+            access: &access_,
+            program: &prog,
+            time: tp(t),
+            reuse_spatial: false,
+        };
+        assert!(x.decide(&mk(0.0), &proofs, &mut table).is_granted());
+        assert!(x.decide(&mk(4.0), &proofs, &mut table).is_granted());
+        // The permission has been active since t=0; at t=6 its 5-unit
+        // validity duration is exhausted.
+        let d = x.decide(&mk(6.0), &proofs, &mut table);
+        assert!(matches!(d, DecisionKind::DeniedTemporal { .. }), "{d:?}");
+        assert_eq!(
+            x.permission_state("naplet-1", "p-exec", tp(6.0)),
+            PermissionState::ActiveButInvalid
+        );
+    }
+
+    #[test]
+    fn per_server_scheme_refills_on_migration() {
+        let perm = exec_perm().with_validity(5.0, BaseTimeScheme::CurrentServer);
+        let (mut x, sid) = setup(perm);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        x.note_arrival("naplet-1", tp(0.0));
+        let access_ = Access::new("exec", "rsw", "s1");
+        let prog = access_prog();
+        let mk = |t: f64| AccessRequest {
+            object: "naplet-1",
+            session: sid,
+            access: &access_,
+            program: &prog,
+            time: tp(t),
+            reuse_spatial: false,
+        };
+        assert!(x.decide(&mk(0.0), &proofs, &mut table).is_granted());
+        // Budget exhausted at t=5 … denied at t=6.
+        assert!(!x.decide(&mk(6.0), &proofs, &mut table).is_granted());
+        // Migration at t=7 refills the per-server budget.
+        x.note_arrival("naplet-1", tp(7.0));
+        assert!(x.decide(&mk(8.0), &proofs, &mut table).is_granted());
+    }
+
+    #[test]
+    fn permission_state_transitions() {
+        let perm = exec_perm().with_validity(2.0, BaseTimeScheme::WholeLifetime);
+        let (mut x, sid) = setup(perm);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        assert_eq!(
+            x.permission_state("naplet-1", "p-exec", tp(0.0)),
+            PermissionState::Inactive
+        );
+        let access_ = Access::new("exec", "rsw", "s1");
+        let prog = access_prog();
+        let req = AccessRequest {
+            object: "naplet-1",
+            session: sid,
+            access: &access_,
+            program: &prog,
+            time: tp(0.0),
+            reuse_spatial: false,
+        };
+        x.decide(&req, &proofs, &mut table);
+        assert_eq!(
+            x.permission_state("naplet-1", "p-exec", tp(1.0)),
+            PermissionState::Valid
+        );
+        assert_eq!(
+            x.permission_state("naplet-1", "p-exec", tp(3.0)),
+            PermissionState::ActiveButInvalid
+        );
+        x.release_permission("naplet-1", "p-exec", tp(4.0));
+        assert_eq!(
+            x.permission_state("naplet-1", "p-exec", tp(5.0)),
+            PermissionState::Inactive
+        );
+    }
+
+    #[test]
+    fn wrong_session_user_denied() {
+        let (mut x, sid) = setup(exec_perm());
+        x.model.add_user("intruder");
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let access_ = Access::new("exec", "rsw", "s1");
+        let prog = access_prog();
+        let req = AccessRequest {
+            object: "intruder", // session belongs to naplet-1
+            session: sid,
+            access: &access_,
+            program: &prog,
+            time: tp(0.0),
+            reuse_spatial: false,
+        };
+        assert_eq!(
+            x.decide(&req, &proofs, &mut table),
+            DecisionKind::DeniedNoPermission
+        );
+    }
+
+    #[test]
+    fn team_scope_counts_companions() {
+        // Two devices sharing one licence pool: the cap applies to their
+        // combined execution proofs (§1's "companions").
+        let perm = exec_perm()
+            .with_spatial(parse_constraint("count(0, 3, resource=rsw)").unwrap())
+            .with_scope(crate::perm::HistoryScope::Team);
+        let mut m = RbacModel::new();
+        m.add_user("dev-a");
+        m.add_user("dev-b");
+        m.add_role("worker");
+        m.add_permission(perm).unwrap();
+        m.assign_permission("worker", "p-exec").unwrap();
+        m.assign_user("dev-a", "worker").unwrap();
+        m.assign_user("dev-b", "worker").unwrap();
+        let mut x = ExtendedRbac::new(m);
+        let sid_b = x.open_session("dev-b", vec![]).unwrap();
+        x.activate_role(sid_b, "worker").unwrap();
+
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        // dev-a (a companion) already used the pool 3 times.
+        for i in 0..3 {
+            proofs.issue("dev-a", Access::new("exec", "rsw", "s1"), tp(i as f64));
+        }
+        // dev-b's own history is empty, but the team pool is exhausted.
+        let access_ = Access::new("exec", "rsw", "s2");
+        let prog = access("exec", "rsw", "s2");
+        let req = AccessRequest {
+            object: "dev-b",
+            session: sid_b,
+            access: &access_,
+            program: &prog,
+            time: tp(10.0),
+            reuse_spatial: false,
+        };
+        let d = x.decide(&req, &proofs, &mut table);
+        assert!(matches!(d, DecisionKind::DeniedSpatial { .. }), "{d:?}");
+    }
+
+    #[test]
+    fn per_object_scope_ignores_companions() {
+        let perm = exec_perm()
+            .with_spatial(parse_constraint("count(0, 3, resource=rsw)").unwrap());
+        let mut m = RbacModel::new();
+        m.add_user("dev-a");
+        m.add_user("dev-b");
+        m.add_role("worker");
+        m.add_permission(perm).unwrap();
+        m.assign_permission("worker", "p-exec").unwrap();
+        m.assign_user("dev-b", "worker").unwrap();
+        m.assign_user("dev-a", "worker").unwrap();
+        let mut x = ExtendedRbac::new(m);
+        let sid_b = x.open_session("dev-b", vec![]).unwrap();
+        x.activate_role(sid_b, "worker").unwrap();
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        for i in 0..3 {
+            proofs.issue("dev-a", Access::new("exec", "rsw", "s1"), tp(i as f64));
+        }
+        let access_ = Access::new("exec", "rsw", "s2");
+        let prog = access("exec", "rsw", "s2");
+        let req = AccessRequest {
+            object: "dev-b",
+            session: sid_b,
+            access: &access_,
+            program: &prog,
+            time: tp(10.0),
+            reuse_spatial: false,
+        };
+        assert!(x.decide(&req, &proofs, &mut table).is_granted());
+    }
+
+    #[test]
+    fn validity_class_aggregates_budgets() {
+        // Two permissions in one class: their valid-time draws from a
+        // single 5-second budget per object.
+        let mut m = RbacModel::new();
+        m.add_user("o");
+        m.add_role("r");
+        m.add_permission(
+            Permission::new("p-edit", AccessPattern::parse("edit:*:*").unwrap())
+                .with_class("night-work"),
+        )
+        .unwrap();
+        m.add_permission(
+            Permission::new("p-review", AccessPattern::parse("review:*:*").unwrap())
+                .with_class("night-work"),
+        )
+        .unwrap();
+        m.assign_permission("r", "p-edit").unwrap();
+        m.assign_permission("r", "p-review").unwrap();
+        m.assign_user("o", "r").unwrap();
+        let mut x = ExtendedRbac::new(m);
+        x.define_validity_class("night-work", 5.0, BaseTimeScheme::WholeLifetime);
+        let sid = x.open_session("o", vec![]).unwrap();
+        x.activate_role(sid, "r").unwrap();
+        x.note_arrival("o", tp(0.0));
+
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let edit = Access::new("edit", "doc", "s1");
+        let review = Access::new("review", "doc", "s1");
+        let p_edit = access("edit", "doc", "s1");
+        let p_review = access("review", "doc", "s1");
+        // Editing at t=0 activates the SHARED class budget.
+        let req = AccessRequest {
+            object: "o",
+            session: sid,
+            access: &edit,
+            program: &p_edit,
+            time: tp(0.0),
+            reuse_spatial: false,
+        };
+        assert!(x.decide(&req, &proofs, &mut table).is_granted());
+        // Reviewing at t=6 is denied: the class budget (5s) is exhausted
+        // even though p-review itself was never used.
+        let req2 = AccessRequest {
+            object: "o",
+            session: sid,
+            access: &review,
+            program: &p_review,
+            time: tp(6.0),
+            reuse_spatial: false,
+        };
+        let d = x.decide(&req2, &proofs, &mut table);
+        assert!(
+            matches!(d, DecisionKind::DeniedTemporal { ref reason } if reason.contains("night-work")),
+            "{d:?}"
+        );
+        // Both permissions report the same (class) state.
+        assert_eq!(
+            x.permission_state("o", "p-edit", tp(6.0)),
+            PermissionState::ActiveButInvalid
+        );
+        assert_eq!(
+            x.permission_state("o", "p-review", tp(6.0)),
+            PermissionState::ActiveButInvalid
+        );
+    }
+
+    #[test]
+    fn undefined_class_falls_back_to_own_validity() {
+        let mut m = RbacModel::new();
+        m.add_user("o");
+        m.add_role("r");
+        m.add_permission(
+            Permission::new("p", AccessPattern::any())
+                .with_class("ghost-class")
+                .with_validity(100.0, BaseTimeScheme::WholeLifetime),
+        )
+        .unwrap();
+        m.assign_permission("r", "p").unwrap();
+        m.assign_user("o", "r").unwrap();
+        let mut x = ExtendedRbac::new(m);
+        let sid = x.open_session("o", vec![]).unwrap();
+        x.activate_role(sid, "r").unwrap();
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let a = Access::new("read", "x", "s");
+        let p = access("read", "x", "s");
+        let req = AccessRequest {
+            object: "o",
+            session: sid,
+            access: &a,
+            program: &p,
+            time: tp(0.0),
+            reuse_spatial: false,
+        };
+        assert!(x.decide(&req, &proofs, &mut table).is_granted());
+    }
+
+    #[test]
+    fn selector_counts_ignore_unrelated_history() {
+        let perm = exec_perm().with_spatial(
+            parse_constraint("count(0, 2, resource=rsw)").unwrap(),
+        );
+        let (mut x, sid) = setup(perm);
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        // Lots of unrelated history.
+        for i in 0..10 {
+            proofs.issue("naplet-1", Access::new("read", "logs", "s1"), tp(i as f64));
+        }
+        let access_ = Access::new("exec", "rsw", "s1");
+        let prog = access_prog();
+        let req = AccessRequest {
+            object: "naplet-1",
+            session: sid,
+            access: &access_,
+            program: &prog,
+            time: tp(20.0),
+            reuse_spatial: false,
+        };
+        assert!(x.decide(&req, &proofs, &mut table).is_granted());
+    }
+}

@@ -1,0 +1,46 @@
+//! # stacl-rbac — role-based access control, extended with
+//! spatio-temporal constraints
+//!
+//! §3.4 and §4 of the paper extend the classic RBAC model (users, roles,
+//! permissions, subjects/sessions, role hierarchy) in two ways:
+//!
+//! 1. **Spatial** (Eq. 3.1): a permission is *active* iff one of the
+//!    subject's activated roles carries it **and** the mobile object's
+//!    program satisfies the permission's SRAC constraint given the
+//!    execution proofs accumulated so far — `check(P, C) = true`.
+//! 2. **Temporal** (Eq. 4.1): an active permission is *valid* only while
+//!    the accumulated valid-time since the base time stays within the
+//!    permission's validity duration.
+//!
+//! So each permission is in one of three states for a mobile object:
+//! `inactive`, `active-but-invalid`, or `valid` — and only `valid`
+//! permissions grant access.
+//!
+//! Modules:
+//!
+//! * [`model`] — the core RBAC96-style model: users, roles, a role
+//!   hierarchy DAG with inheritance, user-role and role-permission
+//!   assignment;
+//! * [`session`] — subjects/sessions with role activation;
+//! * [`sod`] — static and dynamic separation-of-duty constraints;
+//! * [`perm`] — permissions as access patterns with optional SRAC
+//!   constraint, validity duration and base-time scheme;
+//! * [`extended`] — [`extended::ExtendedRbac`]: the coordinated decision
+//!   procedure combining everything (the paper's permission-gate);
+//! * [`policy`] — a line-oriented text policy format (the analogue of the
+//!   Java policy files in the Naplet prototype).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extended;
+pub mod model;
+pub mod perm;
+pub mod policy;
+pub mod session;
+pub mod sod;
+
+pub use extended::{AccessRequest, ExtendedRbac, PermissionState};
+pub use model::{RbacError, RbacModel};
+pub use perm::{AccessPattern, HistoryScope, Permission};
+pub use session::{Session, SessionId};

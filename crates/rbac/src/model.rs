@@ -1,0 +1,383 @@
+//! The core RBAC model: users, roles, permissions, assignment relations
+//! and a role hierarchy with inheritance.
+//!
+//! Follows the RBAC96 family the paper builds on (\[8\]): a role hierarchy
+//! is a partial order where *senior* roles inherit the permissions of
+//! their *juniors*; users acquire permissions only through roles.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use stacl_sral::ast::{name, Name};
+
+use crate::perm::Permission;
+
+/// Errors from model manipulation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RbacError {
+    /// Referenced user does not exist.
+    UnknownUser(String),
+    /// Referenced role does not exist.
+    UnknownRole(String),
+    /// Referenced permission does not exist.
+    UnknownPermission(String),
+    /// Adding this inheritance edge would create a cycle.
+    HierarchyCycle(String, String),
+    /// A static separation-of-duty constraint was violated.
+    SodViolation(String),
+    /// Duplicate definition.
+    Duplicate(String),
+}
+
+impl fmt::Display for RbacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbacError::UnknownUser(u) => write!(f, "unknown user `{u}`"),
+            RbacError::UnknownRole(r) => write!(f, "unknown role `{r}`"),
+            RbacError::UnknownPermission(p) => write!(f, "unknown permission `{p}`"),
+            RbacError::HierarchyCycle(a, b) => {
+                write!(f, "role inheritance `{a}` ≥ `{b}` would create a cycle")
+            }
+            RbacError::SodViolation(msg) => write!(f, "separation-of-duty violation: {msg}"),
+            RbacError::Duplicate(what) => write!(f, "duplicate definition of {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RbacError {}
+
+/// The core RBAC state.
+#[derive(Clone, Default, Debug)]
+pub struct RbacModel {
+    users: BTreeSet<Name>,
+    roles: BTreeSet<Name>,
+    permissions: BTreeMap<Name, Permission>,
+    /// UA: user → directly assigned roles.
+    user_roles: BTreeMap<Name, BTreeSet<Name>>,
+    /// PA: role → directly assigned permission names.
+    role_perms: BTreeMap<Name, BTreeSet<Name>>,
+    /// senior → juniors (direct edges only).
+    juniors: BTreeMap<Name, BTreeSet<Name>>,
+    /// Static separation-of-duty constraints.
+    ssd: Vec<crate::sod::SodConstraint>,
+}
+
+impl RbacModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        RbacModel::default()
+    }
+
+    /// Add a user (idempotent).
+    pub fn add_user(&mut self, user: impl AsRef<str>) -> &mut Self {
+        self.users.insert(name(user));
+        self
+    }
+
+    /// Add a role (idempotent).
+    pub fn add_role(&mut self, role: impl AsRef<str>) -> &mut Self {
+        self.roles.insert(name(role));
+        self
+    }
+
+    /// Define a permission. Re-definition with the same name is an error.
+    pub fn add_permission(&mut self, perm: Permission) -> Result<(), RbacError> {
+        if self.permissions.contains_key(&perm.name) {
+            return Err(RbacError::Duplicate(format!("permission `{}`", perm.name)));
+        }
+        self.permissions.insert(perm.name.clone(), perm);
+        Ok(())
+    }
+
+    /// Look up a permission by name.
+    pub fn permission(&self, name_: &str) -> Option<&Permission> {
+        self.permissions.get(name_)
+    }
+
+    /// Iterate all permissions in name order.
+    pub fn permissions(&self) -> impl Iterator<Item = &Permission> {
+        self.permissions.values()
+    }
+
+    /// Assign a role to a user (UA), enforcing SSD constraints.
+    pub fn assign_user(&mut self, user: &str, role: &str) -> Result<(), RbacError> {
+        if !self.users.contains(user) {
+            return Err(RbacError::UnknownUser(user.into()));
+        }
+        if !self.roles.contains(role) {
+            return Err(RbacError::UnknownRole(role.into()));
+        }
+        // Tentatively extend and check SSD against the *effective* role set
+        // (direct + inherited juniors), as SSD must consider inheritance.
+        let mut assigned: BTreeSet<Name> = self
+            .user_roles
+            .get(user)
+            .cloned()
+            .unwrap_or_default();
+        assigned.insert(name(role));
+        let effective = self.close_over_juniors(&assigned);
+        for c in &self.ssd {
+            if let Err(msg) = c.check(&effective) {
+                return Err(RbacError::SodViolation(msg));
+            }
+        }
+        self.user_roles.entry(name(user)).or_default().insert(name(role));
+        Ok(())
+    }
+
+    /// Assign a permission to a role (PA).
+    pub fn assign_permission(&mut self, role: &str, perm: &str) -> Result<(), RbacError> {
+        if !self.roles.contains(role) {
+            return Err(RbacError::UnknownRole(role.into()));
+        }
+        if !self.permissions.contains_key(perm) {
+            return Err(RbacError::UnknownPermission(perm.into()));
+        }
+        self.role_perms.entry(name(role)).or_default().insert(name(perm));
+        Ok(())
+    }
+
+    /// Declare `senior ≥ junior`: the senior role inherits the junior's
+    /// permissions. Rejects unknown roles and cycles.
+    pub fn add_inheritance(&mut self, senior: &str, junior: &str) -> Result<(), RbacError> {
+        if !self.roles.contains(senior) {
+            return Err(RbacError::UnknownRole(senior.into()));
+        }
+        if !self.roles.contains(junior) {
+            return Err(RbacError::UnknownRole(junior.into()));
+        }
+        if senior == junior || self.inherits(junior, senior) {
+            return Err(RbacError::HierarchyCycle(senior.into(), junior.into()));
+        }
+        self.juniors.entry(name(senior)).or_default().insert(name(junior));
+        Ok(())
+    }
+
+    /// Register a static separation-of-duty constraint. Existing
+    /// assignments are re-validated.
+    pub fn add_ssd(&mut self, c: crate::sod::SodConstraint) -> Result<(), RbacError> {
+        for (user, assigned) in &self.user_roles {
+            let effective = self.close_over_juniors(assigned);
+            if let Err(msg) = c.check(&effective) {
+                return Err(RbacError::SodViolation(format!("user `{user}`: {msg}")));
+            }
+        }
+        self.ssd.push(c);
+        Ok(())
+    }
+
+    /// Does `senior` (transitively) inherit `junior`?
+    pub fn inherits(&self, senior: &str, junior: &str) -> bool {
+        if senior == junior {
+            return true;
+        }
+        let mut stack = vec![senior.to_string()];
+        let mut seen = BTreeSet::new();
+        while let Some(r) = stack.pop() {
+            if let Some(js) = self.juniors.get(r.as_str()) {
+                for j in js {
+                    if &**j == junior {
+                        return true;
+                    }
+                    if seen.insert(j.clone()) {
+                        stack.push(j.to_string());
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The downward closure of a role set over the hierarchy (the roles
+    /// whose permissions are effectively held).
+    pub fn close_over_juniors(&self, roles: &BTreeSet<Name>) -> BTreeSet<Name> {
+        let mut out = roles.clone();
+        let mut stack: Vec<Name> = roles.iter().cloned().collect();
+        while let Some(r) = stack.pop() {
+            if let Some(js) = self.juniors.get(&r) {
+                for j in js {
+                    if out.insert(j.clone()) {
+                        stack.push(j.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Roles directly assigned to a user.
+    pub fn roles_of(&self, user: &str) -> BTreeSet<Name> {
+        self.user_roles.get(user).cloned().unwrap_or_default()
+    }
+
+    /// Is the user authorized for this role (directly, or via a senior
+    /// role they hold)?
+    pub fn authorized_for_role(&self, user: &str, role: &str) -> bool {
+        let assigned = self.roles_of(user);
+        if assigned.contains(role) {
+            return true;
+        }
+        assigned.iter().any(|r| self.inherits(r, role))
+    }
+
+    /// The permission names effectively granted by a role (its own plus
+    /// all inherited juniors').
+    pub fn permissions_of_role(&self, role: &str) -> BTreeSet<Name> {
+        let mut roles = BTreeSet::new();
+        roles.insert(name(role));
+        let closed = self.close_over_juniors(&roles);
+        let mut out = BTreeSet::new();
+        for r in closed {
+            if let Some(ps) = self.role_perms.get(&r) {
+                out.extend(ps.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Does the user exist?
+    pub fn has_user(&self, user: &str) -> bool {
+        self.users.contains(user)
+    }
+
+    /// Does the role exist?
+    pub fn has_role(&self, role: &str) -> bool {
+        self.roles.contains(role)
+    }
+
+    /// All roles in name order.
+    pub fn all_roles(&self) -> impl Iterator<Item = &Name> {
+        self.roles.iter()
+    }
+
+    /// All users in name order.
+    pub fn all_users(&self) -> impl Iterator<Item = &Name> {
+        self.users.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::AccessPattern;
+    use crate::sod::SodConstraint;
+
+    fn base() -> RbacModel {
+        let mut m = RbacModel::new();
+        m.add_user("song").add_user("alice");
+        m.add_role("employee").add_role("auditor").add_role("chief");
+        m.add_permission(Permission::new("p-read", AccessPattern::parse("read:db:*").unwrap()))
+            .unwrap();
+        m.add_permission(Permission::new("p-audit", AccessPattern::parse("verify:*:*").unwrap()))
+            .unwrap();
+        m.assign_permission("employee", "p-read").unwrap();
+        m.assign_permission("auditor", "p-audit").unwrap();
+        m
+    }
+
+    #[test]
+    fn assignment_and_lookup() {
+        let mut m = base();
+        m.assign_user("song", "employee").unwrap();
+        assert!(m.roles_of("song").contains("employee"));
+        assert!(m.authorized_for_role("song", "employee"));
+        assert!(!m.authorized_for_role("song", "auditor"));
+    }
+
+    #[test]
+    fn unknown_references_error() {
+        let mut m = base();
+        assert!(matches!(
+            m.assign_user("ghost", "employee"),
+            Err(RbacError::UnknownUser(_))
+        ));
+        assert!(matches!(
+            m.assign_user("song", "ghost-role"),
+            Err(RbacError::UnknownRole(_))
+        ));
+        assert!(matches!(
+            m.assign_permission("employee", "nope"),
+            Err(RbacError::UnknownPermission(_))
+        ));
+        assert!(matches!(
+            m.add_inheritance("employee", "nope"),
+            Err(RbacError::UnknownRole(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_permission_rejected() {
+        let mut m = base();
+        assert!(matches!(
+            m.add_permission(Permission::new("p-read", AccessPattern::any())),
+            Err(RbacError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn inheritance_propagates_permissions() {
+        let mut m = base();
+        m.add_inheritance("chief", "auditor").unwrap();
+        m.add_inheritance("auditor", "employee").unwrap();
+        let ps = m.permissions_of_role("chief");
+        assert!(ps.contains("p-audit"));
+        assert!(ps.contains("p-read"));
+        // Senior role authorizes junior activation.
+        m.assign_user("song", "chief").unwrap();
+        assert!(m.authorized_for_role("song", "employee"));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut m = base();
+        m.add_inheritance("chief", "auditor").unwrap();
+        m.add_inheritance("auditor", "employee").unwrap();
+        assert!(matches!(
+            m.add_inheritance("employee", "chief"),
+            Err(RbacError::HierarchyCycle(_, _))
+        ));
+        assert!(matches!(
+            m.add_inheritance("chief", "chief"),
+            Err(RbacError::HierarchyCycle(_, _))
+        ));
+    }
+
+    #[test]
+    fn ssd_blocks_conflicting_assignment() {
+        let mut m = base();
+        m.add_ssd(SodConstraint::mutually_exclusive(["auditor", "employee"]))
+            .unwrap();
+        m.assign_user("song", "auditor").unwrap();
+        assert!(matches!(
+            m.assign_user("song", "employee"),
+            Err(RbacError::SodViolation(_))
+        ));
+        // Other users are unaffected.
+        m.assign_user("alice", "employee").unwrap();
+    }
+
+    #[test]
+    fn ssd_sees_through_inheritance() {
+        let mut m = base();
+        m.add_inheritance("chief", "auditor").unwrap();
+        m.add_ssd(SodConstraint::mutually_exclusive(["auditor", "employee"]))
+            .unwrap();
+        m.assign_user("song", "employee").unwrap();
+        // chief inherits auditor -> conflicts with employee.
+        assert!(matches!(
+            m.assign_user("song", "chief"),
+            Err(RbacError::SodViolation(_))
+        ));
+    }
+
+    #[test]
+    fn retroactive_ssd_validation() {
+        let mut m = base();
+        m.assign_user("song", "auditor").unwrap();
+        m.assign_user("song", "employee").unwrap();
+        assert!(matches!(
+            m.add_ssd(SodConstraint::mutually_exclusive(["auditor", "employee"])),
+            Err(RbacError::SodViolation(_))
+        ));
+    }
+}

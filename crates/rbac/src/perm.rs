@@ -1,0 +1,238 @@
+//! Permissions: named access patterns with spatio-temporal attachments.
+
+use std::fmt;
+
+use stacl_sral::ast::{name, Name};
+use stacl_sral::Access;
+use stacl_srac::Constraint;
+use stacl_temporal::BaseTimeScheme;
+
+/// What a permission grants: an access pattern over (op, resource,
+/// server). `None` components are wildcards.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct AccessPattern {
+    /// Required operation, or any.
+    pub op: Option<Name>,
+    /// Required resource, or any.
+    pub resource: Option<Name>,
+    /// Required server, or any.
+    pub server: Option<Name>,
+}
+
+impl AccessPattern {
+    /// The pattern matching every access.
+    pub fn any() -> Self {
+        AccessPattern::default()
+    }
+
+    /// An exact pattern for one access triple.
+    pub fn exact(op: impl AsRef<str>, resource: impl AsRef<str>, server: impl AsRef<str>) -> Self {
+        AccessPattern {
+            op: Some(name(op)),
+            resource: Some(name(resource)),
+            server: Some(name(server)),
+        }
+    }
+
+    /// Parse the compact `op:resource:server` form where `*` is a
+    /// wildcard, e.g. `read:db:*`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.split(':');
+        let op = parts.next()?;
+        let resource = parts.next()?;
+        let server = parts.next()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        let mk = |p: &str| {
+            if p == "*" {
+                None
+            } else {
+                Some(name(p))
+            }
+        };
+        Some(AccessPattern {
+            op: mk(op),
+            resource: mk(resource),
+            server: mk(server),
+        })
+    }
+
+    /// Does the pattern cover `a`?
+    pub fn covers(&self, a: &Access) -> bool {
+        fn ok(p: &Option<Name>, v: &Name) -> bool {
+            p.as_ref().map_or(true, |x| x == v)
+        }
+        ok(&self.op, &a.op) && ok(&self.resource, &a.resource) && ok(&self.server, &a.server)
+    }
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn part(p: &Option<Name>) -> &str {
+            p.as_deref().unwrap_or("*")
+        }
+        write!(
+            f,
+            "{}:{}:{}",
+            part(&self.op),
+            part(&self.resource),
+            part(&self.server)
+        )
+    }
+}
+
+/// Whose execution proofs a spatial constraint ranges over.
+///
+/// §1 of the paper: "permissions may be granted based not only on the
+/// requesting subject, but also on the previous access actions of the
+/// device **and even of its companions**". `Team` scope evaluates the
+/// constraint against the combined history of *all* mobile objects in the
+/// coalition (a shared licence pool, a team-wide audit budget, …).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum HistoryScope {
+    /// Only the requesting object's own proofs (the default).
+    #[default]
+    PerObject,
+    /// The combined proofs of every object — teamwork coordination.
+    Team,
+}
+
+impl HistoryScope {
+    /// Policy-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistoryScope::PerObject => "object",
+            HistoryScope::Team => "team",
+        }
+    }
+
+    /// Parse from the policy-file name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "object" => Some(HistoryScope::PerObject),
+            "team" => Some(HistoryScope::Team),
+            _ => None,
+        }
+    }
+}
+
+/// A permission: a named grant with optional spatio-temporal constraints.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Permission {
+    /// The permission's name (unique within a model).
+    pub name: Name,
+    /// The accesses this permission can grant.
+    pub grants: AccessPattern,
+    /// The spatial (SRAC) constraint that must hold for the permission to
+    /// be *active* (Eq. 3.1); `None` = unconstrained.
+    pub spatial: Option<Constraint>,
+    /// Whose history the spatial constraint is evaluated against.
+    pub scope: HistoryScope,
+    /// Validity duration in seconds (Eq. 4.1); `None` = time-insensitive
+    /// (ignored when `class` is set).
+    pub validity: Option<f64>,
+    /// The base-time scheme for the validity integral.
+    pub scheme: BaseTimeScheme,
+    /// Validity class: permissions sharing a class draw from ONE
+    /// aggregated validity budget per object (the paper's future-work
+    /// item: "classify the temporal permissions and aggregate their
+    /// validity durations"). The class is defined on the model.
+    pub class: Option<Name>,
+}
+
+impl Permission {
+    /// An unconstrained permission.
+    pub fn new(name_: impl AsRef<str>, grants: AccessPattern) -> Self {
+        Permission {
+            name: name(name_),
+            grants,
+            spatial: None,
+            scope: HistoryScope::PerObject,
+            validity: None,
+            scheme: BaseTimeScheme::WholeLifetime,
+            class: None,
+        }
+    }
+
+    /// Attach a spatial constraint.
+    pub fn with_spatial(mut self, c: Constraint) -> Self {
+        self.spatial = Some(c);
+        self
+    }
+
+    /// Evaluate the spatial constraint against the team's combined
+    /// history instead of the object's own.
+    pub fn with_scope(mut self, scope: HistoryScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Attach a validity duration (seconds) under a scheme.
+    pub fn with_validity(mut self, seconds: f64, scheme: BaseTimeScheme) -> Self {
+        assert!(seconds.is_finite() && seconds >= 0.0);
+        self.validity = Some(seconds);
+        self.scheme = scheme;
+        self
+    }
+
+    /// Draw validity from a named class's aggregated budget (defined via
+    /// [`crate::extended::ExtendedRbac::define_validity_class`]).
+    pub fn with_class(mut self, class: impl AsRef<str>) -> Self {
+        self.class = Some(name(class));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_covers() {
+        let p = AccessPattern::parse("read:db:*").unwrap();
+        assert!(p.covers(&Access::new("read", "db", "s1")));
+        assert!(p.covers(&Access::new("read", "db", "s9")));
+        assert!(!p.covers(&Access::new("write", "db", "s1")));
+        assert!(!p.covers(&Access::new("read", "other", "s1")));
+    }
+
+    #[test]
+    fn any_pattern() {
+        assert!(AccessPattern::any().covers(&Access::new("a", "b", "c")));
+        assert_eq!(AccessPattern::parse("*:*:*").unwrap(), AccessPattern::any());
+    }
+
+    #[test]
+    fn exact_pattern() {
+        let p = AccessPattern::exact("read", "db", "s1");
+        assert!(p.covers(&Access::new("read", "db", "s1")));
+        assert!(!p.covers(&Access::new("read", "db", "s2")));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(AccessPattern::parse("justtwo:parts").is_none());
+        assert!(AccessPattern::parse("a:b:c:d").is_none());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in ["read:db:*", "*:*:*", "exec:app:s2"] {
+            let p = AccessPattern::parse(s).unwrap();
+            assert_eq!(p.to_string(), s);
+            assert_eq!(AccessPattern::parse(&p.to_string()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn permission_builders() {
+        let p = Permission::new("p1", AccessPattern::parse("read:db:*").unwrap())
+            .with_spatial(Constraint::True)
+            .with_validity(60.0, BaseTimeScheme::CurrentServer);
+        assert_eq!(&*p.name, "p1");
+        assert!(p.spatial.is_some());
+        assert_eq!(p.validity, Some(60.0));
+        assert_eq!(p.scheme, BaseTimeScheme::CurrentServer);
+    }
+}

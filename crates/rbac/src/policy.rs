@@ -1,0 +1,468 @@
+//! A line-oriented text policy format — the analogue of the Java policy
+//! files the Naplet prototype uses for role-permission assignment ("the
+//! grant statements associate the permissions to principals", §5.1).
+//!
+//! ```text
+//! # integrity-audit policy
+//! user  auditor-agent
+//! role  auditor
+//! role  chief
+//! inherit chief auditor                    # chief ≥ auditor
+//! assign auditor-agent auditor
+//! permission p-verify grants=verify:*:* validity=3600 scheme=whole-lifetime \
+//!            spatial="count(0, 100, op=verify)"
+//! grant auditor p-verify
+//! ssd 1 auditor,editor
+//! ```
+//!
+//! Directives: `user`, `role`, `inherit <senior> <junior>`,
+//! `assign <user> <role>`, `permission <name> grants=<op:res:srv> [...]`,
+//! `grant <role> <perm>`, `ssd <limit> <role,role,...>`. `#` starts a
+//! comment; a trailing `\` continues a line.
+
+use std::fmt::Write as _;
+
+use stacl_srac::parser::parse_constraint;
+use stacl_temporal::BaseTimeScheme;
+
+use crate::model::{RbacError, RbacModel};
+use crate::perm::{AccessPattern, Permission};
+use crate::sod::SodConstraint;
+
+/// Errors from policy parsing/loading.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PolicyError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// The parsed policy violates model invariants.
+    Model(RbacError),
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::Syntax { line, message } => {
+                write!(f, "policy line {line}: {message}")
+            }
+            PolicyError::Model(e) => write!(f, "policy rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl From<RbacError> for PolicyError {
+    fn from(e: RbacError) -> Self {
+        PolicyError::Model(e)
+    }
+}
+
+/// Parse a policy document into a fresh [`RbacModel`].
+pub fn parse_policy(text: &str) -> Result<RbacModel, PolicyError> {
+    let mut model = RbacModel::new();
+    // Join continued lines first, tracking original line numbers.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let without_comment = strip_comment(raw);
+        let trimmed = without_comment.trim();
+        let (content, continued) = match trimmed.strip_suffix('\\') {
+            Some(head) => (head.trim_end(), true),
+            None => (trimmed, false),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(content);
+                if continued {
+                    pending = Some((start, acc));
+                } else {
+                    logical.push((start, acc));
+                }
+            }
+            None => {
+                if content.is_empty() {
+                    continue;
+                }
+                if continued {
+                    pending = Some((line_no, content.to_string()));
+                } else {
+                    logical.push((line_no, content.to_string()));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        logical.push((start, acc));
+    }
+
+    for (line, content) in logical {
+        parse_directive(&mut model, &content)
+            .map_err(|message| PolicyError::Syntax { line, message })??;
+    }
+    Ok(model)
+}
+
+/// Split a line respecting double-quoted segments.
+fn tokenize(line: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quote".into());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                out.push(c);
+            }
+            '#' if !in_quotes => break,
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Returns Ok(Ok(())) on success, Ok(Err(model error)) for semantic
+/// failures, Err(message) for syntax failures.
+#[allow(clippy::result_large_err)]
+fn parse_directive(model: &mut RbacModel, line: &str) -> Result<Result<(), PolicyError>, String> {
+    let tokens = tokenize(line)?;
+    let Some(head) = tokens.first() else {
+        return Ok(Ok(()));
+    };
+    let rest = &tokens[1..];
+    match head.as_str() {
+        "user" => {
+            let [u] = rest else {
+                return Err("usage: user <name>".into());
+            };
+            model.add_user(u);
+            Ok(Ok(()))
+        }
+        "role" => {
+            let [r] = rest else {
+                return Err("usage: role <name>".into());
+            };
+            model.add_role(r);
+            Ok(Ok(()))
+        }
+        "inherit" => {
+            let [senior, junior] = rest else {
+                return Err("usage: inherit <senior> <junior>".into());
+            };
+            Ok(model
+                .add_inheritance(senior, junior)
+                .map_err(PolicyError::from))
+        }
+        "assign" => {
+            let [user, role] = rest else {
+                return Err("usage: assign <user> <role>".into());
+            };
+            Ok(model.assign_user(user, role).map_err(PolicyError::from))
+        }
+        "grant" => {
+            let [role, perm] = rest else {
+                return Err("usage: grant <role> <permission>".into());
+            };
+            Ok(model
+                .assign_permission(role, perm)
+                .map_err(PolicyError::from))
+        }
+        "ssd" => {
+            let [limit, roles] = rest else {
+                return Err("usage: ssd <limit> <role,role,...>".into());
+            };
+            let limit: usize = limit
+                .parse()
+                .map_err(|_| format!("invalid ssd limit `{limit}`"))?;
+            let roles: Vec<&str> = roles.split(',').map(str::trim).collect();
+            if roles.len() <= limit {
+                return Err("ssd constraint is vacuous (limit ≥ set size)".into());
+            }
+            Ok(model
+                .add_ssd(SodConstraint::at_most(limit, roles))
+                .map_err(PolicyError::from))
+        }
+        "permission" => {
+            let Some(name) = rest.first() else {
+                return Err("usage: permission <name> grants=<pattern> [...]".into());
+            };
+            let mut grants: Option<AccessPattern> = None;
+            let mut spatial = None;
+            let mut validity = None;
+            let mut scheme = BaseTimeScheme::WholeLifetime;
+            let mut scope = crate::perm::HistoryScope::PerObject;
+            let mut class: Option<String> = None;
+            for kv in &rest[1..] {
+                let Some((key, value)) = kv.split_once('=') else {
+                    return Err(format!("expected key=value, found `{kv}`"));
+                };
+                match key {
+                    "grants" => {
+                        grants = Some(
+                            AccessPattern::parse(value)
+                                .ok_or_else(|| format!("bad access pattern `{value}`"))?,
+                        );
+                    }
+                    "spatial" => {
+                        spatial = Some(
+                            parse_constraint(value).map_err(|e| format!("bad constraint: {e}"))?,
+                        );
+                    }
+                    "validity" => {
+                        let v: f64 = value
+                            .parse()
+                            .map_err(|_| format!("bad validity `{value}`"))?;
+                        if !v.is_finite() || v < 0.0 {
+                            return Err(format!("validity must be ≥ 0, got `{value}`"));
+                        }
+                        validity = Some(v);
+                    }
+                    "scheme" => {
+                        scheme = BaseTimeScheme::from_name(value)
+                            .ok_or_else(|| format!("unknown scheme `{value}`"))?;
+                    }
+                    "scope" => {
+                        scope = crate::perm::HistoryScope::from_name(value)
+                            .ok_or_else(|| format!("unknown scope `{value}` (object|team)"))?;
+                    }
+                    "class" => {
+                        class = Some(value.to_string());
+                    }
+                    other => return Err(format!("unknown permission attribute `{other}`")),
+                }
+            }
+            let grants = grants.ok_or("permission requires grants=<op:res:srv>")?;
+            let mut p = Permission::new(name, grants);
+            p.spatial = spatial;
+            p.scope = scope;
+            if let Some(c) = class {
+                p = p.with_class(c);
+            }
+            if let Some(v) = validity {
+                p = p.with_validity(v, scheme);
+            } else {
+                p.scheme = scheme;
+            }
+            Ok(model.add_permission(p).map_err(PolicyError::from))
+        }
+        other => Err(format!("unknown directive `{other}`")),
+    }
+}
+
+/// Render a model back to policy text (normalised form; parses back to an
+/// equivalent model).
+pub fn render_policy(model: &RbacModel) -> String {
+    let mut out = String::new();
+    for u in model.all_users() {
+        let _ = writeln!(out, "user {u}");
+    }
+    for r in model.all_roles() {
+        let _ = writeln!(out, "role {r}");
+    }
+    for senior in model.all_roles() {
+        for junior in model.all_roles() {
+            if senior != junior
+                && model.inherits(senior, junior)
+                // Emit only direct-ish edges: skip if some intermediate
+                // role sits between (keeps the rendering small).
+                && !model.all_roles().any(|m| {
+                    m != senior && m != junior && model.inherits(senior, m) && model.inherits(m, junior)
+                })
+            {
+                let _ = writeln!(out, "inherit {senior} {junior}");
+            }
+        }
+    }
+    for p in model.permissions() {
+        let _ = write!(out, "permission {} grants={}", p.name, p.grants);
+        if let Some(v) = p.validity {
+            let _ = write!(out, " validity={v} scheme={}", p.scheme.name());
+        }
+        if p.scope != crate::perm::HistoryScope::PerObject {
+            let _ = write!(out, " scope={}", p.scope.name());
+        }
+        if let Some(c) = &p.class {
+            let _ = write!(out, " class={c}");
+        }
+        if let Some(c) = &p.spatial {
+            let _ = write!(out, " spatial=\"{c}\"");
+        }
+        let _ = writeln!(out);
+    }
+    for r in model.all_roles() {
+        for p in model.permissions_of_role(r) {
+            // Only direct assignments: skip inherited renderings.
+            let direct = {
+                let juniors: Vec<_> = model
+                    .all_roles()
+                    .filter(|j| *j != r && model.inherits(r, j))
+                    .collect();
+                !juniors
+                    .iter()
+                    .any(|j| model.permissions_of_role(j).contains(&p))
+            };
+            if direct {
+                let _ = writeln!(out, "grant {r} {p}");
+            }
+        }
+    }
+    for u in model.all_users() {
+        for r in model.roles_of(u) {
+            let _ = writeln!(out, "assign {u} {r}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# integrity-audit policy
+user  auditor-agent
+role  auditor
+role  chief
+inherit chief auditor
+assign auditor-agent auditor
+permission p-verify grants=verify:*:* validity=3600 scheme=whole-lifetime \
+           spatial="count(0, 100, op=verify)"
+permission p-read grants=read:manifest:home
+grant auditor p-verify
+grant chief p-read
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let m = parse_policy(SAMPLE).unwrap();
+        assert!(m.has_user("auditor-agent"));
+        assert!(m.has_role("chief"));
+        assert!(m.inherits("chief", "auditor"));
+        let p = m.permission("p-verify").unwrap();
+        assert_eq!(p.validity, Some(3600.0));
+        assert!(p.spatial.is_some());
+        assert!(m.permissions_of_role("chief").contains("p-verify"));
+        assert!(m.roles_of("auditor-agent").contains("auditor"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let m = parse_policy("# nothing\n\n  # indented comment\nrole r\n").unwrap();
+        assert!(m.has_role("r"));
+    }
+
+    #[test]
+    fn quoted_constraint_may_contain_spaces_and_hash() {
+        let text = r#"
+role r
+permission p grants=*:*:* spatial="[a x @ s] before [b y @ s] and count(0, 5, all)"
+grant r p
+"#;
+        let m = parse_policy(text).unwrap();
+        assert!(m.permission("p").unwrap().spatial.is_some());
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_policy("role r\nbogus directive\n").unwrap_err();
+        match err {
+            PolicyError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_errors_surface() {
+        let err = parse_policy("assign ghost role1\n").unwrap_err();
+        assert!(matches!(err, PolicyError::Model(_)));
+    }
+
+    #[test]
+    fn bad_permission_attributes() {
+        assert!(parse_policy("permission p grants=bad-pattern\n").is_err());
+        assert!(parse_policy("permission p grants=*:*:* validity=-1\n").is_err());
+        assert!(parse_policy("permission p grants=*:*:* scheme=weird\n").is_err());
+        assert!(parse_policy("permission p grants=*:*:* spatial=\"((\"\n").is_err());
+        assert!(parse_policy("permission p\n").is_err());
+    }
+
+    #[test]
+    fn ssd_directive() {
+        let m = parse_policy("role a\nrole b\nuser u\nssd 1 a,b\nassign u a\n").unwrap();
+        assert!(m.has_role("a"));
+        // The SSD now blocks the second assignment.
+        let err = parse_policy("role a\nrole b\nuser u\nssd 1 a,b\nassign u a\nassign u b\n")
+            .unwrap_err();
+        assert!(matches!(err, PolicyError::Model(RbacError::SodViolation(_))));
+    }
+
+    #[test]
+    fn render_roundtrip() {
+        let m = parse_policy(SAMPLE).unwrap();
+        let text = render_policy(&m);
+        let m2 = parse_policy(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        // Same users/roles/permissions and same effective grants.
+        assert!(m2.has_user("auditor-agent"));
+        assert!(m2.inherits("chief", "auditor"));
+        assert_eq!(
+            m.permissions_of_role("chief"),
+            m2.permissions_of_role("chief")
+        );
+        assert_eq!(m.roles_of("auditor-agent"), m2.roles_of("auditor-agent"));
+        let p = m2.permission("p-verify").unwrap();
+        assert_eq!(p.validity, Some(3600.0));
+    }
+
+    #[test]
+    fn scope_and_class_attributes() {
+        let m = parse_policy(
+            "role r\npermission p grants=*:*:* scope=team class=pool-a\ngrant r p\n",
+        )
+        .unwrap();
+        let p = m.permission("p").unwrap();
+        assert_eq!(p.scope, crate::perm::HistoryScope::Team);
+        assert_eq!(p.class.as_deref(), Some("pool-a"));
+        // Unknown scope value is rejected.
+        assert!(parse_policy("permission p grants=*:*:* scope=galaxy\n").is_err());
+        // Render round-trips the new attributes.
+        let text = render_policy(&m);
+        assert!(text.contains("scope=team"), "{text}");
+        assert!(text.contains("class=pool-a"), "{text}");
+        let m2 = parse_policy(&text).unwrap();
+        assert_eq!(m2.permission("p").unwrap().scope, crate::perm::HistoryScope::Team);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(parse_policy("permission p grants=*:*:* spatial=\"oops\n").is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Sessions (the paper's *subjects*): the run-time binding between an
+//! authenticated user/mobile object and its activated roles.
+//!
+//! "A subject relates a user to possibly many roles. When a user logs in
+//! the system after authentication, he establishes some subject(s), by
+//! which he can request activation of some of the roles he is authorized
+//! to perform." (§3.4.)
+
+use std::collections::BTreeSet;
+
+use stacl_sral::ast::Name;
+
+use crate::model::{RbacError, RbacModel};
+use crate::sod::SodConstraint;
+
+/// An opaque session identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SessionId(pub u64);
+
+/// A subject: one authenticated user with a set of activated roles.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// The session id.
+    pub id: SessionId,
+    /// The authenticated user (mobile object owner or the object itself).
+    pub user: Name,
+    /// Roles currently active in this session.
+    active: BTreeSet<Name>,
+    /// Dynamic separation-of-duty constraints in force.
+    dsd: Vec<SodConstraint>,
+}
+
+impl Session {
+    /// Create a session for an authenticated user. Fails for unknown
+    /// users (authentication is assumed to have happened upstream).
+    pub fn open(
+        model: &RbacModel,
+        id: SessionId,
+        user: impl AsRef<str>,
+        dsd: Vec<SodConstraint>,
+    ) -> Result<Session, RbacError> {
+        let user_ref = user.as_ref();
+        if !model.has_user(user_ref) {
+            return Err(RbacError::UnknownUser(user_ref.into()));
+        }
+        Ok(Session {
+            id,
+            user: stacl_sral::ast::name(user_ref),
+            active: BTreeSet::new(),
+            dsd,
+        })
+    }
+
+    /// Activate a role: the user must be authorized for it (directly or
+    /// via a senior role) and DSD constraints must allow the combination.
+    pub fn activate_role(&mut self, model: &RbacModel, role: &str) -> Result<(), RbacError> {
+        if !model.has_role(role) {
+            return Err(RbacError::UnknownRole(role.into()));
+        }
+        if !model.authorized_for_role(&self.user, role) {
+            return Err(RbacError::UnknownRole(format!(
+                "user `{}` is not authorized for role `{role}`",
+                self.user
+            )));
+        }
+        let mut tentative = self.active.clone();
+        tentative.insert(stacl_sral::ast::name(role));
+        let effective = model.close_over_juniors(&tentative);
+        for c in &self.dsd {
+            if let Err(msg) = c.check(&effective) {
+                return Err(RbacError::SodViolation(msg));
+            }
+        }
+        self.active = tentative;
+        Ok(())
+    }
+
+    /// Deactivate a role (no-op if not active).
+    pub fn deactivate_role(&mut self, role: &str) {
+        self.active.remove(role);
+    }
+
+    /// The roles explicitly activated in this session (`AR(s)`).
+    pub fn active_roles(&self) -> &BTreeSet<Name> {
+        &self.active
+    }
+
+    /// The permission names available through the active roles, including
+    /// inherited ones (`∪ RP(r)` over the closure of `AR(s)`).
+    pub fn available_permissions(&self, model: &RbacModel) -> BTreeSet<Name> {
+        let mut out = BTreeSet::new();
+        for r in &self.active {
+            out.extend(model.permissions_of_role(r));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::{AccessPattern, Permission};
+
+    fn model() -> RbacModel {
+        let mut m = RbacModel::new();
+        m.add_user("song");
+        m.add_role("employee").add_role("auditor").add_role("chief");
+        m.add_permission(Permission::new("p-read", AccessPattern::any()))
+            .unwrap();
+        m.add_permission(Permission::new("p-audit", AccessPattern::any()))
+            .unwrap();
+        m.assign_permission("employee", "p-read").unwrap();
+        m.assign_permission("auditor", "p-audit").unwrap();
+        m.add_inheritance("chief", "auditor").unwrap();
+        m.assign_user("song", "employee").unwrap();
+        m.assign_user("song", "chief").unwrap();
+        m
+    }
+
+    #[test]
+    fn open_requires_known_user() {
+        let m = model();
+        assert!(Session::open(&m, SessionId(0), "ghost", vec![]).is_err());
+        assert!(Session::open(&m, SessionId(0), "song", vec![]).is_ok());
+    }
+
+    #[test]
+    fn activation_requires_authorization() {
+        let m = model();
+        let mut s = Session::open(&m, SessionId(1), "song", vec![]).unwrap();
+        s.activate_role(&m, "employee").unwrap();
+        // chief is assigned; auditor comes via seniority.
+        s.activate_role(&m, "auditor").unwrap();
+        assert_eq!(s.active_roles().len(), 2);
+    }
+
+    #[test]
+    fn unauthorized_activation_fails() {
+        let mut m = model();
+        m.add_user("mallory");
+        let mut s = Session::open(&m, SessionId(2), "mallory", vec![]).unwrap();
+        assert!(s.activate_role(&m, "employee").is_err());
+    }
+
+    #[test]
+    fn permissions_follow_activation() {
+        let m = model();
+        let mut s = Session::open(&m, SessionId(3), "song", vec![]).unwrap();
+        assert!(s.available_permissions(&m).is_empty());
+        s.activate_role(&m, "chief").unwrap();
+        // chief inherits auditor's p-audit.
+        assert!(s.available_permissions(&m).contains("p-audit"));
+        assert!(!s.available_permissions(&m).contains("p-read"));
+        s.activate_role(&m, "employee").unwrap();
+        assert!(s.available_permissions(&m).contains("p-read"));
+    }
+
+    #[test]
+    fn dsd_blocks_conflicting_activation() {
+        let m = model();
+        let dsd = vec![SodConstraint::mutually_exclusive(["employee", "auditor"])];
+        let mut s = Session::open(&m, SessionId(4), "song", dsd).unwrap();
+        s.activate_role(&m, "employee").unwrap();
+        assert!(matches!(
+            s.activate_role(&m, "auditor"),
+            Err(RbacError::SodViolation(_))
+        ));
+        // Deactivate then activate the other: allowed (that's the point of
+        // *dynamic* SoD).
+        s.deactivate_role("employee");
+        s.activate_role(&m, "auditor").unwrap();
+    }
+
+    #[test]
+    fn dsd_sees_through_inheritance() {
+        let m = model();
+        let dsd = vec![SodConstraint::mutually_exclusive(["employee", "auditor"])];
+        let mut s = Session::open(&m, SessionId(5), "song", dsd).unwrap();
+        s.activate_role(&m, "employee").unwrap();
+        // chief inherits auditor → conflict.
+        assert!(s.activate_role(&m, "chief").is_err());
+    }
+
+    #[test]
+    fn deactivate_unknown_is_noop() {
+        let m = model();
+        let mut s = Session::open(&m, SessionId(6), "song", vec![]).unwrap();
+        s.deactivate_role("never-active");
+        assert!(s.active_roles().is_empty());
+    }
+}

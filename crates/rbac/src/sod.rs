@@ -1,0 +1,101 @@
+//! Separation-of-duty constraints.
+//!
+//! Classic RBAC constraint machinery (the paper's base model \[8\] includes
+//! a constraint component; SRAC and durations are the paper's additions,
+//! SoD is the standard one): a *static* SoD constraint bounds how many
+//! roles of a conflicting set one user may be **assigned**; a *dynamic*
+//! SoD constraint bounds how many may be **active in one session**.
+
+use std::collections::BTreeSet;
+
+use stacl_sral::ast::{name, Name};
+
+/// A separation-of-duty constraint: at most `limit` roles of `roles` may
+/// be held together (assignment for SSD, activation for DSD).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SodConstraint {
+    /// The conflicting role set.
+    pub roles: BTreeSet<Name>,
+    /// Maximum number of the set that may be held simultaneously.
+    pub limit: usize,
+}
+
+impl SodConstraint {
+    /// A constraint allowing at most `limit` of the given roles.
+    pub fn at_most<S: AsRef<str>>(limit: usize, roles: impl IntoIterator<Item = S>) -> Self {
+        let roles: BTreeSet<Name> = roles.into_iter().map(name).collect();
+        assert!(limit >= 1, "a zero limit would forbid every role in the set");
+        assert!(
+            roles.len() > limit,
+            "constraint is vacuous: limit ≥ set size"
+        );
+        SodConstraint { roles, limit }
+    }
+
+    /// The common case: the roles are pairwise mutually exclusive
+    /// (at most one of the set).
+    pub fn mutually_exclusive<S: AsRef<str>>(roles: impl IntoIterator<Item = S>) -> Self {
+        SodConstraint::at_most(1, roles)
+    }
+
+    /// Check a role set against the constraint.
+    pub fn check(&self, held: &BTreeSet<Name>) -> Result<(), String> {
+        let conflict: Vec<&Name> = self.roles.intersection(held).collect();
+        if conflict.len() > self.limit {
+            let names: Vec<&str> = conflict.iter().map(|n| &***n).collect();
+            Err(format!(
+                "holds {} of a conflicting set (limit {}): {}",
+                conflict.len(),
+                self.limit,
+                names.join(", ")
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set<const N: usize>(names: [&str; N]) -> BTreeSet<Name> {
+        names.iter().map(name).collect()
+    }
+
+    #[test]
+    fn mutually_exclusive_pair() {
+        let c = SodConstraint::mutually_exclusive(["a", "b"]);
+        assert!(c.check(&set(["a"])).is_ok());
+        assert!(c.check(&set(["b", "x"])).is_ok());
+        assert!(c.check(&set(["a", "b"])).is_err());
+    }
+
+    #[test]
+    fn cardinality_limit() {
+        let c = SodConstraint::at_most(2, ["a", "b", "c"]);
+        assert!(c.check(&set(["a", "b"])).is_ok());
+        assert!(c.check(&set(["a", "b", "c"])).is_err());
+    }
+
+    #[test]
+    fn unrelated_roles_ignored() {
+        let c = SodConstraint::mutually_exclusive(["a", "b"]);
+        assert!(c.check(&set(["x", "y", "z"])).is_ok());
+        assert!(c.check(&BTreeSet::new()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "vacuous")]
+    fn vacuous_constraint_rejected() {
+        let _ = SodConstraint::at_most(2, ["a", "b"]);
+    }
+
+    #[test]
+    fn error_message_names_roles() {
+        let c = SodConstraint::mutually_exclusive(["auditor", "editor"]);
+        let err = c.check(&set(["auditor", "editor"])).unwrap_err();
+        assert!(err.contains("auditor"));
+        assert!(err.contains("editor"));
+    }
+}

@@ -1,0 +1,287 @@
+//! The SRAC constraint AST (Definition 3.4).
+
+use std::fmt;
+
+use stacl_sral::Access;
+
+use crate::selector::Selector;
+
+/// A spatial constraint over shared-resource accesses.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Constraint {
+    /// `T` — always satisfied.
+    True,
+    /// `F` — never satisfied.
+    False,
+    /// `a` — the access must be performed (with an execution proof).
+    Atom(Access),
+    /// `a1 ⊗ a2` — `a1` must be performed strictly before `a2`; other
+    /// accesses may occur in between.
+    Ordered(Access, Access),
+    /// `#(m, n, σ(A))` — the number of performed accesses selected by σ
+    /// must lie in `[min, max]`; `max = None` means unbounded.
+    Card {
+        /// Lower bound (inclusive).
+        min: usize,
+        /// Upper bound (inclusive); `None` = ∞.
+        max: Option<usize>,
+        /// The selection σ over the access set.
+        selector: Selector,
+    },
+    /// Conjunction.
+    And(Box<Constraint>, Box<Constraint>),
+    /// Disjunction.
+    Or(Box<Constraint>, Box<Constraint>),
+    /// Negation.
+    Not(Box<Constraint>),
+}
+
+impl Constraint {
+    /// `C1 ∧ C2`.
+    pub fn and(self, rhs: Constraint) -> Constraint {
+        Constraint::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `C1 ∨ C2`.
+    pub fn or(self, rhs: Constraint) -> Constraint {
+        Constraint::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `¬C`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Constraint {
+        Constraint::Not(Box::new(self))
+    }
+
+    /// The implication connective of the paper: `C1 → C2 ::= ¬C1 ∨ C2`.
+    pub fn implies(self, rhs: Constraint) -> Constraint {
+        self.not().or(rhs)
+    }
+
+    /// Conjunction of many constraints (`T` for the empty list).
+    pub fn all(parts: impl IntoIterator<Item = Constraint>) -> Constraint {
+        let mut iter = parts.into_iter();
+        match iter.next() {
+            None => Constraint::True,
+            Some(first) => iter.fold(first, |acc, c| acc.and(c)),
+        }
+    }
+
+    /// Disjunction of many constraints (`F` for the empty list).
+    pub fn any_of(parts: impl IntoIterator<Item = Constraint>) -> Constraint {
+        let mut iter = parts.into_iter();
+        match iter.next() {
+            None => Constraint::False,
+            Some(first) => iter.fold(first, |acc, c| acc.or(c)),
+        }
+    }
+
+    /// Shorthand for an atom.
+    pub fn atom(op: impl AsRef<str>, resource: impl AsRef<str>, server: impl AsRef<str>) -> Self {
+        Constraint::Atom(Access::new(op, resource, server))
+    }
+
+    /// Shorthand for an ordering constraint.
+    pub fn ordered(a1: Access, a2: Access) -> Self {
+        Constraint::Ordered(a1, a2)
+    }
+
+    /// Shorthand for a cardinality constraint with a finite upper bound.
+    pub fn at_most(n: usize, selector: Selector) -> Self {
+        Constraint::Card {
+            min: 0,
+            max: Some(n),
+            selector,
+        }
+    }
+
+    /// Shorthand for a cardinality constraint with only a lower bound.
+    pub fn at_least(m: usize, selector: Selector) -> Self {
+        Constraint::Card {
+            min: m,
+            max: None,
+            selector,
+        }
+    }
+
+    /// Number of AST nodes — the `n` of Theorem 3.2.
+    pub fn size(&self) -> usize {
+        match self {
+            Constraint::True
+            | Constraint::False
+            | Constraint::Atom(_)
+            | Constraint::Ordered(_, _)
+            | Constraint::Card { .. } => 1,
+            Constraint::And(a, b) | Constraint::Or(a, b) => 1 + a.size() + b.size(),
+            Constraint::Not(a) => 1 + a.size(),
+        }
+    }
+
+    /// All accesses mentioned by atoms and ordering constraints (the
+    /// constraint's contribution to the checking alphabet).
+    pub fn mentioned_accesses(&self) -> Vec<&Access> {
+        let mut out = Vec::new();
+        self.collect_accesses(&mut out);
+        out
+    }
+
+    fn collect_accesses<'a>(&'a self, out: &mut Vec<&'a Access>) {
+        match self {
+            Constraint::Atom(a) => out.push(a),
+            Constraint::Ordered(a, b) => {
+                out.push(a);
+                out.push(b);
+            }
+            Constraint::And(a, b) | Constraint::Or(a, b) => {
+                a.collect_accesses(out);
+                b.collect_accesses(out);
+            }
+            Constraint::Not(a) => a.collect_accesses(out),
+            _ => {}
+        }
+    }
+
+    /// Rewrite to negation normal form: negations pushed down to leaves
+    /// via De Morgan and double-negation elimination. The result is
+    /// logically equivalent; the checker uses it to expose `And`/`Or`
+    /// structure for quantifier distribution (see
+    /// [`crate::check::check_residual`]).
+    pub fn to_nnf(&self) -> Constraint {
+        fn pos(c: &Constraint) -> Constraint {
+            match c {
+                Constraint::And(a, b) => pos(a).and(pos(b)),
+                Constraint::Or(a, b) => pos(a).or(pos(b)),
+                Constraint::Not(a) => neg(a),
+                leaf => leaf.clone(),
+            }
+        }
+        fn neg(c: &Constraint) -> Constraint {
+            match c {
+                Constraint::True => Constraint::False,
+                Constraint::False => Constraint::True,
+                Constraint::And(a, b) => neg(a).or(neg(b)),
+                Constraint::Or(a, b) => neg(a).and(neg(b)),
+                Constraint::Not(a) => pos(a),
+                leaf => leaf.clone().not(),
+            }
+        }
+        pos(self)
+    }
+
+    /// The largest finite cardinality bound appearing anywhere — governs
+    /// counting-automaton sizes.
+    pub fn max_card_bound(&self) -> usize {
+        match self {
+            Constraint::Card { min, max, .. } => max.unwrap_or(*min),
+            Constraint::And(a, b) | Constraint::Or(a, b) => {
+                a.max_card_bound().max(b.max_card_bound())
+            }
+            Constraint::Not(a) => a.max_card_bound(),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::True => write!(f, "true"),
+            Constraint::False => write!(f, "false"),
+            Constraint::Atom(a) => write!(f, "[{a}]"),
+            Constraint::Ordered(a, b) => write!(f, "[{a}] before [{b}]"),
+            Constraint::Card {
+                min,
+                max,
+                selector,
+            } => match max {
+                Some(n) => write!(f, "count({min}, {n}, {selector})"),
+                None => write!(f, "count({min}, inf, {selector})"),
+            },
+            Constraint::And(a, b) => write!(f, "({a} and {b})"),
+            Constraint::Or(a, b) => write!(f, "({a} or {b})"),
+            Constraint::Not(a) => write!(f, "not ({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implication_desugars() {
+        let c = Constraint::atom("read", "r", "s").implies(Constraint::atom("log", "r", "s"));
+        assert!(matches!(c, Constraint::Or(_, _)));
+        assert_eq!(c.to_string(), "(not ([read r @ s]) or [log r @ s])");
+    }
+
+    #[test]
+    fn all_and_any() {
+        assert_eq!(Constraint::all([]), Constraint::True);
+        assert_eq!(Constraint::any_of([]), Constraint::False);
+        let c = Constraint::all([
+            Constraint::atom("a", "r", "s"),
+            Constraint::atom("b", "r", "s"),
+            Constraint::atom("c", "r", "s"),
+        ]);
+        assert_eq!(c.size(), 5);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let c = Constraint::atom("a", "r", "s")
+            .and(Constraint::at_most(5, Selector::any()))
+            .not();
+        assert_eq!(c.size(), 4);
+    }
+
+    #[test]
+    fn mentioned_accesses_walks() {
+        let c = Constraint::ordered(Access::new("a", "r", "s"), Access::new("b", "r", "s"))
+            .and(Constraint::atom("c", "r", "s"))
+            .or(Constraint::True);
+        let names: Vec<_> = c
+            .mentioned_accesses()
+            .iter()
+            .map(|a| a.op.to_string())
+            .collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn nnf_pushes_negations_to_leaves() {
+        let a = Constraint::atom("a", "r", "s");
+        let b = Constraint::atom("b", "r", "s");
+        // ¬(a ∧ ¬b) = ¬a ∨ b.
+        let c = a.clone().and(b.clone().not()).not();
+        let nnf = c.to_nnf();
+        assert_eq!(nnf, a.clone().not().or(b.clone()));
+        // ¬¬a = a.
+        assert_eq!(a.clone().not().not().to_nnf(), a.clone());
+        // ¬T = F and ¬F = T.
+        assert_eq!(Constraint::True.not().to_nnf(), Constraint::False);
+        // NNF is idempotent.
+        assert_eq!(nnf.to_nnf(), nnf);
+        // Deeply nested De Morgan: ¬(a ∨ (b ∧ ¬a)) = ¬a ∧ (¬b ∨ a).
+        let d = a.clone().or(b.clone().and(a.clone().not())).not();
+        assert_eq!(
+            d.to_nnf(),
+            a.clone().not().and(b.not().or(a))
+        );
+    }
+
+    #[test]
+    fn max_card_bound() {
+        let c = Constraint::at_most(5, Selector::any())
+            .and(Constraint::at_least(9, Selector::any()));
+        assert_eq!(c.max_card_bound(), 9);
+        assert_eq!(Constraint::True.max_card_bound(), 0);
+    }
+
+    #[test]
+    fn display_of_paper_example() {
+        // #(0, 5, σ_RSW(A)) from Example 3.5.
+        let c = Constraint::at_most(5, Selector::any().with_resources(["rsw"]));
+        assert_eq!(c.to_string(), "count(0, 5, resource=rsw)");
+    }
+}

@@ -1,0 +1,512 @@
+//! Program-level constraint checking — the executable form of
+//! Theorem 3.2 (mobile object execution satisfaction checking).
+//!
+//! Given a mobile object program `P` (SRAL) and a constraint `C` (SRAC),
+//! `P ⊨ C` means `traces(P) ⊨ C` (Definition 3.7). `traces(P)` is
+//! infinite whenever `P` loops, so enumeration is hopeless; instead both
+//! sides become finite automata and the question becomes a product +
+//! emptiness test:
+//!
+//! * **ForAll** (the paper's reading): every trace of `P` satisfies `C` —
+//!   i.e. `L(A_P) ⊆ L(A_C)`, checked as `L(A_P ∩ ¬A_C) = ∅`;
+//! * **Exists**: some trace of `P` satisfies `C` — `L(A_P ∩ A_C) ≠ ∅`.
+//!
+//! Failed ForAll checks return the *shortest violating trace*; successful
+//! Exists checks return the shortest satisfying one.
+//!
+//! [`check_residual`] implements the run-time variant used by the RBAC
+//! permission gate (Eq. 3.1): the proven access *history* advances the
+//! constraint automaton before the program's remaining behaviour is
+//! checked, so execution proofs participate exactly as Definition 3.6
+//! requires.
+
+use stacl_sral::Program;
+use stacl_trace::abstraction::{traces, AbstractionConfig};
+use stacl_trace::dfa::{advance, ProductMode};
+use stacl_trace::{AccessTable, Dfa, Trace};
+
+use crate::ast::Constraint;
+use crate::compile::{checking_alphabet, compile};
+
+/// Quantification over the program's traces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Semantics {
+    /// Every trace of the program must satisfy the constraint (the
+    /// Definition 3.7 reading; used by the permission gate).
+    ForAll,
+    /// At least one trace must satisfy the constraint (useful to detect
+    /// vacuously-denied permissions and for diagnostics).
+    Exists,
+}
+
+/// The result of a program-vs-constraint check.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// Whether `P ⊨ C` under the chosen semantics.
+    pub holds: bool,
+    /// The semantics checked.
+    pub semantics: Semantics,
+    /// For a failed ForAll check: the shortest violating trace.
+    /// For a successful Exists check: the shortest satisfying trace.
+    pub witness: Option<Trace>,
+    /// Number of states of the program automaton (diagnostic; E1 metric).
+    pub program_states: usize,
+    /// Number of states of the constraint automaton (diagnostic).
+    pub constraint_states: usize,
+}
+
+/// Check `P ⊨ C` (Definition 3.7 / Theorem 3.2).
+pub fn check_program(
+    p: &Program,
+    c: &Constraint,
+    table: &mut AccessTable,
+    semantics: Semantics,
+) -> Verdict {
+    check_residual(&Trace::empty(), p, c, table, semantics)
+}
+
+/// Check `history · future ⊨ C` for all (or some) `future ∈ traces(P)`.
+///
+/// `history` is the trace of accesses already performed *with execution
+/// proofs* — the paper's `Pr_x`. This is the form the extended-RBAC
+/// permission gate calls at run time, right after authentication and role
+/// activation (§3.4).
+///
+/// ## Why the checker decomposes conjunctions
+///
+/// Compiling `C1 ∧ … ∧ Ck` into one product DFA is exponential in `k`
+/// (the automaton must remember which conjuncts are pending — e.g. the §6
+/// dependency constraint over `k` edges needs `~2^k` states). But the
+/// Definition 3.7 semantics quantifies over traces, and quantifiers
+/// distribute: `∀t (C1 ∧ C2) ⟺ (∀t C1) ∧ (∀t C2)` and
+/// `∃t (C1 ∨ C2) ⟺ (∃t C1) ∨ (∃t C2)`. The checker first rewrites the
+/// constraint to negation normal form, then splits along the
+/// distributing connective for the chosen semantics and checks each part
+/// against the *same* program automaton — this is what realises
+/// Theorem 3.2's `O(m × n)` bound on conjunctive policies.
+pub fn check_residual(
+    history: &Trace,
+    p: &Program,
+    c: &Constraint,
+    table: &mut AccessTable,
+    semantics: Semantics,
+) -> Verdict {
+    // Trace model of the remaining program.
+    let re = traces(p, table, AbstractionConfig::default());
+
+    // The checking alphabet must cover the program, the constraint's
+    // mentioned accesses *and* the history (cardinality constraints count
+    // past accesses even when the future never repeats them).
+    let mut al = re.alphabet();
+    for &id in &history.0 {
+        al.insert(id);
+    }
+    let al = checking_alphabet(&al, c, table);
+
+    let prog = Dfa::from_regex_with(&re, al.clone());
+    let program_states = prog.num_states();
+
+    let nnf = c.to_nnf();
+    let (holds, witness, constraint_states) = match semantics {
+        Semantics::ForAll => check_forall(&prog, &nnf, history, &al, table),
+        Semantics::Exists => check_exists(&prog, &nnf, history, &al, table),
+    };
+    Verdict {
+        holds,
+        semantics,
+        witness,
+        program_states,
+        constraint_states,
+    }
+}
+
+/// A memo for compiled constraint automata.
+///
+/// The permission gate re-checks the *same* constraints on every access;
+/// only the program automaton and the history change. Leaf automata are
+/// keyed by `(constraint, alphabet length)` — alphabet ids are stable and
+/// only grow, so a given length pins the exact symbol set.
+#[derive(Default, Debug)]
+pub struct ConstraintCache {
+    map: std::collections::HashMap<(Constraint, usize), Dfa>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ConstraintCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ConstraintCache::default()
+    }
+
+    /// Cache statistics: `(hits, misses)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn get_or_compile(
+        &mut self,
+        c: &Constraint,
+        al: &stacl_trace::Alphabet,
+        table: &AccessTable,
+    ) -> Dfa {
+        let key = (c.clone(), al.len());
+        if let Some(d) = self.map.get(&key) {
+            self.hits += 1;
+            return d.clone();
+        }
+        self.misses += 1;
+        let d = compile(c, al, table);
+        self.map.insert(key, d.clone());
+        d
+    }
+}
+
+/// [`check_residual`] with a [`ConstraintCache`] for the leaf automata.
+/// Semantics are identical; repeated gate calls with stable constraints
+/// skip recompilation (see the E4/E5 overhead experiments).
+pub fn check_residual_cached(
+    history: &Trace,
+    p: &Program,
+    c: &Constraint,
+    table: &mut AccessTable,
+    semantics: Semantics,
+    cache: &mut ConstraintCache,
+) -> Verdict {
+    // Intern everything first, then use the *full table* as the checking
+    // alphabet so cache keys stay stable once the vocabulary saturates.
+    let re = traces(p, table, AbstractionConfig::default());
+    for a in c.mentioned_accesses() {
+        table.intern(a);
+    }
+    let al = stacl_trace::Alphabet::from_ids(
+        (0..table.len() as u32).map(stacl_trace::AccessId),
+    );
+    let prog = Dfa::from_regex_with(&re, al.clone());
+    let program_states = prog.num_states();
+
+    let nnf = c.to_nnf();
+    let (holds, witness, constraint_states) = match semantics {
+        Semantics::ForAll => forall_cached(&prog, &nnf, history, &al, table, cache),
+        Semantics::Exists => exists_cached(&prog, &nnf, history, &al, table, cache),
+    };
+    Verdict {
+        holds,
+        semantics,
+        witness,
+        program_states,
+        constraint_states,
+    }
+}
+
+fn forall_cached(
+    prog: &Dfa,
+    c: &Constraint,
+    history: &Trace,
+    al: &stacl_trace::Alphabet,
+    table: &AccessTable,
+    cache: &mut ConstraintCache,
+) -> (bool, Option<Trace>, usize) {
+    if let Constraint::And(a, b) = c {
+        let (ha, wa, sa) = forall_cached(prog, a, history, al, table, cache);
+        if !ha {
+            return (false, wa, sa);
+        }
+        let (hb, wb, sb) = forall_cached(prog, b, history, al, table, cache);
+        return (hb, wb, sa.max(sb));
+    }
+    let cons = cache.get_or_compile(c, al, table);
+    let cons = advance(&cons, history).expect("history symbols are in the checking alphabet");
+    let states = cons.num_states();
+    let bad = prog.product(&cons.complement(), ProductMode::And);
+    match bad.shortest_accepted() {
+        None => (true, None, states),
+        Some(w) => (false, Some(w), states),
+    }
+}
+
+fn exists_cached(
+    prog: &Dfa,
+    c: &Constraint,
+    history: &Trace,
+    al: &stacl_trace::Alphabet,
+    table: &AccessTable,
+    cache: &mut ConstraintCache,
+) -> (bool, Option<Trace>, usize) {
+    if let Constraint::Or(a, b) = c {
+        let (ha, wa, sa) = exists_cached(prog, a, history, al, table, cache);
+        if ha {
+            return (true, wa, sa);
+        }
+        let (hb, wb, sb) = exists_cached(prog, b, history, al, table, cache);
+        return (hb, wb, sa.max(sb));
+    }
+    let cons = cache.get_or_compile(c, al, table);
+    let cons = advance(&cons, history).expect("history symbols are in the checking alphabet");
+    let states = cons.num_states();
+    let good = prog.product(&cons, ProductMode::And);
+    match good.shortest_accepted() {
+        Some(w) => (true, Some(w), states),
+        None => (false, None, states),
+    }
+}
+
+/// ∀-semantics: distribute over `And`; leaves are checked monolithically.
+/// Returns (holds, counterexample-on-failure, max leaf automaton size).
+fn check_forall(
+    prog: &Dfa,
+    c: &Constraint,
+    history: &Trace,
+    al: &stacl_trace::Alphabet,
+    table: &AccessTable,
+) -> (bool, Option<Trace>, usize) {
+    if let Constraint::And(a, b) = c {
+        let (ha, wa, sa) = check_forall(prog, a, history, al, table);
+        if !ha {
+            return (false, wa, sa);
+        }
+        let (hb, wb, sb) = check_forall(prog, b, history, al, table);
+        return (hb, wb, sa.max(sb));
+    }
+    let cons = compile(c, al, table);
+    let cons = advance(&cons, history).expect("history symbols are in the checking alphabet");
+    let states = cons.num_states();
+    let bad = prog.product(&cons.complement(), ProductMode::And);
+    match bad.shortest_accepted() {
+        None => (true, None, states),
+        Some(w) => (false, Some(w), states),
+    }
+}
+
+/// ∃-semantics: distribute over `Or`; leaves are checked monolithically.
+/// Returns (holds, satisfying-witness-on-success, max leaf size).
+fn check_exists(
+    prog: &Dfa,
+    c: &Constraint,
+    history: &Trace,
+    al: &stacl_trace::Alphabet,
+    table: &AccessTable,
+) -> (bool, Option<Trace>, usize) {
+    if let Constraint::Or(a, b) = c {
+        let (ha, wa, sa) = check_exists(prog, a, history, al, table);
+        if ha {
+            return (true, wa, sa);
+        }
+        let (hb, wb, sb) = check_exists(prog, b, history, al, table);
+        return (hb, wb, sa.max(sb));
+    }
+    let cons = compile(c, al, table);
+    let cons = advance(&cons, history).expect("history symbols are in the checking alphabet");
+    let states = cons.num_states();
+    let good = prog.product(&cons, ProductMode::And);
+    match good.shortest_accepted() {
+        Some(w) => (true, Some(w), states),
+        None => (false, None, states),
+    }
+}
+
+/// Is `t` a possible trace of `P`? (Membership in the trace model —
+/// useful to validate execution proofs against the declared program.)
+pub fn trace_feasible(t: &Trace, p: &Program, table: &mut AccessTable) -> bool {
+    let re = traces(p, table, AbstractionConfig::default());
+    let mut al = re.alphabet();
+    for &id in &t.0 {
+        al.insert(id);
+    }
+    let d = Dfa::from_regex_with(&re, al);
+    d.accepts(t)
+}
+
+/// The `check(P, C)` boolean of Eq. 3.1: ForAll semantics with an empty
+/// history.
+pub fn check(p: &Program, c: &Constraint, table: &mut AccessTable) -> bool {
+    check_program(p, c, table, Semantics::ForAll).holds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::Selector;
+    use stacl_sral::builder::*;
+    use stacl_sral::parser::parse_program;
+    use stacl_sral::Access;
+
+    fn tbl() -> AccessTable {
+        AccessTable::new()
+    }
+
+    #[test]
+    fn atom_forall_holds_when_access_on_every_path() {
+        let mut t = tbl();
+        let p = parse_program("read r1 @ s1 ; write r2 @ s1").unwrap();
+        let c = Constraint::atom("read", "r1", "s1");
+        assert!(check(&p, &c, &mut t));
+    }
+
+    #[test]
+    fn atom_forall_fails_when_branch_avoids_it() {
+        let mut t = tbl();
+        let p = parse_program("if x > 0 then { read r1 @ s1 } else { write r2 @ s1 }").unwrap();
+        let c = Constraint::atom("read", "r1", "s1");
+        let v = check_program(&p, &c, &mut t, Semantics::ForAll);
+        assert!(!v.holds);
+        // The witness is the else-branch trace.
+        let w = v.witness.unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(
+            t.resolve(w.0[0]),
+            &Access::new("write", "r2", "s1")
+        );
+    }
+
+    #[test]
+    fn atom_exists_detects_satisfiable_branch() {
+        let mut t = tbl();
+        let p = parse_program("if x > 0 then { read r1 @ s1 } else { write r2 @ s1 }").unwrap();
+        let c = Constraint::atom("read", "r1", "s1");
+        let v = check_program(&p, &c, &mut t, Semantics::Exists);
+        assert!(v.holds);
+        assert_eq!(v.witness.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ordered_constraint_on_sequences() {
+        let mut t = tbl();
+        let good = parse_program("read cfg @ s1 ; exec app @ s2").unwrap();
+        let bad = parse_program("exec app @ s2 ; read cfg @ s1").unwrap();
+        let c = Constraint::ordered(
+            Access::new("read", "cfg", "s1"),
+            Access::new("exec", "app", "s2"),
+        );
+        assert!(check(&good, &c, &mut t));
+        assert!(!check(&bad, &c, &mut t));
+    }
+
+    #[test]
+    fn cardinality_bounds_loops() {
+        let mut t = tbl();
+        // Loop may run any number of times: violates "at most 2 exec".
+        let p = parse_program("while x > 0 do { exec rsw @ s1 }").unwrap();
+        let c = Constraint::at_most(2, Selector::any().with_resources(["rsw"]));
+        let v = check_program(&p, &c, &mut t, Semantics::ForAll);
+        assert!(!v.holds);
+        // The shortest violation performs exactly 3 accesses.
+        assert_eq!(v.witness.unwrap().len(), 3);
+        // A bounded repetition passes.
+        let p2 = repeat(2, access("exec", "rsw", "s1"));
+        assert!(check(&p2, &c, &mut t));
+    }
+
+    #[test]
+    fn infinite_trace_model_checked_symbolically() {
+        let mut t = tbl();
+        // traces(P) is infinite; checking still terminates and holds: the
+        // loop body always reads before writing.
+        let p = parse_program("while c do { read a @ s1 ; write b @ s1 }").unwrap();
+        let c = Constraint::atom("write", "b", "s1")
+            .implies(Constraint::atom("read", "a", "s1"));
+        assert!(check(&p, &c, &mut t));
+    }
+
+    #[test]
+    fn parallel_program_interleavings_all_checked() {
+        let mut t = tbl();
+        // In p1 || p2 the write may happen before the read: ordering fails.
+        let p = parse_program("read a @ s1 || write b @ s2").unwrap();
+        let c = Constraint::ordered(
+            Access::new("read", "a", "s1"),
+            Access::new("write", "b", "s2"),
+        );
+        let v = check_program(&p, &c, &mut t, Semantics::ForAll);
+        assert!(!v.holds);
+        // But it can happen in the right order.
+        let v2 = check_program(&p, &c, &mut t, Semantics::Exists);
+        assert!(v2.holds);
+    }
+
+    #[test]
+    fn residual_check_counts_history() {
+        let mut t = tbl();
+        let exec = Access::new("exec", "rsw", "s1");
+        let id = t.intern(&exec);
+        // Program wants 3 more accesses; history already has 3; limit is 5.
+        let p = repeat(3, access("exec", "rsw", "s1"));
+        let c = Constraint::at_most(5, Selector::any().with_resources(["rsw"]));
+        let h2 = Trace::from_ids([id, id]);
+        assert!(check_residual(&h2, &p, &c, &mut t, Semantics::ForAll).holds);
+        let h3 = Trace::from_ids([id, id, id]);
+        let v = check_residual(&h3, &p, &c, &mut t, Semantics::ForAll);
+        assert!(!v.holds, "3 past + 3 future > 5");
+    }
+
+    #[test]
+    fn residual_check_on_different_server_history() {
+        let mut t = tbl();
+        // History happened on s1; the future program runs on s2; the
+        // coordinated constraint counts across both (the paper's motivating
+        // "too many times on s1 ⇒ denied on s2" example).
+        let s1_exec = t.intern(&Access::new("exec", "rsw", "s1"));
+        let p = access("exec", "rsw", "s2");
+        let c = Constraint::at_most(5, Selector::any().with_resources(["rsw"]));
+        let h5 = Trace::from_ids([s1_exec; 5]);
+        let v = check_residual(&h5, &p, &c, &mut t, Semantics::ForAll);
+        assert!(!v.holds, "5 on s1 + 1 on s2 exceeds the coalition-wide cap");
+        let h4 = Trace::from_ids([s1_exec; 4]);
+        assert!(check_residual(&h4, &p, &c, &mut t, Semantics::ForAll).holds);
+    }
+
+    #[test]
+    fn empty_program_satisfies_vacuous_constraints() {
+        let mut t = tbl();
+        let p = skip();
+        assert!(check(&p, &Constraint::True, &mut t));
+        assert!(check(
+            &p,
+            &Constraint::at_most(0, Selector::any()),
+            &mut t
+        ));
+        assert!(!check(&p, &Constraint::atom("a", "r", "s"), &mut t));
+    }
+
+    #[test]
+    fn negated_atom_forbids_access() {
+        let mut t = tbl();
+        let c = Constraint::atom("rm", "db", "s1").not();
+        let good = parse_program("read db @ s1").unwrap();
+        let bad = parse_program("read db @ s1 ; rm db @ s1").unwrap();
+        assert!(check(&good, &c, &mut t));
+        assert!(!check(&bad, &c, &mut t));
+    }
+
+    #[test]
+    fn trace_feasibility() {
+        let mut t = tbl();
+        let p = parse_program("read a @ s1 ; if x > 0 then { write b @ s1 } else { skip }")
+            .unwrap();
+        let a = t.intern(&Access::new("read", "a", "s1"));
+        let b = t.intern(&Access::new("write", "b", "s1"));
+        assert!(trace_feasible(&Trace::from_ids([a, b]), &p, &mut t));
+        assert!(trace_feasible(&Trace::from_ids([a]), &p, &mut t));
+        assert!(!trace_feasible(&Trace::from_ids([b, a]), &p, &mut t));
+        assert!(!trace_feasible(&Trace::from_ids([b]), &p, &mut t));
+    }
+
+    #[test]
+    fn verdict_reports_automaton_sizes() {
+        let mut t = tbl();
+        let p = parse_program("read a @ s1 ; write b @ s1").unwrap();
+        let v = check_program(&p, &Constraint::True, &mut t, Semantics::ForAll);
+        assert!(v.program_states >= 3);
+        assert!(v.constraint_states >= 1);
+    }
+
+    #[test]
+    fn exists_fails_only_when_no_trace_works() {
+        let mut t = tbl();
+        let p = parse_program("read a @ s1").unwrap();
+        let c = Constraint::atom("write", "zz", "s9");
+        let v = check_program(&p, &c, &mut t, Semantics::Exists);
+        assert!(!v.holds);
+        assert!(v.witness.is_none());
+    }
+}

@@ -1,0 +1,489 @@
+//! Concrete syntax for SRAC constraints.
+//!
+//! ```text
+//! constraint := implied
+//! implied    := disj ('implies' disj)*            -- right-associative
+//! disj       := conj ('or' conj)*
+//! conj       := unary ('and' unary)*
+//! unary      := 'not' unary | primary
+//! primary    := 'true' | 'false'
+//!             | '(' constraint ')'
+//!             | '[' op r '@' s ']' ('before' '[' op r '@' s ']')?
+//!             | 'count' '(' INT ',' (INT | 'inf') ',' selector ')'
+//! selector   := 'all' | filter+
+//! filter     := ('op' | 'resource' | 'server') '=' IDENT ('|' IDENT)*
+//! ```
+//!
+//! Examples (paper correspondences in parentheses):
+//!
+//! * `[read r1 @ s1]` — the access must be performed (`a`);
+//! * `[read r1 @ s1] before [write r2 @ s2]` — ordering (`a1 ⊗ a2`);
+//! * `count(0, 5, resource=rsw-licensed|rsw-trial)` — Example 3.5's
+//!   `#(0, 5, σ_RSW(A))`;
+//! * `[a x @ s] implies [b y @ s]` — the paper's `C1 → C2`.
+
+use std::fmt;
+
+use stacl_sral::Access;
+
+use crate::ast::Constraint;
+use crate::selector::Selector;
+
+/// Errors from SRAC parsing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConstraintParseError {
+    /// Human-readable description with an input offset.
+    pub message: String,
+}
+
+impl fmt::Display for ConstraintParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConstraintParseError {}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(usize),
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    At,
+    Eq,
+    Pipe,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, ConstraintParseError> {
+    let mut out = Vec::new();
+    let mut it = src.char_indices().peekable();
+    while let Some(&(pos, c)) = it.peek() {
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                it.next();
+            }
+            '[' => {
+                it.next();
+                out.push(Tok::LBracket);
+            }
+            ']' => {
+                it.next();
+                out.push(Tok::RBracket);
+            }
+            '(' => {
+                it.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                it.next();
+                out.push(Tok::RParen);
+            }
+            ',' => {
+                it.next();
+                out.push(Tok::Comma);
+            }
+            '@' => {
+                it.next();
+                out.push(Tok::At);
+            }
+            '=' => {
+                it.next();
+                out.push(Tok::Eq);
+            }
+            '|' => {
+                it.next();
+                out.push(Tok::Pipe);
+            }
+            '0'..='9' => {
+                let mut n: usize = 0;
+                while let Some(&(_, d)) = it.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|x| x.checked_add(v as usize))
+                            .ok_or_else(|| ConstraintParseError {
+                                message: format!("integer overflow at offset {pos}"),
+                            })?;
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Int(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&(_, d)) = it.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '.' || d == '-' {
+                        s.push(d);
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(s));
+            }
+            other => {
+                return Err(ConstraintParseError {
+                    message: format!("unexpected character {other:?} at offset {pos}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse an SRAC constraint from text.
+pub fn parse_constraint(src: &str) -> Result<Constraint, ConstraintParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, i: 0 };
+    let c = p.implied()?;
+    if p.i != p.toks.len() {
+        return Err(p.err("end of input"));
+    }
+    Ok(c)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    i: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err(&self, expected: &str) -> ConstraintParseError {
+        ConstraintParseError {
+            message: match self.peek() {
+                Some(t) => format!("expected {expected}, found {t:?} (token {})", self.i),
+                None => format!("expected {expected}, found end of input"),
+            },
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ConstraintParseError> {
+        if self.peek() == Some(&want) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ConstraintParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => {
+                self.i = self.i.saturating_sub(1);
+                Err(self.err(what))
+            }
+        }
+    }
+
+    // implied := disj ('implies' disj)*  (right-assoc)
+    fn implied(&mut self) -> Result<Constraint, ConstraintParseError> {
+        let lhs = self.disj()?;
+        if self.eat_kw("implies") {
+            let rhs = self.implied()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disj(&mut self) -> Result<Constraint, ConstraintParseError> {
+        let mut acc = self.conj()?;
+        while self.eat_kw("or") {
+            let rhs = self.conj()?;
+            acc = acc.or(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn conj(&mut self) -> Result<Constraint, ConstraintParseError> {
+        let mut acc = self.unary()?;
+        while self.eat_kw("and") {
+            let rhs = self.unary()?;
+            acc = acc.and(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn unary(&mut self) -> Result<Constraint, ConstraintParseError> {
+        if self.eat_kw("not") {
+            Ok(self.unary()?.not())
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Constraint, ConstraintParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == "true" => {
+                self.bump();
+                Ok(Constraint::True)
+            }
+            Some(Tok::Ident(s)) if s == "false" => {
+                self.bump();
+                Ok(Constraint::False)
+            }
+            Some(Tok::Ident(s)) if s == "count" => {
+                self.bump();
+                self.expect(Tok::LParen, "`(` after count")?;
+                let min = match self.bump() {
+                    Some(Tok::Int(n)) => n,
+                    _ => return Err(self.err("a lower bound")),
+                };
+                self.expect(Tok::Comma, "`,`")?;
+                let max = match self.bump() {
+                    Some(Tok::Int(n)) => Some(n),
+                    Some(Tok::Ident(s)) if s == "inf" => None,
+                    _ => return Err(self.err("an upper bound or `inf`")),
+                };
+                self.expect(Tok::Comma, "`,`")?;
+                let selector = self.selector()?;
+                self.expect(Tok::RParen, "`)` closing count")?;
+                if let Some(n) = max {
+                    if min > n {
+                        return Err(ConstraintParseError {
+                            message: format!("count bounds inverted: {min} > {n}"),
+                        });
+                    }
+                }
+                Ok(Constraint::Card {
+                    min,
+                    max,
+                    selector,
+                })
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let c = self.implied()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(c)
+            }
+            Some(Tok::LBracket) => {
+                let a1 = self.access()?;
+                if self.eat_kw("before") {
+                    let a2 = self.access()?;
+                    Ok(Constraint::Ordered(a1, a2))
+                } else {
+                    Ok(Constraint::Atom(a1))
+                }
+            }
+            _ => Err(self.err("a constraint")),
+        }
+    }
+
+    fn access(&mut self) -> Result<Access, ConstraintParseError> {
+        self.expect(Tok::LBracket, "`[`")?;
+        let op = self.ident("an operation name")?;
+        let resource = self.ident("a resource name")?;
+        self.expect(Tok::At, "`@`")?;
+        let server = self.ident("a server name")?;
+        self.expect(Tok::RBracket, "`]`")?;
+        Ok(Access::new(op, resource, server))
+    }
+
+    fn selector(&mut self) -> Result<Selector, ConstraintParseError> {
+        if self.eat_kw("all") {
+            return Ok(Selector::any());
+        }
+        let mut sel = Selector::any();
+        let mut saw_any = false;
+        loop {
+            let key = match self.peek() {
+                Some(Tok::Ident(s))
+                    if (s == "op" || s == "resource" || s == "server")
+                        && self.toks.get(self.i + 1) == Some(&Tok::Eq) =>
+                {
+                    s.clone()
+                }
+                _ => break,
+            };
+            self.bump(); // key
+            self.bump(); // '='
+            let mut vals = vec![self.ident("a value")?];
+            while self.peek() == Some(&Tok::Pipe) {
+                self.bump();
+                vals.push(self.ident("a value")?);
+            }
+            sel = match key.as_str() {
+                "op" => sel.with_ops(vals),
+                "resource" => sel.with_resources(vals),
+                _ => sel.with_servers(vals),
+            };
+            saw_any = true;
+        }
+        if !saw_any {
+            return Err(self.err("`all` or a selector filter like `resource=x`"));
+        }
+        Ok(sel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_true_false() {
+        assert_eq!(parse_constraint("true").unwrap(), Constraint::True);
+        assert_eq!(parse_constraint("false").unwrap(), Constraint::False);
+    }
+
+    #[test]
+    fn parses_atom() {
+        let c = parse_constraint("[read r1 @ s1]").unwrap();
+        assert_eq!(c, Constraint::atom("read", "r1", "s1"));
+    }
+
+    #[test]
+    fn parses_ordered() {
+        let c = parse_constraint("[read cfg @ s1] before [exec app @ s2]").unwrap();
+        assert_eq!(
+            c,
+            Constraint::ordered(
+                Access::new("read", "cfg", "s1"),
+                Access::new("exec", "app", "s2")
+            )
+        );
+    }
+
+    #[test]
+    fn parses_count_forms() {
+        let c = parse_constraint("count(0, 5, resource=rsw)").unwrap();
+        match c {
+            Constraint::Card {
+                min,
+                max,
+                selector,
+            } => {
+                assert_eq!(min, 0);
+                assert_eq!(max, Some(5));
+                assert!(selector.matches(&Access::new("x", "rsw", "y")));
+            }
+            other => panic!("{other:?}"),
+        }
+        let c2 = parse_constraint("count(2, inf, all)").unwrap();
+        assert_eq!(c2, Constraint::at_least(2, Selector::any()));
+    }
+
+    #[test]
+    fn parses_multi_filter_selector() {
+        let c = parse_constraint(
+            "count(0, 3, op=read|write resource=db server=s1|s2)",
+        )
+        .unwrap();
+        match c {
+            Constraint::Card { selector, .. } => {
+                assert!(selector.matches(&Access::new("read", "db", "s2")));
+                assert!(!selector.matches(&Access::new("exec", "db", "s1")));
+                assert!(!selector.matches(&Access::new("read", "other", "s1")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_alternative_resources_of_example_3_5() {
+        let c = parse_constraint("count(0, 5, resource=rsw-licensed|rsw-trial)").unwrap();
+        match c {
+            Constraint::Card { selector, .. } => {
+                assert!(selector.matches(&Access::new("exec", "rsw-trial", "anywhere")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let c = parse_constraint("[a r @ s] or [b r @ s] and [c r @ s]").unwrap();
+        // or(a, and(b, c))
+        match c {
+            Constraint::Or(_, rhs) => assert!(matches!(*rhs, Constraint::And(_, _))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn implies_desugars_and_is_right_assoc() {
+        let c = parse_constraint("[a r @ s] implies [b r @ s] implies [c r @ s]").unwrap();
+        // a -> (b -> c) = ¬a ∨ (¬b ∨ c)
+        match c {
+            Constraint::Or(lhs, rhs) => {
+                assert!(matches!(*lhs, Constraint::Not(_)));
+                assert!(matches!(*rhs, Constraint::Or(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_and_parens() {
+        let c = parse_constraint("not ([a r @ s] or [b r @ s])").unwrap();
+        assert!(matches!(c, Constraint::Not(_)));
+        let c2 = parse_constraint("not not true").unwrap();
+        assert!(matches!(c2, Constraint::Not(_)));
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        for src in [
+            "[read r1 @ s1]",
+            "[read r1 @ s1] before [write r2 @ s2]",
+            "count(0, 5, resource=rsw)",
+            "count(2, inf, all)",
+            "([a r @ s] and not ([b r @ s]))",
+        ] {
+            let c = parse_constraint(src).unwrap();
+            let printed = c.to_string();
+            let c2 = parse_constraint(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
+            assert_eq!(c, c2, "roundtrip of {src}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_constraint("").is_err());
+        assert!(parse_constraint("[read r1]").is_err());
+        assert!(parse_constraint("count(5, 2, all)").is_err());
+        assert!(parse_constraint("count(1, 2)").is_err());
+        assert!(parse_constraint("[a r @ s] and").is_err());
+        assert!(parse_constraint("true garbage").is_err());
+        assert!(parse_constraint("count(0, 5, )").is_err());
+    }
+
+    #[test]
+    fn dotted_names_in_atoms() {
+        let c = parse_constraint("[verify libA.mod1 @ host-3.coalition.net]").unwrap();
+        assert_eq!(
+            c,
+            Constraint::atom("verify", "libA.mod1", "host-3.coalition.net")
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Selectors — the σ operation of the paper's `#(m, n, σ(A))` construct.
+//!
+//! A selector filters the access set `A` down to the accesses a
+//! cardinality constraint counts. Example 3.5 of the paper selects "the
+//! restricted software package, licensed or trial, on any server":
+//! that is a selector on the resource component with two alternatives.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use stacl_sral::ast::Name;
+use stacl_sral::Access;
+
+/// A conjunctive filter over the three access components. `None` means
+/// "any"; `Some(set)` means the component must be one of the set's values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Selector {
+    /// Allowed operations (None = any).
+    pub ops: Option<BTreeSet<Name>>,
+    /// Allowed resources (None = any).
+    pub resources: Option<BTreeSet<Name>>,
+    /// Allowed servers (None = any).
+    pub servers: Option<BTreeSet<Name>>,
+}
+
+impl Selector {
+    /// The selector matching every access.
+    pub fn any() -> Self {
+        Selector::default()
+    }
+
+    /// Select by exact access (all three components fixed).
+    pub fn exact(a: &Access) -> Self {
+        Selector::any()
+            .with_ops([&*a.op])
+            .with_resources([&*a.resource])
+            .with_servers([&*a.server])
+    }
+
+    /// Restrict the operation component.
+    pub fn with_ops<S: AsRef<str>>(mut self, ops: impl IntoIterator<Item = S>) -> Self {
+        self.ops = Some(
+            ops.into_iter()
+                .map(|s| stacl_sral::ast::name(s))
+                .collect(),
+        );
+        self
+    }
+
+    /// Restrict the resource component.
+    pub fn with_resources<S: AsRef<str>>(mut self, rs: impl IntoIterator<Item = S>) -> Self {
+        self.resources = Some(
+            rs.into_iter()
+                .map(|s| stacl_sral::ast::name(s))
+                .collect(),
+        );
+        self
+    }
+
+    /// Restrict the server component.
+    pub fn with_servers<S: AsRef<str>>(mut self, ss: impl IntoIterator<Item = S>) -> Self {
+        self.servers = Some(
+            ss.into_iter()
+                .map(|s| stacl_sral::ast::name(s))
+                .collect(),
+        );
+        self
+    }
+
+    /// Does `a` pass the filter?
+    pub fn matches(&self, a: &Access) -> bool {
+        fn ok(set: &Option<BTreeSet<Name>>, v: &Name) -> bool {
+            match set {
+                None => true,
+                Some(s) => s.contains(v),
+            }
+        }
+        ok(&self.ops, &a.op) && ok(&self.resources, &a.resource) && ok(&self.servers, &a.server)
+    }
+
+    /// True when the selector matches every access.
+    pub fn is_any(&self) -> bool {
+        self.ops.is_none() && self.resources.is_none() && self.servers.is_none()
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_any() {
+            return write!(f, "all");
+        }
+        let mut first = true;
+        let mut part = |f: &mut fmt::Formatter<'_>,
+                        key: &str,
+                        set: &Option<BTreeSet<Name>>|
+         -> fmt::Result {
+            if let Some(s) = set {
+                if !first {
+                    write!(f, " ")?;
+                }
+                first = false;
+                let vals: Vec<&str> = s.iter().map(|n| &**n).collect();
+                write!(f, "{key}={}", vals.join("|"))?;
+            }
+            Ok(())
+        };
+        part(f, "op", &self.ops)?;
+        part(f, "resource", &self.resources)?;
+        part(f, "server", &self.servers)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_matches_everything() {
+        let s = Selector::any();
+        assert!(s.matches(&Access::new("read", "r", "s1")));
+        assert!(s.is_any());
+    }
+
+    #[test]
+    fn exact_matches_only_that_access() {
+        let a = Access::new("read", "r1", "s1");
+        let s = Selector::exact(&a);
+        assert!(s.matches(&a));
+        assert!(!s.matches(&Access::new("read", "r1", "s2")));
+        assert!(!s.matches(&Access::new("write", "r1", "s1")));
+    }
+
+    #[test]
+    fn resource_alternatives() {
+        // "licensed or trial version of the restricted software" (Ex. 3.5).
+        let s = Selector::any().with_resources(["rsw-licensed", "rsw-trial"]);
+        assert!(s.matches(&Access::new("exec", "rsw-licensed", "s1")));
+        assert!(s.matches(&Access::new("exec", "rsw-trial", "s9")));
+        assert!(!s.matches(&Access::new("exec", "other", "s1")));
+    }
+
+    #[test]
+    fn conjunctive_components() {
+        let s = Selector::any()
+            .with_ops(["read", "write"])
+            .with_servers(["s1"]);
+        assert!(s.matches(&Access::new("read", "x", "s1")));
+        assert!(!s.matches(&Access::new("read", "x", "s2")));
+        assert!(!s.matches(&Access::new("exec", "x", "s1")));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Selector::any().to_string(), "all");
+        let s = Selector::any().with_resources(["b", "a"]);
+        assert_eq!(s.to_string(), "resource=a|b");
+        let s2 = Selector::any().with_ops(["read"]).with_servers(["s1"]);
+        assert_eq!(s2.to_string(), "op=read server=s1");
+    }
+}

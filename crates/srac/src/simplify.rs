@@ -1,0 +1,179 @@
+//! Algebraic simplification of SRAC constraints.
+//!
+//! Policy documents accumulate `T`/`F` units, double negations and
+//! duplicate conjuncts as they are composed programmatically (the §6
+//! generator, policy merges). Simplification keeps the formulas readable
+//! and the compiled automata small. All rewrites are semantics-preserving
+//! (property-checked against the compiled automata in the test suite):
+//!
+//! * unit laws: `C ∧ T = C`, `C ∨ F = C`;
+//! * absorption: `C ∧ F = F`, `C ∨ T = T`;
+//! * double negation: `¬¬C = C`;
+//! * idempotence: `C ∧ C = C`, `C ∨ C = C`;
+//! * complement: `C ∧ ¬C = F`, `C ∨ ¬C = T`;
+//! * degenerate cardinality: `#(0, ∞, σ) = T`, and `#(m, n, σ)` with an
+//!   unsatisfiable window `m > n` never arises (constructor-checked).
+
+use crate::ast::Constraint;
+
+/// Simplify `c` bottom-up until a fixed point (one pass suffices for the
+/// rule set, which never creates new redexes above a rewritten node —
+/// but we iterate defensively and cheaply).
+pub fn simplify(c: &Constraint) -> Constraint {
+    let mut cur = go(c);
+    loop {
+        let next = go(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+fn go(c: &Constraint) -> Constraint {
+    match c {
+        Constraint::And(a, b) => {
+            let a = go(a);
+            let b = go(b);
+            match (&a, &b) {
+                (Constraint::True, _) => b,
+                (_, Constraint::True) => a,
+                (Constraint::False, _) | (_, Constraint::False) => Constraint::False,
+                _ if a == b => a,
+                _ if is_negation_of(&a, &b) => Constraint::False,
+                _ => a.and(b),
+            }
+        }
+        Constraint::Or(a, b) => {
+            let a = go(a);
+            let b = go(b);
+            match (&a, &b) {
+                (Constraint::False, _) => b,
+                (_, Constraint::False) => a,
+                (Constraint::True, _) | (_, Constraint::True) => Constraint::True,
+                _ if a == b => a,
+                _ if is_negation_of(&a, &b) => Constraint::True,
+                _ => a.or(b),
+            }
+        }
+        Constraint::Not(inner) => {
+            let inner = go(inner);
+            match inner {
+                Constraint::True => Constraint::False,
+                Constraint::False => Constraint::True,
+                Constraint::Not(x) => *x,
+                other => other.not(),
+            }
+        }
+        Constraint::Card {
+            min: 0,
+            max: None,
+            ..
+        } => Constraint::True,
+        leaf => leaf.clone(),
+    }
+}
+
+fn is_negation_of(a: &Constraint, b: &Constraint) -> bool {
+    matches!(b, Constraint::Not(x) if **x == *a) || matches!(a, Constraint::Not(x) if **x == *b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::Selector;
+
+    fn atom(op: &str) -> Constraint {
+        Constraint::atom(op, "r", "s")
+    }
+
+    #[test]
+    fn unit_and_absorption() {
+        let a = atom("a");
+        assert_eq!(simplify(&a.clone().and(Constraint::True)), a);
+        assert_eq!(simplify(&Constraint::True.and(a.clone())), a);
+        assert_eq!(
+            simplify(&a.clone().and(Constraint::False)),
+            Constraint::False
+        );
+        assert_eq!(simplify(&a.clone().or(Constraint::False)), a);
+        assert_eq!(simplify(&a.clone().or(Constraint::True)), Constraint::True);
+    }
+
+    #[test]
+    fn double_negation_and_idempotence() {
+        let a = atom("a");
+        assert_eq!(simplify(&a.clone().not().not()), a);
+        assert_eq!(simplify(&a.clone().and(a.clone())), a);
+        assert_eq!(simplify(&a.clone().or(a.clone())), a);
+    }
+
+    #[test]
+    fn complement_laws() {
+        let a = atom("a");
+        assert_eq!(
+            simplify(&a.clone().and(a.clone().not())),
+            Constraint::False
+        );
+        assert_eq!(simplify(&a.clone().not().and(a.clone())), Constraint::False);
+        assert_eq!(simplify(&a.clone().or(a.clone().not())), Constraint::True);
+    }
+
+    #[test]
+    fn trivial_cardinality() {
+        let c = Constraint::at_least(0, Selector::any());
+        assert_eq!(simplify(&c), Constraint::True);
+        let nontrivial = Constraint::at_most(3, Selector::any());
+        assert_eq!(simplify(&nontrivial), nontrivial);
+    }
+
+    #[test]
+    fn nested_collapse() {
+        // ((a ∧ T) ∨ F) ∧ ¬¬a = a
+        let a = atom("a");
+        let c = a
+            .clone()
+            .and(Constraint::True)
+            .or(Constraint::False)
+            .and(a.clone().not().not());
+        assert_eq!(simplify(&c), a);
+    }
+
+    #[test]
+    fn implication_of_self_is_true() {
+        // a → a = ¬a ∨ a = T.
+        let a = atom("a");
+        assert_eq!(simplify(&a.clone().implies(a)), Constraint::True);
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let c = atom("a")
+            .and(atom("b").or(Constraint::False))
+            .or(Constraint::False.and(atom("c")));
+        let s1 = simplify(&c);
+        assert_eq!(simplify(&s1), s1);
+    }
+
+    #[test]
+    fn preserves_semantics_on_samples() {
+        use crate::compile::compile;
+        use stacl_trace::{AccessId, AccessTable, Alphabet};
+        let mut table = AccessTable::new();
+        for op in ["a", "b", "c"] {
+            table.intern(&stacl_sral::Access::new(op, "r", "s"));
+        }
+        let al = Alphabet::from_ids((0..3).map(AccessId));
+        let cases = [
+            atom("a").and(Constraint::True).or(atom("b").not().not()),
+            atom("a").or(atom("a")).and(atom("b").or(Constraint::True)),
+            atom("a").implies(atom("a")).and(atom("c")),
+            Constraint::at_least(0, Selector::any()).and(atom("b")),
+        ];
+        for c in cases {
+            let d1 = compile(&c, &al, &table);
+            let d2 = compile(&simplify(&c), &al, &table);
+            assert!(d1.equivalent(&d2), "simplify changed semantics of {c}");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Trace satisfaction `t ⊨ C` — Definition 3.6 of the paper, evaluated
+//! directly on a concrete trace against an execution-proof oracle.
+//!
+//! The oracle stands for the paper's `Pr_x(·)`: coalition servers issue an
+//! execution proof for every access they carry out, and Definition 3.6
+//! couples trace membership (`a ∈ t`) with `Pr_x(a) = true`. When checking
+//! hypothetical future behaviour, use [`ProofOracle::assume_all`].
+
+use stacl_sral::Access;
+use stacl_trace::{AccessTable, Trace};
+
+use crate::ast::Constraint;
+
+/// The `Pr_x` oracle: which accesses have verified execution proofs.
+pub struct ProofOracle<'a> {
+    pred: Box<dyn Fn(&Access) -> bool + 'a>,
+}
+
+impl<'a> ProofOracle<'a> {
+    /// An oracle from an arbitrary predicate.
+    pub fn new(pred: impl Fn(&Access) -> bool + 'a) -> Self {
+        ProofOracle {
+            pred: Box::new(pred),
+        }
+    }
+
+    /// Every access is assumed provable — used when evaluating candidate
+    /// *future* traces of a program (the proof will exist once executed).
+    pub fn assume_all() -> Self {
+        ProofOracle::new(|_| true)
+    }
+
+    /// Oracle from an explicit list of proven accesses.
+    pub fn from_proven(proven: Vec<Access>) -> ProofOracle<'static> {
+        ProofOracle {
+            pred: Box::new(move |a| proven.contains(a)),
+        }
+    }
+
+    /// Query the oracle.
+    pub fn proven(&self, a: &Access) -> bool {
+        (self.pred)(a)
+    }
+}
+
+/// Evaluate `t ⊨ C` per Definition 3.6.
+///
+/// `table` resolves the trace's interned ids back to accesses so selectors
+/// and the proof oracle can inspect them.
+pub fn trace_satisfies(
+    t: &Trace,
+    c: &Constraint,
+    table: &AccessTable,
+    oracle: &ProofOracle<'_>,
+) -> bool {
+    match c {
+        Constraint::True => true,
+        Constraint::False => false,
+        Constraint::Atom(a) => match table.id_of(a) {
+            Some(id) => t.contains(id) && oracle.proven(a),
+            None => false,
+        },
+        Constraint::Ordered(a1, a2) => {
+            let (Some(i1), Some(i2)) = (table.id_of(a1), table.id_of(a2)) else {
+                return false;
+            };
+            if !(oracle.proven(a1) && oracle.proven(a2)) {
+                return false;
+            }
+            // ∃ split t = t1 ∘ t2 with a1 ∈ t1 and a2 ∈ t2, i.e. some
+            // occurrence of a1 strictly precedes some occurrence of a2.
+            let first_a1 = t.position(i1);
+            let last_a2 = t.0.iter().rposition(|&x| x == i2);
+            matches!((first_a1, last_a2), (Some(p1), Some(p2)) if p1 < p2)
+        }
+        Constraint::Card {
+            min,
+            max,
+            selector,
+        } => {
+            let count = t.count_matching(|id| {
+                let a = table.resolve(id);
+                selector.matches(a) && oracle.proven(a)
+            });
+            count >= *min && max.map_or(true, |n| count <= n)
+        }
+        Constraint::And(c1, c2) => {
+            trace_satisfies(t, c1, table, oracle) && trace_satisfies(t, c2, table, oracle)
+        }
+        Constraint::Or(c1, c2) => {
+            trace_satisfies(t, c1, table, oracle) || trace_satisfies(t, c2, table, oracle)
+        }
+        Constraint::Not(c1) => !trace_satisfies(t, c1, table, oracle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::Selector;
+
+    fn setup() -> (AccessTable, Vec<Access>) {
+        let mut table = AccessTable::new();
+        let accs = vec![
+            Access::new("read", "r1", "s1"),
+            Access::new("write", "r2", "s1"),
+            Access::new("exec", "rsw", "s2"),
+        ];
+        for a in &accs {
+            table.intern(a);
+        }
+        (table, accs)
+    }
+
+    fn trace_of(table: &AccessTable, accs: &[&Access]) -> Trace {
+        Trace::from_ids(accs.iter().map(|a| table.id_of(a).unwrap()))
+    }
+
+    #[test]
+    fn true_false_bases() {
+        let (table, accs) = setup();
+        let t = trace_of(&table, &[&accs[0]]);
+        let all = ProofOracle::assume_all();
+        assert!(trace_satisfies(&t, &Constraint::True, &table, &all));
+        assert!(!trace_satisfies(&t, &Constraint::False, &table, &all));
+    }
+
+    #[test]
+    fn atom_requires_membership_and_proof() {
+        let (table, accs) = setup();
+        let t = trace_of(&table, &[&accs[0], &accs[1]]);
+        let all = ProofOracle::assume_all();
+        let c0 = Constraint::Atom(accs[0].clone());
+        let c2 = Constraint::Atom(accs[2].clone());
+        assert!(trace_satisfies(&t, &c0, &table, &all));
+        assert!(!trace_satisfies(&t, &c2, &table, &all));
+        // Present in the trace but no proof -> not satisfied.
+        let none = ProofOracle::new(|_| false);
+        assert!(!trace_satisfies(&t, &c0, &table, &none));
+    }
+
+    #[test]
+    fn atom_unknown_to_table_is_false() {
+        let (table, accs) = setup();
+        let t = trace_of(&table, &[&accs[0]]);
+        let all = ProofOracle::assume_all();
+        let c = Constraint::atom("never", "interned", "here");
+        assert!(!trace_satisfies(&t, &c, &table, &all));
+    }
+
+    #[test]
+    fn ordered_requires_strict_precedence() {
+        let (table, accs) = setup();
+        let all = ProofOracle::assume_all();
+        let c = Constraint::ordered(accs[0].clone(), accs[1].clone());
+        let good = trace_of(&table, &[&accs[0], &accs[2], &accs[1]]);
+        assert!(trace_satisfies(&good, &c, &table, &all));
+        let bad = trace_of(&table, &[&accs[1], &accs[0]]);
+        assert!(!trace_satisfies(&bad, &c, &table, &all));
+        let only_first = trace_of(&table, &[&accs[0]]);
+        assert!(!trace_satisfies(&only_first, &c, &table, &all));
+    }
+
+    #[test]
+    fn ordered_same_access_needs_two_occurrences() {
+        let (table, accs) = setup();
+        let all = ProofOracle::assume_all();
+        let c = Constraint::ordered(accs[0].clone(), accs[0].clone());
+        let once = trace_of(&table, &[&accs[0]]);
+        assert!(!trace_satisfies(&once, &c, &table, &all));
+        let twice = trace_of(&table, &[&accs[0], &accs[0]]);
+        assert!(trace_satisfies(&twice, &c, &table, &all));
+    }
+
+    #[test]
+    fn cardinality_bounds() {
+        let (table, accs) = setup();
+        let all = ProofOracle::assume_all();
+        // Example 3.5: the RSW package can be accessed at most 5 times.
+        let c = Constraint::at_most(5, Selector::any().with_resources(["rsw"]));
+        let five = trace_of(&table, &[&accs[2]; 5]);
+        assert!(trace_satisfies(&five, &c, &table, &all));
+        let six = trace_of(&table, &[&accs[2]; 6]);
+        assert!(!trace_satisfies(&six, &c, &table, &all));
+        // Other resources don't count.
+        let mixed = trace_of(&table, &[&accs[0], &accs[2], &accs[1], &accs[2]]);
+        assert!(trace_satisfies(&mixed, &c, &table, &all));
+    }
+
+    #[test]
+    fn cardinality_lower_bound_and_unbounded_max() {
+        let (table, accs) = setup();
+        let all = ProofOracle::assume_all();
+        let c = Constraint::at_least(2, Selector::exact(&accs[0]));
+        let one = trace_of(&table, &[&accs[0]]);
+        assert!(!trace_satisfies(&one, &c, &table, &all));
+        let many = trace_of(&table, &[&accs[0]; 7]);
+        assert!(trace_satisfies(&many, &c, &table, &all));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let (table, accs) = setup();
+        let all = ProofOracle::assume_all();
+        let a0 = Constraint::Atom(accs[0].clone());
+        let a1 = Constraint::Atom(accs[1].clone());
+        let t0 = trace_of(&table, &[&accs[0]]);
+        assert!(trace_satisfies(
+            &t0,
+            &a0.clone().or(a1.clone()),
+            &table,
+            &all
+        ));
+        assert!(!trace_satisfies(
+            &t0,
+            &a0.clone().and(a1.clone()),
+            &table,
+            &all
+        ));
+        assert!(trace_satisfies(&t0, &a1.clone().not(), &table, &all));
+        // a0 -> a1 fails on t0 (a0 performed, a1 not).
+        assert!(!trace_satisfies(&t0, &a0.implies(a1), &table, &all));
+    }
+
+    #[test]
+    fn implication_vacuous_truth() {
+        let (table, accs) = setup();
+        let all = ProofOracle::assume_all();
+        let c = Constraint::Atom(accs[0].clone()).implies(Constraint::Atom(accs[1].clone()));
+        let t = trace_of(&table, &[&accs[2]]);
+        assert!(trace_satisfies(&t, &c, &table, &all));
+    }
+
+    #[test]
+    fn proof_oracle_filters_counts() {
+        let (table, accs) = setup();
+        // Only accs[2] has a proof: counts ignore unproven accesses.
+        let a2 = accs[2].clone();
+        let oracle = ProofOracle::new(move |a| *a == a2);
+        let c = Constraint::at_least(1, Selector::any());
+        let t = trace_of(&table, &[&accs[0], &accs[1]]);
+        assert!(!trace_satisfies(&t, &c, &table, &oracle));
+        let t2 = trace_of(&table, &[&accs[0], &accs[2]]);
+        assert!(trace_satisfies(&t2, &c, &table, &oracle));
+    }
+
+    #[test]
+    fn from_proven_oracle() {
+        let (table, accs) = setup();
+        let oracle = ProofOracle::from_proven(vec![accs[0].clone()]);
+        assert!(oracle.proven(&accs[0]));
+        assert!(!oracle.proven(&accs[1]));
+        let _ = table;
+    }
+
+    #[test]
+    fn empty_trace_satisfies_only_negative_constraints() {
+        let (table, accs) = setup();
+        let all = ProofOracle::assume_all();
+        let t = Trace::empty();
+        assert!(!trace_satisfies(
+            &t,
+            &Constraint::Atom(accs[0].clone()),
+            &table,
+            &all
+        ));
+        assert!(trace_satisfies(
+            &t,
+            &Constraint::Atom(accs[0].clone()).not(),
+            &table,
+            &all
+        ));
+        assert!(trace_satisfies(
+            &t,
+            &Constraint::at_most(0, Selector::any()),
+            &table,
+            &all
+        ));
+    }
+}

@@ -1,0 +1,161 @@
+//! Fluent construction DSL for SRAL programs.
+//!
+//! The builder mirrors the recursive structure of Definition 3.1 and the
+//! Naplet pattern constructors of §5.2 of the paper (`AccessPattn`,
+//! `SeqPattern`, `ParPattern`, `Loop`):
+//!
+//! ```
+//! use stacl_sral::builder::*;
+//! use stacl_sral::expr::{CmpOp, Cond, Expr};
+//!
+//! let p = seq([
+//!     access("read", "report", "s1"),
+//!     branch(
+//!         Cond::cmp(CmpOp::Gt, Expr::var("x"), 0.into()),
+//!         access("write", "draft", "s1"),
+//!         access("write", "notes", "s2"),
+//!     ),
+//!     signal("done"),
+//! ]);
+//! assert_eq!(p.accesses().count(), 3);
+//! ```
+
+use crate::ast::{name, Access, Program};
+use crate::expr::{Cond, Expr};
+
+/// A primitive access `op r @ s`.
+pub fn access(op: impl AsRef<str>, resource: impl AsRef<str>, server: impl AsRef<str>) -> Program {
+    Program::Access(Access::new(op, resource, server))
+}
+
+/// The empty program.
+pub fn skip() -> Program {
+    Program::Skip
+}
+
+/// `ch ? var` — channel receive.
+pub fn recv(channel: impl AsRef<str>, var: impl AsRef<str>) -> Program {
+    Program::Recv {
+        channel: name(channel),
+        var: name(var),
+    }
+}
+
+/// `ch ! e` — channel send.
+pub fn send(channel: impl AsRef<str>, expr: impl Into<Expr>) -> Program {
+    Program::Send {
+        channel: name(channel),
+        expr: expr.into(),
+    }
+}
+
+/// `signal(xi)`.
+pub fn signal(sig: impl AsRef<str>) -> Program {
+    Program::Signal(name(sig))
+}
+
+/// `wait(xi)`.
+pub fn wait(sig: impl AsRef<str>) -> Program {
+    Program::Wait(name(sig))
+}
+
+/// `var := e` (extension).
+pub fn assign(var: impl AsRef<str>, expr: impl Into<Expr>) -> Program {
+    Program::Assign {
+        var: name(var),
+        expr: expr.into(),
+    }
+}
+
+/// Sequential composition of any number of parts (paper: `a1 ; a2`,
+/// Naplet: `SeqPattern`).
+pub fn seq(parts: impl IntoIterator<Item = Program>) -> Program {
+    Program::seq_all(parts)
+}
+
+/// Parallel composition of any number of parts (paper: `a1 || a2`,
+/// Naplet: `ParPattern`).
+pub fn par(parts: impl IntoIterator<Item = Program>) -> Program {
+    Program::par_all(parts)
+}
+
+/// `if c then t else e` (paper: conditional composition).
+pub fn branch(cond: Cond, then_branch: Program, else_branch: Program) -> Program {
+    Program::If {
+        cond,
+        then_branch: Box::new(then_branch),
+        else_branch: Box::new(else_branch),
+    }
+}
+
+/// `if c then t` with an implicit `else skip`.
+pub fn when(cond: Cond, then_branch: Program) -> Program {
+    branch(cond, then_branch, Program::Skip)
+}
+
+/// `while c do body` (Naplet: `Loop`).
+pub fn while_do(cond: Cond, body: Program) -> Program {
+    Program::While {
+        cond,
+        body: Box::new(body),
+    }
+}
+
+/// Repeat `body` exactly `n` times by unrolling. Useful for building test
+/// and benchmark programs with a known finite trace model.
+pub fn repeat(n: usize, body: Program) -> Program {
+    seq(std::iter::repeat(body).take(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    #[test]
+    fn seq_builds_left_nested() {
+        let p = seq([
+            access("a", "r", "s"),
+            access("b", "r", "s"),
+            access("c", "r", "s"),
+        ]);
+        assert_eq!(p.to_string(), "a r @ s ; b r @ s ; c r @ s");
+    }
+
+    #[test]
+    fn par_builds() {
+        let p = par([access("a", "r", "s"), access("b", "r", "s")]);
+        assert!(matches!(p, Program::Par(_, _)));
+    }
+
+    #[test]
+    fn when_defaults_else_to_skip() {
+        let p = when(Cond::True, access("a", "r", "s"));
+        match p {
+            Program::If { else_branch, .. } => assert_eq!(*else_branch, Program::Skip),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeat_unrolls() {
+        let p = repeat(3, access("a", "r", "s"));
+        assert_eq!(p.accesses().count(), 3);
+        assert_eq!(repeat(0, access("a", "r", "s")), Program::Skip);
+    }
+
+    #[test]
+    fn mixed_construction_parses_back() {
+        let p = seq([
+            recv("jobs", "n"),
+            while_do(
+                Cond::cmp(CmpOp::Gt, crate::expr::Expr::var("n"), 0.into()),
+                seq([access("exec", "app", "s2"), assign("n", crate::expr::Expr::var("n").sub(1.into()))]),
+            ),
+            send("results", crate::expr::Expr::var("n")),
+            signal("done"),
+        ]);
+        let q = crate::parser::parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,103 @@
+//! Variable environments for evaluating SRAL expressions and conditions.
+
+use std::collections::HashMap;
+
+use crate::ast::Name;
+use crate::expr::Value;
+
+/// A mutable variable environment: a flat map from names to [`Value`]s.
+///
+/// SRAL has no lexical scoping — a mobile object's variables live for the
+/// whole execution and travel with the object between servers — so a single
+/// flat namespace matches the paper's model.
+#[derive(Clone, Default, Debug, PartialEq)]
+pub struct Env {
+    vars: HashMap<Name, Value>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Build an environment from `(name, value)` pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: AsRef<str>,
+    {
+        let mut env = Env::new();
+        for (k, v) in pairs {
+            env.set(k, v);
+        }
+        env
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.vars.get(name).copied()
+    }
+
+    /// Bind (or rebind) a variable.
+    pub fn set(&mut self, name: impl AsRef<str>, value: Value) {
+        self.vars.insert(crate::ast::name(name), value);
+    }
+
+    /// Remove a binding, returning its previous value.
+    pub fn unset(&mut self, name: &str) -> Option<Value> {
+        self.vars.remove(name)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterate over bindings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Value)> {
+        self.vars.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut env = Env::new();
+        assert!(env.is_empty());
+        env.set("x", Value::Int(3));
+        assert_eq!(env.get("x"), Some(Value::Int(3)));
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn rebind_overwrites() {
+        let mut env = Env::new();
+        env.set("x", Value::Int(1));
+        env.set("x", Value::Int(2));
+        assert_eq!(env.get("x"), Some(Value::Int(2)));
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn unset_removes() {
+        let mut env = Env::from_pairs([("a", Value::Int(1)), ("b", Value::Bool(true))]);
+        assert_eq!(env.unset("a"), Some(Value::Int(1)));
+        assert_eq!(env.get("a"), None);
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn from_pairs_builds() {
+        let env = Env::from_pairs([("k", Value::Int(9))]);
+        assert_eq!(env.get("k"), Some(Value::Int(9)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Error types for the SRAL crate.
+
+use std::fmt;
+
+/// Position of a token or error in source text (1-based line/column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// The start of the input.
+    pub const START: Pos = Pos { line: 1, col: 1 };
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors produced while lexing or parsing SRAL source text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// A character the lexer does not understand.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Where it occurred.
+        pos: Pos,
+    },
+    /// An integer literal that does not fit in `i64`.
+    IntOverflow {
+        /// The literal text.
+        text: String,
+        /// Where it occurred.
+        pos: Pos,
+    },
+    /// The parser expected one thing and found another.
+    Unexpected {
+        /// What the grammar expected at this point.
+        expected: String,
+        /// The token actually found (or "end of input").
+        found: String,
+        /// Where it occurred.
+        pos: Pos,
+    },
+    /// Input ended while a construct was still open.
+    UnexpectedEof {
+        /// What the grammar expected next.
+        expected: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedChar { ch, pos } => {
+                write!(f, "{pos}: unexpected character {ch:?}")
+            }
+            ParseError::IntOverflow { text, pos } => {
+                write!(f, "{pos}: integer literal `{text}` overflows i64")
+            }
+            ParseError::Unexpected {
+                expected,
+                found,
+                pos,
+            } => write!(f, "{pos}: expected {expected}, found {found}"),
+            ParseError::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors raised while evaluating expressions or conditions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// A variable was read before any value was bound to it.
+    UnboundVariable(String),
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// A value had the wrong type for the context.
+    TypeMismatch {
+        /// The type the context required.
+        expected: &'static str,
+        /// The type actually found.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Umbrella error for SRAL operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SralError {
+    /// A parse failure.
+    Parse(ParseError),
+    /// An evaluation failure.
+    Eval(EvalError),
+    /// A validation diagnostic escalated to an error.
+    Invalid(String),
+}
+
+impl fmt::Display for SralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SralError::Parse(e) => write!(f, "parse error: {e}"),
+            SralError::Eval(e) => write!(f, "evaluation error: {e}"),
+            SralError::Invalid(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SralError {}
+
+impl From<ParseError> for SralError {
+    fn from(e: ParseError) -> Self {
+        SralError::Parse(e)
+    }
+}
+
+impl From<EvalError> for SralError {
+    fn from(e: EvalError) -> Self {
+        SralError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = ParseError::Unexpected {
+            expected: "`then`".into(),
+            found: "`else`".into(),
+            pos: Pos { line: 2, col: 5 },
+        };
+        assert_eq!(e.to_string(), "2:5: expected `then`, found `else`");
+        assert_eq!(
+            EvalError::UnboundVariable("x".into()).to_string(),
+            "unbound variable `x`"
+        );
+        let s: SralError = e.into();
+        assert!(s.to_string().starts_with("parse error:"));
+    }
+}

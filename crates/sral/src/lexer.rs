@@ -1,0 +1,427 @@
+//! Lexer for the concrete SRAL syntax.
+//!
+//! The token stream is produced eagerly into a `Vec` so the parser can
+//! backtrack by saving/restoring an index (needed to disambiguate
+//! parenthesised conditions from parenthesised arithmetic).
+
+use crate::error::{ParseError, Pos};
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// An identifier (also used for operation, resource, server, channel,
+    /// signal and variable names).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `;`
+    Semi,
+    /// `||`
+    ParBar,
+    /// `@`
+    At,
+    /// `?`
+    Question,
+    /// `!`
+    Bang,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    // Keywords.
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `signal`
+    Signal,
+    /// `wait`
+    Wait,
+    /// `skip`
+    Skip,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+}
+
+impl Tok {
+    /// Human-readable description used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(i) => format!("integer `{i}`"),
+            other => format!("`{}`", other.text()),
+        }
+    }
+
+    fn text(&self) -> &'static str {
+        match self {
+            Tok::Ident(_) | Tok::Int(_) => "",
+            Tok::Semi => ";",
+            Tok::ParBar => "||",
+            Tok::At => "@",
+            Tok::Question => "?",
+            Tok::Bang => "!",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::Assign => ":=",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::EqEq => "==",
+            Tok::NotEq => "!=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::If => "if",
+            Tok::Then => "then",
+            Tok::Else => "else",
+            Tok::While => "while",
+            Tok::Do => "do",
+            Tok::Signal => "signal",
+            Tok::Wait => "wait",
+            Tok::Skip => "skip",
+            Tok::True => "true",
+            Tok::False => "false",
+            Tok::And => "and",
+            Tok::Or => "or",
+            Tok::Not => "not",
+        }
+    }
+}
+
+/// A token paired with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+/// Tokenise `src`, skipping whitespace and `#`-to-end-of-line comments.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(c) = c {
+                if c == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let pos = Pos { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                // Comment to end of line.
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '0'..='9' => {
+                let mut text = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '_' {
+                        text.push(d);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let digits: String = text.chars().filter(|c| *c != '_').collect();
+                let value: i64 = digits
+                    .parse()
+                    .map_err(|_| ParseError::IntOverflow { text, pos })?;
+                out.push(Spanned {
+                    tok: Tok::Int(value),
+                    pos,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '.' || d == '-' {
+                        text.push(d);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match text.as_str() {
+                    "if" => Tok::If,
+                    "then" => Tok::Then,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "do" => Tok::Do,
+                    "signal" => Tok::Signal,
+                    "wait" => Tok::Wait,
+                    "skip" => Tok::Skip,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    _ => Tok::Ident(text),
+                };
+                out.push(Spanned { tok, pos });
+            }
+            _ => {
+                bump!();
+                let two = |chars: &mut std::iter::Peekable<std::str::Chars>, want: char| {
+                    if chars.peek() == Some(&want) {
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let tok = match c {
+                    ';' => Tok::Semi,
+                    '@' => Tok::At,
+                    '?' => Tok::Question,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '/' => Tok::Slash,
+                    '%' => Tok::Percent,
+                    '|' => {
+                        if two(&mut chars, '|') {
+                            bump!();
+                            Tok::ParBar
+                        } else {
+                            return Err(ParseError::UnexpectedChar { ch: '|', pos });
+                        }
+                    }
+                    ':' => {
+                        if two(&mut chars, '=') {
+                            bump!();
+                            Tok::Assign
+                        } else {
+                            return Err(ParseError::UnexpectedChar { ch: ':', pos });
+                        }
+                    }
+                    '=' => {
+                        if two(&mut chars, '=') {
+                            bump!();
+                            Tok::EqEq
+                        } else {
+                            return Err(ParseError::UnexpectedChar { ch: '=', pos });
+                        }
+                    }
+                    '!' => {
+                        if two(&mut chars, '=') {
+                            bump!();
+                            Tok::NotEq
+                        } else {
+                            Tok::Bang
+                        }
+                    }
+                    '<' => {
+                        if two(&mut chars, '=') {
+                            bump!();
+                            Tok::Le
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    '>' => {
+                        if two(&mut chars, '=') {
+                            bump!();
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    other => return Err(ParseError::UnexpectedChar { ch: other, pos }),
+                };
+                out.push(Spanned { tok, pos });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_access() {
+        assert_eq!(
+            toks("read r1 @ s1"),
+            vec![
+                Tok::Ident("read".into()),
+                Tok::Ident("r1".into()),
+                Tok::At,
+                Tok::Ident("s1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_channel_ops() {
+        assert_eq!(
+            toks("ch ? x ; ch ! 3"),
+            vec![
+                Tok::Ident("ch".into()),
+                Tok::Question,
+                Tok::Ident("x".into()),
+                Tok::Semi,
+                Tok::Ident("ch".into()),
+                Tok::Bang,
+                Tok::Int(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_idents() {
+        assert_eq!(
+            toks("if iffy while whilex"),
+            vec![
+                Tok::If,
+                Tok::Ident("iffy".into()),
+                Tok::While,
+                Tok::Ident("whilex".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks(":= == != <= >= < > ||"),
+            vec![
+                Tok::Assign,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::ParBar,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("skip # the rest is a comment ; if\nskip"), vec![Tok::Skip, Tok::Skip]);
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        assert_eq!(toks("1_000"), vec![Tok::Int(1000)]);
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        // Resource names like `libA.mod1` and hosts like `s1.wayne.edu`.
+        assert_eq!(
+            toks("verify libA.mod1 @ s1.wayne.edu"),
+            vec![
+                Tok::Ident("verify".into()),
+                Tok::Ident("libA.mod1".into()),
+                Tok::At,
+                Tok::Ident("s1.wayne.edu".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = lex("skip\n  $").unwrap_err();
+        match err {
+            ParseError::UnexpectedChar { ch, pos } => {
+                assert_eq!(ch, '$');
+                assert_eq!(pos.line, 2);
+                assert_eq!(pos.col, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lone_pipe_is_error() {
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn int_overflow_reported() {
+        assert!(matches!(
+            lex("99999999999999999999"),
+            Err(ParseError::IntOverflow { .. })
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+//! # stacl-sral — the Shared Resource Access Language (SRAL)
+//!
+//! SRAL models the resource-access behaviour of a *mobile object* — the
+//! logical counterpart of a mobile device roaming across the servers of a
+//! coalition environment (Fu & Xu, IPPS 2005, Definition 3.1).
+//!
+//! A program is built from a small set of constructs:
+//!
+//! ```text
+//! a ::= op r @ s                    -- primitive shared-resource access
+//!     | ch ? x                      -- receive from channel ch into x
+//!     | ch ! e                      -- send value of e on channel ch
+//!     | signal(xi) | wait(xi)       -- order synchronisation
+//!     | a1 ; a2                     -- sequential composition
+//!     | if c then a1 else a2        -- conditional composition
+//!     | while c do a                -- iteration
+//!     | a1 || a2                    -- parallel composition (Def. 3.2)
+//! ```
+//!
+//! The crate provides:
+//!
+//! * [`ast`] — the abstract syntax tree ([`Program`], [`Access`]);
+//! * [`expr`] — arithmetic expressions and boolean conditions with an
+//!   evaluator over variable environments ([`env::Env`]);
+//! * [`lexer`] / [`parser`] — a concrete textual syntax;
+//! * [`pretty`] — round-trippable pretty-printing;
+//! * [`builder`] — a fluent construction DSL;
+//! * [`validate`] — well-formedness diagnostics (signal/wait pairing,
+//!   use-before-definition of variables, …);
+//! * [`visit`] — visitor / fold traversals;
+//! * [`metrics`] — program size and shape measurements (the `m` of
+//!   Theorem 3.2).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use stacl_sral::parser::parse_program;
+//!
+//! let p = parse_program(
+//!     "read report @ s1 ; \
+//!      if x > 0 then { write draft @ s1 } else { write notes @ s2 }",
+//! ).unwrap();
+//! assert_eq!(p.accesses().count(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builder;
+pub mod env;
+pub mod error;
+pub mod expr;
+pub mod lexer;
+pub mod metrics;
+pub mod parser;
+pub mod pretty;
+pub mod validate;
+pub mod visit;
+
+pub use ast::{Access, Program};
+pub use env::Env;
+pub use error::{ParseError, SralError};
+pub use expr::{CmpOp, Cond, Expr, Value};

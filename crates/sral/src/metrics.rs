@@ -1,0 +1,147 @@
+//! Program shape metrics.
+//!
+//! Theorem 3.2's complexity bound is stated in terms of the *size* `m` of
+//! the mobile object's program; the benchmark harness (experiment E1)
+//! sweeps these metrics, so they are computed here once, exactly.
+
+use crate::ast::Program;
+
+/// Aggregate shape statistics of an SRAL program.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct Metrics {
+    /// Total AST nodes (the `m` of Theorem 3.2).
+    pub size: usize,
+    /// Maximum nesting depth.
+    pub depth: usize,
+    /// Primitive shared-resource accesses (with duplicates).
+    pub accesses: usize,
+    /// Distinct accesses — the alphabet size.
+    pub alphabet: usize,
+    /// Channel receives.
+    pub recvs: usize,
+    /// Channel sends.
+    pub sends: usize,
+    /// `signal` operations.
+    pub signals: usize,
+    /// `wait` operations.
+    pub waits: usize,
+    /// Assignments (extension nodes).
+    pub assigns: usize,
+    /// Sequential compositions.
+    pub seqs: usize,
+    /// Parallel compositions.
+    pub pars: usize,
+    /// Conditionals.
+    pub ifs: usize,
+    /// Loops.
+    pub whiles: usize,
+}
+
+/// Compute all metrics in a single traversal.
+pub fn metrics(p: &Program) -> Metrics {
+    let mut m = Metrics::default();
+    let mut alphabet = std::collections::HashSet::new();
+    let mut stack = vec![p];
+    let mut max_depth = 0usize;
+    // Track depth with an explicit (node, depth) stack.
+    let mut dstack = vec![(p, 1usize)];
+    stack.clear();
+    while let Some((node, depth)) = dstack.pop() {
+        m.size += 1;
+        max_depth = max_depth.max(depth);
+        match node {
+            Program::Skip => {}
+            Program::Access(a) => {
+                m.accesses += 1;
+                alphabet.insert(a.clone());
+            }
+            Program::Recv { .. } => m.recvs += 1,
+            Program::Send { .. } => m.sends += 1,
+            Program::Signal(_) => m.signals += 1,
+            Program::Wait(_) => m.waits += 1,
+            Program::Assign { .. } => m.assigns += 1,
+            Program::Seq(a, b) => {
+                m.seqs += 1;
+                dstack.push((a, depth + 1));
+                dstack.push((b, depth + 1));
+            }
+            Program::Par(a, b) => {
+                m.pars += 1;
+                dstack.push((a, depth + 1));
+                dstack.push((b, depth + 1));
+            }
+            Program::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                m.ifs += 1;
+                dstack.push((then_branch, depth + 1));
+                dstack.push((else_branch, depth + 1));
+            }
+            Program::While { body, .. } => {
+                m.whiles += 1;
+                dstack.push((body, depth + 1));
+            }
+        }
+    }
+    m.depth = max_depth;
+    m.alphabet = alphabet.len();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::expr::{CmpOp, Cond, Expr};
+
+    #[test]
+    fn metrics_of_leaf() {
+        let m = metrics(&access("read", "r", "s"));
+        assert_eq!(m.size, 1);
+        assert_eq!(m.depth, 1);
+        assert_eq!(m.accesses, 1);
+        assert_eq!(m.alphabet, 1);
+    }
+
+    #[test]
+    fn metrics_agree_with_ast_helpers() {
+        let p = seq([
+            access("a", "r1", "s"),
+            access("a", "r1", "s"),
+            while_do(
+                Cond::cmp(CmpOp::Lt, Expr::var("i"), 3.into()),
+                par([access("b", "r2", "s"), recv("ch", "x")]),
+            ),
+            signal("done"),
+        ]);
+        let m = metrics(&p);
+        assert_eq!(m.size, p.size());
+        assert_eq!(m.depth, p.depth());
+        assert_eq!(m.accesses, p.accesses().count());
+        assert_eq!(m.alphabet, p.alphabet().len());
+        assert_eq!(m.whiles, 1);
+        assert_eq!(m.pars, 1);
+        assert_eq!(m.recvs, 1);
+        assert_eq!(m.signals, 1);
+        assert_eq!(m.seqs, 3);
+    }
+
+    #[test]
+    fn metrics_count_all_kinds() {
+        let p = seq([
+            send("ch", Expr::Int(1)),
+            assign("x", Expr::Int(2)),
+            wait("go"),
+            branch(Cond::True, skip(), skip()),
+        ]);
+        let m = metrics(&p);
+        assert_eq!(m.sends, 1);
+        assert_eq!(m.assigns, 1);
+        assert_eq!(m.waits, 1);
+        assert_eq!(m.ifs, 1);
+        // 3 Seq nodes + send + assign + wait + if + 2 skips = 9
+        assert_eq!(m.size, 9);
+    }
+}

@@ -1,0 +1,588 @@
+//! Recursive-descent parser for the concrete SRAL syntax.
+//!
+//! Grammar (lowest precedence first):
+//!
+//! ```text
+//! program := par (';' par)*
+//! par     := atom ('||' atom)*
+//! atom    := 'skip'
+//!          | 'signal' '(' IDENT ')'
+//!          | 'wait' '(' IDENT ')'
+//!          | 'if' cond 'then' block 'else' block
+//!          | 'while' cond 'do' block
+//!          | '{' program '}'
+//!          | IDENT '?' IDENT              -- channel receive
+//!          | IDENT '!' expr               -- channel send
+//!          | IDENT ':=' expr              -- assignment (extension)
+//!          | IDENT IDENT '@' IDENT        -- access: op r @ s
+//! block   := '{' program '}' | atom
+//! cond    := cterm ('or' cterm)*
+//! cterm   := cfact ('and' cfact)*
+//! cfact   := 'not' cfact | 'true' | 'false'
+//!          | '(' cond ')'                 -- tried with backtracking
+//!          | expr CMPOP expr | IDENT      -- comparison / boolean variable
+//! expr    := term (('+'|'-') term)*
+//! term    := factor (('*'|'/'|'%') factor)*
+//! factor  := INT | IDENT | '-' factor | '(' expr ')'
+//! ```
+//!
+//! Note `;` binds *looser* than `||`, so `a ; b || c ; d` parses as
+//! `a ; (b || c) ; d`, matching the intuition that `||` forms one parallel
+//! step inside a sequential agenda.
+
+use crate::ast::{name, Access, Program};
+use crate::error::ParseError;
+use crate::expr::{ArithOp, CmpOp, Cond, Expr};
+use crate::lexer::{lex, Spanned, Tok};
+
+/// Parse a complete SRAL program from source text.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let prog = p.program()?;
+    p.expect_eof()?;
+    Ok(prog)
+}
+
+/// Parse a standalone condition (useful for policy files and tests).
+pub fn parse_cond(src: &str) -> Result<Cond, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let c = p.cond()?;
+    p.expect_eof()?;
+    Ok(c)
+}
+
+/// Parse a standalone arithmetic expression.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.i + 1).map(|s| &s.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(&want) {
+            Ok(())
+        } else {
+            Err(self.err_here(what))
+        }
+    }
+
+    fn err_here(&self, expected: &str) -> ParseError {
+        match self.toks.get(self.i) {
+            Some(s) => ParseError::Unexpected {
+                expected: expected.to_string(),
+                found: s.tok.describe(),
+                pos: s.pos,
+            },
+            None => ParseError::UnexpectedEof {
+                expected: expected.to_string(),
+            },
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.i == self.toks.len() {
+            Ok(())
+        } else {
+            Err(self.err_here("end of input"))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => match self.next() {
+                Some(Tok::Ident(s)) => Ok(s),
+                _ => unreachable!(),
+            },
+            _ => Err(self.err_here(what)),
+        }
+    }
+
+    // program := par (';' par)*
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut acc = self.par()?;
+        while self.eat(&Tok::Semi) {
+            // Permit a trailing semicolon before a closer / end of input.
+            if matches!(self.peek(), None | Some(Tok::RBrace)) {
+                break;
+            }
+            let next = self.par()?;
+            acc = Program::Seq(Box::new(acc), Box::new(next));
+        }
+        Ok(acc)
+    }
+
+    // par := atom ('||' atom)*
+    fn par(&mut self) -> Result<Program, ParseError> {
+        let mut acc = self.atom()?;
+        while self.eat(&Tok::ParBar) {
+            let rhs = self.atom()?;
+            acc = Program::Par(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn atom(&mut self) -> Result<Program, ParseError> {
+        match self.peek() {
+            Some(Tok::Skip) => {
+                self.next();
+                Ok(Program::Skip)
+            }
+            Some(Tok::Signal) => {
+                self.next();
+                self.expect(Tok::LParen, "`(` after `signal`")?;
+                let n = self.ident("signal name")?;
+                self.expect(Tok::RParen, "`)` closing `signal`")?;
+                Ok(Program::Signal(name(n)))
+            }
+            Some(Tok::Wait) => {
+                self.next();
+                self.expect(Tok::LParen, "`(` after `wait`")?;
+                let n = self.ident("signal name")?;
+                self.expect(Tok::RParen, "`)` closing `wait`")?;
+                Ok(Program::Wait(name(n)))
+            }
+            Some(Tok::If) => {
+                self.next();
+                let cond = self.cond()?;
+                self.expect(Tok::Then, "`then`")?;
+                let then_branch = self.block()?;
+                self.expect(Tok::Else, "`else`")?;
+                let else_branch = self.block()?;
+                Ok(Program::If {
+                    cond,
+                    then_branch: Box::new(then_branch),
+                    else_branch: Box::new(else_branch),
+                })
+            }
+            Some(Tok::While) => {
+                self.next();
+                let cond = self.cond()?;
+                self.expect(Tok::Do, "`do`")?;
+                let body = self.block()?;
+                Ok(Program::While {
+                    cond,
+                    body: Box::new(body),
+                })
+            }
+            Some(Tok::LBrace) => self.block(),
+            Some(Tok::Ident(_)) => {
+                let first = self.ident("identifier")?;
+                match self.peek() {
+                    Some(Tok::Question) => {
+                        self.next();
+                        let var = self.ident("variable name after `?`")?;
+                        Ok(Program::Recv {
+                            channel: name(first),
+                            var: name(var),
+                        })
+                    }
+                    Some(Tok::Bang) => {
+                        self.next();
+                        let expr = self.expr()?;
+                        Ok(Program::Send {
+                            channel: name(first),
+                            expr,
+                        })
+                    }
+                    Some(Tok::Assign) => {
+                        self.next();
+                        let expr = self.expr()?;
+                        Ok(Program::Assign {
+                            var: name(first),
+                            expr,
+                        })
+                    }
+                    Some(Tok::Ident(_)) => {
+                        let resource = self.ident("resource name")?;
+                        self.expect(Tok::At, "`@` in access")?;
+                        let server = self.ident("server name")?;
+                        Ok(Program::Access(Access {
+                            op: name(first),
+                            resource: name(resource),
+                            server: name(server),
+                        }))
+                    }
+                    _ => Err(self.err_here("`?`, `!`, `:=` or a resource name")),
+                }
+            }
+            _ => Err(self.err_here("a program construct")),
+        }
+    }
+
+    // block := '{' program '}' | atom
+    fn block(&mut self) -> Result<Program, ParseError> {
+        if self.eat(&Tok::LBrace) {
+            if self.eat(&Tok::RBrace) {
+                return Ok(Program::Skip);
+            }
+            let p = self.program()?;
+            self.expect(Tok::RBrace, "`}`")?;
+            Ok(p)
+        } else {
+            self.atom()
+        }
+    }
+
+    // cond := cterm ('or' cterm)*
+    fn cond(&mut self) -> Result<Cond, ParseError> {
+        let mut acc = self.cterm()?;
+        while self.eat(&Tok::Or) {
+            let rhs = self.cterm()?;
+            acc = Cond::Or(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn cterm(&mut self) -> Result<Cond, ParseError> {
+        let mut acc = self.cfact()?;
+        while self.eat(&Tok::And) {
+            let rhs = self.cfact()?;
+            acc = Cond::And(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn cfact(&mut self) -> Result<Cond, ParseError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.next();
+                Ok(Cond::Not(Box::new(self.cfact()?)))
+            }
+            Some(Tok::True) => {
+                self.next();
+                Ok(Cond::True)
+            }
+            Some(Tok::False) => {
+                self.next();
+                Ok(Cond::False)
+            }
+            Some(Tok::LParen) => {
+                // Could be `( cond )` or the start of a parenthesised
+                // arithmetic expression in a comparison. Try cond first
+                // with backtracking.
+                let save = self.i;
+                self.next(); // consume '('
+                if let Ok(c) = self.cond() {
+                    if self.eat(&Tok::RParen) && !self.peeking_cmp() {
+                        return Ok(c);
+                    }
+                }
+                self.i = save;
+                self.comparison()
+            }
+            Some(Tok::Ident(_)) => {
+                // Either a boolean variable or the left operand of a
+                // comparison.
+                if matches!(self.peek2(), Some(t) if Self::is_cmp(t))
+                    || matches!(
+                        self.peek2(),
+                        Some(Tok::Plus)
+                            | Some(Tok::Minus)
+                            | Some(Tok::Star)
+                            | Some(Tok::Slash)
+                            | Some(Tok::Percent)
+                    )
+                {
+                    self.comparison()
+                } else {
+                    let v = self.ident("boolean variable")?;
+                    Ok(Cond::Var(name(v)))
+                }
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    /// True when the *next* token is a comparison operator — used after a
+    /// tentatively-parsed parenthesised condition to detect that the parens
+    /// actually belonged to an arithmetic operand, e.g. `(x) < 3`.
+    fn peeking_cmp(&self) -> bool {
+        matches!(self.peek(), Some(t) if Self::is_cmp(t))
+    }
+
+    fn is_cmp(t: &Tok) -> bool {
+        matches!(
+            t,
+            Tok::EqEq | Tok::NotEq | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge
+        )
+    }
+
+    fn comparison(&mut self) -> Result<Cond, ParseError> {
+        let lhs = self.expr()?;
+        let op = match self.next() {
+            Some(Tok::EqEq) => CmpOp::Eq,
+            Some(Tok::NotEq) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            _ => {
+                self.i = self.i.saturating_sub(1);
+                return Err(self.err_here("a comparison operator"));
+            }
+        };
+        let rhs = self.expr()?;
+        Ok(Cond::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => ArithOp::Add,
+                Some(Tok::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.term()?;
+            acc = Expr::Bin(op, Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => ArithOp::Mul,
+                Some(Tok::Slash) => ArithOp::Div,
+                Some(Tok::Percent) => ArithOp::Rem,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.factor()?;
+            acc = Expr::Bin(op, Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Int(_)) => match self.next() {
+                Some(Tok::Int(i)) => Ok(Expr::Int(i)),
+                _ => unreachable!(),
+            },
+            Some(Tok::Ident(_)) => {
+                let v = self.ident("variable")?;
+                Ok(Expr::Var(name(v)))
+            }
+            Some(Tok::Minus) => {
+                self.next();
+                Ok(Expr::Neg(Box::new(self.factor()?)))
+            }
+            Some(Tok::LParen) => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => Err(self.err_here("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Program as P;
+
+    #[test]
+    fn parses_single_access() {
+        let p = parse_program("read r1 @ s1").unwrap();
+        assert_eq!(p, P::Access(Access::new("read", "r1", "s1")));
+    }
+
+    #[test]
+    fn parses_sequence() {
+        let p = parse_program("read r1 @ s1 ; write r2 @ s2").unwrap();
+        match p {
+            P::Seq(a, b) => {
+                assert_eq!(*a, P::Access(Access::new("read", "r1", "s1")));
+                assert_eq!(*b, P::Access(Access::new("write", "r2", "s2")));
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_program("read r @ s ;").is_ok());
+        assert!(parse_program("{ read r @ s ; }").is_ok());
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let p = parse_program("if x > 0 then { write r2 @ s1 } else { write r3 @ s1 }").unwrap();
+        match p {
+            P::If { cond, .. } => {
+                assert_eq!(cond.to_string(), "x > 0");
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_while() {
+        let p = parse_program("while n < 10 do { exec app @ s2 ; n := n + 1 }").unwrap();
+        match p {
+            P::While { body, .. } => {
+                assert_eq!(body.size(), 3);
+            }
+            other => panic!("expected While, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_channels_and_signals() {
+        let p = parse_program("ch ? x ; ch ! x + 1 ; signal(done) ; wait(go)").unwrap();
+        let mut kinds = Vec::new();
+        fn walk(p: &P, out: &mut Vec<&'static str>) {
+            match p {
+                P::Seq(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                P::Recv { .. } => out.push("recv"),
+                P::Send { .. } => out.push("send"),
+                P::Signal(_) => out.push("signal"),
+                P::Wait(_) => out.push("wait"),
+                _ => out.push("other"),
+            }
+        }
+        walk(&p, &mut kinds);
+        assert_eq!(kinds, ["recv", "send", "signal", "wait"]);
+    }
+
+    #[test]
+    fn parallel_binds_tighter_than_seq() {
+        let p = parse_program("a r @ s ; b r @ s || c r @ s ; d r @ s").unwrap();
+        // Expect Seq(Seq(a, Par(b, c)), d).
+        match p {
+            P::Seq(left, d) => {
+                assert!(matches!(*d, P::Access(_)));
+                match *left {
+                    P::Seq(a, par) => {
+                        assert!(matches!(*a, P::Access(_)));
+                        assert!(matches!(*par, P::Par(_, _)));
+                    }
+                    other => panic!("expected inner Seq, got {other:?}"),
+                }
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paren_cond_backtracking() {
+        // Parenthesised condition.
+        let c = parse_cond("(x > 0 or y > 0) and z == 1").unwrap();
+        assert!(matches!(c, Cond::And(_, _)));
+        // Parenthesised arithmetic operand.
+        let c2 = parse_cond("(x) < 3").unwrap();
+        assert!(matches!(c2, Cond::Cmp(CmpOp::Lt, _, _)));
+        let c3 = parse_cond("(x + 1) * 2 < 6").unwrap();
+        assert!(matches!(c3, Cond::Cmp(CmpOp::Lt, _, _)));
+    }
+
+    #[test]
+    fn boolean_variable_condition() {
+        let c = parse_cond("ready and not done").unwrap();
+        assert_eq!(c.to_string(), "(ready and not (done))");
+    }
+
+    #[test]
+    fn expr_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + (2 * 3))");
+        let e2 = parse_expr("-x % 4").unwrap();
+        assert_eq!(e2.to_string(), "(-(x) % 4)");
+    }
+
+    #[test]
+    fn empty_braces_are_skip() {
+        let p = parse_program("if true then { } else { skip }").unwrap();
+        match p {
+            P::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                assert_eq!(*then_branch, P::Skip);
+                assert_eq!(*else_branch, P::Skip);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_missing_at() {
+        let err = parse_program("read r1 s1").unwrap_err();
+        assert!(err.to_string().contains("@"), "{err}");
+    }
+
+    #[test]
+    fn error_on_garbage_tail() {
+        assert!(parse_program("skip skip").is_err());
+    }
+
+    #[test]
+    fn error_reports_eof() {
+        let err = parse_program("if x > 0 then").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::UnexpectedEof { .. } | ParseError::Unexpected { .. }
+        ));
+    }
+
+    #[test]
+    fn nested_blocks() {
+        let p = parse_program("{ { read r @ s } ; { write r @ s } }").unwrap();
+        assert_eq!(p.accesses().count(), 2);
+    }
+
+    #[test]
+    fn paper_example_restricted_software() {
+        // "read r1 first, then if x>0 write r2 else write r3" (§3.1).
+        let p = parse_program(
+            "read r1 @ s1 ; if x > 0 then { write r2 @ s1 } else { write r3 @ s1 }",
+        )
+        .unwrap();
+        assert_eq!(p.accesses().count(), 3);
+        assert_eq!(p.alphabet().len(), 3);
+    }
+}

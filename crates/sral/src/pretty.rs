@@ -1,0 +1,230 @@
+//! Pretty-printing of SRAL programs.
+//!
+//! Two renderings are provided: a compact single-line form via
+//! [`std::fmt::Display`] (round-trippable through the parser) and an
+//! indented multi-line form via [`pretty`].
+
+use std::fmt;
+
+use crate::ast::Program;
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_compact(self, f, Ctx::Top)
+    }
+}
+
+/// Parent context, used to decide when braces are required in the compact
+/// rendering so the output re-parses to the identical tree.
+#[derive(Clone, Copy, PartialEq)]
+enum Ctx {
+    /// Top level or inside explicit braces.
+    Top,
+    /// Operand of `||` (binds tighter than `;`).
+    Par,
+    /// Body of `if`/`while` — always braced for clarity.
+    Block,
+}
+
+fn write_compact(p: &Program, f: &mut fmt::Formatter<'_>, ctx: Ctx) -> fmt::Result {
+    match p {
+        Program::Skip => write!(f, "skip"),
+        Program::Access(a) => write!(f, "{a}"),
+        Program::Recv { channel, var } => write!(f, "{channel} ? {var}"),
+        Program::Send { channel, expr } => write!(f, "{channel} ! {expr}"),
+        Program::Signal(s) => write!(f, "signal({s})"),
+        Program::Wait(s) => write!(f, "wait({s})"),
+        Program::Assign { var, expr } => write!(f, "{var} := {expr}"),
+        Program::Seq(a, b) => {
+            // A sequence inside a `||` operand or a block must be braced.
+            let need_braces = ctx != Ctx::Top;
+            if need_braces {
+                write!(f, "{{ ")?;
+            }
+            write_compact(a, f, Ctx::Top)?;
+            write!(f, " ; ")?;
+            // `;` parses left-associatively: a right-nested Seq must be
+            // braced or it would re-parse left-nested.
+            if matches!(**b, Program::Seq(_, _)) {
+                write!(f, "{{ ")?;
+                write_compact(b, f, Ctx::Top)?;
+                write!(f, " }}")?;
+            } else {
+                write_compact(b, f, Ctx::Top)?;
+            }
+            if need_braces {
+                write!(f, " }}")?;
+            }
+            Ok(())
+        }
+        Program::Par(a, b) => {
+            if ctx == Ctx::Block {
+                write!(f, "{{ ")?;
+            }
+            write_compact(a, f, Ctx::Par)?;
+            write!(f, " || ")?;
+            // `||` also parses left-associatively: brace a right-nested Par.
+            if matches!(**b, Program::Par(_, _)) {
+                write!(f, "{{ ")?;
+                write_compact(b, f, Ctx::Top)?;
+                write!(f, " }}")?;
+            } else {
+                write_compact(b, f, Ctx::Par)?;
+            }
+            if ctx == Ctx::Block {
+                write!(f, " }}")?;
+            }
+            Ok(())
+        }
+        Program::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            write!(f, "if {cond} then {{ ")?;
+            write_compact(then_branch, f, Ctx::Top)?;
+            write!(f, " }} else {{ ")?;
+            write_compact(else_branch, f, Ctx::Top)?;
+            write!(f, " }}")
+        }
+        Program::While { cond, body } => {
+            write!(f, "while {cond} do {{ ")?;
+            write_compact(body, f, Ctx::Top)?;
+            write!(f, " }}")
+        }
+    }
+}
+
+/// Render `p` as indented multi-line text (four-space indents).
+pub fn pretty(p: &Program) -> String {
+    let mut out = String::new();
+    render(p, 0, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn render(p: &Program, level: usize, out: &mut String) {
+    match p {
+        Program::Seq(a, b) => {
+            render(a, level, out);
+            // Trim trailing newline, add the separator, recurse.
+            while out.ends_with('\n') {
+                out.pop();
+            }
+            out.push_str(" ;\n");
+            // Preserve right-nesting under the left-associative parser.
+            if matches!(**b, Program::Seq(_, _)) {
+                indent(level, out);
+                out.push_str("{\n");
+                render(b, level + 1, out);
+                indent(level, out);
+                out.push_str("}\n");
+            } else {
+                render(b, level, out);
+            }
+        }
+        Program::Par(a, b) => {
+            indent(level, out);
+            out.push_str("{\n");
+            render(a, level + 1, out);
+            indent(level, out);
+            out.push_str("} || {\n");
+            render(b, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Program::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            indent(level, out);
+            out.push_str(&format!("if {cond} then {{\n"));
+            render(then_branch, level + 1, out);
+            indent(level, out);
+            out.push_str("} else {\n");
+            render(else_branch, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Program::While { cond, body } => {
+            indent(level, out);
+            out.push_str(&format!("while {cond} do {{\n"));
+            render(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        leaf => {
+            indent(level, out);
+            // The compact form of a leaf is a single line.
+            out.push_str(&leaf.to_string());
+            out.push('\n');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// Every program printed compactly must re-parse to the same tree.
+    fn roundtrip(src: &str) {
+        let p = parse_program(src).unwrap();
+        let printed = p.to_string();
+        let q = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        assert_eq!(p, q, "roundtrip mismatch for `{src}` -> `{printed}`");
+    }
+
+    #[test]
+    fn roundtrip_leaves() {
+        roundtrip("skip");
+        roundtrip("read r @ s");
+        roundtrip("ch ? x");
+        roundtrip("ch ! x * 2");
+        roundtrip("signal(go)");
+        roundtrip("wait(go)");
+        roundtrip("x := 1 + 2");
+    }
+
+    #[test]
+    fn roundtrip_compounds() {
+        roundtrip("read r @ s ; write r @ s ; exec r @ s");
+        roundtrip("if x > 0 then { a r @ s } else { b r @ s }");
+        roundtrip("while n < 3 do { a r @ s ; n := n + 1 }");
+        roundtrip("a r @ s || b r @ s");
+        roundtrip("a r @ s ; { b r @ s ; c r @ s } || d r @ s ; e r @ s");
+        roundtrip("while x < 2 do { if y > 0 then { a r @ s } else { skip } }");
+    }
+
+    #[test]
+    fn pretty_is_indented() {
+        let p = parse_program("if x > 0 then { a r @ s ; b r @ s } else { skip }").unwrap();
+        let text = pretty(&p);
+        assert!(text.contains("if x > 0 then {"));
+        assert!(text.contains("    a r @ s ;"));
+        assert!(text.contains("} else {"));
+    }
+
+    #[test]
+    fn pretty_reparses() {
+        let p = parse_program(
+            "read r1 @ s1 ; while n < 10 do { exec app @ s2 ; n := n + 1 } ; signal(done)",
+        )
+        .unwrap();
+        let q = parse_program(&pretty(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn par_inside_while_braces() {
+        let src = "while x < 1 do { a r @ s || b r @ s }";
+        roundtrip(src);
+    }
+}

@@ -1,0 +1,470 @@
+//! Static well-formedness validation of SRAL programs.
+//!
+//! The checks catch mistakes that would surface as deadlocks or unbound
+//! variables at run time:
+//!
+//! * a `wait(ξ)` with no `signal(ξ)` anywhere in the program (or a signal
+//!   that can only run *after* the wait in sequential order) — the paper
+//!   requires the signal to be performed first;
+//! * a variable read (in a condition, expression or send) with no prior
+//!   receive/assignment on at least one path;
+//! * a channel that is received from but never sent to (only a warning —
+//!   a companion object may feed it);
+//! * empty loop bodies that would spin for ever.
+
+use std::collections::HashSet;
+
+use crate::ast::{Name, Program};
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    /// The program is certainly wrong (will deadlock or fault).
+    Error,
+    /// Suspicious but possibly intended (e.g. cross-object channels).
+    Warning,
+}
+
+/// A single validation diagnostic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn error(message: String) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message,
+        }
+    }
+
+    fn warning(message: String) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message,
+        }
+    }
+}
+
+/// Validation result: the full list of diagnostics.
+#[derive(Clone, Default, Debug)]
+pub struct Report {
+    /// All diagnostics, errors first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when no error-severity diagnostics were produced.
+    pub fn is_ok(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Iterator over error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Iterator over warning-severity diagnostics.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+}
+
+/// Validate `p`, returning all diagnostics found.
+pub fn validate(p: &Program) -> Report {
+    let mut report = Report::default();
+    check_signals(p, &mut report);
+    check_variables(p, &mut report);
+    check_channels(p, &mut report);
+    check_loops(p, &mut report);
+    report
+        .diagnostics
+        .sort_by_key(|d| (d.severity == Severity::Warning, d.message.clone()));
+    report
+}
+
+/// Collect the set of signals raised and awaited, and flag waits whose
+/// signal cannot have happened earlier on any sequential path *within this
+/// program*. Signals from companion objects are a warning, not an error.
+fn check_signals(p: &Program, report: &mut Report) {
+    let mut signalled = HashSet::new();
+    let mut awaited = HashSet::new();
+    collect_signals(p, &mut signalled, &mut awaited);
+
+    for w in &awaited {
+        if !signalled.contains(w) {
+            report.diagnostics.push(Diagnostic::warning(format!(
+                "wait({w}) has no matching signal({w}) in this program; \
+                 it will block unless a companion object raises it"
+            )));
+        }
+    }
+
+    // Strictly-sequential self-deadlock: wait(ξ) before any signal(ξ) with
+    // no parallel branch that could raise it.
+    let mut raised: HashSet<Name> = HashSet::new();
+    seq_deadlock(p, &mut raised, &signalled, report);
+}
+
+fn collect_signals(p: &Program, signalled: &mut HashSet<Name>, awaited: &mut HashSet<Name>) {
+    match p {
+        Program::Signal(s) => {
+            signalled.insert(s.clone());
+        }
+        Program::Wait(s) => {
+            awaited.insert(s.clone());
+        }
+        Program::Seq(a, b) | Program::Par(a, b) => {
+            collect_signals(a, signalled, awaited);
+            collect_signals(b, signalled, awaited);
+        }
+        Program::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_signals(then_branch, signalled, awaited);
+            collect_signals(else_branch, signalled, awaited);
+        }
+        Program::While { body, .. } => collect_signals(body, signalled, awaited),
+        _ => {}
+    }
+}
+
+/// Walk sequentially; `raised` accumulates signals guaranteed raised before
+/// the current point. A `wait` on a signal that exists in the program but
+/// can only be raised later (and not in a parallel sibling) deadlocks.
+fn seq_deadlock(
+    p: &Program,
+    raised: &mut HashSet<Name>,
+    all_signalled: &HashSet<Name>,
+    report: &mut Report,
+) {
+    match p {
+        Program::Signal(s) => {
+            raised.insert(s.clone());
+        }
+        Program::Wait(s) => {
+            if all_signalled.contains(s) && !raised.contains(s) {
+                report.diagnostics.push(Diagnostic::error(format!(
+                    "wait({s}) is sequentially ordered before every signal({s}): \
+                     the program deadlocks"
+                )));
+            }
+        }
+        Program::Seq(a, b) => {
+            seq_deadlock(a, raised, all_signalled, report);
+            seq_deadlock(b, raised, all_signalled, report);
+        }
+        Program::Par(a, b) => {
+            // Either side may run first; a wait in one branch can be served
+            // by a signal in the other, so pre-seed each branch with the
+            // signals its sibling raises anywhere.
+            let mut sig_a = HashSet::new();
+            let mut sig_b = HashSet::new();
+            let mut unused = HashSet::new();
+            collect_signals(a, &mut sig_a, &mut unused);
+            collect_signals(b, &mut sig_b, &mut unused);
+
+            let mut ra = raised.clone();
+            ra.extend(sig_b.iter().cloned());
+            seq_deadlock(a, &mut ra, all_signalled, report);
+
+            let mut rb = raised.clone();
+            rb.extend(sig_a.iter().cloned());
+            seq_deadlock(b, &mut rb, all_signalled, report);
+
+            // After the join, signals raised on either side are raised.
+            raised.extend(sig_a);
+            raised.extend(sig_b);
+        }
+        Program::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let mut rt = raised.clone();
+            seq_deadlock(then_branch, &mut rt, all_signalled, report);
+            let mut re = raised.clone();
+            seq_deadlock(else_branch, &mut re, all_signalled, report);
+            // Only signals raised on *both* branches are guaranteed.
+            raised.extend(rt.intersection(&re).cloned().collect::<Vec<_>>());
+        }
+        Program::While { body, .. } => {
+            // Body may run zero times: analyse it for internal deadlocks
+            // but do not credit its signals to the continuation.
+            let mut rb = raised.clone();
+            seq_deadlock(body, &mut rb, all_signalled, report);
+        }
+        _ => {}
+    }
+}
+
+/// Flag variables read before any binding on some path.
+fn check_variables(p: &Program, report: &mut Report) {
+    let mut bound = HashSet::new();
+    var_walk(p, &mut bound, report);
+}
+
+fn reads_of(p: &Program) -> Vec<Name> {
+    let mut out = Vec::new();
+    match p {
+        Program::Send { expr, .. } | Program::Assign { expr, .. } => expr.collect_vars(&mut out),
+        Program::If { cond, .. } | Program::While { cond, .. } => cond.collect_vars(&mut out),
+        _ => {}
+    }
+    out
+}
+
+fn var_walk(p: &Program, bound: &mut HashSet<Name>, report: &mut Report) {
+    for v in reads_of(p) {
+        if !bound.contains(&v) {
+            report.diagnostics.push(Diagnostic::warning(format!(
+                "variable `{v}` may be read before it is bound"
+            )));
+        }
+    }
+    match p {
+        Program::Recv { var, .. } => {
+            bound.insert(var.clone());
+        }
+        Program::Assign { var, .. } => {
+            bound.insert(var.clone());
+        }
+        Program::Seq(a, b) => {
+            var_walk(a, bound, report);
+            var_walk(b, bound, report);
+        }
+        Program::Par(a, b) => {
+            // Bindings made in parallel branches are not ordered; be
+            // conservative and analyse each branch from the pre-state.
+            let mut ba = bound.clone();
+            var_walk(a, &mut ba, report);
+            let mut bb = bound.clone();
+            var_walk(b, &mut bb, report);
+            bound.extend(ba.intersection(&bb).cloned().collect::<Vec<_>>());
+        }
+        Program::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let mut bt = bound.clone();
+            var_walk(then_branch, &mut bt, report);
+            let mut be = bound.clone();
+            var_walk(else_branch, &mut be, report);
+            bound.extend(bt.intersection(&be).cloned().collect::<Vec<_>>());
+        }
+        Program::While { body, .. } => {
+            let mut bb = bound.clone();
+            var_walk(body, &mut bb, report);
+        }
+        _ => {}
+    }
+}
+
+/// Channels received from but never sent to anywhere in this program.
+fn check_channels(p: &Program, report: &mut Report) {
+    let mut sent = HashSet::new();
+    let mut received = HashSet::new();
+    chan_walk(p, &mut sent, &mut received);
+    for ch in received.difference(&sent) {
+        report.diagnostics.push(Diagnostic::warning(format!(
+            "channel `{ch}` is received from but never sent to in this program"
+        )));
+    }
+}
+
+fn chan_walk(p: &Program, sent: &mut HashSet<Name>, received: &mut HashSet<Name>) {
+    match p {
+        Program::Send { channel, .. } => {
+            sent.insert(channel.clone());
+        }
+        Program::Recv { channel, .. } => {
+            received.insert(channel.clone());
+        }
+        Program::Seq(a, b) | Program::Par(a, b) => {
+            chan_walk(a, sent, received);
+            chan_walk(b, sent, received);
+        }
+        Program::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            chan_walk(then_branch, sent, received);
+            chan_walk(else_branch, sent, received);
+        }
+        Program::While { body, .. } => chan_walk(body, sent, received),
+        _ => {}
+    }
+}
+
+/// Loops whose body is completely silent can never change their guard and
+/// would spin for ever (or never run).
+fn check_loops(p: &Program, report: &mut Report) {
+    match p {
+        Program::While { cond, body } => {
+            if body.is_silent() && **body == Program::Skip {
+                report.diagnostics.push(Diagnostic::warning(
+                    "`while` loop with an empty body".to_string(),
+                ));
+            } else if *cond == crate::expr::Cond::True && !mentions_break_chance(body) {
+                report.diagnostics.push(Diagnostic::warning(
+                    "`while true` loop whose body never blocks: it cannot terminate".to_string(),
+                ));
+            }
+            check_loops(body, report);
+        }
+        Program::Seq(a, b) | Program::Par(a, b) => {
+            check_loops(a, report);
+            check_loops(b, report);
+        }
+        Program::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            check_loops(then_branch, report);
+            check_loops(else_branch, report);
+        }
+        _ => {}
+    }
+}
+
+/// A `while true` body that contains a blocking receive or wait has at
+/// least a scheduling point, so we don't warn about it.
+fn mentions_break_chance(p: &Program) -> bool {
+    match p {
+        Program::Recv { .. } | Program::Wait(_) => true,
+        Program::Seq(a, b) | Program::Par(a, b) => {
+            mentions_break_chance(a) || mentions_break_chance(b)
+        }
+        Program::If {
+            then_branch,
+            else_branch,
+            ..
+        } => mentions_break_chance(then_branch) || mentions_break_chance(else_branch),
+        Program::While { body, .. } => mentions_break_chance(body),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::expr::{CmpOp, Cond, Expr};
+
+    #[test]
+    fn clean_program_validates() {
+        let p = seq([
+            recv("jobs", "n"),
+            while_do(
+                Cond::cmp(CmpOp::Gt, Expr::var("n"), 0.into()),
+                seq([
+                    access("exec", "app", "s1"),
+                    assign("n", Expr::var("n").sub(1.into())),
+                ]),
+            ),
+            signal("done"),
+        ]);
+        let r = validate(&p);
+        assert!(r.is_ok(), "{:?}", r.diagnostics);
+        // `jobs` never sent here -> warning only.
+        assert_eq!(r.warnings().count(), 1);
+    }
+
+    #[test]
+    fn wait_before_signal_deadlocks() {
+        let p = seq([wait("go"), signal("go")]);
+        let r = validate(&p);
+        assert!(!r.is_ok());
+        assert!(r.errors().next().unwrap().message.contains("deadlock"));
+    }
+
+    #[test]
+    fn signal_before_wait_is_fine() {
+        let p = seq([signal("go"), wait("go")]);
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn parallel_signal_serves_wait() {
+        let p = par([wait("go"), signal("go")]);
+        let r = validate(&p);
+        assert!(r.is_ok(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn foreign_wait_is_warning() {
+        let p = wait("external");
+        let r = validate(&p);
+        assert!(r.is_ok());
+        assert!(r
+            .warnings()
+            .any(|d| d.message.contains("companion object")));
+    }
+
+    #[test]
+    fn unbound_variable_read_warns() {
+        let p = when(
+            Cond::cmp(CmpOp::Gt, Expr::var("x"), 0.into()),
+            access("a", "r", "s"),
+        );
+        let r = validate(&p);
+        assert!(r.warnings().any(|d| d.message.contains("`x`")));
+    }
+
+    #[test]
+    fn bound_by_recv_is_fine() {
+        let p = seq([
+            recv("ch", "x"),
+            when(
+                Cond::cmp(CmpOp::Gt, Expr::var("x"), 0.into()),
+                access("a", "r", "s"),
+            ),
+        ]);
+        let r = validate(&p);
+        assert!(!r.warnings().any(|d| d.message.contains("read before")));
+    }
+
+    #[test]
+    fn binding_on_one_branch_only_is_not_guaranteed() {
+        let p = seq([
+            branch(Cond::True, assign("x", Expr::Int(1)), skip()),
+            send("out", Expr::var("x")),
+        ]);
+        let r = validate(&p);
+        assert!(r.warnings().any(|d| d.message.contains("`x`")));
+    }
+
+    #[test]
+    fn spin_loop_warns() {
+        let p = while_do(Cond::True, access("poll", "r", "s"));
+        let r = validate(&p);
+        assert!(r
+            .warnings()
+            .any(|d| d.message.contains("cannot terminate")));
+    }
+
+    #[test]
+    fn while_true_with_recv_is_accepted() {
+        let p = while_do(Cond::True, seq([recv("ch", "x"), access("a", "r", "s")]));
+        let r = validate(&p);
+        assert!(!r
+            .warnings()
+            .any(|d| d.message.contains("cannot terminate")));
+    }
+}

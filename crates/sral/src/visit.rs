@@ -1,0 +1,240 @@
+//! Visitor and fold traversals over SRAL programs.
+//!
+//! [`Visitor`] walks a program immutably in pre-order; [`fold`] rebuilds a
+//! program bottom-up through a mapping function, which is how the trace
+//! crate's abstraction and the Naplet pattern rewrites are implemented.
+
+use crate::ast::{Access, Name, Program};
+use crate::expr::{Cond, Expr};
+
+/// An immutable pre-order visitor. All methods default to no-ops; override
+/// the ones you care about. `enter_*`/`leave_*` bracket compound nodes.
+pub trait Visitor {
+    /// Called on every node before descending.
+    fn visit_program(&mut self, _p: &Program) {}
+    /// Called for each primitive access.
+    fn visit_access(&mut self, _a: &Access) {}
+    /// Called for each channel receive.
+    fn visit_recv(&mut self, _channel: &Name, _var: &Name) {}
+    /// Called for each channel send.
+    fn visit_send(&mut self, _channel: &Name, _expr: &Expr) {}
+    /// Called for each `signal`.
+    fn visit_signal(&mut self, _sig: &Name) {}
+    /// Called for each `wait`.
+    fn visit_wait(&mut self, _sig: &Name) {}
+    /// Called for each assignment.
+    fn visit_assign(&mut self, _var: &Name, _expr: &Expr) {}
+    /// Called for each condition (of `if` and `while`).
+    fn visit_cond(&mut self, _c: &Cond) {}
+}
+
+/// Drive `v` over `p` in pre-order.
+pub fn walk(p: &Program, v: &mut impl Visitor) {
+    v.visit_program(p);
+    match p {
+        Program::Skip => {}
+        Program::Access(a) => v.visit_access(a),
+        Program::Recv { channel, var } => v.visit_recv(channel, var),
+        Program::Send { channel, expr } => v.visit_send(channel, expr),
+        Program::Signal(s) => v.visit_signal(s),
+        Program::Wait(s) => v.visit_wait(s),
+        Program::Assign { var, expr } => v.visit_assign(var, expr),
+        Program::Seq(a, b) | Program::Par(a, b) => {
+            walk(a, v);
+            walk(b, v);
+        }
+        Program::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            v.visit_cond(cond);
+            walk(then_branch, v);
+            walk(else_branch, v);
+        }
+        Program::While { cond, body } => {
+            v.visit_cond(cond);
+            walk(body, v);
+        }
+    }
+}
+
+/// Rebuild a program bottom-up: `f` is applied to every node after its
+/// children have been rebuilt, and may replace the node entirely.
+pub fn fold(p: &Program, f: &mut impl FnMut(Program) -> Program) -> Program {
+    let rebuilt = match p {
+        Program::Seq(a, b) => Program::Seq(Box::new(fold(a, f)), Box::new(fold(b, f))),
+        Program::Par(a, b) => Program::Par(Box::new(fold(a, f)), Box::new(fold(b, f))),
+        Program::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Program::If {
+            cond: cond.clone(),
+            then_branch: Box::new(fold(then_branch, f)),
+            else_branch: Box::new(fold(else_branch, f)),
+        },
+        Program::While { cond, body } => Program::While {
+            cond: cond.clone(),
+            body: Box::new(fold(body, f)),
+        },
+        leaf => leaf.clone(),
+    };
+    f(rebuilt)
+}
+
+/// Rewrite every access in `p` through `f` (e.g. to relocate resources to
+/// different servers), leaving all structure intact.
+pub fn map_accesses(p: &Program, f: &mut impl FnMut(&Access) -> Access) -> Program {
+    fold(p, &mut |node| match node {
+        Program::Access(a) => Program::Access(f(&a)),
+        other => other,
+    })
+}
+
+/// Simplify a program by removing `Skip` units introduced by construction:
+/// `skip ; p == p`, `p ; skip == p`, `skip || p == p`, and
+/// `if c then skip else skip == skip`, `while c do skip == skip`.
+pub fn simplify(p: &Program) -> Program {
+    fold(p, &mut |node| match node {
+        Program::Seq(a, b) => match (*a, *b) {
+            (Program::Skip, q) | (q, Program::Skip) => q,
+            (x, y) => Program::Seq(Box::new(x), Box::new(y)),
+        },
+        Program::Par(a, b) => match (*a, *b) {
+            (Program::Skip, q) | (q, Program::Skip) => q,
+            (x, y) => Program::Par(Box::new(x), Box::new(y)),
+        },
+        Program::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            if *then_branch == Program::Skip && *else_branch == Program::Skip {
+                Program::Skip
+            } else {
+                match cond {
+                    Cond::True => *then_branch,
+                    Cond::False => *else_branch,
+                    c => Program::If {
+                        cond: c,
+                        then_branch,
+                        else_branch,
+                    },
+                }
+            }
+        }
+        Program::While { cond, body } => {
+            if *body == Program::Skip || cond == Cond::False {
+                Program::Skip
+            } else {
+                Program::While { cond, body }
+            }
+        }
+        leaf => leaf,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::expr::CmpOp;
+
+    struct Counter {
+        accesses: usize,
+        signals: usize,
+        conds: usize,
+    }
+
+    impl Visitor for Counter {
+        fn visit_access(&mut self, _a: &Access) {
+            self.accesses += 1;
+        }
+        fn visit_signal(&mut self, _s: &Name) {
+            self.signals += 1;
+        }
+        fn visit_cond(&mut self, _c: &Cond) {
+            self.conds += 1;
+        }
+    }
+
+    #[test]
+    fn visitor_counts() {
+        let p = seq([
+            access("a", "r", "s"),
+            when(Cond::True, access("b", "r", "s")),
+            signal("go"),
+            while_do(
+                Cond::cmp(CmpOp::Lt, Expr::var("i"), 3.into()),
+                access("c", "r", "s"),
+            ),
+        ]);
+        let mut v = Counter {
+            accesses: 0,
+            signals: 0,
+            conds: 0,
+        };
+        walk(&p, &mut v);
+        assert_eq!(v.accesses, 3);
+        assert_eq!(v.signals, 1);
+        assert_eq!(v.conds, 2);
+    }
+
+    #[test]
+    fn map_accesses_relocates() {
+        let p = seq([access("read", "r", "s1"), access("write", "r", "s1")]);
+        let moved = map_accesses(&p, &mut |a| Access::new(&*a.op, &*a.resource, "s2"));
+        for a in moved.accesses() {
+            assert_eq!(&*a.server, "s2");
+        }
+    }
+
+    #[test]
+    fn simplify_removes_skips() {
+        let p = Program::Seq(
+            Box::new(Program::Skip),
+            Box::new(Program::Seq(
+                Box::new(access("a", "r", "s")),
+                Box::new(Program::Skip),
+            )),
+        );
+        assert_eq!(simplify(&p), access("a", "r", "s"));
+    }
+
+    #[test]
+    fn simplify_constant_conditions() {
+        let p = branch(Cond::True, access("a", "r", "s"), access("b", "r", "s"));
+        assert_eq!(simplify(&p), access("a", "r", "s"));
+        let q = branch(Cond::False, access("a", "r", "s"), access("b", "r", "s"));
+        assert_eq!(simplify(&q), access("b", "r", "s"));
+    }
+
+    #[test]
+    fn simplify_trivial_loop() {
+        let p = while_do(Cond::False, access("a", "r", "s"));
+        assert_eq!(simplify(&p), Program::Skip);
+        let q = while_do(Cond::True, skip());
+        assert_eq!(simplify(&q), Program::Skip);
+    }
+
+    #[test]
+    fn simplify_collapses_if_of_skips() {
+        let p = branch(
+            Cond::cmp(CmpOp::Eq, Expr::var("x"), 0.into()),
+            skip(),
+            skip(),
+        );
+        assert_eq!(simplify(&p), Program::Skip);
+    }
+
+    #[test]
+    fn fold_identity_preserves() {
+        let p = seq([
+            access("a", "r", "s"),
+            while_do(Cond::True, access("b", "r", "s")),
+        ]);
+        let q = fold(&p, &mut |n| n);
+        assert_eq!(p, q);
+    }
+}

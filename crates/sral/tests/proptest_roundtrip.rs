@@ -1,0 +1,169 @@
+//! Property tests for the SRAL front end: printing and re-parsing any
+//! generated program yields the identical AST (both the compact and the
+//! indented renderings), and structural metrics are stable under the
+//! round trip.
+
+use proptest::prelude::*;
+
+use stacl_sral::ast::{name, Access, Program};
+use stacl_sral::expr::{ArithOp, CmpOp, Cond, Expr};
+use stacl_sral::metrics::metrics;
+use stacl_sral::parser::{parse_cond, parse_expr, parse_program};
+use stacl_sral::pretty::pretty;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Identifiers the lexer accepts and keywords can't shadow.
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "if" | "then" | "else" | "while" | "do" | "signal" | "wait" | "skip" | "true"
+                | "false" | "and" | "or" | "not"
+        )
+    })
+}
+
+fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(Expr::Int),
+        arb_ident().prop_map(|v| Expr::Var(name(v))),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
+                ArithOp::Add,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
+                ArithOp::Mul,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
+                ArithOp::Sub,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner.prop_map(|a| Expr::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_cond(depth: u32) -> impl Strategy<Value = Cond> {
+    let cmp = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    let leaf = prop_oneof![
+        Just(Cond::True),
+        Just(Cond::False),
+        arb_ident().prop_map(|v| Cond::Var(name(v))),
+        (cmp, arb_expr(2), arb_expr(2)).prop_map(|(op, l, r)| Cond::cmp(op, l, r)),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Cond::not),
+        ]
+    })
+}
+
+fn arb_program(depth: u32) -> impl Strategy<Value = Program> {
+    let access = (arb_ident(), arb_ident(), arb_ident())
+        .prop_map(|(op, r, s)| Program::Access(Access::new(op, r, s)));
+    let leaf = prop_oneof![
+        access,
+        Just(Program::Skip),
+        (arb_ident(), arb_ident()).prop_map(|(ch, v)| Program::Recv {
+            channel: name(ch),
+            var: name(v),
+        }),
+        (arb_ident(), arb_expr(2)).prop_map(|(ch, e)| Program::Send {
+            channel: name(ch),
+            expr: e,
+        }),
+        arb_ident().prop_map(|s| Program::Signal(name(s))),
+        arb_ident().prop_map(|s| Program::Wait(name(s))),
+        (arb_ident(), arb_expr(2)).prop_map(|(v, e)| Program::Assign {
+            var: name(v),
+            expr: e,
+        }),
+    ];
+    leaf.prop_recursive(depth, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Program::Seq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Program::Par(Box::new(a), Box::new(b))),
+            (arb_cond(2), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Program::If {
+                cond: c,
+                then_branch: Box::new(t),
+                else_branch: Box::new(e),
+            }),
+            (arb_cond(2), inner).prop_map(|(c, b)| Program::While {
+                cond: c,
+                body: Box::new(b),
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compact_print_reparses_identically(p in arb_program(5)) {
+        let printed = p.to_string();
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        prop_assert_eq!(&p, &reparsed, "compact roundtrip of `{}`", printed);
+    }
+
+    #[test]
+    fn pretty_print_reparses_identically(p in arb_program(5)) {
+        let printed = pretty(&p);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse of pretty output failed: {e}\n{printed}"));
+        prop_assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn metrics_are_print_invariant(p in arb_program(4)) {
+        let m1 = metrics(&p);
+        let reparsed = parse_program(&p.to_string()).unwrap();
+        let m2 = metrics(&reparsed);
+        prop_assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn expr_roundtrip(e in arb_expr(4)) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("`{printed}`: {err}"));
+        prop_assert_eq!(e, reparsed);
+    }
+
+    #[test]
+    fn cond_roundtrip(c in arb_cond(4)) {
+        let printed = c.to_string();
+        let reparsed = parse_cond(&printed)
+            .unwrap_or_else(|err| panic!("`{printed}`: {err}"));
+        prop_assert_eq!(c, reparsed);
+    }
+
+    #[test]
+    fn size_bounds_accesses(p in arb_program(5)) {
+        // Sanity invariants tying the helpers together.
+        let m = metrics(&p);
+        prop_assert!(m.accesses <= m.size);
+        prop_assert!(m.alphabet <= m.accesses.max(1));
+        prop_assert!(m.depth <= m.size);
+        prop_assert_eq!(p.accesses().count(), m.accesses);
+        prop_assert_eq!(p.is_loop_free(), m.whiles == 0);
+    }
+}

@@ -1,0 +1,483 @@
+//! A Duration Calculus fragment with a decision procedure over
+//! step-function interpretations.
+//!
+//! Theorem 4.1 of the paper rests on the decidability of Duration Calculus
+//! over finitely-variable interpretations. This module makes that concrete
+//! for the fragment the access-control model needs:
+//!
+//! ```text
+//! S ::= atom | ¬S | S ∧ S | S ∨ S              -- state expressions
+//! F ::= ∫S ⋈ c   (⋈ ∈ {<, ≤, =, ≥, >})          -- duration comparisons
+//!     | ⌈S⌉                                     -- S holds throughout
+//!     | ⌈⌉                                      -- point interval
+//!     | F ⌢ F                                   -- chop
+//!     | F ∧ F | F ∨ F | ¬F
+//! ```
+//!
+//! Formulas are evaluated on a closed interval `[b, e]` against an
+//! interpretation mapping atoms to [`StepFn`]s. For the *chop* operator the
+//! decision procedure must search for a split point `m ∈ [b, e]`; with
+//! piecewise-constant interpretations a finite set of candidate points
+//! suffices — every change point in `[b,e]`, the endpoints, and (for
+//! duration comparisons against constants) the points where an integral
+//! crosses a threshold. We enumerate change points, endpoints, and the
+//! threshold-crossing points of every `∫S ⋈ c` subformula, which is
+//! complete for this fragment.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+use crate::step::StepFn;
+use crate::time::TimePoint;
+
+/// A state expression: a boolean combination of named state atoms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StateExpr {
+    /// A named atomic state (resolved by the interpretation).
+    Atom(String),
+    /// Negation.
+    Not(Box<StateExpr>),
+    /// Conjunction.
+    And(Box<StateExpr>, Box<StateExpr>),
+    /// Disjunction.
+    Or(Box<StateExpr>, Box<StateExpr>),
+}
+
+impl StateExpr {
+    /// Shorthand for an atom.
+    pub fn atom(name: impl Into<String>) -> Self {
+        StateExpr::Atom(name.into())
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        StateExpr::Not(Box::new(self))
+    }
+
+    /// `self ∧ rhs`.
+    pub fn and(self, rhs: StateExpr) -> Self {
+        StateExpr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ∨ rhs`.
+    pub fn or(self, rhs: StateExpr) -> Self {
+        StateExpr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Resolve to a concrete step function under `interp`. Unknown atoms
+    /// resolve to the constant 0 (absent state never holds).
+    pub fn resolve(&self, interp: &Interpretation) -> StepFn {
+        match self {
+            StateExpr::Atom(name) => interp
+                .atoms
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| StepFn::constant(false)),
+            StateExpr::Not(s) => s.resolve(interp).not(),
+            StateExpr::And(a, b) => a.resolve(interp).and(&b.resolve(interp)),
+            StateExpr::Or(a, b) => a.resolve(interp).or(&b.resolve(interp)),
+        }
+    }
+}
+
+/// Comparison operators for duration formulas.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DurCmp {
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `=` (up to 1e-9 absolute tolerance).
+    Eq,
+    /// `≥`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl DurCmp {
+    fn apply(self, lhs: f64, rhs: f64) -> bool {
+        const TOL: f64 = 1e-9;
+        match self {
+            DurCmp::Lt => lhs < rhs - TOL,
+            DurCmp::Le => lhs <= rhs + TOL,
+            DurCmp::Eq => (lhs - rhs).abs() <= TOL,
+            DurCmp::Ge => lhs >= rhs - TOL,
+            DurCmp::Gt => lhs > rhs + TOL,
+        }
+    }
+}
+
+/// A Duration Calculus formula.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Formula {
+    /// `∫S ⋈ c` — the accumulated duration of `S` compares to `c`.
+    Dur(StateExpr, DurCmp, f64),
+    /// `⌈S⌉` — the interval is non-point and `S` holds throughout it.
+    Everywhere(StateExpr),
+    /// `⌈⌉` — the interval is a single point (`b = e`).
+    Point,
+    /// Chop: the interval splits into two adjacent parts satisfying the
+    /// operands in order.
+    Chop(Box<Formula>, Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+}
+
+impl Formula {
+    /// `self ∧ rhs`.
+    pub fn and(self, rhs: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ∨ rhs`.
+    pub fn or(self, rhs: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `self ⌢ rhs` (chop).
+    pub fn chop(self, rhs: Formula) -> Formula {
+        Formula::Chop(Box::new(self), Box::new(rhs))
+    }
+}
+
+/// An interpretation: state atoms to step functions.
+#[derive(Clone, Default, Debug)]
+pub struct Interpretation {
+    atoms: HashMap<String, StepFn>,
+}
+
+impl Interpretation {
+    /// The empty interpretation (all atoms constant 0).
+    pub fn new() -> Self {
+        Interpretation::default()
+    }
+
+    /// Bind an atom.
+    pub fn bind(mut self, name: impl Into<String>, f: StepFn) -> Self {
+        self.atoms.insert(name.into(), f);
+        self
+    }
+
+    /// Bind an atom in place.
+    pub fn set(&mut self, name: impl Into<String>, f: StepFn) {
+        self.atoms.insert(name.into(), f);
+    }
+}
+
+/// Decide `interp, [b, e] ⊨ formula`.
+pub fn eval(formula: &Formula, interp: &Interpretation, b: TimePoint, e: TimePoint) -> bool {
+    assert!(b <= e, "interval must be ordered");
+    match formula {
+        Formula::Dur(s, cmp, c) => {
+            let f = s.resolve(interp);
+            cmp.apply(f.integral(b, e).seconds(), *c)
+        }
+        Formula::Everywhere(s) => s.resolve(interp).holds_throughout(b, e),
+        Formula::Point => b == e,
+        Formula::And(f1, f2) => eval(f1, interp, b, e) && eval(f2, interp, b, e),
+        Formula::Or(f1, f2) => eval(f1, interp, b, e) || eval(f2, interp, b, e),
+        Formula::Not(f1) => !eval(f1, interp, b, e),
+        Formula::Chop(f1, f2) => chop_points(formula, interp, b, e)
+            .into_iter()
+            .any(|m| eval(f1, interp, b, m) && eval(f2, interp, m, e)),
+    }
+}
+
+/// Candidate chop points for `[b, e]`: the endpoints, every change point of
+/// every atom mentioned anywhere under the chop, and every point where the
+/// running integral of a `Dur` subformula's state expression reaches its
+/// threshold. Complete for piecewise-constant interpretations: between two
+/// consecutive candidates every `Dur`/`Everywhere` value is monotone or
+/// constant in the split position, so a satisfying split can always be slid
+/// to a candidate.
+fn chop_points(
+    formula: &Formula,
+    interp: &Interpretation,
+    b: TimePoint,
+    e: TimePoint,
+) -> Vec<TimePoint> {
+    let mut points: BTreeSet<TimePoint> = BTreeSet::new();
+    points.insert(b);
+    points.insert(e);
+
+    let mut states = Vec::new();
+    let mut thresholds = Vec::new();
+    collect(formula, &mut states, &mut thresholds);
+
+    for s in &states {
+        let f = s.resolve(interp);
+        for &c in f.changes() {
+            if c > b && c < e {
+                points.insert(c);
+            }
+        }
+    }
+    // Threshold crossings: find t with ∫_b^t S = c (from either side of the
+    // chop, so also ∫_t^e S = c i.e. ∫_b^t S = total - c).
+    for (s, c) in &thresholds {
+        let f = s.resolve(interp);
+        let total = f.integral(b, e).seconds();
+        for target in [*c, total - *c] {
+            if let Some(t) = integral_inverse(&f, b, e, target) {
+                points.insert(t);
+            }
+        }
+    }
+    points.into_iter().collect()
+}
+
+fn collect<'a>(
+    f: &'a Formula,
+    states: &mut Vec<&'a StateExpr>,
+    thresholds: &mut Vec<(&'a StateExpr, f64)>,
+) {
+    match f {
+        Formula::Dur(s, _, c) => {
+            states.push(s);
+            thresholds.push((s, *c));
+        }
+        Formula::Everywhere(s) => states.push(s),
+        Formula::Point => {}
+        Formula::Chop(a, b) | Formula::And(a, b) | Formula::Or(a, b) => {
+            collect(a, states, thresholds);
+            collect(b, states, thresholds);
+        }
+        Formula::Not(a) => collect(a, states, thresholds),
+    }
+}
+
+/// The earliest `t ∈ [b, e]` with `∫_b^t f = target`, if it exists.
+fn integral_inverse(f: &StepFn, b: TimePoint, e: TimePoint, target: f64) -> Option<TimePoint> {
+    if target < 0.0 || target > f.integral(b, e).seconds() + 1e-12 {
+        return None;
+    }
+    if target <= 1e-12 {
+        // ∫_b^b f = 0: the earliest solution is b itself.
+        return Some(b);
+    }
+    let mut acc = 0.0f64;
+    let mut cur = b;
+    let mut val = f.at(b);
+    let start = f.changes().partition_point(|&c| c <= b);
+    for &c in &f.changes()[start..] {
+        let c = c.min(e);
+        let seg = (c - cur).seconds();
+        if val && acc + seg >= target {
+            return Some(cur + crate::time::TimeDelta::new(target - acc));
+        }
+        if val {
+            acc += seg;
+        }
+        cur = c;
+        val = !val;
+        if cur == e {
+            break;
+        }
+    }
+    if val {
+        let seg = (e - cur).seconds();
+        if acc + seg >= target - 1e-12 {
+            return Some(cur + crate::time::TimeDelta::new((target - acc).min(seg)));
+        }
+    }
+    if acc >= target - 1e-12 {
+        Some(e)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    fn busy_interp() -> Interpretation {
+        // busy on [1,3) ∪ [5,6).
+        Interpretation::new().bind(
+            "busy",
+            StepFn::from_changes(false, vec![tp(1.0), tp(3.0), tp(5.0), tp(6.0)]),
+        )
+    }
+
+    #[test]
+    fn duration_comparisons() {
+        let i = busy_interp();
+        let s = StateExpr::atom("busy");
+        assert!(eval(
+            &Formula::Dur(s.clone(), DurCmp::Eq, 3.0),
+            &i,
+            tp(0.0),
+            tp(10.0)
+        ));
+        assert!(eval(
+            &Formula::Dur(s.clone(), DurCmp::Le, 3.0),
+            &i,
+            tp(0.0),
+            tp(10.0)
+        ));
+        assert!(!eval(
+            &Formula::Dur(s.clone(), DurCmp::Gt, 3.0),
+            &i,
+            tp(0.0),
+            tp(10.0)
+        ));
+        assert!(eval(
+            &Formula::Dur(s, DurCmp::Lt, 1.5),
+            &i,
+            tp(0.0),
+            tp(2.0)
+        ));
+    }
+
+    #[test]
+    fn everywhere_and_point() {
+        let i = busy_interp();
+        let s = StateExpr::atom("busy");
+        assert!(eval(&Formula::Everywhere(s.clone()), &i, tp(1.0), tp(3.0)));
+        assert!(!eval(&Formula::Everywhere(s.clone()), &i, tp(0.5), tp(3.0)));
+        assert!(eval(&Formula::Point, &i, tp(2.0), tp(2.0)));
+        assert!(!eval(&Formula::Point, &i, tp(2.0), tp(3.0)));
+        // ⌈S⌉ is false on point intervals by definition.
+        assert!(!eval(&Formula::Everywhere(s), &i, tp(2.0), tp(2.0)));
+    }
+
+    #[test]
+    fn state_boolean_ops() {
+        let i = Interpretation::new()
+            .bind("a", StepFn::pulse(tp(0.0), tp(4.0)))
+            .bind("b", StepFn::pulse(tp(2.0), tp(6.0)));
+        let both = StateExpr::atom("a").and(StateExpr::atom("b"));
+        assert!(eval(
+            &Formula::Dur(both, DurCmp::Eq, 2.0),
+            &i,
+            tp(0.0),
+            tp(10.0)
+        ));
+        let either = StateExpr::atom("a").or(StateExpr::atom("b"));
+        assert!(eval(
+            &Formula::Dur(either, DurCmp::Eq, 6.0),
+            &i,
+            tp(0.0),
+            tp(10.0)
+        ));
+        let neither = StateExpr::atom("a")
+            .or(StateExpr::atom("b"))
+            .not();
+        assert!(eval(
+            &Formula::Dur(neither, DurCmp::Eq, 4.0),
+            &i,
+            tp(0.0),
+            tp(10.0)
+        ));
+    }
+
+    #[test]
+    fn unknown_atom_is_constant_false() {
+        let i = Interpretation::new();
+        assert!(eval(
+            &Formula::Dur(StateExpr::atom("ghost"), DurCmp::Eq, 0.0),
+            &i,
+            tp(0.0),
+            tp(5.0)
+        ));
+    }
+
+    #[test]
+    fn chop_splits_at_state_change() {
+        let i = busy_interp();
+        // [0,10] = [0,m] with busy nowhere ⌢ [m,10] with busy somewhere;
+        // m = 1 works (busy starts at 1).
+        let f = Formula::Dur(StateExpr::atom("busy"), DurCmp::Eq, 0.0)
+            .chop(Formula::Dur(StateExpr::atom("busy"), DurCmp::Eq, 3.0));
+        assert!(eval(&f, &i, tp(0.0), tp(10.0)));
+    }
+
+    #[test]
+    fn chop_with_threshold_crossing_split() {
+        let i = busy_interp();
+        // Split such that each half carries exactly 1.5 of busy-time: the
+        // split is at t = 2.5, mid-segment — found via integral inversion.
+        let f = Formula::Dur(StateExpr::atom("busy"), DurCmp::Eq, 1.5)
+            .chop(Formula::Dur(StateExpr::atom("busy"), DurCmp::Eq, 1.5));
+        assert!(eval(&f, &i, tp(0.0), tp(10.0)));
+    }
+
+    #[test]
+    fn chop_unsatisfiable() {
+        let i = busy_interp();
+        // No split can put 4.0 busy-units on the left: total is 3.
+        let f = Formula::Dur(StateExpr::atom("busy"), DurCmp::Ge, 4.0)
+            .chop(Formula::Dur(StateExpr::atom("busy"), DurCmp::Ge, 0.0));
+        assert!(!eval(&f, &i, tp(0.0), tp(10.0)));
+    }
+
+    #[test]
+    fn chop_point_neutrality() {
+        // F ⌢ ⌈⌉ should hold whenever F holds (split at e).
+        let i = busy_interp();
+        let f = Formula::Dur(StateExpr::atom("busy"), DurCmp::Eq, 3.0).chop(Formula::Point);
+        assert!(eval(&f, &i, tp(0.0), tp(10.0)));
+    }
+
+    #[test]
+    fn nested_chop() {
+        let i = busy_interp();
+        // idle ⌢ busy-block ⌢ anything: [0,1) idle, [1,3) busy, rest.
+        let idle = Formula::Everywhere(StateExpr::atom("busy").not());
+        let busy = Formula::Everywhere(StateExpr::atom("busy"));
+        let any = Formula::Dur(StateExpr::atom("busy"), DurCmp::Ge, 0.0);
+        let f = idle.chop(busy.chop(any));
+        assert!(eval(&f, &i, tp(0.0), tp(10.0)));
+    }
+
+    #[test]
+    fn negation_of_chop() {
+        let i = busy_interp();
+        // ¬(true ⌢ ⌈busy⌉): no suffix interval is all-busy — false here
+        // because the suffix [5,6] is all busy... choose interval [0,4]:
+        // suffix [1,3] ⊆ [0,4] all busy exists, but chop needs suffix
+        // ending at e=4 — [3,4] is idle, [2,4] mixed; the longest all-busy
+        // suffix would need to end at 4: impossible. So the chop is false
+        // and its negation true.
+        let any = Formula::Dur(StateExpr::atom("busy"), DurCmp::Ge, 0.0);
+        let f = any
+            .chop(Formula::Everywhere(StateExpr::atom("busy")))
+            .not();
+        assert!(eval(&f, &i, tp(0.0), tp(4.0)));
+    }
+
+    #[test]
+    fn integral_inverse_edges() {
+        let f = StepFn::pulse(tp(1.0), tp(3.0));
+        assert_eq!(integral_inverse(&f, tp(0.0), tp(5.0), 0.0), Some(tp(0.0)));
+        assert_eq!(integral_inverse(&f, tp(0.0), tp(5.0), 1.0), Some(tp(2.0)));
+        assert_eq!(integral_inverse(&f, tp(0.0), tp(5.0), 2.0), Some(tp(3.0)));
+        assert_eq!(integral_inverse(&f, tp(0.0), tp(5.0), 2.5), None);
+    }
+
+    #[test]
+    fn eq_41_shape_as_dc_formula() {
+        // The paper's temporal constraint: over the object's lifetime the
+        // valid-duration stays ≤ dur(perm) = 2.0.
+        let valid = StepFn::pulse(tp(0.0), tp(2.0));
+        let i = Interpretation::new().bind("valid", valid);
+        let f = Formula::Dur(StateExpr::atom("valid"), DurCmp::Le, 2.0);
+        assert!(eval(&f, &i, tp(0.0), tp(100.0)));
+    }
+}

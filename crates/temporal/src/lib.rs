@@ -1,0 +1,60 @@
+//! # stacl-temporal — continuous-time temporal constraints
+//!
+//! Section 4 of the paper replaces the discrete, interval-based timing of
+//! TRBAC/GTRBAC with a *continuous* time model (isomorphic to ℝ) and
+//! *durations* — intervals with no fixed endpoints — because mobile objects
+//! arrive at servers at unpredictable times and distributed systems have no
+//! global clock.
+//!
+//! Permission states are boolean-valued functions of time
+//! (`valid_r : Permission × Time → {0,1}`), and the temporal constraint is
+//! the Duration-Calculus condition of Eq. 4.1:
+//!
+//! ```text
+//! valid(perm, t) = 1  ⟺  active(perm, t) = 1  ∧  ∫_{t_b}^{t} valid(perm, u) du ≤ dur(perm)
+//! ```
+//!
+//! with two base-time schemes: `t_b` = arrival at the *current* server
+//! (per-server budgets) or `t_b` = arrival at the *first* server
+//! (whole-lifetime budgets).
+//!
+//! This crate provides:
+//!
+//! * [`time`] — `TimePoint` / `TimeDelta` newtypes over finite `f64`s;
+//! * [`step`] — piecewise-constant boolean [`step::StepFn`]s with exact
+//!   boolean algebra and exact integrals (no quadrature);
+//! * [`dc`] — a Duration-Calculus fragment (`∫S ⋈ c`, `⌈S⌉`, point, chop,
+//!   boolean connectives) with a decision procedure over step-function
+//!   interpretations (Theorem 4.1's decidability, made executable);
+//! * [`timeline`] — [`timeline::PermissionTimeline`]: activation records →
+//!   the derived `valid` state function under a validity duration and a
+//!   [`scheme::BaseTimeScheme`].
+//!
+//! ## Example
+//!
+//! ```
+//! use stacl_temporal::time::TimePoint;
+//! use stacl_temporal::timeline::PermissionTimeline;
+//! use stacl_temporal::scheme::BaseTimeScheme;
+//!
+//! let mut tl = PermissionTimeline::new(5.0, BaseTimeScheme::WholeLifetime);
+//! tl.arrive_at_server(TimePoint::new(0.0));
+//! tl.activate(TimePoint::new(0.0));
+//! // After 5 time units of validity the permission expires for good.
+//! assert!(tl.is_valid_at(TimePoint::new(4.9)));
+//! assert!(!tl.is_valid_at(TimePoint::new(5.1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dc;
+pub mod scheme;
+pub mod step;
+pub mod time;
+pub mod timeline;
+
+pub use scheme::BaseTimeScheme;
+pub use step::StepFn;
+pub use time::{TimeDelta, TimePoint};
+pub use timeline::PermissionTimeline;

@@ -1,0 +1,53 @@
+//! The two base-time schemes of §4.
+//!
+//! Eq. 4.1 integrates the `valid` state from a base time `t_b`. The paper
+//! identifies two useful choices when a mobile object has visited servers
+//! `s₁, …, sᵢ` in order:
+//!
+//! * `t_b = tᵢ` (arrival at the **current** server): the validity budget
+//!   applies per server and refills on every migration;
+//! * `t_b = t₁` (arrival at the **first** server): one budget for the
+//!   object's entire life across all coalition servers.
+
+/// Where the validity-duration integration restarts.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BaseTimeScheme {
+    /// `t_b` = arrival time at the current server: the budget resets on
+    /// every migration (per-server control).
+    CurrentServer,
+    /// `t_b` = arrival time at the first server: a single budget for the
+    /// whole execution (coalition-wide control).
+    WholeLifetime,
+}
+
+impl BaseTimeScheme {
+    /// Human-readable name used in policy files and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaseTimeScheme::CurrentServer => "current-server",
+            BaseTimeScheme::WholeLifetime => "whole-lifetime",
+        }
+    }
+
+    /// Parse from the policy-file name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "current-server" => Some(BaseTimeScheme::CurrentServer),
+            "whole-lifetime" => Some(BaseTimeScheme::WholeLifetime),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for s in [BaseTimeScheme::CurrentServer, BaseTimeScheme::WholeLifetime] {
+            assert_eq!(BaseTimeScheme::from_name(s.name()), Some(s));
+        }
+        assert_eq!(BaseTimeScheme::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,334 @@
+//! Piecewise-constant boolean functions of time — the paper's
+//! `Time → {0, 1}` state functions (§4, after \[11\]).
+//!
+//! A [`StepFn`] is an initial value plus a sorted list of change points:
+//! the function holds `initial` on `(-∞, c₀)` and flips at every change
+//! point (values are right-continuous: at a change point the *new* value
+//! holds). Boolean algebra is computed by a merge sweep over the change
+//! points, and integrals (the paper's `∫ valid(perm, t) dt`) are exact sums
+//! of segment lengths — no numeric quadrature anywhere.
+
+use std::fmt;
+
+use crate::time::{TimeDelta, TimePoint};
+
+/// A piecewise-constant boolean function over the whole time line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StepFn {
+    /// Value on `(-∞, first change)`.
+    initial: bool,
+    /// Strictly-increasing change points; the value flips at each.
+    changes: Vec<TimePoint>,
+}
+
+impl StepFn {
+    /// The constant function.
+    pub fn constant(value: bool) -> Self {
+        StepFn {
+            initial: value,
+            changes: Vec::new(),
+        }
+    }
+
+    /// 1 on `[from, to)`, 0 elsewhere. Empty/inverted intervals give the
+    /// constant 0.
+    pub fn pulse(from: TimePoint, to: TimePoint) -> Self {
+        if from >= to {
+            return StepFn::constant(false);
+        }
+        StepFn {
+            initial: false,
+            changes: vec![from, to],
+        }
+    }
+
+    /// 1 on `[from, ∞)`, 0 before.
+    pub fn from_onward(from: TimePoint) -> Self {
+        StepFn {
+            initial: false,
+            changes: vec![from],
+        }
+    }
+
+    /// Build from an explicit initial value and change points. Change
+    /// points are sorted and deduplicated (an even number of repeats
+    /// cancels; an odd number acts once).
+    pub fn from_changes(initial: bool, mut changes: Vec<TimePoint>) -> Self {
+        changes.sort();
+        // Collapse equal change points in pairs (flip twice = no flip).
+        let mut out: Vec<TimePoint> = Vec::with_capacity(changes.len());
+        for c in changes {
+            if out.last() == Some(&c) {
+                out.pop();
+            } else {
+                out.push(c);
+            }
+        }
+        StepFn {
+            initial,
+            changes: out,
+        }
+    }
+
+    /// The value at time `t` (right-continuous).
+    pub fn at(&self, t: TimePoint) -> bool {
+        // Number of change points ≤ t.
+        let flips = self.changes.partition_point(|&c| c <= t);
+        self.initial ^ (flips % 2 == 1)
+    }
+
+    /// The change points.
+    pub fn changes(&self) -> &[TimePoint] {
+        &self.changes
+    }
+
+    /// The initial (t → -∞) value.
+    pub fn initial(&self) -> bool {
+        self.initial
+    }
+
+    /// Pointwise NOT.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(&self) -> StepFn {
+        StepFn {
+            initial: !self.initial,
+            changes: self.changes.clone(),
+        }
+    }
+
+    /// Pointwise AND.
+    pub fn and(&self, other: &StepFn) -> StepFn {
+        self.merge(other, |a, b| a && b)
+    }
+
+    /// Pointwise OR.
+    pub fn or(&self, other: &StepFn) -> StepFn {
+        self.merge(other, |a, b| a || b)
+    }
+
+    /// Pointwise XOR.
+    pub fn xor(&self, other: &StepFn) -> StepFn {
+        self.merge(other, |a, b| a != b)
+    }
+
+    /// Generic pointwise combination by a sweep over both change lists.
+    fn merge(&self, other: &StepFn, f: impl Fn(bool, bool) -> bool) -> StepFn {
+        let mut changes = Vec::new();
+        let mut va = self.initial;
+        let mut vb = other.initial;
+        let initial = f(va, vb);
+        let mut last = initial;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.changes.len() || j < other.changes.len() {
+            let ta = self.changes.get(i).copied();
+            let tb = other.changes.get(j).copied();
+            let t = match (ta, tb) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => unreachable!(),
+            };
+            if ta == Some(t) {
+                va = !va;
+                i += 1;
+            }
+            if tb == Some(t) {
+                vb = !vb;
+                j += 1;
+            }
+            let v = f(va, vb);
+            if v != last {
+                changes.push(t);
+                last = v;
+            }
+        }
+        StepFn { initial, changes }
+    }
+
+    /// The exact integral `∫_b^e f(t) dt` — total length within `[b, e]`
+    /// where the function is 1. Returns zero for inverted intervals.
+    pub fn integral(&self, b: TimePoint, e: TimePoint) -> TimeDelta {
+        if e <= b {
+            return TimeDelta::ZERO;
+        }
+        let mut total = 0.0f64;
+        let mut cur = b;
+        let mut val = self.at(b);
+        // Walk change points inside (b, e].
+        let start = self.changes.partition_point(|&c| c <= b);
+        for &c in &self.changes[start..] {
+            if c >= e {
+                break;
+            }
+            if val {
+                total += (c - cur).seconds();
+            }
+            cur = c;
+            val = !val;
+        }
+        if val {
+            total += (e - cur).seconds();
+        }
+        TimeDelta::new(total)
+    }
+
+    /// The earliest `t ≥ from` with `f(t) = target`, if any change
+    /// accomplishes it (`None` when the function never attains the value
+    /// at or after `from`).
+    pub fn next_time_with_value(&self, from: TimePoint, target: bool) -> Option<TimePoint> {
+        if self.at(from) == target {
+            return Some(from);
+        }
+        let start = self.changes.partition_point(|&c| c <= from);
+        // Values alternate after each change; the very next change gives
+        // the opposite of the current value, i.e. `target`.
+        self.changes.get(start).copied()
+    }
+
+    /// True when the function is 1 everywhere on the *open* interval
+    /// `(b, e)` — the Duration Calculus `⌈S⌉` on `[b,e]`.
+    pub fn holds_throughout(&self, b: TimePoint, e: TimePoint) -> bool {
+        if e <= b {
+            return false; // point or inverted interval: ⌈S⌉ needs b < e.
+        }
+        // 1 a.e. on (b,e) for a step function means: value 1 at every
+        // point of (b,e); equivalently the integral equals the length.
+        (self.integral(b, e).seconds() - (e - b).seconds()).abs() < f64::EPSILON * 8.0
+    }
+}
+
+impl fmt::Display for StepFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", if self.initial { 1 } else { 0 })?;
+        for c in &self.changes {
+            write!(f, " ⇄{}", c.seconds())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    #[test]
+    fn constant_everywhere() {
+        let one = StepFn::constant(true);
+        assert!(one.at(tp(-100.0)));
+        assert!(one.at(tp(100.0)));
+        assert_eq!(one.integral(tp(0.0), tp(10.0)), TimeDelta::new(10.0));
+        assert_eq!(
+            StepFn::constant(false).integral(tp(0.0), tp(10.0)),
+            TimeDelta::ZERO
+        );
+    }
+
+    #[test]
+    fn pulse_right_continuous() {
+        let p = StepFn::pulse(tp(1.0), tp(3.0));
+        assert!(!p.at(tp(0.999)));
+        assert!(p.at(tp(1.0)), "value at the change point is the new value");
+        assert!(p.at(tp(2.9)));
+        assert!(!p.at(tp(3.0)));
+        assert_eq!(p.integral(tp(0.0), tp(10.0)), TimeDelta::new(2.0));
+    }
+
+    #[test]
+    fn degenerate_pulse_is_zero() {
+        assert_eq!(StepFn::pulse(tp(2.0), tp(2.0)), StepFn::constant(false));
+        assert_eq!(StepFn::pulse(tp(3.0), tp(2.0)), StepFn::constant(false));
+    }
+
+    #[test]
+    fn from_changes_cancels_duplicates() {
+        let f = StepFn::from_changes(false, vec![tp(1.0), tp(1.0), tp(2.0)]);
+        assert_eq!(f, StepFn::from_onward(tp(2.0)));
+        let g = StepFn::from_changes(false, vec![tp(1.0), tp(1.0), tp(1.0)]);
+        assert_eq!(g, StepFn::from_onward(tp(1.0)));
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = StepFn::pulse(tp(0.0), tp(2.0));
+        let b = StepFn::pulse(tp(1.0), tp(3.0));
+        let both = a.and(&b);
+        assert_eq!(both, StepFn::pulse(tp(1.0), tp(2.0)));
+        let either = a.or(&b);
+        assert_eq!(either, StepFn::pulse(tp(0.0), tp(3.0)));
+        let exactly_one = a.xor(&b);
+        assert!(exactly_one.at(tp(0.5)));
+        assert!(!exactly_one.at(tp(1.5)));
+        assert!(exactly_one.at(tp(2.5)));
+        assert_eq!(
+            exactly_one.integral(tp(-1.0), tp(4.0)),
+            TimeDelta::new(2.0)
+        );
+    }
+
+    #[test]
+    fn de_morgan() {
+        let a = StepFn::pulse(tp(0.0), tp(2.0));
+        let b = StepFn::pulse(tp(1.0), tp(3.0));
+        let lhs = a.and(&b).not();
+        let rhs = a.not().or(&b.not());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn integral_partial_overlap() {
+        let p = StepFn::pulse(tp(1.0), tp(5.0));
+        assert_eq!(p.integral(tp(2.0), tp(3.0)), TimeDelta::new(1.0));
+        assert_eq!(p.integral(tp(0.0), tp(2.0)), TimeDelta::new(1.0));
+        assert_eq!(p.integral(tp(4.0), tp(9.0)), TimeDelta::new(1.0));
+        assert_eq!(p.integral(tp(6.0), tp(9.0)), TimeDelta::ZERO);
+        assert_eq!(p.integral(tp(3.0), tp(3.0)), TimeDelta::ZERO);
+        assert_eq!(p.integral(tp(5.0), tp(1.0)), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn integral_of_many_segments() {
+        // 1 on [0,1) ∪ [2,3) ∪ [4,5).
+        let f = StepFn::from_changes(
+            false,
+            vec![tp(0.0), tp(1.0), tp(2.0), tp(3.0), tp(4.0), tp(5.0)],
+        );
+        assert_eq!(f.integral(tp(-1.0), tp(6.0)), TimeDelta::new(3.0));
+        assert_eq!(f.integral(tp(0.5), tp(4.5)), TimeDelta::new(2.0));
+    }
+
+    #[test]
+    fn next_time_with_value() {
+        let p = StepFn::pulse(tp(2.0), tp(4.0));
+        assert_eq!(p.next_time_with_value(tp(0.0), true), Some(tp(2.0)));
+        assert_eq!(p.next_time_with_value(tp(2.5), true), Some(tp(2.5)));
+        assert_eq!(p.next_time_with_value(tp(2.5), false), Some(tp(4.0)));
+        assert_eq!(p.next_time_with_value(tp(5.0), true), None);
+        assert_eq!(
+            StepFn::constant(false).next_time_with_value(tp(0.0), true),
+            None
+        );
+    }
+
+    #[test]
+    fn holds_throughout() {
+        let p = StepFn::pulse(tp(1.0), tp(5.0));
+        assert!(p.holds_throughout(tp(1.0), tp(5.0)));
+        assert!(p.holds_throughout(tp(2.0), tp(3.0)));
+        assert!(!p.holds_throughout(tp(0.5), tp(3.0)));
+        assert!(!p.holds_throughout(tp(2.0), tp(2.0)), "points never hold ⌈S⌉");
+    }
+
+    #[test]
+    fn merge_removes_redundant_changes() {
+        let a = StepFn::pulse(tp(0.0), tp(2.0));
+        let b = StepFn::pulse(tp(0.0), tp(2.0));
+        let merged = a.and(&b);
+        assert_eq!(merged.changes().len(), 2);
+        let with_const = a.or(&StepFn::constant(true));
+        assert_eq!(with_const, StepFn::constant(true));
+    }
+}

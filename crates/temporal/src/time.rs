@@ -1,0 +1,195 @@
+//! Time newtypes: points on the continuous time line and deltas between
+//! them.
+//!
+//! The paper's time model is ℝ with `<`; we represent it by finite `f64`s.
+//! Constructors reject NaN/∞ so that ordering is total and integrals are
+//! well-defined; the newtypes implement `Ord` on that guarantee.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the continuous time line (seconds, by convention).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct TimePoint(f64);
+
+/// A (possibly negative) length of time.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct TimeDelta(f64);
+
+impl TimePoint {
+    /// The origin of the time line.
+    pub const ZERO: TimePoint = TimePoint(0.0);
+
+    /// Construct from seconds. Panics on NaN or infinity.
+    pub fn new(seconds: f64) -> Self {
+        assert!(seconds.is_finite(), "TimePoint must be finite: {seconds}");
+        TimePoint(seconds)
+    }
+
+    /// The raw seconds value.
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// The maximum of two time points.
+    pub fn max(self, other: TimePoint) -> TimePoint {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The minimum of two time points.
+    pub fn min(self, other: TimePoint) -> TimePoint {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl TimeDelta {
+    /// The zero delta.
+    pub const ZERO: TimeDelta = TimeDelta(0.0);
+
+    /// Construct from seconds. Panics on NaN or infinity.
+    pub fn new(seconds: f64) -> Self {
+        assert!(seconds.is_finite(), "TimeDelta must be finite: {seconds}");
+        TimeDelta(seconds)
+    }
+
+    /// The raw seconds value.
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// True for non-negative deltas.
+    pub fn is_non_negative(self) -> bool {
+        self.0 >= 0.0
+    }
+}
+
+// `Eq`/`Ord` are sound because constructors exclude NaN.
+impl Eq for TimePoint {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for TimePoint {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("TimePoint is always finite")
+    }
+}
+
+impl Eq for TimeDelta {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for TimeDelta {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("TimeDelta is always finite")
+    }
+}
+
+impl Add<TimeDelta> for TimePoint {
+    type Output = TimePoint;
+    fn add(self, rhs: TimeDelta) -> TimePoint {
+        TimePoint::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for TimePoint {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<TimePoint> for TimePoint {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimePoint) -> TimeDelta {
+        TimeDelta::new(self.0 - rhs.0)
+    }
+}
+
+impl Add<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta::new(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = TimePoint::new(2.0);
+        let b = TimePoint::new(5.5);
+        assert_eq!(b - a, TimeDelta::new(3.5));
+        assert_eq!(a + TimeDelta::new(1.0), TimePoint::new(3.0));
+        assert_eq!(
+            TimeDelta::new(1.0) + TimeDelta::new(2.0),
+            TimeDelta::new(3.0)
+        );
+    }
+
+    #[test]
+    fn ordering_total() {
+        let mut v = vec![
+            TimePoint::new(3.0),
+            TimePoint::new(-1.0),
+            TimePoint::new(0.0),
+        ];
+        v.sort();
+        assert_eq!(v[0], TimePoint::new(-1.0));
+        assert_eq!(v[2], TimePoint::new(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = TimePoint::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinity_rejected() {
+        let _ = TimeDelta::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = TimePoint::new(1.0);
+        let b = TimePoint::new(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn negative_delta() {
+        let d = TimePoint::new(1.0) - TimePoint::new(3.0);
+        assert!(!d.is_non_negative());
+        assert_eq!(d.seconds(), -2.0);
+    }
+}

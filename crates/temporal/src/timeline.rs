@@ -1,0 +1,457 @@
+//! Permission validity timelines — the executable form of Eq. 4.1.
+//!
+//! A [`PermissionTimeline`] records, for one permission and one mobile
+//! object, the server-arrival times and the activation/deactivation
+//! events produced by the RBAC layer. From those it *derives* the
+//! `valid(perm, ·)` state function: the permission is valid exactly while
+//! it is active **and** the accumulated valid-time since the base time
+//! `t_b` has not yet exceeded the permission's validity duration.
+//!
+//! The derivation is exact: active periods are consumed segment by
+//! segment; when the accumulated budget hits `dur(perm)` mid-segment, the
+//! validity cut-off lands exactly at the crossing point (the paper's
+//! integral threshold). Under [`BaseTimeScheme::CurrentServer`] the budget
+//! refills at every recorded server arrival; under
+//! [`BaseTimeScheme::WholeLifetime`] it never does.
+
+use crate::scheme::BaseTimeScheme;
+use crate::step::StepFn;
+use crate::time::{TimeDelta, TimePoint};
+
+/// The recorded history and derived validity of one permission.
+#[derive(Clone, Debug)]
+pub struct PermissionTimeline {
+    /// Validity duration in seconds; `None` means time-insensitive
+    /// (the paper's "infinite" duration).
+    budget: Option<f64>,
+    scheme: BaseTimeScheme,
+    /// Server arrival times, strictly increasing.
+    arrivals: Vec<TimePoint>,
+    /// Activation toggles, strictly increasing; `true` = became active.
+    toggles: Vec<(TimePoint, bool)>,
+    /// Current activation state (after the last toggle).
+    active_now: bool,
+}
+
+impl PermissionTimeline {
+    /// A timeline with a finite validity duration (seconds).
+    pub fn new(dur_seconds: f64, scheme: BaseTimeScheme) -> Self {
+        assert!(
+            dur_seconds.is_finite() && dur_seconds >= 0.0,
+            "validity duration must be finite and non-negative; \
+             use `unlimited` for time-insensitive permissions"
+        );
+        PermissionTimeline {
+            budget: Some(dur_seconds),
+            scheme,
+            arrivals: Vec::new(),
+            toggles: Vec::new(),
+            active_now: false,
+        }
+    }
+
+    /// A timeline for a time-insensitive permission (infinite duration).
+    pub fn unlimited(scheme: BaseTimeScheme) -> Self {
+        PermissionTimeline {
+            budget: None,
+            scheme,
+            arrivals: Vec::new(),
+            toggles: Vec::new(),
+            active_now: false,
+        }
+    }
+
+    /// The validity duration, if finite.
+    pub fn duration(&self) -> Option<TimeDelta> {
+        self.budget.map(TimeDelta::new)
+    }
+
+    /// The base-time scheme in force.
+    pub fn scheme(&self) -> BaseTimeScheme {
+        self.scheme
+    }
+
+    fn last_time(&self) -> Option<TimePoint> {
+        let a = self.arrivals.last().copied();
+        let t = self.toggles.last().map(|&(t, _)| t);
+        match (a, t) {
+            (Some(a), Some(t)) => Some(a.max(t)),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+
+    fn assert_monotone(&self, t: TimePoint) {
+        if let Some(last) = self.last_time() {
+            assert!(
+                t >= last,
+                "timeline events must be recorded in time order ({t} < {last})"
+            );
+        }
+    }
+
+    /// Record arrival at a (new) server at time `t`. Under the
+    /// `CurrentServer` scheme this resets the validity budget.
+    pub fn arrive_at_server(&mut self, t: TimePoint) {
+        self.assert_monotone(t);
+        self.arrivals.push(t);
+    }
+
+    /// Record that the permission became active (role activated and
+    /// spatial constraints satisfied) at `t`. Idempotent while active.
+    pub fn activate(&mut self, t: TimePoint) {
+        self.assert_monotone(t);
+        if !self.active_now {
+            self.toggles.push((t, true));
+            self.active_now = true;
+        }
+    }
+
+    /// Record that the permission went inactive at `t` (role released or
+    /// session ended). Idempotent while inactive.
+    pub fn deactivate(&mut self, t: TimePoint) {
+        self.assert_monotone(t);
+        if self.active_now {
+            self.toggles.push((t, false));
+            self.active_now = false;
+        }
+    }
+
+    /// The `active(perm, ·)` state function recorded so far. If the
+    /// permission is still active, the last segment extends to +∞.
+    pub fn active_fn(&self) -> StepFn {
+        StepFn::from_changes(false, self.toggles.iter().map(|&(t, _)| t).collect())
+    }
+
+    /// The derived `valid(perm, ·)` state function of Eq. 4.1.
+    pub fn valid_fn(&self) -> StepFn {
+        let Some(dur) = self.budget else {
+            // Time-insensitive: valid ≡ active.
+            return self.active_fn();
+        };
+
+        // Active segments as (start, Option<end>); None = unbounded.
+        let mut segments: Vec<(TimePoint, Option<TimePoint>)> = Vec::new();
+        let mut open: Option<TimePoint> = None;
+        for &(t, on) in &self.toggles {
+            if on {
+                open = Some(t);
+            } else if let Some(s) = open.take() {
+                segments.push((s, Some(t)));
+            }
+        }
+        if let Some(s) = open {
+            segments.push((s, None));
+        }
+
+        // Epoch starts: the base times where the budget (re)fills.
+        let epoch_starts: Vec<TimePoint> = match self.scheme {
+            BaseTimeScheme::WholeLifetime => self
+                .arrivals
+                .first()
+                .or(segments.first().map(|(s, _)| s))
+                .into_iter()
+                .copied()
+                .collect(),
+            BaseTimeScheme::CurrentServer => self.arrivals.clone(),
+        };
+
+        let mut changes: Vec<TimePoint> = Vec::new();
+        // Index of the next epoch boundary not yet applied; boundary 0 (if
+        // any) is the initial fill, already reflected in `remaining`.
+        let mut epoch_idx = usize::from(!epoch_starts.is_empty());
+
+        // Walk segments in order, slicing them at epoch boundaries.
+        // `remaining` is the budget left in the current epoch.
+        let mut remaining = dur;
+
+        let advance_epochs = |t: TimePoint, epoch_idx: &mut usize, remaining: &mut f64| {
+            while *epoch_idx < epoch_starts.len() && epoch_starts[*epoch_idx] <= t {
+                *remaining = dur;
+                *epoch_idx += 1;
+            }
+        };
+
+        for (start, end) in segments {
+            // Refill budget for every epoch boundary at or before `start`.
+            advance_epochs(start, &mut epoch_idx, &mut remaining);
+            let mut cursor = start;
+            loop {
+                // The next epoch boundary strictly inside this segment, if
+                // any, bounds how far the current budget applies.
+                let next_epoch = epoch_starts.get(epoch_idx).copied();
+                let slice_end = match (end, next_epoch) {
+                    (Some(e), Some(b)) if b < e => Some(b),
+                    (_, Some(b)) if end.is_none() => Some(b),
+                    (e, _) => e,
+                };
+                // Emit validity for [cursor, cut) where cut is limited by
+                // the remaining budget.
+                if remaining > 0.0 {
+                    let valid_end = match slice_end {
+                        Some(se) => {
+                            let span = (se - cursor).seconds();
+                            if span <= remaining {
+                                remaining -= span;
+                                Some(se)
+                            } else {
+                                let cut = cursor + TimeDelta::new(remaining);
+                                remaining = 0.0;
+                                Some(cut)
+                            }
+                        }
+                        None => {
+                            let cut = cursor + TimeDelta::new(remaining);
+                            remaining = 0.0;
+                            Some(cut)
+                        }
+                    };
+                    match valid_end {
+                        Some(ve) if ve > cursor => {
+                            changes.push(cursor);
+                            changes.push(ve);
+                        }
+                        None => changes.push(cursor),
+                        _ => {}
+                    }
+                }
+                match slice_end {
+                    // Segment continues past an epoch boundary: refill and
+                    // keep walking this segment.
+                    Some(se) if Some(se) != end || (end.is_none()) => {
+                        if epoch_starts.get(epoch_idx) == Some(&se) {
+                            remaining = dur;
+                            epoch_idx += 1;
+                            cursor = se;
+                            // An unbounded segment with no further epochs:
+                            if end.is_none() && epoch_idx >= epoch_starts.len() {
+                                if remaining > 0.0 {
+                                    changes.push(cursor);
+                                    changes.push(cursor + TimeDelta::new(remaining));
+                                }
+                                break;
+                            }
+                            continue;
+                        }
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        StepFn::from_changes(false, changes)
+    }
+
+    /// Is the permission valid at time `t` (Eq. 4.1)?
+    pub fn is_valid_at(&self, t: TimePoint) -> bool {
+        self.valid_fn().at(t)
+    }
+
+    /// Valid-time accumulated in the epoch containing `t` (the integral of
+    /// Eq. 4.1 from the effective base time to `t`).
+    pub fn used_at(&self, t: TimePoint) -> TimeDelta {
+        let base = self.base_time_for(t);
+        self.valid_fn().integral(base, t)
+    }
+
+    /// Remaining validity budget at `t`; `None` for unlimited permissions.
+    pub fn remaining_at(&self, t: TimePoint) -> Option<TimeDelta> {
+        let dur = self.budget?;
+        let used = self.used_at(t).seconds();
+        Some(TimeDelta::new((dur - used).max(0.0)))
+    }
+
+    /// When validity will next switch off, if the permission is currently
+    /// valid at `t`.
+    pub fn expiry_after(&self, t: TimePoint) -> Option<TimePoint> {
+        let f = self.valid_fn();
+        if !f.at(t) {
+            return None;
+        }
+        f.next_time_with_value(t, false)
+    }
+
+    /// The effective `t_b` for a query at time `t`.
+    pub fn base_time_for(&self, t: TimePoint) -> TimePoint {
+        match self.scheme {
+            BaseTimeScheme::WholeLifetime => self
+                .arrivals
+                .first()
+                .copied()
+                .unwrap_or(TimePoint::ZERO)
+                .min(t),
+            BaseTimeScheme::CurrentServer => self
+                .arrivals
+                .iter()
+                .rev()
+                .find(|&&a| a <= t)
+                .copied()
+                .unwrap_or(TimePoint::ZERO),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    #[test]
+    fn unlimited_is_valid_while_active() {
+        let mut tl = PermissionTimeline::unlimited(BaseTimeScheme::WholeLifetime);
+        tl.arrive_at_server(tp(0.0));
+        tl.activate(tp(1.0));
+        tl.deactivate(tp(4.0));
+        assert!(!tl.is_valid_at(tp(0.5)));
+        assert!(tl.is_valid_at(tp(2.0)));
+        assert!(!tl.is_valid_at(tp(4.5)));
+        assert_eq!(tl.remaining_at(tp(2.0)), None);
+    }
+
+    #[test]
+    fn budget_expires_mid_activation() {
+        let mut tl = PermissionTimeline::new(5.0, BaseTimeScheme::WholeLifetime);
+        tl.arrive_at_server(tp(0.0));
+        tl.activate(tp(0.0));
+        // Still active indefinitely: valid exactly on [0, 5).
+        assert!(tl.is_valid_at(tp(4.9)));
+        assert!(!tl.is_valid_at(tp(5.1)));
+        assert_eq!(tl.expiry_after(tp(0.0)), Some(tp(5.0)));
+        assert_eq!(tl.used_at(tp(3.0)), TimeDelta::new(3.0));
+        assert_eq!(tl.remaining_at(tp(3.0)), Some(TimeDelta::new(2.0)));
+        assert_eq!(tl.remaining_at(tp(9.0)), Some(TimeDelta::ZERO));
+    }
+
+    #[test]
+    fn inactive_gaps_do_not_consume_budget() {
+        let mut tl = PermissionTimeline::new(3.0, BaseTimeScheme::WholeLifetime);
+        tl.arrive_at_server(tp(0.0));
+        tl.activate(tp(0.0));
+        tl.deactivate(tp(2.0)); // used 2.
+        tl.activate(tp(10.0)); // gap of 8 consumes nothing.
+        // One unit of budget remains: valid on [10, 11).
+        assert!(tl.is_valid_at(tp(10.5)));
+        assert!(!tl.is_valid_at(tp(11.5)));
+        assert_eq!(tl.expiry_after(tp(10.0)), Some(tp(11.0)));
+    }
+
+    #[test]
+    fn whole_lifetime_budget_spans_servers() {
+        let mut tl = PermissionTimeline::new(4.0, BaseTimeScheme::WholeLifetime);
+        tl.arrive_at_server(tp(0.0));
+        tl.activate(tp(0.0));
+        tl.deactivate(tp(3.0)); // 3 used on s1.
+        tl.arrive_at_server(tp(5.0)); // migration does NOT refill.
+        tl.activate(tp(5.0));
+        assert!(tl.is_valid_at(tp(5.5)));
+        assert!(!tl.is_valid_at(tp(6.5)), "only 1 unit remained");
+    }
+
+    #[test]
+    fn current_server_budget_refills_on_migration() {
+        let mut tl = PermissionTimeline::new(4.0, BaseTimeScheme::CurrentServer);
+        tl.arrive_at_server(tp(0.0));
+        tl.activate(tp(0.0));
+        tl.deactivate(tp(3.0)); // 3 of 4 used on s1.
+        tl.arrive_at_server(tp(5.0)); // refill.
+        tl.activate(tp(5.0));
+        // Full 4 units available again on s2: valid on [5, 9).
+        assert!(tl.is_valid_at(tp(8.9)));
+        assert!(!tl.is_valid_at(tp(9.1)));
+    }
+
+    #[test]
+    fn migration_mid_activation_refills_current_server_budget() {
+        let mut tl = PermissionTimeline::new(2.0, BaseTimeScheme::CurrentServer);
+        tl.arrive_at_server(tp(0.0));
+        tl.activate(tp(0.0));
+        // Budget exhausts at t=2; at t=3 the object migrates while the
+        // permission stays active; budget refills, valid resumes on [3, 5).
+        tl.arrive_at_server(tp(3.0));
+        assert!(tl.is_valid_at(tp(1.0)));
+        assert!(!tl.is_valid_at(tp(2.5)));
+        assert!(tl.is_valid_at(tp(4.0)));
+        assert!(!tl.is_valid_at(tp(5.5)));
+    }
+
+    #[test]
+    fn used_at_resets_per_server() {
+        let mut tl = PermissionTimeline::new(10.0, BaseTimeScheme::CurrentServer);
+        tl.arrive_at_server(tp(0.0));
+        tl.activate(tp(0.0));
+        tl.deactivate(tp(2.0));
+        tl.arrive_at_server(tp(5.0));
+        tl.activate(tp(6.0));
+        assert_eq!(tl.used_at(tp(7.0)), TimeDelta::new(1.0));
+        assert_eq!(tl.base_time_for(tp(7.0)), tp(5.0));
+        assert_eq!(tl.base_time_for(tp(2.0)), tp(0.0));
+    }
+
+    #[test]
+    fn zero_duration_never_valid() {
+        let mut tl = PermissionTimeline::new(0.0, BaseTimeScheme::WholeLifetime);
+        tl.arrive_at_server(tp(0.0));
+        tl.activate(tp(0.0));
+        assert!(!tl.is_valid_at(tp(0.0)));
+        assert!(!tl.is_valid_at(tp(1.0)));
+    }
+
+    #[test]
+    fn activation_toggles_are_idempotent() {
+        let mut tl = PermissionTimeline::unlimited(BaseTimeScheme::WholeLifetime);
+        tl.activate(tp(1.0));
+        tl.activate(tp(2.0)); // ignored.
+        tl.deactivate(tp(3.0));
+        tl.deactivate(tp(4.0)); // ignored.
+        let f = tl.active_fn();
+        assert_eq!(f.changes().len(), 2);
+        assert!(f.at(tp(2.5)));
+        assert!(!f.at(tp(3.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_events_panic() {
+        let mut tl = PermissionTimeline::unlimited(BaseTimeScheme::WholeLifetime);
+        tl.activate(tp(5.0));
+        tl.deactivate(tp(1.0));
+    }
+
+    #[test]
+    fn valid_fn_integral_never_exceeds_dur_per_epoch() {
+        // Property-style check over a handful of scripted histories.
+        let mut tl = PermissionTimeline::new(3.0, BaseTimeScheme::CurrentServer);
+        tl.arrive_at_server(tp(0.0));
+        tl.activate(tp(0.5));
+        tl.deactivate(tp(2.0));
+        tl.activate(tp(2.5));
+        tl.arrive_at_server(tp(6.0));
+        tl.deactivate(tp(7.0));
+        tl.activate(tp(8.0));
+        let v = tl.valid_fn();
+        // Epoch 1: [0, 6): at most 3 valid units.
+        assert!(v.integral(tp(0.0), tp(6.0)).seconds() <= 3.0 + 1e-9);
+        // Epoch 2: [6, ∞): at most 3 valid units.
+        assert!(v.integral(tp(6.0), tp(100.0)).seconds() <= 3.0 + 1e-9);
+        // Valid only while active.
+        let a = tl.active_fn();
+        let conflict = v.and(&a.not());
+        assert_eq!(conflict.integral(tp(0.0), tp(100.0)), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn deadline_example_editing_by_3am() {
+        // The intro example: "the editing deadline for an issue of a daily
+        // newspaper is by 3am" — an 'edit' permission with a validity
+        // duration equal to the time until 3am, whole-lifetime scheme.
+        // Suppose the editor starts at 21:00 (t=0) and 3am is t=6h=21600s.
+        let mut tl = PermissionTimeline::new(21_600.0, BaseTimeScheme::WholeLifetime);
+        tl.arrive_at_server(tp(0.0));
+        tl.activate(tp(0.0));
+        assert!(tl.is_valid_at(tp(21_599.0)));
+        assert!(!tl.is_valid_at(tp(21_601.0)));
+    }
+}

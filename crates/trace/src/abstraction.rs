@@ -1,0 +1,210 @@
+//! `traces(p)` — abstraction of an SRAL program into its symbolic trace
+//! model (Definition 3.2 of the paper).
+//!
+//! The rules are:
+//!
+//! ```text
+//! traces(a)                    = {⟨a⟩}
+//! traces(p1 ; p2)              = traces(p1) · traces(p2)
+//! traces(if c then p1 else p2) = traces(p1) ∪ traces(p2)
+//! traces(p1 || p2)             = traces(p1) # traces(p2)
+//! traces(while c do p)         = traces(p)*
+//! ```
+//!
+//! A trace records *shared-resource accesses* (§3.2: "we record the shared
+//! resource accesses that are performed"), so channel, signal and
+//! assignment actions abstract to ε by default. Setting
+//! [`AbstractionConfig::observe_sync`] makes synchronisation operations
+//! observable as pseudo-accesses — useful when constraints range over
+//! coordination behaviour too.
+
+use stacl_sral::{Access, Program};
+
+use crate::regex::Regex;
+use crate::symbol::AccessTable;
+
+/// Options controlling which primitives are observable in the trace model.
+#[derive(Clone, Copy, Debug)]
+pub struct AbstractionConfig {
+    /// When true, `ch?x`, `ch!e`, `signal(ξ)` and `wait(ξ)` appear in
+    /// traces as pseudo-accesses with operations `recv`/`send`/`signal`/
+    /// `wait` on the synthetic server `<sync>`. Default: false.
+    pub observe_sync: bool,
+}
+
+impl Default for AbstractionConfig {
+    fn default() -> Self {
+        AbstractionConfig {
+            observe_sync: false,
+        }
+    }
+}
+
+/// Compute the symbolic trace model of `p`, interning accesses in `table`.
+pub fn traces(p: &Program, table: &mut AccessTable, cfg: AbstractionConfig) -> Regex {
+    match p {
+        Program::Skip | Program::Assign { .. } => Regex::Eps,
+        Program::Access(a) => Regex::Sym(table.intern(a)),
+        Program::Recv { channel, .. } => sync_sym(table, cfg, "recv", channel),
+        Program::Send { channel, .. } => sync_sym(table, cfg, "send", channel),
+        Program::Signal(s) => sync_sym(table, cfg, "signal", s),
+        Program::Wait(s) => sync_sym(table, cfg, "wait", s),
+        Program::Seq(a, b) => Regex::cat(traces(a, table, cfg), traces(b, table, cfg)),
+        Program::If {
+            then_branch,
+            else_branch,
+            ..
+        } => Regex::alt(
+            traces(then_branch, table, cfg),
+            traces(else_branch, table, cfg),
+        ),
+        Program::While { body, .. } => Regex::star(traces(body, table, cfg)),
+        Program::Par(a, b) => Regex::shuffle(traces(a, table, cfg), traces(b, table, cfg)),
+    }
+}
+
+fn sync_sym(table: &mut AccessTable, cfg: AbstractionConfig, op: &str, name: &str) -> Regex {
+    if cfg.observe_sync {
+        Regex::Sym(table.intern(&Access::new(op, name, "<sync>")))
+    } else {
+        Regex::Eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use crate::trace::Trace;
+    use stacl_sral::builder::*;
+    use stacl_sral::expr::{CmpOp, Cond, Expr};
+    use stacl_sral::parser::parse_program;
+
+    fn re_of(src: &str, table: &mut AccessTable) -> Regex {
+        let p = parse_program(src).unwrap();
+        traces(&p, table, AbstractionConfig::default())
+    }
+
+    #[test]
+    fn single_access_is_symbol() {
+        let mut t = AccessTable::new();
+        let re = re_of("read r @ s", &mut t);
+        assert!(matches!(re, Regex::Sym(_)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn seq_is_cat() {
+        let mut t = AccessTable::new();
+        let re = re_of("a r @ s ; b r @ s", &mut t);
+        let d = Dfa::from_regex(&re);
+        let a = t.id_of(&Access::new("a", "r", "s")).unwrap();
+        let b = t.id_of(&Access::new("b", "r", "s")).unwrap();
+        assert!(d.accepts(&Trace::from_ids([a, b])));
+        assert!(!d.accepts(&Trace::from_ids([b, a])));
+        assert!(!d.accepts(&Trace::from_ids([a])));
+    }
+
+    #[test]
+    fn if_is_union() {
+        let mut t = AccessTable::new();
+        let re = re_of("if x > 0 then { a r @ s } else { b r @ s }", &mut t);
+        let d = Dfa::from_regex(&re);
+        let a = t.id_of(&Access::new("a", "r", "s")).unwrap();
+        let b = t.id_of(&Access::new("b", "r", "s")).unwrap();
+        assert!(d.accepts(&Trace::single(a)));
+        assert!(d.accepts(&Trace::single(b)));
+        assert!(!d.accepts(&Trace::from_ids([a, b])));
+    }
+
+    #[test]
+    fn while_is_star() {
+        let mut t = AccessTable::new();
+        let re = re_of("while x > 0 do { a r @ s }", &mut t);
+        let d = Dfa::from_regex(&re);
+        let a = t.id_of(&Access::new("a", "r", "s")).unwrap();
+        assert!(d.accepts(&Trace::empty()));
+        assert!(d.accepts(&Trace::from_ids([a, a, a])));
+    }
+
+    #[test]
+    fn par_is_shuffle() {
+        let mut t = AccessTable::new();
+        let re = re_of("{ a r @ s ; b r @ s } || c r @ s", &mut t);
+        let d = Dfa::from_regex(&re);
+        let a = t.id_of(&Access::new("a", "r", "s")).unwrap();
+        let b = t.id_of(&Access::new("b", "r", "s")).unwrap();
+        let c = t.id_of(&Access::new("c", "r", "s")).unwrap();
+        assert!(d.accepts(&Trace::from_ids([a, b, c])));
+        assert!(d.accepts(&Trace::from_ids([a, c, b])));
+        assert!(d.accepts(&Trace::from_ids([c, a, b])));
+        assert!(!d.accepts(&Trace::from_ids([b, a, c])));
+    }
+
+    #[test]
+    fn sync_is_silent_by_default() {
+        let mut t = AccessTable::new();
+        let re = re_of("ch ? x ; signal(go) ; a r @ s ; ch ! x", &mut t);
+        let d = Dfa::from_regex(&re);
+        let a = t.id_of(&Access::new("a", "r", "s")).unwrap();
+        assert!(d.accepts(&Trace::single(a)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sync_observable_when_configured() {
+        let mut t = AccessTable::new();
+        let p = parse_program("signal(go) ; a r @ s").unwrap();
+        let re = traces(&p, &mut t, AbstractionConfig { observe_sync: true });
+        let d = Dfa::from_regex(&re);
+        let sig = t.id_of(&Access::new("signal", "go", "<sync>")).unwrap();
+        let a = t.id_of(&Access::new("a", "r", "s")).unwrap();
+        assert!(d.accepts(&Trace::from_ids([sig, a])));
+        assert!(!d.accepts(&Trace::single(a)));
+    }
+
+    #[test]
+    fn assignments_are_always_silent() {
+        let mut t = AccessTable::new();
+        let p = seq([assign("x", Expr::Int(1)), access("a", "r", "s")]);
+        let re = traces(&p, &mut t, AbstractionConfig { observe_sync: true });
+        let d = Dfa::from_regex(&re);
+        let a = t.id_of(&Access::new("a", "r", "s")).unwrap();
+        assert!(d.accepts(&Trace::single(a)));
+    }
+
+    #[test]
+    fn loop_free_program_agrees_with_finite_oracle() {
+        // Build a finite program, enumerate its trace model explicitly, and
+        // compare with the DFA language.
+        use crate::model::TraceModel;
+        let mut t = AccessTable::new();
+        let p = seq([
+            access("a", "r", "s"),
+            branch(
+                Cond::cmp(CmpOp::Gt, Expr::var("x"), Expr::Int(0)),
+                access("b", "r", "s"),
+                access("c", "r", "s"),
+            ),
+            par([access("d", "r", "s"), access("e", "r", "s")]),
+        ]);
+        let re = traces(&p, &mut t, AbstractionConfig::default());
+        let d = Dfa::from_regex(&re);
+
+        let a = |op: &str| t.id_of(&Access::new(op, "r", "s")).unwrap();
+        let m_a = TraceModel::single(a("a"));
+        let m_bc = TraceModel::single(a("b")).union(&TraceModel::single(a("c")));
+        let m_de = TraceModel::single(a("d")).interleave(&TraceModel::single(a("e")));
+        let oracle = m_a.concat(&m_bc).concat(&m_de);
+
+        // Every oracle trace is accepted …
+        for tr in oracle.iter() {
+            assert!(d.accepts(tr), "{tr}");
+        }
+        // … and the counts match (oracle: 1 × 2 × 2 = 4 traces, all of
+        // length 4; DFA accepts exactly those among all length-≤4 words).
+        assert_eq!(oracle.len(), 4);
+        let words = crate::enumerate::enumerate_traces(&d, 4, 100);
+        assert_eq!(words.len(), 4);
+    }
+}

@@ -1,0 +1,656 @@
+//! Deterministic finite automata: the workhorse of symbolic trace-model
+//! reasoning.
+//!
+//! DFAs here are *complete* (every state has a transition on every symbol;
+//! a dead sink absorbs rejected prefixes), which makes complementation a
+//! flag flip and products total. The module provides subset construction,
+//! Hopcroft minimisation, boolean products, emptiness with shortest
+//! witnesses, and language equivalence — everything Theorem 3.2's
+//! satisfaction checking and Theorem 3.1's round-trip validation need.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use crate::symbol::Alphabet;
+use crate::trace::Trace;
+
+/// How to combine acceptance in a product construction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProductMode {
+    /// Intersection: both accept.
+    And,
+    /// Union: either accepts.
+    Or,
+    /// Difference: left accepts, right does not.
+    Diff,
+    /// Symmetric difference: exactly one accepts.
+    Xor,
+}
+
+impl ProductMode {
+    fn combine(self, a: bool, b: bool) -> bool {
+        match self {
+            ProductMode::And => a && b,
+            ProductMode::Or => a || b,
+            ProductMode::Diff => a && !b,
+            ProductMode::Xor => a != b,
+        }
+    }
+}
+
+/// A complete deterministic finite automaton over a local alphabet.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    /// Maps local symbol indices to global [`AccessId`](crate::symbol::AccessId)s.
+    pub alphabet: Alphabet,
+    /// Row-major transition table: `trans[state * k + sym]`.
+    trans: Vec<u32>,
+    /// The start state.
+    pub start: u32,
+    /// Acceptance flags.
+    pub accept: Vec<bool>,
+}
+
+impl Dfa {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Number of symbols.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet.len()
+    }
+
+    /// The successor of `state` on local symbol `sym`.
+    #[inline]
+    pub fn next(&self, state: u32, sym: u32) -> u32 {
+        self.trans[state as usize * self.alphabet.len() + sym as usize]
+    }
+
+    /// Build a DFA from raw parts. `trans` must be row-major with
+    /// `accept.len() * alphabet.len()` in-range entries; the automaton must
+    /// be complete. Panics on malformed input.
+    pub fn from_parts(alphabet: Alphabet, trans: Vec<u32>, start: u32, accept: Vec<bool>) -> Dfa {
+        let n = accept.len();
+        let k = alphabet.len();
+        assert_eq!(trans.len(), n * k, "transition table has wrong shape");
+        assert!((start as usize) < n, "start state out of range");
+        assert!(
+            trans.iter().all(|&t| (t as usize) < n),
+            "transition target out of range"
+        );
+        Dfa {
+            alphabet,
+            trans,
+            start,
+            accept,
+        }
+    }
+
+    /// Determinise `nfa` by subset construction. `alphabet` supplies the
+    /// symbol mapping (must match the NFA's `alphabet_len`).
+    pub fn from_nfa(nfa: &Nfa, alphabet: Alphabet) -> Dfa {
+        assert_eq!(nfa.alphabet_len, alphabet.len());
+        let k = alphabet.len();
+        let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut trans: Vec<u32> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut queue: VecDeque<Vec<u32>> = VecDeque::new();
+
+        let start_set = nfa.eps_closure(&[nfa.start]);
+        index.insert(start_set.clone(), 0);
+        accept.push(start_set.iter().any(|&s| nfa.accept[s as usize]));
+        trans.resize(k, u32::MAX);
+        queue.push_back(start_set);
+
+        while let Some(set) = queue.pop_front() {
+            let id = index[&set];
+            for sym in 0..k as u32 {
+                let moved = nfa.step(&set, sym);
+                let closed = nfa.eps_closure(&moved);
+                let next_id = match index.get(&closed) {
+                    Some(&i) => i,
+                    None => {
+                        let i = accept.len() as u32;
+                        index.insert(closed.clone(), i);
+                        accept.push(closed.iter().any(|&s| nfa.accept[s as usize]));
+                        trans.resize(trans.len() + k, u32::MAX);
+                        queue.push_back(closed);
+                        i
+                    }
+                };
+                trans[id as usize * k + sym as usize] = next_id;
+            }
+        }
+        debug_assert!(trans.iter().all(|&t| t != u32::MAX));
+        Dfa {
+            alphabet,
+            trans,
+            start: 0,
+            accept,
+        }
+    }
+
+    /// Build directly from a regex, over the regex's own alphabet.
+    pub fn from_regex(re: &Regex) -> Dfa {
+        let al = re.alphabet();
+        Dfa::from_regex_with(re, al)
+    }
+
+    /// Build from a regex over a caller-supplied (superset) alphabet —
+    /// required when two automata must share symbol indices.
+    pub fn from_regex_with(re: &Regex, alphabet: Alphabet) -> Dfa {
+        let nfa = Nfa::from_regex(re, &alphabet);
+        Dfa::from_nfa(&nfa, alphabet).minimize()
+    }
+
+    /// Run the DFA on a word of local symbols.
+    pub fn accepts_local(&self, word: &[u32]) -> bool {
+        let mut s = self.start;
+        for &sym in word {
+            s = self.next(s, sym);
+        }
+        self.accept[s as usize]
+    }
+
+    /// Run the DFA on a trace of global ids. Ids outside the alphabet make
+    /// the trace rejected (they can never be produced by the modelled
+    /// program).
+    pub fn accepts(&self, trace: &Trace) -> bool {
+        let mut s = self.start;
+        for &id in &trace.0 {
+            match self.alphabet.index_of(id) {
+                Some(sym) => s = self.next(s, sym),
+                None => return false,
+            }
+        }
+        self.accept[s as usize]
+    }
+
+    /// Complement: flip acceptance (valid because the DFA is complete).
+    /// Note the complement is relative to the DFA's own alphabet.
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.clone();
+        for a in &mut out.accept {
+            *a = !*a;
+        }
+        out
+    }
+
+    /// Rebuild this DFA over the (superset) alphabet `to`. Symbols new to
+    /// this automaton lead to a dead state.
+    pub fn reindex(&self, to: &Alphabet) -> Dfa {
+        let k_new = to.len();
+        let n = self.num_states();
+        // One extra dead state at index n.
+        let dead = n as u32;
+        let mut trans = vec![dead; (n + 1) * k_new];
+        for state in 0..n {
+            for new_sym in 0..k_new as u32 {
+                let id = to.id_at(new_sym);
+                if let Some(old_sym) = self.alphabet.index_of(id) {
+                    trans[state * k_new + new_sym as usize] = self.next(state as u32, old_sym);
+                }
+            }
+        }
+        let mut accept = self.accept.clone();
+        accept.push(false);
+        Dfa {
+            alphabet: to.clone(),
+            trans,
+            start: self.start,
+            accept,
+        }
+    }
+
+    /// Product construction over a shared alphabet. Panics when alphabets
+    /// differ — reindex both to the union first.
+    pub fn product(&self, other: &Dfa, mode: ProductMode) -> Dfa {
+        assert_eq!(
+            self.alphabet, other.alphabet,
+            "product requires a shared alphabet; reindex first"
+        );
+        let k = self.alphabet.len();
+        let mut index: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut trans: Vec<u32> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut queue = VecDeque::new();
+
+        let start = (self.start, other.start);
+        index.insert(start, 0);
+        accept.push(mode.combine(
+            self.accept[self.start as usize],
+            other.accept[other.start as usize],
+        ));
+        trans.resize(k, u32::MAX);
+        queue.push_back(start);
+
+        while let Some((qa, qb)) = queue.pop_front() {
+            let id = index[&(qa, qb)];
+            for sym in 0..k as u32 {
+                let pair = (self.next(qa, sym), other.next(qb, sym));
+                let next_id = match index.get(&pair) {
+                    Some(&i) => i,
+                    None => {
+                        let i = accept.len() as u32;
+                        index.insert(pair, i);
+                        accept.push(mode.combine(
+                            self.accept[pair.0 as usize],
+                            other.accept[pair.1 as usize],
+                        ));
+                        trans.resize(trans.len() + k, u32::MAX);
+                        queue.push_back(pair);
+                        i
+                    }
+                };
+                trans[id as usize * k + sym as usize] = next_id;
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            trans,
+            start: 0,
+            accept,
+        }
+    }
+
+    /// True when the language is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shortest_accepted_local().is_none()
+    }
+
+    /// Shortest accepted word (local symbols), by BFS from the start state.
+    pub fn shortest_accepted_local(&self) -> Option<Vec<u32>> {
+        let n = self.num_states();
+        let k = self.alphabet.len();
+        let mut pred: Vec<Option<(u32, u32)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[self.start as usize] = true;
+        queue.push_back(self.start);
+        let mut hit: Option<u32> = None;
+        if self.accept[self.start as usize] {
+            hit = Some(self.start);
+        }
+        'bfs: while let Some(s) = queue.pop_front() {
+            if hit.is_some() {
+                break;
+            }
+            for sym in 0..k as u32 {
+                let t = self.next(s, sym);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    pred[t as usize] = Some((s, sym));
+                    if self.accept[t as usize] {
+                        hit = Some(t);
+                        break 'bfs;
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut state = hit?;
+        let mut word = Vec::new();
+        while let Some((p, sym)) = pred[state as usize] {
+            word.push(sym);
+            state = p;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// Shortest accepted trace, rendered as global ids.
+    pub fn shortest_accepted(&self) -> Option<Trace> {
+        self.shortest_accepted_local().map(|w| {
+            Trace::from_ids(w.into_iter().map(|sym| self.alphabet.id_at(sym)))
+        })
+    }
+
+    /// Hopcroft's partition-refinement minimisation. Unreachable states are
+    /// dropped first; the result is the canonical minimal complete DFA.
+    pub fn minimize(&self) -> Dfa {
+        let k = self.alphabet.len();
+        // 1. Restrict to reachable states.
+        let n_all = self.num_states();
+        let mut reach_map = vec![u32::MAX; n_all];
+        let mut order: Vec<u32> = Vec::new();
+        {
+            let mut queue = VecDeque::new();
+            reach_map[self.start as usize] = 0;
+            order.push(self.start);
+            queue.push_back(self.start);
+            while let Some(s) = queue.pop_front() {
+                for sym in 0..k as u32 {
+                    let t = self.next(s, sym);
+                    if reach_map[t as usize] == u32::MAX {
+                        reach_map[t as usize] = order.len() as u32;
+                        order.push(t);
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        let n = order.len();
+        // Dense reachable automaton.
+        let mut trans = vec![0u32; n * k];
+        let mut accept = vec![false; n];
+        for (new_s, &old_s) in order.iter().enumerate() {
+            accept[new_s] = self.accept[old_s as usize];
+            for sym in 0..k {
+                trans[new_s * k + sym] = reach_map[self.next(old_s, sym as u32) as usize];
+            }
+        }
+
+        if n == 0 {
+            return self.clone();
+        }
+
+        // 2. Hopcroft refinement.
+        // block[s] = block id of state s.
+        let mut block = vec![0u32; n];
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        let acc: Vec<u32> = (0..n as u32).filter(|&s| accept[s as usize]).collect();
+        let rej: Vec<u32> = (0..n as u32).filter(|&s| !accept[s as usize]).collect();
+        for (i, b) in [acc, rej].into_iter().filter(|b| !b.is_empty()).enumerate() {
+            for &s in &b {
+                block[s as usize] = i as u32;
+            }
+            blocks.push(b);
+        }
+
+        // Reverse transitions: rev[sym][t] = states s with trans(s,sym)=t.
+        let mut rev: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); n]; k];
+        for s in 0..n {
+            for sym in 0..k {
+                rev[sym][trans[s * k + sym] as usize].push(s as u32);
+            }
+        }
+
+        // Worklist of (block id, symbol).
+        let mut worklist: VecDeque<(u32, u32)> = VecDeque::new();
+        for b in 0..blocks.len() as u32 {
+            for sym in 0..k as u32 {
+                worklist.push_back((b, sym));
+            }
+        }
+
+        while let Some((b_id, sym)) = worklist.pop_front() {
+            // X = preimage of block b under sym.
+            let mut x: Vec<u32> = Vec::new();
+            for &t in &blocks[b_id as usize] {
+                x.extend_from_slice(&rev[sym as usize][t as usize]);
+            }
+            if x.is_empty() {
+                continue;
+            }
+            // Group X by current block.
+            let mut touched: HashMap<u32, Vec<u32>> = HashMap::new();
+            for &s in &x {
+                touched.entry(block[s as usize]).or_default().push(s);
+            }
+            for (y_id, x_in_y) in touched {
+                let y_len = blocks[y_id as usize].len();
+                if x_in_y.len() == y_len {
+                    continue; // Y ⊆ X: no split.
+                }
+                // Split Y into (Y ∩ X) and (Y \ X).
+                let new_id = blocks.len() as u32;
+                let mut in_x = vec![false; n];
+                for &s in &x_in_y {
+                    in_x[s as usize] = true;
+                }
+                let y = std::mem::take(&mut blocks[y_id as usize]);
+                let (yx, rest): (Vec<u32>, Vec<u32>) =
+                    y.into_iter().partition(|&s| in_x[s as usize]);
+                // Keep the larger part under the old id (Hopcroft's trick).
+                let (keep, split) = if yx.len() <= rest.len() {
+                    (rest, yx)
+                } else {
+                    (yx, rest)
+                };
+                for &s in &split {
+                    block[s as usize] = new_id;
+                }
+                blocks[y_id as usize] = keep;
+                blocks.push(split);
+                for sym2 in 0..k as u32 {
+                    worklist.push_back((new_id, sym2));
+                }
+            }
+        }
+
+        // 3. Build the quotient automaton.
+        let m = blocks.len();
+        let mut q_trans = vec![0u32; m * k];
+        let mut q_accept = vec![false; m];
+        for (b_id, b) in blocks.iter().enumerate() {
+            let rep = b[0] as usize;
+            q_accept[b_id] = accept[rep];
+            for sym in 0..k {
+                q_trans[b_id * k + sym] = block[trans[rep * k + sym] as usize];
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            trans: q_trans,
+            start: block[0], // reachable-state 0 is the original start.
+            accept: q_accept,
+        }
+    }
+
+    /// Language equivalence via symmetric-difference emptiness, after
+    /// reindexing both automata over the union alphabet.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        let union = self.alphabet.union(&other.alphabet);
+        let a = self.reindex(&union);
+        let b = other.reindex(&union);
+        a.product(&b, ProductMode::Xor).is_empty()
+    }
+
+    /// Language containment `self ⊆ other` (over the union alphabet).
+    pub fn subset_of(&self, other: &Dfa) -> bool {
+        let union = self.alphabet.union(&other.alphabet);
+        let a = self.reindex(&union);
+        let b = other.reindex(&union);
+        a.product(&b, ProductMode::Diff).is_empty()
+    }
+
+    /// A trace accepted by `self` but not `other`, if any — the witness for
+    /// a containment failure.
+    pub fn witness_not_subset(&self, other: &Dfa) -> Option<Trace> {
+        let union = self.alphabet.union(&other.alphabet);
+        let a = self.reindex(&union);
+        let b = other.reindex(&union);
+        a.product(&b, ProductMode::Diff).shortest_accepted()
+    }
+
+    /// Convenience: are two regexes language-equal?
+    pub fn equivalent_regexes(a: &Regex, b: &Regex) -> bool {
+        let union = a.alphabet().union(&b.alphabet());
+        let da = Dfa::from_regex_with(a, union.clone());
+        let db = Dfa::from_regex_with(b, union);
+        da.product(&db, ProductMode::Xor).is_empty()
+    }
+}
+
+/// Build a DFA accepting exactly the given finite set of traces — useful
+/// in tests and for compiling history prefixes.
+pub fn dfa_of_traces(traces: &[Trace], alphabet: Alphabet) -> Dfa {
+    let re = Regex::alt_all(traces.iter().map(|t| {
+        Regex::cat_all(t.0.iter().map(|&id| Regex::Sym(id)))
+    }));
+    Dfa::from_regex_with(&re, alphabet)
+}
+
+/// The derivative DFA: `self` with its start state advanced by `prefix`.
+/// Returns `None` when the prefix mentions an unknown symbol (in which case
+/// the residual language is empty).
+pub fn advance(dfa: &Dfa, prefix: &Trace) -> Option<Dfa> {
+    let mut s = dfa.start;
+    for &id in &prefix.0 {
+        let sym = dfa.alphabet.index_of(id)?;
+        s = dfa.next(s, sym);
+    }
+    let mut out = dfa.clone();
+    out.start = s;
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::AccessId;
+
+    fn sym(i: u32) -> Regex {
+        Regex::Sym(AccessId(i))
+    }
+
+    fn t(v: &[u32]) -> Trace {
+        Trace::from_ids(v.iter().map(|&i| AccessId(i)))
+    }
+
+    #[test]
+    fn subset_construction_accepts() {
+        let re = Regex::cat(sym(0), Regex::star(sym(1)));
+        let d = Dfa::from_regex(&re);
+        assert!(d.accepts(&t(&[0])));
+        assert!(d.accepts(&t(&[0, 1, 1])));
+        assert!(!d.accepts(&t(&[1])));
+        assert!(!d.accepts(&t(&[])));
+    }
+
+    #[test]
+    fn unknown_symbols_reject() {
+        let d = Dfa::from_regex(&sym(0));
+        assert!(!d.accepts(&t(&[7])));
+    }
+
+    #[test]
+    fn complement_flips() {
+        let d = Dfa::from_regex(&sym(0));
+        let c = d.complement();
+        assert!(c.accepts(&t(&[])));
+        assert!(!c.accepts(&t(&[0])));
+        assert!(c.accepts(&t(&[0, 0])));
+    }
+
+    #[test]
+    fn minimization_canonicalises() {
+        // (0 ∪ 0·0*·0?) style redundancy: a* built two ways.
+        let a = Regex::star(sym(0));
+        let b = Regex::alt(Regex::Eps, Regex::cat(sym(0), Regex::star(sym(0))));
+        let da = Dfa::from_regex(&a);
+        let db = Dfa::from_regex(&b);
+        assert_eq!(da.num_states(), db.num_states());
+        assert!(da.equivalent(&db));
+    }
+
+    #[test]
+    fn minimal_star_has_one_state() {
+        // 0* over alphabet {0}: a single accepting state suffices.
+        let d = Dfa::from_regex(&Regex::star(sym(0)));
+        assert_eq!(d.num_states(), 1);
+        assert!(d.accept[d.start as usize]);
+    }
+
+    #[test]
+    fn product_modes() {
+        let union = Regex::alt(sym(0), sym(1)).alphabet();
+        let d0 = Dfa::from_regex_with(&sym(0), union.clone());
+        let d1 = Dfa::from_regex_with(&sym(1), union.clone());
+        assert!(d0.product(&d1, ProductMode::And).is_empty());
+        let or = d0.product(&d1, ProductMode::Or);
+        assert!(or.accepts(&t(&[0])));
+        assert!(or.accepts(&t(&[1])));
+        assert!(!or.accepts(&t(&[0, 1])));
+        let diff = d0.product(&d1, ProductMode::Diff);
+        assert!(diff.accepts(&t(&[0])));
+        assert!(!diff.accepts(&t(&[1])));
+    }
+
+    #[test]
+    fn equivalence_and_subset() {
+        // 0·1 ⊆ 0·(1 ∪ 2)
+        let small = Regex::cat(sym(0), sym(1));
+        let big = Regex::cat(sym(0), Regex::alt(sym(1), sym(2)));
+        let ds = Dfa::from_regex(&small);
+        let db = Dfa::from_regex(&big);
+        assert!(ds.subset_of(&db));
+        assert!(!db.subset_of(&ds));
+        assert!(!ds.equivalent(&db));
+        let wit = db.witness_not_subset(&ds).unwrap();
+        assert_eq!(wit, t(&[0, 2]));
+    }
+
+    #[test]
+    fn equivalence_across_alphabets() {
+        // Same language, one regex mentions an extra (unused) symbol path.
+        let a = sym(0);
+        let b = Regex::alt(sym(0), Regex::cat(sym(1), Regex::Empty));
+        assert!(Dfa::equivalent_regexes(&a, &b));
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        assert!(Dfa::from_regex(&Regex::Empty).is_empty());
+        assert!(!Dfa::from_regex(&Regex::Eps).is_empty());
+        assert!(Dfa::from_regex(&Regex::cat(sym(0), Regex::Empty)).is_empty());
+    }
+
+    #[test]
+    fn shortest_witness_is_shortest() {
+        // Language 0·0·0 ∪ 0 — shortest is <0>.
+        let re = Regex::alt(Regex::cat_all([sym(0), sym(0), sym(0)]), sym(0));
+        let d = Dfa::from_regex(&re);
+        assert_eq!(d.shortest_accepted().unwrap(), t(&[0]));
+    }
+
+    #[test]
+    fn shortest_witness_of_eps_language() {
+        let d = Dfa::from_regex(&Regex::Eps);
+        assert_eq!(d.shortest_accepted().unwrap(), Trace::empty());
+    }
+
+    #[test]
+    fn advance_computes_residual() {
+        let re = Regex::cat_all([sym(0), sym(1), sym(2)]);
+        let d = Dfa::from_regex(&re);
+        let r = advance(&d, &t(&[0, 1])).unwrap();
+        assert!(r.accepts(&t(&[2])));
+        assert!(!r.accepts(&t(&[0, 1, 2])));
+        assert!(advance(&d, &t(&[99])).is_none());
+    }
+
+    #[test]
+    fn dfa_of_traces_matches_set() {
+        let al = Alphabet::from_ids([AccessId(0), AccessId(1)]);
+        let d = dfa_of_traces(&[t(&[0, 1]), t(&[1])], al);
+        assert!(d.accepts(&t(&[0, 1])));
+        assert!(d.accepts(&t(&[1])));
+        assert!(!d.accepts(&t(&[0])));
+        assert!(!d.accepts(&t(&[])));
+    }
+
+    #[test]
+    fn shuffle_regex_through_dfa() {
+        // (0·1) # (0·1): contains 0011, 0101, but never starts with 1.
+        let half = Regex::cat(sym(0), sym(1));
+        let re = Regex::shuffle(half.clone(), half);
+        let d = Dfa::from_regex(&re);
+        assert!(d.accepts(&t(&[0, 0, 1, 1])));
+        assert!(d.accepts(&t(&[0, 1, 0, 1])));
+        assert!(!d.accepts(&t(&[1, 0, 0, 1])));
+        assert!(!d.accepts(&t(&[0, 1])));
+    }
+
+    #[test]
+    fn minimize_is_idempotent() {
+        let re = Regex::shuffle(Regex::star(sym(0)), Regex::cat(sym(1), sym(2)));
+        let d = Dfa::from_regex(&re); // already minimised by from_regex_with
+        let d2 = d.minimize();
+        assert_eq!(d.num_states(), d2.num_states());
+        assert!(d.equivalent(&d2));
+    }
+}

@@ -1,0 +1,198 @@
+//! Bounded enumeration of the traces accepted by a DFA.
+//!
+//! Used by the test oracle (cross-checking symbolic results against the
+//! finite [`TraceModel`](crate::model::TraceModel)) and by the E9 ablation
+//! bench, which contrasts symbolic constraint checking with explicit
+//! enumeration on programs whose trace sets explode.
+
+use std::collections::VecDeque;
+
+use crate::dfa::Dfa;
+use crate::trace::Trace;
+
+/// Enumerate accepted traces of `dfa` in length-lexicographic order, up to
+/// `max_len` symbols per trace and at most `max_count` traces.
+pub fn enumerate_traces(dfa: &Dfa, max_len: usize, max_count: usize) -> Vec<Trace> {
+    let mut out = Vec::new();
+    if max_count == 0 {
+        return out;
+    }
+    let k = dfa.alphabet_len() as u32;
+    // BFS over (state, word) — prefixes whose state is dead could be pruned
+    // with a co-reachability precomputation; for oracle-sized runs BFS with
+    // dead-state pruning via live set is enough.
+    let live = live_states(dfa);
+    let mut queue: VecDeque<(u32, Vec<u32>)> = VecDeque::new();
+    queue.push_back((dfa.start, Vec::new()));
+    while let Some((state, word)) = queue.pop_front() {
+        if dfa.accept[state as usize] {
+            out.push(Trace::from_ids(
+                word.iter().map(|&sym| dfa.alphabet.id_at(sym)),
+            ));
+            if out.len() >= max_count {
+                return out;
+            }
+        }
+        if word.len() >= max_len {
+            continue;
+        }
+        for sym in 0..k {
+            let t = dfa.next(state, sym);
+            if live[t as usize] {
+                let mut w = word.clone();
+                w.push(sym);
+                queue.push_back((t, w));
+            }
+        }
+    }
+    out
+}
+
+/// Count accepted traces of each length `0..=max_len` by dynamic
+/// programming over the transition table — O(states × symbols × max_len).
+pub fn count_traces_by_length(dfa: &Dfa, max_len: usize) -> Vec<u64> {
+    let n = dfa.num_states();
+    let k = dfa.alphabet_len() as u32;
+    // paths[s] = number of words of current length leading start → s.
+    let mut paths = vec![0u64; n];
+    paths[dfa.start as usize] = 1;
+    let mut counts = Vec::with_capacity(max_len + 1);
+    for _len in 0..=max_len {
+        let accepted: u64 = (0..n)
+            .filter(|&s| dfa.accept[s])
+            .map(|s| paths[s])
+            .fold(0u64, u64::saturating_add);
+        counts.push(accepted);
+        let mut next = vec![0u64; n];
+        for s in 0..n {
+            if paths[s] == 0 {
+                continue;
+            }
+            for sym in 0..k {
+                let t = dfa.next(s as u32, sym) as usize;
+                next[t] = next[t].saturating_add(paths[s]);
+            }
+        }
+        paths = next;
+    }
+    counts
+}
+
+/// States from which an accepting state is reachable.
+fn live_states(dfa: &Dfa) -> Vec<bool> {
+    let n = dfa.num_states();
+    let k = dfa.alphabet_len() as u32;
+    // Reverse edges.
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for s in 0..n as u32 {
+        for sym in 0..k {
+            rev[dfa.next(s, sym) as usize].push(s);
+        }
+    }
+    let mut live = vec![false; n];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    for s in 0..n {
+        if dfa.accept[s] {
+            live[s] = true;
+            queue.push_back(s as u32);
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        for &p in &rev[s as usize] {
+            if !live[p as usize] {
+                live[p as usize] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::symbol::AccessId;
+
+    fn sym(i: u32) -> Regex {
+        Regex::Sym(AccessId(i))
+    }
+
+    fn t(v: &[u32]) -> Trace {
+        Trace::from_ids(v.iter().map(|&i| AccessId(i)))
+    }
+
+    #[test]
+    fn enumerates_finite_language_completely() {
+        let re = Regex::cat(sym(0), Regex::alt(sym(1), sym(2)));
+        let d = Dfa::from_regex(&re);
+        let ts = enumerate_traces(&d, 10, 100);
+        assert_eq!(ts.len(), 2);
+        assert!(ts.contains(&t(&[0, 1])));
+        assert!(ts.contains(&t(&[0, 2])));
+    }
+
+    #[test]
+    fn respects_max_len() {
+        let re = Regex::star(sym(0));
+        let d = Dfa::from_regex(&re);
+        let ts = enumerate_traces(&d, 3, 100);
+        // ε, 0, 00, 000.
+        assert_eq!(ts.len(), 4);
+    }
+
+    #[test]
+    fn respects_max_count() {
+        let re = Regex::star(sym(0));
+        let d = Dfa::from_regex(&re);
+        let ts = enumerate_traces(&d, 50, 5);
+        assert_eq!(ts.len(), 5);
+    }
+
+    #[test]
+    fn shortest_first_order() {
+        let re = Regex::star(Regex::alt(sym(0), sym(1)));
+        let d = Dfa::from_regex(&re);
+        let ts = enumerate_traces(&d, 2, 100);
+        let lens: Vec<_> = ts.iter().map(Trace::len).collect();
+        let mut sorted = lens.clone();
+        sorted.sort_unstable();
+        assert_eq!(lens, sorted);
+        // 1 + 2 + 4.
+        assert_eq!(ts.len(), 7);
+    }
+
+    #[test]
+    fn counts_by_length() {
+        // (0 ∪ 1)* — 2^n words of each length n.
+        let re = Regex::star(Regex::alt(sym(0), sym(1)));
+        let d = Dfa::from_regex(&re);
+        let counts = count_traces_by_length(&d, 5);
+        assert_eq!(counts, vec![1, 2, 4, 8, 16, 32]);
+    }
+
+    #[test]
+    fn counts_of_finite_language() {
+        let re = Regex::cat(sym(0), sym(1));
+        let d = Dfa::from_regex(&re);
+        let counts = count_traces_by_length(&d, 4);
+        assert_eq!(counts, vec![0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn empty_language_enumerates_nothing() {
+        let d = Dfa::from_regex(&Regex::Empty);
+        assert!(enumerate_traces(&d, 10, 10).is_empty());
+        assert_eq!(count_traces_by_length(&d, 3), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn shuffle_counts_are_binomial() {
+        // (0·0) # (1·1): C(4,2) = 6 interleavings of length 4.
+        let re = Regex::shuffle(Regex::cat(sym(0), sym(0)), Regex::cat(sym(1), sym(1)));
+        let d = Dfa::from_regex(&re);
+        let counts = count_traces_by_length(&d, 4);
+        assert_eq!(counts[4], 6);
+        assert_eq!(counts[0..4], [0, 0, 0, 0]);
+    }
+}

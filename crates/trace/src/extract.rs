@@ -1,0 +1,165 @@
+//! Regex extraction from DFAs by state elimination
+//! (Brzozowski–McCluskey): the inverse of the compilation pipeline.
+//!
+//! Given any DFA — e.g. the automaton of `traces(P)` — produce a regex
+//! denoting the same language. Together with
+//! [`synthesis`](crate::synthesis) this closes the loop: *program → trace
+//! model → canonical (minimal-DFA) regex → program*, giving a normal form
+//! for trace models that the CLI's `traces` command prints.
+//!
+//! The resulting regex is language-equal to the input (property-tested)
+//! but not guaranteed syntactically minimal; states are eliminated in a
+//! lowest-degree-first order, a standard heuristic that keeps the output
+//! small in practice.
+
+use std::collections::HashMap;
+
+use crate::dfa::Dfa;
+use crate::regex::Regex;
+
+/// Extract a regex for `dfa`'s language.
+pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
+    let n = dfa.num_states();
+    let k = dfa.alphabet_len() as u32;
+
+    // Generalised NFA edges: (from, to) → regex. Two synthetic nodes:
+    // start = n, accept = n + 1.
+    let start = n;
+    let accept = n + 1;
+    let mut edges: HashMap<(usize, usize), Regex> = HashMap::new();
+    let add = |edges: &mut HashMap<(usize, usize), Regex>, f: usize, t: usize, re: Regex| {
+        if re == Regex::Empty {
+            return;
+        }
+        edges
+            .entry((f, t))
+            .and_modify(|e| *e = Regex::alt(e.clone(), re.clone()))
+            .or_insert(re);
+    };
+
+    for s in 0..n {
+        for sym in 0..k {
+            let t = dfa.next(s as u32, sym) as usize;
+            add(
+                &mut edges,
+                s,
+                t,
+                Regex::Sym(dfa.alphabet.id_at(sym)),
+            );
+        }
+        if dfa.accept[s] {
+            add(&mut edges, s, accept, Regex::Eps);
+        }
+    }
+    add(&mut edges, start, dfa.start as usize, Regex::Eps);
+
+    // Eliminate original states, lowest combined degree first.
+    let mut remaining: Vec<usize> = (0..n).collect();
+    while !remaining.is_empty() {
+        // Pick the state with the fewest incident edges.
+        let (&victim, _) = remaining
+            .iter()
+            .map(|&s| {
+                let deg = edges
+                    .keys()
+                    .filter(|&&(f, t)| f == s || t == s)
+                    .count();
+                (s, deg)
+            })
+            .min_by_key(|&(_, deg)| deg)
+            .map(|(s, d)| (remaining.iter().find(|&&x| x == s).unwrap(), d))
+            .expect("remaining is non-empty");
+        remaining.retain(|&s| s != victim);
+
+        let self_loop = edges.remove(&(victim, victim));
+        let loop_star = match self_loop {
+            Some(re) => Regex::star(re),
+            None => Regex::Eps,
+        };
+        let into: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|&(&(_, t), _)| t == victim)
+            .map(|(&(f, _), re)| (f, re.clone()))
+            .collect();
+        let out_of: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|&(&(f, _), _)| f == victim)
+            .map(|(&(_, t), re)| (t, re.clone()))
+            .collect();
+        edges.retain(|&(f, t), _| f != victim && t != victim);
+        for (f, re_in) in &into {
+            for (t, re_out) in &out_of {
+                let through = Regex::cat(
+                    re_in.clone(),
+                    Regex::cat(loop_star.clone(), re_out.clone()),
+                );
+                add(&mut edges, *f, *t, through);
+            }
+        }
+    }
+
+    edges.remove(&(start, accept)).unwrap_or(Regex::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::AccessId;
+    use crate::trace::Trace;
+
+    fn sym(i: u32) -> Regex {
+        Regex::Sym(AccessId(i))
+    }
+
+    fn roundtrip(re: &Regex) {
+        let d = Dfa::from_regex(re);
+        let extracted = dfa_to_regex(&d);
+        assert!(
+            Dfa::equivalent_regexes(re, &extracted),
+            "extraction of {re} gave {extracted}"
+        );
+    }
+
+    #[test]
+    fn basic_shapes() {
+        roundtrip(&Regex::Empty);
+        roundtrip(&Regex::Eps);
+        roundtrip(&sym(0));
+        roundtrip(&Regex::cat(sym(0), sym(1)));
+        roundtrip(&Regex::alt(sym(0), sym(1)));
+        roundtrip(&Regex::star(sym(0)));
+    }
+
+    #[test]
+    fn composite_shapes() {
+        roundtrip(&Regex::cat(
+            Regex::star(Regex::alt(sym(0), Regex::cat(sym(1), sym(2)))),
+            sym(2),
+        ));
+        roundtrip(&Regex::shuffle(Regex::cat(sym(0), sym(1)), sym(2)));
+        roundtrip(&Regex::alt(
+            Regex::star(sym(0)),
+            Regex::cat(sym(1), Regex::star(sym(2))),
+        ));
+    }
+
+    #[test]
+    fn empty_language_extracts_empty() {
+        let d = Dfa::from_regex(&Regex::cat(sym(0), Regex::Empty));
+        assert_eq!(dfa_to_regex(&d), Regex::Empty);
+    }
+
+    #[test]
+    fn extraction_accepts_same_short_traces() {
+        let re = Regex::cat(Regex::star(sym(0)), Regex::alt(sym(1), sym(2)));
+        let d = Dfa::from_regex(&re);
+        let d2 = Dfa::from_regex(&dfa_to_regex(&d));
+        for t in crate::enumerate::enumerate_traces(&d, 5, 1000) {
+            assert!(d2.accepts(&t), "{t}");
+        }
+        for t in crate::enumerate::enumerate_traces(&d2, 5, 1000) {
+            assert!(d.accepts(&t), "{t}");
+        }
+        let _ = Trace::empty();
+    }
+}

@@ -1,0 +1,219 @@
+//! Finite trace models: explicit sets of traces.
+//!
+//! `traces(p)` is infinite whenever `p` loops, so the production pipeline is
+//! symbolic ([`crate::regex`] → automata). Finite models remain invaluable
+//! as a *test oracle*: for loop-free programs the explicit set is exactly
+//! the trace model, and every operator here mirrors Definition 3.2 of the
+//! paper, letting property tests cross-check the symbolic machinery.
+
+use std::collections::BTreeSet;
+
+use crate::symbol::AccessId;
+use crate::trace::Trace;
+
+/// A finite set of traces.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct TraceModel {
+    traces: BTreeSet<Trace>,
+}
+
+impl TraceModel {
+    /// The empty model ∅ (no traces at all — not even ε).
+    pub fn empty() -> Self {
+        TraceModel::default()
+    }
+
+    /// The unit model {ε}.
+    pub fn epsilon() -> Self {
+        let mut m = TraceModel::empty();
+        m.traces.insert(Trace::empty());
+        m
+    }
+
+    /// The singleton model {⟨a⟩} (Definition 3.3's base case).
+    pub fn single(a: AccessId) -> Self {
+        let mut m = TraceModel::empty();
+        m.traces.insert(Trace::single(a));
+        m
+    }
+
+    /// Build from an iterator of traces.
+    pub fn from_traces(traces: impl IntoIterator<Item = Trace>) -> Self {
+        TraceModel {
+            traces: traces.into_iter().collect(),
+        }
+    }
+
+    /// Number of traces in the model.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True when the model is ∅.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Trace) -> bool {
+        self.traces.contains(t)
+    }
+
+    /// Iterate traces in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Trace> {
+        self.traces.iter()
+    }
+
+    /// Union (`traces(if c then p1 else p2) = traces(p1) ∪ traces(p2)`).
+    pub fn union(&self, other: &TraceModel) -> TraceModel {
+        TraceModel {
+            traces: self.traces.union(&other.traces).cloned().collect(),
+        }
+    }
+
+    /// Concatenation (`traces(p1 ; p2) = traces(p1) · traces(p2)`).
+    pub fn concat(&self, other: &TraceModel) -> TraceModel {
+        let mut out = BTreeSet::new();
+        for t in &self.traces {
+            for v in &other.traces {
+                out.insert(t.concat(v));
+            }
+        }
+        TraceModel { traces: out }
+    }
+
+    /// Interleaving (`traces(p1 || p2) = traces(p1) # traces(p2)`).
+    pub fn interleave(&self, other: &TraceModel) -> TraceModel {
+        let mut out = BTreeSet::new();
+        for t in &self.traces {
+            for v in &other.traces {
+                out.extend(t.interleavings(v));
+            }
+        }
+        TraceModel { traces: out }
+    }
+
+    /// Bounded Kleene closure: ε plus up to `k` self-concatenations
+    /// (`traces(while c do p) = traces(p)*`, truncated for finiteness).
+    pub fn star_bounded(&self, k: usize) -> TraceModel {
+        let mut out = TraceModel::epsilon();
+        let mut power = TraceModel::epsilon();
+        for _ in 0..k {
+            power = power.concat(self);
+            out = out.union(&power);
+        }
+        out
+    }
+
+    /// The longest trace length in the model (0 for ∅ and {ε}).
+    pub fn max_len(&self) -> usize {
+        self.traces.iter().map(Trace::len).max().unwrap_or(0)
+    }
+}
+
+impl FromIterator<Trace> for TraceModel {
+    fn from_iter<T: IntoIterator<Item = Trace>>(iter: T) -> Self {
+        TraceModel::from_traces(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[u32]) -> Trace {
+        Trace::from_ids(v.iter().map(|&i| AccessId(i)))
+    }
+
+    #[test]
+    fn empty_vs_epsilon() {
+        assert!(TraceModel::empty().is_empty());
+        let eps = TraceModel::epsilon();
+        assert_eq!(eps.len(), 1);
+        assert!(eps.contains(&Trace::empty()));
+    }
+
+    #[test]
+    fn concat_distributes() {
+        let m1 = TraceModel::from_traces([t(&[1]), t(&[2])]);
+        let m2 = TraceModel::from_traces([t(&[3])]);
+        let m = m1.concat(&m2);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&t(&[1, 3])));
+        assert!(m.contains(&t(&[2, 3])));
+    }
+
+    #[test]
+    fn concat_with_empty_annihilates() {
+        let m = TraceModel::from_traces([t(&[1])]);
+        assert!(m.concat(&TraceModel::empty()).is_empty());
+        assert!(TraceModel::empty().concat(&m).is_empty());
+    }
+
+    #[test]
+    fn concat_with_epsilon_is_identity() {
+        let m = TraceModel::from_traces([t(&[1, 2]), t(&[3])]);
+        assert_eq!(m.concat(&TraceModel::epsilon()), m);
+        assert_eq!(TraceModel::epsilon().concat(&m), m);
+    }
+
+    #[test]
+    fn union_matches_paper_if_rule() {
+        let m1 = TraceModel::single(AccessId(1));
+        let m2 = TraceModel::single(AccessId(2));
+        let m = m1.union(&m2);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn interleave_example_from_def() {
+        // {<1,2>} # {<3>} = three interleavings.
+        let m1 = TraceModel::from_traces([t(&[1, 2])]);
+        let m2 = TraceModel::from_traces([t(&[3])]);
+        let m = m1.interleave(&m2);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn interleave_with_epsilon_is_identity() {
+        let m = TraceModel::from_traces([t(&[1, 2])]);
+        assert_eq!(m.interleave(&TraceModel::epsilon()), m);
+    }
+
+    #[test]
+    fn star_bounded_growth() {
+        let m = TraceModel::single(AccessId(1));
+        let s = m.star_bounded(3);
+        // ε, <1>, <1,1>, <1,1,1>
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(&Trace::empty()));
+        assert!(s.contains(&t(&[1, 1, 1])));
+        assert_eq!(s.max_len(), 3);
+    }
+
+    #[test]
+    fn star_of_empty_is_epsilon() {
+        let s = TraceModel::empty().star_bounded(5);
+        assert_eq!(s, TraceModel::epsilon());
+    }
+
+    #[test]
+    fn operators_are_associative_where_expected() {
+        let a = TraceModel::single(AccessId(1));
+        let b = TraceModel::single(AccessId(2));
+        let c = TraceModel::single(AccessId(3));
+        assert_eq!(a.concat(&b).concat(&c), a.concat(&b.concat(&c)));
+        assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        assert_eq!(
+            a.interleave(&b).interleave(&c),
+            a.interleave(&b.interleave(&c))
+        );
+    }
+
+    #[test]
+    fn interleave_commutes() {
+        let m1 = TraceModel::from_traces([t(&[1, 2])]);
+        let m2 = TraceModel::from_traces([t(&[3, 4])]);
+        assert_eq!(m1.interleave(&m2), m2.interleave(&m1));
+    }
+}

@@ -1,0 +1,261 @@
+//! Symbolic regular trace models: regexes over the access alphabet.
+//!
+//! Definition 3.3 defines regular trace models inductively from singletons
+//! `{⟨a⟩}` under union, concatenation and Kleene closure. We add the
+//! *shuffle* (interleaving) operator `#` used by Definition 3.2 for
+//! parallel composition — shuffle preserves regularity, so this stays
+//! within regular trace models.
+//!
+//! Constructors apply cheap algebraic normalisations (∅ and ε identities,
+//! star idempotence) so that trivially-equal models compare equal without a
+//! DFA build; full semantic equality lives in [`crate::dfa`].
+
+use std::fmt;
+
+use crate::symbol::{AccessId, AccessTable, Alphabet};
+
+/// A regular trace model in symbolic form.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Regex {
+    /// ∅ — the empty model: no traces.
+    Empty,
+    /// ε — the unit model: only the empty trace.
+    Eps,
+    /// `{⟨a⟩}` — a single access.
+    Sym(AccessId),
+    /// Union `m1 ∪ m2`.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Concatenation `m1 · m2`.
+    Cat(Box<Regex>, Box<Regex>),
+    /// Kleene closure `m*`.
+    Star(Box<Regex>),
+    /// Interleaving `m1 # m2` (shuffle).
+    Shuffle(Box<Regex>, Box<Regex>),
+}
+
+impl Regex {
+    /// Smart union: `∅ ∪ m = m`, identical operands collapse.
+    pub fn alt(a: Regex, b: Regex) -> Regex {
+        match (a, b) {
+            (Regex::Empty, m) | (m, Regex::Empty) => m,
+            (x, y) if x == y => x,
+            (x, y) => Regex::Alt(Box::new(x), Box::new(y)),
+        }
+    }
+
+    /// Smart concatenation: `∅ · m = ∅`, `ε · m = m`.
+    pub fn cat(a: Regex, b: Regex) -> Regex {
+        match (a, b) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+            (Regex::Eps, m) | (m, Regex::Eps) => m,
+            (x, y) => Regex::Cat(Box::new(x), Box::new(y)),
+        }
+    }
+
+    /// Smart star: `∅* = ε* = ε`, `(m*)* = m*`.
+    pub fn star(a: Regex) -> Regex {
+        match a {
+            Regex::Empty | Regex::Eps => Regex::Eps,
+            s @ Regex::Star(_) => s,
+            m => Regex::Star(Box::new(m)),
+        }
+    }
+
+    /// Smart shuffle: `∅ # m = ∅`, `ε # m = m`.
+    pub fn shuffle(a: Regex, b: Regex) -> Regex {
+        match (a, b) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+            (Regex::Eps, m) | (m, Regex::Eps) => m,
+            (x, y) => Regex::Shuffle(Box::new(x), Box::new(y)),
+        }
+    }
+
+    /// Union of many operands.
+    pub fn alt_all(parts: impl IntoIterator<Item = Regex>) -> Regex {
+        parts
+            .into_iter()
+            .fold(Regex::Empty, |acc, r| Regex::alt(acc, r))
+    }
+
+    /// Concatenation of many operands.
+    pub fn cat_all(parts: impl IntoIterator<Item = Regex>) -> Regex {
+        parts
+            .into_iter()
+            .fold(Regex::Eps, |acc, r| Regex::cat(acc, r))
+    }
+
+    /// True when ε is in the model (the regex is *nullable*).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) => false,
+            Regex::Eps | Regex::Star(_) => true,
+            Regex::Alt(a, b) => a.nullable() || b.nullable(),
+            Regex::Cat(a, b) | Regex::Shuffle(a, b) => a.nullable() && b.nullable(),
+        }
+    }
+
+    /// True when the model is semantically ∅ (no trace at all).
+    pub fn is_void(&self) -> bool {
+        match self {
+            Regex::Empty => true,
+            Regex::Eps | Regex::Sym(_) | Regex::Star(_) => false,
+            Regex::Alt(a, b) => a.is_void() && b.is_void(),
+            Regex::Cat(a, b) | Regex::Shuffle(a, b) => a.is_void() || b.is_void(),
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Eps | Regex::Sym(_) => 1,
+            Regex::Alt(a, b) | Regex::Cat(a, b) | Regex::Shuffle(a, b) => 1 + a.size() + b.size(),
+            Regex::Star(a) => 1 + a.size(),
+        }
+    }
+
+    /// The distinct symbols mentioned, in first-occurrence order.
+    pub fn alphabet(&self) -> Alphabet {
+        let mut al = Alphabet::new();
+        self.collect_symbols(&mut al);
+        al
+    }
+
+    fn collect_symbols(&self, al: &mut Alphabet) {
+        match self {
+            Regex::Empty | Regex::Eps => {}
+            Regex::Sym(a) => {
+                al.insert(*a);
+            }
+            Regex::Alt(a, b) | Regex::Cat(a, b) | Regex::Shuffle(a, b) => {
+                a.collect_symbols(al);
+                b.collect_symbols(al);
+            }
+            Regex::Star(a) => a.collect_symbols(al),
+        }
+    }
+
+    /// Render using `table` to resolve accesses.
+    pub fn display<'a>(&'a self, table: &'a AccessTable) -> RegexDisplay<'a> {
+        RegexDisplay { re: self, table }
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Empty => write!(f, "∅"),
+            Regex::Eps => write!(f, "ε"),
+            Regex::Sym(a) => write!(f, "{a}"),
+            Regex::Alt(a, b) => write!(f, "({a} ∪ {b})"),
+            Regex::Cat(a, b) => write!(f, "({a} · {b})"),
+            Regex::Star(a) => write!(f, "({a})*"),
+            Regex::Shuffle(a, b) => write!(f, "({a} # {b})"),
+        }
+    }
+}
+
+/// Helper returned by [`Regex::display`] rendering accesses in full.
+pub struct RegexDisplay<'a> {
+    re: &'a Regex,
+    table: &'a AccessTable,
+}
+
+impl fmt::Display for RegexDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(re: &Regex, table: &AccessTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match re {
+                Regex::Empty => write!(f, "∅"),
+                Regex::Eps => write!(f, "ε"),
+                Regex::Sym(a) => write!(f, "[{}]", table.resolve(*a)),
+                Regex::Alt(a, b) => {
+                    write!(f, "(")?;
+                    go(a, table, f)?;
+                    write!(f, " ∪ ")?;
+                    go(b, table, f)?;
+                    write!(f, ")")
+                }
+                Regex::Cat(a, b) => {
+                    write!(f, "(")?;
+                    go(a, table, f)?;
+                    write!(f, " · ")?;
+                    go(b, table, f)?;
+                    write!(f, ")")
+                }
+                Regex::Star(a) => {
+                    write!(f, "(")?;
+                    go(a, table, f)?;
+                    write!(f, ")*")
+                }
+                Regex::Shuffle(a, b) => {
+                    write!(f, "(")?;
+                    go(a, table, f)?;
+                    write!(f, " # ")?;
+                    go(b, table, f)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        go(self.re, self.table, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(AccessId(i))
+    }
+
+    #[test]
+    fn smart_constructors_normalise() {
+        assert_eq!(Regex::alt(Regex::Empty, s(1)), s(1));
+        assert_eq!(Regex::alt(s(1), s(1)), s(1));
+        assert_eq!(Regex::cat(Regex::Eps, s(1)), s(1));
+        assert_eq!(Regex::cat(Regex::Empty, s(1)), Regex::Empty);
+        assert_eq!(Regex::star(Regex::Empty), Regex::Eps);
+        assert_eq!(Regex::star(Regex::star(s(1))), Regex::star(s(1)));
+        assert_eq!(Regex::shuffle(Regex::Eps, s(1)), s(1));
+        assert_eq!(Regex::shuffle(Regex::Empty, s(1)), Regex::Empty);
+    }
+
+    #[test]
+    fn nullable_cases() {
+        assert!(!s(1).nullable());
+        assert!(Regex::Eps.nullable());
+        assert!(Regex::star(s(1)).nullable());
+        assert!(Regex::alt(s(1), Regex::Eps).nullable());
+        assert!(!Regex::cat(s(1), Regex::star(s(2))).nullable());
+        assert!(Regex::Shuffle(Box::new(Regex::Eps), Box::new(Regex::Eps)).nullable());
+    }
+
+    #[test]
+    fn voidness() {
+        assert!(Regex::Empty.is_void());
+        assert!(!Regex::Eps.is_void());
+        assert!(Regex::Cat(Box::new(s(1)), Box::new(Regex::Empty)).is_void());
+        assert!(!Regex::alt(s(1), Regex::Empty).is_void());
+    }
+
+    #[test]
+    fn alphabet_collection() {
+        let re = Regex::cat(s(3), Regex::alt(s(1), Regex::star(s(3))));
+        let al = re.alphabet();
+        assert_eq!(al.len(), 2);
+        assert_eq!(al.index_of(AccessId(3)), Some(0));
+        assert_eq!(al.index_of(AccessId(1)), Some(1));
+    }
+
+    #[test]
+    fn size_counts() {
+        let re = Regex::cat_all([s(1), s(2), s(3)]);
+        // Two Cat nodes + three symbols.
+        assert_eq!(re.size(), 5);
+    }
+
+    #[test]
+    fn display_forms() {
+        let re = Regex::alt(s(1), Regex::star(s(2)));
+        assert_eq!(re.to_string(), "(#1 ∪ (#2)*)");
+    }
+}

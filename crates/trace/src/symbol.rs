@@ -1,0 +1,235 @@
+//! Interning of accesses into dense `u32` symbols.
+//!
+//! Automata over `(op, resource, server)` triples would chase pointers and
+//! hash strings on every transition. Instead, accesses are interned once
+//! into an [`AccessTable`], and all traces, regexes and automata operate on
+//! [`AccessId`]s — plain `u32`s that index dense transition tables.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use stacl_sral::Access;
+
+/// A dense identifier for an interned [`Access`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AccessId(pub u32);
+
+impl AccessId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AccessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A bidirectional interner between [`Access`]es and [`AccessId`]s.
+///
+/// The table only ever grows; ids are stable for the lifetime of the table,
+/// so they can be stored in long-lived traces, proofs and automata.
+#[derive(Clone, Default, Debug)]
+pub struct AccessTable {
+    by_access: HashMap<Access, AccessId>,
+    by_id: Vec<Access>,
+}
+
+impl AccessTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        AccessTable::default()
+    }
+
+    /// Intern `a`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, a: &Access) -> AccessId {
+        if let Some(&id) = self.by_access.get(a) {
+            return id;
+        }
+        let id = AccessId(
+            u32::try_from(self.by_id.len()).expect("more than u32::MAX distinct accesses"),
+        );
+        self.by_access.insert(a.clone(), id);
+        self.by_id.push(a.clone());
+        id
+    }
+
+    /// Intern an access given its three components.
+    pub fn intern_parts(
+        &mut self,
+        op: impl AsRef<str>,
+        resource: impl AsRef<str>,
+        server: impl AsRef<str>,
+    ) -> AccessId {
+        self.intern(&Access::new(op, resource, server))
+    }
+
+    /// Resolve an id back to its access. Panics on a foreign id.
+    pub fn resolve(&self, id: AccessId) -> &Access {
+        &self.by_id[id.index()]
+    }
+
+    /// The id of `a`, if it has been interned.
+    pub fn id_of(&self, a: &Access) -> Option<AccessId> {
+        self.by_access.get(a).copied()
+    }
+
+    /// Number of interned accesses.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterate `(id, access)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AccessId, &Access)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AccessId(i as u32), a))
+    }
+}
+
+/// A *local* dense alphabet: the subset of interned accesses a particular
+/// automaton ranges over, renumbered `0..len`.
+///
+/// Different programs/constraints mention different access subsets; using a
+/// local alphabet keeps transition tables small. Automata built over
+/// different alphabets are compared by first re-building them over the
+/// union alphabet (see [`Alphabet::union`]).
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct Alphabet {
+    ids: Vec<AccessId>,
+    index: HashMap<AccessId, u32>,
+}
+
+impl Alphabet {
+    /// An empty alphabet.
+    pub fn new() -> Self {
+        Alphabet::default()
+    }
+
+    /// Build from an iterator of ids, deduplicating while preserving first
+    /// occurrence order.
+    pub fn from_ids(ids: impl IntoIterator<Item = AccessId>) -> Self {
+        let mut al = Alphabet::new();
+        for id in ids {
+            al.insert(id);
+        }
+        al
+    }
+
+    /// Insert an id, returning its local index.
+    pub fn insert(&mut self, id: AccessId) -> u32 {
+        if let Some(&ix) = self.index.get(&id) {
+            return ix;
+        }
+        let ix = self.ids.len() as u32;
+        self.ids.push(id);
+        self.index.insert(id, ix);
+        ix
+    }
+
+    /// The local index of `id`, if present.
+    pub fn index_of(&self, id: AccessId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// The global id at local index `ix`.
+    pub fn id_at(&self, ix: u32) -> AccessId {
+        self.ids[ix as usize]
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the alphabet has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterate over the global ids in local-index order.
+    pub fn ids(&self) -> impl Iterator<Item = AccessId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// The union of two alphabets (left operand's order first).
+    pub fn union(&self, other: &Alphabet) -> Alphabet {
+        let mut out = self.clone();
+        for id in other.ids() {
+            out.insert(id);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = AccessTable::new();
+        let a = Access::new("read", "r1", "s1");
+        let id1 = t.intern(&a);
+        let id2 = t.intern(&a);
+        assert_eq!(id1, id2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_accesses_get_distinct_ids() {
+        let mut t = AccessTable::new();
+        let i1 = t.intern_parts("read", "r1", "s1");
+        let i2 = t.intern_parts("read", "r1", "s2");
+        let i3 = t.intern_parts("write", "r1", "s1");
+        assert_ne!(i1, i2);
+        assert_ne!(i1, i3);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut t = AccessTable::new();
+        let a = Access::new("exec", "app", "s3");
+        let id = t.intern(&a);
+        assert_eq!(t.resolve(id), &a);
+        assert_eq!(t.id_of(&a), Some(id));
+        assert_eq!(t.id_of(&Access::new("x", "y", "z")), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut t = AccessTable::new();
+        let i0 = t.intern_parts("a", "r", "s");
+        let i1 = t.intern_parts("b", "r", "s");
+        let pairs: Vec<_> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(pairs, vec![i0, i1]);
+    }
+
+    #[test]
+    fn alphabet_dedupes_and_orders() {
+        let al = Alphabet::from_ids([AccessId(5), AccessId(3), AccessId(5)]);
+        assert_eq!(al.len(), 2);
+        assert_eq!(al.index_of(AccessId(5)), Some(0));
+        assert_eq!(al.index_of(AccessId(3)), Some(1));
+        assert_eq!(al.id_at(1), AccessId(3));
+    }
+
+    #[test]
+    fn alphabet_union() {
+        let a = Alphabet::from_ids([AccessId(1), AccessId(2)]);
+        let b = Alphabet::from_ids([AccessId(2), AccessId(7)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.index_of(AccessId(7)), Some(2));
+    }
+}

@@ -1,0 +1,266 @@
+//! Regex → SRAL program synthesis: the constructive content of
+//! Theorem 3.1 (regular completeness).
+//!
+//! The theorem's induction is followed literally:
+//!
+//! * `{⟨a⟩}`   → the primitive access `a`;
+//! * `m1 ∪ m2` → `if c then P1 else P2` for an opaque condition `c`;
+//! * `m1 · m2` → `P1 ; P2`;
+//! * `m*`      → `while c do P`;
+//! * `m1 # m2` → `P1 || P2` (the parallel case of Definition 3.2).
+//!
+//! The conditions introduced for `if`/`while` are fresh opaque boolean
+//! variables: the trace model deliberately ignores which branch is taken,
+//! so any condition the synthesiser cannot statically resolve yields
+//! exactly the union/star semantics required.
+
+use stacl_sral::ast::name;
+use stacl_sral::{Cond, Program};
+
+use crate::regex::Regex;
+use crate::symbol::AccessTable;
+
+/// Errors from synthesis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SynthesisError {
+    /// The empty trace model ∅ has no SRAL program: every program performs
+    /// *some* trace (possibly ε), so `traces(P)` is never empty.
+    EmptyModel,
+    /// The regex mentions an access id not present in the table.
+    UnknownAccess(crate::symbol::AccessId),
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::EmptyModel => {
+                write!(f, "the empty trace model has no SRAL program")
+            }
+            SynthesisError::UnknownAccess(id) => {
+                write!(f, "access id {id} is not interned in the table")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Synthesize an SRAL program `P` with `traces(P)` equal to the model
+/// denoted by `re`. Fails only on (sub)models that are semantically ∅.
+pub fn synthesize(re: &Regex, table: &AccessTable) -> Result<Program, SynthesisError> {
+    if re.is_void() {
+        return Err(SynthesisError::EmptyModel);
+    }
+    let mut fresh = 0usize;
+    go(re, table, &mut fresh)
+}
+
+fn fresh_cond(fresh: &mut usize) -> Cond {
+    let c = Cond::Var(name(format!("c{}", *fresh)));
+    *fresh += 1;
+    c
+}
+
+fn go(re: &Regex, table: &AccessTable, fresh: &mut usize) -> Result<Program, SynthesisError> {
+    match re {
+        Regex::Empty => Err(SynthesisError::EmptyModel),
+        Regex::Eps => Ok(Program::Skip),
+        Regex::Sym(id) => {
+            if id.index() >= table.len() {
+                return Err(SynthesisError::UnknownAccess(*id));
+            }
+            Ok(Program::Access(table.resolve(*id).clone()))
+        }
+        Regex::Alt(a, b) => {
+            // ∅ ∪ m = m: drop void operands instead of failing.
+            match (a.is_void(), b.is_void()) {
+                (true, true) => Err(SynthesisError::EmptyModel),
+                (true, false) => go(b, table, fresh),
+                (false, true) => go(a, table, fresh),
+                (false, false) => {
+                    let cond = fresh_cond(fresh);
+                    let pa = go(a, table, fresh)?;
+                    let pb = go(b, table, fresh)?;
+                    Ok(Program::If {
+                        cond,
+                        then_branch: Box::new(pa),
+                        else_branch: Box::new(pb),
+                    })
+                }
+            }
+        }
+        Regex::Cat(a, b) => {
+            let pa = go(a, table, fresh)?;
+            let pb = go(b, table, fresh)?;
+            Ok(pa.then(pb))
+        }
+        Regex::Star(a) => {
+            if a.is_void() {
+                // ∅* = ε.
+                return Ok(Program::Skip);
+            }
+            let cond = fresh_cond(fresh);
+            let body = go(a, table, fresh)?;
+            Ok(Program::While {
+                cond,
+                body: Box::new(body),
+            })
+        }
+        Regex::Shuffle(a, b) => {
+            let pa = go(a, table, fresh)?;
+            let pb = go(b, table, fresh)?;
+            Ok(pa.par(pb))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::{traces, AbstractionConfig};
+    use crate::dfa::Dfa;
+    use crate::symbol::AccessId;
+    use stacl_sral::Access;
+
+    fn table_with(n: u32) -> AccessTable {
+        let mut t = AccessTable::new();
+        for i in 0..n {
+            t.intern(&Access::new(format!("op{i}"), "r", "s"));
+        }
+        t
+    }
+
+    fn sym(i: u32) -> Regex {
+        Regex::Sym(AccessId(i))
+    }
+
+    /// The Theorem 3.1 statement as an executable check.
+    fn roundtrip(re: &Regex, table: &AccessTable) {
+        let p = synthesize(re, table).unwrap();
+        let mut t2 = table.clone();
+        let re2 = traces(&p, &mut t2, AbstractionConfig::default());
+        assert!(
+            Dfa::equivalent_regexes(re, &re2),
+            "traces(synthesize({re})) = {re2} differs"
+        );
+    }
+
+    #[test]
+    fn singleton_base_case() {
+        let t = table_with(1);
+        roundtrip(&sym(0), &t);
+        let p = synthesize(&sym(0), &t).unwrap();
+        assert!(matches!(p, Program::Access(_)));
+    }
+
+    #[test]
+    fn union_becomes_if() {
+        let t = table_with(2);
+        let re = Regex::alt(sym(0), sym(1));
+        let p = synthesize(&re, &t).unwrap();
+        assert!(matches!(p, Program::If { .. }));
+        roundtrip(&re, &t);
+    }
+
+    #[test]
+    fn concat_becomes_seq() {
+        let t = table_with(2);
+        let re = Regex::cat(sym(0), sym(1));
+        roundtrip(&re, &t);
+    }
+
+    #[test]
+    fn star_becomes_while() {
+        let t = table_with(1);
+        let re = Regex::star(sym(0));
+        let p = synthesize(&re, &t).unwrap();
+        assert!(matches!(p, Program::While { .. }));
+        roundtrip(&re, &t);
+    }
+
+    #[test]
+    fn shuffle_becomes_par() {
+        let t = table_with(3);
+        let re = Regex::shuffle(Regex::cat(sym(0), sym(1)), sym(2));
+        let p = synthesize(&re, &t).unwrap();
+        assert!(matches!(p, Program::Par(_, _)));
+        roundtrip(&re, &t);
+    }
+
+    #[test]
+    fn nested_model_roundtrips() {
+        let t = table_with(4);
+        let re = Regex::cat(
+            Regex::star(Regex::alt(sym(0), Regex::cat(sym(1), sym(2)))),
+            Regex::shuffle(sym(3), Regex::star(sym(0))),
+        );
+        roundtrip(&re, &t);
+    }
+
+    #[test]
+    fn eps_becomes_skip() {
+        let t = table_with(0);
+        assert_eq!(synthesize(&Regex::Eps, &t).unwrap(), Program::Skip);
+    }
+
+    #[test]
+    fn empty_model_fails() {
+        let t = table_with(1);
+        assert_eq!(
+            synthesize(&Regex::Empty, &t),
+            Err(SynthesisError::EmptyModel)
+        );
+        // Semantically-void compounds fail too.
+        let void = Regex::Cat(Box::new(sym(0)), Box::new(Regex::Empty));
+        assert_eq!(synthesize(&void, &t), Err(SynthesisError::EmptyModel));
+    }
+
+    #[test]
+    fn void_alt_operand_is_dropped() {
+        let t = table_with(1);
+        let re = Regex::Alt(Box::new(sym(0)), Box::new(Regex::Empty));
+        let p = synthesize(&re, &t).unwrap();
+        assert!(matches!(p, Program::Access(_)));
+    }
+
+    #[test]
+    fn star_of_void_is_skip() {
+        let t = table_with(0);
+        let re = Regex::Star(Box::new(Regex::Empty));
+        assert_eq!(synthesize(&re, &t).unwrap(), Program::Skip);
+    }
+
+    #[test]
+    fn unknown_access_rejected() {
+        let t = table_with(1);
+        assert_eq!(
+            synthesize(&sym(9), &t),
+            Err(SynthesisError::UnknownAccess(AccessId(9)))
+        );
+    }
+
+    #[test]
+    fn fresh_conditions_are_distinct() {
+        let t = table_with(4);
+        let re = Regex::alt(Regex::alt(sym(0), sym(1)), Regex::alt(sym(2), sym(3)));
+        let p = synthesize(&re, &t).unwrap();
+        let mut conds = Vec::new();
+        fn collect(p: &Program, out: &mut Vec<String>) {
+            if let Program::If {
+                cond,
+                then_branch,
+                else_branch,
+            } = p
+            {
+                out.push(cond.to_string());
+                collect(then_branch, out);
+                collect(else_branch, out);
+            }
+        }
+        collect(&p, &mut conds);
+        assert_eq!(conds.len(), 3);
+        conds.sort();
+        conds.dedup();
+        assert_eq!(conds.len(), 3, "conditions must be fresh");
+    }
+}

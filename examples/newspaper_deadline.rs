@@ -1,0 +1,101 @@
+//! The paper's second motivating example (§1): *"the editing deadline for
+//! an issue of a daily newspaper is by 3am."*
+//!
+//! The `edit` permission carries a validity duration equal to the time
+//! remaining until 3am under the whole-lifetime base-time scheme: once
+//! the editor's permission activates (9pm here), the duration integral of
+//! Eq. 4.1 runs down and edits after the deadline are denied — on *any*
+//! coalition server the editor migrates to.
+//!
+//! The per-server scheme is shown for contrast: migrating to another desk
+//! refills the budget, which is exactly why the whole-lifetime scheme is
+//! the right one for a deadline.
+//!
+//! ```text
+//! cargo run --example newspaper_deadline
+//! ```
+
+use stacl::prelude::*;
+use stacl::rbac::policy::parse_policy;
+use stacl::sral::builder::{access, seq};
+
+/// Virtual seconds from activation (9pm) to the 3am deadline.
+const UNTIL_3AM: f64 = 6.0 * 3600.0;
+
+fn newsroom() -> CoalitionEnv {
+    let mut env = CoalitionEnv::new();
+    env.add_resource("desk-a", "issue", ["edit"]);
+    env.add_resource("desk-b", "issue", ["edit"]);
+    env
+}
+
+fn guard(scheme: &str) -> CoordinatedGuard {
+    let model = parse_policy(&format!(
+        r#"
+        user editor
+        role nightdesk
+        permission p-edit grants=edit:issue:* validity={UNTIL_3AM} scheme={scheme}
+        grant nightdesk p-edit
+        assign editor nightdesk
+        "#
+    ))
+    .expect("policy parses");
+    let mut g = CoordinatedGuard::new(ExtendedRbac::new(model));
+    g.enroll("editor", ["nightdesk"]);
+    g
+}
+
+/// Edit sessions: long stretches on desk-a, then a migration to desk-b
+/// *after* the deadline would have passed.
+fn night_of_edits() -> stacl::sral::Program {
+    seq([
+        access("edit", "issue", "desk-a"), // 9pm, granted
+        access("edit", "issue", "desk-a"), // still before 3am
+        access("edit", "issue", "desk-b"), // after 3am: the scheme decides
+    ])
+}
+
+fn run(scheme: &str) -> (usize, usize) {
+    // Make each granted access consume 3 hours of virtual time so that
+    // the third access falls past the 6-hour deadline.
+    let config = SystemConfig {
+        access_cost: 3.0 * 3600.0,
+        migration_cost: 600.0,
+        step_cost: 0.0,
+        max_steps: 10_000,
+    };
+    let mut sys = NapletSystem::new(newsroom(), Box::new(guard(scheme))).with_config(config);
+    sys.spawn(NapletSpec::new("editor", "desk-a", night_of_edits()).with_on_deny(OnDeny::Skip));
+    sys.run();
+    println!("scheme={scheme:<16} decisions:");
+    for d in sys.log().snapshot() {
+        println!(
+            "  t={:>7}s {:<22} {}",
+            d.time.seconds(),
+            d.access.to_string(),
+            if d.kind.is_granted() { "granted" } else { "DENIED" }
+        );
+    }
+    (sys.log().granted_count(), sys.log().denied_count())
+}
+
+fn main() {
+    println!("deadline: {UNTIL_3AM} virtual seconds of editing after 9pm activation\n");
+
+    // Whole-lifetime: the deadline follows the editor across desks.
+    let (granted, denied) = run("whole-lifetime");
+    assert_eq!(granted, 2, "two edits fit before 3am");
+    assert_eq!(denied, 1, "the post-deadline edit is denied even on desk-b");
+
+    println!();
+
+    // Per-server: migrating to desk-b refills the budget — no deadline.
+    let (granted, denied) = run("current-server");
+    assert_eq!(granted, 3, "per-server budgets refill on migration");
+    assert_eq!(denied, 0);
+
+    println!(
+        "\nthe whole-lifetime base-time scheme (t_b = arrival at the first \
+         server) is what expresses a coalition-wide deadline"
+    );
+}

@@ -1,0 +1,88 @@
+//! Quickstart: one mobile object, three coalition servers, a coordinated
+//! policy with both a spatial and a temporal constraint.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use stacl::prelude::*;
+use stacl::rbac::policy::parse_policy;
+use stacl::sral::parser::parse_program;
+
+fn main() {
+    // ── 1. The coalition topology: three servers sharing resources. ──
+    let mut env = CoalitionEnv::new();
+    for s in ["s1", "s2", "s3"] {
+        env.add_resource(s, "db", ["read", "write"]);
+        env.add_resource(s, "rsw", ["exec"]);
+    }
+
+    // ── 2. The policy (the Naplet prototype's policy-file analogue). ──
+    // The `worker` role may read/write the db anywhere and execute the
+    // restricted software at most 2 times coalition-wide; everything is
+    // valid for 100 virtual seconds of activation.
+    let model = parse_policy(
+        r#"
+        user  fieldbot
+        role  worker
+        permission p-db  grants=*:db:*  validity=100 scheme=whole-lifetime
+        permission p-rsw grants=exec:rsw:* spatial="count(0, 2, resource=rsw)"
+        grant worker p-db
+        grant worker p-rsw
+        assign fieldbot worker
+        "#,
+    )
+    .expect("policy parses");
+    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    guard.enroll("fieldbot", ["worker"]);
+
+    // ── 3. The mobile object's program, in SRAL concrete syntax. ──
+    let program = parse_program(
+        "read db @ s1 ; \
+         exec rsw @ s1 ; \
+         write db @ s2 ; \
+         exec rsw @ s2 ; \
+         read db @ s3",
+    )
+    .expect("program parses");
+
+    println!("SRAL program:\n  {program}\n");
+
+    // ── 4. Run the agent. Note: the program stays within the rsw cap
+    //       (2 execs), so every access is granted. ──
+    let mut sys = NapletSystem::new(env, Box::new(guard));
+    sys.spawn(NapletSpec::new("fieldbot", "s1", program));
+    let report = sys.run();
+
+    println!(
+        "run: finished={} aborted={} steps={} virtual end time={}",
+        report.finished, report.aborted, report.steps, report.end_time
+    );
+    println!("\naccess decisions:");
+    for d in sys.log().snapshot() {
+        println!(
+            "  [{}] {:<22} {:?}",
+            d.time.seconds(),
+            d.access.to_string(),
+            d.kind
+        );
+    }
+    println!("\nexecution proofs (Pr_x):");
+    for p in sys.proofs().snapshot() {
+        println!("  #{} {} at {}", p.seq, p.access, p.time);
+    }
+    println!(
+        "\nroute of fieldbot: {:?}",
+        sys.monitor()
+            .route_of("fieldbot")
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    assert_eq!(report.finished, 1, "the compliant program completes");
+    assert_eq!(sys.proofs().len(), 5);
+    println!("\nquickstart OK");
+}

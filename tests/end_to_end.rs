@@ -1,0 +1,355 @@
+//! Cross-crate integration tests: full pipeline runs through the public
+//! `stacl` facade — policy text → RBAC model → coordinated guard →
+//! Naplet system → proofs/logs, for each of the paper's headline
+//! scenarios.
+
+use stacl::integrity::{evaluate_audit, ModuleGraph};
+use stacl::prelude::*;
+use stacl::rbac::policy::parse_policy;
+use stacl::sral::builder::{access, seq};
+use stacl::sral::parser::parse_program;
+
+fn two_site_rsw() -> CoalitionEnv {
+    let mut env = CoalitionEnv::new();
+    env.add_resource("s1", "rsw", ["exec"]);
+    env.add_resource("s2", "rsw", ["exec"]);
+    env
+}
+
+fn licensee_guard(cap: usize, mode: EnforcementMode) -> CoordinatedGuard {
+    let model = parse_policy(&format!(
+        r#"
+        user device
+        role licensee
+        permission p grants=exec:rsw:* spatial="count(0, {cap}, resource=rsw)"
+        grant licensee p
+        assign device licensee
+        "#
+    ))
+    .unwrap();
+    let mut g = CoordinatedGuard::new(ExtendedRbac::new(model)).with_mode(mode);
+    g.enroll("device", ["licensee"]);
+    g
+}
+
+#[test]
+fn cross_site_cap_enforced_end_to_end() {
+    // 3 execs on s1 + 1 on s2 with cap 3: under reactive enforcement the
+    // s2 access — the one that crosses the coalition-wide cap — is denied.
+    let mut sys = NapletSystem::new(
+        two_site_rsw(),
+        Box::new(licensee_guard(3, EnforcementMode::Reactive)),
+    );
+    let prog = seq([
+        access("exec", "rsw", "s1"),
+        access("exec", "rsw", "s1"),
+        access("exec", "rsw", "s1"),
+        access("exec", "rsw", "s2"),
+    ]);
+    sys.spawn(NapletSpec::new("device", "s1", prog).with_on_deny(OnDeny::Skip));
+    let report = sys.run();
+    assert_eq!(report.finished, 1);
+    assert_eq!(sys.log().granted_count(), 3);
+    assert_eq!(sys.log().denied_count(), 1);
+    // The denial is spatial and names the constraint.
+    let denial = sys
+        .log()
+        .snapshot()
+        .into_iter()
+        .find(|d| !d.kind.is_granted())
+        .unwrap();
+    assert!(matches!(denial.kind, DecisionKind::DeniedSpatial { .. }));
+    assert_eq!(&*denial.access.server, "s2");
+}
+
+#[test]
+fn compliant_agent_is_untouched() {
+    let mut sys = NapletSystem::new(
+        two_site_rsw(),
+        Box::new(licensee_guard(3, EnforcementMode::Preventive)),
+    );
+    let prog = seq([access("exec", "rsw", "s1"), access("exec", "rsw", "s2")]);
+    sys.spawn(NapletSpec::new("device", "s1", prog));
+    let report = sys.run();
+    assert_eq!(report.finished, 1);
+    assert_eq!(sys.log().denied_count(), 0);
+    assert_eq!(sys.proofs().len(), 2);
+}
+
+#[test]
+fn declared_program_gates_even_before_overuse() {
+    // The agent *declares* a loop that could exceed the cap; the very
+    // first access is denied under ForAll semantics even though history
+    // is empty — the preventive power of checking the program.
+    let mut sys = NapletSystem::new(
+        two_site_rsw(),
+        Box::new(licensee_guard(3, EnforcementMode::Preventive)),
+    );
+    let prog = parse_program("while x > 0 do { exec rsw @ s1 }").unwrap();
+    let mut env0 = Env::new();
+    env0.set("x", Value::Int(1));
+    sys.spawn(NapletSpec::new("device", "s1", prog).with_env(env0));
+    let report = sys.run();
+    assert_eq!(report.aborted, 1);
+    assert_eq!(sys.proofs().len(), 0, "no access was ever granted");
+}
+
+#[test]
+fn temporal_deadline_travels_across_servers() {
+    let model = parse_policy(
+        r#"
+        user editor
+        role nightdesk
+        permission p-edit grants=edit:issue:* validity=10 scheme=whole-lifetime
+        grant nightdesk p-edit
+        assign editor nightdesk
+        "#,
+    )
+    .unwrap();
+    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    guard.enroll("editor", ["nightdesk"]);
+    let mut env = CoalitionEnv::new();
+    env.add_resource("a", "issue", ["edit"]);
+    env.add_resource("b", "issue", ["edit"]);
+    // access_cost 6: two edits cover 12 > 10 seconds of validity.
+    let config = SystemConfig {
+        access_cost: 6.0,
+        migration_cost: 1.0,
+        step_cost: 0.0,
+        max_steps: 1000,
+    };
+    let mut sys = NapletSystem::new(env, Box::new(guard)).with_config(config);
+    let prog = seq([
+        access("edit", "issue", "a"),
+        access("edit", "issue", "a"),
+        access("edit", "issue", "b"),
+    ]);
+    sys.spawn(NapletSpec::new("editor", "a", prog).with_on_deny(OnDeny::Skip));
+    sys.run();
+    assert_eq!(sys.log().granted_count(), 2);
+    assert_eq!(sys.log().denied_count(), 1);
+    let denial = sys
+        .log()
+        .snapshot()
+        .into_iter()
+        .find(|d| !d.kind.is_granted())
+        .unwrap();
+    assert!(matches!(denial.kind, DecisionKind::DeniedTemporal { .. }));
+}
+
+#[test]
+fn section6_audit_full_pipeline() {
+    // Generated 48-module graph over 6 servers; clean audit verifies all.
+    let g = ModuleGraph::generate_layered(48, 6, 4, 3, 7);
+    let manifest = g.manifest();
+    let mut env = CoalitionEnv::new();
+    for m in g.modules() {
+        env.add_resource(&m.server, &m.name, ["verify"]);
+    }
+    let mut model = RbacModel::new();
+    model.add_user("auditor");
+    model.add_role("aud");
+    model
+        .add_permission(
+            Permission::new("p", AccessPattern::parse("verify:*:*").unwrap())
+                .with_spatial(g.dependency_constraint()),
+        )
+        .unwrap();
+    model.assign_permission("aud", "p").unwrap();
+    model.assign_user("auditor", "aud").unwrap();
+    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    guard.enroll("auditor", ["aud"]);
+
+    let mut sys = NapletSystem::new(env, Box::new(guard));
+    sys.spawn(NapletSpec::new("auditor", "s0", g.audit_program_sequential()));
+    let report = sys.run();
+    assert_eq!(report.finished, 1, "{:?}", report.statuses);
+    let audit = evaluate_audit("auditor", sys.proofs(), &g, &manifest);
+    assert!(audit.all_verified());
+    assert_eq!(audit.verified.len(), 48);
+}
+
+#[test]
+fn tampered_module_taints_dependents_via_proofs() {
+    let mut g = ModuleGraph::generate_layered(24, 4, 3, 2, 99);
+    let manifest = g.manifest();
+    // Tamper a layer-0 module (one with dependents, if any).
+    let victim = g.modules().next().unwrap().name.clone();
+    g.tamper(&victim);
+    let mut env = CoalitionEnv::new();
+    for m in g.modules() {
+        env.add_resource(&m.server, &m.name, ["verify"]);
+    }
+    let mut sys = NapletSystem::new(env, Box::new(PermissiveGuard));
+    sys.spawn(NapletSpec::new("auditor", "s0", g.audit_program_sequential()));
+    sys.run();
+    let audit = evaluate_audit("auditor", sys.proofs(), &g, &manifest);
+    assert!(audit.corrupted.contains(&victim));
+    // Every transitive dependent of the victim must be non-verified.
+    for m in g.modules() {
+        if m.deps.contains(&victim) {
+            assert!(
+                audit.tainted.contains(&m.name) || audit.corrupted.contains(&m.name),
+                "direct dependent {} must be tainted",
+                m.name
+            );
+        }
+    }
+}
+
+#[test]
+fn teamwork_pattern_with_coordinated_guard() {
+    // Parallel clones under the coordinated guard: the cap counts the
+    // *combined* accesses of all strands of the object.
+    let mut env = CoalitionEnv::new();
+    for i in 0..4 {
+        env.add_resource(format!("s{i}"), "dataset", ["scan"]);
+    }
+    let model = parse_policy(
+        r#"
+        user team
+        role scanner
+        permission p grants=scan:dataset:* spatial="count(0, 4, op=scan)"
+        grant scanner p
+        assign team scanner
+        "#,
+    )
+    .unwrap();
+    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    guard.enroll("team", ["scanner"]);
+    let pattern = stacl::naplet::pattern::appl_agent_prog(
+        "scan",
+        "dataset",
+        (0..4).map(|i| format!("s{i}")),
+        2,
+        None,
+    );
+    let mut sys = NapletSystem::new(env, Box::new(guard));
+    sys.spawn(NapletSpec::new("team", "s0", pattern.to_program()));
+    let report = sys.run();
+    assert_eq!(report.finished, 1);
+    assert_eq!(sys.proofs().len(), 4);
+}
+
+#[test]
+fn team_scope_shares_cap_between_agents() {
+    // Two devices under one team-scoped licence pool of 3: the pool is
+    // consumed jointly, so the fourth access — by WHICHEVER device — is
+    // denied (§1's "companions").
+    let model = parse_policy(
+        r#"
+        user dev-a
+        user dev-b
+        role licensee
+        permission p grants=exec:rsw:* scope=team spatial="count(0, 3, resource=rsw)"
+        grant licensee p
+        assign dev-a licensee
+        assign dev-b licensee
+        "#,
+    )
+    .unwrap();
+    let mut guard =
+        CoordinatedGuard::new(ExtendedRbac::new(model)).with_mode(EnforcementMode::Reactive);
+    guard.enroll("dev-a", ["licensee"]);
+    guard.enroll("dev-b", ["licensee"]);
+    let mut sys = NapletSystem::new(two_site_rsw(), Box::new(guard));
+    // Round-robin scheduling interleaves the two agents' accesses.
+    sys.spawn(
+        NapletSpec::new("dev-a", "s1", seq([access("exec", "rsw", "s1"), access("exec", "rsw", "s1")]))
+            .with_on_deny(OnDeny::Skip),
+    );
+    sys.spawn(
+        NapletSpec::new("dev-b", "s2", seq([access("exec", "rsw", "s2"), access("exec", "rsw", "s2")]))
+            .with_on_deny(OnDeny::Skip),
+    );
+    sys.run();
+    assert_eq!(sys.log().granted_count(), 3, "the pool holds 3 in total");
+    assert_eq!(sys.log().denied_count(), 1);
+    // Per-object each device used ≤ 2 — only the TEAM view denies.
+    let a_granted = sys
+        .log()
+        .for_object("dev-a")
+        .iter()
+        .filter(|d| d.kind.is_granted())
+        .count();
+    let b_granted = sys
+        .log()
+        .for_object("dev-b")
+        .iter()
+        .filter(|d| d.kind.is_granted())
+        .count();
+    assert!(a_granted <= 2 && b_granted <= 2);
+    assert_eq!(a_granted + b_granted, 3);
+}
+
+#[test]
+fn validity_class_pools_deadline_across_permission_kinds() {
+    // Editing and reviewing share the "night-work" class budget: using
+    // one drains the other (the paper's future-work aggregation).
+    let model = parse_policy(
+        r#"
+        user editor
+        role nightdesk
+        permission p-edit   grants=edit:issue:*   class=night-work
+        permission p-review grants=review:issue:* class=night-work
+        grant nightdesk p-edit
+        grant nightdesk p-review
+        assign editor nightdesk
+        "#,
+    )
+    .unwrap();
+    let mut rbac = ExtendedRbac::new(model);
+    rbac.define_validity_class("night-work", 10.0, BaseTimeScheme::WholeLifetime);
+    let mut guard = CoordinatedGuard::new(rbac);
+    guard.enroll("editor", ["nightdesk"]);
+    let mut env = CoalitionEnv::new();
+    env.add_resource("desk", "issue", ["edit", "review"]);
+    let config = SystemConfig {
+        access_cost: 6.0,
+        migration_cost: 0.0,
+        step_cost: 0.0,
+        max_steps: 100,
+    };
+    let mut sys = NapletSystem::new(env, Box::new(guard)).with_config(config);
+    // Edit (6s) then review at t=6 (ok, 4s of class budget left at its
+    // start) then edit again at t=12 — the shared 10s budget is gone.
+    let prog = seq([
+        access("edit", "issue", "desk"),
+        access("review", "issue", "desk"),
+        access("edit", "issue", "desk"),
+    ]);
+    sys.spawn(NapletSpec::new("editor", "desk", prog).with_on_deny(OnDeny::Skip));
+    sys.run();
+    assert_eq!(sys.log().granted_count(), 2);
+    assert_eq!(sys.log().denied_count(), 1);
+    let denial = sys
+        .log()
+        .snapshot()
+        .into_iter()
+        .find(|d| !d.kind.is_granted())
+        .unwrap();
+    assert!(
+        matches!(&denial.kind, DecisionKind::DeniedTemporal { reason } if reason.contains("night-work")),
+        "{denial:?}"
+    );
+    assert_eq!(&*denial.access.op, "edit", "the second edit hits the pooled budget");
+}
+
+#[test]
+fn audit_log_and_monitor_are_consistent() {
+    let mut sys = NapletSystem::new(
+        two_site_rsw(),
+        Box::new(licensee_guard(10, EnforcementMode::Preventive)),
+    );
+    let prog = seq([access("exec", "rsw", "s1"), access("exec", "rsw", "s2")]);
+    sys.spawn(NapletSpec::new("device", "s1", prog));
+    sys.run();
+    // Every granted decision has a matching proof.
+    assert_eq!(sys.log().granted_count(), sys.proofs().len());
+    // One migration (s1 → s2).
+    assert_eq!(sys.monitor().migrations_of("device"), 1);
+    // History trace mirrors proof order.
+    let mut table = AccessTable::new();
+    let h = sys.proofs().history_of("device", &mut table);
+    assert_eq!(h.len(), 2);
+}

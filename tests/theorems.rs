@@ -1,0 +1,290 @@
+//! Property-based validation of the paper's formal results:
+//!
+//! * **Theorem 3.1** (regular completeness): for every regular trace
+//!   model `m` there is an SRAL program `P` with `traces(P) = m` — tested
+//!   as a round trip `regex → program → traces → regex` with DFA
+//!   language-equality.
+//! * **Definition 3.2 / trace-model algebra**: the symbolic automata
+//!   agree with the explicit finite-set oracle on loop-free programs.
+//! * **Theorem 3.2**: the symbolic `P ⊨ C` checker agrees with explicit
+//!   enumeration of traces + Definition 3.6 evaluation, wherever
+//!   enumeration is feasible.
+//! * **Theorem 4.1 / Eq. 4.1**: derived validity functions never exceed
+//!   their duration budget in any epoch, and `valid ⇒ active`.
+
+use proptest::prelude::*;
+
+use stacl::prelude::*;
+use stacl::sral::builder as b;
+use stacl::sral::expr::{CmpOp, Cond};
+use stacl::sral::Program;
+use stacl::srac::check::{check_program, Semantics};
+use stacl::srac::trace_sat::{trace_satisfies, ProofOracle};
+use stacl::srac::Constraint;
+use stacl::temporal::PermissionTimeline;
+use stacl::trace::abstraction::{traces, AbstractionConfig};
+use stacl::trace::enumerate::enumerate_traces;
+use stacl::trace::synthesis::synthesize;
+use stacl::trace::Regex;
+
+// ── Generators ──────────────────────────────────────────────────────
+
+/// A regex over `n_syms` interned accesses.
+fn arb_regex(n_syms: u32, depth: u32) -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        (0..n_syms).prop_map(|i| Regex::Sym(stacl::trace::AccessId(i))),
+        Just(Regex::Eps),
+    ];
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Regex::alt(a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Regex::cat(a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Regex::shuffle(a, b)),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+/// A loop-free SRAL program over a small access vocabulary.
+fn arb_loop_free_program(n_syms: u32, depth: u32) -> impl Strategy<Value = Program> {
+    let leaf = prop_oneof![
+        (0..n_syms).prop_map(|i| b::access(format!("op{i}"), "r", format!("s{}", i % 3))),
+        Just(Program::Skip),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Program::If {
+                cond: Cond::cmp(CmpOp::Gt, stacl::sral::Expr::var("x"), 0.into()),
+                then_branch: Box::new(a),
+                else_branch: Box::new(b),
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.par(b)),
+        ]
+    })
+}
+
+/// A program that may loop (stars included via `while`).
+fn arb_program(n_syms: u32, depth: u32) -> impl Strategy<Value = Program> {
+    arb_loop_free_program(n_syms, depth).prop_flat_map(|p| {
+        prop_oneof![
+            Just(p.clone()),
+            Just(Program::While {
+                cond: Cond::cmp(CmpOp::Gt, stacl::sral::Expr::var("x"), 0.into()),
+                body: Box::new(p),
+            }),
+        ]
+    })
+}
+
+/// A small constraint over the same vocabulary.
+fn arb_constraint(n_syms: u32) -> impl Strategy<Value = Constraint> {
+    let acc = |i: u32| Access::new(format!("op{i}"), "r", format!("s{}", i % 3));
+    let atom = (0..n_syms).prop_map(move |i| Constraint::Atom(acc(i)));
+    let ordered =
+        (0..n_syms, 0..n_syms).prop_map(move |(i, j)| Constraint::Ordered(acc(i), acc(j)));
+    let card = (0usize..3, 0..n_syms).prop_map(move |(n, i)| {
+        Constraint::at_most(
+            n,
+            stacl::srac::Selector::any().with_ops([format!("op{i}")]),
+        )
+    });
+    let leaf = prop_oneof![atom, ordered, card, Just(Constraint::True)];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Constraint::not),
+        ]
+    })
+}
+
+/// Intern op0..opN so regex symbols resolve.
+fn vocab_table(n_syms: u32) -> AccessTable {
+    let mut t = AccessTable::new();
+    for i in 0..n_syms {
+        t.intern(&Access::new(
+            format!("op{i}"),
+            "r",
+            format!("s{}", i % 3),
+        ));
+    }
+    t
+}
+
+// ── Theorem 3.1 ─────────────────────────────────────────────────────
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// regex → synthesize → traces must be language-equal to the regex.
+    #[test]
+    fn theorem_3_1_regular_completeness(re in arb_regex(4, 4)) {
+        let table = vocab_table(4);
+        match synthesize(&re, &table) {
+            Err(_) => prop_assert!(re.is_void(), "synthesis only fails on ∅"),
+            Ok(p) => {
+                let mut t2 = table.clone();
+                let re2 = traces(&p, &mut t2, AbstractionConfig::default());
+                prop_assert!(
+                    Dfa::equivalent_regexes(&re, &re2),
+                    "traces(synthesize({re})) = {re2}"
+                );
+            }
+        }
+    }
+
+    /// For loop-free programs the symbolic DFA accepts exactly the finite
+    /// oracle set built per Definition 3.2.
+    #[test]
+    fn definition_3_2_oracle_agreement(p in arb_loop_free_program(3, 3)) {
+        let mut table = AccessTable::new();
+        let re = traces(&p, &mut table, AbstractionConfig::default());
+        let d = Dfa::from_regex(&re);
+        let oracle = finite_traces(&p, &mut table);
+        // Every oracle trace accepted; counts match an enumeration capped
+        // well above the oracle size.
+        for t in oracle.iter() {
+            prop_assert!(d.accepts(t), "oracle trace {t} rejected");
+        }
+        let max_len = oracle.max_len();
+        let listed = enumerate_traces(&d, max_len, 50_000);
+        prop_assert_eq!(listed.len(), oracle.len());
+    }
+
+    /// Theorem 3.2: symbolic ForAll/Exists checking agrees with explicit
+    /// enumeration + Definition 3.6 on loop-free programs.
+    #[test]
+    fn theorem_3_2_checker_vs_enumeration(
+        p in arb_loop_free_program(3, 3),
+        c in arb_constraint(3),
+    ) {
+        let mut table = AccessTable::new();
+        let re = traces(&p, &mut table, AbstractionConfig::default());
+        let d = Dfa::from_regex(&re);
+        // Make sure constraint atoms are interned before enumeration.
+        for a in c.mentioned_accesses() {
+            table.intern(a);
+        }
+        let all = enumerate_traces(&d, 16, 100_000);
+        prop_assume!(!all.is_empty());
+        let oracle = ProofOracle::assume_all();
+        let forall_direct = all.iter().all(|t| trace_satisfies(t, &c, &table, &oracle));
+        let exists_direct = all.iter().any(|t| trace_satisfies(t, &c, &table, &oracle));
+        let forall_sym = check_program(&p, &c, &mut table, Semantics::ForAll).holds;
+        let exists_sym = check_program(&p, &c, &mut table, Semantics::Exists).holds;
+        prop_assert_eq!(forall_sym, forall_direct, "ForAll mismatch for {} vs {}", p, c);
+        prop_assert_eq!(exists_sym, exists_direct, "Exists mismatch for {} vs {}", p, c);
+    }
+
+    /// ForAll failure witnesses are real counterexamples: feasible traces
+    /// of the program that violate the constraint.
+    #[test]
+    fn theorem_3_2_witnesses_are_sound(
+        p in arb_program(3, 3),
+        c in arb_constraint(3),
+    ) {
+        let mut table = AccessTable::new();
+        let v = check_program(&p, &c, &mut table, Semantics::ForAll);
+        if let (false, Some(w)) = (v.holds, v.witness.clone()) {
+            // The witness is a trace of P…
+            prop_assert!(
+                stacl::srac::check::trace_feasible(&w, &p, &mut table),
+                "witness {w} is not a trace of the program"
+            );
+            // …that violates C.
+            let oracle = ProofOracle::assume_all();
+            prop_assert!(
+                !trace_satisfies(&w, &c, &table, &oracle),
+                "witness {w} satisfies the constraint"
+            );
+        }
+    }
+
+    /// Eq. 4.1 invariants: valid ⇒ active, and the per-epoch integral of
+    /// the valid function never exceeds the duration.
+    #[test]
+    fn theorem_4_1_validity_invariants(
+        dur in 0.0f64..20.0,
+        script in prop::collection::vec((0.1f64..5.0, prop::bool::ANY, prop::bool::ANY), 1..12),
+        per_server in prop::bool::ANY,
+    ) {
+        let scheme = if per_server {
+            BaseTimeScheme::CurrentServer
+        } else {
+            BaseTimeScheme::WholeLifetime
+        };
+        let mut tl = PermissionTimeline::new(dur, scheme);
+        let mut t = 0.0f64;
+        let mut arrivals = vec![0.0f64];
+        tl.arrive_at_server(TimePoint::new(0.0));
+        let mut active = false;
+        for (dt, toggle, migrate) in script {
+            t += dt;
+            if migrate {
+                tl.arrive_at_server(TimePoint::new(t));
+                arrivals.push(t);
+            }
+            if toggle {
+                if active {
+                    tl.deactivate(TimePoint::new(t));
+                } else {
+                    tl.activate(TimePoint::new(t));
+                }
+                active = !active;
+            }
+        }
+        let horizon = TimePoint::new(t + dur + 10.0);
+        let valid = tl.valid_fn();
+        let act = tl.active_fn();
+        // valid ⇒ active.
+        let leak = valid.and(&act.not());
+        prop_assert!(leak.integral(TimePoint::new(0.0), horizon).seconds() < 1e-9);
+        // Per-epoch budget bound.
+        let mut epoch_bounds = match scheme {
+            BaseTimeScheme::WholeLifetime => vec![0.0],
+            BaseTimeScheme::CurrentServer => arrivals.clone(),
+        };
+        epoch_bounds.push(horizon.seconds());
+        for w in epoch_bounds.windows(2) {
+            let used = valid
+                .integral(TimePoint::new(w[0]), TimePoint::new(w[1]))
+                .seconds();
+            prop_assert!(
+                used <= dur + 1e-6,
+                "epoch [{}, {}] used {used} > dur {dur}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+/// The explicit finite trace model of a loop-free program (Definition 3.2
+/// computed set-theoretically) — the oracle for the symbolic pipeline.
+fn finite_traces(
+    p: &Program,
+    table: &mut AccessTable,
+) -> stacl::trace::model::TraceModel {
+    use stacl::trace::model::TraceModel;
+    match p {
+        Program::Skip
+        | Program::Assign { .. }
+        | Program::Recv { .. }
+        | Program::Send { .. }
+        | Program::Signal(_)
+        | Program::Wait(_) => TraceModel::epsilon(),
+        Program::Access(a) => TraceModel::single(table.intern(a)),
+        Program::Seq(a, b) => finite_traces(a, table).concat(&finite_traces(b, table)),
+        Program::If {
+            then_branch,
+            else_branch,
+            ..
+        } => finite_traces(then_branch, table).union(&finite_traces(else_branch, table)),
+        Program::Par(a, b) => finite_traces(a, table).interleave(&finite_traces(b, table)),
+        Program::While { .. } => panic!("finite oracle requires loop-free programs"),
+    }
+}
