@@ -10,7 +10,7 @@
 //! only proofs issued **by the server being asked**, so coalition-wide
 //! overuse slips through (experiment E6's "who wins" contrast).
 
-use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_coalition::{DecisionKind, ProofStore, Verdict};
 use stacl_naplet::guard::{GuardRequest, SecurityGuard};
 use stacl_srac::Selector;
 use stacl_trace::AccessTable;
@@ -50,7 +50,7 @@ impl SecurityGuard for LocalHistoryGuard {
         req: &GuardRequest<'_>,
         proofs: &ProofStore,
         _table: &mut AccessTable,
-    ) -> DecisionKind {
+    ) -> Verdict {
         for cap in &self.caps {
             if !cap.selector.matches(req.access) {
                 continue;
@@ -62,15 +62,16 @@ impl SecurityGuard for LocalHistoryGuard {
                     && cap.selector.matches(&p.access)
             });
             if local_count >= cap.max {
-                return DecisionKind::DeniedSpatial {
-                    constraint: format!(
+                return Verdict::denied(
+                    DecisionKind::DeniedSpatial,
+                    format!(
                         "local cap: at most {} of [{}] at {}",
                         cap.max, cap.selector, req.access.server
                     ),
-                };
+                );
             }
         }
-        DecisionKind::Granted
+        Verdict::granted()
     }
 }
 
@@ -103,10 +104,10 @@ mod tests {
         proofs.issue("o", a1.clone(), tp(0.0));
         assert!(g.check(&req1, &proofs, &mut table).is_granted());
         proofs.issue("o", a1.clone(), tp(1.0));
-        assert!(matches!(
-            g.check(&req1, &proofs, &mut table),
-            DecisionKind::DeniedSpatial { .. }
-        ));
+        assert_eq!(
+            g.check(&req1, &proofs, &mut table).kind,
+            DecisionKind::DeniedSpatial
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_coalition::{DecisionKind, ProofStore, Verdict};
 use stacl_naplet::guard::{GuardRequest, SecurityGuard};
 use stacl_rbac::RbacModel;
 use stacl_trace::AccessTable;
@@ -49,9 +49,9 @@ impl SecurityGuard for PlainRbacGuard {
         req: &GuardRequest<'_>,
         _proofs: &ProofStore,
         _table: &mut AccessTable,
-    ) -> DecisionKind {
+    ) -> Verdict {
         let Some(roles) = self.enrollments.get(req.object) else {
-            return DecisionKind::DeniedNoPermission;
+            return DecisionKind::DeniedNoPermission.into();
         };
         for role in roles {
             if !self.model.authorized_for_role(req.object, role) {
@@ -60,12 +60,12 @@ impl SecurityGuard for PlainRbacGuard {
             for perm_name in self.model.permissions_of_role(role) {
                 if let Some(perm) = self.model.permission(&perm_name) {
                     if perm.grants.covers(req.access) {
-                        return DecisionKind::Granted;
+                        return Verdict::granted();
                     }
                 }
             }
         }
-        DecisionKind::DeniedNoPermission
+        DecisionKind::DeniedNoPermission.into()
     }
 }
 
@@ -73,9 +73,9 @@ impl SecurityGuard for PlainRbacGuard {
 mod tests {
     use super::*;
     use stacl_rbac::{AccessPattern, Permission};
+    use stacl_srac::Constraint;
     use stacl_sral::builder::access;
     use stacl_sral::Access;
-    use stacl_srac::Constraint;
     use stacl_temporal::TimePoint;
 
     fn model() -> RbacModel {
@@ -85,11 +85,9 @@ mod tests {
         // Note: the permission carries a spatial constraint — plain RBAC
         // ignores it, which is exactly the baseline's weakness.
         m.add_permission(
-            Permission::new("p", AccessPattern::parse("exec:rsw:*").unwrap())
-                .with_spatial(Constraint::at_most(
-                    5,
-                    stacl_srac::Selector::any().with_resources(["rsw"]),
-                )),
+            Permission::new("p", AccessPattern::parse("exec:rsw:*").unwrap()).with_spatial(
+                Constraint::at_most(5, stacl_srac::Selector::any().with_resources(["rsw"])),
+            ),
         )
         .unwrap();
         m.assign_permission("worker", "p").unwrap();
@@ -106,7 +104,11 @@ mod tests {
         let a = Access::new("exec", "rsw", "s2");
         // Pile on history that the coordinated model would reject…
         for i in 0..100 {
-            proofs.issue("n1", Access::new("exec", "rsw", "s1"), TimePoint::new(i as f64));
+            proofs.issue(
+                "n1",
+                Access::new("exec", "rsw", "s1"),
+                TimePoint::new(i as f64),
+            );
         }
         let p = access("exec", "rsw", "s2");
         let req = GuardRequest {
@@ -134,7 +136,7 @@ mod tests {
             time: TimePoint::ZERO,
         };
         assert_eq!(
-            g.check(&req, &proofs, &mut table),
+            g.check(&req, &proofs, &mut table).kind,
             DecisionKind::DeniedNoPermission
         );
         let req2 = GuardRequest {
@@ -144,7 +146,7 @@ mod tests {
             time: TimePoint::ZERO,
         };
         assert_eq!(
-            g.check(&req2, &proofs, &mut table),
+            g.check(&req2, &proofs, &mut table).kind,
             DecisionKind::DeniedNoPermission
         );
     }

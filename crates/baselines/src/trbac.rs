@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_coalition::{DecisionKind, ProofStore, Verdict};
 use stacl_naplet::guard::{GuardRequest, SecurityGuard};
 use stacl_rbac::RbacModel;
 use stacl_temporal::TimePoint;
@@ -98,7 +98,7 @@ impl TrbacGuard {
     }
 
     fn role_enabled(&self, role: &str, t: TimePoint) -> bool {
-        self.schedules.get(role).map_or(true, |s| s.enabled_at(t))
+        self.schedules.get(role).is_none_or(|s| s.enabled_at(t))
     }
 }
 
@@ -108,38 +108,35 @@ impl SecurityGuard for TrbacGuard {
         req: &GuardRequest<'_>,
         _proofs: &ProofStore,
         _table: &mut AccessTable,
-    ) -> DecisionKind {
+    ) -> Verdict {
         let Some(roles) = self.enrollments.get(req.object) else {
-            return DecisionKind::DeniedNoPermission;
+            return DecisionKind::DeniedNoPermission.into();
         };
         let mut had_candidate = false;
         for role in roles {
             if !self.model.authorized_for_role(req.object, role) {
                 continue;
             }
-            let covering = self
-                .model
-                .permissions_of_role(role)
-                .into_iter()
-                .any(|p| {
-                    self.model
-                        .permission(&p)
-                        .is_some_and(|perm| perm.grants.covers(req.access))
-                });
+            let covering = self.model.permissions_of_role(role).into_iter().any(|p| {
+                self.model
+                    .permission(&p)
+                    .is_some_and(|perm| perm.grants.covers(req.access))
+            });
             if !covering {
                 continue;
             }
             had_candidate = true;
             if self.role_enabled(role, req.time) {
-                return DecisionKind::Granted;
+                return Verdict::granted();
             }
         }
         if had_candidate {
-            DecisionKind::DeniedTemporal {
-                reason: "role disabled outside its periodic enabling window".into(),
-            }
+            Verdict::denied(
+                DecisionKind::DeniedTemporal,
+                "role disabled outside its periodic enabling window",
+            )
         } else {
-            DecisionKind::DeniedNoPermission
+            DecisionKind::DeniedNoPermission.into()
         }
     }
 }
@@ -155,18 +152,17 @@ mod tests {
         let mut m = RbacModel::new();
         m.add_user("n1");
         m.add_role("editor");
-        m.add_permission(Permission::new("p-edit", AccessPattern::parse("edit:issue:*").unwrap()))
-            .unwrap();
+        m.add_permission(Permission::new(
+            "p-edit",
+            AccessPattern::parse("edit:issue:*").unwrap(),
+        ))
+        .unwrap();
         m.assign_permission("editor", "p-edit").unwrap();
         m.assign_user("n1", "editor").unwrap();
         m
     }
 
-    fn req_at<'a>(
-        a: &'a Access,
-        p: &'a stacl_sral::Program,
-        t: f64,
-    ) -> GuardRequest<'a> {
+    fn req_at<'a>(a: &'a Access, p: &'a stacl_sral::Program, t: f64) -> GuardRequest<'a> {
         GuardRequest {
             object: "n1",
             access: a,
@@ -195,14 +191,18 @@ mod tests {
         let mut table = AccessTable::new();
         let a = Access::new("edit", "issue", "s1");
         let p = access("edit", "issue", "s1");
-        assert!(g.check(&req_at(&a, &p, 10.0), &proofs, &mut table).is_granted());
-        assert!(matches!(
-            g.check(&req_at(&a, &p, 60.0), &proofs, &mut table),
-            DecisionKind::DeniedTemporal { .. }
-        ));
+        assert!(g
+            .check(&req_at(&a, &p, 10.0), &proofs, &mut table)
+            .is_granted());
+        assert_eq!(
+            g.check(&req_at(&a, &p, 60.0), &proofs, &mut table).kind,
+            DecisionKind::DeniedTemporal
+        );
         // Periodicity: next period's window grants again — unlike the
         // paper's duration model, where an exhausted budget stays exhausted.
-        assert!(g.check(&req_at(&a, &p, 110.0), &proofs, &mut table).is_granted());
+        assert!(g
+            .check(&req_at(&a, &p, 110.0), &proofs, &mut table)
+            .is_granted());
     }
 
     #[test]
@@ -228,7 +228,7 @@ mod tests {
         let a = Access::new("rm", "issue", "s1");
         let p = access("rm", "issue", "s1");
         assert_eq!(
-            g.check(&req_at(&a, &p, 60.0), &proofs, &mut table),
+            g.check(&req_at(&a, &p, 60.0), &proofs, &mut table).kind,
             DecisionKind::DeniedNoPermission
         );
     }

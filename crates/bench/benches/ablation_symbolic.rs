@@ -7,7 +7,8 @@
 //! polynomial. Enumeration sizes are capped to keep the bench finite;
 //! the `experiments` binary reports the crossover.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stacl_bench::criterion::{BenchmarkId, Criterion};
+use stacl_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -29,14 +30,9 @@ fn par_chains(k: usize) -> Program {
 
 fn the_constraint() -> Constraint {
     // First left-chain access before last right-chain access.
-    Constraint::ordered(
-        Access::new("a", "r0", "s1"),
-        Access::new("b", "r0", "s2"),
+    Constraint::ordered(Access::new("a", "r0", "s1"), Access::new("b", "r0", "s2")).or(
+        Constraint::ordered(Access::new("b", "r0", "s2"), Access::new("a", "r0", "s1")),
     )
-    .or(Constraint::ordered(
-        Access::new("b", "r0", "s2"),
-        Access::new("a", "r0", "s1"),
-    ))
 }
 
 fn bench_symbolic(c: &mut Criterion) {
@@ -104,8 +100,7 @@ fn bench_symbolic_on_infinite_model(c: &mut Criterion) {
             ),
             body,
         );
-        let cons = Constraint::atom("a", "r0", "s1")
-            .implies(Constraint::atom("a", "r0", "s1"));
+        let cons = Constraint::atom("a", "r0", "s1").implies(Constraint::atom("a", "r0", "s1"));
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, _| {
             bch.iter(|| {
                 let mut table = AccessTable::new();

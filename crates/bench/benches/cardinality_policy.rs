@@ -2,7 +2,8 @@
 //! checking cost as the access history grows, and as the cap grows (the
 //! counting-automaton size).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stacl_bench::criterion::{BenchmarkId, Criterion};
+use stacl_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -12,9 +13,9 @@ use stacl::srac::Constraint;
 use stacl::sral::Program;
 
 fn history_of(len: usize, table: &mut AccessTable) -> Trace {
-    Trace::from_ids((0..len).map(|i| {
-        table.intern(&Access::new("exec", "rsw", format!("s{}", i % 4)))
-    }))
+    Trace::from_ids(
+        (0..len).map(|i| table.intern(&Access::new("exec", "rsw", format!("s{}", i % 4)))),
+    )
 }
 
 fn bench_history_scaling(c: &mut Criterion) {
@@ -88,15 +89,13 @@ fn bench_overuse_scenario(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |bch, _| {
             bch.iter(|| {
-                let mut guard = CoordinatedGuard::new(ExtendedRbac::new(
-                    stacl_bench::licensee_model("device", "rsw", cap),
-                ))
+                let guard = CoordinatedGuard::new(ExtendedRbac::new(stacl_bench::licensee_model(
+                    "device", "rsw", cap,
+                )))
                 .with_mode(EnforcementMode::Reactive);
                 guard.enroll("device", ["licensee"]);
                 let mut sys = NapletSystem::new(env.clone(), Box::new(guard));
-                sys.spawn(
-                    NapletSpec::new("device", "s1", prog.clone()).with_on_deny(OnDeny::Skip),
-                );
+                sys.spawn(NapletSpec::new("device", "s1", prog.clone()).with_on_deny(OnDeny::Skip));
                 let r = sys.run();
                 assert_eq!(sys.log().denied_count(), 1);
                 black_box(r.steps)

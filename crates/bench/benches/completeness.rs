@@ -2,7 +2,8 @@
 //! synthesize an SRAL program from a regular trace model, re-derive its
 //! trace model, and verify DFA language equality, across model sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stacl_bench::criterion::{BenchmarkId, Criterion};
+use stacl_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -3,7 +3,8 @@
 //! emulated run under the coordinated guard, and the post-run
 //! classification.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stacl_bench::criterion::{BenchmarkId, Criterion};
+use stacl_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -30,7 +31,7 @@ fn audit_guard(g: &ModuleGraph) -> CoordinatedGuard {
         .unwrap();
     model.assign_permission("aud", "p").unwrap();
     model.assign_user("auditor", "aud").unwrap();
-    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    let guard = CoordinatedGuard::new(ExtendedRbac::new(model));
     guard.enroll("auditor", ["aud"]);
     guard
 }
@@ -80,7 +81,11 @@ fn bench_full_audit_run(c: &mut Criterion) {
             |bch, _| {
                 bch.iter(|| {
                     let mut sys = NapletSystem::new(coalition_for(&g), Box::new(audit_guard(&g)));
-                    sys.spawn(NapletSpec::new("auditor", "s0", g.audit_program_sequential()));
+                    sys.spawn(NapletSpec::new(
+                        "auditor",
+                        "s0",
+                        g.audit_program_sequential(),
+                    ));
                     let r = sys.run();
                     assert_eq!(r.finished, 1);
                     let audit = evaluate_audit("auditor", sys.proofs(), &g, &manifest);
@@ -94,9 +99,12 @@ fn bench_full_audit_run(c: &mut Criterion) {
             &n,
             |bch, _| {
                 bch.iter(|| {
-                    let mut sys =
-                        NapletSystem::new(coalition_for(&g), Box::new(PermissiveGuard));
-                    sys.spawn(NapletSpec::new("auditor", "s0", g.audit_program_sequential()));
+                    let mut sys = NapletSystem::new(coalition_for(&g), Box::new(PermissiveGuard));
+                    sys.spawn(NapletSpec::new(
+                        "auditor",
+                        "s0",
+                        g.audit_program_sequential(),
+                    ));
                     let r = sys.run();
                     assert_eq!(r.finished, 1);
                     black_box(r.steps)

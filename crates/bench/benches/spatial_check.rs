@@ -5,7 +5,8 @@
 //! `experiments` binary fits the log-log slopes; here Criterion records
 //! the raw timings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stacl_bench::criterion::{BenchmarkId, Criterion};
+use stacl_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -3,7 +3,8 @@
 //! plus Duration-Calculus formula evaluation (including chop search) and
 //! the newspaper-deadline policy query.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stacl_bench::criterion::{BenchmarkId, Criterion};
+use stacl_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -40,11 +41,9 @@ fn bench_validity_derivation(c: &mut Criterion) {
             ("current-server", BaseTimeScheme::CurrentServer),
         ] {
             let tl = timeline_with(k, scheme);
-            group.bench_with_input(
-                BenchmarkId::new(label, k),
-                &k,
-                |bch, _| bch.iter(|| black_box(tl.valid_fn())),
-            );
+            group.bench_with_input(BenchmarkId::new(label, k), &k, |bch, _| {
+                bch.iter(|| black_box(tl.valid_fn()))
+            });
         }
     }
     group.finish();

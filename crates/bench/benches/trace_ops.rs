@@ -2,7 +2,8 @@
 //! blow-up, Kleene closure, subset construction, Hopcroft minimisation
 //! and language equivalence, at growing sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stacl_bench::criterion::{BenchmarkId, Criterion};
+use stacl_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -77,7 +78,10 @@ fn bench_minimization(c: &mut Criterion) {
         // variants — subset construction yields duplicates to merge.
         let re = Regex::alt(
             chain(k, 0),
-            Regex::alt(chain(k, 0), Regex::cat(chain(k / 2, 0), chain(k - k / 2, k / 2))),
+            Regex::alt(
+                chain(k, 0),
+                Regex::cat(chain(k / 2, 0), chain(k - k / 2, k / 2)),
+            ),
         );
         let al = re.alphabet();
         let nfa = stacl::trace::nfa::Nfa::from_regex(&re, &al);

@@ -23,8 +23,8 @@ use stacl::trace::abstraction::{traces, AbstractionConfig};
 use stacl::trace::enumerate::enumerate_traces;
 use stacl::trace::synthesis::synthesize;
 use stacl_bench::{
-    conjunctive_policy, licensee_model, log_log_slope, open_model, random_control_program,
-    random_branching_program, random_program, satisfied_cap_policy, tour_program, Vocab,
+    conjunctive_policy, licensee_model, log_log_slope, open_model, random_branching_program,
+    random_control_program, random_program, satisfied_cap_policy, tour_program, Vocab,
 };
 
 fn main() {
@@ -63,6 +63,8 @@ fn main() {
     }
     println!("\nall experiments completed");
 }
+
+type GuardMaker = Box<dyn Fn() -> Box<dyn SecurityGuard>>;
 
 fn time_ms(f: impl FnOnce()) -> f64 {
     let t0 = Instant::now();
@@ -214,7 +216,7 @@ fn e4_agent_overhead() {
         let vocab = Vocab::new(1, 1, s);
         let mk_prog = || tour_program("op0", "res0", &vocab.servers);
         let cap = 10 * s;
-        let mut rows: Vec<(&str, Box<dyn Fn() -> Box<dyn SecurityGuard>>)> = vec![
+        let mut rows: Vec<(&str, GuardMaker)> = vec![
             ("permissive", Box::new(|| Box::new(PermissiveGuard))),
             (
                 "plain-rbac",
@@ -245,7 +247,7 @@ fn e4_agent_overhead() {
             (
                 "coordinated",
                 Box::new(move || {
-                    let mut g = CoordinatedGuard::new(ExtendedRbac::new(licensee_model(
+                    let g = CoordinatedGuard::new(ExtendedRbac::new(licensee_model(
                         "agent0", "res0", cap,
                     )))
                     .with_mode(EnforcementMode::Reactive);
@@ -301,10 +303,14 @@ fn e5_integrity_audit() {
                 .unwrap();
             model.assign_permission("aud", "p").unwrap();
             model.assign_user("auditor", "aud").unwrap();
-            let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+            let guard = CoordinatedGuard::new(ExtendedRbac::new(model));
             guard.enroll("auditor", ["aud"]);
             let mut sys = NapletSystem::new(env, Box::new(guard));
-            sys.spawn(NapletSpec::new("auditor", "s0", g.audit_program_sequential()));
+            sys.spawn(NapletSpec::new(
+                "auditor",
+                "s0",
+                g.audit_program_sequential(),
+            ));
             let r = sys.run();
             assert_eq!(r.finished, 1);
             report = Some(evaluate_audit("auditor", sys.proofs(), &g, &manifest));
@@ -334,9 +340,7 @@ fn e6_cardinality_policy() {
             .map(|_| b::access("exec", "rsw", "s1"))
             .chain([b::access("exec", "rsw", "s2")]),
     );
-    println!(
-        "    workload: {CAP} execs on s1 then 1 on s2; cap = {CAP} coalition-wide"
-    );
+    println!("    workload: {CAP} execs on s1 then 1 on s2; cap = {CAP} coalition-wide");
     println!(
         "    {:>14} {:>8} {:>8} {:>22}",
         "guard", "granted", "denied", "verdict"
@@ -355,9 +359,8 @@ fn e6_cardinality_policy() {
         println!("    {label:>14} {granted:>8} {denied:>8} {verdict:>22}");
         assert_eq!(denied > 0, expect_deny, "{label}");
     };
-    let mut coord =
-        CoordinatedGuard::new(ExtendedRbac::new(licensee_model("device", "rsw", CAP)))
-            .with_mode(EnforcementMode::Reactive);
+    let coord = CoordinatedGuard::new(ExtendedRbac::new(licensee_model("device", "rsw", CAP)))
+        .with_mode(EnforcementMode::Reactive);
     coord.enroll("device", ["licensee"]);
     run("coordinated", Box::new(coord), true);
     let mut plain = PlainRbacGuard::new(open_model("device", "rsw"));
@@ -488,10 +491,7 @@ fn e9_ablation() {
 
 fn e10_gate_ablation() {
     println!("━━ E10 (ablation): gate optimisations on the §6 audit ━━");
-    println!(
-        "    {:>8} {:>22} {:>12}",
-        "modules", "variant", "run-ms"
-    );
+    println!("    {:>8} {:>22} {:>12}", "modules", "variant", "run-ms");
     for n in [16usize, 48, 128] {
         let g = ModuleGraph::generate_layered(n, 4, 4, 3, 31);
         let constraint = g.dependency_constraint();
@@ -509,7 +509,10 @@ fn e10_gate_ablation() {
                 );
             }
         });
-        println!("    {n:>8} {:>22} {uncached_ms:>12.2}", "checker-uncached(3x)");
+        println!(
+            "    {n:>8} {:>22} {uncached_ms:>12.2}",
+            "checker-uncached(3x)"
+        );
         let cached_ms = timed_median(3, || {
             let mut table = AccessTable::new();
             let mut cache = ConstraintCache::new();
@@ -549,7 +552,10 @@ fn e10_gate_ablation() {
             );
         }
     });
-    println!("    {:>8} {:>22} {uncached_ms:>12.2}", "-", "checker-uncached(3x)");
+    println!(
+        "    {:>8} {:>22} {uncached_ms:>12.2}",
+        "-", "checker-uncached(3x)"
+    );
     let cached_ms = timed_median(3, || {
         let mut table = AccessTable::new();
         let mut cache = ConstraintCache::new();
@@ -564,7 +570,10 @@ fn e10_gate_ablation() {
             );
         }
     });
-    println!("    {:>8} {:>22} {cached_ms:>12.2}", "-", "checker-cached(3x)");
+    println!(
+        "    {:>8} {:>22} {cached_ms:>12.2}",
+        "-", "checker-cached(3x)"
+    );
     println!(
         "    (ordering leaves are cheap — the cache is neutral there; counting \
 leaves amortise; the big win is approval reuse: the 128-module audit drops \

@@ -1,0 +1,261 @@
+//! A minimal, API-compatible stand-in for the `criterion` benchmark
+//! harness (the workspace builds hermetically with no external crates).
+//!
+//! It implements exactly the surface the E1–E10 bench files use —
+//! `Criterion::benchmark_group`, group configuration, `bench_with_input`
+//! / `bench_function`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! warm-up + sampled-median measurement loop, reporting one line per
+//! benchmark to stdout.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// A named benchmark identifier: a function label plus an optional
+/// parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `label/parameter`.
+    pub fn new(label: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", label.into()),
+        }
+    }
+
+    /// Just the parameter (for single-axis sweeps).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// A group of benchmarks sharing measurement configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up (and iteration-count estimation) duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement duration budget across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            stats: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id.label, bencher.stats);
+        self
+    }
+
+    /// Run one benchmark without a separate input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            stats: None,
+        };
+        f(&mut bencher);
+        self.report(&id.label, bencher.stats);
+        self
+    }
+
+    /// Finish the group (reporting happens per benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, stats: Option<Stats>) {
+        match stats {
+            Some(s) => println!(
+                "{}/{label:<40} median {:>12}  (min {}, max {}, {} iters/sample × {} samples)",
+                self.name,
+                fmt_time(s.median),
+                fmt_time(s.min),
+                fmt_time(s.max),
+                s.iters_per_sample,
+                s.samples,
+            ),
+            None => println!("{}/{label:<40} (no measurement)", self.name),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Stats {
+    median: f64,
+    min: f64,
+    max: f64,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Measure a routine: warm up (estimating per-iteration cost), then
+    /// take `sample_size` samples sized to fill the measurement budget,
+    /// recording the per-iteration mean of each sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up doubles as the iteration-cost estimate.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let samples = self.sample_size;
+        let budget_per_sample = self.measurement.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((budget_per_sample / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut means = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            means.push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        means.sort_by(f64::total_cmp);
+        self.stats = Some(Stats {
+            median: means[samples / 2],
+            min: means[0],
+            max: means[samples - 1],
+            iters_per_sample,
+            samples,
+        });
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Define a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::criterion::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_produces_stats() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-test");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(15));
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |bch, &x| {
+            bch.iter(|| x * x)
+        });
+        group.bench_function("add", |bch| bch.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -3,14 +3,18 @@
 //! All generators are seeded and deterministic so every experiment run is
 //! reproducible; sizes are parameters so the benches can sweep them.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use stacl::prelude::*;
+use stacl::srac::Constraint;
 use stacl::sral::builder as b;
 use stacl::sral::expr::{CmpOp, Cond, Expr};
 use stacl::sral::Program;
-use stacl::srac::Constraint;
+
+pub mod criterion;
+
+/// The deterministic generator threaded through every workload builder
+/// (in-tree SplitMix64; the workspace builds hermetically, with no
+/// external `rand`).
+pub use stacl_ids::rng::SplitMix64 as BenchRng;
 
 /// A deterministic access vocabulary: `ops × resources × servers`.
 #[derive(Clone, Debug)]
@@ -34,7 +38,7 @@ impl Vocab {
     }
 
     /// A random access from the vocabulary.
-    pub fn random_access(&self, rng: &mut StdRng) -> Access {
+    pub fn random_access(&self, rng: &mut BenchRng) -> Access {
         Access::new(
             &self.ops[rng.gen_range(0..self.ops.len())],
             &self.resources[rng.gen_range(0..self.resources.len())],
@@ -59,11 +63,11 @@ impl Vocab {
 /// loops and parallel blocks in proportions typical of the paper's
 /// examples.
 pub fn random_program(target_size: usize, vocab: &Vocab, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = BenchRng::seed_from_u64(seed);
     gen_program(target_size, vocab, &mut rng, 0)
 }
 
-fn gen_program(budget: usize, vocab: &Vocab, rng: &mut StdRng, depth: usize) -> Program {
+fn gen_program(budget: usize, vocab: &Vocab, rng: &mut BenchRng, depth: usize) -> Program {
     if budget <= 1 || depth > 12 {
         return Program::Access(vocab.random_access(rng));
     }
@@ -74,7 +78,12 @@ fn gen_program(budget: usize, vocab: &Vocab, rng: &mut StdRng, depth: usize) -> 
             // Sequence: split the budget.
             let left = rng.gen_range(1..budget.max(2));
             let a = gen_program(left, vocab, rng, depth + 1);
-            let bprog = gen_program(budget.saturating_sub(left + 1).max(1), vocab, rng, depth + 1);
+            let bprog = gen_program(
+                budget.saturating_sub(left + 1).max(1),
+                vocab,
+                rng,
+                depth + 1,
+            );
             a.then(bprog)
         }
         55..=74 => {
@@ -87,7 +96,12 @@ fn gen_program(budget: usize, vocab: &Vocab, rng: &mut StdRng, depth: usize) -> 
         }
         75..=86 => Program::While {
             cond: random_cond(rng),
-            body: Box::new(gen_program(budget.saturating_sub(2).max(1), vocab, rng, depth + 1)),
+            body: Box::new(gen_program(
+                budget.saturating_sub(2).max(1),
+                vocab,
+                rng,
+                depth + 1,
+            )),
         },
         _ => {
             let half = (budget - 1) / 2;
@@ -106,11 +120,11 @@ fn gen_program(budget: usize, vocab: &Vocab, rng: &mut StdRng, depth: usize) -> 
 /// Theorem 3.2 scaling experiments use this generator so `m` measures
 /// control-flow size as the theorem intends.
 pub fn random_control_program(target_size: usize, vocab: &Vocab, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = BenchRng::seed_from_u64(seed);
     gen_control(target_size, vocab, &mut rng, 0)
 }
 
-fn gen_control(budget: usize, vocab: &Vocab, rng: &mut StdRng, depth: usize) -> Program {
+fn gen_control(budget: usize, vocab: &Vocab, rng: &mut BenchRng, depth: usize) -> Program {
     if budget <= 1 || depth > 12 {
         return Program::Access(vocab.random_access(rng));
     }
@@ -118,7 +132,12 @@ fn gen_control(budget: usize, vocab: &Vocab, rng: &mut StdRng, depth: usize) -> 
         0..=64 => {
             let left = rng.gen_range(1..budget.max(2));
             let a = gen_control(left, vocab, rng, depth + 1);
-            let b = gen_control(budget.saturating_sub(left + 1).max(1), vocab, rng, depth + 1);
+            let b = gen_control(
+                budget.saturating_sub(left + 1).max(1),
+                vocab,
+                rng,
+                depth + 1,
+            );
             a.then(b)
         }
         65..=84 => {
@@ -141,7 +160,7 @@ fn gen_control(budget: usize, vocab: &Vocab, rng: &mut StdRng, depth: usize) -> 
     }
 }
 
-fn random_cond(rng: &mut StdRng) -> Cond {
+fn random_cond(rng: &mut BenchRng) -> Cond {
     Cond::cmp(
         CmpOp::Gt,
         Expr::var(format!("x{}", rng.gen_range(0..4))),
@@ -152,11 +171,11 @@ fn random_cond(rng: &mut StdRng) -> Cond {
 /// Generate a random SRAC constraint of roughly `target_size` nodes (the
 /// `n` of Theorem 3.2) over accesses of the vocabulary.
 pub fn random_constraint(target_size: usize, vocab: &Vocab, seed: u64) -> Constraint {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut rng = BenchRng::seed_from_u64(seed ^ 0x5eed);
     gen_constraint(target_size, vocab, &mut rng)
 }
 
-fn gen_constraint(budget: usize, vocab: &Vocab, rng: &mut StdRng) -> Constraint {
+fn gen_constraint(budget: usize, vocab: &Vocab, rng: &mut BenchRng) -> Constraint {
     if budget <= 1 {
         return match rng.gen_range(0..3) {
             0 => Constraint::Atom(vocab.random_access(rng)),
@@ -180,17 +199,19 @@ fn gen_constraint(budget: usize, vocab: &Vocab, rng: &mut StdRng) -> Constraint 
 /// dependency constraint, per-resource caps): `k` conjuncts mixing
 /// cardinality caps and ordering requirements.
 pub fn conjunctive_policy(k: usize, vocab: &Vocab, seed: u64) -> Constraint {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xca9);
-    Constraint::all((0..k).map(|_| match rng.gen_range(0..2) {
-        0 => Constraint::at_most(
-            rng.gen_range(1..8),
-            Selector::any()
-                .with_resources([&vocab.resources[rng.gen_range(0..vocab.resources.len())]]),
-        ),
-        _ => {
-            let a = vocab.random_access(&mut rng);
-            let b2 = vocab.random_access(&mut rng);
-            Constraint::Atom(a.clone()).implies(Constraint::Ordered(a, b2))
+    let mut rng = BenchRng::seed_from_u64(seed ^ 0xca9);
+    Constraint::all((0..k).map(|_| {
+        match rng.gen_range(0..2) {
+            0 => Constraint::at_most(
+                rng.gen_range(1..8),
+                Selector::any()
+                    .with_resources([&vocab.resources[rng.gen_range(0..vocab.resources.len())]]),
+            ),
+            _ => {
+                let a = vocab.random_access(&mut rng);
+                let b2 = vocab.random_access(&mut rng);
+                Constraint::Atom(a.clone()).implies(Constraint::Ordered(a, b2))
+            }
         }
     }))
 }
@@ -199,18 +220,23 @@ pub fn conjunctive_policy(k: usize, vocab: &Vocab, seed: u64) -> Constraint {
 /// trace model is finite and every per-resource access count is bounded
 /// by the program size.
 pub fn random_branching_program(target_size: usize, vocab: &Vocab, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xbf);
+    let mut rng = BenchRng::seed_from_u64(seed ^ 0xbf);
     gen_branching(target_size, vocab, &mut rng, 0)
 }
 
-fn gen_branching(budget: usize, vocab: &Vocab, rng: &mut StdRng, depth: usize) -> Program {
+fn gen_branching(budget: usize, vocab: &Vocab, rng: &mut BenchRng, depth: usize) -> Program {
     if budget <= 1 || depth > 12 {
         return Program::Access(vocab.random_access(rng));
     }
     if rng.gen_range(0..100) < 70 {
         let left = rng.gen_range(1..budget.max(2));
         let a = gen_branching(left, vocab, rng, depth + 1);
-        let b = gen_branching(budget.saturating_sub(left + 1).max(1), vocab, rng, depth + 1);
+        let b = gen_branching(
+            budget.saturating_sub(left + 1).max(1),
+            vocab,
+            rng,
+            depth + 1,
+        );
         a.then(b)
     } else {
         let half = (budget - 1) / 2;
@@ -248,11 +274,14 @@ pub fn licensee_model(user: &str, resource: &str, cap: usize) -> RbacModel {
     m.add_user(user);
     m.add_role("licensee");
     m.add_permission(
-        Permission::new("p", AccessPattern::parse(&format!("*:{resource}:*")).unwrap())
-            .with_spatial(Constraint::at_most(
-                cap,
-                Selector::any().with_resources([resource]),
-            )),
+        Permission::new(
+            "p",
+            AccessPattern::parse(&format!("*:{resource}:*")).unwrap(),
+        )
+        .with_spatial(Constraint::at_most(
+            cap,
+            Selector::any().with_resources([resource]),
+        )),
     )
     .unwrap();
     m.assign_permission("licensee", "p").unwrap();
@@ -312,18 +341,12 @@ mod tests {
     #[test]
     fn generators_are_deterministic() {
         let vocab = Vocab::new(2, 3, 3);
-        assert_eq!(
-            random_program(50, &vocab, 7),
-            random_program(50, &vocab, 7)
-        );
+        assert_eq!(random_program(50, &vocab, 7), random_program(50, &vocab, 7));
         assert_eq!(
             random_constraint(10, &vocab, 7),
             random_constraint(10, &vocab, 7)
         );
-        assert_ne!(
-            random_program(50, &vocab, 7),
-            random_program(50, &vocab, 8)
-        );
+        assert_ne!(random_program(50, &vocab, 7), random_program(50, &vocab, 8));
     }
 
     #[test]
@@ -343,7 +366,7 @@ mod tests {
     fn environment_hosts_all_accesses() {
         let vocab = Vocab::new(2, 2, 2);
         let env = vocab.environment();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = BenchRng::seed_from_u64(0);
         for _ in 0..20 {
             assert!(env.resolve(&vocab.random_access(&mut rng)).is_ok());
         }

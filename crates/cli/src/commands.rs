@@ -5,11 +5,11 @@ use std::fs;
 use stacl::integrity::{evaluate_audit, ModuleGraph};
 use stacl::prelude::*;
 use stacl::rbac::policy::{parse_policy, render_policy};
+use stacl::srac::check::{check_residual, Semantics};
+use stacl::srac::parser::parse_constraint;
 use stacl::sral::parser::parse_program;
 use stacl::sral::pretty::pretty;
 use stacl::sral::validate::validate;
-use stacl::srac::check::{check_residual, Semantics};
-use stacl::srac::parser::parse_constraint;
 use stacl::trace::AccessTable;
 
 use crate::opts::Opts;
@@ -30,7 +30,11 @@ pub fn parse(args: &[String]) -> Result<(), String> {
     println!("{}", pretty(&program));
     println!(
         "size={} depth={} accesses={} alphabet={} loops={} parallel-blocks={}",
-        metrics.size, metrics.depth, metrics.accesses, metrics.alphabet, metrics.whiles,
+        metrics.size,
+        metrics.depth,
+        metrics.accesses,
+        metrics.alphabet,
+        metrics.whiles,
         metrics.pars
     );
     let report = validate(&program);
@@ -61,7 +65,10 @@ pub fn traces_cmd(args: &[String]) -> Result<(), String> {
     let canonical = dfa_to_regex(&dfa);
     println!("trace model (Definition 3.2):");
     println!("  {}", re.display(&table));
-    println!("canonical form (via minimal DFA, {} states):", dfa.num_states());
+    println!(
+        "canonical form (via minimal DFA, {} states):",
+        dfa.num_states()
+    );
     println!("  {}", canonical.display(&table));
 
     let max_len: usize = opts.get_parsed("max-len", 6)?;
@@ -80,8 +87,7 @@ pub fn traces_cmd(args: &[String]) -> Result<(), String> {
 /// `stacl check <program.sral> <constraint> [--semantics ...] [--history ...]`
 pub fn check(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &["semantics", "history"])?;
-    let [path, constraint_src] =
-        opts.expect_positional(&["<program.sral>", "<constraint>"])?
+    let [path, constraint_src] = opts.expect_positional(&["<program.sral>", "<constraint>"])?
     else {
         unreachable!()
     };
@@ -178,7 +184,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     // Roles: --roles or all roles assigned to the agent.
     let roles: Vec<String> = match opts.get("roles") {
         Some(r) => r.split(',').map(|s| s.trim().to_string()).collect(),
-        None => model.roles_of(&agent).iter().map(|n| n.to_string()).collect(),
+        None => model
+            .roles_of(&agent)
+            .iter()
+            .map(|n| n.to_string())
+            .collect(),
     };
     if roles.is_empty() {
         return Err(format!(
@@ -212,7 +222,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     env.add_server(&home);
 
-    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model)).with_mode(mode);
+    let guard = CoordinatedGuard::new(ExtendedRbac::new(model)).with_mode(mode);
     guard.enroll(&agent, roles.iter());
     let mut sys = NapletSystem::new(env, Box::new(guard));
     sys.spawn(NapletSpec::new(&agent, &home, program).with_on_deny(on_deny));
@@ -225,9 +235,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "  t={:<8} {:<28} {}",
             d.time.seconds(),
             d.access.to_string(),
-            match &d.kind {
-                DecisionKind::Granted => "granted".to_string(),
-                other => format!("DENIED ({other:?})"),
+            if d.kind.is_granted() {
+                "granted".to_string()
+            } else {
+                match &d.reason {
+                    Some(r) => format!("DENIED [{}]: {r}", d.kind.label()),
+                    None => format!("DENIED [{}]", d.kind.label()),
+                }
             }
         );
     }
@@ -284,15 +298,22 @@ pub fn audit(args: &[String]) -> Result<(), String> {
                 .with_spatial(g.dependency_constraint()),
         )
         .map_err(|e| e.to_string())?;
-    model.assign_permission("aud", "p").map_err(|e| e.to_string())?;
-    model.assign_user("auditor", "aud").map_err(|e| e.to_string())?;
-    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    model
+        .assign_permission("aud", "p")
+        .map_err(|e| e.to_string())?;
+    model
+        .assign_user("auditor", "aud")
+        .map_err(|e| e.to_string())?;
+    let guard = CoordinatedGuard::new(ExtendedRbac::new(model));
     guard.enroll("auditor", ["aud"]);
 
     let mut sys = NapletSystem::new(env, Box::new(guard));
     sys.spawn(NapletSpec::new(
         "auditor",
-        g.modules().next().map(|m| m.server.clone()).unwrap_or_default(),
+        g.modules()
+            .next()
+            .map(|m| m.server.clone())
+            .unwrap_or_default(),
         g.audit_program_sequential(),
     ));
     let report = sys.run();

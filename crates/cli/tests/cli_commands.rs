@@ -57,13 +57,7 @@ fn check_verdicts_and_exit_semantics() {
     // Violated constraint → Err (non-zero exit).
     assert!(commands::check(&args(&[path, "count(0, 1, all)"])).is_err());
     // Exists semantics flips a branch-dependent verdict.
-    assert!(commands::check(&args(&[
-        path,
-        "count(0, 1, all)",
-        "--semantics",
-        "exists",
-    ]))
-    .is_err());
+    assert!(commands::check(&args(&[path, "count(0, 1, all)", "--semantics", "exists",])).is_err());
     // Malformed constraint text.
     assert!(commands::check(&args(&[path, "count(("])).is_err());
     // Unknown semantics value.
@@ -91,13 +85,7 @@ fn check_with_history() {
     ]))
     .is_ok());
     // Malformed history entry.
-    assert!(commands::check(&args(&[
-        path,
-        "true",
-        "--history",
-        "exec rsw",
-    ]))
-    .is_err());
+    assert!(commands::check(&args(&[path, "true", "--history", "exec rsw",])).is_err());
 }
 
 #[test]
@@ -112,9 +100,7 @@ fn traces_prints_model() {
         "5",
     ]))
     .is_ok());
-    assert!(
-        commands::traces_cmd(&args(&[f.to_str().unwrap(), "--max-len", "three"])).is_err()
-    );
+    assert!(commands::traces_cmd(&args(&[f.to_str().unwrap(), "--max-len", "three"])).is_err());
 }
 
 #[test]
@@ -129,11 +115,7 @@ fn policy_roundtrip_and_errors() {
 fn run_executes_compliant_program() {
     let pf = temp_file("run.policy", POLICY);
     let sf = temp_file("run.sral", PROGRAM);
-    assert!(commands::run(&args(&[
-        pf.to_str().unwrap(),
-        sf.to_str().unwrap(),
-    ]))
-    .is_ok());
+    assert!(commands::run(&args(&[pf.to_str().unwrap(), sf.to_str().unwrap(),])).is_ok());
     // Explicit flags.
     assert!(commands::run(&args(&[
         pf.to_str().unwrap(),

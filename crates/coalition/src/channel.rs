@@ -10,7 +10,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use stacl_ids::sync::Mutex;
 use stacl_sral::ast::{name, Name};
 use stacl_sral::Value;
 

@@ -7,7 +7,7 @@
 //! directly. An optional per-server skew can be applied to model the
 //! absence of a global clock.
 
-use parking_lot::Mutex;
+use stacl_ids::sync::Mutex;
 use std::sync::Arc;
 
 use stacl_temporal::{TimeDelta, TimePoint};
@@ -48,7 +48,7 @@ impl VirtualClock {
     pub fn advance(&self, by: TimeDelta) -> TimePoint {
         assert!(by.is_non_negative(), "clock cannot run backwards");
         let mut t = self.inner.lock();
-        *t = *t + by;
+        *t += by;
         *t
     }
 

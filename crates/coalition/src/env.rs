@@ -46,7 +46,10 @@ impl fmt::Display for EnvError {
                 write!(f, "server `{s}` hosts no shared resource `{r}`")
             }
             EnvError::UnsupportedOp(s, r, op) => {
-                write!(f, "resource `{r}` at `{s}` does not support operation `{op}`")
+                write!(
+                    f,
+                    "resource `{r}` at `{s}` does not support operation `{op}`"
+                )
             }
         }
     }

@@ -23,7 +23,7 @@
 //! * [`log`] — the audit log of granted/denied access decisions;
 //! * [`event`] — a generic discrete-event queue for the simulation core.
 //!
-//! All shared state is wrapped in `parking_lot` locks so a single
+//! All shared state is wrapped in lightweight in-tree (`stacl_ids::sync`) locks so a single
 //! environment can be shared across worker threads in benchmarks.
 
 #![forbid(unsafe_code)]
@@ -41,6 +41,6 @@ pub use channel::ChannelHub;
 pub use clock::VirtualClock;
 pub use env::CoalitionEnv;
 pub use event::EventQueue;
-pub use log::{AccessLog, Decision, DecisionKind};
+pub use log::{AccessLog, Decision, DecisionKind, Verdict};
 pub use proof::{ExecutionProof, ProofStore};
 pub use signal::SignalBoard;

@@ -4,15 +4,22 @@
 //! reason — the raw material for the overhead experiments (E4/E6) and for
 //! demonstrating *who wins where* against the baseline models.
 
+use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use stacl_ids::sync::RwLock;
 use stacl_sral::ast::Name;
 use stacl_sral::Access;
 use stacl_temporal::TimePoint;
 
-/// Why an access was granted or denied.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// The outcome class of an access decision.
+///
+/// Deliberately a fieldless `Copy` enum: the guard hot path returns it
+/// without allocating. Human-readable detail (the failed constraint, the
+/// exhausted budget, the topology error) travels separately as the
+/// optional `reason` of a [`Verdict`] / [`Decision`] and is only
+/// materialised on the denial path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DecisionKind {
     /// Granted: all checks passed.
     Granted,
@@ -20,31 +27,95 @@ pub enum DecisionKind {
     /// permission.
     DeniedNoPermission,
     /// Denied: a spatial (SRAC) constraint failed.
-    DeniedSpatial {
-        /// Rendering of the failed constraint.
-        constraint: String,
-    },
+    DeniedSpatial,
     /// Denied: the temporal validity duration was exhausted or the
     /// permission was not yet valid.
-    DeniedTemporal {
-        /// Human-readable reason (e.g. "validity duration exhausted").
-        reason: String,
-    },
+    DeniedTemporal,
     /// Denied: the access does not resolve in the coalition topology.
-    DeniedUnknownTarget {
-        /// The topology error text.
-        reason: String,
-    },
+    DeniedUnknownTarget,
 }
 
 impl DecisionKind {
     /// True for `Granted`.
-    pub fn is_granted(&self) -> bool {
+    pub fn is_granted(self) -> bool {
         matches!(self, DecisionKind::Granted)
+    }
+
+    /// A short stable label (used by logs and the CLI).
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionKind::Granted => "granted",
+            DecisionKind::DeniedNoPermission => "denied-no-permission",
+            DecisionKind::DeniedSpatial => "denied-spatial",
+            DecisionKind::DeniedTemporal => "denied-temporal",
+            DecisionKind::DeniedUnknownTarget => "denied-unknown-target",
+        }
     }
 }
 
-/// One audit-log entry.
+impl fmt::Display for DecisionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A guard's answer to one interception: the outcome class plus an
+/// optional human-readable reason (populated only on denials — grants are
+/// allocation-free).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Verdict {
+    /// The outcome class.
+    pub kind: DecisionKind,
+    /// Detail for denials (failed constraint, exhausted budget, …).
+    pub reason: Option<String>,
+}
+
+impl Verdict {
+    /// An allocation-free grant.
+    pub fn granted() -> Self {
+        Verdict {
+            kind: DecisionKind::Granted,
+            reason: None,
+        }
+    }
+
+    /// A denial with a reason.
+    pub fn denied(kind: DecisionKind, reason: impl Into<String>) -> Self {
+        debug_assert!(!kind.is_granted(), "denied() called with Granted");
+        Verdict {
+            kind,
+            reason: Some(reason.into()),
+        }
+    }
+
+    /// True for `Granted`.
+    pub fn is_granted(&self) -> bool {
+        self.kind.is_granted()
+    }
+
+    /// The reason text, or an empty string.
+    pub fn reason_str(&self) -> &str {
+        self.reason.as_deref().unwrap_or("")
+    }
+}
+
+impl From<DecisionKind> for Verdict {
+    fn from(kind: DecisionKind) -> Self {
+        Verdict { kind, reason: None }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            Some(r) => write!(f, "{} ({r})", self.kind),
+            None => self.kind.fmt(f),
+        }
+    }
+}
+
+/// One audit-log entry: the unified decision record threaded through the
+/// coalition log, the Naplet system and the CLI.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Decision {
     /// The requesting mobile object.
@@ -53,8 +124,10 @@ pub struct Decision {
     pub access: Access,
     /// When the decision was made.
     pub time: TimePoint,
-    /// The outcome.
+    /// The outcome class.
     pub kind: DecisionKind,
+    /// Detail for denials (failed constraint, exhausted budget, …).
+    pub reason: Option<String>,
 }
 
 /// A shared, append-only audit log.
@@ -69,13 +142,22 @@ impl AccessLog {
         AccessLog::default()
     }
 
-    /// Append a decision.
-    pub fn record(&self, object: impl AsRef<str>, access: Access, time: TimePoint, kind: DecisionKind) {
+    /// Append a decision. Accepts a [`Verdict`] or a bare
+    /// [`DecisionKind`].
+    pub fn record(
+        &self,
+        object: impl AsRef<str>,
+        access: Access,
+        time: TimePoint,
+        verdict: impl Into<Verdict>,
+    ) {
+        let v = verdict.into();
         self.inner.write().push(Decision {
             object: stacl_sral::ast::name(object),
             access,
             time,
-            kind,
+            kind: v.kind,
+            reason: v.reason,
         });
     }
 
@@ -91,7 +173,11 @@ impl AccessLog {
 
     /// Number of grants.
     pub fn granted_count(&self) -> usize {
-        self.inner.read().iter().filter(|d| d.kind.is_granted()).count()
+        self.inner
+            .read()
+            .iter()
+            .filter(|d| d.kind.is_granted())
+            .count()
     }
 
     /// Number of denials.
@@ -126,25 +212,41 @@ mod tests {
     #[test]
     fn record_and_count() {
         let log = AccessLog::new();
-        log.record("o", Access::new("read", "r", "s"), tp(0.0), DecisionKind::Granted);
+        log.record(
+            "o",
+            Access::new("read", "r", "s"),
+            tp(0.0),
+            DecisionKind::Granted,
+        );
         log.record(
             "o",
             Access::new("write", "r", "s"),
             tp(1.0),
-            DecisionKind::DeniedSpatial {
-                constraint: "count(0, 5, resource=r)".into(),
-            },
+            Verdict::denied(DecisionKind::DeniedSpatial, "count(0, 5, resource=r)"),
         );
         assert_eq!(log.len(), 2);
         assert_eq!(log.granted_count(), 1);
         assert_eq!(log.denied_count(), 1);
+        let snap = log.snapshot();
+        assert_eq!(snap[0].reason, None);
+        assert_eq!(snap[1].reason.as_deref(), Some("count(0, 5, resource=r)"));
     }
 
     #[test]
     fn filter_by_object() {
         let log = AccessLog::new();
-        log.record("a", Access::new("x", "r", "s"), tp(0.0), DecisionKind::Granted);
-        log.record("b", Access::new("y", "r", "s"), tp(0.0), DecisionKind::Granted);
+        log.record(
+            "a",
+            Access::new("x", "r", "s"),
+            tp(0.0),
+            DecisionKind::Granted,
+        );
+        log.record(
+            "b",
+            Access::new("y", "r", "s"),
+            tp(0.0),
+            DecisionKind::Granted,
+        );
         assert_eq!(log.for_object("a").len(), 1);
         assert_eq!(log.for_object("c").len(), 0);
     }
@@ -153,9 +255,16 @@ mod tests {
     fn decision_kinds_classify() {
         assert!(DecisionKind::Granted.is_granted());
         assert!(!DecisionKind::DeniedNoPermission.is_granted());
-        assert!(!DecisionKind::DeniedTemporal {
-            reason: "expired".into()
-        }
-        .is_granted());
+        assert!(Verdict::granted().is_granted());
+        let v = Verdict::denied(DecisionKind::DeniedTemporal, "expired");
+        assert!(!v.is_granted());
+        assert_eq!(v.to_string(), "denied-temporal (expired)");
+    }
+
+    #[test]
+    fn verdict_from_kind_has_no_reason() {
+        let v: Verdict = DecisionKind::DeniedNoPermission.into();
+        assert_eq!(v.reason, None);
+        assert_eq!(v.reason_str(), "");
     }
 }

@@ -6,10 +6,21 @@
 //! the execution time." The proof store carries the proofs a mobile object
 //! has accumulated across servers; `Pr_x(a)` is true iff a proof for `a`
 //! exists.
+//!
+//! The store is **sharded per mobile object**: each object's proofs live
+//! in their own lock-protected vector, so the dominant query —
+//! [`ProofStore::history_of`] for the requesting object — touches only
+//! that object's shard and never scans (or contends with) the proofs of
+//! its companions. A global atomic sequence number preserves the
+//! coalition-wide issue order; cross-object views
+//! ([`ProofStore::combined_history`], [`ProofStore::snapshot`]) merge the
+//! shards by sequence number.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use stacl_ids::sync::RwLock;
 use stacl_sral::ast::Name;
 use stacl_sral::Access;
 use stacl_temporal::TimePoint;
@@ -28,10 +39,22 @@ pub struct ExecutionProof {
     pub seq: u64,
 }
 
-/// A mobile object's collection of execution proofs, in issue order.
+type Shard = Arc<RwLock<Vec<ExecutionProof>>>;
+
+#[derive(Default, Debug)]
+struct Inner {
+    /// Global issue counter: proofs across all shards are totally ordered
+    /// by `seq`.
+    seq: AtomicU64,
+    /// object → its own proof shard.
+    shards: RwLock<HashMap<Name, Shard>>,
+}
+
+/// A coalition's collection of execution proofs, sharded per mobile
+/// object. `Clone` shares the underlying store.
 #[derive(Clone, Default, Debug)]
 pub struct ProofStore {
-    inner: Arc<RwLock<Vec<ExecutionProof>>>,
+    inner: Arc<Inner>,
 }
 
 impl ProofStore {
@@ -40,14 +63,39 @@ impl ProofStore {
         ProofStore::default()
     }
 
+    /// The shard for `object`, if it exists.
+    fn shard(&self, object: &str) -> Option<Shard> {
+        self.inner.shards.read().get(object).cloned()
+    }
+
+    /// The shard for `object`, creating it if needed.
+    fn shard_or_create(&self, object: &str) -> Shard {
+        if let Some(s) = self.shard(object) {
+            return s;
+        }
+        let mut map = self.inner.shards.write();
+        map.entry(stacl_sral::ast::name(object))
+            .or_default()
+            .clone()
+    }
+
     /// Issue a proof for `access` by `object` at `time`, returning it.
-    pub fn issue(&self, object: impl AsRef<str>, access: Access, time: TimePoint) -> ExecutionProof {
-        let mut v = self.inner.write();
+    pub fn issue(
+        &self,
+        object: impl AsRef<str>,
+        access: Access,
+        time: TimePoint,
+    ) -> ExecutionProof {
+        let object = object.as_ref();
+        let shard = self.shard_or_create(object);
+        // The sequence number is drawn under the shard lock so that the
+        // per-shard order always agrees with the global order.
+        let mut v = shard.write();
         let proof = ExecutionProof {
             object: stacl_sral::ast::name(object),
             access,
             time,
-            seq: v.len() as u64,
+            seq: self.inner.seq.fetch_add(1, Ordering::SeqCst),
         };
         v.push(proof.clone());
         proof
@@ -56,54 +104,76 @@ impl ProofStore {
     /// `Pr_x(a)`: does a proof for this exact access exist (for any
     /// object)?
     pub fn proven(&self, access: &Access) -> bool {
-        self.inner.read().iter().any(|p| &p.access == access)
+        let shards = self.inner.shards.read();
+        shards
+            .values()
+            .any(|s| s.read().iter().any(|p| &p.access == access))
     }
 
-    /// `Pr_x(a)` restricted to one mobile object.
+    /// `Pr_x(a)` restricted to one mobile object — touches only that
+    /// object's shard.
     pub fn proven_by(&self, object: &str, access: &Access) -> bool {
-        self.inner
-            .read()
-            .iter()
-            .any(|p| &*p.object == object && &p.access == access)
+        match self.shard(object) {
+            Some(s) => s.read().iter().any(|p| &p.access == access),
+            None => false,
+        }
     }
 
     /// The history trace of one object (its proven accesses in issue
-    /// order), interned through `table`.
+    /// order), interned through `table`. Touches only that object's shard.
     pub fn history_of(&self, object: &str, table: &mut AccessTable) -> Trace {
-        Trace::from_ids(
-            self.inner
-                .read()
-                .iter()
-                .filter(|p| &*p.object == object)
-                .map(|p| table.intern(&p.access)),
-        )
+        match self.shard(object) {
+            Some(s) => Trace::from_ids(s.read().iter().map(|p| table.intern(&p.access))),
+            None => Trace::empty(),
+        }
+    }
+
+    /// Number of proofs held by one object, without touching other shards.
+    pub fn len_of(&self, object: &str) -> usize {
+        self.shard(object).map_or(0, |s| s.read().len())
     }
 
     /// The combined history of *all* objects in issue order — the
     /// coalition-wide view used for teamwork constraints ("the previous
     /// access actions of the device and even of its companions", §1).
+    /// Merges the shards by sequence number.
     pub fn combined_history(&self, table: &mut AccessTable) -> Trace {
-        Trace::from_ids(self.inner.read().iter().map(|p| table.intern(&p.access)))
+        Trace::from_ids(self.merged().iter().map(|p| table.intern(&p.access)))
     }
 
-    /// Count proven accesses matching a predicate.
+    /// Count proven accesses matching a predicate (across all shards).
     pub fn count_matching(&self, mut pred: impl FnMut(&ExecutionProof) -> bool) -> usize {
-        self.inner.read().iter().filter(|p| pred(p)).count()
+        let shards = self.inner.shards.read();
+        shards
+            .values()
+            .map(|s| s.read().iter().filter(|p| pred(p)).count())
+            .sum()
     }
 
-    /// Total number of proofs.
+    /// Total number of proofs ever issued.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.seq.load(Ordering::SeqCst) as usize
     }
 
     /// True when no proofs have been issued.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.len() == 0
     }
 
     /// A snapshot of all proofs, in issue order.
     pub fn snapshot(&self) -> Vec<ExecutionProof> {
-        self.inner.read().clone()
+        self.merged()
+    }
+
+    /// All proofs from all shards, sorted by sequence number.
+    fn merged(&self) -> Vec<ExecutionProof> {
+        let shards = self.inner.shards.read();
+        let mut all: Vec<ExecutionProof> = shards
+            .values()
+            .flat_map(|s| s.read().iter().cloned().collect::<Vec<_>>())
+            .collect();
+        all.sort_by_key(|p| p.seq);
+        all
     }
 }
 
@@ -149,6 +219,28 @@ mod tests {
         assert_eq!(table.resolve(h.0[1]), &Access::new("b", "r", "s2"));
         let all = store.combined_history(&mut table);
         assert_eq!(all.len(), 3);
+        assert_eq!(store.len_of("o1"), 2);
+        assert_eq!(store.len_of("o2"), 1);
+        assert_eq!(store.len_of("ghost"), 0);
+    }
+
+    #[test]
+    fn combined_history_merges_by_issue_order() {
+        let store = ProofStore::new();
+        // Interleave issues across three objects.
+        for i in 0..9u32 {
+            let obj = format!("o{}", i % 3);
+            store.issue(&obj, Access::new(format!("op{i}"), "r", "s"), tp(i as f64));
+        }
+        let mut table = AccessTable::new();
+        let all = store.combined_history(&mut table);
+        assert_eq!(all.len(), 9);
+        // Issue order preserved across shards.
+        for (i, id) in all.0.iter().enumerate() {
+            assert_eq!(&*table.resolve(*id).op, format!("op{i}"));
+        }
+        let snap = store.snapshot();
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
     }
 
     #[test]
@@ -169,5 +261,34 @@ mod tests {
         store.issue("o", Access::new("b", "r", "s"), tp(1.0));
         assert_eq!(snap.len(), 1);
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_issues_keep_shards_consistent() {
+        let store = ProofStore::new();
+        std::thread::scope(|scope| {
+            for obj in ["a", "b", "c", "d"] {
+                let store = store.clone();
+                scope.spawn(move || {
+                    for i in 0..50u32 {
+                        store.issue(obj, Access::new(format!("op{i}"), "r", "s"), tp(i as f64));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 200);
+        let mut table = AccessTable::new();
+        for obj in ["a", "b", "c", "d"] {
+            let h = store.history_of(obj, &mut table);
+            assert_eq!(h.len(), 50);
+            // Per-object issue order is preserved.
+            for (i, id) in h.0.iter().enumerate() {
+                assert_eq!(&*table.resolve(*id).op, format!("op{i}"));
+            }
+        }
+        // The merged view is totally ordered by seq with no duplicates.
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 200);
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
     }
 }

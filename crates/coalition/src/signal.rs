@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use stacl_ids::sync::Mutex;
 use stacl_sral::ast::{name, Name};
 
 /// A board of named sticky signals, shareable across threads.

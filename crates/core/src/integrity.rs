@@ -28,9 +28,9 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use stacl_coalition::ProofStore;
+use stacl_srac::Constraint;
 use stacl_sral::builder as b;
 use stacl_sral::{Access, Program};
-use stacl_srac::Constraint;
 
 /// The operation name used for verification accesses.
 pub const VERIFY_OP: &str = "verify";
@@ -237,9 +237,12 @@ impl ModuleGraph {
     /// dependency order (layer by layer).
     pub fn audit_program_sequential(&self) -> Program {
         let layers = self.layers().expect("insert order guarantees acyclicity");
-        b::seq(layers.into_iter().flatten().map(|m| {
-            Program::Access(Self::verify_access(m))
-        }))
+        b::seq(
+            layers
+                .into_iter()
+                .flatten()
+                .map(|m| Program::Access(Self::verify_access(m))),
+        )
     }
 
     /// The parallel audit program: within each dependency layer the

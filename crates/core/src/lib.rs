@@ -45,7 +45,7 @@
 //!     grant reader p-read
 //!     assign n1 reader
 //! "#).unwrap();
-//! let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+//! let guard = CoordinatedGuard::new(ExtendedRbac::new(model));
 //! guard.enroll("n1", ["reader"]);
 //!
 //! // An agent reading on both servers.
@@ -63,10 +63,11 @@ pub mod integrity;
 
 pub use stacl_baselines as baselines;
 pub use stacl_coalition as coalition;
+pub use stacl_ids as ids;
 pub use stacl_naplet as naplet;
 pub use stacl_rbac as rbac;
-pub use stacl_sral as sral;
 pub use stacl_srac as srac;
+pub use stacl_sral as sral;
 pub use stacl_temporal as temporal;
 pub use stacl_trace as trace;
 
@@ -74,16 +75,20 @@ pub use stacl_trace as trace;
 pub mod prelude {
     pub use stacl_baselines::{LocalHistoryGuard, PlainRbacGuard, TrbacGuard};
     pub use stacl_coalition::{
-        AccessLog, ChannelHub, CoalitionEnv, DecisionKind, ExecutionProof, ProofStore,
+        AccessLog, ChannelHub, CoalitionEnv, Decision, DecisionKind, ExecutionProof, ProofStore,
         SignalBoard, VirtualClock,
     };
+    // `stacl_coalition::Verdict` (a guard decision) is deliberately kept out of
+    // the flat prelude: `stacl_srac::Verdict` (a constraint-check outcome)
+    // already owns the short name below. Use `stacl::coalition::Verdict`.
+    pub use stacl_ids::{IdKind, Interner, ObjectId, PermId, ResourceId, RoleId, ServerId};
     pub use stacl_naplet::prelude::*;
     pub use stacl_rbac::{
         AccessPattern, AccessRequest, ExtendedRbac, HistoryScope, Permission, PermissionState,
         RbacModel,
     };
-    pub use stacl_sral::{Access, Cond, Env, Expr, Program, Value};
     pub use stacl_srac::{check_program, Constraint, Selector, Semantics, Verdict};
+    pub use stacl_sral::{Access, Cond, Env, Expr, Program, Value};
     pub use stacl_temporal::{BaseTimeScheme, PermissionTimeline, StepFn, TimeDelta, TimePoint};
     pub use stacl_trace::{AccessId, AccessTable, Dfa, Regex, Trace};
 }

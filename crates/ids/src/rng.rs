@@ -1,0 +1,122 @@
+//! A tiny deterministic pseudo-random generator (SplitMix64) for seeded
+//! workload generation and property tests. Not cryptographic; chosen for
+//! determinism, speed, and zero dependencies.
+
+use std::ops::Range;
+
+/// Steele, Lea & Flood's SplitMix64: a full-period 64-bit generator with
+/// excellent statistical quality for its size.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator (same name as `rand::SeedableRng` for easy
+    /// migration of call sites).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from a half-open range (like `rand::Rng::gen_range`
+    /// restricted to `low..high` ranges).
+    pub fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(range, self)
+    }
+
+    /// A Bernoulli draw with success probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// An unbiased-enough draw in `[0, bound)` via 128-bit widening
+    /// multiplication (Lemire's method without the rejection step — the
+    /// residual bias is ≤ 2⁻⁶⁴·bound, irrelevant for tests and benches).
+    fn bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_range(0..items.len())]
+    }
+}
+
+/// Types that can be sampled uniformly from a `low..high` range.
+pub trait SampleRange: Sized {
+    /// Draw a uniform value in `[range.start, range.end)`.
+    fn sample(range: Range<Self>, rng: &mut SplitMix64) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(range: Range<Self>, rng: &mut SplitMix64) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as i128 - range.start as i128) as u64;
+                (range.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl SampleRange for f64 {
+    fn sample(range: Range<Self>, rng: &mut SplitMix64) -> Self {
+        assert!(range.start < range.end, "empty range");
+        range.start + rng.gen_f64() * (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0usize..5);
+            assert!(y < 5);
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn covers_all_residues() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the interner: name→id→name round-trips, idempotent
+//! interning, dense id allocation, and agreement between the lock-free
+//! read path (`get`) and the interning path — across every id kind and
+//! under concurrent interning.
+
+use stacl_ids::prop::forall;
+use stacl_ids::rng::SplitMix64;
+use stacl_ids::{IdKind, Interner, ObjectId, PermId, RoleId};
+
+fn random_name(rng: &mut SplitMix64) -> String {
+    // Small universe so re-interning the same name is common.
+    format!("name-{}", rng.next_u64() % 64)
+}
+
+#[test]
+fn intern_resolve_roundtrip() {
+    forall("intern_resolve_roundtrip", 0x1d5, 64, |rng| {
+        let interner: Interner<ObjectId> = Interner::new();
+        for _ in 0..100 {
+            let name = random_name(rng);
+            let id = interner.intern(&name);
+            // resolve inverts intern…
+            assert_eq!(&*interner.resolve(id), name.as_str());
+            assert_eq!(interner.try_resolve(id).as_deref(), Some(name.as_str()));
+            // …and interning is idempotent, with `get` agreeing.
+            assert_eq!(interner.intern(&name), id);
+            assert_eq!(interner.get(&name), Some(id));
+        }
+        // Ids are dense: every index below len resolves.
+        for i in 0..interner.len() {
+            let id = ObjectId::from_index(i as u32);
+            assert!(interner.try_resolve(id).is_some());
+            assert_eq!(id.as_usize(), i);
+        }
+    });
+}
+
+#[test]
+fn distinct_names_get_distinct_ids() {
+    forall("distinct_names_get_distinct_ids", 0x2e6, 64, |rng| {
+        let interner: Interner<RoleId> = Interner::new();
+        let names: Vec<String> = (0..50).map(|_| random_name(rng)).collect();
+        let ids: Vec<RoleId> = names.iter().map(|n| interner.intern(n)).collect();
+        for (i, (na, ia)) in names.iter().zip(&ids).enumerate() {
+            for (nb, ib) in names.iter().zip(&ids).skip(i + 1) {
+                assert_eq!(na == nb, ia == ib, "{na} vs {nb}");
+            }
+        }
+        // The snapshot lists every distinct name exactly once, in id order.
+        let snapshot = interner.snapshot();
+        assert_eq!(snapshot.len(), interner.len());
+        for (i, n) in snapshot.iter().enumerate() {
+            assert_eq!(interner.get(n), Some(RoleId::from_index(i as u32)));
+        }
+    });
+}
+
+#[test]
+fn concurrent_interning_is_consistent() {
+    forall("concurrent_interning_is_consistent", 0x3f7, 16, |rng| {
+        let interner: Interner<PermId> = Interner::new();
+        let names: Vec<String> = (0..32).map(|_| random_name(rng)).collect();
+        std::thread::scope(|scope| {
+            for offset in 0..4usize {
+                let interner = &interner;
+                let names = &names;
+                scope.spawn(move || {
+                    for i in 0..names.len() {
+                        interner.intern(&names[(i + offset * 8) % names.len()]);
+                    }
+                });
+            }
+        });
+        // Whatever the interleaving, the mapping is a bijection.
+        for name in &names {
+            let id = interner.get(name).expect("every name was interned");
+            assert_eq!(&*interner.resolve(id), name.as_str());
+        }
+        let distinct: std::collections::HashSet<&str> = names.iter().map(|s| s.as_str()).collect();
+        assert_eq!(interner.len(), distinct.len());
+    });
+}

@@ -6,15 +6,24 @@
 //! access, the object's *remaining program* and the current time; the
 //! guard also sees the proof store (the object's cross-server history) and
 //! may record state of its own.
+//!
+//! [`CoordinatedGuard`] keeps its per-object state (open session, clean
+//! record) in **per-object shards** behind fine-grained locks and exposes
+//! a `&self` decision path ([`CoordinatedGuard::decide`]), so one guard
+//! can serve concurrent per-object request streams; the
+//! [`SecurityGuard`] impl is a thin `&mut` adapter over it.
 
-use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_coalition::{DecisionKind, ProofStore, Verdict};
+use stacl_ids::sync::{Mutex, RwLock};
 use stacl_rbac::{AccessRequest, ExtendedRbac, SessionId};
-use stacl_sral::{Access, Program};
 use stacl_srac::Constraint;
+use stacl_sral::ast::{name, Name};
+use stacl_sral::{Access, Program};
 use stacl_temporal::TimePoint;
 use stacl_trace::AccessTable;
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One interception: everything a guard may consult.
 pub struct GuardRequest<'a> {
@@ -38,7 +47,7 @@ pub trait SecurityGuard: Send {
         req: &GuardRequest<'_>,
         proofs: &ProofStore,
         table: &mut AccessTable,
-    ) -> DecisionKind;
+    ) -> Verdict;
 
     /// Notification that `object` arrived at a server (migration or
     /// creation) — lets temporal schemes refill per-server budgets.
@@ -55,8 +64,8 @@ impl SecurityGuard for PermissiveGuard {
         _req: &GuardRequest<'_>,
         _proofs: &ProofStore,
         _table: &mut AccessTable,
-    ) -> DecisionKind {
-        DecisionKind::Granted
+    ) -> Verdict {
+        Verdict::granted()
     }
 }
 
@@ -77,22 +86,37 @@ pub enum EnforcementMode {
     Reactive,
 }
 
+/// Per-object guard state, one shard per enrolled object.
+#[derive(Debug)]
+struct ObjectState {
+    /// The object's open session, established on first contact.
+    session: Option<SessionId>,
+    /// True while every decision so far was a grant — the condition under
+    /// which preventive-mode spatial approvals may be reused.
+    clean: bool,
+}
+
 /// The coordinated guard: extended RBAC with spatio-temporal constraints
 /// (the paper's model, end to end).
 ///
 /// Each mobile object is an RBAC user; on its first access the guard
 /// opens a session and activates the roles registered for the object via
 /// [`CoordinatedGuard::enroll`].
+///
+/// All state lives behind interior locks: the decision core in one
+/// [`Mutex`], each object's session/clean record in its own shard. The
+/// real decision path is the `&self` [`CoordinatedGuard::decide`];
+/// [`SecurityGuard::check`] simply forwards to it.
 pub struct CoordinatedGuard {
-    rbac: ExtendedRbac,
+    /// The decision core. Lock order: object shard first, then this —
+    /// never the reverse.
+    rbac: Mutex<ExtendedRbac>,
     /// object → roles to activate on first contact.
-    enrollments: HashMap<String, Vec<String>>,
-    /// object → open session.
-    sessions: HashMap<String, SessionId>,
+    enrollments: RwLock<HashMap<Name, Vec<Name>>>,
+    /// object → its guard-state shard (created lazily, only for enrolled
+    /// objects).
+    objects: RwLock<HashMap<Name, Arc<Mutex<ObjectState>>>>,
     mode: EnforcementMode,
-    /// Objects whose every decision so far was a grant — the condition
-    /// under which preventive-mode spatial approvals may be reused.
-    clean: HashMap<String, bool>,
     /// Whether monotone approval reuse is enabled (on by default; turn
     /// off to measure the unoptimised Eq. 3.1 gate — see E10).
     approval_reuse: bool,
@@ -102,11 +126,10 @@ impl CoordinatedGuard {
     /// Wrap a configured extended-RBAC instance (preventive mode).
     pub fn new(rbac: ExtendedRbac) -> Self {
         CoordinatedGuard {
-            rbac,
-            enrollments: HashMap::new(),
-            sessions: HashMap::new(),
+            rbac: Mutex::new(rbac),
+            enrollments: RwLock::new(HashMap::new()),
+            objects: RwLock::new(HashMap::new()),
             mode: EnforcementMode::Preventive,
-            clean: HashMap::new(),
             approval_reuse: true,
         }
     }
@@ -126,52 +149,78 @@ impl CoordinatedGuard {
     /// Register which roles an object activates when it first appears
     /// (the Naplet authentication + role-activation step of §5.1).
     pub fn enroll<S: AsRef<str>>(
-        &mut self,
+        &self,
         object: impl AsRef<str>,
         roles: impl IntoIterator<Item = S>,
     ) {
-        self.enrollments.insert(
-            object.as_ref().to_string(),
-            roles.into_iter().map(|r| r.as_ref().to_string()).collect(),
-        );
+        self.enrollments
+            .write()
+            .insert(name(object), roles.into_iter().map(name).collect());
     }
 
-    /// Access the underlying RBAC engine (e.g. to inspect permission
-    /// states after a run).
-    pub fn rbac(&self) -> &ExtendedRbac {
-        &self.rbac
+    /// Run a closure against the underlying RBAC engine (e.g. to inspect
+    /// permission states after a run, or to define validity classes).
+    pub fn with_rbac<R>(&self, f: impl FnOnce(&mut ExtendedRbac) -> R) -> R {
+        f(&mut self.rbac.lock())
     }
 
-    /// Mutable access to the underlying RBAC engine.
-    pub fn rbac_mut(&mut self) -> &mut ExtendedRbac {
-        &mut self.rbac
-    }
-
-    fn session_for(&mut self, object: &str) -> Option<SessionId> {
-        if let Some(&sid) = self.sessions.get(object) {
-            return Some(sid);
+    /// The state shard for `object`, created on first contact — but only
+    /// for enrolled objects, so strangers cannot grow the shard map.
+    fn object_state(&self, object: &str) -> Option<Arc<Mutex<ObjectState>>> {
+        if let Some(s) = self.objects.read().get(object) {
+            return Some(Arc::clone(s));
         }
-        let roles = self.enrollments.get(object)?.clone();
-        let sid = self.rbac.open_session(object, vec![]).ok()?;
-        for role in &roles {
+        if !self.enrollments.read().contains_key(object) {
+            return None;
+        }
+        let mut map = self.objects.write();
+        Some(Arc::clone(map.entry(name(object)).or_insert_with(|| {
+            Arc::new(Mutex::new(ObjectState {
+                session: None,
+                clean: true,
+            }))
+        })))
+    }
+
+    /// Open the object's session and activate its enrolled roles. Called
+    /// under the object's shard lock with the rbac lock held.
+    fn open_session_for(&self, rbac: &mut ExtendedRbac, object: &str) -> Option<SessionId> {
+        let enrollments = self.enrollments.read();
+        let roles = enrollments.get(object)?;
+        let sid = rbac.open_session(object, vec![]).ok()?;
+        for role in roles {
             // A role the user isn't authorized for fails activation; the
             // object then simply lacks those permissions.
-            let _ = self.rbac.activate_role(sid, role);
+            let _ = rbac.activate_role(sid, role);
         }
-        self.sessions.insert(object.to_string(), sid);
         Some(sid)
     }
-}
 
-impl SecurityGuard for CoordinatedGuard {
-    fn check(
-        &mut self,
+    /// The `&self` decision path. Decisions for one object serialize on
+    /// that object's shard; the decision core is locked only for the
+    /// actual gate call. In the steady state (session open, approvals
+    /// reusable) a granted decision allocates nothing.
+    pub fn decide(
+        &self,
         req: &GuardRequest<'_>,
         proofs: &ProofStore,
         table: &mut AccessTable,
-    ) -> DecisionKind {
-        let Some(sid) = self.session_for(req.object) else {
-            return DecisionKind::DeniedNoPermission;
+    ) -> Verdict {
+        let Some(state) = self.object_state(req.object) else {
+            return DecisionKind::DeniedNoPermission.into();
+        };
+        // Lock order: object shard, then the rbac core.
+        let mut st = state.lock();
+        let mut rbac = self.rbac.lock();
+        let sid = match st.session {
+            Some(sid) => sid,
+            None => {
+                let Some(sid) = self.open_session_for(&mut rbac, req.object) else {
+                    return DecisionKind::DeniedNoPermission.into();
+                };
+                st.session = Some(sid);
+                sid
+            }
         };
         // In reactive mode only the attempted access itself is declared.
         let single;
@@ -184,7 +233,7 @@ impl SecurityGuard for CoordinatedGuard {
         };
         // Spatial approvals are monotone along clean preventive execution
         // (see `AccessRequest::reuse_spatial`).
-        let object_clean = *self.clean.get(req.object).unwrap_or(&true);
+        let object_clean = st.clean;
         let request = AccessRequest {
             object: req.object,
             session: sid,
@@ -195,14 +244,29 @@ impl SecurityGuard for CoordinatedGuard {
                 && self.mode == EnforcementMode::Preventive
                 && object_clean,
         };
-        let decision = self.rbac.decide(&request, proofs, table);
-        self.clean
-            .insert(req.object.to_string(), object_clean && decision.is_granted());
+        let decision = rbac.decide(&request, proofs, table);
+        st.clean = object_clean && decision.is_granted();
         decision
     }
 
+    /// `&self` arrival notification (see [`SecurityGuard::note_arrival`]).
+    pub fn note_arrival(&self, object: &str, time: TimePoint) {
+        self.rbac.lock().note_arrival(object, time);
+    }
+}
+
+impl SecurityGuard for CoordinatedGuard {
+    fn check(
+        &mut self,
+        req: &GuardRequest<'_>,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> Verdict {
+        self.decide(req, proofs, table)
+    }
+
     fn note_arrival(&mut self, object: &str, time: TimePoint) {
-        self.rbac.note_arrival(object, time);
+        CoordinatedGuard::note_arrival(self, object, time);
     }
 }
 
@@ -225,7 +289,7 @@ impl SecurityGuard for SpatialOnlyGuard {
         req: &GuardRequest<'_>,
         proofs: &ProofStore,
         table: &mut AccessTable,
-    ) -> DecisionKind {
+    ) -> Verdict {
         let history = proofs.history_of(req.object, table);
         let verdict = stacl_srac::check::check_residual(
             &history,
@@ -235,11 +299,9 @@ impl SecurityGuard for SpatialOnlyGuard {
             stacl_srac::check::Semantics::ForAll,
         );
         if verdict.holds {
-            DecisionKind::Granted
+            Verdict::granted()
         } else {
-            DecisionKind::DeniedSpatial {
-                constraint: self.constraint.to_string(),
-            }
+            Verdict::denied(DecisionKind::DeniedSpatial, self.constraint.to_string())
         }
     }
 }
@@ -279,7 +341,7 @@ mod tests {
             .unwrap();
         m.assign_permission("r", "p").unwrap();
         m.assign_user("n1", "r").unwrap();
-        let mut g = CoordinatedGuard::new(ExtendedRbac::new(m));
+        let g = CoordinatedGuard::new(ExtendedRbac::new(m));
         g.enroll("n1", ["r"]);
 
         let proofs = ProofStore::new();
@@ -292,7 +354,8 @@ mod tests {
             remaining: &p,
             time: tp(0.0),
         };
-        assert!(g.check(&req, &proofs, &mut table).is_granted());
+        // Through the shared `&self` path — no mut binding needed.
+        assert!(g.decide(&req, &proofs, &mut table).is_granted());
         // Unenrolled object: denied.
         let req2 = GuardRequest {
             object: "stranger",
@@ -301,7 +364,7 @@ mod tests {
             time: tp(0.0),
         };
         assert_eq!(
-            g.check(&req2, &proofs, &mut table),
+            g.decide(&req2, &proofs, &mut table).kind,
             DecisionKind::DeniedNoPermission
         );
     }
@@ -323,9 +386,15 @@ mod tests {
         assert!(g.check(&req, &proofs, &mut table).is_granted());
         // After one proof, a second access would exceed the cap.
         proofs.issue("o", a.clone(), tp(0.0));
-        assert!(matches!(
-            g.check(&req, &proofs, &mut table),
-            DecisionKind::DeniedSpatial { .. }
-        ));
+        assert_eq!(
+            g.check(&req, &proofs, &mut table).kind,
+            DecisionKind::DeniedSpatial
+        );
+    }
+
+    #[test]
+    fn guard_is_share_ready() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<CoordinatedGuard>();
     }
 }

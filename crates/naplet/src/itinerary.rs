@@ -165,7 +165,10 @@ mod tests {
     fn alt_takes_first() {
         let it = Itinerary::Seq(vec![
             Itinerary::visit("s1"),
-            Itinerary::Alt(vec![Itinerary::visit("mirror-a"), Itinerary::visit("mirror-b")]),
+            Itinerary::Alt(vec![
+                Itinerary::visit("mirror-a"),
+                Itinerary::visit("mirror-b"),
+            ]),
         ]);
         let stops: Vec<String> = it.stops().iter().map(|n| n.to_string()).collect();
         assert_eq!(stops, ["s1", "mirror-a"]);
@@ -187,9 +190,7 @@ mod tests {
     #[test]
     fn itinerary_compiles_to_program() {
         use stacl_sral::Program;
-        let work = |s: &Name| {
-            Program::Access(stacl_sral::Access::new("scan", "data", &**s))
-        };
+        let work = |s: &Name| Program::Access(stacl_sral::Access::new("scan", "data", &**s));
         let seq = itinerary_program(&Itinerary::tour(["a", "b"]), &work);
         assert_eq!(seq.to_string(), "scan data @ a ; scan data @ b");
         let par = itinerary_program(&Itinerary::split_tour(["a", "b"], 2), &work);

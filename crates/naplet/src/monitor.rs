@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use stacl_ids::sync::RwLock;
 use stacl_sral::ast::Name;
 use stacl_temporal::TimePoint;
 
@@ -130,12 +130,12 @@ impl Monitor {
             .read()
             .iter()
             .filter_map(|e| match e {
-                LifecycleEvent::Created { agent: a, server, .. }
-                | LifecycleEvent::Arrived { agent: a, server, .. }
-                    if &**a == agent =>
-                {
-                    Some(server.clone())
+                LifecycleEvent::Created {
+                    agent: a, server, ..
                 }
+                | LifecycleEvent::Arrived {
+                    agent: a, server, ..
+                } if &**a == agent => Some(server.clone()),
                 _ => None,
             })
             .collect()

@@ -191,10 +191,8 @@ mod tests {
 
     #[test]
     fn reporting_singleton_appends_signal() {
-        let p = Pattern::Single(
-            Singleton::new(Access::new("a", "r", "s")).reporting("done"),
-        )
-        .to_program();
+        let p = Pattern::Single(Singleton::new(Access::new("a", "r", "s")).reporting("done"))
+            .to_program();
         match p {
             Program::Seq(_, b) => assert!(matches!(*b, Program::Signal(_))),
             other => panic!("{other:?}"),
@@ -207,7 +205,10 @@ mod tests {
             Cond::cmp(CmpOp::Lt, Expr::var("i"), Expr::Int(2)),
             Pattern::seq([
                 Pattern::access("a", "r", "s1"),
-                Pattern::par([Pattern::access("b", "r", "s2"), Pattern::access("c", "r", "s3")]),
+                Pattern::par([
+                    Pattern::access("b", "r", "s2"),
+                    Pattern::access("c", "r", "s3"),
+                ]),
             ]),
         );
         let p = pat.to_program();
@@ -229,10 +230,8 @@ mod tests {
         }
         // The compiled program mentions each server exactly once.
         let prog = pat.to_program();
-        let servers: std::collections::BTreeSet<String> = prog
-            .accesses()
-            .map(|a| a.server.to_string())
-            .collect();
+        let servers: std::collections::BTreeSet<String> =
+            prog.accesses().map(|a| a.server.to_string()).collect();
         assert_eq!(servers.len(), 4);
     }
 

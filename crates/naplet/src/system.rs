@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 
 use stacl_coalition::{
     AccessLog, ChannelHub, CoalitionEnv, DecisionKind, EventQueue, ProofStore, SignalBoard,
-    VirtualClock,
+    Verdict, VirtualClock,
 };
 use stacl_sral::ast::{Name, Program};
 use stacl_sral::{Env, Value};
@@ -496,9 +496,7 @@ impl NapletSystem {
                 &*name,
                 access.clone(),
                 now,
-                DecisionKind::DeniedUnknownTarget {
-                    reason: e.to_string(),
-                },
+                Verdict::denied(DecisionKind::DeniedUnknownTarget, e.to_string()),
             );
             self.deny(sid, agent_ix, format!("unresolvable access {access}: {e}"));
             return;
@@ -539,17 +537,14 @@ impl NapletSystem {
         let decision = self.guard.check(&req, &self.proofs, &mut self.table);
         self.log
             .record(&*name, access.clone(), now, decision.clone());
-        match decision {
-            DecisionKind::Granted => {
-                // Proofs carry the issuing server's local time (§2).
-                let local = self.local_time(&access.server);
-                self.proofs.issue(&*name, access, local);
-                self.charge(self.config.access_cost);
-                self.requeue(sid);
-            }
-            other => {
-                self.deny(sid, agent_ix, format!("access denied: {other:?}"));
-            }
+        if decision.is_granted() {
+            // Proofs carry the issuing server's local time (§2).
+            let local = self.local_time(&access.server);
+            self.proofs.issue(&*name, access, local);
+            self.charge(self.config.access_cost);
+            self.requeue(sid);
+        } else {
+            self.deny(sid, agent_ix, format!("access denied: {decision}"));
         }
     }
 
@@ -858,7 +853,11 @@ mod tests {
     #[test]
     fn missing_signal_deadlocks() {
         let mut sys = permissive(env3());
-        sys.spawn(NapletSpec::new("w", "s1", parse_program("wait(never)").unwrap()));
+        sys.spawn(NapletSpec::new(
+            "w",
+            "s1",
+            parse_program("wait(never)").unwrap(),
+        ));
         let r = sys.run();
         assert_eq!(r.deadlocked, 1);
         assert_eq!(r.finished, 0);
@@ -930,19 +929,19 @@ mod tests {
     #[test]
     fn remaining_program_reaches_guard() {
         // A guard that records the remaining program sizes it sees.
-        struct Recorder(std::sync::Arc<parking_lot::Mutex<Vec<usize>>>);
+        struct Recorder(std::sync::Arc<stacl_ids::sync::Mutex<Vec<usize>>>);
         impl SecurityGuard for Recorder {
             fn check(
                 &mut self,
                 req: &GuardRequest<'_>,
                 _proofs: &ProofStore,
                 _table: &mut AccessTable,
-            ) -> DecisionKind {
+            ) -> Verdict {
                 self.0.lock().push(req.remaining.size());
-                DecisionKind::Granted
+                Verdict::granted()
             }
         }
-        let sizes = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sizes = std::sync::Arc::new(stacl_ids::sync::Mutex::new(Vec::new()));
         let mut sys = NapletSystem::new(env3(), Box::new(Recorder(sizes.clone())));
         let p = parse_program("read db @ s1 ; read db @ s1 ; read db @ s1").unwrap();
         sys.spawn(NapletSpec::new("n1", "s1", p));

@@ -2,7 +2,7 @@
 //! agents must leave consistent state; deadlocks must be detected, not
 //! spun on; large agent populations must stay deterministic.
 
-use stacl_coalition::{CoalitionEnv, DecisionKind, ProofStore};
+use stacl_coalition::{CoalitionEnv, DecisionKind, ProofStore, Verdict};
 use stacl_naplet::guard::{GuardRequest, SecurityGuard};
 use stacl_naplet::prelude::*;
 use stacl_sral::builder::*;
@@ -29,15 +29,15 @@ impl SecurityGuard for DenyNth {
         _req: &GuardRequest<'_>,
         _proofs: &ProofStore,
         _table: &mut AccessTable,
-    ) -> DecisionKind {
+    ) -> Verdict {
         if self.countdown == 0 {
-            return DecisionKind::Granted;
+            return Verdict::granted();
         }
         self.countdown -= 1;
         if self.countdown == 0 {
-            DecisionKind::DeniedNoPermission
+            Verdict::denied(DecisionKind::DeniedNoPermission, "injected denial")
         } else {
-            DecisionKind::Granted
+            Verdict::granted()
         }
     }
 }
@@ -47,10 +47,8 @@ fn abort_mid_parallel_kills_all_strands() {
     // The 3rd access is denied while two strands are in flight: the whole
     // agent dies and no further proofs appear.
     let mut sys = NapletSystem::new(env(4), Box::new(DenyNth { countdown: 3 }));
-    let p = parse_program(
-        "{ op res @ s0 ; op res @ s1 } || { op res @ s2 ; op res @ s3 }",
-    )
-    .unwrap();
+    let p =
+        parse_program("{ op res @ s0 ; op res @ s1 } || { op res @ s2 ; op res @ s3 }").unwrap();
     sys.spawn(NapletSpec::new("n", "s0", p));
     let r = sys.run();
     assert_eq!(r.aborted, 1);
@@ -149,8 +147,7 @@ fn producer_consumer_pipeline_of_agents() {
     sys.spawn(NapletSpec::new(
         "source",
         "s0",
-        parse_program("n := 3 ; while n > 0 do { op res @ s0 ; stage1 ! n ; n := n - 1 }")
-            .unwrap(),
+        parse_program("n := 3 ; while n > 0 do { op res @ s0 ; stage1 ! n ; n := n - 1 }").unwrap(),
     ));
     sys.spawn(NapletSpec::new(
         "relay",
@@ -163,8 +160,7 @@ fn producer_consumer_pipeline_of_agents() {
     sys.spawn(NapletSpec::new(
         "sink",
         "s2",
-        parse_program("j := 3 ; while j > 0 do { stage2 ? y ; op res @ s2 ; j := j - 1 }")
-            .unwrap(),
+        parse_program("j := 3 ; while j > 0 do { stage2 ? y ; op res @ s2 ; j := j - 1 }").unwrap(),
     ));
     let r = sys.run();
     assert_eq!(r.finished, 3, "{:?}", r.statuses);
@@ -183,11 +179,11 @@ fn skip_mode_sweeps_past_repeated_denials() {
             req: &GuardRequest<'_>,
             _proofs: &ProofStore,
             _table: &mut AccessTable,
-        ) -> DecisionKind {
+        ) -> Verdict {
             if &*req.access.server == "s1" {
-                DecisionKind::DeniedNoPermission
+                Verdict::denied(DecisionKind::DeniedNoPermission, "s1 is off limits")
             } else {
-                DecisionKind::Granted
+                Verdict::granted()
             }
         }
     }
@@ -218,7 +214,7 @@ fn environment_values_flow_between_strands() {
 
 #[test]
 fn lifecycle_hooks_fire_in_order_with_env_access() {
-    use parking_lot::Mutex;
+    use stacl_ids::sync::Mutex;
     use stacl_naplet::agent::Hooks;
     use std::sync::Arc;
 
@@ -243,10 +239,8 @@ fn lifecycle_hooks_fire_in_order_with_env_access() {
     let log = Arc::new(Mutex::new(Vec::new()));
     let mut sys = NapletSystem::new(env(2), Box::new(PermissiveGuard));
     // The program branches on the variable the create-hook seeded.
-    let p = parse_program(
-        "if hooked == 1 then { op res @ s0 ; op res @ s1 } else { skip }",
-    )
-    .unwrap();
+    let p =
+        parse_program("if hooked == 1 then { op res @ s0 ; op res @ s1 } else { skip }").unwrap();
     sys.spawn(NapletSpec::new("n", "s0", p).with_hooks(Arc::new(Recorder(log.clone()))));
     let r = sys.run();
     assert_eq!(r.finished, 1, "{:?}", r.statuses);
@@ -263,7 +257,11 @@ fn scheduled_spawns_fire_at_their_times() {
     let mut sys = NapletSystem::new(env(1), Box::new(PermissiveGuard));
     // One immediate agent and two scheduled ones; the last starts after a
     // quiescent gap, forcing the clock to jump.
-    sys.spawn(NapletSpec::new("now", "s0", parse_program("op res @ s0").unwrap()));
+    sys.spawn(NapletSpec::new(
+        "now",
+        "s0",
+        parse_program("op res @ s0").unwrap(),
+    ));
     sys.spawn_at(
         TimePoint::new(10.0),
         NapletSpec::new("later", "s0", parse_program("op res @ s0").unwrap()),
@@ -306,8 +304,8 @@ fn scheduled_spawn_can_unblock_a_waiter() {
 fn server_clock_skew_stamps_proofs_locally() {
     // s1 runs 100 seconds ahead of the coalition's virtual time; its
     // proofs carry the local timestamp while scheduling stays global.
-    let mut sys = NapletSystem::new(env(2), Box::new(PermissiveGuard))
-        .with_server_skew("s1", 100.0);
+    let mut sys =
+        NapletSystem::new(env(2), Box::new(PermissiveGuard)).with_server_skew("s1", 100.0);
     let p = parse_program("op res @ s0 ; op res @ s1").unwrap();
     sys.spawn(NapletSpec::new("n", "s0", p));
     let r = sys.run();

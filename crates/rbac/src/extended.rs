@@ -14,17 +14,35 @@
 //! prototype does (§5.2's `NapletSecurityManager`): role/permission
 //! lookup → spatial constraint check against the program and the
 //! execution proofs → temporal validity check → grant.
+//!
+//! ## The interned hot path
+//!
+//! Names cross this API as strings exactly once — at policy-load,
+//! session-open or first contact — and are interned into dense
+//! [`ObjectId`]/[`PermId`]/[`ClassId`] indices. The per-access gate then
+//! works entirely on machine words: candidate permissions come from a
+//! generation-validated per-session `Arc<Vec<PermId>>` cache, permission
+//! attributes from a dense table indexed by `PermId`, and spatial
+//! approvals and validity timelines from maps keyed by `Copy` id tuples.
+//! In the steady state (approvals reusable, timelines warm) a granted
+//! decision performs **zero heap allocations**. The original string-keyed
+//! procedure survives as [`ExtendedRbac::decide_string_keyed`] so the
+//! ablation experiments can measure exactly what interning buys.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
-use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_coalition::{DecisionKind, ProofStore, Verdict};
+use stacl_ids::{ClassId, IdKind, Interner, ObjectId, PermId};
+use stacl_srac::check::{check_residual_cached, ConstraintCache, Semantics};
+use stacl_srac::Constraint;
 use stacl_sral::ast::Name;
 use stacl_sral::{Access, Program};
-use stacl_srac::check::{check_residual_cached, ConstraintCache, Semantics};
-use stacl_temporal::{PermissionTimeline, TimePoint};
+use stacl_temporal::{BaseTimeScheme, PermissionTimeline, TimePoint};
 use stacl_trace::AccessTable;
 
 use crate::model::{RbacError, RbacModel};
+use crate::perm::{AccessPattern, HistoryScope};
 use crate::session::{Session, SessionId};
 use crate::sod::SodConstraint;
 
@@ -65,28 +83,86 @@ pub struct AccessRequest<'a> {
     pub reuse_spatial: bool,
 }
 
+/// The timeline a permission draws its validity budget from: its own
+/// per-object budget, or the shared budget of its validity class.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum BudgetKey {
+    /// The permission's own budget.
+    Perm(PermId),
+    /// A shared class budget (aggregated validity durations).
+    Class(ClassId),
+}
+
+/// A dense, id-indexed copy of one permission's decision-relevant
+/// attributes. Filled from the model when the permission first becomes a
+/// candidate; permission definitions are immutable in [`RbacModel`]
+/// (re-definition is rejected), so entries only go stale if the whole
+/// model is swapped — which the generation check detects.
+#[derive(Clone, Debug)]
+struct PermEntry {
+    name: Name,
+    grants: AccessPattern,
+    spatial: Option<Constraint>,
+    scope: HistoryScope,
+    validity: Option<f64>,
+    scheme: BaseTimeScheme,
+    class: Option<Name>,
+}
+
+/// The cached candidate permissions of one session, valid for one model
+/// generation.
+#[derive(Debug)]
+struct SessionPerms {
+    generation: u64,
+    perms: Arc<Vec<PermId>>,
+}
+
 /// RBAC with coordinated spatio-temporal enforcement.
 #[derive(Debug, Default)]
 pub struct ExtendedRbac {
-    /// The underlying role/permission model.
+    /// The underlying role/permission model. Mutating it through this
+    /// field is detected via [`RbacModel::generation`] and invalidates
+    /// the derived id-indexed caches.
     pub model: RbacModel,
     sessions: BTreeMap<SessionId, Session>,
     next_session: u64,
-    /// (object, permission) → validity timeline.
-    timelines: HashMap<(Name, Name), PermissionTimeline>,
+
+    // ---- interned decision state (the hot path) ----
+    /// Mobile-object name interner.
+    objects: Interner<ObjectId>,
+    /// Permission name interner.
+    perms: Interner<PermId>,
+    /// Validity-class name interner.
+    class_ids: Interner<ClassId>,
+    /// `PermId`-indexed permission attributes.
+    perm_table: Vec<Option<PermEntry>>,
+    /// The model generation `perm_table` was filled against.
+    table_generation: u64,
+    /// session → generation-validated candidate `PermId` list (in
+    /// permission-name order, so iteration order matches the string path).
+    session_perms: HashMap<SessionId, SessionPerms>,
+    /// (object, budget) → validity timeline.
+    timelines: HashMap<(ObjectId, BudgetKey), PermissionTimeline>,
     /// object → recorded server-arrival times (replayed into new
     /// timelines so late-activated permissions see the same epochs).
-    arrivals: HashMap<Name, Vec<TimePoint>>,
-    /// Memo of compiled constraint automata (policies are stable; only
-    /// programs and histories change between gate calls).
-    cache: ConstraintCache,
+    arrivals: HashMap<ObjectId, Vec<TimePoint>>,
     /// (object, permission) pairs whose spatial constraint has been
     /// established for the object's declared program (see
     /// [`AccessRequest::reuse_spatial`]).
-    spatial_ok: std::collections::HashSet<(Name, Name)>,
+    spatial_ok: HashSet<(ObjectId, PermId)>,
+
+    /// Memo of compiled constraint automata (policies are stable; only
+    /// programs and histories change between gate calls). Shared by both
+    /// decision paths so the ablation isolates *keying*, not compilation.
+    cache: ConstraintCache,
     /// Named validity classes: shared budgets that aggregate the validity
     /// durations of all member permissions (the paper's future-work item).
-    classes: HashMap<Name, (f64, stacl_temporal::BaseTimeScheme)>,
+    classes: HashMap<Name, (f64, BaseTimeScheme)>,
+
+    // ---- string-keyed ablation state (decide_string_keyed) ----
+    timelines_sk: HashMap<(Name, Name), PermissionTimeline>,
+    arrivals_sk: HashMap<Name, Vec<TimePoint>>,
+    spatial_ok_sk: HashSet<(Name, Name)>,
 }
 
 impl ExtendedRbac {
@@ -119,7 +195,12 @@ impl ExtendedRbac {
             .sessions
             .get_mut(&session)
             .ok_or_else(|| RbacError::UnknownUser(format!("session {session:?}")))?;
-        s.activate_role(model, role)
+        let res = s.activate_role(model, role);
+        if res.is_ok() {
+            // The session's candidate set changed.
+            self.session_perms.remove(&session);
+        }
+        res
     }
 
     /// Access a session (read-only).
@@ -136,7 +217,7 @@ impl ExtendedRbac {
         &mut self,
         name_: impl AsRef<str>,
         dur_seconds: f64,
-        scheme: stacl_temporal::BaseTimeScheme,
+        scheme: BaseTimeScheme,
     ) {
         assert!(dur_seconds.is_finite() && dur_seconds >= 0.0);
         self.classes
@@ -144,38 +225,229 @@ impl ExtendedRbac {
     }
 
     /// Look up a validity class.
-    pub fn validity_class(&self, name_: &str) -> Option<(f64, stacl_temporal::BaseTimeScheme)> {
+    pub fn validity_class(&self, name_: &str) -> Option<(f64, BaseTimeScheme)> {
         self.classes.get(name_).copied()
     }
 
     /// Record that `object` arrived at a (new) coalition server at `time`.
     /// Refills per-server validity budgets (Eq. 4.1's `t_b = t_i` scheme).
     pub fn note_arrival(&mut self, object: &str, time: TimePoint) {
-        self.arrivals
+        let oid = self.objects.intern(object);
+        self.arrivals.entry(oid).or_default().push(time);
+        for (&(o, _), tl) in self.timelines.iter_mut() {
+            if o == oid {
+                tl.arrive_at_server(time);
+            }
+        }
+        // Mirror into the string-keyed ablation state.
+        self.arrivals_sk
             .entry(stacl_sral::ast::name(object))
             .or_default()
             .push(time);
-        for ((o, _), tl) in self.timelines.iter_mut() {
+        for ((o, _), tl) in self.timelines_sk.iter_mut() {
             if &**o == object {
                 tl.arrive_at_server(time);
             }
         }
     }
 
+    /// The candidate `PermId` list for a session, rebuilt when the model
+    /// generation moved (or on the session's first decide / after a role
+    /// activation). Steady state: one `HashMap` hit + an `Arc` bump.
+    fn session_candidates(&mut self, sid: SessionId) -> Option<Arc<Vec<PermId>>> {
+        let generation = self.model.generation();
+        if let Some(sp) = self.session_perms.get(&sid) {
+            if sp.generation == generation {
+                return Some(Arc::clone(&sp.perms));
+            }
+        }
+        // The model changed since perm_table was filled: drop every dense
+        // entry so attributes are re-read from the current model.
+        if self.table_generation != generation {
+            for e in self.perm_table.iter_mut() {
+                *e = None;
+            }
+            self.table_generation = generation;
+        }
+        let session = self.sessions.get(&sid)?;
+        let names = session.available_permissions(&self.model);
+        let mut out = Vec::with_capacity(names.len());
+        for n in &names {
+            let pid = self.perms.intern(n);
+            let idx = pid.as_usize();
+            if self.perm_table.len() <= idx {
+                self.perm_table.resize(idx + 1, None);
+            }
+            if self.perm_table[idx].is_none() {
+                if let Some(p) = self.model.permission(n) {
+                    self.perm_table[idx] = Some(PermEntry {
+                        name: p.name.clone(),
+                        grants: p.grants.clone(),
+                        spatial: p.spatial.clone(),
+                        scope: p.scope,
+                        validity: p.validity,
+                        scheme: p.scheme,
+                        class: p.class.clone(),
+                    });
+                }
+            }
+            out.push(pid);
+        }
+        let perms = Arc::new(out);
+        self.session_perms.insert(
+            sid,
+            SessionPerms {
+                generation,
+                perms: Arc::clone(&perms),
+            },
+        );
+        Some(perms)
+    }
+
     /// The paper's permission gate. On success the caller must issue an
     /// execution proof (via the [`ProofStore`]) and record the grant.
+    ///
+    /// Runs entirely on interned ids; in the steady state (spatial
+    /// approval reusable, timeline memo warm) a grant allocates nothing.
     pub fn decide(
         &mut self,
         req: &AccessRequest<'_>,
         proofs: &ProofStore,
         table: &mut AccessTable,
-    ) -> DecisionKind {
+    ) -> Verdict {
         // 1. Subject and candidate permissions.
         let Some(session) = self.sessions.get(&req.session) else {
-            return DecisionKind::DeniedNoPermission;
+            return DecisionKind::DeniedNoPermission.into();
         };
         if &*session.user != req.object {
-            return DecisionKind::DeniedNoPermission;
+            return DecisionKind::DeniedNoPermission.into();
+        }
+        let Some(candidates) = self.session_candidates(req.session) else {
+            return DecisionKind::DeniedNoPermission.into();
+        };
+        let oid = self.objects.intern(req.object);
+
+        // 2–3. Try each covering candidate: spatial, then temporal.
+        let mut covered = false;
+        let mut spatial_failure: Option<String> = None;
+        let mut temporal_failure: Option<String> = None;
+        for &pid in candidates.iter() {
+            let Some(entry) = self.perm_table.get(pid.as_usize()).and_then(|e| e.as_ref()) else {
+                continue;
+            };
+            if !entry.grants.covers(req.access) {
+                continue;
+            }
+            covered = true;
+
+            // Spatial (Eq. 3.1): the object's remaining program, prefixed
+            // by its proven history, must satisfy the constraint.
+            if let Some(c) = &entry.spatial {
+                // Approval reuse is unsound for team scope: companions'
+                // histories grow independently of this object's execution.
+                let already_approved = req.reuse_spatial
+                    && entry.scope == HistoryScope::PerObject
+                    && self.spatial_ok.contains(&(oid, pid));
+                if !already_approved {
+                    let history = match entry.scope {
+                        HistoryScope::PerObject => proofs.history_of(req.object, table),
+                        HistoryScope::Team => proofs.combined_history(table),
+                    };
+                    let verdict = check_residual_cached(
+                        &history,
+                        req.program,
+                        c,
+                        table,
+                        Semantics::ForAll,
+                        &mut self.cache,
+                    );
+                    if !verdict.holds {
+                        self.spatial_ok.remove(&(oid, pid));
+                        spatial_failure = Some(c.to_string());
+                        continue;
+                    }
+                    self.spatial_ok.insert((oid, pid));
+                }
+            }
+
+            // Temporal (Eq. 4.1): activate on first grant, then require
+            // the valid state. A permission in a validity class shares the
+            // class's per-object timeline (aggregated budget).
+            let (bkey, validity, scheme) = match &entry.class {
+                Some(class) => match self.classes.get(class) {
+                    Some(&(dur, scheme)) => (
+                        BudgetKey::Class(self.class_ids.intern(class)),
+                        Some(dur),
+                        scheme,
+                    ),
+                    // Undefined class: fall back to the permission's own
+                    // attributes (and note it in the failure message).
+                    None => (BudgetKey::Perm(pid), entry.validity, entry.scheme),
+                },
+                None => (BudgetKey::Perm(pid), entry.validity, entry.scheme),
+            };
+            let tl = self.timelines.entry((oid, bkey)).or_insert_with(|| {
+                let mut tl = match validity {
+                    Some(d) => PermissionTimeline::new(d, scheme),
+                    None => PermissionTimeline::unlimited(scheme),
+                };
+                for &t in self.arrivals.get(&oid).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if t <= req.time {
+                        tl.arrive_at_server(t);
+                    }
+                }
+                tl
+            });
+            tl.activate(req.time);
+            if tl.is_valid_at(req.time) {
+                return Verdict::granted();
+            }
+            // `validity` is necessarily `Some` here: unlimited timelines
+            // are valid at every time point.
+            temporal_failure = Some(format!(
+                "permission `{}` validity duration exhausted (dur={}, scheme={}{})",
+                entry.name,
+                validity.map(|d| d.to_string()).unwrap_or_default(),
+                scheme.name(),
+                entry
+                    .class
+                    .as_ref()
+                    .map(|c| format!(", class={c}"))
+                    .unwrap_or_default()
+            ));
+        }
+
+        // All candidates failed: report the most informative reason.
+        if !covered {
+            DecisionKind::DeniedNoPermission.into()
+        } else if let Some(reason) = temporal_failure {
+            Verdict::denied(DecisionKind::DeniedTemporal, reason)
+        } else if let Some(constraint) = spatial_failure {
+            Verdict::denied(DecisionKind::DeniedSpatial, constraint)
+        } else {
+            DecisionKind::DeniedNoPermission.into()
+        }
+    }
+
+    /// The pre-interning decision procedure, kept verbatim for the
+    /// string-keyed-vs-interned ablation (E10): every lookup hashes
+    /// `Arc<str>` names, candidate sets are rebuilt per call, and the
+    /// permission is cloned out of the model. Maintains its own
+    /// (string-keyed) timeline/approval state; shares the compiled
+    /// constraint cache with [`ExtendedRbac::decide`] so only the keying
+    /// differs. Not part of the supported API.
+    #[doc(hidden)]
+    pub fn decide_string_keyed(
+        &mut self,
+        req: &AccessRequest<'_>,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> Verdict {
+        let Some(session) = self.sessions.get(&req.session) else {
+            return DecisionKind::DeniedNoPermission.into();
+        };
+        if &*session.user != req.object {
+            return DecisionKind::DeniedNoPermission.into();
         }
         let available = session.available_permissions(&self.model);
         let candidates: Vec<Name> = available
@@ -187,10 +459,9 @@ impl ExtendedRbac {
             })
             .collect();
         if candidates.is_empty() {
-            return DecisionKind::DeniedNoPermission;
+            return DecisionKind::DeniedNoPermission.into();
         }
 
-        // 2–3. Try each candidate: spatial, then temporal.
         let mut spatial_failure: Option<String> = None;
         let mut temporal_failure: Option<String> = None;
         for perm_name in candidates {
@@ -200,21 +471,15 @@ impl ExtendedRbac {
                 .expect("candidate came from the model")
                 .clone();
 
-            // Spatial (Eq. 3.1): the object's remaining program, prefixed
-            // by its proven history, must satisfy the constraint.
             if let Some(c) = &perm.spatial {
                 let ok_key = (stacl_sral::ast::name(req.object), perm.name.clone());
-                // Approval reuse is unsound for team scope: companions'
-                // histories grow independently of this object's execution.
                 let already_approved = req.reuse_spatial
-                    && perm.scope == crate::perm::HistoryScope::PerObject
-                    && self.spatial_ok.contains(&ok_key);
+                    && perm.scope == HistoryScope::PerObject
+                    && self.spatial_ok_sk.contains(&ok_key);
                 if !already_approved {
                     let history = match perm.scope {
-                        crate::perm::HistoryScope::PerObject => {
-                            proofs.history_of(req.object, table)
-                        }
-                        crate::perm::HistoryScope::Team => proofs.combined_history(table),
+                        HistoryScope::PerObject => proofs.history_of(req.object, table),
+                        HistoryScope::Team => proofs.combined_history(table),
                     };
                     let verdict = check_residual_cached(
                         &history,
@@ -225,17 +490,14 @@ impl ExtendedRbac {
                         &mut self.cache,
                     );
                     if !verdict.holds {
-                        self.spatial_ok.remove(&ok_key);
+                        self.spatial_ok_sk.remove(&ok_key);
                         spatial_failure = Some(c.to_string());
                         continue;
                     }
-                    self.spatial_ok.insert(ok_key);
+                    self.spatial_ok_sk.insert(ok_key);
                 }
             }
 
-            // Temporal (Eq. 4.1): activate on first grant, then require
-            // the valid state. A permission in a validity class shares the
-            // class's per-object timeline (aggregated budget).
             let (budget_key, validity, scheme) = match &perm.class {
                 Some(class) => match self.classes.get(class) {
                     Some(&(dur, scheme)) => (
@@ -243,20 +505,18 @@ impl ExtendedRbac {
                         Some(dur),
                         scheme,
                     ),
-                    // Undefined class: fall back to the permission's own
-                    // attributes (and note it in the failure message).
                     None => (perm.name.clone(), perm.validity, perm.scheme),
                 },
                 None => (perm.name.clone(), perm.validity, perm.scheme),
             };
             let key = (stacl_sral::ast::name(req.object), budget_key);
-            let tl = self.timelines.entry(key).or_insert_with(|| {
+            let tl = self.timelines_sk.entry(key).or_insert_with(|| {
                 let mut tl = match validity {
                     Some(d) => PermissionTimeline::new(d, scheme),
                     None => PermissionTimeline::unlimited(scheme),
                 };
                 for &t in self
-                    .arrivals
+                    .arrivals_sk
                     .get(req.object)
                     .map(|v| v.as_slice())
                     .unwrap_or(&[])
@@ -269,12 +529,12 @@ impl ExtendedRbac {
             });
             tl.activate(req.time);
             if tl.is_valid_at(req.time) {
-                return DecisionKind::Granted;
+                return Verdict::granted();
             }
             temporal_failure = Some(format!(
-                "permission `{}` validity duration exhausted (dur={:?}, scheme={}{})",
+                "permission `{}` validity duration exhausted (dur={}, scheme={}{})",
                 perm.name,
-                validity,
+                validity.map(|d| d.to_string()).unwrap_or_default(),
                 scheme.name(),
                 perm.class
                     .as_ref()
@@ -283,20 +543,35 @@ impl ExtendedRbac {
             ));
         }
 
-        // All candidates failed: report the most informative reason.
         if let Some(reason) = temporal_failure {
-            DecisionKind::DeniedTemporal { reason }
+            Verdict::denied(DecisionKind::DeniedTemporal, reason)
         } else if let Some(constraint) = spatial_failure {
-            DecisionKind::DeniedSpatial { constraint }
+            Verdict::denied(DecisionKind::DeniedSpatial, constraint)
         } else {
-            DecisionKind::DeniedNoPermission
+            DecisionKind::DeniedNoPermission.into()
         }
     }
 
-    /// The timeline key a permission draws its validity budget from: its
-    /// class key when it belongs to a defined validity class, otherwise
-    /// its own name.
-    fn budget_key_of(&self, perm: &str) -> Name {
+    /// The interned budget key a permission draws its validity from, if
+    /// the relevant names were ever interned (i.e. a timeline can exist).
+    fn budget_key_of(&self, perm: &str) -> Option<BudgetKey> {
+        match self.model.permission(perm).and_then(|p| p.class.as_ref()) {
+            Some(class) if self.classes.contains_key(class) => {
+                self.class_ids.get(class).map(BudgetKey::Class)
+            }
+            _ => self.perms.get(perm).map(BudgetKey::Perm),
+        }
+    }
+
+    /// The `(object, budget)` timeline key, if both names are known.
+    fn timeline_key(&self, object: &str, perm: &str) -> Option<(ObjectId, BudgetKey)> {
+        let oid = self.objects.get(object)?;
+        let bkey = self.budget_key_of(perm)?;
+        Some((oid, bkey))
+    }
+
+    /// The string-keyed budget key (ablation state only).
+    fn budget_key_sk(&self, perm: &str) -> Name {
         match self.model.permission(perm).and_then(|p| p.class.clone()) {
             Some(class) if self.classes.contains_key(&class) => {
                 stacl_sral::ast::name(format!("class:{class}"))
@@ -308,8 +583,10 @@ impl ExtendedRbac {
     /// The three-state classification of a permission for an object at a
     /// time (§4).
     pub fn permission_state(&self, object: &str, perm: &str, time: TimePoint) -> PermissionState {
-        let key = (stacl_sral::ast::name(object), self.budget_key_of(perm));
-        match self.timelines.get(&key) {
+        let tl = self
+            .timeline_key(object, perm)
+            .and_then(|key| self.timelines.get(&key));
+        match tl {
             None => PermissionState::Inactive,
             Some(tl) => {
                 if !tl.active_fn().at(time) {
@@ -326,15 +603,21 @@ impl ExtendedRbac {
     /// Deactivate a permission for an object (role released, session
     /// closed, or an enforcement event set `valid` to 0).
     pub fn release_permission(&mut self, object: &str, perm: &str, time: TimePoint) {
-        let key = (stacl_sral::ast::name(object), self.budget_key_of(perm));
-        if let Some(tl) = self.timelines.get_mut(&key) {
+        if let Some(key) = self.timeline_key(object, perm) {
+            if let Some(tl) = self.timelines.get_mut(&key) {
+                tl.deactivate(time);
+            }
+        }
+        // Mirror into the string-keyed ablation state.
+        let key_sk = (stacl_sral::ast::name(object), self.budget_key_sk(perm));
+        if let Some(tl) = self.timelines_sk.get_mut(&key_sk) {
             tl.deactivate(time);
         }
     }
 
     /// Inspect a permission's timeline, if it ever became active.
     pub fn timeline(&self, object: &str, perm: &str) -> Option<&PermissionTimeline> {
-        let key = (stacl_sral::ast::name(object), self.budget_key_of(perm));
+        let key = self.timeline_key(object, perm)?;
         self.timelines.get(&key)
     }
 }
@@ -343,8 +626,8 @@ impl ExtendedRbac {
 mod tests {
     use super::*;
     use crate::perm::{AccessPattern, Permission};
-    use stacl_sral::builder::*;
     use stacl_srac::parser::parse_constraint;
+    use stacl_sral::builder::*;
     use stacl_temporal::BaseTimeScheme;
 
     fn tp(s: f64) -> TimePoint {
@@ -406,19 +689,16 @@ mod tests {
             time: tp(0.0),
             reuse_spatial: false,
         };
-        assert_eq!(
-            x.decide(&req, &proofs, &mut table),
-            DecisionKind::DeniedNoPermission
-        );
+        let d = x.decide(&req, &proofs, &mut table);
+        assert_eq!(d.kind, DecisionKind::DeniedNoPermission);
+        assert_eq!(d.reason, None);
     }
 
     #[test]
     fn spatial_constraint_denies_overuse_across_servers() {
         // Example 3.5 / the intro example: ≤5 coalition-wide accesses to
         // the restricted software.
-        let perm = exec_perm().with_spatial(
-            parse_constraint("count(0, 5, resource=rsw)").unwrap(),
-        );
+        let perm = exec_perm().with_spatial(parse_constraint("count(0, 5, resource=rsw)").unwrap());
         let (mut x, sid) = setup(perm);
         let proofs = ProofStore::new();
         let mut table = AccessTable::new();
@@ -437,17 +717,13 @@ mod tests {
             reuse_spatial: false,
         };
         let d = x.decide(&req, &proofs, &mut table);
-        assert!(
-            matches!(d, DecisionKind::DeniedSpatial { .. }),
-            "expected spatial denial, got {d:?}"
-        );
+        assert_eq!(d.kind, DecisionKind::DeniedSpatial, "{d:?}");
+        assert!(d.reason_str().contains("count"), "{d:?}");
     }
 
     #[test]
     fn spatial_constraint_allows_within_budget() {
-        let perm = exec_perm().with_spatial(
-            parse_constraint("count(0, 5, resource=rsw)").unwrap(),
-        );
+        let perm = exec_perm().with_spatial(parse_constraint("count(0, 5, resource=rsw)").unwrap());
         let (mut x, sid) = setup(perm);
         let proofs = ProofStore::new();
         let mut table = AccessTable::new();
@@ -471,9 +747,8 @@ mod tests {
     fn ordering_constraint_gates_on_program() {
         // "read manifest before exec": the declared remaining program must
         // prove the ordering (or the history must already contain it).
-        let perm = Permission::new("p-exec", AccessPattern::any()).with_spatial(
-            parse_constraint("[read manifest @ s1] before [exec rsw @ s1]").unwrap(),
-        );
+        let perm = Permission::new("p-exec", AccessPattern::any())
+            .with_spatial(parse_constraint("[read manifest @ s1] before [exec rsw @ s1]").unwrap());
         let mut m = RbacModel::new();
         m.add_user("o");
         m.add_role("r");
@@ -488,7 +763,10 @@ mod tests {
 
         let access_ = Access::new("read", "manifest", "s1");
         // Good program: read then exec.
-        let good = seq([access("read", "manifest", "s1"), access("exec", "rsw", "s1")]);
+        let good = seq([
+            access("read", "manifest", "s1"),
+            access("exec", "rsw", "s1"),
+        ]);
         let req = AccessRequest {
             object: "o",
             session: sid,
@@ -500,7 +778,10 @@ mod tests {
         assert!(x.decide(&req, &proofs, &mut table).is_granted());
 
         // Bad program: exec then read.
-        let bad = seq([access("exec", "rsw", "s1"), access("read", "manifest", "s1")]);
+        let bad = seq([
+            access("exec", "rsw", "s1"),
+            access("read", "manifest", "s1"),
+        ]);
         let req2 = AccessRequest {
             object: "o",
             session: sid,
@@ -509,10 +790,10 @@ mod tests {
             time: tp(1.0),
             reuse_spatial: false,
         };
-        assert!(matches!(
-            x.decide(&req2, &proofs, &mut table),
-            DecisionKind::DeniedSpatial { .. }
-        ));
+        assert_eq!(
+            x.decide(&req2, &proofs, &mut table).kind,
+            DecisionKind::DeniedSpatial
+        );
     }
 
     #[test]
@@ -538,7 +819,8 @@ mod tests {
         // The permission has been active since t=0; at t=6 its 5-unit
         // validity duration is exhausted.
         let d = x.decide(&mk(6.0), &proofs, &mut table);
-        assert!(matches!(d, DecisionKind::DeniedTemporal { .. }), "{d:?}");
+        assert_eq!(d.kind, DecisionKind::DeniedTemporal, "{d:?}");
+        assert!(d.reason_str().contains("p-exec"), "{d:?}");
         assert_eq!(
             x.permission_state("naplet-1", "p-exec", tp(6.0)),
             PermissionState::ActiveButInvalid
@@ -623,9 +905,43 @@ mod tests {
             reuse_spatial: false,
         };
         assert_eq!(
-            x.decide(&req, &proofs, &mut table),
+            x.decide(&req, &proofs, &mut table).kind,
             DecisionKind::DeniedNoPermission
         );
+    }
+
+    #[test]
+    fn model_mutation_invalidates_session_cache() {
+        // Grow the model mid-flight through the pub field: the cached
+        // candidate list must pick up the new permission.
+        let (mut x, sid) = setup(exec_perm());
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let write = Access::new("write", "db", "s1");
+        let wprog = access("write", "db", "s1");
+        let mk = |t: f64| AccessRequest {
+            object: "naplet-1",
+            session: sid,
+            access: &write,
+            program: &wprog,
+            time: tp(t),
+            reuse_spatial: false,
+        };
+        // Warm the cache with a denial.
+        assert_eq!(
+            x.decide(&mk(0.0), &proofs, &mut table).kind,
+            DecisionKind::DeniedNoPermission
+        );
+        // Add a covering permission to the live model.
+        x.model
+            .add_permission(Permission::new(
+                "p-write",
+                AccessPattern::parse("write:db:*").unwrap(),
+            ))
+            .unwrap();
+        x.model.assign_permission("worker", "p-write").unwrap();
+        // The generation check rebuilds the candidate list: now granted.
+        assert!(x.decide(&mk(1.0), &proofs, &mut table).is_granted());
     }
 
     #[test]
@@ -665,13 +981,12 @@ mod tests {
             reuse_spatial: false,
         };
         let d = x.decide(&req, &proofs, &mut table);
-        assert!(matches!(d, DecisionKind::DeniedSpatial { .. }), "{d:?}");
+        assert_eq!(d.kind, DecisionKind::DeniedSpatial, "{d:?}");
     }
 
     #[test]
     fn per_object_scope_ignores_companions() {
-        let perm = exec_perm()
-            .with_spatial(parse_constraint("count(0, 3, resource=rsw)").unwrap());
+        let perm = exec_perm().with_spatial(parse_constraint("count(0, 3, resource=rsw)").unwrap());
         let mut m = RbacModel::new();
         m.add_user("dev-a");
         m.add_user("dev-b");
@@ -754,10 +1069,8 @@ mod tests {
             reuse_spatial: false,
         };
         let d = x.decide(&req2, &proofs, &mut table);
-        assert!(
-            matches!(d, DecisionKind::DeniedTemporal { ref reason } if reason.contains("night-work")),
-            "{d:?}"
-        );
+        assert_eq!(d.kind, DecisionKind::DeniedTemporal, "{d:?}");
+        assert!(d.reason_str().contains("night-work"), "{d:?}");
         // Both permissions report the same (class) state.
         assert_eq!(
             x.permission_state("o", "p-edit", tp(6.0)),
@@ -802,9 +1115,7 @@ mod tests {
 
     #[test]
     fn selector_counts_ignore_unrelated_history() {
-        let perm = exec_perm().with_spatial(
-            parse_constraint("count(0, 2, resource=rsw)").unwrap(),
-        );
+        let perm = exec_perm().with_spatial(parse_constraint("count(0, 2, resource=rsw)").unwrap());
         let (mut x, sid) = setup(perm);
         let proofs = ProofStore::new();
         let mut table = AccessTable::new();
@@ -823,5 +1134,47 @@ mod tests {
             reuse_spatial: false,
         };
         assert!(x.decide(&req, &proofs, &mut table).is_granted());
+    }
+
+    #[test]
+    fn string_keyed_path_agrees_with_interned() {
+        // The ablation baseline must make the SAME decisions as the
+        // interned path across spatial, temporal and no-permission
+        // outcomes. Both paths keep independent timeline/approval state on
+        // one instance, so driving them in lockstep is well-defined.
+        let perm = exec_perm()
+            .with_spatial(parse_constraint("count(0, 3, resource=rsw)").unwrap())
+            .with_validity(5.0, BaseTimeScheme::WholeLifetime);
+        let (mut x, sid) = setup(perm);
+        x.note_arrival("naplet-1", tp(0.0));
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let access_ = Access::new("exec", "rsw", "s1");
+        let uncovered = Access::new("write", "db", "s1");
+        let prog = access_prog();
+        let wprog = access("write", "db", "s1");
+        for (t, a, p) in [
+            (0.0, &access_, &prog),
+            (1.0, &access_, &prog),
+            (2.0, &uncovered, &wprog),
+            (4.0, &access_, &prog),
+            (6.0, &access_, &prog), // temporal budget exhausted
+        ] {
+            let req = AccessRequest {
+                object: "naplet-1",
+                session: sid,
+                access: a,
+                program: p,
+                time: tp(t),
+                reuse_spatial: false,
+            };
+            let interned = x.decide(&req, &proofs, &mut table);
+            let stringly = x.decide_string_keyed(&req, &proofs, &mut table);
+            assert_eq!(interned.kind, stringly.kind, "diverged at t={t}");
+            if t == 0.0 || t == 1.0 {
+                // Consume the spatial budget in lockstep with real proofs.
+                proofs.issue("naplet-1", a.clone(), tp(t));
+            }
+        }
     }
 }

@@ -60,6 +60,10 @@ pub struct RbacModel {
     juniors: BTreeMap<Name, BTreeSet<Name>>,
     /// Static separation-of-duty constraints.
     ssd: Vec<crate::sod::SodConstraint>,
+    /// Bumped on every successful mutation; lets derived caches (e.g. the
+    /// interned per-session permission lists in
+    /// [`crate::extended::ExtendedRbac`]) detect staleness cheaply.
+    generation: u64,
 }
 
 impl RbacModel {
@@ -68,15 +72,24 @@ impl RbacModel {
         RbacModel::default()
     }
 
+    /// The mutation counter: changes whenever the model is modified.
+    /// Caches derived from the model compare generations instead of
+    /// diffing contents.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Add a user (idempotent).
     pub fn add_user(&mut self, user: impl AsRef<str>) -> &mut Self {
         self.users.insert(name(user));
+        self.generation += 1;
         self
     }
 
     /// Add a role (idempotent).
     pub fn add_role(&mut self, role: impl AsRef<str>) -> &mut Self {
         self.roles.insert(name(role));
+        self.generation += 1;
         self
     }
 
@@ -86,6 +99,7 @@ impl RbacModel {
             return Err(RbacError::Duplicate(format!("permission `{}`", perm.name)));
         }
         self.permissions.insert(perm.name.clone(), perm);
+        self.generation += 1;
         Ok(())
     }
 
@@ -109,11 +123,7 @@ impl RbacModel {
         }
         // Tentatively extend and check SSD against the *effective* role set
         // (direct + inherited juniors), as SSD must consider inheritance.
-        let mut assigned: BTreeSet<Name> = self
-            .user_roles
-            .get(user)
-            .cloned()
-            .unwrap_or_default();
+        let mut assigned: BTreeSet<Name> = self.user_roles.get(user).cloned().unwrap_or_default();
         assigned.insert(name(role));
         let effective = self.close_over_juniors(&assigned);
         for c in &self.ssd {
@@ -121,7 +131,11 @@ impl RbacModel {
                 return Err(RbacError::SodViolation(msg));
             }
         }
-        self.user_roles.entry(name(user)).or_default().insert(name(role));
+        self.user_roles
+            .entry(name(user))
+            .or_default()
+            .insert(name(role));
+        self.generation += 1;
         Ok(())
     }
 
@@ -133,7 +147,11 @@ impl RbacModel {
         if !self.permissions.contains_key(perm) {
             return Err(RbacError::UnknownPermission(perm.into()));
         }
-        self.role_perms.entry(name(role)).or_default().insert(name(perm));
+        self.role_perms
+            .entry(name(role))
+            .or_default()
+            .insert(name(perm));
+        self.generation += 1;
         Ok(())
     }
 
@@ -149,7 +167,11 @@ impl RbacModel {
         if senior == junior || self.inherits(junior, senior) {
             return Err(RbacError::HierarchyCycle(senior.into(), junior.into()));
         }
-        self.juniors.entry(name(senior)).or_default().insert(name(junior));
+        self.juniors
+            .entry(name(senior))
+            .or_default()
+            .insert(name(junior));
+        self.generation += 1;
         Ok(())
     }
 
@@ -163,6 +185,7 @@ impl RbacModel {
             }
         }
         self.ssd.push(c);
+        self.generation += 1;
         Ok(())
     }
 
@@ -266,10 +289,16 @@ mod tests {
         let mut m = RbacModel::new();
         m.add_user("song").add_user("alice");
         m.add_role("employee").add_role("auditor").add_role("chief");
-        m.add_permission(Permission::new("p-read", AccessPattern::parse("read:db:*").unwrap()))
-            .unwrap();
-        m.add_permission(Permission::new("p-audit", AccessPattern::parse("verify:*:*").unwrap()))
-            .unwrap();
+        m.add_permission(Permission::new(
+            "p-read",
+            AccessPattern::parse("read:db:*").unwrap(),
+        ))
+        .unwrap();
+        m.add_permission(Permission::new(
+            "p-audit",
+            AccessPattern::parse("verify:*:*").unwrap(),
+        ))
+        .unwrap();
         m.assign_permission("employee", "p-read").unwrap();
         m.assign_permission("auditor", "p-audit").unwrap();
         m
@@ -368,6 +397,21 @@ mod tests {
             m.assign_user("song", "chief"),
             Err(RbacError::SodViolation(_))
         ));
+    }
+
+    #[test]
+    fn generation_tracks_successful_mutations() {
+        let mut m = base();
+        let g0 = m.generation();
+        m.assign_user("song", "employee").unwrap();
+        assert!(m.generation() > g0, "successful mutation must bump");
+        let g1 = m.generation();
+        // Failed mutations leave the generation untouched.
+        assert!(m.assign_user("ghost", "employee").is_err());
+        assert!(m
+            .add_permission(Permission::new("p-read", AccessPattern::any()))
+            .is_err());
+        assert_eq!(m.generation(), g1);
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use std::fmt;
 
+use stacl_srac::Constraint;
 use stacl_sral::ast::{name, Name};
 use stacl_sral::Access;
-use stacl_srac::Constraint;
 use stacl_temporal::BaseTimeScheme;
 
 /// What a permission grants: an access pattern over (op, resource,
@@ -61,7 +61,7 @@ impl AccessPattern {
     /// Does the pattern cover `a`?
     pub fn covers(&self, a: &Access) -> bool {
         fn ok(p: &Option<Name>, v: &Name) -> bool {
-            p.as_ref().map_or(true, |x| x == v)
+            p.as_ref().is_none_or(|x| x == v)
         }
         ok(&self.op, &a.op) && ok(&self.resource, &a.resource) && ok(&self.server, &a.server)
     }

@@ -422,7 +422,10 @@ grant r p
         // The SSD now blocks the second assignment.
         let err = parse_policy("role a\nrole b\nuser u\nssd 1 a,b\nassign u a\nassign u b\n")
             .unwrap_err();
-        assert!(matches!(err, PolicyError::Model(RbacError::SodViolation(_))));
+        assert!(matches!(
+            err,
+            PolicyError::Model(RbacError::SodViolation(_))
+        ));
     }
 
     #[test]
@@ -444,10 +447,9 @@ grant r p
 
     #[test]
     fn scope_and_class_attributes() {
-        let m = parse_policy(
-            "role r\npermission p grants=*:*:* scope=team class=pool-a\ngrant r p\n",
-        )
-        .unwrap();
+        let m =
+            parse_policy("role r\npermission p grants=*:*:* scope=team class=pool-a\ngrant r p\n")
+                .unwrap();
         let p = m.permission("p").unwrap();
         assert_eq!(p.scope, crate::perm::HistoryScope::Team);
         assert_eq!(p.class.as_deref(), Some("pool-a"));
@@ -458,7 +460,10 @@ grant r p
         assert!(text.contains("scope=team"), "{text}");
         assert!(text.contains("class=pool-a"), "{text}");
         let m2 = parse_policy(&text).unwrap();
-        assert_eq!(m2.permission("p").unwrap().scope, crate::perm::HistoryScope::Team);
+        assert_eq!(
+            m2.permission("p").unwrap().scope,
+            crate::perm::HistoryScope::Team
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl SodConstraint {
     /// A constraint allowing at most `limit` of the given roles.
     pub fn at_most<S: AsRef<str>>(limit: usize, roles: impl IntoIterator<Item = S>) -> Self {
         let roles: BTreeSet<Name> = roles.into_iter().map(name).collect();
-        assert!(limit >= 1, "a zero limit would forbid every role in the set");
+        assert!(
+            limit >= 1,
+            "a zero limit would forbid every role in the set"
+        );
         assert!(
             roles.len() > limit,
             "constraint is vacuous: limit ≥ set size"

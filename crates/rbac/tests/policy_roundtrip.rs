@@ -1,0 +1,116 @@
+//! Property test: policy (de)serialisation round-trips. A randomly
+//! generated model renders to text, parses back, and re-renders to the
+//! **identical** normalised text — so the ID-interned decision state is
+//! fully reconstructible from the on-disk policy format.
+
+use stacl_ids::prop::forall;
+use stacl_ids::rng::SplitMix64;
+use stacl_rbac::policy::{parse_policy, render_policy};
+use stacl_rbac::{AccessPattern, HistoryScope, Permission, RbacModel};
+use stacl_srac::parser::parse_constraint;
+use stacl_temporal::BaseTimeScheme;
+
+const PATTERNS: &[&str] = &["read:db:*", "exec:rsw:*", "*:*:*", "verify:mod:s1"];
+const CONSTRAINTS: &[&str] = &[
+    "count(0, 3, resource=db)",
+    "count(1, 5, op=read)",
+    "count(0, 7, server=s1)",
+];
+const SCHEMES: &[BaseTimeScheme] = &[BaseTimeScheme::WholeLifetime, BaseTimeScheme::CurrentServer];
+
+fn random_model(rng: &mut SplitMix64) -> RbacModel {
+    let mut m = RbacModel::new();
+    let users = 1 + (rng.next_u64() % 4) as usize;
+    let roles = 1 + (rng.next_u64() % 4) as usize;
+    let perms = 1 + (rng.next_u64() % 5) as usize;
+    for u in 0..users {
+        m.add_user(format!("u{u}"));
+    }
+    for r in 0..roles {
+        m.add_role(format!("r{r}"));
+    }
+    // Acyclic inheritance: seniors only point at higher-numbered juniors.
+    for senior in 0..roles {
+        for junior in (senior + 1)..roles {
+            if rng.next_u64().is_multiple_of(4) {
+                let _ = m.add_inheritance(&format!("r{senior}"), &format!("r{junior}"));
+            }
+        }
+    }
+    for p in 0..perms {
+        let pattern = PATTERNS[(rng.next_u64() % PATTERNS.len() as u64) as usize];
+        let mut perm = Permission::new(format!("p{p}"), AccessPattern::parse(pattern).unwrap());
+        if rng.next_u64().is_multiple_of(2) {
+            let c = CONSTRAINTS[(rng.next_u64() % CONSTRAINTS.len() as u64) as usize];
+            perm = perm.with_spatial(parse_constraint(c).unwrap());
+        }
+        if rng.next_u64().is_multiple_of(2) {
+            // Integer-valued durations render and re-parse exactly.
+            let dur = (rng.next_u64() % 10_000) as f64;
+            let scheme = SCHEMES[(rng.next_u64() % SCHEMES.len() as u64) as usize];
+            perm = perm.with_validity(dur, scheme);
+        }
+        if rng.next_u64().is_multiple_of(3) {
+            perm = perm.with_scope(HistoryScope::Team);
+        }
+        if rng.next_u64().is_multiple_of(3) {
+            perm = perm.with_class(format!("class-{}", rng.next_u64() % 3));
+        }
+        m.add_permission(perm).unwrap();
+        let role = rng.next_u64() % roles as u64;
+        m.assign_permission(&format!("r{role}"), &format!("p{p}"))
+            .unwrap();
+    }
+    for u in 0..users {
+        let role = rng.next_u64() % roles as u64;
+        m.assign_user(&format!("u{u}"), &format!("r{role}"))
+            .unwrap();
+    }
+    m
+}
+
+#[test]
+fn render_parse_render_is_identity() {
+    forall("render_parse_render_is_identity", 0x4a0, 128, |rng| {
+        let model = random_model(rng);
+        let text = render_policy(&model);
+        let reparsed = parse_policy(&text)
+            .unwrap_or_else(|e| panic!("rendered policy must parse: {e}\n{text}"));
+        let text2 = render_policy(&reparsed);
+        assert_eq!(text, text2, "normalised policy text must be a fixpoint");
+    });
+}
+
+#[test]
+fn reparsed_model_answers_queries_identically() {
+    forall(
+        "reparsed_model_answers_queries_identically",
+        0x51c,
+        64,
+        |rng| {
+            let model = random_model(rng);
+            let reparsed = parse_policy(&render_policy(&model)).unwrap();
+            let users: Vec<_> = model.all_users().collect();
+            let roles: Vec<_> = model.all_roles().collect();
+            assert_eq!(users, reparsed.all_users().collect::<Vec<_>>());
+            assert_eq!(roles, reparsed.all_roles().collect::<Vec<_>>());
+            for u in &users {
+                assert_eq!(model.roles_of(u), reparsed.roles_of(u), "roles of {u}");
+            }
+            for r in &roles {
+                assert_eq!(
+                    model.permissions_of_role(r),
+                    reparsed.permissions_of_role(r),
+                    "permissions of {r}"
+                );
+                for r2 in &roles {
+                    assert_eq!(model.inherits(r, r2), reparsed.inherits(r, r2));
+                }
+            }
+            for p in model.permissions() {
+                let q = reparsed.permission(&p.name).expect("permission survives");
+                assert_eq!(p, q, "permission attributes survive the round-trip");
+            }
+        },
+    );
+}

@@ -189,11 +189,7 @@ impl fmt::Display for Constraint {
             Constraint::False => write!(f, "false"),
             Constraint::Atom(a) => write!(f, "[{a}]"),
             Constraint::Ordered(a, b) => write!(f, "[{a}] before [{b}]"),
-            Constraint::Card {
-                min,
-                max,
-                selector,
-            } => match max {
+            Constraint::Card { min, max, selector } => match max {
                 Some(n) => write!(f, "count({min}, {n}, {selector})"),
                 None => write!(f, "count({min}, inf, {selector})"),
             },
@@ -264,16 +260,13 @@ mod tests {
         assert_eq!(nnf.to_nnf(), nnf);
         // Deeply nested De Morgan: ¬(a ∨ (b ∧ ¬a)) = ¬a ∧ (¬b ∨ a).
         let d = a.clone().or(b.clone().and(a.clone().not())).not();
-        assert_eq!(
-            d.to_nnf(),
-            a.clone().not().and(b.not().or(a))
-        );
+        assert_eq!(d.to_nnf(), a.clone().not().and(b.not().or(a)));
     }
 
     #[test]
     fn max_card_bound() {
-        let c = Constraint::at_most(5, Selector::any())
-            .and(Constraint::at_least(9, Selector::any()));
+        let c =
+            Constraint::at_most(5, Selector::any()).and(Constraint::at_least(9, Selector::any()));
         assert_eq!(c.max_card_bound(), 9);
         assert_eq!(Constraint::True.max_card_bound(), 0);
     }

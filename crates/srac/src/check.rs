@@ -179,9 +179,7 @@ pub fn check_residual_cached(
     for a in c.mentioned_accesses() {
         table.intern(a);
     }
-    let al = stacl_trace::Alphabet::from_ids(
-        (0..table.len() as u32).map(stacl_trace::AccessId),
-    );
+    let al = stacl_trace::Alphabet::from_ids((0..table.len() as u32).map(stacl_trace::AccessId));
     let prog = Dfa::from_regex_with(&re, al.clone());
     let program_states = prog.num_states();
 
@@ -353,10 +351,7 @@ mod tests {
         // The witness is the else-branch trace.
         let w = v.witness.unwrap();
         assert_eq!(w.len(), 1);
-        assert_eq!(
-            t.resolve(w.0[0]),
-            &Access::new("write", "r2", "s1")
-        );
+        assert_eq!(t.resolve(w.0[0]), &Access::new("write", "r2", "s1"));
     }
 
     #[test]
@@ -403,8 +398,7 @@ mod tests {
         // traces(P) is infinite; checking still terminates and holds: the
         // loop body always reads before writing.
         let p = parse_program("while c do { read a @ s1 ; write b @ s1 }").unwrap();
-        let c = Constraint::atom("write", "b", "s1")
-            .implies(Constraint::atom("read", "a", "s1"));
+        let c = Constraint::atom("write", "b", "s1").implies(Constraint::atom("read", "a", "s1"));
         assert!(check(&p, &c, &mut t));
     }
 
@@ -460,11 +454,7 @@ mod tests {
         let mut t = tbl();
         let p = skip();
         assert!(check(&p, &Constraint::True, &mut t));
-        assert!(check(
-            &p,
-            &Constraint::at_most(0, Selector::any()),
-            &mut t
-        ));
+        assert!(check(&p, &Constraint::at_most(0, Selector::any()), &mut t));
         assert!(!check(&p, &Constraint::atom("a", "r", "s"), &mut t));
     }
 
@@ -481,8 +471,8 @@ mod tests {
     #[test]
     fn trace_feasibility() {
         let mut t = tbl();
-        let p = parse_program("read a @ s1 ; if x > 0 then { write b @ s1 } else { skip }")
-            .unwrap();
+        let p =
+            parse_program("read a @ s1 ; if x > 0 then { write b @ s1 } else { skip }").unwrap();
         let a = t.intern(&Access::new("read", "a", "s1"));
         let b = t.intern(&Access::new("write", "b", "s1"));
         assert!(trace_feasible(&Trace::from_ids([a, b]), &p, &mut t));

@@ -38,11 +38,7 @@ pub fn compile(c: &Constraint, alphabet: &Alphabet, table: &AccessTable) -> Dfa 
                 _ => empty(alphabet),
             }
         }
-        Constraint::Card {
-            min,
-            max,
-            selector,
-        } => {
+        Constraint::Card { min, max, selector } => {
             let matching: Vec<bool> = alphabet
                 .ids()
                 .map(|id| selector.matches(table.resolve(id)))
@@ -65,22 +61,12 @@ pub fn compile(c: &Constraint, alphabet: &Alphabet, table: &AccessTable) -> Dfa 
 
 /// One accepting state with self-loops: every trace satisfies `T`.
 fn universal(alphabet: &Alphabet) -> Dfa {
-    Dfa::from_parts(
-        alphabet.clone(),
-        vec![0; alphabet.len()],
-        0,
-        vec![true],
-    )
+    Dfa::from_parts(alphabet.clone(), vec![0; alphabet.len()], 0, vec![true])
 }
 
 /// One rejecting state with self-loops: no trace satisfies `F`.
 fn empty(alphabet: &Alphabet) -> Dfa {
-    Dfa::from_parts(
-        alphabet.clone(),
-        vec![0; alphabet.len()],
-        0,
-        vec![false],
-    )
+    Dfa::from_parts(alphabet.clone(), vec![0; alphabet.len()], 0, vec![false])
 }
 
 /// Two states: traces containing local symbol `sym` at least once.
@@ -217,7 +203,10 @@ mod tests {
 
     #[test]
     fn cardinality_agrees() {
-        agree_on_short_traces(&Constraint::at_most(2, Selector::any().with_resources(["rsw"])));
+        agree_on_short_traces(&Constraint::at_most(
+            2,
+            Selector::any().with_resources(["rsw"]),
+        ));
         agree_on_short_traces(&Constraint::at_least(
             2,
             Selector::any().with_servers(["s1"]),

@@ -273,11 +273,7 @@ impl P {
                         });
                     }
                 }
-                Ok(Constraint::Card {
-                    min,
-                    max,
-                    selector,
-                })
+                Ok(Constraint::Card { min, max, selector })
             }
             Some(Tok::LParen) => {
                 self.bump();
@@ -377,11 +373,7 @@ mod tests {
     fn parses_count_forms() {
         let c = parse_constraint("count(0, 5, resource=rsw)").unwrap();
         match c {
-            Constraint::Card {
-                min,
-                max,
-                selector,
-            } => {
+            Constraint::Card { min, max, selector } => {
                 assert_eq!(min, 0);
                 assert_eq!(max, Some(5));
                 assert!(selector.matches(&Access::new("x", "rsw", "y")));
@@ -394,10 +386,7 @@ mod tests {
 
     #[test]
     fn parses_multi_filter_selector() {
-        let c = parse_constraint(
-            "count(0, 3, op=read|write resource=db server=s1|s2)",
-        )
-        .unwrap();
+        let c = parse_constraint("count(0, 3, op=read|write resource=db server=s1|s2)").unwrap();
         match c {
             Constraint::Card { selector, .. } => {
                 assert!(selector.matches(&Access::new("read", "db", "s2")));

@@ -39,31 +39,19 @@ impl Selector {
 
     /// Restrict the operation component.
     pub fn with_ops<S: AsRef<str>>(mut self, ops: impl IntoIterator<Item = S>) -> Self {
-        self.ops = Some(
-            ops.into_iter()
-                .map(|s| stacl_sral::ast::name(s))
-                .collect(),
-        );
+        self.ops = Some(ops.into_iter().map(|s| stacl_sral::ast::name(s)).collect());
         self
     }
 
     /// Restrict the resource component.
     pub fn with_resources<S: AsRef<str>>(mut self, rs: impl IntoIterator<Item = S>) -> Self {
-        self.resources = Some(
-            rs.into_iter()
-                .map(|s| stacl_sral::ast::name(s))
-                .collect(),
-        );
+        self.resources = Some(rs.into_iter().map(|s| stacl_sral::ast::name(s)).collect());
         self
     }
 
     /// Restrict the server component.
     pub fn with_servers<S: AsRef<str>>(mut self, ss: impl IntoIterator<Item = S>) -> Self {
-        self.servers = Some(
-            ss.into_iter()
-                .map(|s| stacl_sral::ast::name(s))
-                .collect(),
-        );
+        self.servers = Some(ss.into_iter().map(|s| stacl_sral::ast::name(s)).collect());
         self
     }
 
@@ -90,20 +78,18 @@ impl fmt::Display for Selector {
             return write!(f, "all");
         }
         let mut first = true;
-        let mut part = |f: &mut fmt::Formatter<'_>,
-                        key: &str,
-                        set: &Option<BTreeSet<Name>>|
-         -> fmt::Result {
-            if let Some(s) = set {
-                if !first {
-                    write!(f, " ")?;
+        let mut part =
+            |f: &mut fmt::Formatter<'_>, key: &str, set: &Option<BTreeSet<Name>>| -> fmt::Result {
+                if let Some(s) = set {
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                    first = false;
+                    let vals: Vec<&str> = s.iter().map(|n| &**n).collect();
+                    write!(f, "{key}={}", vals.join("|"))?;
                 }
-                first = false;
-                let vals: Vec<&str> = s.iter().map(|n| &**n).collect();
-                write!(f, "{key}={}", vals.join("|"))?;
-            }
-            Ok(())
-        };
+                Ok(())
+            };
         part(f, "op", &self.ops)?;
         part(f, "resource", &self.resources)?;
         part(f, "server", &self.servers)?;

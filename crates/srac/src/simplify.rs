@@ -66,9 +66,7 @@ fn go(c: &Constraint) -> Constraint {
             }
         }
         Constraint::Card {
-            min: 0,
-            max: None,
-            ..
+            min: 0, max: None, ..
         } => Constraint::True,
         leaf => leaf.clone(),
     }
@@ -111,10 +109,7 @@ mod tests {
     #[test]
     fn complement_laws() {
         let a = atom("a");
-        assert_eq!(
-            simplify(&a.clone().and(a.clone().not())),
-            Constraint::False
-        );
+        assert_eq!(simplify(&a.clone().and(a.clone().not())), Constraint::False);
         assert_eq!(simplify(&a.clone().not().and(a.clone())), Constraint::False);
         assert_eq!(simplify(&a.clone().or(a.clone().not())), Constraint::True);
     }

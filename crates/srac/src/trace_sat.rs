@@ -73,16 +73,12 @@ pub fn trace_satisfies(
             let last_a2 = t.0.iter().rposition(|&x| x == i2);
             matches!((first_a1, last_a2), (Some(p1), Some(p2)) if p1 < p2)
         }
-        Constraint::Card {
-            min,
-            max,
-            selector,
-        } => {
+        Constraint::Card { min, max, selector } => {
             let count = t.count_matching(|id| {
                 let a = table.resolve(id);
                 selector.matches(a) && oracle.proven(a)
             });
-            count >= *min && max.map_or(true, |n| count <= n)
+            count >= *min && max.is_none_or(|n| count <= n)
         }
         Constraint::And(c1, c2) => {
             trace_satisfies(t, c1, table, oracle) && trace_satisfies(t, c2, table, oracle)

@@ -1,15 +1,17 @@
 //! Property tests for the SRAC layer: compiled automata must agree with
 //! Definition 3.6's direct evaluation on every trace; NNF must preserve
-//! semantics; parsing must round-trip.
+//! semantics; parsing must round-trip. Driven by the in-tree seeded
+//! `stacl_ids::prop` runner.
 
-use proptest::prelude::*;
+use stacl_ids::prop::forall;
+use stacl_ids::rng::SplitMix64;
 
-use stacl_sral::Access;
 use stacl_srac::check::{check_residual, Semantics};
 use stacl_srac::compile::compile;
 use stacl_srac::parser::parse_constraint;
 use stacl_srac::trace_sat::{trace_satisfies, ProofOracle};
 use stacl_srac::{Constraint, Selector};
+use stacl_sral::Access;
 use stacl_trace::{AccessId, AccessTable, Alphabet, Trace};
 
 const OPS: [&str; 2] = ["read", "exec"];
@@ -32,85 +34,98 @@ fn vocab_table() -> (AccessTable, Alphabet, Vec<Access>) {
     (table, al, accs)
 }
 
-fn arb_access() -> impl Strategy<Value = Access> {
-    (0..OPS.len(), 0..RESOURCES.len(), 0..SERVERS.len())
-        .prop_map(|(o, r, s)| Access::new(OPS[o], RESOURCES[r], SERVERS[s]))
+fn gen_access(rng: &mut SplitMix64) -> Access {
+    Access::new(
+        OPS[rng.gen_range(0..OPS.len())],
+        RESOURCES[rng.gen_range(0..RESOURCES.len())],
+        SERVERS[rng.gen_range(0..SERVERS.len())],
+    )
 }
 
-fn arb_selector() -> impl Strategy<Value = Selector> {
-    prop_oneof![
-        Just(Selector::any()),
-        (0..OPS.len()).prop_map(|o| Selector::any().with_ops([OPS[o]])),
-        (0..RESOURCES.len()).prop_map(|r| Selector::any().with_resources([RESOURCES[r]])),
-        (0..SERVERS.len()).prop_map(|s| Selector::any().with_servers([SERVERS[s]])),
-        (0..OPS.len(), 0..SERVERS.len()).prop_map(|(o, s)| Selector::any()
-            .with_ops([OPS[o]])
-            .with_servers([SERVERS[s]])),
-    ]
+fn gen_selector(rng: &mut SplitMix64) -> Selector {
+    match rng.gen_range(0u32..5) {
+        0 => Selector::any(),
+        1 => Selector::any().with_ops([OPS[rng.gen_range(0..OPS.len())]]),
+        2 => Selector::any().with_resources([RESOURCES[rng.gen_range(0..RESOURCES.len())]]),
+        3 => Selector::any().with_servers([SERVERS[rng.gen_range(0..SERVERS.len())]]),
+        _ => Selector::any()
+            .with_ops([OPS[rng.gen_range(0..OPS.len())]])
+            .with_servers([SERVERS[rng.gen_range(0..SERVERS.len())]]),
+    }
 }
 
-fn arb_constraint(depth: u32) -> impl Strategy<Value = Constraint> {
-    let leaf = prop_oneof![
-        Just(Constraint::True),
-        Just(Constraint::False),
-        arb_access().prop_map(Constraint::Atom),
-        (arb_access(), arb_access()).prop_map(|(a, b)| Constraint::Ordered(a, b)),
-        (0usize..3, prop::option::of(0usize..4), arb_selector()).prop_filter_map(
-            "min<=max",
-            |(min, max, selector)| {
-                let max = max.map(|m| min + m);
-                Some(Constraint::Card {
+fn gen_constraint(rng: &mut SplitMix64, depth: u32) -> Constraint {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return match rng.gen_range(0u32..5) {
+            0 => Constraint::True,
+            1 => Constraint::False,
+            2 => Constraint::Atom(gen_access(rng)),
+            3 => Constraint::Ordered(gen_access(rng), gen_access(rng)),
+            _ => {
+                let min = rng.gen_range(0usize..3);
+                let max = if rng.gen_bool(0.5) {
+                    Some(min + rng.gen_range(0usize..4))
+                } else {
+                    None
+                };
+                Constraint::Card {
                     min,
                     max,
-                    selector,
-                })
+                    selector: gen_selector(rng),
+                }
             }
-        ),
-    ];
-    leaf.prop_recursive(depth, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
-            inner.prop_map(Constraint::not),
-        ]
-    })
+        };
+    }
+    match rng.gen_range(0u32..4) {
+        0 => gen_constraint(rng, depth - 1).and(gen_constraint(rng, depth - 1)),
+        1 => gen_constraint(rng, depth - 1).or(gen_constraint(rng, depth - 1)),
+        2 => gen_constraint(rng, depth - 1).implies(gen_constraint(rng, depth - 1)),
+        _ => gen_constraint(rng, depth - 1).not(),
+    }
 }
 
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    prop::collection::vec(0u32..8, 0..7).prop_map(|v| Trace::from_ids(v.into_iter().map(AccessId)))
+fn gen_trace(rng: &mut SplitMix64) -> Trace {
+    let len = rng.gen_range(0usize..7);
+    Trace::from_ids((0..len).map(|_| AccessId(rng.gen_range(0u32..8))))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// The compiled automaton and Definition 3.6 agree on every trace.
-    #[test]
-    fn compile_agrees_with_definition_3_6(c in arb_constraint(3), t in arb_trace()) {
+/// The compiled automaton and Definition 3.6 agree on every trace.
+#[test]
+fn compile_agrees_with_definition_3_6() {
+    forall("compile_agrees_with_definition_3_6", 0xac01, 192, |rng| {
+        let c = gen_constraint(rng, 3);
+        let t = gen_trace(rng);
         let (table, al, _) = vocab_table();
         let d = compile(&c, &al, &table);
         let oracle = ProofOracle::assume_all();
-        prop_assert_eq!(
+        assert_eq!(
             d.accepts(&t),
             trace_satisfies(&t, &c, &table, &oracle),
-            "constraint {} on trace {}", c, t
+            "constraint {c} on trace {t}"
         );
-    }
+    });
+}
 
-    /// NNF preserves the trace semantics exactly.
-    #[test]
-    fn nnf_preserves_semantics(c in arb_constraint(3), t in arb_trace()) {
+/// NNF preserves the trace semantics exactly.
+#[test]
+fn nnf_preserves_semantics() {
+    forall("nnf_preserves_semantics", 0xac02, 192, |rng| {
+        let c = gen_constraint(rng, 3);
+        let t = gen_trace(rng);
         let (table, _, _) = vocab_table();
         let oracle = ProofOracle::assume_all();
-        prop_assert_eq!(
+        assert_eq!(
             trace_satisfies(&t, &c, &table, &oracle),
             trace_satisfies(&t, &c.to_nnf(), &table, &oracle)
         );
-    }
+    });
+}
 
-    /// NNF really is in negation normal form: Not only wraps leaves.
-    #[test]
-    fn nnf_shape(c in arb_constraint(4)) {
+/// NNF really is in negation normal form: Not only wraps leaves.
+#[test]
+fn nnf_shape() {
+    forall("nnf_shape", 0xac03, 192, |rng| {
+        let c = gen_constraint(rng, 4);
         fn check(c: &Constraint) -> bool {
             match c {
                 Constraint::Not(inner) => matches!(
@@ -121,31 +136,39 @@ proptest! {
                 _ => true,
             }
         }
-        prop_assert!(check(&c.to_nnf()));
-    }
+        assert!(check(&c.to_nnf()));
+    });
+}
 
-    /// Display → parse round trip.
-    #[test]
-    fn display_parse_roundtrip(c in arb_constraint(3)) {
+/// Display → parse round trip.
+#[test]
+fn display_parse_roundtrip() {
+    forall("display_parse_roundtrip", 0xac04, 192, |rng| {
+        let c = gen_constraint(rng, 3);
         let printed = c.to_string();
-        let reparsed = parse_constraint(&printed)
-            .unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
-        prop_assert_eq!(c, reparsed);
-    }
+        let reparsed =
+            parse_constraint(&printed).unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
+        assert_eq!(c, reparsed);
+    });
+}
 
-    /// ForAll and Exists relate classically: ForAll C fails iff Exists ¬C
-    /// holds (on programs with at least one trace, which is every SRAL
-    /// program).
-    #[test]
-    fn forall_exists_duality(c in arb_constraint(2), seed in 0u64..50) {
+/// ForAll and Exists relate classically: ForAll C fails iff Exists ¬C
+/// holds (on programs with at least one trace, which is every SRAL
+/// program).
+#[test]
+fn forall_exists_duality() {
+    forall("forall_exists_duality", 0xac05, 192, |rng| {
+        let c = gen_constraint(rng, 2);
+        let seed = rng.gen_range(0u64..50);
         // Small straight-line program from the vocabulary.
         let (_, _, accs) = vocab_table();
         let k = 1 + (seed as usize % 4);
-        let prog = stacl_sral::Program::seq_all(
-            (0..k).map(|i| stacl_sral::Program::Access(accs[(seed as usize + i) % accs.len()].clone())),
-        );
+        let prog =
+            stacl_sral::Program::seq_all((0..k).map(|i| {
+                stacl_sral::Program::Access(accs[(seed as usize + i) % accs.len()].clone())
+            }));
         let mut t1 = AccessTable::new();
-        let forall = check_residual(&Trace::empty(), &prog, &c, &mut t1, Semantics::ForAll);
+        let forall_v = check_residual(&Trace::empty(), &prog, &c, &mut t1, Semantics::ForAll);
         let mut t2 = AccessTable::new();
         let exists_neg = check_residual(
             &Trace::empty(),
@@ -154,22 +177,28 @@ proptest! {
             &mut t2,
             Semantics::Exists,
         );
-        prop_assert_eq!(forall.holds, !exists_neg.holds, "constraint {}", c);
-    }
+        assert_eq!(forall_v.holds, !exists_neg.holds, "constraint {c}");
+    });
+}
 
-    /// Residual checking with history h equals checking the concatenated
-    /// behaviour: h·P ⊨ C (for straight-line programs where the
-    /// concatenation is expressible).
-    #[test]
-    fn residual_equals_prefixed_program(
-        c in arb_constraint(2),
-        h in prop::collection::vec(0usize..8, 0..4),
-        p in prop::collection::vec(0usize..8, 1..4),
-    ) {
+/// Residual checking with history h equals checking the concatenated
+/// behaviour: h·P ⊨ C (for straight-line programs where the
+/// concatenation is expressible).
+#[test]
+fn residual_equals_prefixed_program() {
+    forall("residual_equals_prefixed_program", 0xac06, 192, |rng| {
+        let c = gen_constraint(rng, 2);
+        let h: Vec<usize> = (0..rng.gen_range(0usize..4))
+            .map(|_| rng.gen_range(0usize..8))
+            .collect();
+        let p: Vec<usize> = (0..rng.gen_range(1usize..4))
+            .map(|_| rng.gen_range(0usize..8))
+            .collect();
         let (_, _, accs) = vocab_table();
         let history_accs: Vec<Access> = h.iter().map(|&i| accs[i].clone()).collect();
         let future = stacl_sral::Program::seq_all(
-            p.iter().map(|&i| stacl_sral::Program::Access(accs[i].clone())),
+            p.iter()
+                .map(|&i| stacl_sral::Program::Access(accs[i].clone())),
         );
         // Variant 1: history as a trace.
         let mut t1 = AccessTable::new();
@@ -184,6 +213,6 @@ proptest! {
         .then(future);
         let mut t2 = AccessTable::new();
         let v2 = check_residual(&Trace::empty(), &prefixed, &c, &mut t2, Semantics::ForAll);
-        prop_assert_eq!(v1.holds, v2.holds, "constraint {}", c);
-    }
+        assert_eq!(v1.holds, v2.holds, "constraint {c}");
+    });
 }

@@ -139,9 +139,7 @@ impl Program {
 
     /// Sequence a list of programs, yielding `Skip` for an empty list.
     pub fn seq_all(parts: impl IntoIterator<Item = Program>) -> Program {
-        parts
-            .into_iter()
-            .fold(Program::Skip, |acc, p| acc.then(p))
+        parts.into_iter().fold(Program::Skip, |acc, p| acc.then(p))
     }
 
     /// Parallel-compose a list of programs, `Skip` for an empty list.

@@ -104,7 +104,7 @@ pub fn while_do(cond: Cond, body: Program) -> Program {
 /// Repeat `body` exactly `n` times by unrolling. Useful for building test
 /// and benchmark programs with a known finite trace model.
 pub fn repeat(n: usize, body: Program) -> Program {
-    seq(std::iter::repeat(body).take(n))
+    seq(std::iter::repeat_n(body, n))
 }
 
 #[cfg(test)]
@@ -150,7 +150,10 @@ mod tests {
             recv("jobs", "n"),
             while_do(
                 Cond::cmp(CmpOp::Gt, crate::expr::Expr::var("n"), 0.into()),
-                seq([access("exec", "app", "s2"), assign("n", crate::expr::Expr::var("n").sub(1.into()))]),
+                seq([
+                    access("exec", "app", "s2"),
+                    assign("n", crate::expr::Expr::var("n").sub(1.into())),
+                ]),
             ),
             send("results", crate::expr::Expr::var("n")),
             signal("done"),

@@ -174,6 +174,10 @@ pub enum Expr {
     Bin(ArithOp, Box<Expr>, Box<Expr>),
 }
 
+// The arithmetic shorthands deliberately mirror the `Expr::Bin` operator
+// names rather than implementing `std::ops`: `Expr + Expr` reading as an
+// AST constructor would be more confusing than `a.add(b)`.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Shorthand for a variable reference.
     pub fn var(name: impl AsRef<str>) -> Expr {
@@ -413,8 +417,12 @@ mod tests {
 
     #[test]
     fn collect_vars_walks_everything() {
-        let c = Cond::cmp(CmpOp::Lt, Expr::var("x"), Expr::var("y").add(Expr::var("z")))
-            .and(Cond::Var(crate::ast::name("w")));
+        let c = Cond::cmp(
+            CmpOp::Lt,
+            Expr::var("x"),
+            Expr::var("y").add(Expr::var("z")),
+        )
+        .and(Cond::Var(crate::ast::name("w")));
         let mut vars = Vec::new();
         c.collect_vars(&mut vars);
         let names: Vec<_> = vars.iter().map(|n| n.to_string()).collect();

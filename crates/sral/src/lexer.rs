@@ -232,11 +232,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
             _ => {
                 bump!();
                 let two = |chars: &mut std::iter::Peekable<std::str::Chars>, want: char| {
-                    if chars.peek() == Some(&want) {
-                        true
-                    } else {
-                        false
-                    }
+                    chars.peek() == Some(&want)
                 };
                 let tok = match c {
                     ';' => Tok::Semi,
@@ -377,7 +373,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("skip # the rest is a comment ; if\nskip"), vec![Tok::Skip, Tok::Skip]);
+        assert_eq!(
+            toks("skip # the rest is a comment ; if\nskip"),
+            vec![Tok::Skip, Tok::Skip]
+        );
     }
 
     #[test]

@@ -578,10 +578,9 @@ mod tests {
     #[test]
     fn paper_example_restricted_software() {
         // "read r1 first, then if x>0 write r2 else write r3" (§3.1).
-        let p = parse_program(
-            "read r1 @ s1 ; if x > 0 then { write r2 @ s1 } else { write r3 @ s1 }",
-        )
-        .unwrap();
+        let p =
+            parse_program("read r1 @ s1 ; if x > 0 then { write r2 @ s1 } else { write r3 @ s1 }")
+                .unwrap();
         assert_eq!(p.accesses().count(), 3);
         assert_eq!(p.alphabet().len(), 3);
     }

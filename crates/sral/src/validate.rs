@@ -155,13 +155,11 @@ fn seq_deadlock(
         Program::Signal(s) => {
             raised.insert(s.clone());
         }
-        Program::Wait(s) => {
-            if all_signalled.contains(s) && !raised.contains(s) {
-                report.diagnostics.push(Diagnostic::error(format!(
-                    "wait({s}) is sequentially ordered before every signal({s}): \
+        Program::Wait(s) if all_signalled.contains(s) && !raised.contains(s) => {
+            report.diagnostics.push(Diagnostic::error(format!(
+                "wait({s}) is sequentially ordered before every signal({s}): \
                      the program deadlocks"
-                )));
-            }
+            )));
         }
         Program::Seq(a, b) => {
             seq_deadlock(a, raised, all_signalled, report);
@@ -412,9 +410,7 @@ mod tests {
         let p = wait("external");
         let r = validate(&p);
         assert!(r.is_ok());
-        assert!(r
-            .warnings()
-            .any(|d| d.message.contains("companion object")));
+        assert!(r.warnings().any(|d| d.message.contains("companion object")));
     }
 
     #[test]
@@ -454,17 +450,13 @@ mod tests {
     fn spin_loop_warns() {
         let p = while_do(Cond::True, access("poll", "r", "s"));
         let r = validate(&p);
-        assert!(r
-            .warnings()
-            .any(|d| d.message.contains("cannot terminate")));
+        assert!(r.warnings().any(|d| d.message.contains("cannot terminate")));
     }
 
     #[test]
     fn while_true_with_recv_is_accepted() {
         let p = while_do(Cond::True, seq([recv("ch", "x"), access("a", "r", "s")]));
         let r = validate(&p);
-        assert!(!r
-            .warnings()
-            .any(|d| d.message.contains("cannot terminate")));
+        assert!(!r.warnings().any(|d| d.message.contains("cannot terminate")));
     }
 }

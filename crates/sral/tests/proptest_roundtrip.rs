@@ -1,9 +1,10 @@
 //! Property tests for the SRAL front end: printing and re-parsing any
 //! generated program yields the identical AST (both the compact and the
 //! indented renderings), and structural metrics are stable under the
-//! round trip.
+//! round trip. Driven by the in-tree seeded `stacl_ids::prop` runner.
 
-use proptest::prelude::*;
+use stacl_ids::prop::forall;
+use stacl_ids::rng::SplitMix64;
 
 use stacl_sral::ast::{name, Access, Program};
 use stacl_sral::expr::{ArithOp, CmpOp, Cond, Expr};
@@ -11,159 +12,189 @@ use stacl_sral::metrics::metrics;
 use stacl_sral::parser::{parse_cond, parse_expr, parse_program};
 use stacl_sral::pretty::pretty;
 
-fn arb_ident() -> impl Strategy<Value = String> {
-    // Identifiers the lexer accepts and keywords can't shadow.
-    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
-        !matches!(
-            s.as_str(),
-            "if" | "then" | "else" | "while" | "do" | "signal" | "wait" | "skip" | "true"
-                | "false" | "and" | "or" | "not"
-        )
-    })
+/// Identifiers the lexer accepts and keywords can't shadow.
+fn gen_ident(rng: &mut SplitMix64) -> String {
+    const KEYWORDS: [&str; 13] = [
+        "if", "then", "else", "while", "do", "signal", "wait", "skip", "true", "false", "and",
+        "or", "not",
+    ];
+    loop {
+        let len = rng.gen_range(1usize..8);
+        let mut s = String::new();
+        s.push((b'a' + rng.gen_range(0u8..26)) as char);
+        for _ in 1..len {
+            let c = match rng.gen_range(0u32..38) {
+                d @ 0..=25 => (b'a' + d as u8) as char,
+                d @ 26..=35 => (b'0' + (d - 26) as u8) as char,
+                _ => '_',
+            };
+            s.push(c);
+        }
+        if !KEYWORDS.contains(&s.as_str()) {
+            return s;
+        }
+    }
 }
 
-fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0i64..1000).prop_map(Expr::Int),
-        arb_ident().prop_map(|v| Expr::Var(name(v))),
-    ];
-    leaf.prop_recursive(depth, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
-                ArithOp::Add,
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
-                ArithOp::Mul,
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
-                ArithOp::Sub,
-                Box::new(a),
-                Box::new(b)
-            )),
-            inner.prop_map(|a| Expr::Neg(Box::new(a))),
-        ]
-    })
+fn gen_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return if rng.gen_bool(0.5) {
+            Expr::Int(rng.gen_range(0i64..1000))
+        } else {
+            Expr::Var(name(gen_ident(rng)))
+        };
+    }
+    match rng.gen_range(0u32..4) {
+        0 => Expr::Bin(
+            ArithOp::Add,
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        1 => Expr::Bin(
+            ArithOp::Mul,
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        2 => Expr::Bin(
+            ArithOp::Sub,
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        _ => Expr::Neg(Box::new(gen_expr(rng, depth - 1))),
+    }
 }
 
-fn arb_cond(depth: u32) -> impl Strategy<Value = Cond> {
-    let cmp = prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ];
-    let leaf = prop_oneof![
-        Just(Cond::True),
-        Just(Cond::False),
-        arb_ident().prop_map(|v| Cond::Var(name(v))),
-        (cmp, arb_expr(2), arb_expr(2)).prop_map(|(op, l, r)| Cond::cmp(op, l, r)),
-    ];
-    leaf.prop_recursive(depth, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.prop_map(Cond::not),
-        ]
-    })
+fn gen_cond(rng: &mut SplitMix64, depth: u32) -> Cond {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return match rng.gen_range(0u32..4) {
+            0 => Cond::True,
+            1 => Cond::False,
+            2 => Cond::Var(name(gen_ident(rng))),
+            _ => {
+                let op = match rng.gen_range(0u32..6) {
+                    0 => CmpOp::Eq,
+                    1 => CmpOp::Ne,
+                    2 => CmpOp::Lt,
+                    3 => CmpOp::Le,
+                    4 => CmpOp::Gt,
+                    _ => CmpOp::Ge,
+                };
+                Cond::cmp(op, gen_expr(rng, 2), gen_expr(rng, 2))
+            }
+        };
+    }
+    match rng.gen_range(0u32..3) {
+        0 => gen_cond(rng, depth - 1).and(gen_cond(rng, depth - 1)),
+        1 => gen_cond(rng, depth - 1).or(gen_cond(rng, depth - 1)),
+        _ => gen_cond(rng, depth - 1).not(),
+    }
 }
 
-fn arb_program(depth: u32) -> impl Strategy<Value = Program> {
-    let access = (arb_ident(), arb_ident(), arb_ident())
-        .prop_map(|(op, r, s)| Program::Access(Access::new(op, r, s)));
-    let leaf = prop_oneof![
-        access,
-        Just(Program::Skip),
-        (arb_ident(), arb_ident()).prop_map(|(ch, v)| Program::Recv {
-            channel: name(ch),
-            var: name(v),
-        }),
-        (arb_ident(), arb_expr(2)).prop_map(|(ch, e)| Program::Send {
-            channel: name(ch),
-            expr: e,
-        }),
-        arb_ident().prop_map(|s| Program::Signal(name(s))),
-        arb_ident().prop_map(|s| Program::Wait(name(s))),
-        (arb_ident(), arb_expr(2)).prop_map(|(v, e)| Program::Assign {
-            var: name(v),
-            expr: e,
-        }),
-    ];
-    leaf.prop_recursive(depth, 48, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Program::Seq(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Program::Par(Box::new(a), Box::new(b))),
-            (arb_cond(2), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Program::If {
-                cond: c,
-                then_branch: Box::new(t),
-                else_branch: Box::new(e),
-            }),
-            (arb_cond(2), inner).prop_map(|(c, b)| Program::While {
-                cond: c,
-                body: Box::new(b),
-            }),
-        ]
-    })
+fn gen_program(rng: &mut SplitMix64, depth: u32) -> Program {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return match rng.gen_range(0u32..7) {
+            0 => Program::Skip,
+            1 => Program::Recv {
+                channel: name(gen_ident(rng)),
+                var: name(gen_ident(rng)),
+            },
+            2 => Program::Send {
+                channel: name(gen_ident(rng)),
+                expr: gen_expr(rng, 2),
+            },
+            3 => Program::Signal(name(gen_ident(rng))),
+            4 => Program::Wait(name(gen_ident(rng))),
+            5 => Program::Assign {
+                var: name(gen_ident(rng)),
+                expr: gen_expr(rng, 2),
+            },
+            _ => Program::Access(Access::new(gen_ident(rng), gen_ident(rng), gen_ident(rng))),
+        };
+    }
+    match rng.gen_range(0u32..4) {
+        0 => Program::Seq(
+            Box::new(gen_program(rng, depth - 1)),
+            Box::new(gen_program(rng, depth - 1)),
+        ),
+        1 => Program::Par(
+            Box::new(gen_program(rng, depth - 1)),
+            Box::new(gen_program(rng, depth - 1)),
+        ),
+        2 => Program::If {
+            cond: gen_cond(rng, 2),
+            then_branch: Box::new(gen_program(rng, depth - 1)),
+            else_branch: Box::new(gen_program(rng, depth - 1)),
+        },
+        _ => Program::While {
+            cond: gen_cond(rng, 2),
+            body: Box::new(gen_program(rng, depth - 1)),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn compact_print_reparses_identically(p in arb_program(5)) {
+#[test]
+fn compact_print_reparses_identically() {
+    forall("compact_print_reparses_identically", 0x5ca1, 256, |rng| {
+        let p = gen_program(rng, 5);
         let printed = p.to_string();
         let reparsed = parse_program(&printed)
             .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
-        prop_assert_eq!(&p, &reparsed, "compact roundtrip of `{}`", printed);
-    }
+        assert_eq!(p, reparsed, "compact roundtrip of `{printed}`");
+    });
+}
 
-    #[test]
-    fn pretty_print_reparses_identically(p in arb_program(5)) {
+#[test]
+fn pretty_print_reparses_identically() {
+    forall("pretty_print_reparses_identically", 0x5ca2, 256, |rng| {
+        let p = gen_program(rng, 5);
         let printed = pretty(&p);
         let reparsed = parse_program(&printed)
             .unwrap_or_else(|e| panic!("reparse of pretty output failed: {e}\n{printed}"));
-        prop_assert_eq!(p, reparsed);
-    }
+        assert_eq!(p, reparsed);
+    });
+}
 
-    #[test]
-    fn metrics_are_print_invariant(p in arb_program(4)) {
+#[test]
+fn metrics_are_print_invariant() {
+    forall("metrics_are_print_invariant", 0x5ca3, 256, |rng| {
+        let p = gen_program(rng, 4);
         let m1 = metrics(&p);
         let reparsed = parse_program(&p.to_string()).unwrap();
         let m2 = metrics(&reparsed);
-        prop_assert_eq!(m1, m2);
-    }
+        assert_eq!(m1, m2);
+    });
+}
 
-    #[test]
-    fn expr_roundtrip(e in arb_expr(4)) {
+#[test]
+fn expr_roundtrip() {
+    forall("expr_roundtrip", 0x5ca4, 256, |rng| {
+        let e = gen_expr(rng, 4);
         let printed = e.to_string();
-        let reparsed = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("`{printed}`: {err}"));
-        prop_assert_eq!(e, reparsed);
-    }
+        let reparsed = parse_expr(&printed).unwrap_or_else(|err| panic!("`{printed}`: {err}"));
+        assert_eq!(e, reparsed);
+    });
+}
 
-    #[test]
-    fn cond_roundtrip(c in arb_cond(4)) {
+#[test]
+fn cond_roundtrip() {
+    forall("cond_roundtrip", 0x5ca5, 256, |rng| {
+        let c = gen_cond(rng, 4);
         let printed = c.to_string();
-        let reparsed = parse_cond(&printed)
-            .unwrap_or_else(|err| panic!("`{printed}`: {err}"));
-        prop_assert_eq!(c, reparsed);
-    }
+        let reparsed = parse_cond(&printed).unwrap_or_else(|err| panic!("`{printed}`: {err}"));
+        assert_eq!(c, reparsed);
+    });
+}
 
-    #[test]
-    fn size_bounds_accesses(p in arb_program(5)) {
+#[test]
+fn size_bounds_accesses() {
+    forall("size_bounds_accesses", 0x5ca6, 256, |rng| {
         // Sanity invariants tying the helpers together.
+        let p = gen_program(rng, 5);
         let m = metrics(&p);
-        prop_assert!(m.accesses <= m.size);
-        prop_assert!(m.alphabet <= m.accesses.max(1));
-        prop_assert!(m.depth <= m.size);
-        prop_assert_eq!(p.accesses().count(), m.accesses);
-        prop_assert_eq!(p.is_loop_free(), m.whiles == 0);
-    }
+        assert!(m.accesses <= m.size);
+        assert!(m.alphabet <= m.accesses.max(1));
+        assert!(m.depth <= m.size);
+        assert_eq!(p.accesses().count(), m.accesses);
+        assert_eq!(p.is_loop_free(), m.whiles == 0);
+    });
 }

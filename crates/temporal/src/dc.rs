@@ -376,9 +376,7 @@ mod tests {
             tp(0.0),
             tp(10.0)
         ));
-        let neither = StateExpr::atom("a")
-            .or(StateExpr::atom("b"))
-            .not();
+        let neither = StateExpr::atom("a").or(StateExpr::atom("b")).not();
         assert!(eval(
             &Formula::Dur(neither, DurCmp::Eq, 4.0),
             &i,
@@ -403,8 +401,11 @@ mod tests {
         let i = busy_interp();
         // [0,10] = [0,m] with busy nowhere ⌢ [m,10] with busy somewhere;
         // m = 1 works (busy starts at 1).
-        let f = Formula::Dur(StateExpr::atom("busy"), DurCmp::Eq, 0.0)
-            .chop(Formula::Dur(StateExpr::atom("busy"), DurCmp::Eq, 3.0));
+        let f = Formula::Dur(StateExpr::atom("busy"), DurCmp::Eq, 0.0).chop(Formula::Dur(
+            StateExpr::atom("busy"),
+            DurCmp::Eq,
+            3.0,
+        ));
         assert!(eval(&f, &i, tp(0.0), tp(10.0)));
     }
 
@@ -413,8 +414,11 @@ mod tests {
         let i = busy_interp();
         // Split such that each half carries exactly 1.5 of busy-time: the
         // split is at t = 2.5, mid-segment — found via integral inversion.
-        let f = Formula::Dur(StateExpr::atom("busy"), DurCmp::Eq, 1.5)
-            .chop(Formula::Dur(StateExpr::atom("busy"), DurCmp::Eq, 1.5));
+        let f = Formula::Dur(StateExpr::atom("busy"), DurCmp::Eq, 1.5).chop(Formula::Dur(
+            StateExpr::atom("busy"),
+            DurCmp::Eq,
+            1.5,
+        ));
         assert!(eval(&f, &i, tp(0.0), tp(10.0)));
     }
 
@@ -422,8 +426,11 @@ mod tests {
     fn chop_unsatisfiable() {
         let i = busy_interp();
         // No split can put 4.0 busy-units on the left: total is 3.
-        let f = Formula::Dur(StateExpr::atom("busy"), DurCmp::Ge, 4.0)
-            .chop(Formula::Dur(StateExpr::atom("busy"), DurCmp::Ge, 0.0));
+        let f = Formula::Dur(StateExpr::atom("busy"), DurCmp::Ge, 4.0).chop(Formula::Dur(
+            StateExpr::atom("busy"),
+            DurCmp::Ge,
+            0.0,
+        ));
         assert!(!eval(&f, &i, tp(0.0), tp(10.0)));
     }
 
@@ -456,9 +463,7 @@ mod tests {
         // suffix would need to end at 4: impossible. So the chop is false
         // and its negation true.
         let any = Formula::Dur(StateExpr::atom("busy"), DurCmp::Ge, 0.0);
-        let f = any
-            .chop(Formula::Everywhere(StateExpr::atom("busy")))
-            .not();
+        let f = any.chop(Formula::Everywhere(StateExpr::atom("busy"))).not();
         assert!(eval(&f, &i, tp(0.0), tp(4.0)));
     }
 

@@ -263,10 +263,7 @@ mod tests {
         assert!(exactly_one.at(tp(0.5)));
         assert!(!exactly_one.at(tp(1.5)));
         assert!(exactly_one.at(tp(2.5)));
-        assert_eq!(
-            exactly_one.integral(tp(-1.0), tp(4.0)),
-            TimeDelta::new(2.0)
-        );
+        assert_eq!(exactly_one.integral(tp(-1.0), tp(4.0)), TimeDelta::new(2.0));
     }
 
     #[test]
@@ -319,7 +316,10 @@ mod tests {
         assert!(p.holds_throughout(tp(1.0), tp(5.0)));
         assert!(p.holds_throughout(tp(2.0), tp(3.0)));
         assert!(!p.holds_throughout(tp(0.5), tp(3.0)));
-        assert!(!p.holds_throughout(tp(2.0), tp(2.0)), "points never hold ⌈S⌉");
+        assert!(
+            !p.holds_throughout(tp(2.0), tp(2.0)),
+            "points never hold ⌈S⌉"
+        );
     }
 
     #[test]

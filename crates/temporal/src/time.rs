@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn ordering_total() {
-        let mut v = vec![
+        let mut v = [
             TimePoint::new(3.0),
             TimePoint::new(-1.0),
             TimePoint::new(0.0),

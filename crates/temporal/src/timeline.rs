@@ -14,6 +14,8 @@
 //! refills at every recorded server arrival; under
 //! [`BaseTimeScheme::WholeLifetime`] it never does.
 
+use std::cell::RefCell;
+
 use crate::scheme::BaseTimeScheme;
 use crate::step::StepFn;
 use crate::time::{TimeDelta, TimePoint};
@@ -31,6 +33,11 @@ pub struct PermissionTimeline {
     toggles: Vec<(TimePoint, bool)>,
     /// Current activation state (after the last toggle).
     active_now: bool,
+    /// Memo of the derived `valid(·)` function. Deriving it walks the full
+    /// toggle history (and allocates), so steady-state validity queries —
+    /// the guard hot path, where activations are idempotent no-ops —
+    /// reuse the last derivation; any real mutation clears it.
+    valid_cache: RefCell<Option<StepFn>>,
 }
 
 impl PermissionTimeline {
@@ -47,6 +54,7 @@ impl PermissionTimeline {
             arrivals: Vec::new(),
             toggles: Vec::new(),
             active_now: false,
+            valid_cache: RefCell::new(None),
         }
     }
 
@@ -58,6 +66,7 @@ impl PermissionTimeline {
             arrivals: Vec::new(),
             toggles: Vec::new(),
             active_now: false,
+            valid_cache: RefCell::new(None),
         }
     }
 
@@ -95,15 +104,18 @@ impl PermissionTimeline {
     pub fn arrive_at_server(&mut self, t: TimePoint) {
         self.assert_monotone(t);
         self.arrivals.push(t);
+        self.valid_cache.get_mut().take();
     }
 
     /// Record that the permission became active (role activated and
-    /// spatial constraints satisfied) at `t`. Idempotent while active.
+    /// spatial constraints satisfied) at `t`. Idempotent while active —
+    /// and then a true no-op that keeps the validity memo warm.
     pub fn activate(&mut self, t: TimePoint) {
         self.assert_monotone(t);
         if !self.active_now {
             self.toggles.push((t, true));
             self.active_now = true;
+            self.valid_cache.get_mut().take();
         }
     }
 
@@ -114,6 +126,7 @@ impl PermissionTimeline {
         if self.active_now {
             self.toggles.push((t, false));
             self.active_now = false;
+            self.valid_cache.get_mut().take();
         }
     }
 
@@ -125,6 +138,20 @@ impl PermissionTimeline {
 
     /// The derived `valid(perm, ·)` state function of Eq. 4.1.
     pub fn valid_fn(&self) -> StepFn {
+        self.with_valid(|f| f.clone())
+    }
+
+    /// Run `f` against the (memoized) valid-state function without
+    /// cloning it. Queries through this path are allocation-free once the
+    /// memo is warm.
+    fn with_valid<R>(&self, f: impl FnOnce(&StepFn) -> R) -> R {
+        let mut cache = self.valid_cache.borrow_mut();
+        let fun = cache.get_or_insert_with(|| self.compute_valid_fn());
+        f(fun)
+    }
+
+    /// Derive the valid-state function from the recorded history.
+    fn compute_valid_fn(&self) -> StepFn {
         let Some(dur) = self.budget else {
             // Time-insensitive: valid ≡ active.
             return self.active_fn();
@@ -242,16 +269,17 @@ impl PermissionTimeline {
         StepFn::from_changes(false, changes)
     }
 
-    /// Is the permission valid at time `t` (Eq. 4.1)?
+    /// Is the permission valid at time `t` (Eq. 4.1)? Allocation-free
+    /// while the validity memo is warm (i.e. between real mutations).
     pub fn is_valid_at(&self, t: TimePoint) -> bool {
-        self.valid_fn().at(t)
+        self.with_valid(|f| f.at(t))
     }
 
     /// Valid-time accumulated in the epoch containing `t` (the integral of
     /// Eq. 4.1 from the effective base time to `t`).
     pub fn used_at(&self, t: TimePoint) -> TimeDelta {
         let base = self.base_time_for(t);
-        self.valid_fn().integral(base, t)
+        self.with_valid(|f| f.integral(base, t))
     }
 
     /// Remaining validity budget at `t`; `None` for unlimited permissions.
@@ -264,11 +292,12 @@ impl PermissionTimeline {
     /// When validity will next switch off, if the permission is currently
     /// valid at `t`.
     pub fn expiry_after(&self, t: TimePoint) -> Option<TimePoint> {
-        let f = self.valid_fn();
-        if !f.at(t) {
-            return None;
-        }
-        f.next_time_with_value(t, false)
+        self.with_valid(|f| {
+            if !f.at(t) {
+                return None;
+            }
+            f.next_time_with_value(t, false)
+        })
     }
 
     /// The effective `t_b` for a query at time `t`.
@@ -332,7 +361,7 @@ mod tests {
         tl.activate(tp(0.0));
         tl.deactivate(tp(2.0)); // used 2.
         tl.activate(tp(10.0)); // gap of 8 consumes nothing.
-        // One unit of budget remains: valid on [10, 11).
+                               // One unit of budget remains: valid on [10, 11).
         assert!(tl.is_valid_at(tp(10.5)));
         assert!(!tl.is_valid_at(tp(11.5)));
         assert_eq!(tl.expiry_after(tp(10.0)), Some(tp(11.0)));
@@ -440,6 +469,23 @@ mod tests {
         let a = tl.active_fn();
         let conflict = v.and(&a.not());
         assert_eq!(conflict.integral(tp(0.0), tp(100.0)), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn valid_memo_invalidates_on_mutation() {
+        let mut tl = PermissionTimeline::new(5.0, BaseTimeScheme::CurrentServer);
+        tl.arrive_at_server(tp(0.0));
+        tl.activate(tp(0.0));
+        assert!(tl.is_valid_at(tp(4.0))); // warms the memo
+        assert!(!tl.is_valid_at(tp(6.0))); // memo hit
+        tl.activate(tp(6.5)); // idempotent while active: memo stays warm
+        assert!(!tl.is_valid_at(tp(6.9)));
+        tl.arrive_at_server(tp(7.0)); // refill must invalidate the memo
+        assert!(tl.is_valid_at(tp(8.0)));
+        tl.deactivate(tp(9.0)); // so must a real toggle
+        assert!(!tl.is_valid_at(tp(9.5)));
+        tl.activate(tp(10.0));
+        assert!(tl.is_valid_at(tp(10.5)));
     }
 
     #[test]

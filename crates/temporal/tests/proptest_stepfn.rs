@@ -1,8 +1,10 @@
 //! Property tests for the temporal layer: the step-function boolean
 //! algebra, exact integrals, and the validity-timeline invariants of
-//! Eq. 4.1 under arbitrary event scripts.
+//! Eq. 4.1 under arbitrary event scripts. Driven by the in-tree seeded
+//! `stacl_ids::prop` runner.
 
-use proptest::prelude::*;
+use stacl_ids::prop::forall;
+use stacl_ids::rng::SplitMix64;
 
 use stacl_temporal::dc::{eval, DurCmp, Formula, Interpretation, StateExpr};
 use stacl_temporal::{BaseTimeScheme, PermissionTimeline, StepFn, TimePoint};
@@ -12,130 +14,157 @@ fn tp(s: f64) -> TimePoint {
 }
 
 /// A step function with change points in [0, 100).
-fn arb_stepfn() -> impl Strategy<Value = StepFn> {
-    (
-        prop::bool::ANY,
-        prop::collection::vec(0u32..1000, 0..12),
+fn gen_stepfn(rng: &mut SplitMix64) -> StepFn {
+    let init = rng.gen_bool(0.5);
+    let n = rng.gen_range(0usize..12);
+    StepFn::from_changes(
+        init,
+        (0..n)
+            .map(|_| tp(rng.gen_range(0u32..1000) as f64 / 10.0))
+            .collect(),
     )
-        .prop_map(|(init, points)| {
-            StepFn::from_changes(
-                init,
-                points.into_iter().map(|p| tp(p as f64 / 10.0)).collect(),
-            )
-        })
 }
 
 fn probes() -> Vec<TimePoint> {
     (0..40).map(|i| tp(i as f64 * 2.63)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// Pointwise boolean laws at many probe points.
-    #[test]
-    fn boolean_algebra_pointwise(a in arb_stepfn(), b in arb_stepfn()) {
+/// Pointwise boolean laws at many probe points.
+#[test]
+fn boolean_algebra_pointwise() {
+    forall("boolean_algebra_pointwise", 0x7e01, 192, |rng| {
+        let a = gen_stepfn(rng);
+        let b = gen_stepfn(rng);
         for t in probes() {
             let (va, vb) = (a.at(t), b.at(t));
-            prop_assert_eq!(a.and(&b).at(t), va && vb);
-            prop_assert_eq!(a.or(&b).at(t), va || vb);
-            prop_assert_eq!(a.xor(&b).at(t), va != vb);
-            prop_assert_eq!(a.not().at(t), !va);
+            assert_eq!(a.and(&b).at(t), va && vb);
+            assert_eq!(a.or(&b).at(t), va || vb);
+            assert_eq!(a.xor(&b).at(t), va != vb);
+            assert_eq!(a.not().at(t), !va);
         }
-    }
+    });
+}
 
-    /// De Morgan and distributivity as structural equalities (the merge
-    /// sweep produces canonical change lists).
-    #[test]
-    fn de_morgan_structural(a in arb_stepfn(), b in arb_stepfn(), c in arb_stepfn()) {
-        prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
-        prop_assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
-        prop_assert_eq!(
-            a.and(&b.or(&c)),
-            a.and(&b).or(&a.and(&c))
-        );
-    }
+/// De Morgan and distributivity as structural equalities (the merge
+/// sweep produces canonical change lists).
+#[test]
+fn de_morgan_structural() {
+    forall("de_morgan_structural", 0x7e02, 192, |rng| {
+        let a = gen_stepfn(rng);
+        let b = gen_stepfn(rng);
+        let c = gen_stepfn(rng);
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+        assert_eq!(a.and(&b.or(&c)), a.and(&b).or(&a.and(&c)));
+    });
+}
 
-    /// Integral additivity: ∫_b^m + ∫_m^e = ∫_b^e for any midpoint.
-    #[test]
-    fn integral_additive(f in arb_stepfn(), cut in 0u32..1000) {
+/// Integral additivity: ∫_b^m + ∫_m^e = ∫_b^e for any midpoint.
+#[test]
+fn integral_additive() {
+    forall("integral_additive", 0x7e03, 192, |rng| {
+        let f = gen_stepfn(rng);
+        let cut = rng.gen_range(0u32..1000);
         let (b, e) = (tp(0.0), tp(100.0));
         let m = tp(cut as f64 / 10.0);
         let whole = f.integral(b, e).seconds();
         let split = f.integral(b, m).seconds() + f.integral(m, e).seconds();
-        prop_assert!((whole - split).abs() < 1e-9);
-    }
+        assert!((whole - split).abs() < 1e-9);
+    });
+}
 
-    /// ∫(a ∨ b) = ∫a + ∫b − ∫(a ∧ b) (inclusion–exclusion).
-    #[test]
-    fn integral_inclusion_exclusion(a in arb_stepfn(), b in arb_stepfn()) {
+/// ∫(a ∨ b) = ∫a + ∫b − ∫(a ∧ b) (inclusion–exclusion).
+#[test]
+fn integral_inclusion_exclusion() {
+    forall("integral_inclusion_exclusion", 0x7e04, 192, |rng| {
+        let a = gen_stepfn(rng);
+        let b = gen_stepfn(rng);
         let (lo, hi) = (tp(0.0), tp(100.0));
         let lhs = a.or(&b).integral(lo, hi).seconds();
         let rhs = a.integral(lo, hi).seconds() + b.integral(lo, hi).seconds()
             - a.and(&b).integral(lo, hi).seconds();
-        prop_assert!((lhs - rhs).abs() < 1e-9);
-    }
+        assert!((lhs - rhs).abs() < 1e-9);
+    });
+}
 
-    /// ∫f + ∫¬f equals the interval length.
-    #[test]
-    fn integral_complement(f in arb_stepfn()) {
+/// ∫f + ∫¬f equals the interval length.
+#[test]
+fn integral_complement() {
+    forall("integral_complement", 0x7e05, 192, |rng| {
+        let f = gen_stepfn(rng);
         let (lo, hi) = (tp(0.0), tp(100.0));
         let total = f.integral(lo, hi).seconds() + f.not().integral(lo, hi).seconds();
-        prop_assert!((total - 100.0).abs() < 1e-9);
-    }
+        assert!((total - 100.0).abs() < 1e-9);
+    });
+}
 
-    /// `next_time_with_value` returns the earliest qualifying time.
-    #[test]
-    fn next_time_is_earliest(f in arb_stepfn(), from in 0u32..1000, target in prop::bool::ANY) {
-        let from = tp(from as f64 / 10.0);
+/// `next_time_with_value` returns the earliest qualifying time.
+#[test]
+fn next_time_is_earliest() {
+    forall("next_time_is_earliest", 0x7e06, 192, |rng| {
+        let f = gen_stepfn(rng);
+        let from = tp(rng.gen_range(0u32..1000) as f64 / 10.0);
+        let target = rng.gen_bool(0.5);
         match f.next_time_with_value(from, target) {
             Some(t) => {
-                prop_assert!(t >= from);
-                prop_assert_eq!(f.at(t), target);
+                assert!(t >= from);
+                assert_eq!(f.at(t), target);
                 // No earlier change point between from and t can qualify.
                 if t > from {
-                    prop_assert_ne!(f.at(from), target);
+                    assert_ne!(f.at(from), target);
                 }
             }
-            None => prop_assert_ne!(f.at(tp(1e6)), target),
+            None => assert_ne!(f.at(tp(1e6)), target),
         }
-    }
+    });
+}
 
-    /// Duration-Calculus boolean closure: eval distributes over ∧/∨/¬.
-    #[test]
-    fn dc_boolean_closure(a in arb_stepfn(), b in arb_stepfn(), hi in 1u32..1000) {
+/// Duration-Calculus boolean closure: eval distributes over ∧/∨/¬.
+#[test]
+fn dc_boolean_closure() {
+    forall("dc_boolean_closure", 0x7e07, 192, |rng| {
+        let a = gen_stepfn(rng);
+        let b = gen_stepfn(rng);
+        let hi_raw = rng.gen_range(1u32..1000);
         let interp = Interpretation::new().bind("a", a).bind("b", b);
-        let (lo, hi) = (tp(0.0), tp(hi as f64 / 10.0));
+        let (lo, hi) = (tp(0.0), tp(hi_raw as f64 / 10.0));
         let fa = Formula::Dur(StateExpr::atom("a"), DurCmp::Ge, 1.0);
         let fb = Formula::Dur(StateExpr::atom("b"), DurCmp::Lt, 5.0);
         let (ra, rb) = (eval(&fa, &interp, lo, hi), eval(&fb, &interp, lo, hi));
-        prop_assert_eq!(eval(&fa.clone().and(fb.clone()), &interp, lo, hi), ra && rb);
-        prop_assert_eq!(eval(&fa.clone().or(fb.clone()), &interp, lo, hi), ra || rb);
-        prop_assert_eq!(eval(&fa.clone().not(), &interp, lo, hi), !ra);
-    }
+        assert_eq!(eval(&fa.clone().and(fb.clone()), &interp, lo, hi), ra && rb);
+        assert_eq!(eval(&fa.clone().or(fb.clone()), &interp, lo, hi), ra || rb);
+        assert_eq!(eval(&fa.clone().not(), &interp, lo, hi), !ra);
+    });
+}
 
-    /// Chop soundness: `(∫a = x) ⌢ (∫a = total − x)` holds for any split
-    /// amount x within the total.
-    #[test]
-    fn dc_chop_split_amounts(a in arb_stepfn(), frac in 0.0f64..1.0) {
+/// Chop soundness: `(∫a = x) ⌢ (∫a = total − x)` holds for any split
+/// amount x within the total.
+#[test]
+fn dc_chop_split_amounts() {
+    forall("dc_chop_split_amounts", 0x7e08, 192, |rng| {
+        let a = gen_stepfn(rng);
+        let frac = rng.gen_range(0.0f64..1.0);
         let interp = Interpretation::new().bind("a", a.clone());
         let (lo, hi) = (tp(0.0), tp(100.0));
         let total = a.integral(lo, hi).seconds();
         let x = total * frac;
-        let f = Formula::Dur(StateExpr::atom("a"), DurCmp::Eq, x)
-            .chop(Formula::Dur(StateExpr::atom("a"), DurCmp::Eq, total - x));
-        prop_assert!(eval(&f, &interp, lo, hi), "split {x} of {total}");
-    }
+        let f = Formula::Dur(StateExpr::atom("a"), DurCmp::Eq, x).chop(Formula::Dur(
+            StateExpr::atom("a"),
+            DurCmp::Eq,
+            total - x,
+        ));
+        assert!(eval(&f, &interp, lo, hi), "split {x} of {total}");
+    });
+}
 
-    /// Eq. 4.1 invariants under random event scripts (richer variant of
-    /// the integration test): valid ⇒ active, per-epoch budget bound, and
-    /// the derived function is stable under re-derivation.
-    #[test]
-    fn timeline_invariants(
-        dur in 0.0f64..30.0,
-        script in prop::collection::vec((0.1f64..4.0, 0u8..3), 1..16),
-        per_server in prop::bool::ANY,
-    ) {
+/// Eq. 4.1 invariants under random event scripts (richer variant of
+/// the integration test): valid ⇒ active, per-epoch budget bound, and
+/// the derived function is stable under re-derivation.
+#[test]
+fn timeline_invariants() {
+    forall("timeline_invariants", 0x7e09, 192, |rng| {
+        let dur = rng.gen_range(0.0f64..30.0);
+        let per_server = rng.gen_bool(0.5);
         let scheme = if per_server {
             BaseTimeScheme::CurrentServer
         } else {
@@ -146,9 +175,10 @@ proptest! {
         let mut t = 0.0;
         let mut arrivals = vec![0.0];
         let mut active = false;
-        for (dt, action) in script {
-            t += dt;
-            match action {
+        let script_len = rng.gen_range(1usize..16);
+        for _ in 0..script_len {
+            t += rng.gen_range(0.1f64..4.0);
+            match rng.gen_range(0u8..3) {
                 0 => {
                     if active {
                         tl.deactivate(tp(t));
@@ -166,10 +196,10 @@ proptest! {
         }
         let horizon = tp(t + dur + 5.0);
         let valid = tl.valid_fn();
-        prop_assert_eq!(&valid, &tl.valid_fn(), "derivation must be deterministic");
+        assert_eq!(&valid, &tl.valid_fn(), "derivation must be deterministic");
         // valid ⇒ active.
         let leak = valid.and(&tl.active_fn().not());
-        prop_assert!(leak.integral(tp(0.0), horizon).seconds() < 1e-9);
+        assert!(leak.integral(tp(0.0), horizon).seconds() < 1e-9);
         // Per-epoch budget.
         let mut bounds = match scheme {
             BaseTimeScheme::WholeLifetime => vec![0.0],
@@ -178,11 +208,16 @@ proptest! {
         bounds.push(horizon.seconds());
         for w in bounds.windows(2) {
             let used = valid.integral(tp(w[0]), tp(w[1])).seconds();
-            prop_assert!(used <= dur + 1e-6, "epoch [{},{}] used {used} > {dur}", w[0], w[1]);
+            assert!(
+                used <= dur + 1e-6,
+                "epoch [{},{}] used {used} > {dur}",
+                w[0],
+                w[1]
+            );
         }
         // is_valid_at agrees with the derived function at probe points.
         for probe in probes() {
-            prop_assert_eq!(tl.is_valid_at(probe), valid.at(probe));
+            assert_eq!(tl.is_valid_at(probe), valid.at(probe));
         }
-    }
+    });
 }

@@ -24,20 +24,12 @@ use crate::regex::Regex;
 use crate::symbol::AccessTable;
 
 /// Options controlling which primitives are observable in the trace model.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct AbstractionConfig {
     /// When true, `ch?x`, `ch!e`, `signal(ξ)` and `wait(ξ)` appear in
     /// traces as pseudo-accesses with operations `recv`/`send`/`signal`/
     /// `wait` on the synthetic server `<sync>`. Default: false.
     pub observe_sync: bool,
-}
-
-impl Default for AbstractionConfig {
-    fn default() -> Self {
-        AbstractionConfig {
-            observe_sync: false,
-        }
-    }
 }
 
 /// Compute the symbolic trace model of `p`, interning accesses in `table`.

@@ -231,20 +231,21 @@ impl Dfa {
             let id = index[&(qa, qb)];
             for sym in 0..k as u32 {
                 let pair = (self.next(qa, sym), other.next(qb, sym));
-                let next_id = match index.get(&pair) {
-                    Some(&i) => i,
-                    None => {
-                        let i = accept.len() as u32;
-                        index.insert(pair, i);
-                        accept.push(mode.combine(
-                            self.accept[pair.0 as usize],
-                            other.accept[pair.1 as usize],
-                        ));
-                        trans.resize(trans.len() + k, u32::MAX);
-                        queue.push_back(pair);
-                        i
-                    }
-                };
+                let next_id =
+                    match index.get(&pair) {
+                        Some(&i) => i,
+                        None => {
+                            let i = accept.len() as u32;
+                            index.insert(pair, i);
+                            accept.push(mode.combine(
+                                self.accept[pair.0 as usize],
+                                other.accept[pair.1 as usize],
+                            ));
+                            trans.resize(trans.len() + k, u32::MAX);
+                            queue.push_back(pair);
+                            i
+                        }
+                    };
                 trans[id as usize * k + sym as usize] = next_id;
             }
         }
@@ -303,9 +304,8 @@ impl Dfa {
 
     /// Shortest accepted trace, rendered as global ids.
     pub fn shortest_accepted(&self) -> Option<Trace> {
-        self.shortest_accepted_local().map(|w| {
-            Trace::from_ids(w.into_iter().map(|sym| self.alphabet.id_at(sym)))
-        })
+        self.shortest_accepted_local()
+            .map(|w| Trace::from_ids(w.into_iter().map(|sym| self.alphabet.id_at(sym))))
     }
 
     /// Hopcroft's partition-refinement minimisation. Unreachable states are
@@ -478,9 +478,11 @@ impl Dfa {
 /// Build a DFA accepting exactly the given finite set of traces — useful
 /// in tests and for compiling history prefixes.
 pub fn dfa_of_traces(traces: &[Trace], alphabet: Alphabet) -> Dfa {
-    let re = Regex::alt_all(traces.iter().map(|t| {
-        Regex::cat_all(t.0.iter().map(|&id| Regex::Sym(id)))
-    }));
+    let re = Regex::alt_all(
+        traces
+            .iter()
+            .map(|t| Regex::cat_all(t.0.iter().map(|&id| Regex::Sym(id)))),
+    );
     Dfa::from_regex_with(&re, alphabet)
 }
 

@@ -64,13 +64,13 @@ pub fn count_traces_by_length(dfa: &Dfa, max_len: usize) -> Vec<u64> {
             .fold(0u64, u64::saturating_add);
         counts.push(accepted);
         let mut next = vec![0u64; n];
-        for s in 0..n {
-            if paths[s] == 0 {
+        for (s, &count) in paths.iter().enumerate() {
+            if count == 0 {
                 continue;
             }
             for sym in 0..k {
                 let t = dfa.next(s as u32, sym) as usize;
-                next[t] = next[t].saturating_add(paths[s]);
+                next[t] = next[t].saturating_add(count);
             }
         }
         paths = next;
@@ -91,8 +91,8 @@ fn live_states(dfa: &Dfa) -> Vec<bool> {
     }
     let mut live = vec![false; n];
     let mut queue: VecDeque<u32> = VecDeque::new();
-    for s in 0..n {
-        if dfa.accept[s] {
+    for (s, &accept) in dfa.accept.iter().enumerate().take(n) {
+        if accept {
             live[s] = true;
             queue.push_back(s as u32);
         }

@@ -40,12 +40,7 @@ pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
     for s in 0..n {
         for sym in 0..k {
             let t = dfa.next(s as u32, sym) as usize;
-            add(
-                &mut edges,
-                s,
-                t,
-                Regex::Sym(dfa.alphabet.id_at(sym)),
-            );
+            add(&mut edges, s, t, Regex::Sym(dfa.alphabet.id_at(sym)));
         }
         if dfa.accept[s] {
             add(&mut edges, s, accept, Regex::Eps);
@@ -60,10 +55,7 @@ pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
         let (&victim, _) = remaining
             .iter()
             .map(|&s| {
-                let deg = edges
-                    .keys()
-                    .filter(|&&(f, t)| f == s || t == s)
-                    .count();
+                let deg = edges.keys().filter(|&&(f, t)| f == s || t == s).count();
                 (s, deg)
             })
             .min_by_key(|&(_, deg)| deg)
@@ -89,10 +81,8 @@ pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
         edges.retain(|&(f, t), _| f != victim && t != victim);
         for (f, re_in) in &into {
             for (t, re_out) in &out_of {
-                let through = Regex::cat(
-                    re_in.clone(),
-                    Regex::cat(loop_star.clone(), re_out.clone()),
-                );
+                let through =
+                    Regex::cat(re_in.clone(), Regex::cat(loop_star.clone(), re_out.clone()));
                 add(&mut edges, *f, *t, through);
             }
         }

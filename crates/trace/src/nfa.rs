@@ -148,9 +148,9 @@ impl Nfa {
             out.accept[id as usize] = a.accept[qa as usize] && b.accept[qb as usize];
 
             let get = |out: &mut Nfa,
-                           index: &mut HashMap<(u32, u32), u32>,
-                           queue: &mut VecDeque<(u32, u32)>,
-                           pair: (u32, u32)| {
+                       index: &mut HashMap<(u32, u32), u32>,
+                       queue: &mut VecDeque<(u32, u32)>,
+                       pair: (u32, u32)| {
                 *index.entry(pair).or_insert_with(|| {
                     let s = out.add_state();
                     queue.push_back(pair);
@@ -197,9 +197,7 @@ fn build(nfa: &mut Nfa, re: &Regex, al: &Alphabet) -> (u32, u32) {
             (s, f)
         }
         Regex::Sym(a) => {
-            let sym = al
-                .index_of(*a)
-                .expect("regex symbol missing from alphabet");
+            let sym = al.index_of(*a).expect("regex symbol missing from alphabet");
             let s = nfa.add_state();
             let f = nfa.add_state();
             nfa.add_trans(s, sym, f);

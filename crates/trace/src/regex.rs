@@ -72,16 +72,12 @@ impl Regex {
 
     /// Union of many operands.
     pub fn alt_all(parts: impl IntoIterator<Item = Regex>) -> Regex {
-        parts
-            .into_iter()
-            .fold(Regex::Empty, |acc, r| Regex::alt(acc, r))
+        parts.into_iter().fold(Regex::Empty, Regex::alt)
     }
 
     /// Concatenation of many operands.
     pub fn cat_all(parts: impl IntoIterator<Item = Regex>) -> Regex {
-        parts
-            .into_iter()
-            .fold(Regex::Eps, |acc, r| Regex::cat(acc, r))
+        parts.into_iter().fold(Regex::Eps, Regex::cat)
     }
 
     /// True when ε is in the model (the regex is *nullable*).

@@ -1,64 +1,80 @@
 //! Property tests for the automata machinery: the DFA operations must
 //! satisfy the boolean-algebra and language-theory laws the constraint
-//! checker relies on.
+//! checker relies on. Driven by the in-tree seeded `stacl_ids::prop`
+//! runner.
 
-use proptest::prelude::*;
+use stacl_ids::prop::forall;
+use stacl_ids::rng::SplitMix64;
 
 use stacl_trace::dfa::{advance, ProductMode};
 use stacl_trace::enumerate::enumerate_traces;
 use stacl_trace::symbol::AccessId;
 use stacl_trace::{Dfa, Regex, Trace};
 
-fn arb_regex(n_syms: u32, depth: u32) -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        (0..n_syms).prop_map(|i| Regex::Sym(AccessId(i))),
-        Just(Regex::Eps),
-        Just(Regex::Empty),
-    ];
-    leaf.prop_recursive(depth, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::alt(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::cat(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::shuffle(a, b)),
-            inner.prop_map(Regex::star),
-        ]
-    })
+fn gen_regex(rng: &mut SplitMix64, n_syms: u32, depth: u32) -> Regex {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return match rng.gen_range(0u32..4) {
+            0 | 1 => Regex::Sym(AccessId(rng.gen_range(0..n_syms))),
+            2 => Regex::Eps,
+            _ => Regex::Empty,
+        };
+    }
+    match rng.gen_range(0u32..4) {
+        0 => Regex::alt(
+            gen_regex(rng, n_syms, depth - 1),
+            gen_regex(rng, n_syms, depth - 1),
+        ),
+        1 => Regex::cat(
+            gen_regex(rng, n_syms, depth - 1),
+            gen_regex(rng, n_syms, depth - 1),
+        ),
+        2 => Regex::shuffle(
+            gen_regex(rng, n_syms, depth - 1),
+            gen_regex(rng, n_syms, depth - 1),
+        ),
+        _ => Regex::star(gen_regex(rng, n_syms, depth - 1)),
+    }
 }
 
-fn arb_trace(n_syms: u32) -> impl Strategy<Value = Trace> {
-    prop::collection::vec(0..n_syms, 0..8)
-        .prop_map(|v| Trace::from_ids(v.into_iter().map(AccessId)))
+fn gen_trace(rng: &mut SplitMix64, n_syms: u32) -> Trace {
+    let len = rng.gen_range(0usize..8);
+    Trace::from_ids((0..len).map(|_| AccessId(rng.gen_range(0..n_syms))))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Double complement is the identity language.
-    #[test]
-    fn complement_involution(re in arb_regex(3, 3), t in arb_trace(3)) {
+/// Double complement is the identity language.
+#[test]
+fn complement_involution() {
+    forall("complement_involution", 0xd0a1, 128, |rng| {
+        let re = gen_regex(rng, 3, 3);
+        let t = gen_trace(rng, 3);
         let d = Dfa::from_regex(&re);
         let cc = d.complement().complement();
-        prop_assert_eq!(d.accepts(&t), cc.accepts(&t));
-    }
+        assert_eq!(d.accepts(&t), cc.accepts(&t));
+    });
+}
 
-    /// Minimisation preserves the language.
-    #[test]
-    fn minimize_preserves_language(re in arb_regex(3, 3), t in arb_trace(3)) {
+/// Minimisation preserves the language.
+#[test]
+fn minimize_preserves_language() {
+    forall("minimize_preserves_language", 0xd0a2, 128, |rng| {
+        let re = gen_regex(rng, 3, 3);
+        let t = gen_trace(rng, 3);
         let d = Dfa::from_regex(&re);
         let m = d.minimize();
-        prop_assert_eq!(d.accepts(&t), m.accepts(&t));
-        prop_assert!(m.num_states() <= d.num_states());
+        assert_eq!(d.accepts(&t), m.accepts(&t));
+        assert!(m.num_states() <= d.num_states());
         // Minimisation is idempotent on state count.
-        prop_assert_eq!(m.minimize().num_states(), m.num_states());
-    }
+        assert_eq!(m.minimize().num_states(), m.num_states());
+    });
+}
 
-    /// Product modes implement their boolean tables pointwise.
-    #[test]
-    fn product_modes_are_pointwise(
-        a in arb_regex(3, 3),
-        b in arb_regex(3, 3),
-        t in arb_trace(3),
-    ) {
+/// Product modes implement their boolean tables pointwise.
+#[test]
+fn product_modes_are_pointwise() {
+    forall("product_modes_are_pointwise", 0xd0a3, 128, |rng| {
+        let a = gen_regex(rng, 3, 3);
+        let b = gen_regex(rng, 3, 3);
+        let t = gen_trace(rng, 3);
         let union = a.alphabet().union(&b.alphabet());
         // Reindex over a COMMON superset alphabet covering the trace too.
         let mut full = union;
@@ -68,44 +84,49 @@ proptest! {
         let da = Dfa::from_regex_with(&a, full.clone());
         let db = Dfa::from_regex_with(&b, full.clone());
         let (ra, rb) = (da.accepts(&t), db.accepts(&t));
-        prop_assert_eq!(da.product(&db, ProductMode::And).accepts(&t), ra && rb);
-        prop_assert_eq!(da.product(&db, ProductMode::Or).accepts(&t), ra || rb);
-        prop_assert_eq!(da.product(&db, ProductMode::Diff).accepts(&t), ra && !rb);
-        prop_assert_eq!(da.product(&db, ProductMode::Xor).accepts(&t), ra != rb);
-    }
+        assert_eq!(da.product(&db, ProductMode::And).accepts(&t), ra && rb);
+        assert_eq!(da.product(&db, ProductMode::Or).accepts(&t), ra || rb);
+        assert_eq!(da.product(&db, ProductMode::Diff).accepts(&t), ra && !rb);
+        assert_eq!(da.product(&db, ProductMode::Xor).accepts(&t), ra != rb);
+    });
+}
 
-    /// `equivalent` is reflexive and agrees with itself under syntactic
-    /// rebuilds; `subset_of` is reflexive and antisymmetric up to
-    /// equivalence.
-    #[test]
-    fn equivalence_laws(a in arb_regex(3, 3), b in arb_regex(3, 3)) {
+/// `equivalent` is reflexive and agrees with itself under syntactic
+/// rebuilds; `subset_of` is reflexive and antisymmetric up to
+/// equivalence.
+#[test]
+fn equivalence_laws() {
+    forall("equivalence_laws", 0xd0a4, 128, |rng| {
+        let a = gen_regex(rng, 3, 3);
+        let b = gen_regex(rng, 3, 3);
         let da = Dfa::from_regex(&a);
         let db = Dfa::from_regex(&b);
-        prop_assert!(da.equivalent(&da));
-        prop_assert!(da.subset_of(&da));
+        assert!(da.equivalent(&da));
+        assert!(da.subset_of(&da));
         if da.subset_of(&db) && db.subset_of(&da) {
-            prop_assert!(da.equivalent(&db));
+            assert!(da.equivalent(&db));
         }
         if da.equivalent(&db) {
-            prop_assert!(da.subset_of(&db) && db.subset_of(&da));
+            assert!(da.subset_of(&db) && db.subset_of(&da));
         }
         // Witness soundness: a non-subset yields a trace in a \ b.
         if let Some(w) = da.witness_not_subset(&db) {
-            prop_assert!(da.accepts(&w));
-            prop_assert!(!db.accepts(&w));
-            prop_assert!(!da.subset_of(&db));
+            assert!(da.accepts(&w));
+            assert!(!db.accepts(&w));
+            assert!(!da.subset_of(&db));
         } else {
-            prop_assert!(da.subset_of(&db));
+            assert!(da.subset_of(&db));
         }
-    }
+    });
+}
 
-    /// `advance` computes the residual (Brzozowski derivative).
-    #[test]
-    fn advance_is_derivative(
-        re in arb_regex(3, 3),
-        prefix in arb_trace(3),
-        rest in arb_trace(3),
-    ) {
+/// `advance` computes the residual (Brzozowski derivative).
+#[test]
+fn advance_is_derivative() {
+    forall("advance_is_derivative", 0xd0a5, 128, |rng| {
+        let re = gen_regex(rng, 3, 3);
+        let prefix = gen_trace(rng, 3);
+        let rest = gen_trace(rng, 3);
         // Build over the full 3-symbol alphabet so the prefix always maps.
         let mut al = re.alphabet();
         for i in 0..3 {
@@ -113,74 +134,82 @@ proptest! {
         }
         let d = Dfa::from_regex_with(&re, al);
         let residual = advance(&d, &prefix).expect("alphabet covers prefix");
-        prop_assert_eq!(
-            residual.accepts(&rest),
-            d.accepts(&prefix.concat(&rest))
-        );
-    }
+        assert_eq!(residual.accepts(&rest), d.accepts(&prefix.concat(&rest)));
+    });
+}
 
-    /// Shuffle is commutative and associative at the language level.
-    #[test]
-    fn shuffle_laws(
-        a in arb_regex(2, 2),
-        b in arb_regex(2, 2),
-        c in arb_regex(2, 2),
-    ) {
+/// Shuffle is commutative and associative at the language level.
+#[test]
+fn shuffle_laws() {
+    forall("shuffle_laws", 0xd0a6, 128, |rng| {
+        let a = gen_regex(rng, 2, 2);
+        let b = gen_regex(rng, 2, 2);
+        let c = gen_regex(rng, 2, 2);
         let ab = Regex::shuffle(a.clone(), b.clone());
         let ba = Regex::shuffle(b.clone(), a.clone());
-        prop_assert!(Dfa::equivalent_regexes(&ab, &ba));
+        assert!(Dfa::equivalent_regexes(&ab, &ba));
         let ab_c = Regex::shuffle(ab, c.clone());
         let a_bc = Regex::shuffle(a, Regex::shuffle(b, c));
-        prop_assert!(Dfa::equivalent_regexes(&ab_c, &a_bc));
-    }
+        assert!(Dfa::equivalent_regexes(&ab_c, &a_bc));
+    });
+}
 
-    /// Union and concatenation distribute as the trace-model rules say:
-    /// (a ∪ b)·c ≡ a·c ∪ b·c.
-    #[test]
-    fn cat_distributes_over_alt(
-        a in arb_regex(2, 2),
-        b in arb_regex(2, 2),
-        c in arb_regex(2, 2),
-    ) {
+/// Union and concatenation distribute as the trace-model rules say:
+/// (a ∪ b)·c ≡ a·c ∪ b·c.
+#[test]
+fn cat_distributes_over_alt() {
+    forall("cat_distributes_over_alt", 0xd0a7, 128, |rng| {
+        let a = gen_regex(rng, 2, 2);
+        let b = gen_regex(rng, 2, 2);
+        let c = gen_regex(rng, 2, 2);
         let lhs = Regex::cat(Regex::alt(a.clone(), b.clone()), c.clone());
         let rhs = Regex::alt(Regex::cat(a, c.clone()), Regex::cat(b, c));
-        prop_assert!(Dfa::equivalent_regexes(&lhs, &rhs));
-    }
+        assert!(Dfa::equivalent_regexes(&lhs, &rhs));
+    });
+}
 
-    /// Star laws: (m*)* ≡ m*, and m* ≡ ε ∪ m·m*.
-    #[test]
-    fn star_unrolling(m in arb_regex(2, 2)) {
+/// Star laws: (m*)* ≡ m*, and m* ≡ ε ∪ m·m*.
+#[test]
+fn star_unrolling() {
+    forall("star_unrolling", 0xd0a8, 128, |rng| {
+        let m = gen_regex(rng, 2, 2);
         let star = Regex::star(m.clone());
         let star_star = Regex::Star(Box::new(star.clone()));
-        prop_assert!(Dfa::equivalent_regexes(&star, &star_star));
+        assert!(Dfa::equivalent_regexes(&star, &star_star));
         let unrolled = Regex::alt(Regex::Eps, Regex::cat(m, star.clone()));
-        prop_assert!(Dfa::equivalent_regexes(&star, &unrolled));
-    }
+        assert!(Dfa::equivalent_regexes(&star, &unrolled));
+    });
+}
 
-    /// State elimination inverts compilation: extracting a regex from any
-    /// DFA yields the same language.
-    #[test]
-    fn extraction_roundtrip(re in arb_regex(3, 3)) {
+/// State elimination inverts compilation: extracting a regex from any
+/// DFA yields the same language.
+#[test]
+fn extraction_roundtrip() {
+    forall("extraction_roundtrip", 0xd0a9, 128, |rng| {
+        let re = gen_regex(rng, 3, 3);
         let d = Dfa::from_regex(&re);
         let extracted = stacl_trace::dfa_to_regex(&d);
-        prop_assert!(
+        assert!(
             Dfa::equivalent_regexes(&re, &extracted),
-            "extraction of {} gave {}", re, extracted
+            "extraction of {re} gave {extracted}"
         );
-    }
+    });
+}
 
-    /// Enumeration agrees with acceptance: everything enumerated is
-    /// accepted, and every accepted short trace is enumerated.
-    #[test]
-    fn enumeration_is_sound_and_complete(re in arb_regex(3, 3)) {
+/// Enumeration agrees with acceptance: everything enumerated is
+/// accepted, and every accepted short trace is enumerated.
+#[test]
+fn enumeration_is_sound_and_complete() {
+    forall("enumeration_is_sound_and_complete", 0xd0aa, 128, |rng| {
+        let re = gen_regex(rng, 3, 3);
         let d = Dfa::from_regex(&re);
         let listed = enumerate_traces(&d, 4, 100_000);
         for t in &listed {
-            prop_assert!(d.accepts(t), "enumerated {t} not accepted");
+            assert!(d.accepts(t), "enumerated {t} not accepted");
         }
         // Completeness via counting.
         let counts = stacl_trace::enumerate::count_traces_by_length(&d, 4);
         let total: u64 = counts.iter().sum();
-        prop_assert_eq!(listed.len() as u64, total);
-    }
+        assert_eq!(listed.len() as u64, total);
+    });
 }

@@ -12,7 +12,7 @@
 
 use stacl::naplet::pattern::appl_agent_prog;
 use stacl::prelude::*;
-use stacl::sral::builder::{access, recv, seq, send, signal, wait};
+use stacl::sral::builder::{access, recv, send, seq, signal, wait};
 use stacl::sral::Expr;
 
 const SERVERS: usize = 8;
@@ -67,9 +67,7 @@ fn main() {
     assert_eq!(report.finished, 2);
 
     // Every server was scanned exactly once.
-    let scans = sys
-        .proofs()
-        .count_matching(|p| &*p.access.op == "scan");
+    let scans = sys.proofs().count_matching(|p| &*p.access.op == "scan");
     assert_eq!(scans, SERVERS);
 
     // The supervisor's report comes after the worker's signal.

@@ -14,9 +14,9 @@
 
 use stacl::prelude::*;
 use stacl::rbac::policy::parse_policy;
+use stacl::srac::Selector;
 use stacl::sral::builder::{access, seq};
 use stacl::sral::Program;
-use stacl::srac::Selector;
 
 const CAP: usize = 5;
 
@@ -49,17 +49,14 @@ fn coordinated_guard() -> CoordinatedGuard {
     // the cap (the s2 attempt), matching the paper's narrative. The
     // preventive default would refuse the over-committing program at its
     // very first access instead.
-    let mut g = CoordinatedGuard::new(ExtendedRbac::new(model))
-        .with_mode(EnforcementMode::Reactive);
+    let g = CoordinatedGuard::new(ExtendedRbac::new(model)).with_mode(EnforcementMode::Reactive);
     g.enroll("device", ["licensee"]);
     g
 }
 
 fn run(label: &str, guard: Box<dyn SecurityGuard>) -> (usize, usize) {
     let mut sys = NapletSystem::new(topology(), guard);
-    sys.spawn(
-        NapletSpec::new("device", "s1", overuse_program()).with_on_deny(OnDeny::Skip),
-    );
+    sys.spawn(NapletSpec::new("device", "s1", overuse_program()).with_on_deny(OnDeny::Skip));
     sys.run();
     let granted = sys.log().granted_count();
     let denied = sys.log().denied_count();

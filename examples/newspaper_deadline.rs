@@ -40,7 +40,7 @@ fn guard(scheme: &str) -> CoordinatedGuard {
         "#
     ))
     .expect("policy parses");
-    let mut g = CoordinatedGuard::new(ExtendedRbac::new(model));
+    let g = CoordinatedGuard::new(ExtendedRbac::new(model));
     g.enroll("editor", ["nightdesk"]);
     g
 }
@@ -73,7 +73,11 @@ fn run(scheme: &str) -> (usize, usize) {
             "  t={:>7}s {:<22} {}",
             d.time.seconds(),
             d.access.to_string(),
-            if d.kind.is_granted() { "granted" } else { "DENIED" }
+            if d.kind.is_granted() {
+                "granted"
+            } else {
+                "DENIED"
+            }
         );
     }
     (sys.log().granted_count(), sys.log().denied_count())

@@ -35,7 +35,7 @@ fn main() {
         "#,
     )
     .expect("policy parses");
-    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    let guard = CoordinatedGuard::new(ExtendedRbac::new(model));
     guard.enroll("fieldbot", ["worker"]);
 
     // ── 3. The mobile object's program, in SRAL concrete syntax. ──

@@ -24,10 +24,20 @@ fn figure1() -> ModuleGraph {
         .unwrap();
     g.add_module("libE", "s2", b"content of libE".to_vec(), [])
         .unwrap();
-    g.add_module("libB", "s2", b"content of libB".to_vec(), vec!["libD".into()])
-        .unwrap();
-    g.add_module("libC", "s3", b"content of libC".to_vec(), vec!["libE".into()])
-        .unwrap();
+    g.add_module(
+        "libB",
+        "s2",
+        b"content of libB".to_vec(),
+        vec!["libD".into()],
+    )
+    .unwrap();
+    g.add_module(
+        "libC",
+        "s3",
+        b"content of libC".to_vec(),
+        vec!["libE".into()],
+    )
+    .unwrap();
     g.add_module(
         "appA",
         "s1",
@@ -59,9 +69,11 @@ fn audit_guard(g: &ModuleGraph, deadline: f64) -> CoordinatedGuard {
                 .with_validity(deadline, BaseTimeScheme::WholeLifetime),
         )
         .unwrap();
-    model.assign_permission("integrity-auditor", "p-verify").unwrap();
+    model
+        .assign_permission("integrity-auditor", "p-verify")
+        .unwrap();
     model.assign_user("auditor", "integrity-auditor").unwrap();
-    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    let guard = CoordinatedGuard::new(ExtendedRbac::new(model));
     guard.enroll("auditor", ["integrity-auditor"]);
     guard
 }
@@ -78,7 +90,11 @@ fn run_audit(g: &ModuleGraph, deadline: f64) -> (RunReport, stacl::integrity::Au
 
 fn main() {
     let g = figure1();
-    println!("module graph: {} modules on servers {:?}", g.len(), g.servers());
+    println!(
+        "module graph: {} modules on servers {:?}",
+        g.len(),
+        g.servers()
+    );
     println!("dependency constraint: {}\n", g.dependency_constraint());
     println!("auditor program:\n  {}\n", g.audit_program_sequential());
 
@@ -144,9 +160,12 @@ fn main() {
     println!(
         "\nout-of-order audit: aborted={} (first decision: {:?})",
         report.aborted,
-        sys.log().snapshot().first().map(|d| d.kind.clone())
+        sys.log().snapshot().first().map(|d| d.kind)
     );
-    assert_eq!(report.aborted, 1, "verifying appA before its deps is denied");
+    assert_eq!(
+        report.aborted, 1,
+        "verifying appA before its deps is denied"
+    );
 
     println!("\nsoftware_audit OK");
 }

@@ -9,12 +9,12 @@
 //! | periodic window | denies outside | grants (wrong) | denies outside | grants (wrong) |
 //! | accumulated-usage budget | denies after budget | grants | window-only | grants |
 
+use stacl::baselines::trbac::RoleSchedule;
 use stacl::prelude::*;
 use stacl::rbac::policy::parse_policy;
+use stacl::srac::Selector;
 use stacl::sral::builder::{access, seq};
 use stacl::sral::Program;
-use stacl::baselines::trbac::RoleSchedule;
-use stacl::srac::Selector;
 
 fn topology() -> CoalitionEnv {
     let mut env = CoalitionEnv::new();
@@ -56,8 +56,7 @@ fn coordinated(cap: usize) -> Box<dyn SecurityGuard> {
     .unwrap();
     // Reactive mode so the denial lands on the crossing access itself,
     // making the per-site comparison with the baselines direct.
-    let mut g =
-        CoordinatedGuard::new(ExtendedRbac::new(model)).with_mode(EnforcementMode::Reactive);
+    let g = CoordinatedGuard::new(ExtendedRbac::new(model)).with_mode(EnforcementMode::Reactive);
     g.enroll("device", ["licensee"]);
     Box::new(g)
 }
@@ -132,7 +131,7 @@ fn periodic_window_trbac_and_coordinated_both_deny_outside() {
         "#,
     )
     .unwrap();
-    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    let guard = CoordinatedGuard::new(ExtendedRbac::new(model));
     guard.enroll("device", ["licensee"]);
     let (g, d) = run_counts(Box::new(guard), prog);
     assert_eq!((g, d), (1, 1), "a validity duration expresses the deadline");
@@ -166,7 +165,7 @@ fn accumulated_usage_only_duration_semantics_catch() {
         "#,
     )
     .unwrap();
-    let mut guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    let guard = CoordinatedGuard::new(ExtendedRbac::new(model));
     guard.enroll("device", ["licensee"]);
     let (g, d) = run_counts(Box::new(guard), prog);
     assert_eq!(

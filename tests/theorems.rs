@@ -11,16 +11,19 @@
 //!   enumeration is feasible.
 //! * **Theorem 4.1 / Eq. 4.1**: derived validity functions never exceed
 //!   their duration budget in any epoch, and `valid ⇒ active`.
+//!
+//! Driven by the in-tree seeded `stacl_ids::prop` runner.
 
-use proptest::prelude::*;
+use stacl_ids::prop::forall;
+use stacl_ids::rng::SplitMix64;
 
 use stacl::prelude::*;
-use stacl::sral::builder as b;
-use stacl::sral::expr::{CmpOp, Cond};
-use stacl::sral::Program;
 use stacl::srac::check::{check_program, Semantics};
 use stacl::srac::trace_sat::{trace_satisfies, ProofOracle};
 use stacl::srac::Constraint;
+use stacl::sral::builder as b;
+use stacl::sral::expr::{CmpOp, Cond};
+use stacl::sral::Program;
 use stacl::temporal::PermissionTimeline;
 use stacl::trace::abstraction::{traces, AbstractionConfig};
 use stacl::trace::enumerate::enumerate_traces;
@@ -30,117 +33,138 @@ use stacl::trace::Regex;
 // ── Generators ──────────────────────────────────────────────────────
 
 /// A regex over `n_syms` interned accesses.
-fn arb_regex(n_syms: u32, depth: u32) -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        (0..n_syms).prop_map(|i| Regex::Sym(stacl::trace::AccessId(i))),
-        Just(Regex::Eps),
-    ];
-    leaf.prop_recursive(depth, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Regex::alt(a, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Regex::cat(a, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Regex::shuffle(a, b)),
-            inner.prop_map(Regex::star),
-        ]
-    })
+fn gen_regex(rng: &mut SplitMix64, n_syms: u32, depth: u32) -> Regex {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return if rng.gen_bool(0.75) {
+            Regex::Sym(stacl::trace::AccessId(rng.gen_range(0..n_syms)))
+        } else {
+            Regex::Eps
+        };
+    }
+    match rng.gen_range(0u32..4) {
+        0 => Regex::alt(
+            gen_regex(rng, n_syms, depth - 1),
+            gen_regex(rng, n_syms, depth - 1),
+        ),
+        1 => Regex::cat(
+            gen_regex(rng, n_syms, depth - 1),
+            gen_regex(rng, n_syms, depth - 1),
+        ),
+        2 => Regex::shuffle(
+            gen_regex(rng, n_syms, depth - 1),
+            gen_regex(rng, n_syms, depth - 1),
+        ),
+        _ => Regex::star(gen_regex(rng, n_syms, depth - 1)),
+    }
+}
+
+fn vocab_access(i: u32) -> Access {
+    Access::new(format!("op{i}"), "r", format!("s{}", i % 3))
 }
 
 /// A loop-free SRAL program over a small access vocabulary.
-fn arb_loop_free_program(n_syms: u32, depth: u32) -> impl Strategy<Value = Program> {
-    let leaf = prop_oneof![
-        (0..n_syms).prop_map(|i| b::access(format!("op{i}"), "r", format!("s{}", i % 3))),
-        Just(Program::Skip),
-    ];
-    leaf.prop_recursive(depth, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Program::If {
-                cond: Cond::cmp(CmpOp::Gt, stacl::sral::Expr::var("x"), 0.into()),
-                then_branch: Box::new(a),
-                else_branch: Box::new(b),
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.par(b)),
-        ]
-    })
+fn gen_loop_free_program(rng: &mut SplitMix64, n_syms: u32, depth: u32) -> Program {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return if rng.gen_bool(0.75) {
+            let i = rng.gen_range(0..n_syms);
+            b::access(format!("op{i}"), "r", format!("s{}", i % 3))
+        } else {
+            Program::Skip
+        };
+    }
+    match rng.gen_range(0u32..3) {
+        0 => gen_loop_free_program(rng, n_syms, depth - 1).then(gen_loop_free_program(
+            rng,
+            n_syms,
+            depth - 1,
+        )),
+        1 => Program::If {
+            cond: Cond::cmp(CmpOp::Gt, stacl::sral::Expr::var("x"), 0.into()),
+            then_branch: Box::new(gen_loop_free_program(rng, n_syms, depth - 1)),
+            else_branch: Box::new(gen_loop_free_program(rng, n_syms, depth - 1)),
+        },
+        _ => gen_loop_free_program(rng, n_syms, depth - 1).par(gen_loop_free_program(
+            rng,
+            n_syms,
+            depth - 1,
+        )),
+    }
 }
 
 /// A program that may loop (stars included via `while`).
-fn arb_program(n_syms: u32, depth: u32) -> impl Strategy<Value = Program> {
-    arb_loop_free_program(n_syms, depth).prop_flat_map(|p| {
-        prop_oneof![
-            Just(p.clone()),
-            Just(Program::While {
-                cond: Cond::cmp(CmpOp::Gt, stacl::sral::Expr::var("x"), 0.into()),
-                body: Box::new(p),
-            }),
-        ]
-    })
+fn gen_program(rng: &mut SplitMix64, n_syms: u32, depth: u32) -> Program {
+    let p = gen_loop_free_program(rng, n_syms, depth);
+    if rng.gen_bool(0.5) {
+        p
+    } else {
+        Program::While {
+            cond: Cond::cmp(CmpOp::Gt, stacl::sral::Expr::var("x"), 0.into()),
+            body: Box::new(p),
+        }
+    }
 }
 
 /// A small constraint over the same vocabulary.
-fn arb_constraint(n_syms: u32) -> impl Strategy<Value = Constraint> {
-    let acc = |i: u32| Access::new(format!("op{i}"), "r", format!("s{}", i % 3));
-    let atom = (0..n_syms).prop_map(move |i| Constraint::Atom(acc(i)));
-    let ordered =
-        (0..n_syms, 0..n_syms).prop_map(move |(i, j)| Constraint::Ordered(acc(i), acc(j)));
-    let card = (0usize..3, 0..n_syms).prop_map(move |(n, i)| {
-        Constraint::at_most(
-            n,
-            stacl::srac::Selector::any().with_ops([format!("op{i}")]),
-        )
-    });
-    let leaf = prop_oneof![atom, ordered, card, Just(Constraint::True)];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.prop_map(Constraint::not),
-        ]
-    })
+fn gen_constraint(rng: &mut SplitMix64, n_syms: u32, depth: u32) -> Constraint {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return match rng.gen_range(0u32..4) {
+            0 => Constraint::Atom(vocab_access(rng.gen_range(0..n_syms))),
+            1 => Constraint::Ordered(
+                vocab_access(rng.gen_range(0..n_syms)),
+                vocab_access(rng.gen_range(0..n_syms)),
+            ),
+            2 => {
+                let n = rng.gen_range(0usize..3);
+                let i = rng.gen_range(0..n_syms);
+                Constraint::at_most(n, stacl::srac::Selector::any().with_ops([format!("op{i}")]))
+            }
+            _ => Constraint::True,
+        };
+    }
+    match rng.gen_range(0u32..3) {
+        0 => gen_constraint(rng, n_syms, depth - 1).and(gen_constraint(rng, n_syms, depth - 1)),
+        1 => gen_constraint(rng, n_syms, depth - 1).or(gen_constraint(rng, n_syms, depth - 1)),
+        _ => gen_constraint(rng, n_syms, depth - 1).not(),
+    }
 }
 
 /// Intern op0..opN so regex symbols resolve.
 fn vocab_table(n_syms: u32) -> AccessTable {
     let mut t = AccessTable::new();
     for i in 0..n_syms {
-        t.intern(&Access::new(
-            format!("op{i}"),
-            "r",
-            format!("s{}", i % 3),
-        ));
+        t.intern(&vocab_access(i));
     }
     t
 }
 
 // ── Theorem 3.1 ─────────────────────────────────────────────────────
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// regex → synthesize → traces must be language-equal to the regex.
-    #[test]
-    fn theorem_3_1_regular_completeness(re in arb_regex(4, 4)) {
+/// regex → synthesize → traces must be language-equal to the regex.
+#[test]
+fn theorem_3_1_regular_completeness() {
+    forall("theorem_3_1_regular_completeness", 0x3101, 96, |rng| {
+        let re = gen_regex(rng, 4, 4);
         let table = vocab_table(4);
         match synthesize(&re, &table) {
-            Err(_) => prop_assert!(re.is_void(), "synthesis only fails on ∅"),
+            Err(_) => assert!(re.is_void(), "synthesis only fails on ∅"),
             Ok(p) => {
                 let mut t2 = table.clone();
                 let re2 = traces(&p, &mut t2, AbstractionConfig::default());
-                prop_assert!(
+                assert!(
                     Dfa::equivalent_regexes(&re, &re2),
                     "traces(synthesize({re})) = {re2}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// For loop-free programs the symbolic DFA accepts exactly the finite
-    /// oracle set built per Definition 3.2.
-    #[test]
-    fn definition_3_2_oracle_agreement(p in arb_loop_free_program(3, 3)) {
+/// For loop-free programs the symbolic DFA accepts exactly the finite
+/// oracle set built per Definition 3.2.
+#[test]
+fn definition_3_2_oracle_agreement() {
+    forall("definition_3_2_oracle_agreement", 0x3102, 96, |rng| {
+        let p = gen_loop_free_program(rng, 3, 3);
         let mut table = AccessTable::new();
         let re = traces(&p, &mut table, AbstractionConfig::default());
         let d = Dfa::from_regex(&re);
@@ -148,20 +172,21 @@ proptest! {
         // Every oracle trace accepted; counts match an enumeration capped
         // well above the oracle size.
         for t in oracle.iter() {
-            prop_assert!(d.accepts(t), "oracle trace {t} rejected");
+            assert!(d.accepts(t), "oracle trace {t} rejected");
         }
         let max_len = oracle.max_len();
         let listed = enumerate_traces(&d, max_len, 50_000);
-        prop_assert_eq!(listed.len(), oracle.len());
-    }
+        assert_eq!(listed.len(), oracle.len());
+    });
+}
 
-    /// Theorem 3.2: symbolic ForAll/Exists checking agrees with explicit
-    /// enumeration + Definition 3.6 on loop-free programs.
-    #[test]
-    fn theorem_3_2_checker_vs_enumeration(
-        p in arb_loop_free_program(3, 3),
-        c in arb_constraint(3),
-    ) {
+/// Theorem 3.2: symbolic ForAll/Exists checking agrees with explicit
+/// enumeration + Definition 3.6 on loop-free programs.
+#[test]
+fn theorem_3_2_checker_vs_enumeration() {
+    forall("theorem_3_2_checker_vs_enumeration", 0x3103, 96, |rng| {
+        let p = gen_loop_free_program(rng, 3, 3);
+        let c = gen_constraint(rng, 3, 3);
         let mut table = AccessTable::new();
         let re = traces(&p, &mut table, AbstractionConfig::default());
         let d = Dfa::from_regex(&re);
@@ -170,48 +195,51 @@ proptest! {
             table.intern(a);
         }
         let all = enumerate_traces(&d, 16, 100_000);
-        prop_assume!(!all.is_empty());
+        if all.is_empty() {
+            return; // discard: nothing to compare against
+        }
         let oracle = ProofOracle::assume_all();
         let forall_direct = all.iter().all(|t| trace_satisfies(t, &c, &table, &oracle));
         let exists_direct = all.iter().any(|t| trace_satisfies(t, &c, &table, &oracle));
         let forall_sym = check_program(&p, &c, &mut table, Semantics::ForAll).holds;
         let exists_sym = check_program(&p, &c, &mut table, Semantics::Exists).holds;
-        prop_assert_eq!(forall_sym, forall_direct, "ForAll mismatch for {} vs {}", p, c);
-        prop_assert_eq!(exists_sym, exists_direct, "Exists mismatch for {} vs {}", p, c);
-    }
+        assert_eq!(forall_sym, forall_direct, "ForAll mismatch for {p} vs {c}");
+        assert_eq!(exists_sym, exists_direct, "Exists mismatch for {p} vs {c}");
+    });
+}
 
-    /// ForAll failure witnesses are real counterexamples: feasible traces
-    /// of the program that violate the constraint.
-    #[test]
-    fn theorem_3_2_witnesses_are_sound(
-        p in arb_program(3, 3),
-        c in arb_constraint(3),
-    ) {
+/// ForAll failure witnesses are real counterexamples: feasible traces
+/// of the program that violate the constraint.
+#[test]
+fn theorem_3_2_witnesses_are_sound() {
+    forall("theorem_3_2_witnesses_are_sound", 0x3104, 96, |rng| {
+        let p = gen_program(rng, 3, 3);
+        let c = gen_constraint(rng, 3, 3);
         let mut table = AccessTable::new();
         let v = check_program(&p, &c, &mut table, Semantics::ForAll);
         if let (false, Some(w)) = (v.holds, v.witness.clone()) {
             // The witness is a trace of P…
-            prop_assert!(
+            assert!(
                 stacl::srac::check::trace_feasible(&w, &p, &mut table),
                 "witness {w} is not a trace of the program"
             );
             // …that violates C.
             let oracle = ProofOracle::assume_all();
-            prop_assert!(
+            assert!(
                 !trace_satisfies(&w, &c, &table, &oracle),
                 "witness {w} satisfies the constraint"
             );
         }
-    }
+    });
+}
 
-    /// Eq. 4.1 invariants: valid ⇒ active, and the per-epoch integral of
-    /// the valid function never exceeds the duration.
-    #[test]
-    fn theorem_4_1_validity_invariants(
-        dur in 0.0f64..20.0,
-        script in prop::collection::vec((0.1f64..5.0, prop::bool::ANY, prop::bool::ANY), 1..12),
-        per_server in prop::bool::ANY,
-    ) {
+/// Eq. 4.1 invariants: valid ⇒ active, and the per-epoch integral of
+/// the valid function never exceeds the duration.
+#[test]
+fn theorem_4_1_validity_invariants() {
+    forall("theorem_4_1_validity_invariants", 0x3105, 96, |rng| {
+        let dur = rng.gen_range(0.0f64..20.0);
+        let per_server = rng.gen_bool(0.5);
         let scheme = if per_server {
             BaseTimeScheme::CurrentServer
         } else {
@@ -222,13 +250,14 @@ proptest! {
         let mut arrivals = vec![0.0f64];
         tl.arrive_at_server(TimePoint::new(0.0));
         let mut active = false;
-        for (dt, toggle, migrate) in script {
-            t += dt;
-            if migrate {
+        let script_len = rng.gen_range(1usize..12);
+        for _ in 0..script_len {
+            t += rng.gen_range(0.1f64..5.0);
+            if rng.gen_bool(0.5) {
                 tl.arrive_at_server(TimePoint::new(t));
                 arrivals.push(t);
             }
-            if toggle {
+            if rng.gen_bool(0.5) {
                 if active {
                     tl.deactivate(TimePoint::new(t));
                 } else {
@@ -242,7 +271,7 @@ proptest! {
         let act = tl.active_fn();
         // valid ⇒ active.
         let leak = valid.and(&act.not());
-        prop_assert!(leak.integral(TimePoint::new(0.0), horizon).seconds() < 1e-9);
+        assert!(leak.integral(TimePoint::new(0.0), horizon).seconds() < 1e-9);
         // Per-epoch budget bound.
         let mut epoch_bounds = match scheme {
             BaseTimeScheme::WholeLifetime => vec![0.0],
@@ -253,22 +282,19 @@ proptest! {
             let used = valid
                 .integral(TimePoint::new(w[0]), TimePoint::new(w[1]))
                 .seconds();
-            prop_assert!(
+            assert!(
                 used <= dur + 1e-6,
                 "epoch [{}, {}] used {used} > dur {dur}",
                 w[0],
                 w[1]
             );
         }
-    }
+    });
 }
 
 /// The explicit finite trace model of a loop-free program (Definition 3.2
 /// computed set-theoretically) — the oracle for the symbolic pipeline.
-fn finite_traces(
-    p: &Program,
-    table: &mut AccessTable,
-) -> stacl::trace::model::TraceModel {
+fn finite_traces(p: &Program, table: &mut AccessTable) -> stacl::trace::model::TraceModel {
     use stacl::trace::model::TraceModel;
     match p {
         Program::Skip
