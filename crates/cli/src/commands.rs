@@ -337,3 +337,91 @@ pub fn audit(args: &[String]) -> Result<(), String> {
         Err("integrity violations found".into())
     }
 }
+
+/// `stacl sim run|repro …` — the deterministic differential simulator.
+pub fn sim(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("usage: stacl sim run|repro …".into());
+    };
+    match sub.as_str() {
+        "run" => sim_run(rest),
+        "repro" => sim_repro(rest),
+        other => Err(format!(
+            "unknown sim subcommand `{other}` (expected run or repro)"
+        )),
+    }
+}
+
+/// `stacl sim run [--seeds N] [--start-seed S] [--oracle-bug B]
+/// [--out DIR] [--max-seconds T]`
+///
+/// Sweeps `N` seeded episodes starting at `S`, cross-checking the real
+/// guard against the reference oracle. Exits non-zero if any episode
+/// diverges; with `--out DIR` every diverging seed's full repro dump is
+/// written to `DIR/seed-<seed>.txt`. `--max-seconds` stops the sweep
+/// early (for time-boxed nightly runs).
+pub fn sim_run(args: &[String]) -> Result<(), String> {
+    use stacl_sim::{episode_for_seed, repro, OracleBug, SweepReport};
+    let opts = Opts::parse(
+        args,
+        &["seeds", "start-seed", "oracle-bug", "out", "max-seconds"],
+    )?;
+    let [] = opts.expect_positional(&[])? else {
+        unreachable!()
+    };
+    let seeds: u64 = opts.get_parsed("seeds", 64)?;
+    let start: u64 = opts.get_parsed("start-seed", 0)?;
+    let bug = OracleBug::parse(opts.get("oracle-bug").unwrap_or("none"))?;
+    let out_dir = opts.get("out").map(str::to_string);
+    let max_seconds: f64 = opts.get_parsed("max-seconds", 0.0)?;
+
+    if let Some(dir) = &out_dir {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+    }
+    let started = std::time::Instant::now();
+    let mut report = SweepReport::new();
+    for seed in start..start.saturating_add(seeds) {
+        if max_seconds > 0.0 && started.elapsed().as_secs_f64() > max_seconds {
+            println!("time budget reached after {} episodes", report.episodes);
+            break;
+        }
+        let ep = episode_for_seed(seed, bug);
+        if ep.divergence.is_some() {
+            if let Some(dir) = &out_dir {
+                let path = format!("{dir}/seed-{seed}.txt");
+                fs::write(&path, repro(seed, bug))
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            }
+        }
+        report.absorb(seed, &ep);
+    }
+    print!("{}", report.render());
+    if report.divergent_seeds.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} episodes diverged (replay with `stacl sim repro <seed>`)",
+            report.divergent_seeds.len(),
+            report.episodes
+        ))
+    }
+}
+
+/// `stacl sim repro <seed> [--oracle-bug B]`
+///
+/// Regenerates the scenario for a seed, replays the episode, and — if it
+/// diverges — prints the deterministically shrunk witness. Always exits 0:
+/// this is the diagnostic half of the workflow.
+pub fn sim_repro(args: &[String]) -> Result<(), String> {
+    use stacl_sim::{repro, OracleBug};
+    let opts = Opts::parse(args, &["oracle-bug"])?;
+    let [seed] = opts.expect_positional(&["<seed>"])? else {
+        unreachable!()
+    };
+    let seed: u64 = seed
+        .parse()
+        .map_err(|e| format!("invalid seed `{seed}`: {e}"))?;
+    let bug = OracleBug::parse(opts.get("oracle-bug").unwrap_or("none"))?;
+    print!("{}", repro(seed, bug));
+    Ok(())
+}

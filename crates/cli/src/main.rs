@@ -16,6 +16,9 @@
 //!        --on-deny abort|skip
 //! stacl audit  [opts]                              §6 integrity-audit demo
 //!        --modules N --servers K --seed S --tamper NAME|first
+//! stacl sim    run [opts]                          differential simulator sweep
+//!        --seeds N --start-seed S --oracle-bug B --out DIR --max-seconds T
+//! stacl sim    repro <seed> [--oracle-bug B]       replay + shrink one seed
 //! ```
 //!
 //! Arguments are parsed by hand — the tool's needs are small and the
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
         "policy" => commands::policy(rest),
         "run" => commands::run(rest),
         "audit" => commands::audit(rest),
+        "sim" => commands::sim(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -65,4 +69,7 @@ USAGE:
   stacl run    <file.policy> <program.sral> [--agent NAME] [--roles r1,r2]
                [--home SERVER] [--mode preventive|reactive]
                [--on-deny abort|skip]
-  stacl audit  [--modules N] [--servers K] [--seed S] [--tamper NAME|first]";
+  stacl audit  [--modules N] [--servers K] [--seed S] [--tamper NAME|first]
+  stacl sim    run [--seeds N] [--start-seed S] [--oracle-bug B] [--out DIR]
+               [--max-seconds T]
+  stacl sim    repro <seed> [--oracle-bug B]";

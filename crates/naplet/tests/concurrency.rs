@@ -165,3 +165,149 @@ fn sharded_concurrent_decisions_match_sequential() {
         assert_eq!(seq, conc, "per-object decision logs must be identical");
     }
 }
+
+// ---------------------------------------------------------------------
+// Mixed interleaving: enroll, decide and note_arrival racing per object.
+// ---------------------------------------------------------------------
+
+/// One step of a mixed per-object schedule.
+enum MixedOp {
+    /// Enroll the object (first contact happens mid-flight, not up
+    /// front).
+    Enroll,
+    /// Arrival notification (refills the per-server budget).
+    Arrive(TimePoint),
+    /// An access decision.
+    Decide(Access, TimePoint),
+}
+
+/// A per-server 3-second budget and no spatial constraint: arrivals are
+/// load-bearing (each one refills the budget), so an interleaving that
+/// loses or misorders a `note_arrival` changes the decision log.
+fn mixed_guard() -> CoordinatedGuard {
+    let mut policy = String::new();
+    for i in 0..OBJECTS {
+        policy.push_str(&format!("user n{i}\n"));
+    }
+    policy.push_str(
+        r#"
+        role worker
+        permission p grants=exec:rsw:* validity=3 scheme=current-server
+        grant worker p
+        "#,
+    );
+    for i in 0..OBJECTS {
+        policy.push_str(&format!("assign n{i} worker\n"));
+    }
+    // Objects are NOT enrolled here: enrollment is one of the racing ops.
+    CoordinatedGuard::new(ExtendedRbac::new(parse_policy(&policy).unwrap()))
+        .with_mode(EnforcementMode::Reactive)
+}
+
+/// The mixed schedule for one object: enroll, arrive, drain the budget
+/// into a temporal denial, migrate (refill), then drain again.
+fn mixed_stream(object: usize) -> Vec<MixedOp> {
+    let base = object as f64 * 0.125;
+    let access = |s: &str| Access::new("exec", "rsw", s);
+    let mut ops = vec![MixedOp::Enroll, MixedOp::Arrive(TimePoint::new(base))];
+    for k in 0..4 {
+        // Valid on [base+1, base+4): three grants, then denied-temporal.
+        ops.push(MixedOp::Decide(
+            access("s1"),
+            TimePoint::new(base + 1.0 + k as f64),
+        ));
+    }
+    ops.push(MixedOp::Arrive(TimePoint::new(base + 5.0)));
+    for k in 0..3 {
+        // Refilled on [base+5, base+8): two grants, then denied again.
+        ops.push(MixedOp::Decide(
+            access("s2"),
+            TimePoint::new(base + 6.0 + k as f64),
+        ));
+    }
+    ops
+}
+
+/// Run one object's mixed op against the guard, appending to its log.
+fn run_mixed_op(
+    guard: &CoordinatedGuard,
+    op: &MixedOp,
+    object: &str,
+    proofs: &ProofStore,
+    table: &mut AccessTable,
+    log: &mut Vec<String>,
+) {
+    match op {
+        MixedOp::Enroll => {
+            guard.enroll(object, ["worker"]);
+            log.push(format!("{object} enrolled"));
+        }
+        MixedOp::Arrive(t) => {
+            guard.note_arrival(object, *t);
+            log.push(format!("{object} arrive t={}", t.seconds()));
+        }
+        MixedOp::Decide(a, t) => {
+            let mut gate =
+                |r: &GuardRequest<'_>, p: &ProofStore, tb: &mut AccessTable| guard.decide(r, p, tb);
+            log.push(drive(&mut gate, object, a, *t, proofs, table));
+        }
+    }
+}
+
+#[test]
+fn mixed_enroll_decide_arrival_interleaving_matches_sequential() {
+    // Sequential reference: round-robin over the objects' op streams.
+    let seq: Vec<Vec<String>> = {
+        let guard = mixed_guard();
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let streams: Vec<_> = (0..OBJECTS).map(mixed_stream).collect();
+        let mut logs = vec![Vec::new(); OBJECTS];
+        for k in 0..streams[0].len() {
+            for (i, s) in streams.iter().enumerate() {
+                run_mixed_op(
+                    &guard,
+                    &s[k],
+                    &format!("n{i}"),
+                    &proofs,
+                    &mut table,
+                    &mut logs[i],
+                );
+            }
+        }
+        logs
+    };
+
+    // The schedule must exercise enroll, refill-driven grants and
+    // temporal denials for every object.
+    for log in &seq {
+        assert!(log.iter().any(|l| l.contains("enrolled")));
+        assert!(log.iter().any(|l| l.contains("granted")));
+        assert!(log.iter().any(|l| l.contains("denied-temporal")));
+    }
+
+    // Concurrent: one thread per object racing enroll/decide/arrive on
+    // the shared `&self` guard.
+    for _ in 0..3 {
+        let guard = Arc::new(mixed_guard());
+        let proofs = ProofStore::new();
+        let logs: Vec<Mutex<Vec<String>>> = (0..OBJECTS).map(|_| Mutex::new(Vec::new())).collect();
+        std::thread::scope(|scope| {
+            for i in 0..OBJECTS {
+                let guard = Arc::clone(&guard);
+                let proofs = &proofs;
+                let logs = &logs;
+                scope.spawn(move || {
+                    let mut table = AccessTable::new();
+                    let mut out = Vec::new();
+                    for op in mixed_stream(i) {
+                        run_mixed_op(&guard, &op, &format!("n{i}"), proofs, &mut table, &mut out);
+                    }
+                    *logs[i].lock() = out;
+                });
+            }
+        });
+        let conc: Vec<Vec<String>> = logs.into_iter().map(|m| m.into_inner()).collect();
+        assert_eq!(seq, conc, "mixed per-object logs must be identical");
+    }
+}

@@ -1,0 +1,111 @@
+//! Verdict-level round trip of the two base-time schemes (§4): when an
+//! object's itinerary has a single server (one arrival, no migration),
+//! per-server and whole-lifetime budgets refill from the same epoch, so
+//! the full decision gate must return identical verdicts at every
+//! request time.
+
+use stacl_coalition::ProofStore;
+use stacl_ids::prop::forall;
+use stacl_rbac::{AccessPattern, AccessRequest, ExtendedRbac, Permission, RbacModel, SessionId};
+use stacl_sral::{Access, Program};
+use stacl_temporal::{BaseTimeScheme, TimePoint};
+use stacl_trace::AccessTable;
+
+/// One object, one role, one permission with `validity` under `scheme`.
+fn gate(validity: f64, scheme: BaseTimeScheme) -> (ExtendedRbac, SessionId) {
+    let mut m = RbacModel::new();
+    m.add_user("n0");
+    m.add_role("worker");
+    m.add_permission(
+        Permission::new("p", AccessPattern::parse("exec:rsw:*").unwrap())
+            .with_validity(validity, scheme),
+    )
+    .unwrap();
+    m.assign_permission("worker", "p").unwrap();
+    m.assign_user("n0", "worker").unwrap();
+    let mut x = ExtendedRbac::new(m);
+    let sid = x.open_session("n0", vec![]).unwrap();
+    x.activate_role(sid, "worker").unwrap();
+    (x, sid)
+}
+
+#[test]
+fn single_server_itinerary_verdicts_match_across_schemes() {
+    forall(
+        "single_server_itinerary_verdicts_match_across_schemes",
+        0x7e02,
+        128,
+        |rng| {
+            let validity = rng.gen_range(1i64..8) as f64;
+            let (mut per_server, sid_ps) = gate(validity, BaseTimeScheme::CurrentServer);
+            let (mut whole_life, sid_wl) = gate(validity, BaseTimeScheme::WholeLifetime);
+            // The whole itinerary: a single arrival at the home server.
+            let arrival = rng.gen_range(0i64..3) as f64;
+            per_server.note_arrival("n0", TimePoint::new(arrival));
+            whole_life.note_arrival("n0", TimePoint::new(arrival));
+
+            let proofs = ProofStore::new();
+            let mut table = AccessTable::new();
+            let access = Access::new("exec", "rsw", "s1");
+            let program = Program::Access(access.clone());
+
+            let mut t = arrival;
+            for _ in 0..rng.gen_range(2usize..8) {
+                t += rng.gen_range(1i64..4) as f64;
+                let mk = |session| AccessRequest {
+                    object: "n0",
+                    session,
+                    access: &access,
+                    program: &program,
+                    time: TimePoint::new(t),
+                    reuse_spatial: false,
+                };
+                let a = per_server.decide(&mk(sid_ps), &proofs, &mut table);
+                let b = whole_life.decide(&mk(sid_wl), &proofs, &mut table);
+                assert_eq!(
+                    a.kind, b.kind,
+                    "validity={validity} arrival={arrival} t={t}"
+                );
+                if a.is_granted() {
+                    proofs.issue("n0", access.clone(), TimePoint::new(t));
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn migration_breaks_the_verdict_equivalence() {
+    // Non-vacuity: with a second arrival, the per-server budget refills
+    // and the schemes disagree after exhaustion.
+    let (mut per_server, sid_ps) = gate(3.0, BaseTimeScheme::CurrentServer);
+    let (mut whole_life, sid_wl) = gate(3.0, BaseTimeScheme::WholeLifetime);
+    per_server.note_arrival("n0", TimePoint::new(0.0));
+    whole_life.note_arrival("n0", TimePoint::new(0.0));
+
+    let proofs = ProofStore::new();
+    let mut table = AccessTable::new();
+    let access = Access::new("exec", "rsw", "s2");
+    let program = Program::Access(access.clone());
+    let mk = |session, t: f64| AccessRequest {
+        object: "n0",
+        session,
+        access: &access,
+        program: &program,
+        time: TimePoint::new(t),
+        reuse_spatial: false,
+    };
+    // Activate both budgets, exhaust them, then migrate.
+    assert!(per_server
+        .decide(&mk(sid_ps, 0.0), &proofs, &mut table)
+        .is_granted());
+    assert!(whole_life
+        .decide(&mk(sid_wl, 0.0), &proofs, &mut table)
+        .is_granted());
+    per_server.note_arrival("n0", TimePoint::new(5.0));
+    whole_life.note_arrival("n0", TimePoint::new(5.0));
+    let a = per_server.decide(&mk(sid_ps, 6.0), &proofs, &mut table);
+    let b = whole_life.decide(&mk(sid_wl, 6.0), &proofs, &mut table);
+    assert!(a.is_granted());
+    assert!(!b.is_granted());
+}

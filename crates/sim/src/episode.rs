@@ -1,0 +1,273 @@
+//! The episode driver: plays one [`Scenario`] against the real
+//! [`CoordinatedGuard`] decision stack while the [`ReferenceOracle`]
+//! shadows every decision, and records the first divergence.
+//!
+//! The driver mirrors [`stacl_naplet::system::NapletSystem`]'s access
+//! pipeline: topology resolution first (a dead or unknown server denies
+//! with `DeniedUnknownTarget` *without* consulting the guard), then the
+//! guard gate, then — on a grant — proof issuance stamped with the local
+//! server clock (base time plus the server's skew).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use stacl_coalition::{CoalitionEnv, DecisionKind, ProofStore, Verdict};
+use stacl_naplet::guard::{CoordinatedGuard, GuardRequest};
+use stacl_rbac::{AccessPattern, ExtendedRbac, Permission, RbacModel};
+use stacl_sral::{Access, Program};
+use stacl_temporal::TimePoint;
+use stacl_trace::AccessTable;
+
+use crate::oracle::{OracleBug, ReferenceOracle};
+use crate::scenario::{Event, Scenario};
+
+/// A disagreement between the guard and the reference oracle.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Index of the offending event in [`Scenario::events`].
+    pub step: usize,
+    /// Event time.
+    pub time: f64,
+    /// Requesting object's name.
+    pub object: String,
+    /// The attempted access.
+    pub access: Access,
+    /// What the real decision stack said.
+    pub guard: DecisionKind,
+    /// What the reference oracle said.
+    pub oracle: DecisionKind,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "step {} t={} object {} access {}: guard={} oracle={}",
+            self.step,
+            self.time,
+            self.object,
+            self.access,
+            self.guard.label(),
+            self.oracle.label()
+        )
+    }
+}
+
+/// The outcome of one simulated episode.
+#[derive(Clone, Debug)]
+pub struct Episode {
+    /// The generating seed.
+    pub seed: u64,
+    /// The full step-by-step episode log (byte-identical per seed).
+    pub log: String,
+    /// Decision counts by [`DecisionKind::label`].
+    pub histogram: BTreeMap<&'static str, usize>,
+    /// Number of access decisions made.
+    pub decisions: usize,
+    /// The first guard/oracle disagreement, if any (the episode stops
+    /// there).
+    pub divergence: Option<Divergence>,
+}
+
+/// Build the real decision stack for a scenario.
+fn build_guard(sc: &Scenario) -> CoordinatedGuard {
+    let mut model = RbacModel::new();
+    for o in &sc.objects {
+        model.add_user(&o.name);
+    }
+    for role in &sc.roles {
+        model.add_role(&role.name);
+    }
+    for p in &sc.perms {
+        let pattern = AccessPattern {
+            op: p.op.as_deref().map(stacl_sral::ast::name),
+            resource: p.resource.as_deref().map(stacl_sral::ast::name),
+            server: p.server.as_deref().map(stacl_sral::ast::name),
+        };
+        let mut perm = Permission::new(&p.name, pattern);
+        if let Some(c) = &p.spatial {
+            perm = perm.with_spatial(c.clone());
+        }
+        if p.team_scope {
+            perm = perm.with_scope(stacl_rbac::HistoryScope::Team);
+        }
+        if let Some(v) = p.validity {
+            perm = perm.with_validity(v, p.scheme);
+        }
+        if let Some(class) = &p.class {
+            perm = perm.with_class(class);
+        }
+        model.add_permission(perm).expect("unique generated names");
+    }
+    for role in &sc.roles {
+        for &pi in &role.perms {
+            model
+                .assign_permission(&role.name, &sc.perms[pi].name)
+                .expect("role and permission exist");
+        }
+    }
+    for &(s, j) in &sc.inherits {
+        model
+            .add_inheritance(&sc.roles[s].name, &sc.roles[j].name)
+            .expect("generated senior<junior edges are acyclic");
+    }
+    for o in &sc.objects {
+        for &r in &o.assigned {
+            model
+                .assign_user(&o.name, &sc.roles[r].name)
+                .expect("user and role exist");
+        }
+    }
+
+    let mut rbac = ExtendedRbac::new(model);
+    for c in &sc.classes {
+        rbac.define_validity_class(&c.name, c.dur, c.scheme);
+    }
+
+    let guard = CoordinatedGuard::new(rbac)
+        .with_mode(sc.mode)
+        .with_approval_reuse(sc.approval_reuse);
+    for o in &sc.objects {
+        guard.enroll(
+            &o.name,
+            o.enrolled.iter().map(|&r| sc.roles[r].name.as_str()),
+        );
+    }
+    guard
+}
+
+/// Run one episode, cross-checking every decision against the oracle.
+pub fn run_episode(sc: &Scenario, bug: Option<OracleBug>) -> Episode {
+    let guard = build_guard(sc);
+    let mut env = CoalitionEnv::new();
+    for s in &sc.servers {
+        env.add_server(s);
+        for res in &sc.resources {
+            env.add_resource(s, res, sc.ops.iter().map(String::as_str));
+        }
+    }
+    let proofs = ProofStore::new();
+    let mut table = AccessTable::new();
+    let mut oracle = ReferenceOracle::new(bug);
+
+    // Each object's future accesses in schedule order; `cursor[i]` marks
+    // how many it has already attempted (granted or not — a denied access
+    // is skipped, exactly as `OnDeny::Skip` agents behave).
+    let per_object: Vec<Vec<Access>> = (0..sc.objects.len())
+        .map(|i| {
+            sc.events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Access { obj, access, .. } if *obj == i => Some(access.clone()),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    let mut cursor = vec![0usize; sc.objects.len()];
+
+    let mut dead: BTreeSet<String> = BTreeSet::new();
+    let mut log = String::new();
+    let mut histogram: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut decisions = 0usize;
+    let mut divergence = None;
+
+    use std::fmt::Write as _;
+    for (step, event) in sc.events.iter().enumerate() {
+        match event {
+            Event::Arrival {
+                obj,
+                server,
+                time,
+                dropped,
+            } => {
+                let name = &sc.objects[*obj].name;
+                if *dropped {
+                    let _ = writeln!(log, "[{time}] arrive {name} @ {server} DROPPED");
+                } else {
+                    guard.note_arrival(name, TimePoint::new(*time));
+                    oracle.note_arrival(*obj, *time);
+                    let _ = writeln!(log, "[{time}] arrive {name} @ {server}");
+                }
+            }
+            Event::ServerDeath { server, time } => {
+                dead.insert(server.clone());
+                oracle.note_death(server);
+                let _ = writeln!(log, "[{time}] server-death {server}");
+            }
+            Event::Access { obj, access, time } => {
+                let name = &sc.objects[*obj].name;
+                let remaining = &per_object[*obj][cursor[*obj]..];
+                cursor[*obj] += 1;
+
+                let oracle_v = oracle.decide(sc, *obj, access, remaining, *time);
+
+                // The system pipeline: topology first, guard second.
+                let system_v: Verdict = if dead.contains(&*access.server)
+                    || env.resolve(access).is_err()
+                {
+                    Verdict::denied(
+                        DecisionKind::DeniedUnknownTarget,
+                        format!("server {} is unreachable", access.server),
+                    )
+                } else {
+                    let program = Program::seq_all(remaining.iter().cloned().map(Program::Access));
+                    let req = GuardRequest {
+                        object: name,
+                        access,
+                        remaining: &program,
+                        time: TimePoint::new(*time),
+                    };
+                    guard.decide(&req, &proofs, &mut table)
+                };
+
+                decisions += 1;
+                *histogram.entry(system_v.kind.label()).or_insert(0) += 1;
+                let _ = writeln!(
+                    log,
+                    "[{time}] access {name} {access} -> guard={} oracle={}",
+                    system_v.kind.label(),
+                    oracle_v.kind.label()
+                );
+
+                if system_v.kind != oracle_v.kind {
+                    divergence = Some(Divergence {
+                        step,
+                        time: *time,
+                        object: name.clone(),
+                        access: access.clone(),
+                        guard: system_v.kind,
+                        oracle: oracle_v.kind,
+                    });
+                    let _ = writeln!(log, "DIVERGENCE at step {step}");
+                    break;
+                }
+
+                if system_v.is_granted() {
+                    // Proofs are stamped with the local server clock —
+                    // skew shifts timestamps but not decisions.
+                    let skew = sc
+                        .servers
+                        .iter()
+                        .position(|s| **s == *access.server)
+                        .map(|i| sc.skews[i])
+                        .unwrap_or(0.0);
+                    proofs.issue(name, access.clone(), TimePoint::new(time + skew));
+                    oracle.note_grant(*obj, access.clone());
+                }
+            }
+        }
+    }
+
+    Episode {
+        seed: sc.seed,
+        log,
+        histogram,
+        decisions,
+        divergence,
+    }
+}
+
+/// Generate the scenario for `seed` and run it.
+pub fn episode_for_seed(seed: u64, bug: Option<OracleBug>) -> Episode {
+    run_episode(&Scenario::generate(seed), bug)
+}

@@ -1,0 +1,323 @@
+//! The deliberately slow reference oracle.
+//!
+//! Recomputes every decision from scratch on string keys, straight from
+//! the [`Scenario`] spec and its own journals — it shares *no* code with
+//! the interned decision path it is checking:
+//!
+//! * **RBAC lookup** — active roles, inheritance closure and candidate
+//!   permissions are rederived per decision by walking the scenario's
+//!   role/edge lists (not [`stacl_rbac::RbacModel`]).
+//! * **Spatial `P ⊨ C`** — the object's full trace (proven history plus
+//!   declared future accesses) is re-evaluated naively through
+//!   [`stacl_srac::trace_sat::trace_satisfies`] (Definition 3.6) with a
+//!   fresh [`AccessTable`] each time — no residual automata, no caching,
+//!   no approval reuse.
+//! * **Temporal validity** — accumulated-duration validity is recomputed
+//!   from the recorded activation time and arrival journal by a direct
+//!   last-refill formula, not [`stacl_temporal::PermissionTimeline`].
+//!
+//! Divergence-injection hooks ([`OracleBug`]) deliberately corrupt the
+//! oracle so the harness can prove the differential loop actually trips,
+//! shrinks and replays (they are never enabled in CI sweeps).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use stacl_coalition::{DecisionKind, Verdict};
+use stacl_srac::trace_sat::{trace_satisfies, ProofOracle};
+use stacl_srac::Constraint;
+use stacl_sral::Access;
+use stacl_temporal::BaseTimeScheme;
+use stacl_trace::{AccessTable, Trace};
+
+use crate::scenario::{PermSpec, Scenario};
+
+/// A deliberate defect injected into the oracle to prove the differential
+/// harness catches real divergences end to end.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OracleBug {
+    /// Every finite cardinality upper bound is off by one (too lax).
+    CardMaxOffByOne,
+    /// Per-server budget refills on migration are ignored.
+    IgnoreRefills,
+}
+
+impl OracleBug {
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleBug::CardMaxOffByOne => "card-max-off-by-one",
+            OracleBug::IgnoreRefills => "ignore-refills",
+        }
+    }
+
+    /// Parse the CLI name (`none` parses to `None`).
+    pub fn parse(s: &str) -> Result<Option<OracleBug>, String> {
+        match s {
+            "none" => Ok(None),
+            "card-max-off-by-one" => Ok(Some(OracleBug::CardMaxOffByOne)),
+            "ignore-refills" => Ok(Some(OracleBug::IgnoreRefills)),
+            other => Err(format!(
+                "unknown oracle bug `{other}` (expected none, card-max-off-by-one or ignore-refills)"
+            )),
+        }
+    }
+}
+
+/// The reference decision oracle: string-keyed journals plus from-scratch
+/// recomputation per decision.
+#[derive(Debug, Default)]
+pub struct ReferenceOracle {
+    bug: Option<OracleBug>,
+    /// Every granted access in grant order, with the granting object.
+    grants: Vec<(usize, Access)>,
+    /// Per-object observed arrival times.
+    arrivals: BTreeMap<usize, Vec<f64>>,
+    /// (object, budget-key) → time the budget was first activated.
+    activations: BTreeMap<(usize, String), f64>,
+    /// Dead servers.
+    dead: BTreeSet<String>,
+}
+
+impl ReferenceOracle {
+    /// A fresh oracle, optionally with an injected defect.
+    pub fn new(bug: Option<OracleBug>) -> Self {
+        ReferenceOracle {
+            bug,
+            ..Default::default()
+        }
+    }
+
+    /// Record an observed (non-dropped) arrival.
+    pub fn note_arrival(&mut self, obj: usize, time: f64) {
+        self.arrivals.entry(obj).or_default().push(time);
+    }
+
+    /// Record a server death.
+    pub fn note_death(&mut self, server: &str) {
+        self.dead.insert(server.to_string());
+    }
+
+    /// Record a granted access (the oracle's mirror of proof issuance).
+    pub fn note_grant(&mut self, obj: usize, access: Access) {
+        self.grants.push((obj, access));
+    }
+
+    /// Decide one access request from scratch.
+    ///
+    /// `remaining` is the object's declared remaining straight-line
+    /// program, including the attempted access itself.
+    pub fn decide(
+        &mut self,
+        sc: &Scenario,
+        obj: usize,
+        access: &Access,
+        remaining: &[Access],
+        time: f64,
+    ) -> Verdict {
+        if self.dead.contains(&*access.server) || !sc.servers.iter().any(|s| **s == *access.server)
+        {
+            return Verdict::denied(
+                DecisionKind::DeniedUnknownTarget,
+                format!("server {} is unreachable", access.server),
+            );
+        }
+
+        let mut covered = false;
+        let mut spatial_failed = false;
+        let mut temporal_failed = false;
+        for pname in self.candidate_perms(sc, obj) {
+            let p = sc
+                .perms
+                .iter()
+                .find(|p| p.name == pname)
+                .expect("candidate names come from the scenario");
+            if !pattern_covers(p, access) {
+                continue;
+            }
+            covered = true;
+
+            if let Some(c) = &p.spatial {
+                if !self.spatial_holds(sc, obj, p, c, access, remaining) {
+                    spatial_failed = true;
+                    continue;
+                }
+            }
+
+            let (key, dur, scheme) = budget_of(sc, p);
+            let act = *self.activations.entry((obj, key)).or_insert(time);
+            let valid = match dur {
+                None => true,
+                Some(d) => self.valid_at(obj, act, scheme, d, time),
+            };
+            if valid {
+                return Verdict::granted();
+            }
+            temporal_failed = true;
+        }
+
+        if !covered {
+            DecisionKind::DeniedNoPermission.into()
+        } else if temporal_failed {
+            Verdict::denied(DecisionKind::DeniedTemporal, "validity exhausted")
+        } else if spatial_failed {
+            Verdict::denied(DecisionKind::DeniedSpatial, "spatial constraint violated")
+        } else {
+            DecisionKind::DeniedNoPermission.into()
+        }
+    }
+
+    /// The candidate permission names of the object, in name order: the
+    /// union over its *activatable* enrolled roles of each role's
+    /// junior-closed permission set.
+    fn candidate_perms(&self, sc: &Scenario, obj: usize) -> BTreeSet<String> {
+        let spec = &sc.objects[obj];
+        let mut out = BTreeSet::new();
+        for &role in &spec.enrolled {
+            let authorized = spec.assigned.contains(&role)
+                || spec
+                    .assigned
+                    .iter()
+                    .any(|&senior| inherits(sc, senior, role));
+            if !authorized {
+                continue;
+            }
+            for junior in junior_closure(sc, role) {
+                for &pi in &sc.roles[junior].perms {
+                    out.insert(sc.perms[pi].name.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// `P ⊨ C` by naive trace evaluation: proven history (per scope) plus
+    /// the declared future, one flat trace, Definition 3.6 from scratch.
+    fn spatial_holds(
+        &self,
+        sc: &Scenario,
+        obj: usize,
+        p: &PermSpec,
+        c: &Constraint,
+        access: &Access,
+        remaining: &[Access],
+    ) -> bool {
+        let mut full: Vec<&Access> = self
+            .grants
+            .iter()
+            .filter(|(o, _)| p.team_scope || *o == obj)
+            .map(|(_, a)| a)
+            .collect();
+        match sc.mode {
+            stacl_naplet::guard::EnforcementMode::Preventive => full.extend(remaining),
+            stacl_naplet::guard::EnforcementMode::Reactive => full.push(access),
+        }
+        let mut table = AccessTable::new();
+        let trace = Trace::from_ids(full.iter().map(|a| table.intern(a)));
+        let c = self.bugged(c);
+        trace_satisfies(&trace, &c, &table, &ProofOracle::assume_all())
+    }
+
+    /// Accumulated-duration validity at `time`, recomputed from the
+    /// arrival journal: the budget refills in full at every refill epoch
+    /// after activation (all arrivals for the per-server scheme, only the
+    /// first for whole-lifetime), and the last refill at or before `time`
+    /// decides validity. The window is half-open: a budget of `d` starting
+    /// at `b` is valid on `[b, b + d)`.
+    fn valid_at(&self, obj: usize, act: f64, scheme: BaseTimeScheme, dur: f64, time: f64) -> bool {
+        if time < act {
+            return false;
+        }
+        let journal = self.arrivals.get(&obj).map(Vec::as_slice).unwrap_or(&[]);
+        let epochs: &[f64] = match (self.bug, scheme) {
+            (Some(OracleBug::IgnoreRefills), _) => &[],
+            (_, BaseTimeScheme::WholeLifetime) => &journal[..journal.len().min(1)],
+            (_, BaseTimeScheme::CurrentServer) => journal,
+        };
+        // The last refill epoch in (act, time] restarts a full budget; if
+        // none, the budget has been draining since activation.
+        let mut base = act;
+        for &e in epochs {
+            if e > act && e <= time {
+                base = base.max(e);
+            }
+        }
+        time - base < dur
+    }
+
+    /// Apply the injected defect to a constraint.
+    fn bugged(&self, c: &Constraint) -> Constraint {
+        match self.bug {
+            Some(OracleBug::CardMaxOffByOne) => relax_card(c),
+            _ => c.clone(),
+        }
+    }
+}
+
+fn relax_card(c: &Constraint) -> Constraint {
+    match c {
+        Constraint::Card { min, max, selector } => Constraint::Card {
+            min: *min,
+            max: max.map(|m| m + 1),
+            selector: selector.clone(),
+        },
+        Constraint::And(a, b) => relax_card(a).and(relax_card(b)),
+        Constraint::Or(a, b) => relax_card(a).or(relax_card(b)),
+        Constraint::Not(a) => relax_card(a).not(),
+        leaf => leaf.clone(),
+    }
+}
+
+/// Does the permission's grant pattern cover the access?
+fn pattern_covers(p: &PermSpec, a: &Access) -> bool {
+    let ok = |pat: &Option<String>, v: &str| pat.as_deref().is_none_or(|x| x == v);
+    ok(&p.op, &a.op) && ok(&p.resource, &a.resource) && ok(&p.server, &a.server)
+}
+
+/// Does `senior` (transitively) inherit `junior`?
+fn inherits(sc: &Scenario, senior: usize, junior: usize) -> bool {
+    if senior == junior {
+        return false;
+    }
+    let mut stack = vec![senior];
+    let mut seen = BTreeSet::new();
+    while let Some(r) = stack.pop() {
+        for &(s, j) in &sc.inherits {
+            if s == r && seen.insert(j) {
+                if j == junior {
+                    return true;
+                }
+                stack.push(j);
+            }
+        }
+    }
+    false
+}
+
+/// The role itself plus every (transitive) junior.
+fn junior_closure(sc: &Scenario, role: usize) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    let mut stack = vec![role];
+    while let Some(r) = stack.pop() {
+        if out.insert(r) {
+            for &(s, j) in &sc.inherits {
+                if s == r {
+                    stack.push(j);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The budget a permission draws from: `(string key, duration, scheme)`.
+/// A defined validity class yields the shared class budget; an undefined
+/// class falls back to the permission's own attributes (mirroring the
+/// gate's fallback path).
+fn budget_of(sc: &Scenario, p: &PermSpec) -> (String, Option<f64>, BaseTimeScheme) {
+    if let Some(class) = &p.class {
+        if let Some(cs) = sc.classes.iter().find(|c| c.name == *class) {
+            return (format!("class:{}", cs.name), Some(cs.dur), cs.scheme);
+        }
+    }
+    (p.name.clone(), p.validity, p.scheme)
+}

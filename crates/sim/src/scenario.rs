@@ -1,0 +1,584 @@
+//! Seed-driven scenario generation.
+//!
+//! A [`Scenario`] is the complete, self-contained description of one
+//! simulated coalition run: the topology, the RBAC policy (roles,
+//! permissions, spatial SRAC constraints, temporal validity budgets,
+//! validity classes, inheritance), the mobile objects and their
+//! enrollments, per-server clock skews, and a strictly time-ordered event
+//! schedule mixing accesses, server arrivals (some dropped in flight) and
+//! mid-flight server deaths.
+//!
+//! Everything is derived from a single `u64` seed through the
+//! [`SplitMix64`] generator, so a seed *is* a scenario: the repro
+//! workflow only ever ships seeds, never serialized state.
+
+use std::fmt;
+
+use stacl_ids::rng::SplitMix64;
+use stacl_naplet::guard::EnforcementMode;
+use stacl_srac::{Constraint, Selector};
+use stacl_sral::Access;
+use stacl_temporal::BaseTimeScheme;
+
+/// Operation vocabulary the generator draws from.
+const OPS: [&str; 3] = ["read", "write", "exec"];
+
+/// One generated permission.
+#[derive(Clone, Debug)]
+pub struct PermSpec {
+    /// Permission name (`p0`, `p1`, …).
+    pub name: String,
+    /// Granted operation (`None` = wildcard).
+    pub op: Option<String>,
+    /// Granted resource (`None` = wildcard).
+    pub resource: Option<String>,
+    /// Granted server (`None` = wildcard).
+    pub server: Option<String>,
+    /// Spatial SRAC constraint, if any.
+    pub spatial: Option<Constraint>,
+    /// Evaluate the constraint against the team's combined history.
+    pub team_scope: bool,
+    /// Validity duration in seconds, if time-sensitive.
+    pub validity: Option<f64>,
+    /// Base-time scheme for the validity integral.
+    pub scheme: BaseTimeScheme,
+    /// Validity class name, if the permission draws from a shared budget.
+    /// May reference an undefined class (exercises the fallback path).
+    pub class: Option<String>,
+}
+
+/// One generated validity class (a shared per-object budget).
+#[derive(Clone, Debug)]
+pub struct ClassSpec {
+    /// Class name.
+    pub name: String,
+    /// Shared budget duration in seconds.
+    pub dur: f64,
+    /// Base-time scheme of the shared budget.
+    pub scheme: BaseTimeScheme,
+}
+
+/// One generated role: a name plus indices into [`Scenario::perms`].
+#[derive(Clone, Debug)]
+pub struct RoleSpec {
+    /// Role name (`role0`, `role1`, …).
+    pub name: String,
+    /// Indices of the permissions assigned to this role.
+    pub perms: Vec<usize>,
+}
+
+/// One generated mobile object.
+#[derive(Clone, Debug)]
+pub struct ObjectSpec {
+    /// Object name (`n0`, `n1`, …).
+    pub name: String,
+    /// Indices of the roles assigned to the object (RBAC `UA`).
+    pub assigned: Vec<usize>,
+    /// Indices of the roles the guard tries to activate on first contact.
+    /// May include unassigned roles (whose activation silently fails).
+    pub enrolled: Vec<usize>,
+}
+
+/// One scheduled event. Times are strictly increasing across the episode.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// Object attempts an access.
+    Access {
+        /// Index into [`Scenario::objects`].
+        obj: usize,
+        /// The attempted access.
+        access: Access,
+        /// Request time.
+        time: f64,
+    },
+    /// Object arrives at a server (migration). A dropped arrival is lost
+    /// in flight: neither the guard nor the oracle observes it, but the
+    /// schedule records it for fault-injection realism.
+    Arrival {
+        /// Index into [`Scenario::objects`].
+        obj: usize,
+        /// Destination server name.
+        server: String,
+        /// Arrival time.
+        time: f64,
+        /// Whether the notification was lost in flight.
+        dropped: bool,
+    },
+    /// A coalition server dies; later accesses targeting it are denied at
+    /// the topology layer without consulting the guard.
+    ServerDeath {
+        /// The dying server's name.
+        server: String,
+        /// Death time.
+        time: f64,
+    },
+}
+
+impl Event {
+    /// The event's scheduled time.
+    pub fn time(&self) -> f64 {
+        match self {
+            Event::Access { time, .. }
+            | Event::Arrival { time, .. }
+            | Event::ServerDeath { time, .. } => *time,
+        }
+    }
+}
+
+/// A complete generated simulation scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The generating seed.
+    pub seed: u64,
+    /// Guard enforcement mode.
+    pub mode: EnforcementMode,
+    /// Whether monotone spatial-approval reuse is enabled on the guard.
+    pub approval_reuse: bool,
+    /// Coalition server names (`s0`, `s1`, …).
+    pub servers: Vec<String>,
+    /// Per-server clock skew in seconds (applied to proof timestamps).
+    pub skews: Vec<f64>,
+    /// Resource names (`r0`, `r1`, …), hosted on every server.
+    pub resources: Vec<String>,
+    /// Operation names.
+    pub ops: Vec<String>,
+    /// Validity classes (shared budgets).
+    pub classes: Vec<ClassSpec>,
+    /// Permissions.
+    pub perms: Vec<PermSpec>,
+    /// Roles.
+    pub roles: Vec<RoleSpec>,
+    /// Role-inheritance edges as `(senior, junior)` indices into
+    /// [`Scenario::roles`]; always `senior < junior`, hence acyclic.
+    pub inherits: Vec<(usize, usize)>,
+    /// Mobile objects.
+    pub objects: Vec<ObjectSpec>,
+    /// The time-ordered event schedule.
+    pub events: Vec<Event>,
+}
+
+impl Scenario {
+    /// Deterministically generate the scenario for a seed.
+    pub fn generate(seed: u64) -> Scenario {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let r = &mut rng;
+
+        // Topology.
+        let n_servers = r.gen_range(2usize..5);
+        let servers: Vec<String> = (0..n_servers).map(|i| format!("s{i}")).collect();
+        let skews: Vec<f64> = (0..n_servers)
+            .map(|_| {
+                if r.gen_bool(0.3) {
+                    r.gen_range(1i64..5) as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let n_resources = r.gen_range(2usize..4);
+        let resources: Vec<String> = (0..n_resources).map(|i| format!("r{i}")).collect();
+        let n_ops = r.gen_range(2usize..4);
+        let ops: Vec<String> = OPS[..n_ops].iter().map(|s| s.to_string()).collect();
+
+        let mode = if r.gen_bool(0.6) {
+            EnforcementMode::Preventive
+        } else {
+            EnforcementMode::Reactive
+        };
+        // Server deaths interact unsoundly with approval reuse: a
+        // topology-level denial skips an access without the guard seeing
+        // it, so the object's "clean" record no longer implies its future
+        // trace was covered by the original approval. The generator never
+        // combines the two (see DESIGN.md, "oracle scope").
+        let with_deaths = r.gen_bool(0.25);
+        let approval_reuse = !with_deaths && r.gen_bool(0.7);
+
+        // Validity classes.
+        let mut classes = Vec::new();
+        if r.gen_bool(0.3) {
+            classes.push(ClassSpec {
+                name: "night".to_string(),
+                dur: r.gen_range(2i64..9) as f64,
+                scheme: gen_scheme(r),
+            });
+        }
+
+        // Permissions.
+        let n_perms = r.gen_range(1usize..5);
+        let mut perms = Vec::with_capacity(n_perms);
+        for i in 0..n_perms {
+            let pick = |r: &mut SplitMix64, pool: &[String]| -> Option<String> {
+                if r.gen_bool(0.4) {
+                    Some(r.choose(pool).clone())
+                } else {
+                    None
+                }
+            };
+            let spatial = if r.gen_bool(0.55) {
+                Some(gen_constraint(r, &ops, &resources, &servers, 2))
+            } else {
+                None
+            };
+            let class = if !classes.is_empty() && r.gen_bool(0.25) {
+                Some("night".to_string())
+            } else if r.gen_bool(0.05) {
+                // Undefined class: the gate falls back to the
+                // permission's own validity attributes.
+                Some("ghost".to_string())
+            } else {
+                None
+            };
+            perms.push(PermSpec {
+                name: format!("p{i}"),
+                op: pick(r, &ops),
+                resource: pick(r, &resources),
+                server: pick(r, &servers),
+                spatial,
+                team_scope: r.gen_bool(0.15),
+                validity: if r.gen_bool(0.5) {
+                    Some(r.gen_range(2i64..9) as f64)
+                } else {
+                    None
+                },
+                scheme: gen_scheme(r),
+                class,
+            });
+        }
+
+        // Roles and inheritance.
+        let n_roles = r.gen_range(1usize..4);
+        let mut roles = Vec::with_capacity(n_roles);
+        for i in 0..n_roles {
+            let mut assigned: Vec<usize> = (0..n_perms).filter(|_| r.gen_bool(0.6)).collect();
+            if i == 0 && assigned.is_empty() && n_perms > 0 {
+                assigned.push(r.gen_range(0..n_perms));
+            }
+            roles.push(RoleSpec {
+                name: format!("role{i}"),
+                perms: assigned,
+            });
+        }
+        let mut inherits = Vec::new();
+        for senior in 0..n_roles {
+            for junior in senior + 1..n_roles {
+                if r.gen_bool(0.25) {
+                    inherits.push((senior, junior));
+                }
+            }
+        }
+
+        // Mobile objects.
+        let n_objects = r.gen_range(1usize..4);
+        let mut objects = Vec::with_capacity(n_objects);
+        for i in 0..n_objects {
+            let mut assigned: Vec<usize> = (0..n_roles).filter(|_| r.gen_bool(0.7)).collect();
+            if assigned.is_empty() {
+                assigned.push(r.gen_range(0..n_roles));
+            }
+            let mut enrolled = assigned.clone();
+            // Occasionally enroll a role the object is NOT assigned:
+            // activation fails silently and the object lacks those perms.
+            for role in 0..n_roles {
+                if !enrolled.contains(&role) && r.gen_bool(0.15) {
+                    enrolled.push(role);
+                }
+            }
+            enrolled.sort_unstable();
+            objects.push(ObjectSpec {
+                name: format!("n{i}"),
+                assigned,
+                enrolled,
+            });
+        }
+
+        // Event schedule: initial (never-dropped) arrivals seed each
+        // object at a server, then a random mix at strictly increasing
+        // integer times.
+        let mut events: Vec<Event> = Vec::new();
+        let mut t = 0.0;
+        for (i, _) in objects.iter().enumerate() {
+            events.push(Event::Arrival {
+                obj: i,
+                server: r.choose(&servers).clone(),
+                time: t,
+                dropped: false,
+            });
+            t += 1.0;
+        }
+        let n_events = r.gen_range(6usize..17);
+        let mut alive: Vec<usize> = (0..n_servers).collect();
+        for _ in 0..n_events {
+            let roll = r.gen_f64();
+            if with_deaths && alive.len() > 1 && roll < 0.08 {
+                let k = r.gen_range(0..alive.len());
+                let victim = alive.swap_remove(k);
+                events.push(Event::ServerDeath {
+                    server: servers[victim].clone(),
+                    time: t,
+                });
+            } else if roll < 0.28 {
+                events.push(Event::Arrival {
+                    obj: r.gen_range(0..n_objects),
+                    server: r.choose(&servers).clone(),
+                    time: t,
+                    dropped: r.gen_bool(0.25),
+                });
+            } else {
+                events.push(Event::Access {
+                    obj: r.gen_range(0..n_objects),
+                    access: Access::new(r.choose(&ops), r.choose(&resources), r.choose(&servers)),
+                    time: t,
+                });
+            }
+            t += 1.0;
+        }
+
+        Scenario {
+            seed,
+            mode,
+            approval_reuse,
+            servers,
+            skews,
+            resources,
+            ops,
+            classes,
+            perms,
+            roles,
+            inherits,
+            objects,
+            events,
+        }
+    }
+}
+
+fn gen_scheme(r: &mut SplitMix64) -> BaseTimeScheme {
+    if r.gen_bool(0.5) {
+        BaseTimeScheme::CurrentServer
+    } else {
+        BaseTimeScheme::WholeLifetime
+    }
+}
+
+fn gen_access(
+    r: &mut SplitMix64,
+    ops: &[String],
+    resources: &[String],
+    servers: &[String],
+) -> Access {
+    Access::new(r.choose(ops), r.choose(resources), r.choose(servers))
+}
+
+fn gen_selector(
+    r: &mut SplitMix64,
+    ops: &[String],
+    resources: &[String],
+    servers: &[String],
+) -> Selector {
+    let mut s = Selector::any();
+    if r.gen_bool(0.5) {
+        s = s.with_ops([r.choose(ops).as_str()]);
+    }
+    if r.gen_bool(0.5) {
+        s = s.with_resources([r.choose(resources).as_str()]);
+    }
+    if r.gen_bool(0.3) {
+        s = s.with_servers([r.choose(servers).as_str()]);
+    }
+    s
+}
+
+/// A random SRAC constraint over the scenario's access vocabulary.
+fn gen_constraint(
+    r: &mut SplitMix64,
+    ops: &[String],
+    resources: &[String],
+    servers: &[String],
+    depth: usize,
+) -> Constraint {
+    let leaf = depth == 0 || r.gen_bool(0.55);
+    if leaf {
+        match r.gen_range(0u32..5) {
+            0 => Constraint::True,
+            1 => Constraint::Atom(gen_access(r, ops, resources, servers)),
+            2 => Constraint::Ordered(
+                gen_access(r, ops, resources, servers),
+                gen_access(r, ops, resources, servers),
+            ),
+            _ => {
+                // Cardinality bounds biased wide enough that grants occur.
+                let min = if r.gen_bool(0.25) { 1 } else { 0 };
+                let max = if r.gen_bool(0.3) {
+                    None
+                } else {
+                    Some(min + r.gen_range(1usize..7))
+                };
+                Constraint::Card {
+                    min,
+                    max,
+                    selector: gen_selector(r, ops, resources, servers),
+                }
+            }
+        }
+    } else {
+        let a = gen_constraint(r, ops, resources, servers, depth - 1);
+        let b = gen_constraint(r, ops, resources, servers, depth - 1);
+        match r.gen_range(0u32..4) {
+            0 => a.and(b),
+            1 => a.or(b),
+            2 => a.implies(b),
+            _ => a.not(),
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "scenario seed={} mode={} reuse={}",
+            self.seed,
+            match self.mode {
+                EnforcementMode::Preventive => "preventive",
+                EnforcementMode::Reactive => "reactive",
+            },
+            if self.approval_reuse { "on" } else { "off" }
+        )?;
+        let skewed: Vec<String> = self
+            .servers
+            .iter()
+            .zip(&self.skews)
+            .map(|(s, k)| {
+                if *k == 0.0 {
+                    s.clone()
+                } else {
+                    format!("{s} skew={k}")
+                }
+            })
+            .collect();
+        writeln!(f, "servers: {}", skewed.join(", "))?;
+        writeln!(f, "resources: {}", self.resources.join(" "))?;
+        writeln!(f, "ops: {}", self.ops.join(" "))?;
+        for c in &self.classes {
+            writeln!(
+                f,
+                "class {} dur={} scheme={}",
+                c.name,
+                c.dur,
+                c.scheme.name()
+            )?;
+        }
+        for p in &self.perms {
+            let part = |x: &Option<String>| x.clone().unwrap_or_else(|| "*".to_string());
+            write!(
+                f,
+                "perm {} grants={}:{}:{}",
+                p.name,
+                part(&p.op),
+                part(&p.resource),
+                part(&p.server)
+            )?;
+            if let Some(c) = &p.spatial {
+                write!(f, " spatial=\"{c}\"")?;
+            }
+            if p.team_scope {
+                write!(f, " scope=team")?;
+            }
+            if let Some(v) = p.validity {
+                write!(f, " validity={v} scheme={}", p.scheme.name())?;
+            }
+            if let Some(c) = &p.class {
+                write!(f, " class={c}")?;
+            }
+            writeln!(f)?;
+        }
+        for role in &self.roles {
+            let names: Vec<&str> = role
+                .perms
+                .iter()
+                .map(|&i| self.perms[i].name.as_str())
+                .collect();
+            writeln!(f, "role {} perms={}", role.name, names.join(","))?;
+        }
+        for &(s, j) in &self.inherits {
+            writeln!(f, "inherit {} {}", self.roles[s].name, self.roles[j].name)?;
+        }
+        for o in &self.objects {
+            let names = |ix: &[usize]| {
+                ix.iter()
+                    .map(|&i| self.roles[i].name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            writeln!(
+                f,
+                "object {} roles={} enrolled={}",
+                o.name,
+                names(&o.assigned),
+                names(&o.enrolled)
+            )?;
+        }
+        writeln!(f, "events:")?;
+        for e in &self.events {
+            match e {
+                Event::Access { obj, access, time } => {
+                    writeln!(f, "  [{time}] access {} {access}", self.objects[*obj].name)?;
+                }
+                Event::Arrival {
+                    obj,
+                    server,
+                    time,
+                    dropped,
+                } => {
+                    writeln!(
+                        f,
+                        "  [{time}] arrive {} @ {server}{}",
+                        self.objects[*obj].name,
+                        if *dropped { " (dropped)" } else { "" }
+                    )?;
+                }
+                Event::ServerDeath { server, time } => {
+                    writeln!(f, "  [{time}] server-death {server}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            let a = Scenario::generate(seed).to_string();
+            let b = Scenario::generate(seed).to_string();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn times_strictly_increase() {
+        for seed in 0..32u64 {
+            let sc = Scenario::generate(seed);
+            for w in sc.events.windows(2) {
+                assert!(w[0].time() < w[1].time(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn deaths_disable_approval_reuse() {
+        for seed in 0..256u64 {
+            let sc = Scenario::generate(seed);
+            let has_death = sc
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::ServerDeath { .. }));
+            if has_death {
+                assert!(!sc.approval_reuse, "seed {seed}");
+            }
+        }
+    }
+}

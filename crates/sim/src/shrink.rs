@@ -1,0 +1,103 @@
+//! Divergence minimization.
+//!
+//! Given a scenario whose episode diverges, [`shrink`] greedily deletes
+//! events and strips permission attributes while the divergence persists,
+//! iterating to a fixpoint. Shrinking is fully deterministic: the same
+//! diverging scenario always reduces to the same minimal witness, so a
+//! repro by seed re-derives the identical shrunk case.
+
+use crate::episode::{run_episode, Episode};
+use crate::oracle::OracleBug;
+use crate::scenario::Scenario;
+
+/// One shrink attempt: keep the candidate iff it still diverges.
+fn try_accept(
+    current: &mut Scenario,
+    episode: &mut Episode,
+    candidate: Scenario,
+    bug: Option<OracleBug>,
+) -> bool {
+    let ep = run_episode(&candidate, bug);
+    if ep.divergence.is_some() {
+        *current = candidate;
+        *episode = ep;
+        true
+    } else {
+        false
+    }
+}
+
+/// Minimize a diverging scenario. Returns the shrunk scenario and its
+/// episode; panics if the input does not diverge.
+pub fn shrink(sc: &Scenario, bug: Option<OracleBug>) -> (Scenario, Episode) {
+    let mut current = sc.clone();
+    let mut episode = run_episode(&current, bug);
+    assert!(
+        episode.divergence.is_some(),
+        "shrink called on a non-diverging scenario"
+    );
+
+    loop {
+        let mut changed = false;
+
+        // Everything after the diverging event is dead weight.
+        if let Some(d) = &episode.divergence {
+            if d.step + 1 < current.events.len() {
+                let mut candidate = current.clone();
+                candidate.events.truncate(d.step + 1);
+                changed |= try_accept(&mut current, &mut episode, candidate, bug);
+            }
+        }
+
+        // Delete individual events, last first (indices stay stable).
+        let mut i = current.events.len();
+        while i > 0 {
+            i -= 1;
+            if current.events.len() <= 1 {
+                break;
+            }
+            let mut candidate = current.clone();
+            candidate.events.remove(i);
+            if try_accept(&mut current, &mut episode, candidate, bug) {
+                changed = true;
+            }
+        }
+
+        // Strip permission attributes.
+        for pi in 0..current.perms.len() {
+            if current.perms[pi].spatial.is_some() {
+                let mut candidate = current.clone();
+                candidate.perms[pi].spatial = None;
+                changed |= try_accept(&mut current, &mut episode, candidate, bug);
+            }
+            if current.perms[pi].validity.is_some() {
+                let mut candidate = current.clone();
+                candidate.perms[pi].validity = None;
+                changed |= try_accept(&mut current, &mut episode, candidate, bug);
+            }
+            if current.perms[pi].class.is_some() {
+                let mut candidate = current.clone();
+                candidate.perms[pi].class = None;
+                changed |= try_accept(&mut current, &mut episode, candidate, bug);
+            }
+        }
+
+        // Unassign permissions from roles.
+        for ri in 0..current.roles.len() {
+            let mut k = current.roles[ri].perms.len();
+            while k > 0 {
+                k -= 1;
+                let mut candidate = current.clone();
+                candidate.roles[ri].perms.remove(k);
+                if try_accept(&mut current, &mut episode, candidate, bug) {
+                    changed = true;
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    (current, episode)
+}

@@ -216,3 +216,52 @@ fn residual_equals_prefixed_program() {
         assert_eq!(v1.holds, v2.holds, "constraint {c}");
     });
 }
+
+/// The production checking pipeline (`compile.rs` automata driven through
+/// `check.rs`'s residual check) agrees with `trace_sat.rs`'s naive
+/// Definition 3.6 evaluation on random (trace, constraint) pairs: for a
+/// straight-line future, the program has exactly one trace, so both
+/// semantics must equal the direct evaluation of history·future ⊨ C.
+/// This is the equivalence the `stacl-sim` differential oracle rests on.
+#[test]
+fn check_agrees_with_naive_trace_evaluation() {
+    forall(
+        "check_agrees_with_naive_trace_evaluation",
+        0xac07,
+        192,
+        |rng| {
+            let c = gen_constraint(rng, 3);
+            let (_, _, accs) = vocab_table();
+            let history: Vec<Access> = (0..rng.gen_range(0usize..5))
+                .map(|_| accs[rng.gen_range(0usize..8)].clone())
+                .collect();
+            let future: Vec<Access> = (0..rng.gen_range(1usize..5))
+                .map(|_| accs[rng.gen_range(0usize..8)].clone())
+                .collect();
+
+            // Naive: one flat trace through Definition 3.6, fresh table.
+            let mut naive_table = AccessTable::new();
+            let full = Trace::from_ids(
+                history
+                    .iter()
+                    .chain(future.iter())
+                    .map(|a| naive_table.intern(a)),
+            );
+            let naive = trace_satisfies(&full, &c, &naive_table, &ProofOracle::assume_all());
+
+            // Production: residual automaton check over the declared program.
+            let prog = stacl_sral::Program::seq_all(
+                future
+                    .iter()
+                    .map(|a| stacl_sral::Program::Access(a.clone())),
+            );
+            let mut table = AccessTable::new();
+            let h_trace = Trace::from_ids(history.iter().map(|a| table.intern(a)));
+            let forall_v = check_residual(&h_trace, &prog, &c, &mut table, Semantics::ForAll);
+            assert_eq!(forall_v.holds, naive, "constraint {c} (forall)");
+            // A straight-line program has exactly one trace, so ∃ ≡ ∀.
+            let exists_v = check_residual(&h_trace, &prog, &c, &mut table, Semantics::Exists);
+            assert_eq!(exists_v.holds, naive, "constraint {c} (exists)");
+        },
+    );
+}
