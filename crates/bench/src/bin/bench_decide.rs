@@ -1,0 +1,393 @@
+//! `bench_decide` — the E12 decide-throughput ablation (DESIGN.md §8,
+//! EXPERIMENTS.md E12), emitted as machine-readable JSON.
+//!
+//! Drives a fleet of `--objects` mobile objects, each performing
+//! `--accesses` granted accesses against a reactive [`CoordinatedGuard`]
+//! whose single permission carries a cardinality constraint (so every
+//! decision runs a real spatial `P ⊨ C` check), and measures four
+//! decision-path configurations:
+//!
+//! | mode | core | concurrency |
+//! |---|---|---|
+//! | `from-scratch-sequential`      | pre-PR residual re-check | 1 thread |
+//! | `incremental-sequential`       | cursor fast path         | 1 thread |
+//! | `incremental-global-lock`      | cursor fast path         | N threads behind one global mutex (pre-PR locking) |
+//! | `incremental-snapshot-parallel`| cursor fast path         | N threads, per-object gate shards only |
+//! | `incremental-snapshot-batch`   | cursor fast path         | `decide_batch` over the whole workload |
+//!
+//! Every mode reports ops/sec; modes with per-decision timing also
+//! report p50/p99 latency in microseconds. Output goes to `--out`
+//! (default `BENCH_decide.json`).
+//!
+//! Usage: `bench_decide [--objects 64] [--accesses 1000] [--threads 0] [--out BENCH_decide.json]`
+//! (`--threads 0` = available parallelism).
+
+use stacl::naplet::guard::{BatchRequest, GuardRequest};
+use stacl::prelude::*;
+use stacl_bench::fleet_model;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One measured configuration.
+struct ModeResult {
+    name: &'static str,
+    ops_per_sec: f64,
+    /// Per-decision latency percentiles (µs); absent for the batch API
+    /// mode, whose per-decision cost is only observable amortised.
+    p50_us: Option<f64>,
+    p99_us: Option<f64>,
+    elapsed_s: f64,
+    decisions: usize,
+}
+
+fn main() {
+    let mut objects = 64usize;
+    let mut accesses = 1000usize;
+    let mut threads = 0usize;
+    let mut out = String::from("BENCH_decide.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let val = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for {key}");
+            std::process::exit(2);
+        });
+        match key {
+            "--objects" => objects = val.parse().expect("--objects"),
+            "--accesses" => accesses = val.parse().expect("--accesses"),
+            "--threads" => threads = val.parse().expect("--threads"),
+            "--out" => out = val.clone(),
+            _ => {
+                eprintln!("unknown flag {key} (expected --objects/--accesses/--threads/--out)");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    if threads == 0 {
+        threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+    }
+    threads = threads.min(objects.max(1));
+
+    eprintln!("bench_decide: {objects} objects x {accesses} accesses, {threads} threads");
+
+    let results = vec![
+        run_sequential("from-scratch-sequential", objects, accesses, false),
+        run_sequential("incremental-sequential", objects, accesses, true),
+        run_parallel("incremental-global-lock", objects, accesses, threads, true),
+        run_parallel(
+            "incremental-snapshot-parallel",
+            objects,
+            accesses,
+            threads,
+            false,
+        ),
+        run_batch_api("incremental-snapshot-batch", objects, accesses),
+    ];
+
+    for r in &results {
+        match (r.p50_us, r.p99_us) {
+            (Some(p50), Some(p99)) => eprintln!(
+                "  {:<30} {:>12.0} ops/s  p50 {:>8.2} us  p99 {:>8.2} us",
+                r.name, r.ops_per_sec, p50, p99
+            ),
+            _ => eprintln!(
+                "  {:<30} {:>12.0} ops/s  (amortised; no per-decision timing)",
+                r.name, r.ops_per_sec
+            ),
+        }
+    }
+
+    let json = render_json(objects, accesses, threads, &results);
+    std::fs::write(&out, json).expect("write --out");
+    eprintln!("wrote {out}");
+}
+
+/// The shared fixture: a reactive guard over the fleet model, everyone
+/// enrolled, plus the deterministic access vocabulary (4 servers so the
+/// cursor alphabet has more than one symbol).
+fn fleet_guard(objects: usize, accesses: usize, incremental: bool) -> CoordinatedGuard {
+    // Capacity beyond the workload: every decision is a grant, so the
+    // measured cost is the spatial check, not a denial short-circuit.
+    let guard = CoordinatedGuard::new(ExtendedRbac::new(fleet_model(objects, "rsw", accesses + 2)))
+        .with_mode(EnforcementMode::Reactive);
+    guard.with_rbac(|r| r.set_incremental(incremental));
+    for i in 0..objects {
+        guard.enroll(format!("n{i}"), ["licensee"]);
+    }
+    guard
+}
+
+fn vocab() -> Vec<Access> {
+    (0..4)
+        .map(|s| Access::new("exec", "rsw", format!("s{s}")))
+        .collect()
+}
+
+/// Pre-intern the vocabulary so the first cursor built for an object
+/// already covers every access the workload will present (mirrors
+/// `saturate_alphabet` for constraints that mention accesses only
+/// through selectors).
+fn warm_table(vocab: &[Access]) -> AccessTable {
+    let mut table = AccessTable::new();
+    for a in vocab {
+        table.intern(a);
+    }
+    table
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn stats(name: &'static str, elapsed_s: f64, mut lat_us: Vec<f64>, decisions: usize) -> ModeResult {
+    lat_us.sort_by(f64::total_cmp);
+    ModeResult {
+        name,
+        ops_per_sec: decisions as f64 / elapsed_s,
+        p50_us: Some(percentile(&lat_us, 0.50)),
+        p99_us: Some(percentile(&lat_us, 0.99)),
+        elapsed_s,
+        decisions,
+    }
+}
+
+/// One thread, round-robin over the fleet (the harshest interleaving for
+/// a from-scratch core: every object's history grows between its
+/// consecutive decisions).
+fn run_sequential(
+    name: &'static str,
+    objects: usize,
+    accesses: usize,
+    incremental: bool,
+) -> ModeResult {
+    let guard = fleet_guard(objects, accesses, incremental);
+    let proofs = ProofStore::new();
+    let vocab = vocab();
+    let mut table = warm_table(&vocab);
+    let names: Vec<String> = (0..objects).map(|i| format!("n{i}")).collect();
+    let programs: Vec<Program> = vocab.iter().map(|a| Program::Access(a.clone())).collect();
+
+    let mut lat_us = Vec::with_capacity(objects * accesses);
+    let start = Instant::now();
+    for k in 0..accesses {
+        let a = &vocab[k % vocab.len()];
+        let prog = &programs[k % vocab.len()];
+        let time = TimePoint::new(k as f64);
+        for obj in &names {
+            let req = GuardRequest {
+                object: obj,
+                access: a,
+                remaining: prog,
+                time,
+            };
+            let t0 = Instant::now();
+            let v = guard.decide(&req, &proofs, &mut table);
+            lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            assert!(v.is_granted(), "fleet workload must be all-grant");
+            proofs.issue(obj, a.clone(), time);
+        }
+    }
+    stats(
+        name,
+        start.elapsed().as_secs_f64(),
+        lat_us,
+        objects * accesses,
+    )
+}
+
+/// N threads, the fleet partitioned round-robin across them; with
+/// `global_lock`, every decide+issue runs under one external mutex —
+/// the pre-PR `Mutex<ExtendedRbac>` locking discipline. Without it, the
+/// only serialization is the per-object gate shard inside the core.
+fn run_parallel(
+    name: &'static str,
+    objects: usize,
+    accesses: usize,
+    threads: usize,
+    global_lock: bool,
+) -> ModeResult {
+    let guard = fleet_guard(objects, accesses, true);
+    let proofs = ProofStore::new();
+    let vocab = vocab();
+    let names: Vec<String> = (0..objects).map(|i| format!("n{i}")).collect();
+    let programs: Vec<Program> = vocab.iter().map(|a| Program::Access(a.clone())).collect();
+    let lock = Mutex::new(());
+
+    let mut lat_us: Vec<f64> = Vec::with_capacity(objects * accesses);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (guard, proofs, vocab, names, programs, lock) =
+                    (&guard, &proofs, &vocab, &names, &programs, &lock);
+                s.spawn(move || {
+                    // Each thread owns a fixed slice of the fleet, so an
+                    // object's cursor is always advanced under the same
+                    // thread-local table and stays in sync.
+                    let mut table = warm_table(vocab);
+                    let mine: Vec<&String> = names.iter().skip(t).step_by(threads).collect();
+                    let mut lat = Vec::with_capacity(mine.len() * accesses);
+                    for k in 0..accesses {
+                        let a = &vocab[k % vocab.len()];
+                        let prog = &programs[k % vocab.len()];
+                        let time = TimePoint::new(k as f64);
+                        for obj in &mine {
+                            let req = GuardRequest {
+                                object: obj,
+                                access: a,
+                                remaining: prog,
+                                time,
+                            };
+                            let t0 = Instant::now();
+                            let v = if global_lock {
+                                let _g = lock.lock().expect("global lock");
+                                let v = guard.decide(&req, proofs, &mut table);
+                                if v.is_granted() {
+                                    proofs.issue(obj, a.clone(), time);
+                                }
+                                v
+                            } else {
+                                let v = guard.decide(&req, proofs, &mut table);
+                                if v.is_granted() {
+                                    proofs.issue(obj, a.clone(), time);
+                                }
+                                v
+                            };
+                            lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                            assert!(v.is_granted(), "fleet workload must be all-grant");
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            lat_us.extend(h.join().expect("bench worker"));
+        }
+    });
+    stats(
+        name,
+        start.elapsed().as_secs_f64(),
+        lat_us,
+        objects * accesses,
+    )
+}
+
+/// The public `decide_batch` API: the whole workload in one call,
+/// round-robin order, proofs issued inside the batch. Reports amortised
+/// throughput only (per-decision timing isn't observable through the
+/// API).
+fn run_batch_api(name: &'static str, objects: usize, accesses: usize) -> ModeResult {
+    let guard = fleet_guard(objects, accesses, true);
+    let proofs = ProofStore::new();
+    let vocab = vocab();
+    let names: Vec<String> = (0..objects).map(|i| format!("n{i}")).collect();
+    let programs: Vec<Program> = vocab.iter().map(|a| Program::Access(a.clone())).collect();
+
+    let mut reqs = Vec::with_capacity(objects * accesses);
+    for k in 0..accesses {
+        for obj in &names {
+            reqs.push(BatchRequest {
+                object: obj,
+                access: &vocab[k % vocab.len()],
+                remaining: &programs[k % vocab.len()],
+                time: TimePoint::new(k as f64),
+            });
+        }
+    }
+
+    let start = Instant::now();
+    let verdicts = guard.decide_batch(&reqs, &proofs, true);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(
+        verdicts.iter().all(|v| v.is_granted()),
+        "fleet workload must be all-grant"
+    );
+    ModeResult {
+        name,
+        ops_per_sec: verdicts.len() as f64 / elapsed,
+        p50_us: None,
+        p99_us: None,
+        elapsed_s: elapsed,
+        decisions: verdicts.len(),
+    }
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+fn render_json(objects: usize, accesses: usize, threads: usize, results: &[ModeResult]) -> String {
+    let find = |n: &str| results.iter().find(|r| r.name == n).expect("mode present");
+    let scratch = find("from-scratch-sequential");
+    let inc = find("incremental-sequential");
+    let locked = find("incremental-global-lock");
+    let snap = find("incremental-snapshot-parallel");
+    let batch = find("incremental-snapshot-batch");
+    let best = results.iter().map(|r| r.ops_per_sec).fold(0.0f64, f64::max);
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"E12-decide-throughput\",\n");
+    s.push_str(&format!("  \"objects\": {objects},\n"));
+    s.push_str(&format!("  \"accesses_per_object\": {accesses},\n"));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str("  \"modes\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!("    \"{}\": {{\n", r.name));
+        s.push_str(&format!(
+            "      \"ops_per_sec\": {},\n",
+            json_num(r.ops_per_sec)
+        ));
+        s.push_str(&format!(
+            "      \"p50_us\": {},\n",
+            r.p50_us.map(json_num).unwrap_or_else(|| "null".into())
+        ));
+        s.push_str(&format!(
+            "      \"p99_us\": {},\n",
+            r.p99_us.map(json_num).unwrap_or_else(|| "null".into())
+        ));
+        s.push_str(&format!(
+            "      \"elapsed_s\": {},\n",
+            json_num(r.elapsed_s)
+        ));
+        s.push_str(&format!("      \"decisions\": {}\n", r.decisions));
+        s.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"speedup_incremental_vs_from_scratch\": {},\n",
+        json_num(inc.ops_per_sec / scratch.ops_per_sec)
+    ));
+    s.push_str(&format!(
+        "  \"speedup_snapshot_vs_global_lock\": {},\n",
+        json_num(snap.ops_per_sec / locked.ops_per_sec)
+    ));
+    s.push_str(&format!(
+        "  \"speedup_batch_api_vs_from_scratch\": {},\n",
+        json_num(batch.ops_per_sec / scratch.ops_per_sec)
+    ));
+    s.push_str(&format!(
+        "  \"speedup_best_vs_from_scratch\": {}\n",
+        json_num(best / scratch.ops_per_sec)
+    ));
+    s.push_str("}\n");
+    s
+}

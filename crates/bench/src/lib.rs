@@ -304,6 +304,40 @@ pub fn open_model(user: &str, resource: &str) -> RbacModel {
     m
 }
 
+/// A fleet of `objects` independent mobile objects (`n0`..`n{N-1}`), all
+/// activating the same `licensee` role whose single permission carries a
+/// cardinality constraint on `resource` (E12 decide-throughput workload).
+///
+/// `cap` must exceed the per-object access count so every decision is a
+/// grant: the interesting cost is then the spatial `P ⊨ C` check itself,
+/// not denial short-circuits. The counting automaton for `at_most(cap)`
+/// has `cap + 2` states, which is exactly what makes the from-scratch
+/// slow path expensive (it re-walks the whole per-object history and
+/// clones that automaton on every decision) while the incremental cursor
+/// advances one transition per grant.
+pub fn fleet_model(objects: usize, resource: &str, cap: usize) -> RbacModel {
+    let mut m = RbacModel::new();
+    m.add_role("licensee");
+    m.add_permission(
+        Permission::new(
+            "p",
+            AccessPattern::parse(&format!("*:{resource}:*")).unwrap(),
+        )
+        .with_spatial(Constraint::at_most(
+            cap,
+            Selector::any().with_resources([resource]),
+        )),
+    )
+    .unwrap();
+    m.assign_permission("licensee", "p").unwrap();
+    for i in 0..objects {
+        let user = format!("n{i}");
+        m.add_user(&user);
+        m.assign_user(&user, "licensee").unwrap();
+    }
+    m
+}
+
 /// Fit the slope of `log(y) ~ slope * log(x) + c` — the empirical scaling
 /// exponent used to validate the O(m×n) claim (slope ≈ 1 in each factor).
 pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {

@@ -353,18 +353,27 @@ pub fn sim(args: &[String]) -> Result<(), String> {
 }
 
 /// `stacl sim run [--seeds N] [--start-seed S] [--oracle-bug B]
-/// [--out DIR] [--max-seconds T]`
+/// [--out DIR] [--max-seconds T] [--batch true|false]`
 ///
 /// Sweeps `N` seeded episodes starting at `S`, cross-checking the real
 /// guard against the reference oracle. Exits non-zero if any episode
 /// diverges; with `--out DIR` every diverging seed's full repro dump is
 /// written to `DIR/seed-<seed>.txt`. `--max-seconds` stops the sweep
-/// early (for time-boxed nightly runs).
+/// early (for time-boxed nightly runs). `--batch true` drives episodes
+/// through the parallel `decide_batch` path — episode logs (and thus
+/// divergence results) are byte-identical to the sequential driver's.
 pub fn sim_run(args: &[String]) -> Result<(), String> {
-    use stacl_sim::{episode_for_seed, repro, OracleBug, SweepReport};
+    use stacl_sim::{episode_for_seed_batched, repro, OracleBug, SweepReport};
     let opts = Opts::parse(
         args,
-        &["seeds", "start-seed", "oracle-bug", "out", "max-seconds"],
+        &[
+            "seeds",
+            "start-seed",
+            "oracle-bug",
+            "out",
+            "max-seconds",
+            "batch",
+        ],
     )?;
     let [] = opts.expect_positional(&[])? else {
         unreachable!()
@@ -374,6 +383,7 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
     let bug = OracleBug::parse(opts.get("oracle-bug").unwrap_or("none"))?;
     let out_dir = opts.get("out").map(str::to_string);
     let max_seconds: f64 = opts.get_parsed("max-seconds", 0.0)?;
+    let batch: bool = opts.get_parsed("batch", false)?;
 
     if let Some(dir) = &out_dir {
         fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
@@ -385,7 +395,11 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
             println!("time budget reached after {} episodes", report.episodes);
             break;
         }
-        let ep = episode_for_seed(seed, bug);
+        let ep = if batch {
+            episode_for_seed_batched(seed, bug)
+        } else {
+            stacl_sim::episode_for_seed(seed, bug)
+        };
         if ep.divergence.is_some() {
             if let Some(dir) = &out_dir {
                 let path = format!("{dir}/seed-{seed}.txt");

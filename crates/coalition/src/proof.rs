@@ -133,6 +133,30 @@ impl ProofStore {
         self.shard(object).map_or(0, |s| s.read().len())
     }
 
+    /// The object's append watermark: how many proofs have been issued
+    /// for it so far. Shards are strictly append-only, so the watermark
+    /// is monotone — an incremental cursor that has consumed `n ≤
+    /// watermark` proofs can catch up by visiting exactly the suffix
+    /// `[n, watermark)` (see [`ProofStore::visit_suffix`]); a cursor
+    /// with `n > watermark` was built against a *different* store and
+    /// must be invalidated.
+    pub fn watermark_of(&self, object: &str) -> usize {
+        self.len_of(object)
+    }
+
+    /// Visit the object's proofs from index `from` (in issue order) —
+    /// the subscription primitive incremental cursors use to fold in
+    /// accesses proven since they were last advanced. The shard's read
+    /// lock is held for the duration of the walk, so `f` must not call
+    /// back into this store.
+    pub fn visit_suffix(&self, object: &str, from: usize, mut f: impl FnMut(&ExecutionProof)) {
+        if let Some(s) = self.shard(object) {
+            for p in s.read().iter().skip(from) {
+                f(p);
+            }
+        }
+    }
+
     /// The combined history of *all* objects in issue order — the
     /// coalition-wide view used for teamwork constraints ("the previous
     /// access actions of the device and even of its companions", §1).
@@ -204,6 +228,28 @@ mod tests {
         assert_eq!(p0.seq, 0);
         assert_eq!(p1.seq, 1);
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn watermark_and_suffix_subscription() {
+        let store = ProofStore::new();
+        assert_eq!(store.watermark_of("o"), 0);
+        store.issue("o", Access::new("a", "r", "s1"), tp(0.0));
+        store.issue("other", Access::new("z", "r", "s1"), tp(0.2));
+        store.issue("o", Access::new("b", "r", "s1"), tp(0.5));
+        let wm = store.watermark_of("o");
+        assert_eq!(wm, 2, "other objects' proofs don't move the watermark");
+        store.issue("o", Access::new("c", "r", "s2"), tp(1.0));
+        // Catching up from the old watermark visits exactly the new suffix.
+        let mut seen = Vec::new();
+        store.visit_suffix("o", wm, |p| seen.push(p.access.clone()));
+        assert_eq!(seen, vec![Access::new("c", "r", "s2")]);
+        // From the current watermark there is nothing to visit; unknown
+        // objects are empty.
+        store.visit_suffix("o", store.watermark_of("o"), |_| {
+            panic!("no suffix expected")
+        });
+        store.visit_suffix("ghost", 0, |_| panic!("no shard expected"));
     }
 
     #[test]

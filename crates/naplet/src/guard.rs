@@ -11,18 +11,25 @@
 //! record) in **per-object shards** behind fine-grained locks and exposes
 //! a `&self` decision path ([`CoordinatedGuard::decide`]), so one guard
 //! can serve concurrent per-object request streams; the
-//! [`SecurityGuard`] impl is a thin `&mut` adapter over it.
+//! [`SecurityGuard`] impl is a thin `&mut` adapter over it. The decision
+//! core itself is `&self` too ([`ExtendedRbac::decide`]), held behind a
+//! read-write lock that decisions only *read* — writers are the rare
+//! policy mutations ([`CoordinatedGuard::with_rbac`]) and first-contact
+//! session opens. [`CoordinatedGuard::decide_batch`] fans a batch of
+//! requests across object shards on a scoped thread pool.
 
 use stacl_coalition::{DecisionKind, ProofStore, Verdict};
 use stacl_ids::sync::{Mutex, RwLock};
 use stacl_rbac::{AccessRequest, ExtendedRbac, SessionId};
-use stacl_srac::Constraint;
+use stacl_srac::check::{check_residual_cached, ConstraintCache, Semantics};
+use stacl_srac::{Constraint, ConstraintCursor};
 use stacl_sral::ast::{name, Name};
 use stacl_sral::{Access, Program};
 use stacl_temporal::TimePoint;
 use stacl_trace::AccessTable;
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One interception: everything a guard may consult.
@@ -103,14 +110,19 @@ struct ObjectState {
 /// opens a session and activates the roles registered for the object via
 /// [`CoordinatedGuard::enroll`].
 ///
-/// All state lives behind interior locks: the decision core in one
-/// [`Mutex`], each object's session/clean record in its own shard. The
-/// real decision path is the `&self` [`CoordinatedGuard::decide`];
-/// [`SecurityGuard::check`] simply forwards to it.
+/// All state lives behind interior locks: each object's session/clean
+/// record in its own shard, the decision core behind a read-write lock
+/// that the decide path only ever *reads* (the core's own per-object
+/// gates provide mutual exclusion where it matters — see
+/// `ExtendedRbac`'s module docs). The real decision path is the `&self`
+/// [`CoordinatedGuard::decide`]; [`SecurityGuard::check`] simply
+/// forwards to it.
 pub struct CoordinatedGuard {
-    /// The decision core. Lock order: object shard first, then this —
+    /// The decision core. Decisions take the read lock; policy mutations
+    /// ([`CoordinatedGuard::with_rbac`]) and first-contact session opens
+    /// take the write lock. Lock order: object shard first, then this —
     /// never the reverse.
-    rbac: Mutex<ExtendedRbac>,
+    rbac: RwLock<ExtendedRbac>,
     /// object → roles to activate on first contact.
     enrollments: RwLock<HashMap<Name, Vec<Name>>>,
     /// object → its guard-state shard (created lazily, only for enrolled
@@ -126,7 +138,7 @@ impl CoordinatedGuard {
     /// Wrap a configured extended-RBAC instance (preventive mode).
     pub fn new(rbac: ExtendedRbac) -> Self {
         CoordinatedGuard {
-            rbac: Mutex::new(rbac),
+            rbac: RwLock::new(rbac),
             enrollments: RwLock::new(HashMap::new()),
             objects: RwLock::new(HashMap::new()),
             mode: EnforcementMode::Preventive,
@@ -160,8 +172,10 @@ impl CoordinatedGuard {
 
     /// Run a closure against the underlying RBAC engine (e.g. to inspect
     /// permission states after a run, or to define validity classes).
+    /// Takes the core's write lock: concurrent decisions drain first and
+    /// observe the mutation's effects afterwards.
     pub fn with_rbac<R>(&self, f: impl FnOnce(&mut ExtendedRbac) -> R) -> R {
-        f(&mut self.rbac.lock())
+        f(&mut self.rbac.write())
     }
 
     /// The state shard for `object`, created on first contact — but only
@@ -197,9 +211,11 @@ impl CoordinatedGuard {
     }
 
     /// The `&self` decision path. Decisions for one object serialize on
-    /// that object's shard; the decision core is locked only for the
-    /// actual gate call. In the steady state (session open, approvals
-    /// reusable) a granted decision allocates nothing.
+    /// that object's shard; the decision core is only *read*-locked (its
+    /// own per-object gates serialize what must be), so decisions for
+    /// distinct objects run concurrently. In the steady state (session
+    /// open, cursor warm or approvals reusable) a granted decision
+    /// allocates nothing.
     pub fn decide(
         &self,
         req: &GuardRequest<'_>,
@@ -211,10 +227,12 @@ impl CoordinatedGuard {
         };
         // Lock order: object shard, then the rbac core.
         let mut st = state.lock();
-        let mut rbac = self.rbac.lock();
         let sid = match st.session {
             Some(sid) => sid,
             None => {
+                // First contact: session open mutates the core — brief
+                // write lock, released before the decision proper.
+                let mut rbac = self.rbac.write();
                 let Some(sid) = self.open_session_for(&mut rbac, req.object) else {
                     return DecisionKind::DeniedNoPermission.into();
                 };
@@ -222,6 +240,7 @@ impl CoordinatedGuard {
                 sid
             }
         };
+        let rbac = self.rbac.read();
         // In reactive mode only the attempted access itself is declared.
         let single;
         let program: &Program = match self.mode {
@@ -250,9 +269,109 @@ impl CoordinatedGuard {
     }
 
     /// `&self` arrival notification (see [`SecurityGuard::note_arrival`]).
+    /// A read lock suffices: arrivals touch only the object's own gate
+    /// shard inside the core.
     pub fn note_arrival(&self, object: &str, time: TimePoint) {
-        self.rbac.lock().note_arrival(object, time);
+        self.rbac.read().note_arrival(object, time);
     }
+
+    /// Decide a batch of requests in parallel, fanned across object
+    /// shards on a scoped thread pool. Per-object request order is
+    /// preserved (each object's requests run sequentially, in batch
+    /// order, on one worker); requests for distinct objects run
+    /// concurrently and the result vector lines up with `requests`.
+    ///
+    /// With `issue_proofs`, each grant's execution proof is issued
+    /// (timestamped [`BatchRequest::time`]) before the object's next
+    /// request — required for within-batch spatial correctness when the
+    /// caller doesn't interleave issuance itself.
+    ///
+    /// Callers must only batch requests whose decisions are independent:
+    /// verdicts depend on per-object state plus the proof store, so
+    /// batching is sound per object — but *team-scoped* constraints read
+    /// companions' proofs, and those grow in nondeterministic order
+    /// within a batch. Batch team-scoped workloads one request at a time
+    /// (the sim driver does exactly that).
+    pub fn decide_batch(
+        &self,
+        requests: &[BatchRequest<'_>],
+        proofs: &ProofStore,
+        issue_proofs: bool,
+    ) -> Vec<Verdict> {
+        // Group request indices by object, preserving first-seen order
+        // (and per-object order within each group).
+        let mut order: Vec<&str> = Vec::new();
+        let mut by_object: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, r) in requests.iter().enumerate() {
+            by_object
+                .entry(r.object)
+                .or_insert_with(|| {
+                    order.push(r.object);
+                    Vec::new()
+                })
+                .push(i);
+        }
+        let groups: Vec<Vec<usize>> = order
+            .iter()
+            .map(|o| by_object.remove(o).expect("group exists"))
+            .collect();
+
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(groups.len())
+            .max(1);
+        let slots: Vec<Mutex<Option<Verdict>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    // Verdicts are independent of the caller's table (ids
+                    // are internal to a decision), so each worker interns
+                    // into its own.
+                    let mut table = AccessTable::new();
+                    loop {
+                        let g = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(group) = groups.get(g) else { break };
+                        for &i in group {
+                            let r = &requests[i];
+                            let gr = GuardRequest {
+                                object: r.object,
+                                access: r.access,
+                                remaining: r.remaining,
+                                time: r.time,
+                            };
+                            let v = self.decide(&gr, proofs, &mut table);
+                            if issue_proofs && v.is_granted() {
+                                proofs.issue(r.object, r.access.clone(), r.time);
+                            }
+                            *slots[i].lock() = Some(v);
+                        }
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("every slot filled"))
+            .collect()
+    }
+}
+
+/// One element of a [`CoordinatedGuard::decide_batch`] batch — a
+/// [`GuardRequest`] by another shape (no lifetime-juggling borrows of a
+/// loop-local `GuardRequest`).
+#[derive(Debug)]
+pub struct BatchRequest<'a> {
+    /// The requesting mobile object.
+    pub object: &'a str,
+    /// The access being attempted.
+    pub access: &'a Access,
+    /// The object's remaining program, including the attempted access.
+    pub remaining: &'a Program,
+    /// Current virtual time.
+    pub time: TimePoint,
 }
 
 impl SecurityGuard for CoordinatedGuard {
@@ -272,14 +391,73 @@ impl SecurityGuard for CoordinatedGuard {
 
 /// A guard enforcing one global SRAC constraint on every object — handy
 /// for tests and ablations that isolate the spatial checker from RBAC.
+///
+/// Checks run through the same per-object [`ConstraintCursor`] fast path
+/// as the coordinated gate: the old implementation re-materialised the
+/// object's *entire* proof history (one `Trace` allocation + full
+/// automaton re-walk) on every check; the cursor folds in only the
+/// proofs issued since the previous check and falls back to the
+/// from-scratch walk exactly when invalid (same rules as
+/// `ExtendedRbac` — see DESIGN.md §8).
 pub struct SpatialOnlyGuard {
     constraint: Constraint,
+    cache: ConstraintCache,
+    cursors: HashMap<Name, ConstraintCursor>,
 }
 
 impl SpatialOnlyGuard {
     /// Guard with a single coalition-wide constraint.
     pub fn new(constraint: Constraint) -> Self {
-        SpatialOnlyGuard { constraint }
+        SpatialOnlyGuard {
+            constraint,
+            cache: ConstraintCache::new(),
+            cursors: HashMap::new(),
+        }
+    }
+
+    fn holds(
+        &mut self,
+        req: &GuardRequest<'_>,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> bool {
+        let watermark = proofs.watermark_of(req.object);
+        if let Some(cur) = self.cursors.get_mut(req.object) {
+            if cur.in_sync_with(table) && cur.consumed() <= watermark {
+                let mut ok = true;
+                {
+                    let tbl: &AccessTable = table;
+                    proofs.visit_suffix(req.object, cur.consumed(), |p| {
+                        if ok {
+                            ok = cur.advance_access(&p.access, tbl);
+                        }
+                    });
+                }
+                if ok {
+                    if let Some(h) = cur.check_residual_program(req.remaining, table) {
+                        return h;
+                    }
+                }
+            }
+        }
+        // Slow path + cursor rebuild.
+        let history = proofs.history_of(req.object, table);
+        let holds = check_residual_cached(
+            &history,
+            req.remaining,
+            &self.constraint,
+            table,
+            Semantics::ForAll,
+            &mut self.cache,
+        )
+        .holds;
+        let mut cursor = ConstraintCursor::new(&self.constraint, table, &mut self.cache);
+        if cursor.advance_trace(&history) {
+            self.cursors.insert(name(req.object), cursor);
+        } else {
+            self.cursors.remove(req.object);
+        }
+        holds
     }
 }
 
@@ -290,15 +468,7 @@ impl SecurityGuard for SpatialOnlyGuard {
         proofs: &ProofStore,
         table: &mut AccessTable,
     ) -> Verdict {
-        let history = proofs.history_of(req.object, table);
-        let verdict = stacl_srac::check::check_residual(
-            &history,
-            req.remaining,
-            &self.constraint,
-            table,
-            stacl_srac::check::Semantics::ForAll,
-        );
-        if verdict.holds {
+        if self.holds(req, proofs, table) {
             Verdict::granted()
         } else {
             Verdict::denied(DecisionKind::DeniedSpatial, self.constraint.to_string())

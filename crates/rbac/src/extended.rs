@@ -28,14 +28,47 @@
 //! decision performs **zero heap allocations**. The original string-keyed
 //! procedure survives as [`ExtendedRbac::decide_string_keyed`] so the
 //! ablation experiments can measure exactly what interning buys.
+//!
+//! ## The concurrent decision path
+//!
+//! [`ExtendedRbac::decide`] takes `&self`: decisions for *distinct*
+//! objects never contend. Read-mostly policy state (the dense permission
+//! table) is published as an epoch-style [`Snapshot`] that readers load
+//! with an `Arc` bump; per-object mutable state (validity timelines,
+//! arrival log, spatial approvals, incremental constraint cursors) lives
+//! in one [`ObjectGate`] shard per object behind its own lock. Policy
+//! mutations (`&mut` methods behind the guard's write lock) publish new
+//! snapshots; the [`RbacModel::generation`] stamp invalidates everything
+//! derived.
+//!
+//! Lock order inside a decision: object gate → permission snapshot /
+//! session-perm map reads → constraint cache. The rebuild mutex
+//! serialises snapshot publication and is never taken while a gate is
+//! held by the same thread after the candidate lookup.
+//!
+//! ## The incremental fast path
+//!
+//! Spatial checks keep a per-(object, permission) [`ConstraintCursor`]:
+//! the constraint automaton's state after the object's proven history.
+//! On each decision the cursor folds in just the proofs issued since it
+//! last advanced (watermark subscription on the [`ProofStore`]) and
+//! answers the residual ∀-check from that state — `O(1)` for reactive
+//! single-access programs. The from-scratch `check_residual_cached` walk
+//! remains as the slow path, taken whenever a cursor is missing or
+//! invalid (table version mismatch, policy generation change, unknown
+//! proof symbols, watermark regression, team scope) — and rebuilds the
+//! cursor for the next decision. [`ExtendedRbac::set_incremental`]
+//! disables the fast path entirely for the E12 ablation.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use stacl_coalition::{DecisionKind, ProofStore, Verdict};
+use stacl_ids::sync::{Mutex, RwLock, Snapshot};
 use stacl_ids::{ClassId, IdKind, Interner, ObjectId, PermId};
 use stacl_srac::check::{check_residual_cached, ConstraintCache, Semantics};
-use stacl_srac::Constraint;
+use stacl_srac::{Constraint, ConstraintCursor};
 use stacl_sral::ast::Name;
 use stacl_sral::{Access, Program};
 use stacl_temporal::{BaseTimeScheme, PermissionTimeline, TimePoint};
@@ -117,8 +150,52 @@ struct SessionPerms {
     perms: Arc<Vec<PermId>>,
 }
 
-/// RBAC with coordinated spatio-temporal enforcement.
+/// The dense `PermId`-indexed permission table, published as a
+/// read-mostly [`Snapshot`]: decisions load it with an `Arc` bump and
+/// read it lock-free; candidate rebuilds copy-modify-publish under the
+/// rebuild mutex. Entries are `Arc`s so the copy is shallow.
+#[derive(Clone, Debug, Default)]
+struct PermTable {
+    /// The model generation the entries were filled against.
+    generation: u64,
+    entries: Vec<Option<Arc<PermEntry>>>,
+}
+
+/// One permission's incremental spatial cursor, tied to the policy
+/// generation whose constraint it compiled.
+#[derive(Debug)]
+struct SpatialCursor {
+    cursor: ConstraintCursor,
+    generation: u64,
+}
+
+/// All per-object mutable decision state, one shard per object: two
+/// decisions contend only when they concern the *same* object.
 #[derive(Debug, Default)]
+struct ObjectGate {
+    /// budget → validity timeline.
+    timelines: HashMap<BudgetKey, PermissionTimeline>,
+    /// Recorded server-arrival times (replayed into new timelines so
+    /// late-activated permissions see the same epochs).
+    arrivals: Vec<TimePoint>,
+    /// Permissions whose spatial constraint has been established for the
+    /// object's declared program (see [`AccessRequest::reuse_spatial`]).
+    spatial_ok: HashSet<PermId>,
+    /// Incremental residual-check cursors (the fast path).
+    cursors: HashMap<PermId, SpatialCursor>,
+}
+
+/// The string-keyed ablation state (see
+/// [`ExtendedRbac::decide_string_keyed`]), bundled behind one lock.
+#[derive(Debug, Default)]
+struct SkState {
+    timelines: HashMap<(Name, Name), PermissionTimeline>,
+    arrivals: HashMap<Name, Vec<TimePoint>>,
+    spatial_ok: HashSet<(Name, Name)>,
+}
+
+/// RBAC with coordinated spatio-temporal enforcement.
+#[derive(Debug)]
 pub struct ExtendedRbac {
     /// The underlying role/permission model. Mutating it through this
     /// field is detected via [`RbacModel::generation`] and invalidates
@@ -134,35 +211,52 @@ pub struct ExtendedRbac {
     perms: Interner<PermId>,
     /// Validity-class name interner.
     class_ids: Interner<ClassId>,
-    /// `PermId`-indexed permission attributes.
-    perm_table: Vec<Option<PermEntry>>,
-    /// The model generation `perm_table` was filled against.
-    table_generation: u64,
+    /// The published permission table (read-mostly snapshot).
+    perm_table: Snapshot<PermTable>,
+    /// Serialises `perm_table` copy-modify-publish cycles so concurrent
+    /// rebuilds cannot lose each other's entries.
+    rebuild: Mutex<()>,
     /// session → generation-validated candidate `PermId` list (in
     /// permission-name order, so iteration order matches the string path).
-    session_perms: HashMap<SessionId, SessionPerms>,
-    /// (object, budget) → validity timeline.
-    timelines: HashMap<(ObjectId, BudgetKey), PermissionTimeline>,
-    /// object → recorded server-arrival times (replayed into new
-    /// timelines so late-activated permissions see the same epochs).
-    arrivals: HashMap<ObjectId, Vec<TimePoint>>,
-    /// (object, permission) pairs whose spatial constraint has been
-    /// established for the object's declared program (see
-    /// [`AccessRequest::reuse_spatial`]).
-    spatial_ok: HashSet<(ObjectId, PermId)>,
+    session_perms: RwLock<HashMap<SessionId, SessionPerms>>,
+    /// object → its decision-state shard (created on first decision).
+    gates: RwLock<HashMap<ObjectId, Arc<Mutex<ObjectGate>>>>,
 
     /// Memo of compiled constraint automata (policies are stable; only
     /// programs and histories change between gate calls). Shared by both
     /// decision paths so the ablation isolates *keying*, not compilation.
-    cache: ConstraintCache,
+    cache: Mutex<ConstraintCache>,
     /// Named validity classes: shared budgets that aggregate the validity
     /// durations of all member permissions (the paper's future-work item).
     classes: HashMap<Name, (f64, BaseTimeScheme)>,
+    /// Whether the incremental cursor fast path is enabled (default on;
+    /// off reproduces the pre-cursor from-scratch core for the E12
+    /// ablation).
+    incremental: AtomicBool,
 
     // ---- string-keyed ablation state (decide_string_keyed) ----
-    timelines_sk: HashMap<(Name, Name), PermissionTimeline>,
-    arrivals_sk: HashMap<Name, Vec<TimePoint>>,
-    spatial_ok_sk: HashSet<(Name, Name)>,
+    sk: Mutex<SkState>,
+}
+
+impl Default for ExtendedRbac {
+    fn default() -> Self {
+        ExtendedRbac {
+            model: RbacModel::default(),
+            sessions: BTreeMap::new(),
+            next_session: 0,
+            objects: Interner::default(),
+            perms: Interner::default(),
+            class_ids: Interner::default(),
+            perm_table: Snapshot::default(),
+            rebuild: Mutex::new(()),
+            session_perms: RwLock::new(HashMap::new()),
+            gates: RwLock::new(HashMap::new()),
+            cache: Mutex::new(ConstraintCache::new()),
+            classes: HashMap::new(),
+            incremental: AtomicBool::new(true),
+            sk: Mutex::new(SkState::default()),
+        }
+    }
 }
 
 impl ExtendedRbac {
@@ -171,6 +265,37 @@ impl ExtendedRbac {
         ExtendedRbac {
             model,
             ..Default::default()
+        }
+    }
+
+    /// Enable or disable the incremental cursor fast path (default on).
+    /// With it off, every spatial check re-walks the full history from
+    /// scratch — the pre-cursor decision core, kept for the E12
+    /// throughput ablation. Verdicts are identical either way.
+    pub fn set_incremental(&self, on: bool) {
+        self.incremental.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the incremental fast path is enabled.
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental.load(Ordering::Relaxed)
+    }
+
+    /// Pre-intern every access mentioned by any permission's spatial
+    /// constraint, so the steady-state check path never has to grow the
+    /// table mid-decision: after saturation (and once the workload's own
+    /// access vocabulary is interned) the cursor fast path runs against
+    /// `&AccessTable` — `compile` and [`ConstraintCursor::check_one`]
+    /// need only read access — and cursors stop being invalidated by
+    /// late vocabulary growth. Call at policy-load time with each table
+    /// the guard will decide against.
+    pub fn saturate_alphabet(&self, table: &mut AccessTable) {
+        for p in self.model.permissions() {
+            if let Some(c) = &p.spatial {
+                for a in c.mentioned_accesses() {
+                    table.intern(a);
+                }
+            }
         }
     }
 
@@ -198,7 +323,7 @@ impl ExtendedRbac {
         let res = s.activate_role(model, role);
         if res.is_ok() {
             // The session's candidate set changed.
-            self.session_perms.remove(&session);
+            self.session_perms.write().remove(&session);
         }
         res
     }
@@ -230,44 +355,61 @@ impl ExtendedRbac {
     }
 
     /// Record that `object` arrived at a (new) coalition server at `time`.
-    /// Refills per-server validity budgets (Eq. 4.1's `t_b = t_i` scheme).
-    pub fn note_arrival(&mut self, object: &str, time: TimePoint) {
+    /// Refills per-server validity budgets (Eq. 4.1's `t_b = t_i`
+    /// scheme). Touches only the object's own gate shard — arrivals for
+    /// distinct objects never contend, and never block decisions for
+    /// other objects.
+    pub fn note_arrival(&self, object: &str, time: TimePoint) {
         let oid = self.objects.intern(object);
-        self.arrivals.entry(oid).or_default().push(time);
-        for (&(o, _), tl) in self.timelines.iter_mut() {
-            if o == oid {
-                tl.arrive_at_server(time);
-            }
+        let gate = self.gate_of(oid);
+        let mut gate = gate.lock();
+        gate.arrivals.push(time);
+        for tl in gate.timelines.values_mut() {
+            tl.arrive_at_server(time);
         }
+        drop(gate);
         // Mirror into the string-keyed ablation state.
-        self.arrivals_sk
+        let mut sk = self.sk.lock();
+        sk.arrivals
             .entry(stacl_sral::ast::name(object))
             .or_default()
             .push(time);
-        for ((o, _), tl) in self.timelines_sk.iter_mut() {
+        for ((o, _), tl) in sk.timelines.iter_mut() {
             if &**o == object {
                 tl.arrive_at_server(time);
             }
         }
     }
 
+    /// The decision-state shard for `object`, created on first use.
+    fn gate_of(&self, oid: ObjectId) -> Arc<Mutex<ObjectGate>> {
+        if let Some(g) = self.gates.read().get(&oid) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.gates.write().entry(oid).or_default())
+    }
+
     /// The candidate `PermId` list for a session, rebuilt when the model
     /// generation moved (or on the session's first decide / after a role
-    /// activation). Steady state: one `HashMap` hit + an `Arc` bump.
-    fn session_candidates(&mut self, sid: SessionId) -> Option<Arc<Vec<PermId>>> {
+    /// activation). Steady state: one read-locked `HashMap` hit + an
+    /// `Arc` bump. Rebuilds copy-modify-publish a new permission-table
+    /// snapshot under the rebuild mutex; readers are never blocked.
+    fn session_candidates(&self, sid: SessionId) -> Option<Arc<Vec<PermId>>> {
         let generation = self.model.generation();
-        if let Some(sp) = self.session_perms.get(&sid) {
+        if let Some(sp) = self.session_perms.read().get(&sid) {
             if sp.generation == generation {
                 return Some(Arc::clone(&sp.perms));
             }
         }
-        // The model changed since perm_table was filled: drop every dense
+        let _rebuilding = self.rebuild.lock();
+        let mut pt = (*self.perm_table.load()).clone();
+        // The model changed since the table was filled: drop every dense
         // entry so attributes are re-read from the current model.
-        if self.table_generation != generation {
-            for e in self.perm_table.iter_mut() {
+        if pt.generation != generation {
+            for e in pt.entries.iter_mut() {
                 *e = None;
             }
-            self.table_generation = generation;
+            pt.generation = generation;
         }
         let session = self.sessions.get(&sid)?;
         let names = session.available_permissions(&self.model);
@@ -275,12 +417,12 @@ impl ExtendedRbac {
         for n in &names {
             let pid = self.perms.intern(n);
             let idx = pid.as_usize();
-            if self.perm_table.len() <= idx {
-                self.perm_table.resize(idx + 1, None);
+            if pt.entries.len() <= idx {
+                pt.entries.resize(idx + 1, None);
             }
-            if self.perm_table[idx].is_none() {
+            if pt.entries[idx].is_none() {
                 if let Some(p) = self.model.permission(n) {
-                    self.perm_table[idx] = Some(PermEntry {
+                    pt.entries[idx] = Some(Arc::new(PermEntry {
                         name: p.name.clone(),
                         grants: p.grants.clone(),
                         spatial: p.spatial.clone(),
@@ -288,13 +430,14 @@ impl ExtendedRbac {
                         validity: p.validity,
                         scheme: p.scheme,
                         class: p.class.clone(),
-                    });
+                    }));
                 }
             }
             out.push(pid);
         }
+        self.perm_table.publish(pt);
         let perms = Arc::new(out);
-        self.session_perms.insert(
+        self.session_perms.write().insert(
             sid,
             SessionPerms {
                 generation,
@@ -307,10 +450,14 @@ impl ExtendedRbac {
     /// The paper's permission gate. On success the caller must issue an
     /// execution proof (via the [`ProofStore`]) and record the grant.
     ///
-    /// Runs entirely on interned ids; in the steady state (spatial
-    /// approval reusable, timeline memo warm) a grant allocates nothing.
+    /// Runs entirely on interned ids and takes `&self`: decisions for
+    /// distinct objects proceed concurrently, contending only on the
+    /// requested object's gate shard (plus short read locks and the
+    /// constraint cache on slow paths). In the steady state (cursor fast
+    /// path or spatial approval reusable, timeline memo warm) a grant
+    /// allocates nothing.
     pub fn decide(
-        &mut self,
+        &self,
         req: &AccessRequest<'_>,
         proofs: &ProofStore,
         table: &mut AccessTable,
@@ -326,13 +473,16 @@ impl ExtendedRbac {
             return DecisionKind::DeniedNoPermission.into();
         };
         let oid = self.objects.intern(req.object);
+        let entries = self.perm_table.load();
+        let gate_arc = self.gate_of(oid);
+        let mut gate = gate_arc.lock();
 
         // 2–3. Try each covering candidate: spatial, then temporal.
         let mut covered = false;
         let mut spatial_failure: Option<String> = None;
         let mut temporal_failure: Option<String> = None;
         for &pid in candidates.iter() {
-            let Some(entry) = self.perm_table.get(pid.as_usize()).and_then(|e| e.as_ref()) else {
+            let Some(entry) = entries.entries.get(pid.as_usize()).and_then(|e| e.as_ref()) else {
                 continue;
             };
             if !entry.grants.covers(req.access) {
@@ -347,26 +497,15 @@ impl ExtendedRbac {
                 // histories grow independently of this object's execution.
                 let already_approved = req.reuse_spatial
                     && entry.scope == HistoryScope::PerObject
-                    && self.spatial_ok.contains(&(oid, pid));
+                    && gate.spatial_ok.contains(&pid);
                 if !already_approved {
-                    let history = match entry.scope {
-                        HistoryScope::PerObject => proofs.history_of(req.object, table),
-                        HistoryScope::Team => proofs.combined_history(table),
-                    };
-                    let verdict = check_residual_cached(
-                        &history,
-                        req.program,
-                        c,
-                        table,
-                        Semantics::ForAll,
-                        &mut self.cache,
-                    );
-                    if !verdict.holds {
-                        self.spatial_ok.remove(&(oid, pid));
+                    let holds = self.spatial_holds(&mut gate, pid, entry, req, proofs, table);
+                    if !holds {
+                        gate.spatial_ok.remove(&pid);
                         spatial_failure = Some(c.to_string());
                         continue;
                     }
-                    self.spatial_ok.insert((oid, pid));
+                    gate.spatial_ok.insert(pid);
                 }
             }
 
@@ -386,12 +525,19 @@ impl ExtendedRbac {
                 },
                 None => (BudgetKey::Perm(pid), entry.validity, entry.scheme),
             };
-            let tl = self.timelines.entry((oid, bkey)).or_insert_with(|| {
+            // Destructure for disjoint field borrows: the timeline entry
+            // closure replays the arrival log.
+            let ObjectGate {
+                timelines,
+                arrivals,
+                ..
+            } = &mut *gate;
+            let tl = timelines.entry(bkey).or_insert_with(|| {
                 let mut tl = match validity {
                     Some(d) => PermissionTimeline::new(d, scheme),
                     None => PermissionTimeline::unlimited(scheme),
                 };
-                for &t in self.arrivals.get(&oid).map(|v| v.as_slice()).unwrap_or(&[]) {
+                for &t in arrivals.iter() {
                     if t <= req.time {
                         tl.arrive_at_server(t);
                     }
@@ -429,6 +575,106 @@ impl ExtendedRbac {
         }
     }
 
+    /// The spatial residual check for one candidate permission, trying
+    /// the incremental cursor fast path first (see the module docs and
+    /// DESIGN.md §8). The fast path may only *decline* — every verdict it
+    /// returns is identical to the from-scratch walk, which remains as
+    /// the slow path and (re)builds the cursor for the next decision.
+    fn spatial_holds(
+        &self,
+        gate: &mut ObjectGate,
+        pid: PermId,
+        entry: &PermEntry,
+        req: &AccessRequest<'_>,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> bool {
+        let c = entry
+            .spatial
+            .as_ref()
+            .expect("spatial_holds called only for constrained permissions");
+        // Team scope folds companions' histories, which grow behind this
+        // object's back: always from scratch. Likewise when the fast path
+        // is ablated away.
+        if entry.scope == HistoryScope::Team || !self.incremental_enabled() {
+            return self.check_scratch(entry.scope, c, req, proofs, table);
+        }
+        let generation = self.model.generation();
+        let watermark = proofs.watermark_of(req.object);
+        if let Some(sc) = gate.cursors.get_mut(&pid) {
+            // Validity: same policy generation (the compiled constraint is
+            // current), same table id-mapping, and the proof store hasn't
+            // been swapped under us (consumed beyond its watermark).
+            if sc.generation == generation
+                && sc.cursor.in_sync_with(table)
+                && sc.cursor.consumed() <= watermark
+            {
+                // Fold in exactly the proofs issued since the cursor last
+                // advanced. An unknown symbol aborts the fold, leaving the
+                // cursor partially advanced — invalid — and falls through
+                // to the slow path, which rebuilds it.
+                let mut ok = true;
+                {
+                    let tbl: &AccessTable = table;
+                    proofs.visit_suffix(req.object, sc.cursor.consumed(), |p| {
+                        if ok {
+                            ok = sc.cursor.advance_access(&p.access, tbl);
+                        }
+                    });
+                }
+                if ok {
+                    if let Some(holds) = sc.cursor.check_residual_program(req.program, table) {
+                        return holds;
+                    }
+                }
+            }
+        }
+        // Slow path + cursor rebuild.
+        let history = proofs.history_of(req.object, table);
+        let holds = check_residual_cached(
+            &history,
+            req.program,
+            c,
+            table,
+            Semantics::ForAll,
+            &mut self.cache.lock(),
+        )
+        .holds;
+        let mut cursor = ConstraintCursor::new(c, table, &mut self.cache.lock());
+        if cursor.advance_trace(&history) {
+            gate.cursors
+                .insert(pid, SpatialCursor { cursor, generation });
+        } else {
+            gate.cursors.remove(&pid);
+        }
+        holds
+    }
+
+    /// The from-scratch spatial check: re-derive the scoped history and
+    /// run `check_residual_cached` over it.
+    fn check_scratch(
+        &self,
+        scope: HistoryScope,
+        c: &Constraint,
+        req: &AccessRequest<'_>,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> bool {
+        let history = match scope {
+            HistoryScope::PerObject => proofs.history_of(req.object, table),
+            HistoryScope::Team => proofs.combined_history(table),
+        };
+        check_residual_cached(
+            &history,
+            req.program,
+            c,
+            table,
+            Semantics::ForAll,
+            &mut self.cache.lock(),
+        )
+        .holds
+    }
+
     /// The pre-interning decision procedure, kept verbatim for the
     /// string-keyed-vs-interned ablation (E10): every lookup hashes
     /// `Arc<str>` names, candidate sets are rebuilt per call, and the
@@ -438,7 +684,7 @@ impl ExtendedRbac {
     /// differs. Not part of the supported API.
     #[doc(hidden)]
     pub fn decide_string_keyed(
-        &mut self,
+        &self,
         req: &AccessRequest<'_>,
         proofs: &ProofStore,
         table: &mut AccessTable,
@@ -462,6 +708,7 @@ impl ExtendedRbac {
             return DecisionKind::DeniedNoPermission.into();
         }
 
+        let mut sk = self.sk.lock();
         let mut spatial_failure: Option<String> = None;
         let mut temporal_failure: Option<String> = None;
         for perm_name in candidates {
@@ -475,7 +722,7 @@ impl ExtendedRbac {
                 let ok_key = (stacl_sral::ast::name(req.object), perm.name.clone());
                 let already_approved = req.reuse_spatial
                     && perm.scope == HistoryScope::PerObject
-                    && self.spatial_ok_sk.contains(&ok_key);
+                    && sk.spatial_ok.contains(&ok_key);
                 if !already_approved {
                     let history = match perm.scope {
                         HistoryScope::PerObject => proofs.history_of(req.object, table),
@@ -487,14 +734,14 @@ impl ExtendedRbac {
                         c,
                         table,
                         Semantics::ForAll,
-                        &mut self.cache,
+                        &mut self.cache.lock(),
                     );
                     if !verdict.holds {
-                        self.spatial_ok_sk.remove(&ok_key);
+                        sk.spatial_ok.remove(&ok_key);
                         spatial_failure = Some(c.to_string());
                         continue;
                     }
-                    self.spatial_ok_sk.insert(ok_key);
+                    sk.spatial_ok.insert(ok_key);
                 }
             }
 
@@ -510,13 +757,17 @@ impl ExtendedRbac {
                 None => (perm.name.clone(), perm.validity, perm.scheme),
             };
             let key = (stacl_sral::ast::name(req.object), budget_key);
-            let tl = self.timelines_sk.entry(key).or_insert_with(|| {
+            let SkState {
+                timelines,
+                arrivals,
+                ..
+            } = &mut *sk;
+            let tl = timelines.entry(key).or_insert_with(|| {
                 let mut tl = match validity {
                     Some(d) => PermissionTimeline::new(d, scheme),
                     None => PermissionTimeline::unlimited(scheme),
                 };
-                for &t in self
-                    .arrivals_sk
+                for &t in arrivals
                     .get(req.object)
                     .map(|v| v.as_slice())
                     .unwrap_or(&[])
@@ -583,10 +834,14 @@ impl ExtendedRbac {
     /// The three-state classification of a permission for an object at a
     /// time (§4).
     pub fn permission_state(&self, object: &str, perm: &str, time: TimePoint) -> PermissionState {
-        let tl = self
-            .timeline_key(object, perm)
-            .and_then(|key| self.timelines.get(&key));
-        match tl {
+        let Some((oid, bkey)) = self.timeline_key(object, perm) else {
+            return PermissionState::Inactive;
+        };
+        let Some(gate) = self.gates.read().get(&oid).map(Arc::clone) else {
+            return PermissionState::Inactive;
+        };
+        let gate = gate.lock();
+        match gate.timelines.get(&bkey) {
             None => PermissionState::Inactive,
             Some(tl) => {
                 if !tl.active_fn().at(time) {
@@ -602,23 +857,29 @@ impl ExtendedRbac {
 
     /// Deactivate a permission for an object (role released, session
     /// closed, or an enforcement event set `valid` to 0).
-    pub fn release_permission(&mut self, object: &str, perm: &str, time: TimePoint) {
-        if let Some(key) = self.timeline_key(object, perm) {
-            if let Some(tl) = self.timelines.get_mut(&key) {
-                tl.deactivate(time);
+    pub fn release_permission(&self, object: &str, perm: &str, time: TimePoint) {
+        if let Some((oid, bkey)) = self.timeline_key(object, perm) {
+            if let Some(gate) = self.gates.read().get(&oid).map(Arc::clone) {
+                if let Some(tl) = gate.lock().timelines.get_mut(&bkey) {
+                    tl.deactivate(time);
+                }
             }
         }
         // Mirror into the string-keyed ablation state.
         let key_sk = (stacl_sral::ast::name(object), self.budget_key_sk(perm));
-        if let Some(tl) = self.timelines_sk.get_mut(&key_sk) {
+        if let Some(tl) = self.sk.lock().timelines.get_mut(&key_sk) {
             tl.deactivate(time);
         }
     }
 
-    /// Inspect a permission's timeline, if it ever became active.
-    pub fn timeline(&self, object: &str, perm: &str) -> Option<&PermissionTimeline> {
-        let key = self.timeline_key(object, perm)?;
-        self.timelines.get(&key)
+    /// Inspect a snapshot of a permission's timeline, if it ever became
+    /// active. Returns a clone: the live timeline sits behind the
+    /// object's gate lock.
+    pub fn timeline(&self, object: &str, perm: &str) -> Option<PermissionTimeline> {
+        let (oid, bkey) = self.timeline_key(object, perm)?;
+        let gate = self.gates.read().get(&oid).map(Arc::clone)?;
+        let tl = gate.lock().timelines.get(&bkey).cloned();
+        tl
     }
 }
 
@@ -655,7 +916,7 @@ mod tests {
 
     #[test]
     fn plain_grant() {
-        let (mut x, sid) = setup(exec_perm());
+        let (x, sid) = setup(exec_perm());
         let proofs = ProofStore::new();
         let mut table = AccessTable::new();
         let access = Access::new("exec", "rsw", "s1");
@@ -676,7 +937,7 @@ mod tests {
 
     #[test]
     fn denied_without_role_permission() {
-        let (mut x, sid) = setup(exec_perm());
+        let (x, sid) = setup(exec_perm());
         let proofs = ProofStore::new();
         let mut table = AccessTable::new();
         let access_ = Access::new("write", "db", "s1"); // not covered
@@ -699,7 +960,7 @@ mod tests {
         // Example 3.5 / the intro example: ≤5 coalition-wide accesses to
         // the restricted software.
         let perm = exec_perm().with_spatial(parse_constraint("count(0, 5, resource=rsw)").unwrap());
-        let (mut x, sid) = setup(perm);
+        let (x, sid) = setup(perm);
         let proofs = ProofStore::new();
         let mut table = AccessTable::new();
         // 5 proofs already accumulated on s1.
@@ -724,7 +985,7 @@ mod tests {
     #[test]
     fn spatial_constraint_allows_within_budget() {
         let perm = exec_perm().with_spatial(parse_constraint("count(0, 5, resource=rsw)").unwrap());
-        let (mut x, sid) = setup(perm);
+        let (x, sid) = setup(perm);
         let proofs = ProofStore::new();
         let mut table = AccessTable::new();
         for i in 0..4 {
@@ -799,7 +1060,7 @@ mod tests {
     #[test]
     fn temporal_validity_exhausts() {
         let perm = exec_perm().with_validity(5.0, BaseTimeScheme::WholeLifetime);
-        let (mut x, sid) = setup(perm);
+        let (x, sid) = setup(perm);
         let proofs = ProofStore::new();
         let mut table = AccessTable::new();
         x.note_arrival("naplet-1", tp(0.0));
@@ -830,7 +1091,7 @@ mod tests {
     #[test]
     fn per_server_scheme_refills_on_migration() {
         let perm = exec_perm().with_validity(5.0, BaseTimeScheme::CurrentServer);
-        let (mut x, sid) = setup(perm);
+        let (x, sid) = setup(perm);
         let proofs = ProofStore::new();
         let mut table = AccessTable::new();
         x.note_arrival("naplet-1", tp(0.0));
@@ -855,7 +1116,7 @@ mod tests {
     #[test]
     fn permission_state_transitions() {
         let perm = exec_perm().with_validity(2.0, BaseTimeScheme::WholeLifetime);
-        let (mut x, sid) = setup(perm);
+        let (x, sid) = setup(perm);
         let proofs = ProofStore::new();
         let mut table = AccessTable::new();
         assert_eq!(
@@ -1116,7 +1377,7 @@ mod tests {
     #[test]
     fn selector_counts_ignore_unrelated_history() {
         let perm = exec_perm().with_spatial(parse_constraint("count(0, 2, resource=rsw)").unwrap());
-        let (mut x, sid) = setup(perm);
+        let (x, sid) = setup(perm);
         let proofs = ProofStore::new();
         let mut table = AccessTable::new();
         // Lots of unrelated history.
@@ -1145,7 +1406,7 @@ mod tests {
         let perm = exec_perm()
             .with_spatial(parse_constraint("count(0, 3, resource=rsw)").unwrap())
             .with_validity(5.0, BaseTimeScheme::WholeLifetime);
-        let (mut x, sid) = setup(perm);
+        let (x, sid) = setup(perm);
         x.note_arrival("naplet-1", tp(0.0));
         let proofs = ProofStore::new();
         let mut table = AccessTable::new();

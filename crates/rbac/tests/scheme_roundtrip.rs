@@ -37,8 +37,8 @@ fn single_server_itinerary_verdicts_match_across_schemes() {
         128,
         |rng| {
             let validity = rng.gen_range(1i64..8) as f64;
-            let (mut per_server, sid_ps) = gate(validity, BaseTimeScheme::CurrentServer);
-            let (mut whole_life, sid_wl) = gate(validity, BaseTimeScheme::WholeLifetime);
+            let (per_server, sid_ps) = gate(validity, BaseTimeScheme::CurrentServer);
+            let (whole_life, sid_wl) = gate(validity, BaseTimeScheme::WholeLifetime);
             // The whole itinerary: a single arrival at the home server.
             let arrival = rng.gen_range(0i64..3) as f64;
             per_server.note_arrival("n0", TimePoint::new(arrival));
@@ -78,8 +78,8 @@ fn single_server_itinerary_verdicts_match_across_schemes() {
 fn migration_breaks_the_verdict_equivalence() {
     // Non-vacuity: with a second arrival, the per-server budget refills
     // and the schemes disagree after exhaustion.
-    let (mut per_server, sid_ps) = gate(3.0, BaseTimeScheme::CurrentServer);
-    let (mut whole_life, sid_wl) = gate(3.0, BaseTimeScheme::WholeLifetime);
+    let (per_server, sid_ps) = gate(3.0, BaseTimeScheme::CurrentServer);
+    let (whole_life, sid_wl) = gate(3.0, BaseTimeScheme::WholeLifetime);
     per_server.note_arrival("n0", TimePoint::new(0.0));
     whole_life.note_arrival("n0", TimePoint::new(0.0));
 

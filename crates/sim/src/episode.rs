@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use stacl_coalition::{CoalitionEnv, DecisionKind, ProofStore, Verdict};
-use stacl_naplet::guard::{CoordinatedGuard, GuardRequest};
+use stacl_naplet::guard::{BatchRequest, CoordinatedGuard, GuardRequest};
 use stacl_rbac::{AccessPattern, ExtendedRbac, Permission, RbacModel};
 use stacl_sral::{Access, Program};
 use stacl_temporal::TimePoint;
@@ -137,6 +137,35 @@ fn build_guard(sc: &Scenario) -> CoordinatedGuard {
 
 /// Run one episode, cross-checking every decision against the oracle.
 pub fn run_episode(sc: &Scenario, bug: Option<OracleBug>) -> Episode {
+    run_episode_with(sc, bug, false)
+}
+
+/// One pending access decision within a run of consecutive `Access`
+/// events over pairwise-distinct objects.
+struct PendingAccess<'a> {
+    /// Index of the event in [`Scenario::events`].
+    step: usize,
+    obj: usize,
+    access: &'a Access,
+    time: f64,
+    remaining: &'a [Access],
+    /// The declared remaining program — `None` when topology already
+    /// denied the access (the guard is never consulted then).
+    program: Option<Program>,
+}
+
+/// Run one episode, optionally fanning independent access decisions
+/// through [`CoordinatedGuard::decide_batch`].
+///
+/// With `batched`, maximal runs of consecutive `Access` events over
+/// pairwise-distinct objects are decided as one parallel batch; the
+/// oracle cross-check, logging and proof issuance still happen
+/// sequentially in event order afterwards, so the episode log is
+/// **byte-identical** to the sequential driver's for every seed.
+/// Scenarios containing any team-scoped permission degrade to batch
+/// size 1 (companion histories make cross-object decisions order-
+/// dependent).
+pub fn run_episode_with(sc: &Scenario, bug: Option<OracleBug>, batched: bool) -> Episode {
     let guard = build_guard(sc);
     let mut env = CoalitionEnv::new();
     for s in &sc.servers {
@@ -147,7 +176,14 @@ pub fn run_episode(sc: &Scenario, bug: Option<OracleBug>) -> Episode {
     }
     let proofs = ProofStore::new();
     let mut table = AccessTable::new();
+    // Pre-saturate the table with the policy's constraint vocabulary so
+    // steady-state cursor checks never grow it mid-decision (verdicts
+    // and logs are unaffected — they are table-id independent).
+    guard.with_rbac(|r| r.saturate_alphabet(&mut table));
     let mut oracle = ReferenceOracle::new(bug);
+    // Batching across objects is only sound when no permission reads
+    // companions' histories.
+    let can_batch = batched && !sc.perms.iter().any(|p| p.team_scope);
 
     // Each object's future accesses in schedule order; `cursor[i]` marks
     // how many it has already attempted (granted or not — a denied access
@@ -172,8 +208,9 @@ pub fn run_episode(sc: &Scenario, bug: Option<OracleBug>) -> Episode {
     let mut divergence = None;
 
     use std::fmt::Write as _;
-    for (step, event) in sc.events.iter().enumerate() {
-        match event {
+    let mut step = 0usize;
+    'events: while step < sc.events.len() {
+        match &sc.events[step] {
             Event::Arrival {
                 obj,
                 server,
@@ -188,72 +225,144 @@ pub fn run_episode(sc: &Scenario, bug: Option<OracleBug>) -> Episode {
                     oracle.note_arrival(*obj, *time);
                     let _ = writeln!(log, "[{time}] arrive {name} @ {server}");
                 }
+                step += 1;
             }
             Event::ServerDeath { server, time } => {
                 dead.insert(server.clone());
                 oracle.note_death(server);
                 let _ = writeln!(log, "[{time}] server-death {server}");
+                step += 1;
             }
-            Event::Access { obj, access, time } => {
-                let name = &sc.objects[*obj].name;
-                let remaining = &per_object[*obj][cursor[*obj]..];
-                cursor[*obj] += 1;
+            Event::Access { .. } => {
+                // Collect the maximal run of consecutive Access events
+                // over pairwise-distinct objects (just this event when
+                // not batching).
+                let mut run_end = step + 1;
+                if can_batch {
+                    let mut seen = BTreeSet::new();
+                    if let Event::Access { obj, .. } = &sc.events[step] {
+                        seen.insert(*obj);
+                    }
+                    while run_end < sc.events.len() {
+                        match &sc.events[run_end] {
+                            Event::Access { obj, .. } if seen.insert(*obj) => run_end += 1,
+                            _ => break,
+                        }
+                    }
+                }
 
-                let oracle_v = oracle.decide(sc, *obj, access, remaining, *time);
-
-                // The system pipeline: topology first, guard second.
-                let system_v: Verdict = if dead.contains(&*access.server)
-                    || env.resolve(access).is_err()
-                {
-                    Verdict::denied(
-                        DecisionKind::DeniedUnknownTarget,
-                        format!("server {} is unreachable", access.server),
-                    )
-                } else {
-                    let program = Program::seq_all(remaining.iter().cloned().map(Program::Access));
-                    let req = GuardRequest {
-                        object: name,
-                        access,
-                        remaining: &program,
-                        time: TimePoint::new(*time),
+                // Materialise the run's items in event order. Topology is
+                // resolved here (it is constant within the run: server
+                // deaths break it).
+                let mut items: Vec<PendingAccess<'_>> = Vec::with_capacity(run_end - step);
+                for i in step..run_end {
+                    let Event::Access { obj, access, time } = &sc.events[i] else {
+                        unreachable!("run contains only Access events");
                     };
-                    guard.decide(&req, &proofs, &mut table)
-                };
-
-                decisions += 1;
-                *histogram.entry(system_v.kind.label()).or_insert(0) += 1;
-                let _ = writeln!(
-                    log,
-                    "[{time}] access {name} {access} -> guard={} oracle={}",
-                    system_v.kind.label(),
-                    oracle_v.kind.label()
-                );
-
-                if system_v.kind != oracle_v.kind {
-                    divergence = Some(Divergence {
-                        step,
+                    let remaining = &per_object[*obj][cursor[*obj]..];
+                    cursor[*obj] += 1;
+                    let reachable = !dead.contains(&*access.server) && env.resolve(access).is_ok();
+                    let program = reachable
+                        .then(|| Program::seq_all(remaining.iter().cloned().map(Program::Access)));
+                    items.push(PendingAccess {
+                        step: i,
+                        obj: *obj,
+                        access,
                         time: *time,
-                        object: name.clone(),
-                        access: access.clone(),
-                        guard: system_v.kind,
-                        oracle: oracle_v.kind,
+                        remaining,
+                        program,
                     });
-                    let _ = writeln!(log, "DIVERGENCE at step {step}");
-                    break;
                 }
 
-                if system_v.is_granted() {
-                    // Proofs are stamped with the local server clock —
-                    // skew shifts timestamps but not decisions.
-                    let skew = sc
-                        .servers
-                        .iter()
-                        .position(|s| **s == *access.server)
-                        .map(|i| sc.skews[i])
-                        .unwrap_or(0.0);
-                    proofs.issue(name, access.clone(), TimePoint::new(time + skew));
-                    oracle.note_grant(*obj, access.clone());
+                // The guard pass: one parallel batch over the run, or the
+                // plain sequential decide. Proofs are issued below, in
+                // event order, exactly as the sequential driver does.
+                let mut guard_vs: Vec<Option<Verdict>> = items.iter().map(|_| None).collect();
+                if can_batch {
+                    let mut reqs = Vec::new();
+                    let mut slots = Vec::new();
+                    for (k, it) in items.iter().enumerate() {
+                        if let Some(program) = &it.program {
+                            reqs.push(BatchRequest {
+                                object: &sc.objects[it.obj].name,
+                                access: it.access,
+                                remaining: program,
+                                time: TimePoint::new(it.time),
+                            });
+                            slots.push(k);
+                        }
+                    }
+                    for (k, v) in slots
+                        .into_iter()
+                        .zip(guard.decide_batch(&reqs, &proofs, false))
+                    {
+                        guard_vs[k] = Some(v);
+                    }
+                } else {
+                    for (k, it) in items.iter().enumerate() {
+                        if let Some(program) = &it.program {
+                            let req = GuardRequest {
+                                object: &sc.objects[it.obj].name,
+                                access: it.access,
+                                remaining: program,
+                                time: TimePoint::new(it.time),
+                            };
+                            guard_vs[k] = Some(guard.decide(&req, &proofs, &mut table));
+                        }
+                    }
                 }
+
+                // Oracle cross-check, logging and proof issuance, in
+                // event order.
+                for (k, it) in items.iter().enumerate() {
+                    let name = &sc.objects[it.obj].name;
+                    let time = it.time;
+                    let access = it.access;
+                    let oracle_v = oracle.decide(sc, it.obj, access, it.remaining, time);
+                    let system_v: Verdict = match guard_vs[k].take() {
+                        Some(v) => v,
+                        None => Verdict::denied(
+                            DecisionKind::DeniedUnknownTarget,
+                            format!("server {} is unreachable", access.server),
+                        ),
+                    };
+
+                    decisions += 1;
+                    *histogram.entry(system_v.kind.label()).or_insert(0) += 1;
+                    let _ = writeln!(
+                        log,
+                        "[{time}] access {name} {access} -> guard={} oracle={}",
+                        system_v.kind.label(),
+                        oracle_v.kind.label()
+                    );
+
+                    if system_v.kind != oracle_v.kind {
+                        divergence = Some(Divergence {
+                            step: it.step,
+                            time,
+                            object: name.clone(),
+                            access: access.clone(),
+                            guard: system_v.kind,
+                            oracle: oracle_v.kind,
+                        });
+                        let _ = writeln!(log, "DIVERGENCE at step {}", it.step);
+                        break 'events;
+                    }
+
+                    if system_v.is_granted() {
+                        // Proofs are stamped with the local server clock —
+                        // skew shifts timestamps but not decisions.
+                        let skew = sc
+                            .servers
+                            .iter()
+                            .position(|s| **s == *access.server)
+                            .map(|i| sc.skews[i])
+                            .unwrap_or(0.0);
+                        proofs.issue(name, access.clone(), TimePoint::new(time + skew));
+                        oracle.note_grant(it.obj, access.clone());
+                    }
+                }
+                step = run_end;
             }
         }
     }
@@ -270,4 +379,11 @@ pub fn run_episode(sc: &Scenario, bug: Option<OracleBug>) -> Episode {
 /// Generate the scenario for `seed` and run it.
 pub fn episode_for_seed(seed: u64, bug: Option<OracleBug>) -> Episode {
     run_episode(&Scenario::generate(seed), bug)
+}
+
+/// Generate the scenario for `seed` and run it through the batched
+/// parallel driver. The log is byte-identical to
+/// [`episode_for_seed`]'s.
+pub fn episode_for_seed_batched(seed: u64, bug: Option<OracleBug>) -> Episode {
+    run_episode_with(&Scenario::generate(seed), bug, true)
 }

@@ -37,7 +37,9 @@ pub mod report;
 pub mod scenario;
 pub mod shrink;
 
-pub use episode::{episode_for_seed, run_episode, Divergence, Episode};
+pub use episode::{
+    episode_for_seed, episode_for_seed_batched, run_episode, run_episode_with, Divergence, Episode,
+};
 pub use oracle::{OracleBug, ReferenceOracle};
 pub use report::{repro, SweepReport};
 pub use scenario::{Event, Scenario};

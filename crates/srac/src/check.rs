@@ -124,11 +124,18 @@ pub fn check_residual(
 ///
 /// The permission gate re-checks the *same* constraints on every access;
 /// only the program automaton and the history change. Leaf automata are
-/// keyed by `(constraint, alphabet length)` — alphabet ids are stable and
-/// only grow, so a given length pins the exact symbol set.
+/// keyed by `(constraint, table version)`: every `AccessTable` carries a
+/// globally unique version stamp bumped on each *new* intern, so equal
+/// versions imply identical id↔access mappings — which is exactly the
+/// condition under which a compiled automaton (whose symbol indices are
+/// table ids) can be shared. Alphabet *length* is not enough once one
+/// cache serves several tables (e.g. `decide_batch` workers each bring
+/// their own table): two tables of equal length can map the same id to
+/// different accesses. Once the vocabulary saturates the version is
+/// stable and every lookup hits.
 #[derive(Default, Debug)]
 pub struct ConstraintCache {
-    map: std::collections::HashMap<(Constraint, usize), Dfa>,
+    map: std::collections::HashMap<(Constraint, u64), std::sync::Arc<Dfa>>,
     hits: u64,
     misses: u64,
 }
@@ -144,20 +151,28 @@ impl ConstraintCache {
         (self.hits, self.misses)
     }
 
-    fn get_or_compile(
+    /// Automata are stored behind `Arc` so cache hits are refcount bumps
+    /// and long-lived cursor leaves share the cached automaton instead of
+    /// cloning transition tables.
+    pub(crate) fn get_or_compile(
         &mut self,
         c: &Constraint,
         al: &stacl_trace::Alphabet,
         table: &AccessTable,
-    ) -> Dfa {
-        let key = (c.clone(), al.len());
+    ) -> std::sync::Arc<Dfa> {
+        debug_assert_eq!(
+            al.len(),
+            table.len(),
+            "the cache expects the full-table alphabet"
+        );
+        let key = (c.clone(), table.version());
         if let Some(d) = self.map.get(&key) {
             self.hits += 1;
-            return d.clone();
+            return std::sync::Arc::clone(d);
         }
         self.misses += 1;
-        let d = compile(c, al, table);
-        self.map.insert(key, d.clone());
+        let d = std::sync::Arc::new(compile(c, al, table));
+        self.map.insert(key, std::sync::Arc::clone(&d));
         d
     }
 }
@@ -498,5 +513,45 @@ mod tests {
         let v = check_program(&p, &c, &mut t, Semantics::Exists);
         assert!(!v.holds);
         assert!(v.witness.is_none());
+    }
+
+    /// Regression: one cache serving several tables (`decide_batch`
+    /// workers each bring a fresh table) must not reuse a compiled
+    /// automaton across tables that merely share a *length* — the same
+    /// id can denote different accesses in each. Keying by table
+    /// version makes the second query recompile and judge correctly.
+    #[test]
+    fn cache_is_not_confused_by_distinct_tables_of_equal_length() {
+        let c = Constraint::at_most(0, Selector::any().with_resources(["db"]));
+        let mut cache = ConstraintCache::new();
+
+        // Table 1: id 0 = a db access (counted; cap 0 ⇒ violation).
+        let mut t1 = tbl();
+        let p_db = Program::Access(Access::new("read", "db", "s1"));
+        let v1 = check_residual_cached(
+            &Trace::empty(),
+            &p_db,
+            &c,
+            &mut t1,
+            Semantics::ForAll,
+            &mut cache,
+        );
+        assert!(!v1.holds);
+
+        // Table 2, same length, but id 0 = an unrelated access (not
+        // counted; must hold). A length-keyed cache would reuse t1's
+        // automaton and wrongly reject.
+        let mut t2 = tbl();
+        let p_other = Program::Access(Access::new("read", "rsw", "s1"));
+        let v2 = check_residual_cached(
+            &Trace::empty(),
+            &p_other,
+            &c,
+            &mut t2,
+            Semantics::ForAll,
+            &mut cache,
+        );
+        assert!(v2.holds, "cache key must distinguish tables: {v2:?}");
+        assert_eq!(cache.stats().1, 2, "two distinct tables ⇒ two compiles");
     }
 }

@@ -1,0 +1,319 @@
+//! Incremental constraint cursors — the steady-state fast path of the
+//! permission gate.
+//!
+//! [`check_residual`](crate::check::check_residual) re-walks the object's
+//! *entire* proven history on every decision, so a session of `k`
+//! accesses costs `O(k²)` automaton steps. A [`ConstraintCursor`]
+//! instead remembers where the constraint automaton landed after the
+//! history seen so far and is advanced by exactly the proofs issued
+//! since — one DFA transition per newly proven access. The residual
+//! check `history · P ⊨ C` (∀-semantics) then runs from the stored
+//! state:
+//!
+//! * for the reactive single-access program `P = a`, the check is a
+//!   single transition + acceptance lookup per conjunct — `O(1)`, zero
+//!   allocations;
+//! * for a general program, `L(A_P) ⊆ L(A_C)`-from-state is decided as
+//!   emptiness of [`Dfa::product_from`] in `Diff` mode, skipping both
+//!   the history walk and the `advance` clone of the slow path.
+//!
+//! ## Exactness
+//!
+//! The cursor replicates `check_residual_cached` bit for bit: same NNF
+//! `And`-decomposition in the same left-to-right order, leaf automata
+//! from the same [`ConstraintCache`] keyed by the same full-table
+//! alphabet, and `prog ×_Diff cons`-from-state is the same language as
+//! `prog ×_And ¬(advance(cons, history))` from the start states. The
+//! only thing the fast path may do is *decline* (`None`), never return
+//! a different verdict.
+//!
+//! ## Validity
+//!
+//! Stored leaf states are local symbol indices into a specific alphabet
+//! built from a specific [`AccessTable`], so a cursor is only
+//! meaningful against a table with the *identical* id ↔ access mapping.
+//! [`AccessTable::version`] stamps make that checkable in `O(1)`:
+//! callers must verify [`ConstraintCursor::in_sync_with`] (and rebuild
+//! via the slow path otherwise). Other invalidation rules — proof
+//! watermark regressions, unknown symbols, policy-generation changes,
+//! team-scoped histories — live with the callers, see DESIGN.md §8.
+
+use std::sync::Arc;
+
+use stacl_sral::{Access, Program};
+use stacl_trace::abstraction::{traces, AbstractionConfig};
+use stacl_trace::dfa::ProductMode;
+use stacl_trace::{AccessId, AccessTable, Alphabet, Dfa, Trace};
+
+use crate::ast::Constraint;
+use crate::check::ConstraintCache;
+
+/// One ∀-conjunct of the constraint in NNF: a shared compiled automaton
+/// plus the state it reached after the consumed history.
+#[derive(Clone, Debug)]
+struct CursorLeaf {
+    dfa: Arc<Dfa>,
+    state: u32,
+}
+
+/// The per-(object, permission) incremental state of one constraint's
+/// residual check. See the module docs.
+#[derive(Clone, Debug)]
+pub struct ConstraintCursor {
+    /// NNF `And`-leaves in `forall_cached`'s left-to-right order.
+    leaves: Vec<CursorLeaf>,
+    /// Length of the full-table checking alphabet the leaves were
+    /// compiled over. All leaves share it, and by construction local
+    /// symbol index `i` is exactly `AccessId(i)`.
+    alphabet_len: usize,
+    /// The version stamp of the table the alphabet was built from.
+    table_version: u64,
+    /// How many history accesses have been folded into the leaf states.
+    consumed: usize,
+}
+
+impl ConstraintCursor {
+    /// Build a cursor for `c` at the empty history, compiling (or
+    /// cache-hitting) one leaf automaton per NNF ∀-conjunct over the
+    /// full-table checking alphabet — the same alphabet
+    /// `check_residual_cached` uses, so verdicts line up exactly.
+    pub fn new(c: &Constraint, table: &mut AccessTable, cache: &mut ConstraintCache) -> Self {
+        for a in c.mentioned_accesses() {
+            table.intern(a);
+        }
+        let al = Alphabet::from_ids((0..table.len() as u32).map(AccessId));
+        let mut leaves = Vec::new();
+        collect_forall_leaves(&c.to_nnf(), &al, table, cache, &mut leaves);
+        ConstraintCursor {
+            leaves,
+            alphabet_len: al.len(),
+            table_version: table.version(),
+            consumed: 0,
+        }
+    }
+
+    /// Number of history accesses folded into the cursor so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Whether the cursor's stored symbol indices are valid against
+    /// `table`: equal [`AccessTable::version`] stamps guarantee the
+    /// identical id mapping the leaves were compiled over.
+    pub fn in_sync_with(&self, table: &AccessTable) -> bool {
+        self.table_version == table.version()
+    }
+
+    /// Step every leaf by one proven access. Returns `false` — leaving
+    /// the cursor invalid (partially advanced) — when the id is outside
+    /// the compiled alphabet; the caller must then rebuild via the slow
+    /// path.
+    pub fn advance(&mut self, id: AccessId) -> bool {
+        if id.index() >= self.alphabet_len {
+            return false;
+        }
+        // The alphabet is `AccessId(0..len)` in order, so the local
+        // symbol index is the id itself.
+        let sym = id.0;
+        for leaf in &mut self.leaves {
+            leaf.state = leaf.dfa.next(leaf.state, sym);
+        }
+        self.consumed += 1;
+        true
+    }
+
+    /// [`ConstraintCursor::advance`] from an un-interned access. `false`
+    /// when the access is unknown to `table` or outside the alphabet.
+    pub fn advance_access(&mut self, access: &Access, table: &AccessTable) -> bool {
+        match table.id_of(access) {
+            Some(id) => self.advance(id),
+            None => false,
+        }
+    }
+
+    /// Fold a whole history trace into the cursor. `false` (cursor
+    /// invalid) if any symbol falls outside the alphabet.
+    pub fn advance_trace(&mut self, history: &Trace) -> bool {
+        history.0.iter().all(|&id| self.advance(id))
+    }
+
+    /// The `O(1)` reactive fast path: `history · a ⊨ C` (∀) for the
+    /// single-access program `a`, from the cursor's state, with zero
+    /// allocations. `None` when `a` is unknown or outside the compiled
+    /// alphabet (take the slow path). A straight-line single-access
+    /// program has exactly one trace, so ∀-satisfaction per conjunct is
+    /// one transition + acceptance lookup.
+    pub fn check_one(&self, access: &Access, table: &AccessTable) -> Option<bool> {
+        let id = table.id_of(access)?;
+        if id.index() >= self.alphabet_len {
+            return None;
+        }
+        Some(
+            self.leaves
+                .iter()
+                .all(|l| l.dfa.is_accepting(l.dfa.next(l.state, id.0))),
+        )
+    }
+
+    /// The general-program fast path: `history · P ⊨ C` (∀) from the
+    /// cursor's state. Builds the program automaton over the full-table
+    /// alphabet and checks `L(A_P ×_Diff A_C-from-state) = ∅` per leaf.
+    /// `None` when building the program's trace model interned accesses
+    /// the cursor's alphabet doesn't cover (take the slow path).
+    pub fn check_residual_program(&self, p: &Program, table: &mut AccessTable) -> Option<bool> {
+        if let Program::Access(a) = p {
+            return self.check_one(a, table);
+        }
+        let re = traces(p, table, AbstractionConfig::default());
+        if !self.in_sync_with(table) {
+            // The program mentioned accesses the leaves were not
+            // compiled over.
+            return None;
+        }
+        let al = Alphabet::from_ids((0..table.len() as u32).map(AccessId));
+        let prog = Dfa::from_regex_with(&re, al);
+        Some(self.leaves.iter().all(|l| {
+            prog.product_from(prog.start, &l.dfa, l.state, ProductMode::Diff)
+                .is_empty()
+        }))
+    }
+}
+
+/// Decompose the NNF constraint along `And` — exactly the recursion of
+/// `check.rs::forall_cached` — collecting one compiled leaf per
+/// ∀-conjunct. Short-circuiting in `forall_cached` only skips *work*,
+/// never changes the boolean, so evaluating every leaf here is verdict-
+/// equivalent.
+fn collect_forall_leaves(
+    c: &Constraint,
+    al: &Alphabet,
+    table: &AccessTable,
+    cache: &mut ConstraintCache,
+    out: &mut Vec<CursorLeaf>,
+) {
+    if let Constraint::And(a, b) = c {
+        collect_forall_leaves(a, al, table, cache, out);
+        collect_forall_leaves(b, al, table, cache, out);
+        return;
+    }
+    let dfa = cache.get_or_compile(c, al, table);
+    let state = dfa.start;
+    out.push(CursorLeaf { dfa, state });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check_residual_cached, Semantics};
+    use crate::parser::parse_constraint;
+    use stacl_sral::builder::{access, seq};
+
+    fn acc(op: &str, r: &str, s: &str) -> Access {
+        Access::new(op, r, s)
+    }
+
+    #[test]
+    fn single_access_fast_path_matches_slow_path() {
+        let c = parse_constraint("count(0, 2, resource=rsw)").unwrap();
+        let mut table = AccessTable::new();
+        let mut cache = ConstraintCache::new();
+        let a = acc("exec", "rsw", "s1");
+        let prog = Program::Access(a.clone());
+
+        let mut cursor = ConstraintCursor::new(&c, &mut table, &mut cache);
+        // The constraint mentions no concrete accesses, so `a` is
+        // unknown until somebody interns it: the cursor must decline.
+        assert_eq!(cursor.check_one(&a, &table), None);
+
+        // Drive three grants; after each, fast path ≡ slow path.
+        let mut history = Vec::new();
+        for step in 0..3 {
+            let slow = check_residual_cached(
+                &Trace::from_ids(history.iter().map(|x: &Access| table.id_of(x).unwrap())),
+                &prog,
+                &c,
+                &mut table,
+                Semantics::ForAll,
+                &mut cache,
+            );
+            // (Re)build after the slow path interned the program access.
+            if !cursor.in_sync_with(&table) {
+                cursor = ConstraintCursor::new(&c, &mut table, &mut cache);
+                let h = Trace::from_ids(history.iter().map(|x: &Access| table.id_of(x).unwrap()));
+                assert!(cursor.advance_trace(&h));
+            }
+            let fast = cursor.check_one(&a, &table).expect("in sync now");
+            assert_eq!(fast, slow.holds, "step {step}");
+            // First two grants fit the cap, the third does not.
+            assert_eq!(slow.holds, step < 2);
+            history.push(a.clone());
+            assert!(cursor.advance_access(&a, &table));
+        }
+    }
+
+    #[test]
+    fn general_program_fast_path_matches_slow_path() {
+        let c = parse_constraint(
+            "[read manifest @ s1] before [exec rsw @ s1] and count(0, 4, resource=rsw)",
+        )
+        .unwrap();
+        let mut table = AccessTable::new();
+        let mut cache = ConstraintCache::new();
+        let good = seq([
+            access("read", "manifest", "s1"),
+            access("exec", "rsw", "s1"),
+        ]);
+        let bad = seq([
+            access("exec", "rsw", "s1"),
+            access("read", "manifest", "s1"),
+        ]);
+
+        for prog in [&good, &bad] {
+            // Warm the table with the program's accesses via the slow path.
+            let slow = check_residual_cached(
+                &Trace::empty(),
+                prog,
+                &c,
+                &mut table,
+                Semantics::ForAll,
+                &mut cache,
+            );
+            let cursor = ConstraintCursor::new(&c, &mut table, &mut cache);
+            let fast = cursor
+                .check_residual_program(prog, &mut table)
+                .expect("alphabet saturated");
+            assert_eq!(fast, slow.holds);
+        }
+    }
+
+    #[test]
+    fn cursor_invalidates_on_table_divergence() {
+        let c = parse_constraint("count(0, 5, op=exec)").unwrap();
+        let mut table = AccessTable::new();
+        let mut cache = ConstraintCache::new();
+        let cursor = ConstraintCursor::new(&c, &mut table, &mut cache);
+        assert!(cursor.in_sync_with(&table));
+        // A clone is in sync until it diverges.
+        let mut other = table.clone();
+        assert!(cursor.in_sync_with(&other));
+        other.intern(&acc("exec", "rsw", "s9"));
+        assert!(!cursor.in_sync_with(&other));
+        // Advancing on an out-of-alphabet id is refused.
+        let mut cursor2 = cursor.clone();
+        assert!(!cursor2.advance(AccessId(999)));
+    }
+
+    #[test]
+    fn consumed_counts_folded_history() {
+        let c = parse_constraint("count(0, 9, op=exec)").unwrap();
+        let mut table = AccessTable::new();
+        let a = acc("exec", "rsw", "s1");
+        table.intern(&a);
+        let mut cache = ConstraintCache::new();
+        let mut cursor = ConstraintCursor::new(&c, &mut table, &mut cache);
+        assert_eq!(cursor.consumed(), 0);
+        let h = Trace::from_ids([table.id_of(&a).unwrap(); 3]);
+        assert!(cursor.advance_trace(&h));
+        assert_eq!(cursor.consumed(), 3);
+    }
+}

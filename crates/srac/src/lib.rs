@@ -48,6 +48,7 @@
 pub mod ast;
 pub mod check;
 pub mod compile;
+pub mod cursor;
 pub mod parser;
 pub mod selector;
 pub mod simplify;
@@ -55,5 +56,6 @@ pub mod trace_sat;
 
 pub use ast::Constraint;
 pub use check::{check_program, Semantics, Verdict};
+pub use cursor::ConstraintCursor;
 pub use selector::Selector;
 pub use simplify::simplify;

@@ -6,11 +6,11 @@
 use stacl_ids::prop::forall;
 use stacl_ids::rng::SplitMix64;
 
-use stacl_srac::check::{check_residual, Semantics};
+use stacl_srac::check::{check_residual, check_residual_cached, ConstraintCache, Semantics};
 use stacl_srac::compile::compile;
 use stacl_srac::parser::parse_constraint;
 use stacl_srac::trace_sat::{trace_satisfies, ProofOracle};
-use stacl_srac::{Constraint, Selector};
+use stacl_srac::{Constraint, ConstraintCursor, Selector};
 use stacl_sral::Access;
 use stacl_trace::{AccessId, AccessTable, Alphabet, Trace};
 
@@ -215,6 +215,82 @@ fn residual_equals_prefixed_program() {
         let v2 = check_residual(&Trace::empty(), &prefixed, &c, &mut t2, Semantics::ForAll);
         assert_eq!(v1.holds, v2.holds, "constraint {c}");
     });
+}
+
+/// The incremental cursor verdict equals the from-scratch
+/// `check_residual_cached` on random (trace, constraint, split-point)
+/// triples: the full trace is split at a random point, the prefix is
+/// folded into the cursor (as proofs would be), and the residual check
+/// over a random straight-line future program must agree — for both
+/// the single-access `O(1)` fast path and the general product-from-state
+/// path. This is the exactness the decide fast path rests on.
+#[test]
+fn cursor_verdict_equals_from_scratch_residual() {
+    forall(
+        "cursor_verdict_equals_from_scratch_residual",
+        0xac08,
+        192,
+        |rng| {
+            let c = gen_constraint(rng, 3);
+            let (mut table, _, accs) = vocab_table();
+            let mut cache = ConstraintCache::new();
+
+            let full: Vec<Access> = (0..rng.gen_range(0usize..6))
+                .map(|_| accs[rng.gen_range(0usize..8)].clone())
+                .collect();
+            let split = rng.gen_range(0usize..full.len() + 1);
+            let future: Vec<Access> = (0..rng.gen_range(1usize..4))
+                .map(|_| accs[rng.gen_range(0usize..8)].clone())
+                .collect();
+            let prog = stacl_sral::Program::seq_all(
+                future
+                    .iter()
+                    .map(|a| stacl_sral::Program::Access(a.clone())),
+            );
+
+            // From-scratch slow path over the whole history.
+            let history = Trace::from_ids(full.iter().map(|a| table.id_of(a).unwrap()));
+            let slow = check_residual_cached(
+                &history,
+                &prog,
+                &c,
+                &mut table,
+                Semantics::ForAll,
+                &mut cache,
+            );
+
+            // Cursor: fold the prefix at build time, the suffix one
+            // access at a time (as watermark subscription would).
+            let mut cursor = ConstraintCursor::new(&c, &mut table, &mut cache);
+            assert!(cursor.in_sync_with(&table), "vocab table is saturated");
+            for a in &full[..split] {
+                assert!(cursor.advance_access(a, &table));
+            }
+            for a in &full[split..] {
+                assert!(cursor.advance_access(a, &table));
+            }
+            assert_eq!(cursor.consumed(), full.len());
+            let fast = cursor
+                .check_residual_program(&prog, &mut table)
+                .expect("vocabulary fully interned");
+            assert_eq!(fast, slow.holds, "constraint {c}, split {split}");
+
+            // The single-access fast path agrees too.
+            let single = stacl_sral::Program::Access(future[0].clone());
+            let slow1 = check_residual_cached(
+                &history,
+                &single,
+                &c,
+                &mut table,
+                Semantics::ForAll,
+                &mut cache,
+            );
+            let fast1 = cursor
+                .check_one(&future[0], &table)
+                .expect("vocabulary fully interned");
+            assert_eq!(fast1, slow1.holds, "constraint {c} (single)");
+        },
+    );
 }
 
 /// The production checking pipeline (`compile.rs` automata driven through

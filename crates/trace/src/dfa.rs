@@ -69,6 +69,12 @@ impl Dfa {
         self.trans[state as usize * self.alphabet.len() + sym as usize]
     }
 
+    /// Whether `state` is accepting.
+    #[inline]
+    pub fn is_accepting(&self, state: u32) -> bool {
+        self.accept[state as usize]
+    }
+
     /// Build a DFA from raw parts. `trans` must be row-major with
     /// `accept.len() * alphabet.len()` in-range entries; the automaton must
     /// be complete. Panics on malformed input.
@@ -208,21 +214,40 @@ impl Dfa {
     /// Product construction over a shared alphabet. Panics when alphabets
     /// differ — reindex both to the union first.
     pub fn product(&self, other: &Dfa, mode: ProductMode) -> Dfa {
+        self.product_from(self.start, other, other.start, mode)
+    }
+
+    /// [`Dfa::product`] started from an arbitrary state pair instead of
+    /// the two start states — the incremental-cursor primitive: a cursor
+    /// holds the constraint automaton's state after the proven history,
+    /// and `prog.product_from(prog.start, cons, cursor_state, Diff)` is
+    /// then exactly the residual `L(A_P ∩ ¬A_C)` emptiness problem
+    /// without re-walking the history or cloning the automaton. Only the
+    /// part reachable from `(self_start, other_start)` is built.
+    pub fn product_from(
+        &self,
+        self_start: u32,
+        other: &Dfa,
+        other_start: u32,
+        mode: ProductMode,
+    ) -> Dfa {
         assert_eq!(
             self.alphabet, other.alphabet,
             "product requires a shared alphabet; reindex first"
         );
+        assert!((self_start as usize) < self.num_states());
+        assert!((other_start as usize) < other.num_states());
         let k = self.alphabet.len();
         let mut index: HashMap<(u32, u32), u32> = HashMap::new();
         let mut trans: Vec<u32> = Vec::new();
         let mut accept: Vec<bool> = Vec::new();
         let mut queue = VecDeque::new();
 
-        let start = (self.start, other.start);
+        let start = (self_start, other_start);
         index.insert(start, 0);
         accept.push(mode.combine(
-            self.accept[self.start as usize],
-            other.accept[other.start as usize],
+            self.accept[self_start as usize],
+            other.accept[other_start as usize],
         ));
         trans.resize(k, u32::MAX);
         queue.push_back(start);
@@ -570,6 +595,60 @@ mod tests {
         let diff = d0.product(&d1, ProductMode::Diff);
         assert!(diff.accepts(&t(&[0])));
         assert!(!diff.accepts(&t(&[1])));
+    }
+
+    #[test]
+    fn product_from_advanced_state_equals_advance_then_product() {
+        // Residual emptiness two ways: clone-and-advance the constraint
+        // automaton (the slow path) vs. starting the product at the
+        // advanced state pair (the cursor fast path).
+        let union = Regex::alt(sym(0), sym(1)).alphabet();
+        // Constraint: at most two 0s (as a DFA over {0,1}).
+        let cons = Dfa::from_regex_with(
+            &Regex::cat(
+                Regex::star(sym(1)),
+                Regex::alt(
+                    Regex::Eps,
+                    Regex::cat(
+                        sym(0),
+                        Regex::cat(
+                            Regex::star(sym(1)),
+                            Regex::alt(Regex::Eps, Regex::cat(sym(0), Regex::star(sym(1)))),
+                        ),
+                    ),
+                ),
+            ),
+            union.clone(),
+        );
+        for history in [t(&[]), t(&[0]), t(&[0, 1, 0]), t(&[0, 0, 0])] {
+            // Fast path: fold the history into a state.
+            let mut state = cons.start;
+            for &id in &history.0 {
+                state = cons.next(state, cons.alphabet.index_of(id).unwrap());
+            }
+            for prog_re in [sym(0), sym(1), Regex::cat(sym(0), sym(0))] {
+                let prog = Dfa::from_regex_with(&prog_re, union.clone());
+                let fast = prog
+                    .product_from(prog.start, &cons, state, ProductMode::Diff)
+                    .is_empty();
+                // Slow path: advance() clones the DFA, then ¬C product.
+                let advanced = advance(&cons, &history).unwrap();
+                let slow = prog
+                    .product(&advanced.complement(), ProductMode::And)
+                    .is_empty();
+                assert_eq!(fast, slow, "history {history} prog {prog_re:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_delegates_to_product_from() {
+        let union = Regex::alt(sym(0), sym(1)).alphabet();
+        let d0 = Dfa::from_regex_with(&sym(0), union.clone());
+        let d1 = Dfa::from_regex_with(&sym(1), union.clone());
+        let via_product = d0.product(&d1, ProductMode::Xor);
+        let via_from = d0.product_from(d0.start, &d1, d1.start, ProductMode::Xor);
+        assert!(via_product.equivalent(&via_from));
     }
 
     #[test]

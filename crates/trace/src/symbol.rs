@@ -7,8 +7,16 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use stacl_sral::Access;
+
+/// Global source of table-version stamps. Every *mutation* of any
+/// [`AccessTable`] draws a fresh, process-unique stamp, so two tables
+/// carry the same version only when one is an unmutated clone of the
+/// other (or both are empty) — i.e. equal versions imply identical
+/// id ↔ access mappings.
+static NEXT_TABLE_VERSION: AtomicU64 = AtomicU64::new(1);
 
 /// A dense identifier for an interned [`Access`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -36,6 +44,13 @@ impl fmt::Display for AccessId {
 pub struct AccessTable {
     by_access: HashMap<Access, AccessId>,
     by_id: Vec<Access>,
+    /// Lineage stamp: 0 for a fresh empty table, otherwise the globally
+    /// unique value drawn by the table's most recent new interning.
+    /// Cloning copies the stamp (the clone has identical contents);
+    /// equal stamps therefore guarantee identical id mappings, which is
+    /// what incremental cursors check before trusting stored symbol
+    /// indices against a caller-supplied table.
+    version: u64,
 }
 
 impl AccessTable {
@@ -54,7 +69,15 @@ impl AccessTable {
         );
         self.by_access.insert(a.clone(), id);
         self.by_id.push(a.clone());
+        self.version = NEXT_TABLE_VERSION.fetch_add(1, Ordering::Relaxed);
         id
+    }
+
+    /// The table's lineage stamp (see the `version` field). Two tables
+    /// with equal versions have identical contents; the converse does
+    /// not hold (independently grown tables always differ).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Intern an access given its three components.
@@ -213,6 +236,40 @@ mod tests {
         let i1 = t.intern_parts("b", "r", "s");
         let pairs: Vec<_> = t.iter().map(|(id, _)| id).collect();
         assert_eq!(pairs, vec![i0, i1]);
+    }
+
+    #[test]
+    fn version_tracks_lineage() {
+        let mut t = AccessTable::new();
+        assert_eq!(t.version(), 0, "fresh empty tables stamp 0");
+        t.intern_parts("read", "r1", "s1");
+        let v1 = t.version();
+        assert_ne!(v1, 0);
+        // Re-interning an existing access does not change the contents
+        // and must not change the stamp.
+        t.intern_parts("read", "r1", "s1");
+        assert_eq!(t.version(), v1);
+        // A clone shares the stamp (identical contents) …
+        let mut u = t.clone();
+        assert_eq!(u.version(), v1);
+        // … until either side diverges, which draws process-unique
+        // stamps on both.
+        u.intern_parts("write", "r1", "s1");
+        t.intern_parts("exec", "r1", "s1");
+        assert_ne!(u.version(), v1);
+        assert_ne!(t.version(), v1);
+        assert_ne!(t.version(), u.version());
+    }
+
+    #[test]
+    fn independently_grown_tables_never_share_versions() {
+        let mut a = AccessTable::new();
+        let mut b = AccessTable::new();
+        a.intern_parts("read", "r", "s");
+        b.intern_parts("read", "r", "s");
+        // Same contents, but no clone lineage: stamps differ, so cursors
+        // built against one can never be replayed against the other.
+        assert_ne!(a.version(), b.version());
     }
 
     #[test]
