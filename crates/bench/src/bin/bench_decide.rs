@@ -19,8 +19,16 @@
 //! report p50/p99 latency in microseconds. Output goes to `--out`
 //! (default `BENCH_decide.json`).
 //!
-//! Usage: `bench_decide [--objects 64] [--accesses 1000] [--threads 0] [--out BENCH_decide.json]`
-//! (`--threads 0` = available parallelism).
+//! A second phase (E13) measures the `stacl-obs` telemetry overhead:
+//! the incremental sequential and batch-API modes are re-run with
+//! telemetry on and off (`stacl::obs::set_telemetry`), and the resulting
+//! throughput pair, overhead percentage and the full `MetricsSnapshot`
+//! of the telemetry-on runs go to `--obs-out` (default `BENCH_obs.json`).
+//! The E12 modes themselves run with telemetry on — the production
+//! default — so the headline numbers already carry the cost.
+//!
+//! Usage: `bench_decide [--objects 64] [--accesses 1000] [--threads 0] [--out BENCH_decide.json]
+//! [--obs-out BENCH_obs.json]` (`--threads 0` = available parallelism).
 
 use stacl::naplet::guard::{BatchRequest, GuardRequest};
 use stacl::prelude::*;
@@ -45,6 +53,7 @@ fn main() {
     let mut accesses = 1000usize;
     let mut threads = 0usize;
     let mut out = String::from("BENCH_decide.json");
+    let mut obs_out = String::from("BENCH_obs.json");
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -59,8 +68,11 @@ fn main() {
             "--accesses" => accesses = val.parse().expect("--accesses"),
             "--threads" => threads = val.parse().expect("--threads"),
             "--out" => out = val.clone(),
+            "--obs-out" => obs_out = val.clone(),
             _ => {
-                eprintln!("unknown flag {key} (expected --objects/--accesses/--threads/--out)");
+                eprintln!(
+                    "unknown flag {key} (expected --objects/--accesses/--threads/--out/--obs-out)"
+                );
                 std::process::exit(2);
             }
         }
@@ -105,6 +117,121 @@ fn main() {
     let json = render_json(objects, accesses, threads, &results);
     std::fs::write(&out, json).expect("write --out");
     eprintln!("wrote {out}");
+
+    // ---- E13: telemetry overhead (DESIGN.md §10, EXPERIMENTS.md E13) ----
+    // Single runs swing by ±5% on a shared machine, far above the effect
+    // being measured, so each configuration is run `TRIALS` times
+    // interleaved (on, off, on, off, …) and the best run of each is kept —
+    // best-of-N converges on the noise floor much faster than the mean.
+    const TRIALS: usize = 9;
+    eprintln!("bench_decide: E13 telemetry overhead (on vs off, best of {TRIALS})");
+    let best = |a: ModeResult, b: ModeResult| {
+        if b.ops_per_sec > a.ops_per_sec {
+            b
+        } else {
+            a
+        }
+    };
+    stacl::obs::set_telemetry(true);
+    stacl::obs::reset();
+    let mut seq_on = run_sequential("incremental-sequential (obs on)", objects, accesses, true);
+    let mut batch_on = run_batch_api("incremental-snapshot-batch (obs on)", objects, accesses);
+    // The snapshot after the first telemetry-on pair is the exported
+    // metrics payload: it exercises every grant-path counter and both
+    // histograms exactly once per mode.
+    let metrics = stacl::obs::snapshot();
+    stacl::obs::set_telemetry(false);
+    let mut seq_off = run_sequential("incremental-sequential (obs off)", objects, accesses, true);
+    let mut batch_off = run_batch_api("incremental-snapshot-batch (obs off)", objects, accesses);
+    for _ in 1..TRIALS {
+        stacl::obs::set_telemetry(true);
+        seq_on = best(
+            seq_on,
+            run_sequential("incremental-sequential (obs on)", objects, accesses, true),
+        );
+        batch_on = best(
+            batch_on,
+            run_batch_api("incremental-snapshot-batch (obs on)", objects, accesses),
+        );
+        stacl::obs::set_telemetry(false);
+        seq_off = best(
+            seq_off,
+            run_sequential("incremental-sequential (obs off)", objects, accesses, true),
+        );
+        batch_off = best(
+            batch_off,
+            run_batch_api("incremental-snapshot-batch (obs off)", objects, accesses),
+        );
+    }
+    stacl::obs::set_telemetry(true);
+    for r in [&seq_on, &seq_off, &batch_on, &batch_off] {
+        eprintln!("  {:<38} {:>12.0} ops/s", r.name, r.ops_per_sec);
+    }
+
+    let obs_json = render_obs_json(
+        objects, accesses, &seq_on, &seq_off, &batch_on, &batch_off, &metrics,
+    );
+    std::fs::write(&obs_out, obs_json).expect("write --obs-out");
+    eprintln!("wrote {obs_out}");
+}
+
+/// Telemetry overhead in percent: how much slower the telemetry-on run
+/// is than the telemetry-off run of the same mode.
+fn overhead_pct(on: &ModeResult, off: &ModeResult) -> f64 {
+    (off.ops_per_sec / on.ops_per_sec - 1.0) * 100.0
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_obs_json(
+    objects: usize,
+    accesses: usize,
+    seq_on: &ModeResult,
+    seq_off: &ModeResult,
+    batch_on: &ModeResult,
+    batch_off: &ModeResult,
+    metrics: &stacl::obs::MetricsSnapshot,
+) -> String {
+    let modes = [
+        ("incremental-sequential", seq_on, seq_off),
+        ("incremental-snapshot-batch", batch_on, batch_off),
+    ];
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"E13-telemetry-overhead\",\n");
+    s.push_str(&format!("  \"objects\": {objects},\n"));
+    s.push_str(&format!("  \"accesses_per_object\": {accesses},\n"));
+    s.push_str("  \"modes\": {\n");
+    for (i, (name, on, off)) in modes.iter().enumerate() {
+        s.push_str(&format!("    \"{name}\": {{\n"));
+        s.push_str(&format!(
+            "      \"ops_per_sec_telemetry_on\": {},\n",
+            json_num(on.ops_per_sec)
+        ));
+        s.push_str(&format!(
+            "      \"ops_per_sec_telemetry_off\": {},\n",
+            json_num(off.ops_per_sec)
+        ));
+        s.push_str(&format!(
+            "      \"overhead_pct\": {}\n",
+            json_num(overhead_pct(on, off))
+        ));
+        s.push_str(if i + 1 == modes.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  },\n");
+    // Headline number: the sequential mode (per-decision path, where the
+    // record calls are proportionally largest).
+    s.push_str(&format!(
+        "  \"overhead_pct\": {},\n",
+        json_num(overhead_pct(seq_on, seq_off))
+    ));
+    s.push_str("  \"metrics\": ");
+    s.push_str(metrics.to_json().trim_end());
+    s.push_str("\n}\n");
+    s
 }
 
 /// The shared fixture: a reactive guard over the fleet model, everyone

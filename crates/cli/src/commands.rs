@@ -352,6 +352,44 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `stacl metrics [--seeds N] [--start-seed S] [--batch true|false]
+/// [--out FILE]`
+///
+/// Runs a telemetry-enabled sim sweep (no oracle-bug injection) and prints
+/// the decision-path [`stacl_obs::MetricsSnapshot`] as JSON: verdict
+/// counters, cursor fast-path hits vs. per-rule declines (DESIGN.md §8),
+/// constraint-cache hits/misses, snapshot rebuilds, watermark advances and
+/// the decide/batch latency histograms. `--out FILE` also writes the JSON
+/// to a file.
+pub fn metrics(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["seeds", "start-seed", "batch", "out"])?;
+    let [] = opts.expect_positional(&[])? else {
+        unreachable!()
+    };
+    let seeds: u64 = opts.get_parsed("seeds", 16)?;
+    let start: u64 = opts.get_parsed("start-seed", 0)?;
+    let batch: bool = opts.get_parsed("batch", false)?;
+
+    stacl_obs::set_telemetry(true);
+    let baseline = stacl_obs::snapshot();
+    for seed in start..start.saturating_add(seeds) {
+        let ep = if batch {
+            stacl_sim::episode_for_seed_batched(seed, None)
+        } else {
+            stacl_sim::episode_for_seed(seed, None)
+        };
+        if let Some(d) = ep.divergence {
+            return Err(format!("seed {seed} diverged: {d}"));
+        }
+    }
+    let json = stacl_obs::snapshot().diff(&baseline).to_json();
+    if let Some(path) = opts.get("out") {
+        fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    print!("{json}");
+    Ok(())
+}
+
 /// `stacl sim run [--seeds N] [--start-seed S] [--oracle-bug B]
 /// [--out DIR] [--max-seconds T] [--batch true|false]`
 ///
@@ -373,6 +411,7 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
             "out",
             "max-seconds",
             "batch",
+            "stats",
         ],
     )?;
     let [] = opts.expect_positional(&[])? else {
@@ -384,6 +423,8 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
     let out_dir = opts.get("out").map(str::to_string);
     let max_seconds: f64 = opts.get_parsed("max-seconds", 0.0)?;
     let batch: bool = opts.get_parsed("batch", false)?;
+    let stats: bool = opts.get_parsed("stats", false)?;
+    let obs_baseline = stacl_obs::snapshot();
 
     if let Some(dir) = &out_dir {
         fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
@@ -410,6 +451,9 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
         report.absorb(seed, &ep);
     }
     print!("{}", report.render());
+    if stats {
+        print!("{}", stacl_obs::snapshot().diff(&obs_baseline).to_json());
+    }
     if report.divergent_seeds.is_empty() {
         Ok(())
     } else {

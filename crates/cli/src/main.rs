@@ -19,6 +19,8 @@
 //! stacl sim    run [opts]                          differential simulator sweep
 //!        --seeds N --start-seed S --oracle-bug B --out DIR --max-seconds T
 //! stacl sim    repro <seed> [--oracle-bug B]       replay + shrink one seed
+//! stacl metrics [opts]                             decision-path telemetry JSON
+//!        --seeds N --start-seed S --batch true|false --out FILE
 //! ```
 //!
 //! Arguments are parsed by hand — the tool's needs are small and the
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         "run" => commands::run(rest),
         "audit" => commands::audit(rest),
         "sim" => commands::sim(rest),
+        "metrics" => commands::metrics(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -71,5 +74,6 @@ USAGE:
                [--on-deny abort|skip]
   stacl audit  [--modules N] [--servers K] [--seed S] [--tamper NAME|first]
   stacl sim    run [--seeds N] [--start-seed S] [--oracle-bug B] [--out DIR]
-               [--max-seconds T]
-  stacl sim    repro <seed> [--oracle-bug B]";
+               [--max-seconds T] [--batch true|false] [--stats true|false]
+  stacl sim    repro <seed> [--oracle-bug B]
+  stacl metrics [--seeds N] [--start-seed S] [--batch true|false] [--out FILE]";

@@ -51,6 +51,18 @@ impl DecisionKind {
             DecisionKind::DeniedUnknownTarget => "denied-unknown-target",
         }
     }
+
+    /// The telemetry counter this verdict kind increments (one per kind, so
+    /// summing the verdict counters yields the total number of decisions).
+    pub fn counter(self) -> stacl_obs::Counter {
+        match self {
+            DecisionKind::Granted => stacl_obs::Counter::VerdictGranted,
+            DecisionKind::DeniedNoPermission => stacl_obs::Counter::VerdictDeniedNoPermission,
+            DecisionKind::DeniedSpatial => stacl_obs::Counter::VerdictDeniedSpatial,
+            DecisionKind::DeniedTemporal => stacl_obs::Counter::VerdictDeniedTemporal,
+            DecisionKind::DeniedUnknownTarget => stacl_obs::Counter::VerdictDeniedUnknownTarget,
+        }
+    }
 }
 
 impl fmt::Display for DecisionKind {

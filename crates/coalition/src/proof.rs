@@ -98,6 +98,7 @@ impl ProofStore {
             seq: self.inner.seq.fetch_add(1, Ordering::SeqCst),
         };
         v.push(proof.clone());
+        stacl_obs::count(stacl_obs::Counter::WatermarkAdvance);
         proof
     }
 

@@ -65,6 +65,7 @@ pub use stacl_baselines as baselines;
 pub use stacl_coalition as coalition;
 pub use stacl_ids as ids;
 pub use stacl_naplet as naplet;
+pub use stacl_obs as obs;
 pub use stacl_rbac as rbac;
 pub use stacl_srac as srac;
 pub use stacl_sral as sral;

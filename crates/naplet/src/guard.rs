@@ -222,6 +222,21 @@ impl CoordinatedGuard {
         proofs: &ProofStore,
         table: &mut AccessTable,
     ) -> Verdict {
+        // Telemetry wrapper: one verdict counter per decision (so verdict
+        // counters sum to total decisions) and a sampled latency histogram.
+        let t0 = stacl_obs::decide_timer();
+        let v = self.decide_inner(req, proofs, table);
+        stacl_obs::count(v.kind.counter());
+        stacl_obs::observe_decide(t0);
+        v
+    }
+
+    fn decide_inner(
+        &self,
+        req: &GuardRequest<'_>,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> Verdict {
         let Some(state) = self.object_state(req.object) else {
             return DecisionKind::DeniedNoPermission.into();
         };
@@ -298,6 +313,7 @@ impl CoordinatedGuard {
         proofs: &ProofStore,
         issue_proofs: bool,
     ) -> Vec<Verdict> {
+        let t0 = stacl_obs::batch_timer();
         // Group request indices by object, preserving first-seen order
         // (and per-object order within each group).
         let mut order: Vec<&str> = Vec::new();
@@ -311,9 +327,11 @@ impl CoordinatedGuard {
                 })
                 .push(i);
         }
+        // Every name in `order` was inserted above; an (impossible) miss
+        // yields an empty group rather than a mid-batch panic.
         let groups: Vec<Vec<usize>> = order
             .iter()
-            .map(|o| by_object.remove(o).expect("group exists"))
+            .map(|o| by_object.remove(o).unwrap_or_default())
             .collect();
 
         let workers = std::thread::available_parallelism()
@@ -342,7 +360,21 @@ impl CoordinatedGuard {
                                 remaining: r.remaining,
                                 time: r.time,
                             };
-                            let v = self.decide(&gr, proofs, &mut table);
+                            // A panicking decision must not take the whole
+                            // batch (and its scoped-thread join) down: the
+                            // decision core's locks recover from poisoning,
+                            // so catch the panic, count it, and deny this
+                            // one request fail-safe.
+                            let v = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                self.decide(&gr, proofs, &mut table)
+                            }))
+                            .unwrap_or_else(|_| {
+                                stacl_obs::count(stacl_obs::Counter::BatchPanicRecovered);
+                                Verdict::denied(
+                                    DecisionKind::DeniedNoPermission,
+                                    "internal error: decision panicked; denied fail-safe",
+                                )
+                            });
                             if issue_proofs && v.is_granted() {
                                 proofs.issue(r.object, r.access.clone(), r.time);
                             }
@@ -352,10 +384,21 @@ impl CoordinatedGuard {
                 });
             }
         });
-        slots
+        let verdicts: Vec<Verdict> = slots
             .into_iter()
-            .map(|m| m.into_inner().expect("every slot filled"))
-            .collect()
+            .map(|m| {
+                // Workers fill every slot; an (impossible) hole denies
+                // fail-safe instead of panicking after the batch ran.
+                m.into_inner().unwrap_or_else(|| {
+                    Verdict::denied(
+                        DecisionKind::DeniedNoPermission,
+                        "internal error: no verdict recorded for batched request",
+                    )
+                })
+            })
+            .collect();
+        stacl_obs::observe_batch(t0, requests.len());
+        verdicts
     }
 }
 
@@ -422,8 +465,18 @@ impl SpatialOnlyGuard {
         table: &mut AccessTable,
     ) -> bool {
         let watermark = proofs.watermark_of(req.object);
-        if let Some(cur) = self.cursors.get_mut(req.object) {
-            if cur.in_sync_with(table) && cur.consumed() <= watermark {
+        // Same decline-attribution as `ExtendedRbac::spatial_holds` minus
+        // the rules that don't exist here (no policy generation, no team
+        // scope): the first failing DESIGN.md §8 rule is counted.
+        match self.cursors.get_mut(req.object) {
+            None => stacl_obs::count(stacl_obs::Counter::CursorColdStart),
+            Some(cur) if !cur.in_sync_with(table) => {
+                stacl_obs::count(stacl_obs::Counter::CursorDeclineTableVersion)
+            }
+            Some(cur) if cur.consumed() > watermark => {
+                stacl_obs::count(stacl_obs::Counter::CursorDeclineWatermark)
+            }
+            Some(cur) => {
                 let mut ok = true;
                 {
                     let tbl: &AccessTable = table;
@@ -435,9 +488,11 @@ impl SpatialOnlyGuard {
                 }
                 if ok {
                     if let Some(h) = cur.check_residual_program(req.remaining, table) {
+                        stacl_obs::count(stacl_obs::Counter::CursorFastPathHit);
                         return h;
                     }
                 }
+                stacl_obs::count(stacl_obs::Counter::CursorDeclineUnknownSymbol);
             }
         }
         // Slow path + cursor rebuild.
@@ -468,11 +523,13 @@ impl SecurityGuard for SpatialOnlyGuard {
         proofs: &ProofStore,
         table: &mut AccessTable,
     ) -> Verdict {
-        if self.holds(req, proofs, table) {
+        let v = if self.holds(req, proofs, table) {
             Verdict::granted()
         } else {
             Verdict::denied(DecisionKind::DeniedSpatial, self.constraint.to_string())
-        }
+        };
+        stacl_obs::count(v.kind.counter());
+        v
     }
 }
 

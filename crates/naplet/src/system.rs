@@ -490,8 +490,10 @@ impl NapletSystem {
         let name = self.agents[agent_ix].spec.name.clone();
         let now = self.clock.now();
 
-        // 1. Topology resolution.
+        // 1. Topology resolution. Denied before the guard runs, so the
+        // verdict is recorded into the telemetry here.
         if let Err(e) = self.env.resolve(&access) {
+            stacl_obs::count(stacl_obs::Counter::VerdictDeniedUnknownTarget);
             self.log.record(
                 &*name,
                 access.clone(),

@@ -2,6 +2,10 @@
 //! its spatial approval and timeline memo are warm, a granted
 //! [`CoordinatedGuard::decide`] must perform **zero heap allocations** —
 //! every lookup runs on interned ids over dense or `Copy`-keyed state.
+//! Telemetry stays ON for the measured window: the `stacl-obs` record
+//! path (plain stores to a static single-writer stripe, claimed once per
+//! thread during the warm-up below) must itself be allocation-free, and
+//! the counters must account for every decision in the window.
 //!
 //! Lives in `tests/` because the naplet library itself forbids unsafe
 //! code and a counting `#[global_allocator]` needs an unsafe impl. Keep
@@ -88,7 +92,13 @@ fn steady_state_grant_allocates_nothing() {
         assert!(guard.decide(&req, &proofs, &mut table).is_granted());
     }
 
-    // Steady state: not one heap allocation across many checks.
+    // Steady state: not one heap allocation across many checks — with
+    // telemetry recording every one of them.
+    assert!(
+        stacl_obs::enabled(),
+        "the zero-allocation claim must cover telemetry-on recording"
+    );
+    let obs_before = stacl_obs::snapshot();
     let before = ALLOCS.load(Ordering::SeqCst);
     for i in 3..103u32 {
         let req = GuardRequest {
@@ -106,4 +116,9 @@ fn steady_state_grant_allocates_nothing() {
         "steady-state grants must be allocation-free ({} allocations in 100 checks)",
         after - before
     );
+    // Taking a snapshot is fixed-size (no heap); diffing proves the
+    // telemetry observed exactly the 100 granted decisions above.
+    let d = stacl_obs::snapshot().diff(&obs_before);
+    assert_eq!(d.counter(stacl_obs::Counter::VerdictGranted), 100);
+    assert_eq!(d.verdict_total(), 100);
 }

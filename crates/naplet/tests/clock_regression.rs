@@ -1,0 +1,79 @@
+//! Regression test for the clock-skew panic: a coalition server whose
+//! (seeded) skew is negative used to hand the guard a timestamp earlier
+//! than events already recorded on a permission timeline, and
+//! `Timeline::assert_monotone` panicked inside library code. The guard
+//! must instead deny with a reason — counted by the telemetry — and keep
+//! working afterwards.
+//!
+//! The telemetry registry is process-global, so this file holds a SINGLE
+//! `#[test]` and asserts on snapshot diffs.
+
+use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_ids::rng::SplitMix64;
+use stacl_naplet::guard::GuardRequest;
+use stacl_naplet::prelude::*;
+use stacl_obs::{snapshot, Counter};
+use stacl_rbac::{AccessPattern, ExtendedRbac, Permission, RbacModel};
+use stacl_sral::builder::access;
+use stacl_sral::Access;
+use stacl_temporal::TimePoint;
+use stacl_trace::AccessTable;
+
+#[test]
+fn negative_skew_denies_instead_of_panicking() {
+    assert!(stacl_obs::enabled(), "telemetry must default to on");
+    // The sim draws per-server skew from a seeded SplitMix64; seed 3 is a
+    // pinned draw that lands strictly negative, reproducing a "new server
+    // behind the previous server's clock" coalition.
+    let mut rng = SplitMix64::seed_from_u64(3);
+    let skew = -(rng.gen_f64() * 5.0) - 0.5;
+    assert!(skew < 0.0, "the pinned seed must produce negative skew");
+
+    let mut m = RbacModel::new();
+    m.add_user("n1");
+    m.add_role("r");
+    m.add_permission(Permission::new("p", AccessPattern::any()))
+        .unwrap();
+    m.assign_permission("r", "p").unwrap();
+    m.assign_user("n1", "r").unwrap();
+    let g = CoordinatedGuard::new(ExtendedRbac::new(m));
+    g.enroll("n1", ["r"]);
+
+    let proofs = ProofStore::new();
+    let mut table = AccessTable::new();
+    let a = Access::new("exec", "rsw", "s1");
+    let p = access("exec", "rsw", "s1");
+    let req_at = |t: f64| GuardRequest {
+        object: "n1",
+        access: &a,
+        remaining: &p,
+        time: TimePoint::new(t),
+    };
+
+    // t = 10: first grant activates the permission timeline at 10.
+    assert!(g.decide(&req_at(10.0), &proofs, &mut table).is_granted());
+
+    let base = snapshot();
+    // The object migrates to a server whose skewed clock reads 10+skew
+    // (< 10). Recording the arrival must not panic; the regressed refill
+    // is counted and dropped.
+    g.note_arrival("n1", TimePoint::new(10.0 + skew));
+    // A decision stamped with that skewed clock is denied with a reason
+    // instead of panicking in `activate`.
+    let v = g.decide(&req_at(10.0 + skew), &proofs, &mut table);
+    assert_eq!(v.kind, DecisionKind::DeniedTemporal, "{v:?}");
+    assert!(
+        v.reason_str().contains("clock regression"),
+        "denial must name the cause: {v:?}"
+    );
+    let d = snapshot().diff(&base);
+    assert_eq!(
+        d.counter(Counter::ClockRegression),
+        2,
+        "one regressed timeline refill + one regressed activation: {d:?}"
+    );
+
+    // The guard recovered: once the clock moves forward again, grants
+    // resume on the same timeline.
+    assert!(g.decide(&req_at(12.0), &proofs, &mut table).is_granted());
+}

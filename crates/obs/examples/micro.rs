@@ -1,0 +1,57 @@
+//! Microbenchmark of the `stacl-obs` record-path primitives, used to
+//! budget the E13 telemetry-overhead ablation (EXPERIMENTS.md):
+//!
+//! ```sh
+//! cargo run --release -p stacl-obs --example micro
+//! ```
+//!
+//! Reference numbers from the E13 host (single-core container):
+//! `count()` ~2 ns (plain load + store on an exclusive stripe) vs
+//! ~0.4 ns disabled; the sampled decide-timer pair ~5 ns amortised;
+//! two `Instant::now()` reads ~70 ns (why latency is sampled 1 in
+//! [`stacl_obs::SAMPLE_EVERY`] rather than measured per decision).
+
+use std::time::Instant;
+
+fn main() {
+    let n = 20_000_000u64;
+    let t = Instant::now();
+    for _ in 0..n {
+        stacl_obs::count(stacl_obs::Counter::VerdictGranted);
+    }
+    let per = t.elapsed().as_nanos() as f64 / n as f64;
+    println!("count():         {per:.2} ns/op");
+
+    stacl_obs::set_telemetry(false);
+    let t = Instant::now();
+    for _ in 0..n {
+        stacl_obs::count(stacl_obs::Counter::VerdictGranted);
+    }
+    let per = t.elapsed().as_nanos() as f64 / n as f64;
+    println!("count() [off]:   {per:.2} ns/op");
+    stacl_obs::set_telemetry(true);
+
+    let t = Instant::now();
+    for _ in 0..n {
+        let s = stacl_obs::decide_timer();
+        stacl_obs::observe_decide(s);
+    }
+    let per = t.elapsed().as_nanos() as f64 / n as f64;
+    println!(
+        "timer pair:      {per:.2} ns/op (amortised, 1/{} sampled)",
+        stacl_obs::SAMPLE_EVERY
+    );
+
+    let m = 2_000_000u64;
+    let t = Instant::now();
+    let mut acc = 0u128;
+    for _ in 0..m {
+        acc = acc.wrapping_add(Instant::now().elapsed().as_nanos());
+    }
+    let per = t.elapsed().as_nanos() as f64 / m as f64;
+    println!("2x Instant::now: {per:.2} ns  (sink {acc})");
+    println!(
+        "recorded:        {} granted",
+        stacl_obs::snapshot().counter(stacl_obs::Counter::VerdictGranted)
+    );
+}

@@ -67,6 +67,7 @@ use std::sync::Arc;
 use stacl_coalition::{DecisionKind, ProofStore, Verdict};
 use stacl_ids::sync::{Mutex, RwLock, Snapshot};
 use stacl_ids::{ClassId, IdKind, Interner, ObjectId, PermId};
+use stacl_obs::Counter;
 use stacl_srac::check::{check_residual_cached, ConstraintCache, Semantics};
 use stacl_srac::{Constraint, ConstraintCursor};
 use stacl_sral::ast::Name;
@@ -363,9 +364,19 @@ impl ExtendedRbac {
         let oid = self.objects.intern(object);
         let gate = self.gate_of(oid);
         let mut gate = gate.lock();
+        // Per-server clock skew can hand a newly visited server an earlier
+        // timestamp than events already recorded. The arrival log must stay
+        // monotone (timeline rebuilds replay it in order), so a regressed
+        // arrival is counted and dropped instead of panicking downstream.
+        if gate.arrivals.last().is_some_and(|&last| time < last) {
+            stacl_obs::count(Counter::ClockRegression);
+            return;
+        }
         gate.arrivals.push(time);
         for tl in gate.timelines.values_mut() {
-            tl.arrive_at_server(time);
+            if tl.try_arrive_at_server(time).is_err() {
+                stacl_obs::count(Counter::ClockRegression);
+            }
         }
         drop(gate);
         // Mirror into the string-keyed ablation state.
@@ -376,7 +387,9 @@ impl ExtendedRbac {
             .push(time);
         for ((o, _), tl) in sk.timelines.iter_mut() {
             if &**o == object {
-                tl.arrive_at_server(time);
+                // Mirror state: a regressed arrival is simply skipped (the
+                // interned path above already counted it).
+                let _ = tl.try_arrive_at_server(time);
             }
         }
     }
@@ -435,6 +448,7 @@ impl ExtendedRbac {
             }
             out.push(pid);
         }
+        stacl_obs::count(Counter::SnapshotRebuild);
         self.perm_table.publish(pt);
         let perms = Arc::new(out);
         self.session_perms.write().insert(
@@ -544,7 +558,18 @@ impl ExtendedRbac {
                 }
                 tl
             });
-            tl.activate(req.time);
+            if tl.try_activate(req.time).is_err() {
+                // Clock skew handed this request a timestamp earlier than an
+                // event already on the timeline: deny-with-reason (counted)
+                // instead of panicking inside the guard.
+                stacl_obs::count(Counter::ClockRegression);
+                temporal_failure = Some(format!(
+                    "clock regression: request time {} precedes a recorded \
+                     timeline event for permission `{}`",
+                    req.time, entry.name
+                ));
+                continue;
+            }
             if tl.is_valid_at(req.time) {
                 return Verdict::granted();
             }
@@ -596,19 +621,32 @@ impl ExtendedRbac {
         // Team scope folds companions' histories, which grow behind this
         // object's back: always from scratch. Likewise when the fast path
         // is ablated away.
-        if entry.scope == HistoryScope::Team || !self.incremental_enabled() {
+        if entry.scope == HistoryScope::Team {
+            // Decline rule 5: team-scoped history is always from scratch.
+            stacl_obs::count(Counter::CursorDeclineTeamScope);
+            return self.check_scratch(entry.scope, c, req, proofs, table);
+        }
+        if !self.incremental_enabled() {
             return self.check_scratch(entry.scope, c, req, proofs, table);
         }
         let generation = self.model.generation();
         let watermark = proofs.watermark_of(req.object);
-        if let Some(sc) = gate.cursors.get_mut(&pid) {
-            // Validity: same policy generation (the compiled constraint is
-            // current), same table id-mapping, and the proof store hasn't
-            // been swapped under us (consumed beyond its watermark).
-            if sc.generation == generation
-                && sc.cursor.in_sync_with(table)
-                && sc.cursor.consumed() <= watermark
-            {
+        // Validity (DESIGN.md §8): same policy generation (the compiled
+        // constraint is current), same table id-mapping, and the proof
+        // store hasn't been swapped under us (consumed beyond its
+        // watermark). The *first failing rule* is the counted decline.
+        match gate.cursors.get_mut(&pid) {
+            None => stacl_obs::count(Counter::CursorColdStart),
+            Some(sc) if sc.generation != generation => {
+                stacl_obs::count(Counter::CursorDeclineGeneration)
+            }
+            Some(sc) if !sc.cursor.in_sync_with(table) => {
+                stacl_obs::count(Counter::CursorDeclineTableVersion)
+            }
+            Some(sc) if sc.cursor.consumed() > watermark => {
+                stacl_obs::count(Counter::CursorDeclineWatermark)
+            }
+            Some(sc) => {
                 // Fold in exactly the proofs issued since the cursor last
                 // advanced. An unknown symbol aborts the fold, leaving the
                 // cursor partially advanced — invalid — and falls through
@@ -624,9 +662,13 @@ impl ExtendedRbac {
                 }
                 if ok {
                     if let Some(holds) = sc.cursor.check_residual_program(req.program, table) {
+                        stacl_obs::count(Counter::CursorFastPathHit);
                         return holds;
                     }
                 }
+                // Decline rule 3: a proof or residual symbol outside the
+                // cursor's compiled alphabet.
+                stacl_obs::count(Counter::CursorDeclineUnknownSymbol);
             }
         }
         // Slow path + cursor rebuild.
@@ -778,7 +820,15 @@ impl ExtendedRbac {
                 }
                 tl
             });
-            tl.activate(req.time);
+            if tl.try_activate(req.time).is_err() {
+                stacl_obs::count(Counter::ClockRegression);
+                temporal_failure = Some(format!(
+                    "clock regression: request time {} precedes a recorded \
+                     timeline event for permission `{}`",
+                    req.time, perm.name
+                ));
+                continue;
+            }
             if tl.is_valid_at(req.time) {
                 return Verdict::granted();
             }
@@ -861,14 +911,17 @@ impl ExtendedRbac {
         if let Some((oid, bkey)) = self.timeline_key(object, perm) {
             if let Some(gate) = self.gates.read().get(&oid).map(Arc::clone) {
                 if let Some(tl) = gate.lock().timelines.get_mut(&bkey) {
-                    tl.deactivate(time);
+                    if tl.try_deactivate(time).is_err() {
+                        stacl_obs::count(Counter::ClockRegression);
+                    }
                 }
             }
         }
         // Mirror into the string-keyed ablation state.
         let key_sk = (stacl_sral::ast::name(object), self.budget_key_sk(perm));
         if let Some(tl) = self.sk.lock().timelines.get_mut(&key_sk) {
-            tl.deactivate(time);
+            // Mirror state: skip silently, the interned path counted it.
+            let _ = tl.try_deactivate(time);
         }
     }
 

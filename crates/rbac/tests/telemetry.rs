@@ -1,0 +1,181 @@
+//! Exhaustiveness test for the cursor decline-reason telemetry: every
+//! invalidation rule of DESIGN.md §8 is reachable and increments exactly
+//! its own counter.
+//!
+//! The telemetry registry is process-global, so this file holds a SINGLE
+//! `#[test]` (the harness runs tests of one binary in parallel threads)
+//! and every assertion works on snapshot diffs.
+
+use stacl_coalition::ProofStore;
+use stacl_obs::{snapshot, Counter, MetricsSnapshot};
+use stacl_rbac::{
+    AccessPattern, AccessRequest, ExtendedRbac, HistoryScope, Permission, RbacModel, SessionId,
+};
+use stacl_srac::parser::parse_constraint;
+use stacl_sral::builder::access;
+use stacl_sral::Access;
+use stacl_temporal::TimePoint;
+use stacl_trace::AccessTable;
+
+fn setup(perm: Permission) -> (ExtendedRbac, SessionId) {
+    let mut m = RbacModel::new();
+    m.add_user("naplet-1");
+    m.add_role("worker");
+    m.add_permission(perm).unwrap();
+    m.assign_permission("worker", "p-exec").unwrap();
+    m.assign_user("naplet-1", "worker").unwrap();
+    let mut x = ExtendedRbac::new(m);
+    let sid = x.open_session("naplet-1", vec![]).unwrap();
+    x.activate_role(sid, "worker").unwrap();
+    (x, sid)
+}
+
+fn spatial_perm() -> Permission {
+    Permission::new("p-exec", AccessPattern::parse("exec:rsw:*").unwrap())
+        .with_spatial(parse_constraint("count(0, 100, resource=rsw)").unwrap())
+}
+
+fn decide(x: &ExtendedRbac, sid: SessionId, proofs: &ProofStore, table: &mut AccessTable) -> bool {
+    let a = Access::new("exec", "rsw", "s1");
+    let prog = access("exec", "rsw", "s1");
+    let req = AccessRequest {
+        object: "naplet-1",
+        session: sid,
+        access: &a,
+        program: &prog,
+        time: TimePoint::new(0.0),
+        reuse_spatial: false,
+    };
+    x.decide(&req, proofs, table).is_granted()
+}
+
+/// Assert that, between two snapshots, `hit` advanced by exactly one and
+/// every *other* §8 decline counter (plus cold-start and fast-path, unless
+/// they are the hit) stayed put.
+fn assert_only(diff: &MetricsSnapshot, hit: Counter) {
+    let exclusive = [
+        Counter::CursorColdStart,
+        Counter::CursorFastPathHit,
+        Counter::CursorDeclineTableVersion,
+        Counter::CursorDeclineWatermark,
+        Counter::CursorDeclineUnknownSymbol,
+        Counter::CursorDeclineGeneration,
+        Counter::CursorDeclineTeamScope,
+    ];
+    for c in exclusive {
+        let expect = u64::from(c == hit);
+        assert_eq!(
+            diff.counter(c),
+            expect,
+            "{:?} expected {expect} when exercising {hit:?}: {diff:?}",
+            c
+        );
+    }
+}
+
+#[test]
+fn every_decline_reason_is_reachable_and_counted_once() {
+    assert!(stacl_obs::enabled(), "telemetry must default to on");
+    let (mut x, sid) = setup(spatial_perm());
+    let proofs = ProofStore::new();
+    let mut table = AccessTable::new();
+
+    // First spatial check: no cursor yet — cold start, then the slow path
+    // builds one.
+    let s0 = snapshot();
+    assert!(decide(&x, sid, &proofs, &mut table));
+    let d = snapshot().diff(&s0);
+    assert_only(&d, Counter::CursorColdStart);
+    assert!(
+        d.counter(Counter::CacheMiss) >= 1,
+        "first decide compiles the constraint: {d:?}"
+    );
+
+    // Warm cursor: the fast path answers.
+    let s0 = snapshot();
+    assert!(decide(&x, sid, &proofs, &mut table));
+    assert_only(&snapshot().diff(&s0), Counter::CursorFastPathHit);
+
+    // Rule 1 — table version: interning a new access bumps the table
+    // version out from under the cursor.
+    table.intern(&Access::new("probe", "other", "s9"));
+    let s0 = snapshot();
+    assert!(decide(&x, sid, &proofs, &mut table));
+    assert_only(&snapshot().diff(&s0), Counter::CursorDeclineTableVersion);
+
+    // Advance the cursor over two issued proofs (fast path), so it has
+    // consumed beyond what a fresh store has.
+    proofs.issue(
+        "naplet-1",
+        Access::new("exec", "rsw", "s1"),
+        TimePoint::new(0.0),
+    );
+    proofs.issue(
+        "naplet-1",
+        Access::new("exec", "rsw", "s1"),
+        TimePoint::new(0.0),
+    );
+    let s0 = snapshot();
+    assert!(decide(&x, sid, &proofs, &mut table));
+    let d = snapshot().diff(&s0);
+    assert_only(&d, Counter::CursorFastPathHit);
+    assert_eq!(
+        d.counter(Counter::WatermarkAdvance),
+        0,
+        "issue() counts happened before the snapshot"
+    );
+
+    // Rule 2 — watermark: a fresh (empty) proof store has watermark 0 but
+    // the cursor already consumed 2.
+    let fresh = ProofStore::new();
+    let s0 = snapshot();
+    assert!(decide(&x, sid, &fresh, &mut table));
+    assert_only(&snapshot().diff(&s0), Counter::CursorDeclineWatermark);
+
+    // Rule 3 — unknown symbol: a proof whose access was never interned
+    // into the cursor's alphabet aborts the suffix fold.
+    fresh.issue(
+        "naplet-1",
+        Access::new("exec", "rsw", "s-unseen"),
+        TimePoint::new(0.0),
+    );
+    let s0 = snapshot();
+    assert!(decide(&x, sid, &fresh, &mut table));
+    assert_only(&snapshot().diff(&s0), Counter::CursorDeclineUnknownSymbol);
+
+    // Rule 4 — generation: any successful model mutation bumps the
+    // generation, invalidating the compiled constraint.
+    x.model.add_role("spare-role");
+    let s0 = snapshot();
+    assert!(decide(&x, sid, &fresh, &mut table));
+    let d = snapshot().diff(&s0);
+    assert_only(&d, Counter::CursorDeclineGeneration);
+    assert!(
+        d.counter(Counter::SnapshotRebuild) >= 1,
+        "generation change forces a permission-table rebuild: {d:?}"
+    );
+
+    // Rule 5 — team scope: always checked from scratch, every time.
+    let (x2, sid2) = setup(spatial_perm().with_scope(HistoryScope::Team));
+    let proofs2 = ProofStore::new();
+    let mut table2 = AccessTable::new();
+    for _ in 0..2 {
+        let s0 = snapshot();
+        assert!(decide(&x2, sid2, &proofs2, &mut table2));
+        assert_only(&snapshot().diff(&s0), Counter::CursorDeclineTeamScope);
+    }
+
+    // Watermark advances are counted at proof issue time, one per proof.
+    let s0 = snapshot();
+    proofs2.issue(
+        "naplet-1",
+        Access::new("exec", "rsw", "s1"),
+        TimePoint::new(1.0),
+    );
+    proofs2.issue(
+        "naplet-1",
+        Access::new("exec", "rsw", "s2"),
+        TimePoint::new(2.0),
+    );
+    assert_eq!(snapshot().diff(&s0).counter(Counter::WatermarkAdvance), 2);
+}

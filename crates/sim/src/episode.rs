@@ -321,10 +321,17 @@ pub fn run_episode_with(sc: &Scenario, bug: Option<OracleBug>, batched: bool) ->
                     let oracle_v = oracle.decide(sc, it.obj, access, it.remaining, time);
                     let system_v: Verdict = match guard_vs[k].take() {
                         Some(v) => v,
-                        None => Verdict::denied(
-                            DecisionKind::DeniedUnknownTarget,
-                            format!("server {} is unreachable", access.server),
-                        ),
+                        None => {
+                            // Topology denial happens before the guard runs,
+                            // so record the verdict here to keep the
+                            // telemetry invariant (verdict counters sum to
+                            // total decisions) exact.
+                            stacl_obs::count(stacl_obs::Counter::VerdictDeniedUnknownTarget);
+                            Verdict::denied(
+                                DecisionKind::DeniedUnknownTarget,
+                                format!("server {} is unreachable", access.server),
+                            )
+                        }
                     };
 
                     decisions += 1;

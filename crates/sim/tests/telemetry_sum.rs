@@ -1,0 +1,60 @@
+//! Telemetry conservation over the simulator: across sim seeds 0..64,
+//! the verdict counters advance by exactly the number of decisions each
+//! episode reports — per kind, not just in total. Every decision is
+//! recorded once (by `CoordinatedGuard::decide` or, for pre-guard
+//! topology denials, by the episode driver) and nothing else records
+//! verdicts.
+//!
+//! The telemetry registry is process-global, so this file holds a SINGLE
+//! `#[test]` and asserts on snapshot diffs.
+
+use std::collections::BTreeMap;
+
+use stacl_obs::{snapshot, Counter};
+use stacl_sim::episode_for_seed;
+
+#[test]
+fn verdict_counters_sum_to_total_decisions_over_seeds() {
+    assert!(stacl_obs::enabled(), "telemetry must default to on");
+    let base = snapshot();
+    let mut total = 0u64;
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for seed in 0..64 {
+        let ep = episode_for_seed(seed, None);
+        assert!(ep.divergence.is_none(), "seed {seed} diverged");
+        total += ep.decisions as u64;
+        for (k, n) in &ep.histogram {
+            *by_kind.entry(k).or_insert(0) += *n as u64;
+        }
+    }
+    let d = snapshot().diff(&base);
+    assert!(total > 0, "the sweep must exercise the guard");
+    assert_eq!(
+        d.verdict_total(),
+        total,
+        "verdict counters must sum to total decisions: {d:?}"
+    );
+    for (counter, label) in [
+        (Counter::VerdictGranted, "granted"),
+        (Counter::VerdictDeniedNoPermission, "denied-no-permission"),
+        (Counter::VerdictDeniedSpatial, "denied-spatial"),
+        (Counter::VerdictDeniedTemporal, "denied-temporal"),
+        (Counter::VerdictDeniedUnknownTarget, "denied-unknown-target"),
+    ] {
+        assert_eq!(
+            d.counter(counter),
+            by_kind.get(label).copied().unwrap_or(0),
+            "counter {label} must match the episode histograms"
+        );
+    }
+    // Every fast-path consultation resolves to exactly one of: hit, cold
+    // start, or a §8 decline — so spatial cursor activity is internally
+    // conserved as well (it can only be observed where it happened).
+    let consultations = d.counter(Counter::CursorFastPathHit)
+        + d.counter(Counter::CursorColdStart)
+        + d.decline_total();
+    assert!(
+        consultations > 0,
+        "64 seeds must exercise the cursor fast path: {d:?}"
+    );
+}

@@ -168,9 +168,11 @@ impl ConstraintCache {
         let key = (c.clone(), table.version());
         if let Some(d) = self.map.get(&key) {
             self.hits += 1;
+            stacl_obs::count(stacl_obs::Counter::CacheHit);
             return std::sync::Arc::clone(d);
         }
         self.misses += 1;
+        stacl_obs::count(stacl_obs::Counter::CacheMiss);
         let d = std::sync::Arc::new(compile(c, al, table));
         self.map.insert(key, std::sync::Arc::clone(&d));
         d

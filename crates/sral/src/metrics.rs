@@ -41,11 +41,9 @@ pub struct Metrics {
 pub fn metrics(p: &Program) -> Metrics {
     let mut m = Metrics::default();
     let mut alphabet = std::collections::HashSet::new();
-    let mut stack = vec![p];
     let mut max_depth = 0usize;
     // Track depth with an explicit (node, depth) stack.
     let mut dstack = vec![(p, 1usize)];
-    stack.clear();
     while let Some((node, depth)) = dstack.pop() {
         m.size += 1;
         max_depth = max_depth.max(depth);

@@ -20,6 +20,24 @@ use crate::scheme::BaseTimeScheme;
 use crate::step::StepFn;
 use crate::time::{TimeDelta, TimePoint};
 
+/// An out-of-order timeline event: per-server clock skew handed the
+/// timeline a timestamp earlier than the latest event it has recorded.
+/// The `try_*` recording methods return this instead of mutating, so the
+/// decision layer can deny with a reason rather than panic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClockRegression {
+    /// The rejected event time.
+    pub attempted: TimePoint,
+    /// The latest event time already on the timeline.
+    pub last: TimePoint,
+}
+
+impl std::fmt::Display for ClockRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} < {}", self.attempted, self.last)
+    }
+}
+
 /// The recorded history and derived validity of one permission.
 #[derive(Clone, Debug)]
 pub struct PermissionTimeline {
@@ -90,43 +108,74 @@ impl PermissionTimeline {
         }
     }
 
-    fn assert_monotone(&self, t: TimePoint) {
-        if let Some(last) = self.last_time() {
-            assert!(
-                t >= last,
-                "timeline events must be recorded in time order ({t} < {last})"
-            );
+    fn check_monotone(&self, t: TimePoint) -> Result<(), ClockRegression> {
+        match self.last_time() {
+            Some(last) if t < last => Err(ClockRegression { attempted: t, last }),
+            _ => Ok(()),
         }
     }
 
     /// Record arrival at a (new) server at time `t`. Under the
     /// `CurrentServer` scheme this resets the validity budget.
-    pub fn arrive_at_server(&mut self, t: TimePoint) {
-        self.assert_monotone(t);
+    ///
+    /// Rejects (without mutating) when `t` precedes an already-recorded
+    /// event — per-server clock skew can hand a newly visited server an
+    /// earlier timestamp, and that must surface as a countable denial
+    /// rather than a library panic.
+    pub fn try_arrive_at_server(&mut self, t: TimePoint) -> Result<(), ClockRegression> {
+        self.check_monotone(t)?;
         self.arrivals.push(t);
         self.valid_cache.get_mut().take();
+        Ok(())
+    }
+
+    /// Panicking variant of [`PermissionTimeline::try_arrive_at_server`],
+    /// for callers that have already established monotonicity.
+    pub fn arrive_at_server(&mut self, t: TimePoint) {
+        if let Err(e) = self.try_arrive_at_server(t) {
+            panic!("timeline events must be recorded in time order ({e})");
+        }
     }
 
     /// Record that the permission became active (role activated and
     /// spatial constraints satisfied) at `t`. Idempotent while active —
     /// and then a true no-op that keeps the validity memo warm.
-    pub fn activate(&mut self, t: TimePoint) {
-        self.assert_monotone(t);
+    /// Rejects out-of-order timestamps like
+    /// [`PermissionTimeline::try_arrive_at_server`].
+    pub fn try_activate(&mut self, t: TimePoint) -> Result<(), ClockRegression> {
+        self.check_monotone(t)?;
         if !self.active_now {
             self.toggles.push((t, true));
             self.active_now = true;
             self.valid_cache.get_mut().take();
         }
+        Ok(())
+    }
+
+    /// Panicking variant of [`PermissionTimeline::try_activate`].
+    pub fn activate(&mut self, t: TimePoint) {
+        if let Err(e) = self.try_activate(t) {
+            panic!("timeline events must be recorded in time order ({e})");
+        }
     }
 
     /// Record that the permission went inactive at `t` (role released or
-    /// session ended). Idempotent while inactive.
-    pub fn deactivate(&mut self, t: TimePoint) {
-        self.assert_monotone(t);
+    /// session ended). Idempotent while inactive. Rejects out-of-order
+    /// timestamps like [`PermissionTimeline::try_arrive_at_server`].
+    pub fn try_deactivate(&mut self, t: TimePoint) -> Result<(), ClockRegression> {
+        self.check_monotone(t)?;
         if self.active_now {
             self.toggles.push((t, false));
             self.active_now = false;
             self.valid_cache.get_mut().take();
+        }
+        Ok(())
+    }
+
+    /// Panicking variant of [`PermissionTimeline::try_deactivate`].
+    pub fn deactivate(&mut self, t: TimePoint) {
+        if let Err(e) = self.try_deactivate(t) {
+            panic!("timeline events must be recorded in time order ({e})");
         }
     }
 
