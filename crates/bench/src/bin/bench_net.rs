@@ -1,0 +1,245 @@
+//! `bench_net` — the E14 wire-overhead experiment (DESIGN.md §11,
+//! EXPERIMENTS.md E14), emitted as machine-readable JSON.
+//!
+//! Measures what the coalition protocol costs relative to calling the
+//! guard in process. The same all-grant fleet workload runs three ways:
+//!
+//! | mode | path |
+//! |---|---|
+//! | `in-process`      | `CoordinatedGuard::decide` directly |
+//! | `wire-sequential` | one `Decide` frame per decision over loopback TCP |
+//! | `wire-batch`      | one `DecideBatch` frame per 32 time steps (all objects) |
+//!
+//! Telemetry runs for the wire modes, so the report also carries the
+//! frame and byte counters — the per-decision wire footprint is
+//! `bytes_tx / decisions`, which quantifies the vocabulary-sync design
+//! (steady-state frames carry u32 ids, never names).
+//!
+//! Usage: `bench_net [--objects 32] [--accesses 500] [--out BENCH_net.json]`
+
+use std::time::{Duration, Instant};
+
+use stacl::naplet::guard::GuardRequest;
+use stacl::obs::Counter;
+use stacl::prelude::*;
+use stacl_bench::fleet_model;
+use stacl_net::{Client, DaemonConfig};
+
+struct ModeResult {
+    name: &'static str,
+    ops_per_sec: f64,
+    elapsed_s: f64,
+    decisions: usize,
+}
+
+fn main() {
+    let mut objects = 32usize;
+    let mut accesses = 500usize;
+    let mut out = String::from("BENCH_net.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let val = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for {key}");
+            std::process::exit(2);
+        });
+        match key {
+            "--objects" => objects = val.parse().expect("--objects"),
+            "--accesses" => accesses = val.parse().expect("--accesses"),
+            "--out" => out = val.clone(),
+            _ => {
+                eprintln!("unknown flag {key} (expected --objects/--accesses/--out)");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    stacl::obs::set_telemetry(true);
+    stacl::obs::reset();
+
+    let decisions = objects * accesses;
+    let names: Vec<String> = (0..objects).map(|i| format!("n{i}")).collect();
+    let vocab: Vec<Access> = (0..4)
+        .map(|s| Access::new("exec", "rsw", format!("s{s}")))
+        .collect();
+
+    let local = run_in_process(objects, accesses, &names, &vocab);
+
+    let before_wire = stacl::obs::snapshot();
+    let wire_seq = run_wire(false, objects, accesses, &names, &vocab);
+    let wire_stats = stacl::obs::snapshot().diff(&before_wire);
+    let wire_batch = run_wire(true, objects, accesses, &names, &vocab);
+
+    let frames_tx = wire_stats.counter(Counter::NetFrameTx);
+    let bytes_tx = wire_stats.counter(Counter::NetBytesTx);
+    let overhead_x = local.ops_per_sec / wire_seq.ops_per_sec;
+    let batch_recovery_x = wire_batch.ops_per_sec / wire_seq.ops_per_sec;
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"E14-wire-overhead\",\n");
+    s.push_str(&format!("  \"objects\": {objects},\n"));
+    s.push_str(&format!("  \"accesses_per_object\": {accesses},\n"));
+    s.push_str("  \"modes\": {\n");
+    for (i, m) in [&local, &wire_seq, &wire_batch].iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {{\n      \"ops_per_sec\": {:.3},\n      \"elapsed_s\": {:.3},\n      \"decisions\": {}\n    }}{}\n",
+            m.name,
+            m.ops_per_sec,
+            m.elapsed_s,
+            m.decisions,
+            if i < 2 { "," } else { "" }
+        ));
+    }
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"ops_per_sec_in_process\": {:.3},\n",
+        local.ops_per_sec
+    ));
+    s.push_str(&format!(
+        "  \"ops_per_sec_wire\": {:.3},\n",
+        wire_seq.ops_per_sec
+    ));
+    s.push_str(&format!(
+        "  \"ops_per_sec_wire_batch\": {:.3},\n",
+        wire_batch.ops_per_sec
+    ));
+    s.push_str(&format!("  \"overhead_x\": {overhead_x:.3},\n"));
+    s.push_str(&format!("  \"batch_recovery_x\": {batch_recovery_x:.3},\n"));
+    s.push_str(&format!("  \"frames_tx\": {frames_tx},\n"));
+    s.push_str(&format!("  \"bytes_tx\": {bytes_tx},\n"));
+    s.push_str(&format!(
+        "  \"bytes_per_decision\": {:.3}\n",
+        bytes_tx as f64 / decisions as f64
+    ));
+    s.push_str("}\n");
+
+    std::fs::write(&out, &s).expect("write report");
+    print!("{s}");
+    eprintln!("wrote {out}");
+}
+
+/// The guard every mode runs against: the all-grant fleet policy with a
+/// live spatial constraint, everyone enrolled.
+fn make_guard(objects: usize, accesses: usize) -> CoordinatedGuard {
+    let guard = CoordinatedGuard::new(ExtendedRbac::new(fleet_model(objects, "rsw", accesses + 2)))
+        .with_mode(EnforcementMode::Reactive);
+    for i in 0..objects {
+        guard.enroll(format!("n{i}"), ["licensee"]);
+    }
+    guard
+}
+
+fn run_in_process(
+    objects: usize,
+    accesses: usize,
+    names: &[String],
+    vocab: &[Access],
+) -> ModeResult {
+    let guard = make_guard(objects, accesses);
+    let proofs = ProofStore::new();
+    let mut table = AccessTable::new();
+    for a in vocab {
+        table.intern(a);
+    }
+    let programs: Vec<Program> = vocab.iter().map(|a| Program::Access(a.clone())).collect();
+
+    let start = Instant::now();
+    for k in 0..accesses {
+        let a = &vocab[k % vocab.len()];
+        let prog = &programs[k % vocab.len()];
+        let time = TimePoint::new(k as f64);
+        for obj in names {
+            let req = GuardRequest {
+                object: obj,
+                access: a,
+                remaining: prog,
+                time,
+            };
+            let v = guard.decide(&req, &proofs, &mut table);
+            assert!(v.is_granted(), "fleet workload must be all-grant");
+        }
+    }
+    ModeResult {
+        name: "in-process",
+        ops_per_sec: (objects * accesses) as f64 / start.elapsed().as_secs_f64(),
+        elapsed_s: start.elapsed().as_secs_f64(),
+        decisions: objects * accesses,
+    }
+}
+
+fn run_wire(
+    batch: bool,
+    objects: usize,
+    accesses: usize,
+    names: &[String],
+    vocab: &[Access],
+) -> ModeResult {
+    let mut handle = stacl_net::spawn(
+        make_guard(objects, accesses),
+        ProofStore::new(),
+        DaemonConfig::new("bench"),
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr(), "bench-driver", Some(Duration::from_secs(10)))
+        .expect("connect");
+    // One vocabulary frame up front: the measured loop is ids-only.
+    client
+        .sync_vocab(
+            names
+                .iter()
+                .map(String::as_str)
+                .chain(["exec", "rsw", "s0", "s1", "s2", "s3"]),
+        )
+        .expect("vocab sync");
+
+    let remaining: Vec<Vec<Access>> = vocab.iter().map(|a| vec![a.clone()]).collect();
+    // The batch mode ships 32 time steps per frame: batching exists to
+    // amortize both the round-trip and the daemon's per-batch setup, so
+    // a realistic client coalesces aggressively.
+    const STEPS_PER_FRAME: usize = 32;
+    let start = Instant::now();
+    let mut k = 0;
+    while k < accesses {
+        if batch {
+            let steps = STEPS_PER_FRAME.min(accesses - k);
+            let items: Vec<(&str, &Access, &[Access], f64)> = (k..k + steps)
+                .flat_map(|step| {
+                    let a = &vocab[step % vocab.len()];
+                    let rem = &remaining[step % vocab.len()];
+                    names
+                        .iter()
+                        .map(move |obj| (obj.as_str(), a, rem.as_slice(), step as f64))
+                })
+                .collect();
+            for v in client.decide_batch(&items).expect("batch decide") {
+                assert!(v.is_granted(), "fleet workload must be all-grant");
+            }
+            k += steps;
+        } else {
+            let a = &vocab[k % vocab.len()];
+            let rem = &remaining[k % vocab.len()];
+            for obj in names {
+                let v = client.decide(obj, a, rem, k as f64).expect("decide");
+                assert!(v.is_granted(), "fleet workload must be all-grant");
+            }
+            k += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    drop(client);
+    handle.shutdown();
+    ModeResult {
+        name: if batch {
+            "wire-batch"
+        } else {
+            "wire-sequential"
+        },
+        ops_per_sec: (objects * accesses) as f64 / elapsed,
+        elapsed_s: elapsed,
+        decisions: objects * accesses,
+    }
+}

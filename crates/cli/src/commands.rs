@@ -400,8 +400,13 @@ pub fn metrics(args: &[String]) -> Result<(), String> {
 /// early (for time-boxed nightly runs). `--batch true` drives episodes
 /// through the parallel `decide_batch` path — episode logs (and thus
 /// divergence results) are byte-identical to the sequential driver's.
+/// `--transport net` replays each episode over a loopback coalition of
+/// `--daemons N` guard daemons speaking the wire protocol, again with
+/// byte-identical logs.
 pub fn sim_run(args: &[String]) -> Result<(), String> {
-    use stacl_sim::{episode_for_seed_batched, repro, OracleBug, SweepReport};
+    use stacl_sim::{
+        episode_for_seed_batched, episode_for_seed_net, repro, OracleBug, SweepReport,
+    };
     let opts = Opts::parse(
         args,
         &[
@@ -412,6 +417,8 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
             "max-seconds",
             "batch",
             "stats",
+            "transport",
+            "daemons",
         ],
     )?;
     let [] = opts.expect_positional(&[])? else {
@@ -424,6 +431,17 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
     let max_seconds: f64 = opts.get_parsed("max-seconds", 0.0)?;
     let batch: bool = opts.get_parsed("batch", false)?;
     let stats: bool = opts.get_parsed("stats", false)?;
+    let net = match opts.get("transport").unwrap_or("in-process") {
+        "in-process" => false,
+        "net" => true,
+        other => return Err(format!("unknown transport `{other}` (in-process|net)")),
+    };
+    let daemons: usize = opts.get_parsed("daemons", 4)?;
+    if net && batch {
+        return Err("--transport net replays decisions one frame at a time; \
+                    it cannot be combined with --batch true"
+            .into());
+    }
     let obs_baseline = stacl_obs::snapshot();
 
     if let Some(dir) = &out_dir {
@@ -436,7 +454,27 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
             println!("time budget reached after {} episodes", report.episodes);
             break;
         }
-        let ep = if batch {
+        let ep = if net {
+            let ep = episode_for_seed_net(seed, bug, daemons)?;
+            // Wire-level differential validation: the networked replay
+            // must reproduce the in-process verdict log byte for byte.
+            let reference = stacl_sim::episode_for_seed(seed, bug);
+            if ep.log != reference.log {
+                if let Some(dir) = &out_dir {
+                    let path = format!("{dir}/seed-{seed}-transport.txt");
+                    let dump = format!(
+                        "seed {seed}: net transport diverged from in-process\n\
+                         --- in-process ---\n{}\n--- net ({daemons} daemons) ---\n{}",
+                        reference.log, ep.log
+                    );
+                    fs::write(&path, dump).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                }
+                return Err(format!(
+                    "seed {seed}: net transport log diverged from the in-process driver"
+                ));
+            }
+            ep
+        } else if batch {
             episode_for_seed_batched(seed, bug)
         } else {
             stacl_sim::episode_for_seed(seed, bug)

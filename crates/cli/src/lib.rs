@@ -5,4 +5,5 @@
 #![forbid(unsafe_code)]
 
 pub mod commands;
+pub mod netcmd;
 pub mod opts;

@@ -18,6 +18,7 @@
 //!        --modules N --servers K --seed S --tamper NAME|first
 //! stacl sim    run [opts]                          differential simulator sweep
 //!        --seeds N --start-seed S --oracle-bug B --out DIR --max-seconds T
+//!        --transport in-process|net --daemons N
 //! stacl sim    repro <seed> [--oracle-bug B]       replay + shrink one seed
 //! stacl metrics [opts]                             decision-path telemetry JSON
 //!        --seeds N --start-seed S --batch true|false --out FILE
@@ -44,6 +45,8 @@ fn main() -> ExitCode {
         "run" => commands::run(rest),
         "audit" => commands::audit(rest),
         "sim" => commands::sim(rest),
+        "serve" => stacl_cli::netcmd::serve(rest),
+        "net-decide" => stacl_cli::netcmd::net_decide(rest),
         "metrics" => commands::metrics(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -75,5 +78,12 @@ USAGE:
   stacl audit  [--modules N] [--servers K] [--seed S] [--tamper NAME|first]
   stacl sim    run [--seeds N] [--start-seed S] [--oracle-bug B] [--out DIR]
                [--max-seconds T] [--batch true|false] [--stats true|false]
+               [--transport in-process|net] [--daemons N]
   stacl sim    repro <seed> [--oracle-bug B]
-  stacl metrics [--seeds N] [--start-seed S] [--batch true|false] [--out FILE]";
+  stacl metrics [--seeds N] [--start-seed S] [--batch true|false] [--out FILE]
+  stacl serve  --policy <file.policy> --name SERVER [--listen ADDR]
+               [--peers n=addr,...] [--custody open|strict] [--skew S]
+               [--enroll obj=role+role,...]
+  stacl net-decide --addr host:port --object NAME --access \"op res server\"
+               [--remaining \"op res s; ...\"] [--time T] [--arrive true|false]
+               [--from PEER] [--metrics true|false]";

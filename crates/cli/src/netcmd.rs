@@ -1,0 +1,160 @@
+//! The networked-coalition subcommands: `stacl serve` hosts one member's
+//! guard daemon; `stacl net-decide` drives a decision over the wire.
+
+use std::fs;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
+
+use stacl::prelude::*;
+use stacl::rbac::policy::parse_policy;
+use stacl_net::{Client, DaemonConfig};
+
+use crate::opts::Opts;
+
+fn resolve_addr(s: &str) -> Result<SocketAddr, String> {
+    s.to_socket_addrs()
+        .map_err(|e| format!("invalid address `{s}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("address `{s}` resolves to nothing"))
+}
+
+/// Parse one `op resource server` triple.
+fn parse_access(entry: &str) -> Result<Access, String> {
+    let parts: Vec<&str> = entry.split_whitespace().collect();
+    let [op, resource, server] = parts[..] else {
+        return Err(format!("access `{entry}` must be `op resource server`"));
+    };
+    Ok(Access::new(op, resource, server))
+}
+
+/// `stacl serve --policy <file.policy> --name <server> [--listen ADDR]
+/// [--peers n=addr,…] [--custody open|strict] [--skew S]
+/// [--enroll obj=role1+role2,…]`
+///
+/// Hosts one coalition member: a guard daemon built from the policy,
+/// listening for protocol frames. `--custody strict` turns on custody
+/// enforcement — the member only decides for objects it currently
+/// custodies, pulling the migration handoff from the peer named in each
+/// arrival. Blocks until a `Shutdown` frame arrives.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "policy", "name", "listen", "peers", "custody", "skew", "enroll",
+        ],
+    )?;
+    opts.expect_positional(&[])?;
+    let policy_path = opts.get("policy").ok_or("missing --policy <file.policy>")?;
+    let name = opts.get("name").ok_or("missing --name <server>")?;
+    let src =
+        fs::read_to_string(policy_path).map_err(|e| format!("cannot read `{policy_path}`: {e}"))?;
+    let model = parse_policy(&src).map_err(|e| e.to_string())?;
+
+    let guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    if let Some(enroll) = opts.get("enroll") {
+        for entry in enroll.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (obj, roles) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("enrollment `{entry}` must be `object=role+role`"))?;
+            guard.enroll(obj, roles.split('+'));
+        }
+    }
+    match opts.get("custody").unwrap_or("open") {
+        "open" => {}
+        "strict" => guard.set_custody_enforcement(true),
+        other => return Err(format!("unknown custody mode `{other}` (open|strict)")),
+    }
+
+    let mut cfg = DaemonConfig::new(name);
+    cfg.listen = opts.get("listen").unwrap_or("127.0.0.1:0").to_string();
+    cfg.skew = opts.get_parsed("skew", 0.0)?;
+    let handle =
+        stacl_net::spawn(guard, ProofStore::new(), cfg).map_err(|e| format!("cannot bind: {e}"))?;
+    if let Some(peers) = opts.get("peers") {
+        for entry in peers.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (peer, addr) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("peer `{entry}` must be `name=host:port`"))?;
+            handle.add_peer(peer, resolve_addr(addr)?);
+        }
+    }
+    println!("member `{}` serving on {}", handle.name(), handle.addr());
+    handle.wait();
+    Ok(())
+}
+
+/// `stacl net-decide --addr host:port --object NAME --access "op res server"
+/// [--remaining "op res s; …"] [--time T] [--arrive true|false]
+/// [--from PEER] [--metrics true|false]`
+///
+/// Connects to a member daemon and asks for one decision. With
+/// `--arrive true` (the default) the object's arrival is announced first;
+/// `--from` names the previous custodian so a strict-custody member pulls
+/// the migration handoff. `--metrics true` also prints the member's
+/// telemetry snapshot afterwards.
+pub fn net_decide(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "addr",
+            "object",
+            "access",
+            "remaining",
+            "time",
+            "arrive",
+            "from",
+            "metrics",
+        ],
+    )?;
+    opts.expect_positional(&[])?;
+    let addr = resolve_addr(opts.get("addr").ok_or("missing --addr host:port")?)?;
+    let object = opts.get("object").ok_or("missing --object NAME")?;
+    let access = parse_access(
+        opts.get("access")
+            .ok_or("missing --access \"op res server\"")?,
+    )?;
+    let time: f64 = opts.get_parsed("time", 0.0)?;
+    let arrive: bool = opts.get_parsed("arrive", true)?;
+
+    // The declared remaining program defaults to just the attempted access.
+    let mut remaining: Vec<Access> = vec![access.clone()];
+    if let Some(r) = opts.get("remaining") {
+        remaining = r
+            .split(';')
+            .map(str::trim)
+            .filter(|e| !e.is_empty())
+            .map(parse_access)
+            .collect::<Result<_, _>>()?;
+    }
+
+    let mut client = Client::connect(addr, "stacl-cli", Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    println!("connected to member `{}`", client.server_name());
+    if arrive {
+        client
+            .arrive(object, time, opts.get("from"))
+            .map_err(|e| format!("arrival rejected: {e}"))?;
+    }
+    let v = client.decide_failsafe(object, &access, &remaining, time);
+    match (&v.kind.is_granted(), &v.reason) {
+        (true, _) => println!("{access} at t={time}: granted"),
+        (false, Some(r)) => println!("{access} at t={time}: DENIED [{}]: {r}", v.kind.label()),
+        (false, None) => println!("{access} at t={time}: DENIED [{}]", v.kind.label()),
+    }
+    if opts.get_parsed("metrics", false)? {
+        print!("{}", client.metrics().map_err(|e| e.to_string())?);
+    }
+    if v.kind.is_granted() {
+        Ok(())
+    } else {
+        Err("access denied".into())
+    }
+}

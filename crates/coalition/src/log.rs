@@ -33,6 +33,10 @@ pub enum DecisionKind {
     DeniedTemporal,
     /// Denied: the access does not resolve in the coalition topology.
     DeniedUnknownTarget,
+    /// Denied fail-safe: the object's custody is in flight between
+    /// coalition members, resident on another member, or the coordination
+    /// layer could not be reached.
+    DeniedCoordination,
 }
 
 impl DecisionKind {
@@ -49,6 +53,7 @@ impl DecisionKind {
             DecisionKind::DeniedSpatial => "denied-spatial",
             DecisionKind::DeniedTemporal => "denied-temporal",
             DecisionKind::DeniedUnknownTarget => "denied-unknown-target",
+            DecisionKind::DeniedCoordination => "denied-coordination",
         }
     }
 
@@ -61,6 +66,7 @@ impl DecisionKind {
             DecisionKind::DeniedSpatial => stacl_obs::Counter::VerdictDeniedSpatial,
             DecisionKind::DeniedTemporal => stacl_obs::Counter::VerdictDeniedTemporal,
             DecisionKind::DeniedUnknownTarget => stacl_obs::Counter::VerdictDeniedUnknownTarget,
+            DecisionKind::DeniedCoordination => stacl_obs::Counter::VerdictDeniedCoordination,
         }
     }
 }

@@ -20,7 +20,7 @@
 
 use stacl_coalition::{DecisionKind, ProofStore, Verdict};
 use stacl_ids::sync::{Mutex, RwLock};
-use stacl_rbac::{AccessRequest, ExtendedRbac, SessionId};
+use stacl_rbac::{AccessRequest, ExtendedRbac, ObjectGateExport, SessionId};
 use stacl_srac::check::{check_residual_cached, ConstraintCache, Semantics};
 use stacl_srac::{Constraint, ConstraintCursor};
 use stacl_sral::ast::{name, Name};
@@ -29,7 +29,7 @@ use stacl_temporal::TimePoint;
 use stacl_trace::AccessTable;
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One interception: everything a guard may consult.
@@ -93,6 +93,45 @@ pub enum EnforcementMode {
     Reactive,
 }
 
+/// Where an object's custody stands on one coalition member. With
+/// custody enforcement enabled ([`CoordinatedGuard::set_custody_enforcement`]),
+/// only the member whose custody is [`Custody::Resident`] answers
+/// decisions for the object — everyone else denies fail-safe with
+/// [`DecisionKind::DeniedCoordination`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Custody {
+    /// This member holds the object's state and answers its decisions.
+    Resident,
+    /// A handoff is being pulled from the previous custodian; decisions
+    /// deny fail-safe until it completes.
+    InFlight,
+    /// Another member is (or was last known to be) the custodian.
+    Remote,
+}
+
+impl Custody {
+    /// A short stable label for reasons and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Custody::Resident => "resident",
+            Custody::InFlight => "in flight",
+            Custody::Remote => "remote",
+        }
+    }
+}
+
+/// The transferable per-object guard state: everything a custodian must
+/// hand to the next one for decisions to continue seamlessly. The gate
+/// export is keyed by names (see [`ObjectGateExport`]); the clean flag
+/// preserves spatial-approval reuse across the migration.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObjectHandoff {
+    /// True while every decision so far was a grant.
+    pub clean: bool,
+    /// The object's decision-state shard inside the core.
+    pub gate: ObjectGateExport,
+}
+
 /// Per-object guard state, one shard per enrolled object.
 #[derive(Debug)]
 struct ObjectState {
@@ -132,6 +171,13 @@ pub struct CoordinatedGuard {
     /// Whether monotone approval reuse is enabled (on by default; turn
     /// off to measure the unoptimised Eq. 3.1 gate — see E10).
     approval_reuse: bool,
+    /// object → custody state on this coalition member. Consulted only
+    /// when `custody_enforced` is set; single-process guards never pay
+    /// for it.
+    custody: RwLock<HashMap<Name, Custody>>,
+    /// Whether decisions require resident custody (default off — the
+    /// in-process guard is its own sole custodian).
+    custody_enforced: AtomicBool,
 }
 
 impl CoordinatedGuard {
@@ -143,6 +189,8 @@ impl CoordinatedGuard {
             objects: RwLock::new(HashMap::new()),
             mode: EnforcementMode::Preventive,
             approval_reuse: true,
+            custody: RwLock::new(HashMap::new()),
+            custody_enforced: AtomicBool::new(false),
         }
     }
 
@@ -210,6 +258,68 @@ impl CoordinatedGuard {
         Some(sid)
     }
 
+    /// Turn custody enforcement on or off (default off). A networked
+    /// coalition member turns it on so that decisions for objects it does
+    /// not custody deny fail-safe instead of answering from stale state.
+    pub fn set_custody_enforcement(&self, on: bool) {
+        self.custody_enforced.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether decisions require resident custody.
+    pub fn custody_enforced(&self) -> bool {
+        self.custody_enforced.load(Ordering::Relaxed)
+    }
+
+    /// This member's custody state for `object`. Unknown objects are
+    /// [`Custody::Remote`]: nobody is custodian until an arrival claims it.
+    pub fn custody_of(&self, object: &str) -> Custody {
+        self.custody
+            .read()
+            .get(object)
+            .copied()
+            .unwrap_or(Custody::Remote)
+    }
+
+    /// Claim custody of `object` on this member (its arrival was local,
+    /// or a handoff completed).
+    pub fn take_custody(&self, object: &str) {
+        self.custody.write().insert(name(object), Custody::Resident);
+    }
+
+    /// Mark `object`'s custody as in flight while a handoff is pulled
+    /// from its previous custodian. Decisions deny fail-safe until
+    /// [`CoordinatedGuard::take_custody`] (or a successful
+    /// [`CoordinatedGuard::import_object`]) resolves it.
+    pub fn begin_handoff(&self, object: &str) {
+        self.custody.write().insert(name(object), Custody::InFlight);
+    }
+
+    /// Export `object`'s transferable state and release custody: this
+    /// member stops answering for the object the moment the export is
+    /// taken (fail-safe — during the transfer *nobody* grants).
+    pub fn export_object(&self, object: &str) -> ObjectHandoff {
+        let clean = self
+            .object_state(object)
+            .map(|st| st.lock().clean)
+            .unwrap_or(true);
+        let gate = self.rbac.read().export_gate(object);
+        self.custody.write().insert(name(object), Custody::Remote);
+        ObjectHandoff { clean, gate }
+    }
+
+    /// Install a handoff received from the previous custodian and claim
+    /// custody. Fails (leaving custody unclaimed) if the object is not
+    /// enrolled here or the handoff is malformed.
+    pub fn import_object(&self, object: &str, handoff: &ObjectHandoff) -> Result<(), String> {
+        let Some(state) = self.object_state(object) else {
+            return Err(format!("object `{object}` is not enrolled on this member"));
+        };
+        self.rbac.read().import_gate(object, &handoff.gate)?;
+        state.lock().clean = handoff.clean;
+        self.take_custody(object);
+        Ok(())
+    }
+
     /// The `&self` decision path. Decisions for one object serialize on
     /// that object's shard; the decision core is only *read*-locked (its
     /// own per-object gates serialize what must be), so decisions for
@@ -237,6 +347,17 @@ impl CoordinatedGuard {
         proofs: &ProofStore,
         table: &mut AccessTable,
     ) -> Verdict {
+        // Custody gate first: a non-custodian member must not answer from
+        // state that may be stale or in transit.
+        if self.custody_enforced() {
+            let c = self.custody_of(req.object);
+            if c != Custody::Resident {
+                return Verdict::denied(
+                    DecisionKind::DeniedCoordination,
+                    format!("object custody is {} on this member", c.label()),
+                );
+            }
+        }
         let Some(state) = self.object_state(req.object) else {
             return DecisionKind::DeniedNoPermission.into();
         };
@@ -617,6 +738,76 @@ mod tests {
             g.check(&req, &proofs, &mut table).kind,
             DecisionKind::DeniedSpatial
         );
+    }
+
+    #[test]
+    fn custody_gates_decisions_and_hands_off() {
+        fn guard() -> CoordinatedGuard {
+            let mut m = RbacModel::new();
+            m.add_user("n1");
+            m.add_role("r");
+            m.add_permission(Permission::new("p", AccessPattern::any()))
+                .unwrap();
+            m.assign_permission("r", "p").unwrap();
+            m.assign_user("n1", "r").unwrap();
+            let g = CoordinatedGuard::new(ExtendedRbac::new(m));
+            g.enroll("n1", ["r"]);
+            g
+        }
+        let a = Access::new("read", "x", "s");
+        let p = access("read", "x", "s");
+        let req = GuardRequest {
+            object: "n1",
+            access: &a,
+            remaining: &p,
+            time: tp(0.0),
+        };
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+
+        // Enforcement off (default): custody is never consulted.
+        let g1 = guard();
+        assert!(!g1.custody_enforced());
+        assert!(g1.decide(&req, &proofs, &mut table).is_granted());
+
+        // Enforcement on: no custody yet → DeniedCoordination; after an
+        // arrival claims it, decisions flow.
+        let g1 = guard();
+        g1.set_custody_enforcement(true);
+        assert_eq!(g1.custody_of("n1"), Custody::Remote);
+        assert_eq!(
+            g1.decide(&req, &proofs, &mut table).kind,
+            DecisionKind::DeniedCoordination
+        );
+        g1.take_custody("n1");
+        g1.note_arrival("n1", tp(0.0));
+        assert!(g1.decide(&req, &proofs, &mut table).is_granted());
+
+        // Handoff to a second member: the sender stops answering the
+        // moment the export is taken; the importer answers after.
+        let h = g1.export_object("n1");
+        assert_eq!(g1.custody_of("n1"), Custody::Remote);
+        assert_eq!(
+            g1.decide(&req, &proofs, &mut table).kind,
+            DecisionKind::DeniedCoordination
+        );
+        let g2 = guard();
+        g2.set_custody_enforcement(true);
+        g2.begin_handoff("n1");
+        assert_eq!(g2.custody_of("n1"), Custody::InFlight);
+        assert_eq!(
+            g2.decide(&req, &proofs, &mut table).kind,
+            DecisionKind::DeniedCoordination
+        );
+        g2.import_object("n1", &h).unwrap();
+        assert_eq!(g2.custody_of("n1"), Custody::Resident);
+        assert!(g2.decide(&req, &proofs, &mut table).is_granted());
+
+        // Importing for a stranger fails and leaves custody unclaimed.
+        let g3 = guard();
+        g3.set_custody_enforcement(true);
+        assert!(g3.import_object("stranger", &h).is_err());
+        assert_eq!(g3.custody_of("stranger"), Custody::Remote);
     }
 
     #[test]

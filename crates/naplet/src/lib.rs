@@ -58,7 +58,9 @@ pub mod system;
 /// Convenient re-exports for building Naplet applications.
 pub mod prelude {
     pub use crate::agent::{AgentStatus, NapletSpec, OnDeny};
-    pub use crate::guard::{CoordinatedGuard, EnforcementMode, PermissiveGuard, SecurityGuard};
+    pub use crate::guard::{
+        CoordinatedGuard, Custody, EnforcementMode, ObjectHandoff, PermissiveGuard, SecurityGuard,
+    };
     pub use crate::itinerary::Itinerary;
     pub use crate::monitor::{LifecycleEvent, Monitor};
     pub use crate::pattern::{Pattern, Singleton};

@@ -1,0 +1,317 @@
+//! A synchronous protocol client.
+//!
+//! One [`Client`] owns one connection to one daemon and mirrors the
+//! connection's positional vocabulary: the first time a name is used it
+//! is announced via a `Vocab` frame (or pre-announced in bulk with
+//! [`Client::sync_vocab`]); every steady-state frame after that carries
+//! only `u32` ids.
+//!
+//! [`Client::decide_failsafe`] is the coalition's fail-safe edge: any
+//! transport or protocol failure while asking a member for a decision
+//! becomes a counted `DeniedCoordination` verdict instead of an error —
+//! an unreachable guard never fails open.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use stacl_coalition::{DecisionKind, Verdict};
+use stacl_obs::Counter;
+use stacl_sral::ast::Access;
+
+use crate::frames::{kind_from_u8, DecideItem, Frame, WireAccess};
+use crate::wire::{self, WireError, PROTOCOL_VERSION};
+
+/// A client-side protocol failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// The transport failed (connect, read, write, timeout).
+    Io(io::Error),
+    /// A reply failed to decode.
+    Wire(WireError),
+    /// The daemon answered with an `Err` frame.
+    Daemon {
+        /// The machine-readable code (`ERR_*`).
+        code: u8,
+        /// The daemon's detail message.
+        msg: String,
+    },
+    /// The daemon answered with a frame the request does not admit.
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Daemon { code, msg } => write!(f, "daemon error {code}: {msg}"),
+            NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+/// A connected client. Not thread-safe by design — one request stream
+/// per connection, replies strictly in order.
+pub struct Client {
+    stream: TcpStream,
+    vocab: HashMap<String, u32>,
+    server: String,
+}
+
+impl Client {
+    /// Connect, handshake, and learn the daemon's server name. The
+    /// timeout (if any) applies to connect and to every subsequent read
+    /// and write.
+    pub fn connect(
+        addr: SocketAddr,
+        name: &str,
+        io_timeout: Option<Duration>,
+    ) -> Result<Client, NetError> {
+        let stream = match io_timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        let mut c = Client {
+            stream,
+            vocab: HashMap::new(),
+            server: String::new(),
+        };
+        match c.call(&Frame::Hello {
+            proto: PROTOCOL_VERSION as u16,
+            peer: name.to_string(),
+        })? {
+            Frame::HelloAck { server, .. } => c.server = server,
+            other => return Err(unexpected("HelloAck", &other)),
+        }
+        Ok(c)
+    }
+
+    /// The daemon's coalition server name (from the handshake).
+    pub fn server_name(&self) -> &str {
+        &self.server
+    }
+
+    fn call(&mut self, frame: &Frame) -> Result<Frame, NetError> {
+        wire::write_frame(&mut self.stream, &frame.encode())?;
+        let payload = wire::read_frame(&mut self.stream)?;
+        match Frame::decode(&payload)? {
+            Frame::Err { code, msg } => Err(NetError::Daemon { code, msg }),
+            f => Ok(f),
+        }
+    }
+
+    fn expect_ok(&mut self, frame: &Frame) -> Result<(), NetError> {
+        match self.call(frame)? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected("Ok", &other)),
+        }
+    }
+
+    /// Announce `names` (the not-yet-known ones) in one `Vocab` frame.
+    pub fn sync_vocab<'a>(
+        &mut self,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Result<(), NetError> {
+        let mut fresh: Vec<String> = Vec::new();
+        for n in names {
+            if !self.vocab.contains_key(n) && !fresh.iter().any(|f| f == n) {
+                fresh.push(n.to_string());
+            }
+        }
+        if fresh.is_empty() {
+            return Ok(());
+        }
+        self.expect_ok(&Frame::Vocab {
+            names: fresh.clone(),
+        })?;
+        for n in fresh {
+            let id = self.vocab.len() as u32;
+            self.vocab.insert(n, id);
+        }
+        Ok(())
+    }
+
+    fn id(&mut self, name: &str) -> Result<u32, NetError> {
+        if let Some(&id) = self.vocab.get(name) {
+            return Ok(id);
+        }
+        self.expect_ok(&Frame::Vocab {
+            names: vec![name.to_string()],
+        })?;
+        let id = self.vocab.len() as u32;
+        self.vocab.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn wire_access(&mut self, a: &Access) -> Result<WireAccess, NetError> {
+        Ok(WireAccess {
+            op: self.id(&a.op)?,
+            resource: self.id(&a.resource)?,
+            server: self.id(&a.server)?,
+        })
+    }
+
+    fn item(
+        &mut self,
+        object: &str,
+        access: &Access,
+        remaining: &[Access],
+        time: f64,
+    ) -> Result<DecideItem, NetError> {
+        let object = self.id(object)?;
+        let access = self.wire_access(access)?;
+        let remaining = remaining
+            .iter()
+            .map(|a| self.wire_access(a))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DecideItem {
+            object,
+            time,
+            access,
+            remaining,
+        })
+    }
+
+    /// Enroll `object` with its activated roles on the daemon.
+    pub fn enroll(&mut self, object: &str, roles: &[&str]) -> Result<(), NetError> {
+        let object = self.id(object)?;
+        let roles = roles
+            .iter()
+            .map(|r| self.id(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.expect_ok(&Frame::Enroll { object, roles })
+    }
+
+    /// Announce an arrival; `from` names the previous custodian when
+    /// custody must move (triggering the daemon-to-daemon handoff pull).
+    pub fn arrive(&mut self, object: &str, time: f64, from: Option<&str>) -> Result<(), NetError> {
+        let object = self.id(object)?;
+        self.expect_ok(&Frame::Arrive {
+            object,
+            time,
+            from: from.map(str::to_string),
+        })
+    }
+
+    /// Replicate an execution proof onto the daemon.
+    pub fn issue_proof(
+        &mut self,
+        object: &str,
+        access: &Access,
+        time: f64,
+    ) -> Result<(), NetError> {
+        let object = self.id(object)?;
+        let access = self.wire_access(access)?;
+        self.expect_ok(&Frame::IssueProof {
+            object,
+            access,
+            time,
+        })
+    }
+
+    /// Ask for one decision. `remaining` is the object's declared future
+    /// accesses, including the attempted one.
+    pub fn decide(
+        &mut self,
+        object: &str,
+        access: &Access,
+        remaining: &[Access],
+        time: f64,
+    ) -> Result<Verdict, NetError> {
+        let item = self.item(object, access, remaining, time)?;
+        match self.call(&Frame::Decide(item))? {
+            Frame::Verdict { kind, reason } => Ok(Verdict {
+                kind: kind_from_u8(kind)?,
+                reason,
+            }),
+            other => Err(unexpected("Verdict", &other)),
+        }
+    }
+
+    /// [`decide`](Client::decide), but any failure — unreachable daemon,
+    /// timeout, protocol error — resolves to the fail-safe
+    /// `DeniedCoordination` and counts `net.failsafe-denial`.
+    pub fn decide_failsafe(
+        &mut self,
+        object: &str,
+        access: &Access,
+        remaining: &[Access],
+        time: f64,
+    ) -> Verdict {
+        match self.decide(object, access, remaining, time) {
+            Ok(v) => v,
+            Err(e) => {
+                stacl_obs::count(Counter::NetFailsafeDenial);
+                Verdict::denied(
+                    DecisionKind::DeniedCoordination,
+                    format!("coalition member unreachable: {e}"),
+                )
+            }
+        }
+    }
+
+    /// Ask for a batch of decisions, answered in order.
+    pub fn decide_batch(
+        &mut self,
+        requests: &[(&str, &Access, &[Access], f64)],
+    ) -> Result<Vec<Verdict>, NetError> {
+        let items = requests
+            .iter()
+            .map(|(o, a, r, t)| self.item(o, a, r, *t))
+            .collect::<Result<Vec<_>, _>>()?;
+        let n = items.len();
+        match self.call(&Frame::DecideBatch { items })? {
+            Frame::VerdictBatch { verdicts } if verdicts.len() == n => verdicts
+                .into_iter()
+                .map(|(kind, reason)| {
+                    Ok(Verdict {
+                        kind: kind_from_u8(kind)?,
+                        reason,
+                    })
+                })
+                .collect(),
+            Frame::VerdictBatch { verdicts } => Err(NetError::Protocol(format!(
+                "batch of {n} answered with {} verdicts",
+                verdicts.len()
+            ))),
+            other => Err(unexpected("VerdictBatch", &other)),
+        }
+    }
+
+    /// Fetch the daemon's metrics snapshot as JSON.
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        match self.call(&Frame::MetricsRequest)? {
+            Frame::MetricsJson { json } => Ok(json),
+            other => Err(unexpected("MetricsJson", &other)),
+        }
+    }
+
+    /// Ask the daemon to shut down.
+    pub fn shutdown_daemon(&mut self) -> Result<(), NetError> {
+        self.expect_ok(&Frame::Shutdown)
+    }
+}
+
+fn unexpected(wanted: &str, got: &Frame) -> NetError {
+    NetError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

@@ -1,0 +1,579 @@
+//! The per-server coalition daemon.
+//!
+//! One daemon hosts one [`CoordinatedGuard`] shard — the guard of one
+//! coalition member — behind a [`std::net::TcpListener`]. Every accepted
+//! connection gets its own OS thread, its own positional vocabulary
+//! (names interned by [`Frame::Vocab`] announcements) and its own
+//! [`AccessTable`] (verdicts are table-independent, so per-connection
+//! interning is sound).
+//!
+//! ## Custody and the handoff pull
+//!
+//! With custody enforcement on, the daemon only decides for objects whose
+//! custody is [`Custody::Resident`]. An [`Frame::Arrive`] naming a
+//! previous custodian triggers a **pull**: the receiving daemon marks the
+//! object in-flight, dials the peer, and requests its
+//! [`crate::frames::HandoffWire`] (proof watermark, temporal timelines,
+//! spatial approvals, cursor seeds, clock fields). Only after the state
+//! imports cleanly does the object become resident here — and the peer
+//! marked it remote when it exported, so exactly one member ever decides
+//! for the object. While the pull is in flight — or if the peer stays
+//! unreachable after bounded retries with doubling backoff — decisions
+//! fail safe to `DeniedCoordination`.
+//!
+//! Clock skew travels explicitly: the sender stamps its skewed clock view
+//! into the payload and the receiver counts a `clock.regression` when
+//! admitting the arrival would move its own skewed clock backwards.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use stacl_coalition::{ProofStore, Verdict};
+use stacl_ids::sync::{Mutex, RwLock};
+use stacl_naplet::guard::{BatchRequest, CoordinatedGuard, Custody, GuardRequest};
+use stacl_obs::Counter;
+use stacl_sral::ast::Access;
+use stacl_sral::Program;
+use stacl_temporal::TimePoint;
+use stacl_trace::AccessTable;
+
+use crate::frames::{
+    DecideItem, Frame, HandoffWire, WireAccess, ERR_BAD_REQUEST, ERR_HANDOFF, ERR_NOT_CUSTODIAN,
+};
+use crate::wire::{self, PROTOCOL_VERSION};
+
+/// Daemon configuration. `listen` defaults to an ephemeral loopback port
+/// so tests and the sim driver can spawn coalitions without port math.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// This member's coalition server name.
+    pub name: String,
+    /// Bind address, e.g. `127.0.0.1:0`.
+    pub listen: String,
+    /// This member's clock skew in seconds (stamped into handoffs).
+    pub skew: f64,
+    /// Handoff retry attempts after the first try.
+    pub handoff_retries: u32,
+    /// Initial handoff retry backoff; doubles per retry.
+    pub handoff_backoff: Duration,
+    /// Connect/read/write timeout for daemon→daemon calls.
+    pub io_timeout: Duration,
+}
+
+impl DaemonConfig {
+    /// Defaults: ephemeral loopback port, zero skew, 3 retries starting
+    /// at 10 ms, 2 s peer-I/O timeout.
+    pub fn new(name: impl Into<String>) -> Self {
+        DaemonConfig {
+            name: name.into(),
+            listen: "127.0.0.1:0".to_string(),
+            skew: 0.0,
+            handoff_retries: 3,
+            handoff_backoff: Duration::from_millis(10),
+            io_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+struct Shared {
+    guard: CoordinatedGuard,
+    proofs: ProofStore,
+    cfg: DaemonConfig,
+    addr: SocketAddr,
+    peers: RwLock<HashMap<String, SocketAddr>>,
+    shutdown: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A handle to a spawned daemon: its bound address, peer registration,
+/// and termination. Dropping the handle shuts the daemon down.
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Spawn a daemon serving `guard`/`proofs` per `cfg`. Returns once the
+/// listener is bound and accepting.
+pub fn spawn(
+    guard: CoordinatedGuard,
+    proofs: ProofStore,
+    cfg: DaemonConfig,
+) -> io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(&cfg.listen)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        guard,
+        proofs,
+        cfg,
+        addr,
+        peers: RwLock::new(HashMap::new()),
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name(format!("stacl-net-{}", shared.cfg.name))
+            .spawn(move || accept_loop(&shared, listener))?
+    };
+    Ok(DaemonHandle {
+        shared,
+        accept: Some(accept),
+    })
+}
+
+impl DaemonHandle {
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// This member's coalition server name.
+    pub fn name(&self) -> &str {
+        &self.shared.cfg.name
+    }
+
+    /// Register (or update) a peer member's address for handoff pulls.
+    pub fn add_peer(&self, name: &str, addr: SocketAddr) {
+        self.shared.peers.write().insert(name.to_string(), addr);
+    }
+
+    /// The hosted guard, for pre-wiring state (enrollments, custody
+    /// enforcement) before traffic arrives.
+    pub fn guard(&self) -> &CoordinatedGuard {
+        &self.shared.guard
+    }
+
+    /// Stop accepting, sever live connections, and join the accept loop.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        initiate_shutdown(&self.shared);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Fault injection: terminate abruptly. In-flight requests on severed
+    /// connections observe an I/O error, which clients translate into the
+    /// counted fail-safe `DeniedCoordination`.
+    pub fn kill(&mut self) {
+        self.shutdown();
+    }
+
+    /// Block until the daemon stops (a `Shutdown` frame or [`kill`]).
+    /// Used by `stacl serve`.
+    ///
+    /// [`kill`]: DaemonHandle::kill
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn initiate_shutdown(shared: &Arc<Shared>) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Unblock the accept loop, then sever every live connection so their
+    // threads observe an error and exit.
+    let _ = TcpStream::connect(shared.addr);
+    for c in shared.conns.lock().iter() {
+        let _ = c.shutdown(SockShutdown::Both);
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().push(clone);
+        }
+        let shared = Arc::clone(shared);
+        let _ = thread::Builder::new()
+            .name("stacl-net-conn".to_string())
+            .spawn(move || serve_conn(&shared, stream));
+    }
+}
+
+fn serve_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+    // Per-connection interning state: positional vocabulary plus an
+    // access table pre-saturated with the policy alphabet (verdicts are
+    // table-independent, so connections never share one).
+    let mut vocab: Vec<String> = Vec::new();
+    let mut table = AccessTable::new();
+    shared.guard.with_rbac(|r| r.saturate_alphabet(&mut table));
+    while let Ok(payload) = wire::read_frame(&mut stream) {
+        let (reply, shutdown_after) = match Frame::decode(&payload) {
+            Ok(frame) => handle(shared, &mut vocab, &mut table, frame),
+            Err(e) => (err_frame(ERR_BAD_REQUEST, e.to_string()), false),
+        };
+        if wire::write_frame(&mut stream, &reply.encode()).is_err() {
+            break;
+        }
+        if shutdown_after {
+            initiate_shutdown(shared);
+            break;
+        }
+    }
+}
+
+fn err_frame(code: u8, msg: impl Into<String>) -> Frame {
+    Frame::Err {
+        code,
+        msg: msg.into(),
+    }
+}
+
+/// A request rejection, kept small so `Result` stays cheap on the hot
+/// path; converted into an `Err` frame at the reply boundary.
+struct Reject {
+    code: u8,
+    msg: String,
+}
+
+impl Reject {
+    fn bad(msg: impl Into<String>) -> Reject {
+        Reject {
+            code: ERR_BAD_REQUEST,
+            msg: msg.into(),
+        }
+    }
+
+    fn into_frame(self) -> Frame {
+        err_frame(self.code, self.msg)
+    }
+}
+
+fn name_of(vocab: &[String], id: u32) -> Result<&str, Reject> {
+    vocab
+        .get(id as usize)
+        .map(String::as_str)
+        .ok_or_else(|| Reject::bad(format!("unknown vocabulary id {id}")))
+}
+
+fn mk_access(vocab: &[String], a: &WireAccess) -> Result<Access, Reject> {
+    Ok(Access::new(
+        name_of(vocab, a.op)?,
+        name_of(vocab, a.resource)?,
+        name_of(vocab, a.server)?,
+    ))
+}
+
+fn finite_time(t: f64) -> Result<TimePoint, Reject> {
+    if !t.is_finite() {
+        return Err(Reject::bad("non-finite time"));
+    }
+    Ok(TimePoint::new(t))
+}
+
+struct OwnedRequest {
+    object: String,
+    access: Access,
+    remaining: Program,
+    time: TimePoint,
+}
+
+fn own_request(vocab: &[String], it: &DecideItem) -> Result<OwnedRequest, Reject> {
+    let object = name_of(vocab, it.object)?.to_string();
+    let access = mk_access(vocab, &it.access)?;
+    let time = finite_time(it.time)?;
+    let parts = it
+        .remaining
+        .iter()
+        .map(|a| Ok(Program::Access(mk_access(vocab, a)?)))
+        .collect::<Result<Vec<_>, Reject>>()?;
+    Ok(OwnedRequest {
+        object,
+        access,
+        remaining: Program::seq_all(parts),
+        time,
+    })
+}
+
+fn verdict_frame(v: &Verdict) -> (u8, Option<String>) {
+    (crate::frames::kind_to_u8(v.kind), v.reason.clone())
+}
+
+fn handle(
+    shared: &Arc<Shared>,
+    vocab: &mut Vec<String>,
+    table: &mut AccessTable,
+    frame: Frame,
+) -> (Frame, bool) {
+    let reply = match frame {
+        Frame::Hello { proto, peer: _ } => {
+            if proto != PROTOCOL_VERSION as u16 {
+                err_frame(ERR_BAD_REQUEST, format!("unsupported protocol {proto}"))
+            } else {
+                Frame::HelloAck {
+                    proto: PROTOCOL_VERSION as u16,
+                    server: shared.cfg.name.clone(),
+                }
+            }
+        }
+        Frame::Vocab { names } => {
+            vocab.extend(names);
+            Frame::Ok
+        }
+        Frame::Enroll { object, roles } => match enroll(shared, vocab, object, &roles) {
+            Ok(()) => Frame::Ok,
+            Err(e) => e.into_frame(),
+        },
+        Frame::Decide(it) => match own_request(vocab, &it) {
+            Ok(req) => {
+                let greq = GuardRequest {
+                    object: &req.object,
+                    access: &req.access,
+                    remaining: &req.remaining,
+                    time: req.time,
+                };
+                let v = shared.guard.decide(&greq, &shared.proofs, table);
+                let (kind, reason) = verdict_frame(&v);
+                Frame::Verdict { kind, reason }
+            }
+            Err(e) => e.into_frame(),
+        },
+        Frame::DecideBatch { items } => match items
+            .iter()
+            .map(|it| own_request(vocab, it))
+            .collect::<Result<Vec<_>, Reject>>()
+        {
+            Ok(owned) => {
+                let reqs: Vec<BatchRequest<'_>> = owned
+                    .iter()
+                    .map(|r| BatchRequest {
+                        object: &r.object,
+                        access: &r.access,
+                        remaining: &r.remaining,
+                        time: r.time,
+                    })
+                    .collect();
+                let verdicts = shared.guard.decide_batch(&reqs, &shared.proofs, false);
+                Frame::VerdictBatch {
+                    verdicts: verdicts.iter().map(verdict_frame).collect(),
+                }
+            }
+            Err(e) => e.into_frame(),
+        },
+        Frame::IssueProof {
+            object,
+            access,
+            time,
+        } => {
+            match (|| {
+                let object = name_of(vocab, object)?;
+                let access = mk_access(vocab, &access)?;
+                let time = finite_time(time)?;
+                shared.proofs.issue(object, access, time);
+                Ok::<(), Reject>(())
+            })() {
+                Ok(()) => Frame::Ok,
+                Err(e) => e.into_frame(),
+            }
+        }
+        Frame::Arrive { object, time, from } => match (|| {
+            let object = name_of(vocab, object)?.to_string();
+            let tp = finite_time(time)?;
+            Ok::<(String, TimePoint), Reject>((object, tp))
+        })() {
+            Ok((object, tp)) => arrive(shared, &object, tp, from.as_deref()),
+            Err(e) => e.into_frame(),
+        },
+        Frame::HandoffRequest { object } => handoff_out(shared, &object),
+        Frame::MetricsRequest => Frame::MetricsJson {
+            json: stacl_obs::snapshot().to_json(),
+        },
+        Frame::Shutdown => return (Frame::Ok, true),
+        // Reply frames arriving as requests are protocol violations.
+        other => err_frame(ERR_BAD_REQUEST, format!("frame {other:?} is not a request")),
+    };
+    (reply, false)
+}
+
+fn enroll(
+    shared: &Arc<Shared>,
+    vocab: &[String],
+    object: u32,
+    roles: &[u32],
+) -> Result<(), Reject> {
+    let object = name_of(vocab, object)?;
+    let roles = roles
+        .iter()
+        .map(|r| name_of(vocab, *r))
+        .collect::<Result<Vec<_>, Reject>>()?;
+    shared.guard.enroll(object, roles);
+    Ok(())
+}
+
+/// Admit an arrival. When custody enforcement is on and `from` names a
+/// different member, pull the handoff first; the object stays in-flight
+/// (fail-safe denials) until the pull lands.
+fn arrive(shared: &Arc<Shared>, object: &str, time: TimePoint, from: Option<&str>) -> Frame {
+    if shared.guard.custody_enforced() {
+        match from {
+            Some(peer) if peer != shared.cfg.name => {
+                shared.guard.begin_handoff(object);
+                if let Err(msg) = pull_handoff(shared, peer, object, time) {
+                    return err_frame(ERR_HANDOFF, msg);
+                }
+            }
+            _ => shared.guard.take_custody(object),
+        }
+    }
+    shared.guard.note_arrival(object, time);
+    Frame::Ok
+}
+
+/// Serve a custody handoff to a pulling peer.
+fn handoff_out(shared: &Arc<Shared>, object: &str) -> Frame {
+    if shared.guard.custody_enforced() && shared.guard.custody_of(object) != Custody::Resident {
+        return err_frame(
+            ERR_NOT_CUSTODIAN,
+            format!(
+                "{object} custody is {} on {}",
+                shared.guard.custody_of(object).label(),
+                shared.cfg.name
+            ),
+        );
+    }
+    // Export marks the object remote here: from this point on, this
+    // member fail-safes its decisions and the puller is the custodian.
+    let h = shared.guard.export_object(object);
+    let watermark = shared.proofs.watermark_of(object) as u64;
+    let sender_clock = h.gate.arrivals.last().map(|t| t.seconds()).unwrap_or(0.0) + shared.cfg.skew;
+    Frame::HandoffState {
+        object: object.to_string(),
+        state: HandoffWire::from_handoff(&h, watermark, sender_clock, shared.cfg.skew),
+    }
+}
+
+/// Pull the object's custody state from `peer`, with bounded retries and
+/// doubling backoff. Counts `net.retry` per re-attempt, and exactly one
+/// of `net.handoff-applied` / `net.handoff-failed` per pull.
+fn pull_handoff(
+    shared: &Arc<Shared>,
+    peer: &str,
+    object: &str,
+    arrival: TimePoint,
+) -> Result<(), String> {
+    let Some(addr) = shared.peers.read().get(peer).copied() else {
+        stacl_obs::count(Counter::NetHandoffFailed);
+        return Err(format!("unknown peer {peer}"));
+    };
+    let t0 = stacl_obs::handoff_timer();
+    let mut backoff = shared.cfg.handoff_backoff;
+    let mut last_err = String::new();
+    for attempt in 0..=shared.cfg.handoff_retries {
+        if attempt > 0 {
+            stacl_obs::count(Counter::NetRetry);
+            thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        match try_pull(shared, addr, object) {
+            Ok(state) => {
+                let outcome = apply_handoff(shared, object, arrival, &state);
+                if outcome.is_err() {
+                    stacl_obs::count(Counter::NetHandoffFailed);
+                } else {
+                    stacl_obs::count(Counter::NetHandoffApplied);
+                    stacl_obs::observe_handoff(t0);
+                }
+                return outcome;
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    stacl_obs::count(Counter::NetHandoffFailed);
+    Err(format!(
+        "handoff of {object} from {peer} failed after {} attempts: {last_err}",
+        shared.cfg.handoff_retries + 1
+    ))
+}
+
+/// Validate and import a pulled handoff payload. A malformed payload is
+/// not retried — the peer answered; its answer is bad.
+fn apply_handoff(
+    shared: &Arc<Shared>,
+    object: &str,
+    arrival: TimePoint,
+    state: &HandoffWire,
+) -> Result<(), String> {
+    let handoff = state
+        .to_handoff()
+        .map_err(|e| format!("malformed handoff payload: {e}"))?;
+    // Wire-level clock check: admitting the arrival must not move this
+    // member's skewed clock behind the sender's released clock view.
+    if state.sender_clock.is_finite() && state.sender_clock > arrival.seconds() + shared.cfg.skew {
+        stacl_obs::count(Counter::ClockRegression);
+    }
+    shared.guard.import_object(object, &handoff)?;
+    // Warm the receiver's cursors from the (replicated) local proof
+    // history. Purely an optimisation seed: a cursor that fails to warm
+    // leaves the decision path on its cold-start fallback.
+    shared.guard.with_rbac(|r| {
+        let mut t = AccessTable::new();
+        r.saturate_alphabet(&mut t);
+        for (perm, _) in &handoff.gate.cursor_seeds {
+            let _ = r.warm_cursor(object, perm, &shared.proofs, &mut t);
+        }
+    });
+    Ok(())
+}
+
+fn send(stream: &mut TcpStream, frame: &Frame) -> Result<(), String> {
+    wire::write_frame(stream, &frame.encode()).map_err(|e| e.to_string())
+}
+
+fn recv(stream: &mut TcpStream) -> Result<Frame, String> {
+    let payload = wire::read_frame(stream).map_err(|e| e.to_string())?;
+    Frame::decode(&payload).map_err(|e| e.to_string())
+}
+
+fn try_pull(shared: &Shared, addr: SocketAddr, object: &str) -> Result<HandoffWire, String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, shared.cfg.io_timeout).map_err(|e| e.to_string())?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.io_timeout));
+    send(
+        &mut stream,
+        &Frame::Hello {
+            proto: PROTOCOL_VERSION as u16,
+            peer: shared.cfg.name.clone(),
+        },
+    )?;
+    match recv(&mut stream)? {
+        Frame::HelloAck { .. } => {}
+        other => return Err(format!("expected HelloAck, got {other:?}")),
+    }
+    send(
+        &mut stream,
+        &Frame::HandoffRequest {
+            object: object.to_string(),
+        },
+    )?;
+    match recv(&mut stream)? {
+        Frame::HandoffState { object: o, state } if o == object => Ok(state),
+        Frame::Err { code, msg } => Err(format!("peer refused handoff (code {code}): {msg}")),
+        other => Err(format!("expected HandoffState, got {other:?}")),
+    }
+}

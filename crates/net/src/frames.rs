@@ -1,0 +1,863 @@
+//! The frame vocabulary of the coalition protocol.
+//!
+//! Every payload is `[version u8][tag u8][body]`. Request tags live in
+//! `0x01..=0x7F`, reply tags in `0x80..=0xFF`, so a trace is readable at a
+//! glance. Steady-state frames (`Decide`, `DecideBatch`, `IssueProof`,
+//! `Enroll`, `Arrive`) carry only interned `u32` ids for names: a client
+//! announces names once via `Vocab` and both ends number them positionally
+//! (id = index of first announcement), per connection.
+//!
+//! Handoff payloads are the exception: they travel *between* daemons whose
+//! interning orders differ, so [`HandoffWire`] is keyed entirely by name
+//! strings.
+
+use stacl_coalition::DecisionKind;
+use stacl_naplet::prelude::ObjectHandoff;
+use stacl_rbac::{GateBudget, ObjectGateExport};
+use stacl_temporal::{BaseTimeScheme, TimePoint, TimelineParts};
+
+use crate::wire::{
+    put_bool, put_f64, put_opt_str, put_str, put_u32, put_u64, put_u8, Dec, WireError,
+    PROTOCOL_VERSION,
+};
+
+/// An access reference in interned form: `op resource @ server`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireAccess {
+    /// Vocabulary id of the operation name.
+    pub op: u32,
+    /// Vocabulary id of the resource name.
+    pub resource: u32,
+    /// Vocabulary id of the server name.
+    pub server: u32,
+}
+
+/// One entry of a batched decide.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecideItem {
+    /// Vocabulary id of the requesting object.
+    pub object: u32,
+    /// Decision time (seconds).
+    pub time: f64,
+    /// The access being attempted.
+    pub access: WireAccess,
+    /// The declared remaining program as a flat sequence, including the
+    /// attempted access itself.
+    pub remaining: Vec<WireAccess>,
+}
+
+/// A permission timeline in wire form — the name-keyed, scheme-tagged
+/// mirror of [`TimelineParts`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireTimeline {
+    /// Remaining validity budget in seconds, if the permission has one.
+    pub budget: Option<f64>,
+    /// Base-time scheme: 0 = `CurrentServer`, 1 = `WholeLifetime`.
+    pub scheme: u8,
+    /// Arrival instants recorded by the sender.
+    pub arrivals: Vec<f64>,
+    /// Activation toggle history `(time, active)`.
+    pub toggles: Vec<(f64, bool)>,
+    /// Whether the permission was active when exported.
+    pub active_now: bool,
+}
+
+/// A budget key in wire form: 0 = per-permission, 1 = validity class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireBudget {
+    /// Keyed by permission name.
+    Perm(String),
+    /// Keyed by validity-class name.
+    Class(String),
+}
+
+/// The full migration-handoff payload: everything the receiving member
+/// needs to continue enforcing the object's spatio-temporal state, keyed
+/// by names because interner orders differ across daemons.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HandoffWire {
+    /// The sender's proof watermark for the object (proofs issued).
+    pub watermark: u64,
+    /// Whether the object's declared program was still clean (no denials).
+    pub clean: bool,
+    /// The sender's local clock view at release (its last recorded
+    /// arrival instant plus its configured skew). The receiver compares
+    /// this against its own skewed clock and counts a `clock.regression`
+    /// when time would run backwards across the handoff.
+    pub sender_clock: f64,
+    /// The sender's configured clock skew in seconds.
+    pub sender_skew: f64,
+    /// Object arrival instants at the sender's gate.
+    pub arrivals: Vec<f64>,
+    /// Per-budget validity timelines.
+    pub timelines: Vec<(WireBudget, WireTimeline)>,
+    /// Permission names whose spatial approval was already granted.
+    pub spatial_ok: Vec<String>,
+    /// `(permission name, proofs consumed)` cursor positions at export.
+    pub cursor_seeds: Vec<(String, u64)>,
+}
+
+/// A protocol frame. Requests flow client→daemon (or daemon→daemon for
+/// the handoff pull); replies flow back on the same connection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Opens a connection: protocol revision + the caller's name.
+    Hello {
+        /// Protocol revision the caller speaks.
+        proto: u16,
+        /// The caller's name (a peer daemon's server name, or a client label).
+        peer: String,
+    },
+    /// Announce names; both ends assign ids positionally in announcement
+    /// order. Replied with `Ok`.
+    Vocab {
+        /// Names to intern, in id order.
+        names: Vec<String>,
+    },
+    /// Enroll an object with activated roles. Replied with `Ok`.
+    Enroll {
+        /// Vocabulary id of the object.
+        object: u32,
+        /// Vocabulary ids of the activated roles.
+        roles: Vec<u32>,
+    },
+    /// Decide one access. Replied with `Verdict`.
+    Decide(DecideItem),
+    /// Decide a batch. Replied with `VerdictBatch` of equal length.
+    DecideBatch {
+        /// The requests, answered in order.
+        items: Vec<DecideItem>,
+    },
+    /// Record an execution proof (replicated after a grant anywhere in
+    /// the coalition). Replied with `Ok`.
+    IssueProof {
+        /// Vocabulary id of the proving object.
+        object: u32,
+        /// The proven access.
+        access: WireAccess,
+        /// Proof timestamp (already skew-stamped by the issuer).
+        time: f64,
+    },
+    /// The object arrived at this member. If `from` names another member,
+    /// the daemon pulls a custody handoff from it before admitting the
+    /// arrival. Replied with `Ok`, or `Err` if the handoff failed (the
+    /// object then stays in-flight and decisions fail safe).
+    Arrive {
+        /// Vocabulary id of the arriving object.
+        object: u32,
+        /// Arrival instant (seconds).
+        time: f64,
+        /// The previous custodian's server name, if custody must move.
+        from: Option<String>,
+    },
+    /// Daemon→daemon: request the custody handoff for an object. Replied
+    /// with `HandoffState` or `Err`.
+    HandoffRequest {
+        /// The object's name (handoffs are name-keyed).
+        object: String,
+    },
+    /// Ask for the daemon's metrics snapshot. Replied with `MetricsJson`.
+    MetricsRequest,
+    /// Ask the daemon to stop accepting and close. Replied with `Ok`.
+    Shutdown,
+
+    /// Reply to `Hello`: revision + the daemon's server name.
+    HelloAck {
+        /// Protocol revision the daemon speaks.
+        proto: u16,
+        /// The daemon's coalition server name.
+        server: String,
+    },
+    /// Generic success reply.
+    Ok,
+    /// Generic failure reply.
+    Err {
+        /// Machine-readable code (see `ERR_*` constants).
+        code: u8,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// Reply to `Decide`.
+    Verdict {
+        /// Encoded [`DecisionKind`] (see [`kind_to_u8`]).
+        kind: u8,
+        /// Denial detail, absent on grants.
+        reason: Option<String>,
+    },
+    /// Reply to `DecideBatch`, one `(kind, reason)` per item in order.
+    VerdictBatch {
+        /// The verdicts.
+        verdicts: Vec<(u8, Option<String>)>,
+    },
+    /// Reply to `HandoffRequest`.
+    HandoffState {
+        /// The object's name (echoed).
+        object: String,
+        /// The custody payload.
+        state: HandoffWire,
+    },
+    /// Reply to `MetricsRequest`: a `MetricsSnapshot` rendered as JSON.
+    MetricsJson {
+        /// The JSON document.
+        json: String,
+    },
+}
+
+/// `Err` code: the frame could not be decoded or referenced an unknown
+/// vocabulary id.
+pub const ERR_BAD_REQUEST: u8 = 1;
+/// `Err` code: a custody handoff failed (peer unknown, unreachable after
+/// retries, or its payload malformed).
+pub const ERR_HANDOFF: u8 = 2;
+/// `Err` code: this member is not the object's resident custodian.
+pub const ERR_NOT_CUSTODIAN: u8 = 3;
+/// `Err` code: the request is not valid in the daemon's current state.
+pub const ERR_STATE: u8 = 4;
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_VOCAB: u8 = 0x02;
+const TAG_ENROLL: u8 = 0x03;
+const TAG_DECIDE: u8 = 0x04;
+const TAG_DECIDE_BATCH: u8 = 0x05;
+const TAG_ISSUE_PROOF: u8 = 0x06;
+const TAG_ARRIVE: u8 = 0x07;
+const TAG_HANDOFF_REQUEST: u8 = 0x08;
+const TAG_METRICS_REQUEST: u8 = 0x09;
+const TAG_SHUTDOWN: u8 = 0x0A;
+const TAG_HELLO_ACK: u8 = 0x81;
+const TAG_OK: u8 = 0x82;
+const TAG_ERR: u8 = 0x83;
+const TAG_VERDICT: u8 = 0x84;
+const TAG_VERDICT_BATCH: u8 = 0x85;
+const TAG_HANDOFF_STATE: u8 = 0x86;
+const TAG_METRICS_JSON: u8 = 0x87;
+
+/// Map a [`DecisionKind`] to its stable wire value.
+pub fn kind_to_u8(kind: DecisionKind) -> u8 {
+    match kind {
+        DecisionKind::Granted => 0,
+        DecisionKind::DeniedNoPermission => 1,
+        DecisionKind::DeniedSpatial => 2,
+        DecisionKind::DeniedTemporal => 3,
+        DecisionKind::DeniedUnknownTarget => 4,
+        DecisionKind::DeniedCoordination => 5,
+    }
+}
+
+/// Decode a wire verdict kind.
+pub fn kind_from_u8(v: u8) -> Result<DecisionKind, WireError> {
+    Ok(match v {
+        0 => DecisionKind::Granted,
+        1 => DecisionKind::DeniedNoPermission,
+        2 => DecisionKind::DeniedSpatial,
+        3 => DecisionKind::DeniedTemporal,
+        4 => DecisionKind::DeniedUnknownTarget,
+        5 => DecisionKind::DeniedCoordination,
+        _ => return Err(WireError::BadValue("unknown verdict kind")),
+    })
+}
+
+fn scheme_to_u8(s: BaseTimeScheme) -> u8 {
+    match s {
+        BaseTimeScheme::CurrentServer => 0,
+        BaseTimeScheme::WholeLifetime => 1,
+    }
+}
+
+fn scheme_from_u8(v: u8) -> Result<BaseTimeScheme, WireError> {
+    match v {
+        0 => Ok(BaseTimeScheme::CurrentServer),
+        1 => Ok(BaseTimeScheme::WholeLifetime),
+        _ => Err(WireError::BadValue("unknown base-time scheme")),
+    }
+}
+
+fn put_access(b: &mut Vec<u8>, a: &WireAccess) {
+    put_u32(b, a.op);
+    put_u32(b, a.resource);
+    put_u32(b, a.server);
+}
+
+fn dec_access(d: &mut Dec<'_>) -> Result<WireAccess, WireError> {
+    Ok(WireAccess {
+        op: d.u32()?,
+        resource: d.u32()?,
+        server: d.u32()?,
+    })
+}
+
+fn put_item(b: &mut Vec<u8>, it: &DecideItem) {
+    put_u32(b, it.object);
+    put_f64(b, it.time);
+    put_access(b, &it.access);
+    put_u32(b, it.remaining.len() as u32);
+    for a in &it.remaining {
+        put_access(b, a);
+    }
+}
+
+fn dec_item(d: &mut Dec<'_>) -> Result<DecideItem, WireError> {
+    let object = d.u32()?;
+    let time = d.f64()?;
+    let access = dec_access(d)?;
+    let n = d.count()?;
+    let mut remaining = Vec::new();
+    for _ in 0..n {
+        remaining.push(dec_access(d)?);
+    }
+    Ok(DecideItem {
+        object,
+        time,
+        access,
+        remaining,
+    })
+}
+
+fn put_timeline(b: &mut Vec<u8>, t: &WireTimeline) {
+    match t.budget {
+        None => put_u8(b, 0),
+        Some(v) => {
+            put_u8(b, 1);
+            put_f64(b, v);
+        }
+    }
+    put_u8(b, t.scheme);
+    put_u32(b, t.arrivals.len() as u32);
+    for a in &t.arrivals {
+        put_f64(b, *a);
+    }
+    put_u32(b, t.toggles.len() as u32);
+    for (at, on) in &t.toggles {
+        put_f64(b, *at);
+        put_bool(b, *on);
+    }
+    put_bool(b, t.active_now);
+}
+
+fn dec_timeline(d: &mut Dec<'_>) -> Result<WireTimeline, WireError> {
+    let budget = match d.u8()? {
+        0 => None,
+        1 => Some(d.f64()?),
+        _ => return Err(WireError::BadValue("option tag must be 0 or 1")),
+    };
+    let scheme = d.u8()?;
+    scheme_from_u8(scheme)?;
+    let n = d.count()?;
+    let mut arrivals = Vec::new();
+    for _ in 0..n {
+        arrivals.push(d.f64()?);
+    }
+    let n = d.count()?;
+    let mut toggles = Vec::new();
+    for _ in 0..n {
+        let at = d.f64()?;
+        let on = d.bool()?;
+        toggles.push((at, on));
+    }
+    let active_now = d.bool()?;
+    Ok(WireTimeline {
+        budget,
+        scheme,
+        arrivals,
+        toggles,
+        active_now,
+    })
+}
+
+fn put_budget(b: &mut Vec<u8>, k: &WireBudget) {
+    match k {
+        WireBudget::Perm(name) => {
+            put_u8(b, 0);
+            put_str(b, name);
+        }
+        WireBudget::Class(name) => {
+            put_u8(b, 1);
+            put_str(b, name);
+        }
+    }
+}
+
+fn dec_budget(d: &mut Dec<'_>) -> Result<WireBudget, WireError> {
+    match d.u8()? {
+        0 => Ok(WireBudget::Perm(d.str()?)),
+        1 => Ok(WireBudget::Class(d.str()?)),
+        _ => Err(WireError::BadValue("unknown budget-key tag")),
+    }
+}
+
+fn put_handoff(b: &mut Vec<u8>, h: &HandoffWire) {
+    put_u64(b, h.watermark);
+    put_bool(b, h.clean);
+    put_f64(b, h.sender_clock);
+    put_f64(b, h.sender_skew);
+    put_u32(b, h.arrivals.len() as u32);
+    for a in &h.arrivals {
+        put_f64(b, *a);
+    }
+    put_u32(b, h.timelines.len() as u32);
+    for (k, t) in &h.timelines {
+        put_budget(b, k);
+        put_timeline(b, t);
+    }
+    put_u32(b, h.spatial_ok.len() as u32);
+    for s in &h.spatial_ok {
+        put_str(b, s);
+    }
+    put_u32(b, h.cursor_seeds.len() as u32);
+    for (name, n) in &h.cursor_seeds {
+        put_str(b, name);
+        put_u64(b, *n);
+    }
+}
+
+fn dec_handoff(d: &mut Dec<'_>) -> Result<HandoffWire, WireError> {
+    let watermark = d.u64()?;
+    let clean = d.bool()?;
+    let sender_clock = d.f64()?;
+    let sender_skew = d.f64()?;
+    let n = d.count()?;
+    let mut arrivals = Vec::new();
+    for _ in 0..n {
+        arrivals.push(d.f64()?);
+    }
+    let n = d.count()?;
+    let mut timelines = Vec::new();
+    for _ in 0..n {
+        let k = dec_budget(d)?;
+        let t = dec_timeline(d)?;
+        timelines.push((k, t));
+    }
+    let n = d.count()?;
+    let mut spatial_ok = Vec::new();
+    for _ in 0..n {
+        spatial_ok.push(d.str()?);
+    }
+    let n = d.count()?;
+    let mut cursor_seeds = Vec::new();
+    for _ in 0..n {
+        let name = d.str()?;
+        let c = d.u64()?;
+        cursor_seeds.push((name, c));
+    }
+    Ok(HandoffWire {
+        watermark,
+        clean,
+        sender_clock,
+        sender_skew,
+        arrivals,
+        timelines,
+        spatial_ok,
+        cursor_seeds,
+    })
+}
+
+impl HandoffWire {
+    /// Build the wire payload from a guard export.
+    pub fn from_handoff(
+        h: &ObjectHandoff,
+        watermark: u64,
+        sender_clock: f64,
+        sender_skew: f64,
+    ) -> Self {
+        let timelines = h
+            .gate
+            .timelines
+            .iter()
+            .map(|(k, parts)| {
+                let key = match k {
+                    GateBudget::Perm(name) => WireBudget::Perm(name.clone()),
+                    GateBudget::Class(name) => WireBudget::Class(name.clone()),
+                };
+                let t = WireTimeline {
+                    budget: parts.budget,
+                    scheme: scheme_to_u8(parts.scheme),
+                    arrivals: parts.arrivals.iter().map(|t| t.seconds()).collect(),
+                    toggles: parts
+                        .toggles
+                        .iter()
+                        .map(|(t, on)| (t.seconds(), *on))
+                        .collect(),
+                    active_now: parts.active_now,
+                };
+                (key, t)
+            })
+            .collect();
+        HandoffWire {
+            watermark,
+            clean: h.clean,
+            sender_clock,
+            sender_skew,
+            arrivals: h.gate.arrivals.iter().map(|t| t.seconds()).collect(),
+            timelines,
+            spatial_ok: h.gate.spatial_ok.clone(),
+            cursor_seeds: h.gate.cursor_seeds.clone(),
+        }
+    }
+
+    /// Convert back into a guard import, validating every numeric field —
+    /// the payload crossed a trust boundary, so non-finite times and
+    /// malformed schemes must be rejected, never asserted on.
+    pub fn to_handoff(&self) -> Result<ObjectHandoff, WireError> {
+        fn tp(v: f64) -> Result<TimePoint, WireError> {
+            if !v.is_finite() {
+                return Err(WireError::BadValue("non-finite time"));
+            }
+            Ok(TimePoint::new(v))
+        }
+        let mut timelines = Vec::with_capacity(self.timelines.len());
+        for (k, t) in &self.timelines {
+            let key = match k {
+                WireBudget::Perm(name) => GateBudget::Perm(name.clone()),
+                WireBudget::Class(name) => GateBudget::Class(name.clone()),
+            };
+            if let Some(b) = t.budget {
+                if !b.is_finite() {
+                    return Err(WireError::BadValue("non-finite budget"));
+                }
+            }
+            let parts = TimelineParts {
+                budget: t.budget,
+                scheme: scheme_from_u8(t.scheme)?,
+                arrivals: t
+                    .arrivals
+                    .iter()
+                    .map(|v| tp(*v))
+                    .collect::<Result<_, _>>()?,
+                toggles: t
+                    .toggles
+                    .iter()
+                    .map(|(v, on)| Ok((tp(*v)?, *on)))
+                    .collect::<Result<_, WireError>>()?,
+                active_now: t.active_now,
+            };
+            timelines.push((key, parts));
+        }
+        Ok(ObjectHandoff {
+            clean: self.clean,
+            gate: ObjectGateExport {
+                arrivals: self
+                    .arrivals
+                    .iter()
+                    .map(|v| tp(*v))
+                    .collect::<Result<_, _>>()?,
+                timelines,
+                spatial_ok: self.spatial_ok.clone(),
+                cursor_seeds: self.cursor_seeds.clone(),
+            },
+        })
+    }
+}
+
+impl Frame {
+    /// Encode into a versioned payload ready for [`crate::wire::write_frame`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(16);
+        put_u8(&mut b, PROTOCOL_VERSION);
+        match self {
+            Frame::Hello { proto, peer } => {
+                put_u8(&mut b, TAG_HELLO);
+                crate::wire::put_u16(&mut b, *proto);
+                put_str(&mut b, peer);
+            }
+            Frame::Vocab { names } => {
+                put_u8(&mut b, TAG_VOCAB);
+                put_u32(&mut b, names.len() as u32);
+                for n in names {
+                    put_str(&mut b, n);
+                }
+            }
+            Frame::Enroll { object, roles } => {
+                put_u8(&mut b, TAG_ENROLL);
+                put_u32(&mut b, *object);
+                put_u32(&mut b, roles.len() as u32);
+                for r in roles {
+                    put_u32(&mut b, *r);
+                }
+            }
+            Frame::Decide(it) => {
+                put_u8(&mut b, TAG_DECIDE);
+                put_item(&mut b, it);
+            }
+            Frame::DecideBatch { items } => {
+                put_u8(&mut b, TAG_DECIDE_BATCH);
+                put_u32(&mut b, items.len() as u32);
+                for it in items {
+                    put_item(&mut b, it);
+                }
+            }
+            Frame::IssueProof {
+                object,
+                access,
+                time,
+            } => {
+                put_u8(&mut b, TAG_ISSUE_PROOF);
+                put_u32(&mut b, *object);
+                put_access(&mut b, access);
+                put_f64(&mut b, *time);
+            }
+            Frame::Arrive { object, time, from } => {
+                put_u8(&mut b, TAG_ARRIVE);
+                put_u32(&mut b, *object);
+                put_f64(&mut b, *time);
+                put_opt_str(&mut b, from.as_deref());
+            }
+            Frame::HandoffRequest { object } => {
+                put_u8(&mut b, TAG_HANDOFF_REQUEST);
+                put_str(&mut b, object);
+            }
+            Frame::MetricsRequest => put_u8(&mut b, TAG_METRICS_REQUEST),
+            Frame::Shutdown => put_u8(&mut b, TAG_SHUTDOWN),
+            Frame::HelloAck { proto, server } => {
+                put_u8(&mut b, TAG_HELLO_ACK);
+                crate::wire::put_u16(&mut b, *proto);
+                put_str(&mut b, server);
+            }
+            Frame::Ok => put_u8(&mut b, TAG_OK),
+            Frame::Err { code, msg } => {
+                put_u8(&mut b, TAG_ERR);
+                put_u8(&mut b, *code);
+                put_str(&mut b, msg);
+            }
+            Frame::Verdict { kind, reason } => {
+                put_u8(&mut b, TAG_VERDICT);
+                put_u8(&mut b, *kind);
+                put_opt_str(&mut b, reason.as_deref());
+            }
+            Frame::VerdictBatch { verdicts } => {
+                put_u8(&mut b, TAG_VERDICT_BATCH);
+                put_u32(&mut b, verdicts.len() as u32);
+                for (kind, reason) in verdicts {
+                    put_u8(&mut b, *kind);
+                    put_opt_str(&mut b, reason.as_deref());
+                }
+            }
+            Frame::HandoffState { object, state } => {
+                put_u8(&mut b, TAG_HANDOFF_STATE);
+                put_str(&mut b, object);
+                put_handoff(&mut b, state);
+            }
+            Frame::MetricsJson { json } => {
+                put_u8(&mut b, TAG_METRICS_JSON);
+                put_str(&mut b, json);
+            }
+        }
+        b
+    }
+
+    /// Decode a versioned payload. Rejects — never panics on — any
+    /// malformed input, including trailing bytes after a valid body.
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        let mut d = Dec::new(payload);
+        let version = d.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let tag = d.u8()?;
+        let frame = match tag {
+            TAG_HELLO => Frame::Hello {
+                proto: d.u16()?,
+                peer: d.str()?,
+            },
+            TAG_VOCAB => {
+                let n = d.count()?;
+                let mut names = Vec::new();
+                for _ in 0..n {
+                    names.push(d.str()?);
+                }
+                Frame::Vocab { names }
+            }
+            TAG_ENROLL => {
+                let object = d.u32()?;
+                let n = d.count()?;
+                let mut roles = Vec::new();
+                for _ in 0..n {
+                    roles.push(d.u32()?);
+                }
+                Frame::Enroll { object, roles }
+            }
+            TAG_DECIDE => Frame::Decide(dec_item(&mut d)?),
+            TAG_DECIDE_BATCH => {
+                let n = d.count()?;
+                let mut items = Vec::new();
+                for _ in 0..n {
+                    items.push(dec_item(&mut d)?);
+                }
+                Frame::DecideBatch { items }
+            }
+            TAG_ISSUE_PROOF => Frame::IssueProof {
+                object: d.u32()?,
+                access: dec_access(&mut d)?,
+                time: d.f64()?,
+            },
+            TAG_ARRIVE => Frame::Arrive {
+                object: d.u32()?,
+                time: d.f64()?,
+                from: d.opt_str()?,
+            },
+            TAG_HANDOFF_REQUEST => Frame::HandoffRequest { object: d.str()? },
+            TAG_METRICS_REQUEST => Frame::MetricsRequest,
+            TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_HELLO_ACK => Frame::HelloAck {
+                proto: d.u16()?,
+                server: d.str()?,
+            },
+            TAG_OK => Frame::Ok,
+            TAG_ERR => Frame::Err {
+                code: d.u8()?,
+                msg: d.str()?,
+            },
+            TAG_VERDICT => Frame::Verdict {
+                kind: d.u8()?,
+                reason: d.opt_str()?,
+            },
+            TAG_VERDICT_BATCH => {
+                let n = d.count()?;
+                let mut verdicts = Vec::new();
+                for _ in 0..n {
+                    let kind = d.u8()?;
+                    let reason = d.opt_str()?;
+                    verdicts.push((kind, reason));
+                }
+                Frame::VerdictBatch { verdicts }
+            }
+            TAG_HANDOFF_STATE => Frame::HandoffState {
+                object: d.str()?,
+                state: dec_handoff(&mut d)?,
+            },
+            TAG_METRICS_JSON => Frame::MetricsJson { json: d.str()? },
+            other => return Err(WireError::BadTag(other)),
+        };
+        d.finish()?;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips() {
+        let frames = vec![
+            Frame::Hello {
+                proto: 1,
+                peer: "s1".into(),
+            },
+            Frame::Vocab {
+                names: vec!["a".into(), "b".into()],
+            },
+            Frame::Enroll {
+                object: 3,
+                roles: vec![0, 7],
+            },
+            Frame::Decide(DecideItem {
+                object: 1,
+                time: 2.5,
+                access: WireAccess {
+                    op: 0,
+                    resource: 1,
+                    server: 2,
+                },
+                remaining: vec![WireAccess {
+                    op: 0,
+                    resource: 1,
+                    server: 2,
+                }],
+            }),
+            Frame::DecideBatch { items: vec![] },
+            Frame::IssueProof {
+                object: 9,
+                access: WireAccess {
+                    op: 5,
+                    resource: 6,
+                    server: 7,
+                },
+                time: -1.25,
+            },
+            Frame::Arrive {
+                object: 2,
+                time: 0.0,
+                from: Some("s0".into()),
+            },
+            Frame::HandoffRequest {
+                object: "obj".into(),
+            },
+            Frame::MetricsRequest,
+            Frame::Shutdown,
+            Frame::HelloAck {
+                proto: 1,
+                server: "s2".into(),
+            },
+            Frame::Ok,
+            Frame::Err {
+                code: ERR_HANDOFF,
+                msg: "nope".into(),
+            },
+            Frame::Verdict {
+                kind: 5,
+                reason: Some("custody in flight".into()),
+            },
+            Frame::VerdictBatch {
+                verdicts: vec![(0, None), (3, Some("budget".into()))],
+            },
+            Frame::HandoffState {
+                object: "o".into(),
+                state: HandoffWire {
+                    watermark: 42,
+                    clean: true,
+                    sender_clock: 10.5,
+                    sender_skew: 0.5,
+                    arrivals: vec![1.0, 2.0],
+                    timelines: vec![(
+                        WireBudget::Class("fast".into()),
+                        WireTimeline {
+                            budget: Some(3.0),
+                            scheme: 0,
+                            arrivals: vec![1.0],
+                            toggles: vec![(1.0, true), (2.0, false)],
+                            active_now: false,
+                        },
+                    )],
+                    spatial_ok: vec!["p1".into()],
+                    cursor_seeds: vec![("p1".into(), 2)],
+                },
+            },
+            Frame::MetricsJson { json: "{}".into() },
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            let back = Frame::decode(&bytes).unwrap();
+            assert_eq!(back, f);
+            // Canonical: re-encoding the decoded frame reproduces the bytes.
+            assert_eq!(back.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn bad_version_and_tag_are_rejected() {
+        assert_eq!(Frame::decode(&[9, TAG_OK]), Err(WireError::BadVersion(9)));
+        assert_eq!(
+            Frame::decode(&[PROTOCOL_VERSION, 0x7E]),
+            Err(WireError::BadTag(0x7E))
+        );
+        assert!(matches!(
+            Frame::decode(&[PROTOCOL_VERSION, TAG_OK, 0xFF]),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn handoff_conversion_rejects_non_finite_times() {
+        let w = HandoffWire {
+            watermark: 0,
+            clean: true,
+            sender_clock: 0.0,
+            sender_skew: 0.0,
+            arrivals: vec![f64::NAN],
+            timelines: vec![],
+            spatial_ok: vec![],
+            cursor_seeds: vec![],
+        };
+        assert!(w.to_handoff().is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # stacl-net — the networked coalition
+//!
+//! The paper's coalition is a set of *servers*, each running its own
+//! guard; mobile objects migrate between them and every member enforces
+//! the coordinated spatio-temporal policy locally (§2, §5.1). Earlier
+//! crates collapse that topology into one in-process guard. This crate
+//! restores it: one **daemon** per coalition member, each hosting one
+//! [`stacl_naplet::guard::CoordinatedGuard`] shard, speaking a
+//! hand-rolled, length-prefixed, versioned binary protocol over TCP —
+//! plain threads and `std::net`, no async runtime, no serialization
+//! framework.
+//!
+//! * [`wire`] — framing and the primitive codec ([`wire::WireError`]:
+//!   malformed bytes are errors, never panics);
+//! * [`frames`] — the frame vocabulary: decisions and proofs travel as
+//!   interned `u32` ids after a per-connection `Vocab` announcement;
+//!   custody handoffs travel name-keyed ([`frames::HandoffWire`])
+//!   because interning orders differ across members;
+//! * [`daemon`] — the per-server daemon: accept loop, per-connection
+//!   threads, custody gate, and the migration handoff **pull** with
+//!   bounded retries, doubling backoff and fail-safe denial;
+//! * [`client`] — the synchronous client, including
+//!   [`client::Client::decide_failsafe`]: an unreachable member yields a
+//!   counted `DeniedCoordination`, never an open gate.
+//!
+//! Telemetry rides on `stacl-obs`: `net.frame-tx/rx`, `net.bytes-tx/rx`,
+//! `net.retry`, `net.handoff-applied/failed`, `net.failsafe-denial`, and
+//! a handoff-latency histogram; a daemon serves its snapshot as JSON on
+//! a `MetricsRequest` frame.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod frames;
+pub mod wire;
+
+pub use client::{Client, NetError};
+pub use daemon::{spawn, DaemonConfig, DaemonHandle};
+pub use frames::Frame;
+pub use wire::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};

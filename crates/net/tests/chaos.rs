@@ -1,0 +1,148 @@
+//! Chaos test: kill one of four coalition members mid-episode and require
+//! that every decision touching its custodied objects resolves to a
+//! *counted* fail-safe `DeniedCoordination` — no hang, no panic — while
+//! the surviving members keep granting.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_naplet::guard::CoordinatedGuard;
+use stacl_net::frames::ERR_HANDOFF;
+use stacl_net::{Client, DaemonConfig, NetError};
+use stacl_obs::Counter;
+use stacl_rbac::{AccessPattern, ExtendedRbac, Permission, RbacModel};
+use stacl_sral::Access;
+
+const OBJECTS: [&str; 4] = ["o0", "o1", "o2", "o3"];
+
+/// A minimal coalition policy: every object holds `staff`, which grants
+/// any access. All members carry the same replica, custody enforced.
+fn make_guard() -> CoordinatedGuard {
+    let mut model = RbacModel::new();
+    model.add_role("staff");
+    model
+        .add_permission(Permission::new("p-any", AccessPattern::any()))
+        .unwrap();
+    model.assign_permission("staff", "p-any").unwrap();
+    for obj in OBJECTS {
+        model.add_user(obj);
+        model.assign_user(obj, "staff").unwrap();
+    }
+    let guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    for obj in OBJECTS {
+        guard.enroll(obj, ["staff"]);
+    }
+    guard.set_custody_enforcement(true);
+    guard
+}
+
+#[test]
+fn killed_member_fails_safe_to_denied_coordination() {
+    stacl_obs::set_telemetry(true);
+    let baseline = stacl_obs::snapshot();
+
+    // Four members; short peer-I/O timeouts so the test stays fast.
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        let mut cfg = DaemonConfig::new(format!("d{i}"));
+        cfg.io_timeout = Duration::from_millis(300);
+        cfg.handoff_backoff = Duration::from_millis(5);
+        cfg.handoff_retries = 2;
+        let h = stacl_net::spawn(make_guard(), ProofStore::new(), cfg).expect("bind loopback");
+        handles.push(h);
+    }
+    let peers: Vec<(String, SocketAddr)> = handles
+        .iter()
+        .map(|h| (h.name().to_string(), h.addr()))
+        .collect();
+    for h in &handles {
+        for (n, a) in &peers {
+            if n != h.name() {
+                h.add_peer(n, *a);
+            }
+        }
+    }
+
+    let timeout = Some(Duration::from_secs(1));
+    let mut clients: Vec<Client> = handles
+        .iter()
+        .map(|h| Client::connect(h.addr(), "chaos-driver", timeout).expect("connect"))
+        .collect();
+
+    // Each object arrives at its own member, which takes custody.
+    let access = Access::new("read", "db", "s0");
+    let program = [access.clone()];
+    for (i, obj) in OBJECTS.iter().enumerate() {
+        clients[i]
+            .arrive(obj, i as f64, None)
+            .expect("first arrival");
+    }
+
+    // Sanity: before the failure every member grants for its object.
+    for (i, obj) in OBJECTS.iter().enumerate() {
+        let v = clients[i].decide_failsafe(obj, &access, &program, 10.0);
+        assert_eq!(v.kind, DecisionKind::Granted, "pre-kill grant for {obj}");
+    }
+
+    // Kill d2: listener closed, live connections severed, thread gone.
+    handles[2].kill();
+
+    // (a) An in-flight decision against the dead member fails safe: the
+    // client counts it and synthesizes DeniedCoordination, never hangs.
+    let v = clients[2].decide_failsafe("o2", &access, &program, 20.0);
+    assert_eq!(
+        v.kind,
+        DecisionKind::DeniedCoordination,
+        "dead-member decide"
+    );
+    assert!(
+        v.reason.as_deref().unwrap_or("").contains("unreachable"),
+        "fail-safe reason names the unreachable member: {:?}",
+        v.reason
+    );
+
+    // (b) o2 migrates to d1, naming the dead d2 as previous custodian.
+    // The handoff pull retries, exhausts, and the arrival is rejected
+    // with the handoff error code — custody stays in flight.
+    let err = clients[1]
+        .arrive("o2", 21.0, Some("d2"))
+        .expect_err("handoff from a dead member cannot succeed");
+    match err {
+        NetError::Daemon { code, .. } => assert_eq!(code, ERR_HANDOFF, "handoff error code"),
+        other => panic!("expected a daemon handoff error, got: {other}"),
+    }
+
+    // (c) While custody is in flight, decisions for o2 at d1 fail safe.
+    let v = clients[1].decide_failsafe("o2", &access, &program, 22.0);
+    assert_eq!(
+        v.kind,
+        DecisionKind::DeniedCoordination,
+        "in-flight custody"
+    );
+
+    // (d) Survivors are unaffected: d0 still grants for o0.
+    let v = clients[0].decide_failsafe("o0", &access, &program, 23.0);
+    assert_eq!(v.kind, DecisionKind::Granted, "survivor keeps granting");
+
+    // Every fail-safe path was counted, not silently swallowed.
+    let d = stacl_obs::snapshot().diff(&baseline);
+    assert!(
+        d.counter(Counter::NetFailsafeDenial) >= 1,
+        "fail-safe denials counted"
+    );
+    assert!(d.counter(Counter::NetRetry) >= 1, "handoff retries counted");
+    assert!(
+        d.counter(Counter::NetHandoffFailed) >= 1,
+        "failed handoff counted"
+    );
+    assert!(
+        d.counter(Counter::VerdictDeniedCoordination) >= 1,
+        "coordination denials counted"
+    );
+
+    drop(clients);
+    for mut h in handles {
+        h.shutdown();
+    }
+}

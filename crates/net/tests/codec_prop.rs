@@ -1,0 +1,202 @@
+//! Property tests for the wire codec: every generable frame round-trips
+//! byte-exactly, and no truncation or corruption of a valid encoding can
+//! make the decoder panic — malformed input is always a clean
+//! [`WireError`].
+
+use stacl_ids::prop::forall;
+use stacl_ids::rng::SplitMix64;
+use stacl_net::frames::{DecideItem, Frame, HandoffWire, WireAccess, WireBudget, WireTimeline};
+use stacl_net::WireError;
+
+fn gen_string(r: &mut SplitMix64) -> String {
+    const POOL: &[&str] = &["", "o1", "read", "db", "s0", "héllo-wörld", "a b c", "🌍"];
+    r.choose(POOL).to_string()
+}
+
+fn gen_access(r: &mut SplitMix64) -> WireAccess {
+    WireAccess {
+        op: r.gen_range(0u32..9),
+        resource: r.gen_range(0u32..9),
+        server: r.gen_range(0u32..9),
+    }
+}
+
+fn gen_item(r: &mut SplitMix64) -> DecideItem {
+    let n = r.gen_range(0usize..4);
+    DecideItem {
+        object: r.gen_range(0u32..9),
+        time: r.gen_range(0i64..1000) as f64 / 8.0,
+        access: gen_access(r),
+        remaining: (0..n).map(|_| gen_access(r)).collect(),
+    }
+}
+
+fn gen_timeline(r: &mut SplitMix64) -> WireTimeline {
+    let n = r.gen_range(0usize..3);
+    WireTimeline {
+        budget: r.gen_bool(0.5).then(|| r.gen_range(0i64..100) as f64 / 4.0),
+        scheme: r.gen_range(0u32..2) as u8,
+        arrivals: (0..n).map(|i| i as f64).collect(),
+        toggles: (0..n).map(|i| (i as f64, i % 2 == 0)).collect(),
+        active_now: r.gen_bool(0.5),
+    }
+}
+
+fn gen_handoff(r: &mut SplitMix64) -> HandoffWire {
+    let nt = r.gen_range(0usize..3);
+    let ns = r.gen_range(0usize..3);
+    HandoffWire {
+        watermark: r.gen_range(0u64..1_000_000),
+        clean: r.gen_bool(0.5),
+        sender_clock: r.gen_range(0i64..1000) as f64,
+        sender_skew: r.gen_range(0i64..5) as f64,
+        arrivals: (0..ns).map(|i| i as f64 * 1.5).collect(),
+        timelines: (0..nt)
+            .map(|_| {
+                let key = if r.gen_bool(0.5) {
+                    WireBudget::Perm(gen_string(r))
+                } else {
+                    WireBudget::Class(gen_string(r))
+                };
+                (key, gen_timeline(r))
+            })
+            .collect(),
+        spatial_ok: (0..ns).map(|_| gen_string(r)).collect(),
+        cursor_seeds: (0..nt)
+            .map(|_| (gen_string(r), r.next_u64() % 100))
+            .collect(),
+    }
+}
+
+fn gen_frame(r: &mut SplitMix64) -> Frame {
+    match r.gen_range(0u32..17) {
+        0 => Frame::Hello {
+            proto: r.gen_range(0u32..9) as u16,
+            peer: gen_string(r),
+        },
+        1 => Frame::Vocab {
+            names: (0..r.gen_range(0usize..5)).map(|_| gen_string(r)).collect(),
+        },
+        2 => Frame::Enroll {
+            object: r.gen_range(0u32..9),
+            roles: (0..r.gen_range(0usize..4))
+                .map(|_| r.gen_range(0u32..9))
+                .collect(),
+        },
+        3 => Frame::Decide(gen_item(r)),
+        4 => Frame::DecideBatch {
+            items: (0..r.gen_range(0usize..4)).map(|_| gen_item(r)).collect(),
+        },
+        5 => Frame::IssueProof {
+            object: r.gen_range(0u32..9),
+            access: gen_access(r),
+            time: r.gen_range(0i64..1000) as f64,
+        },
+        6 => Frame::Arrive {
+            object: r.gen_range(0u32..9),
+            time: r.gen_range(0i64..1000) as f64,
+            from: r.gen_bool(0.5).then(|| gen_string(r)),
+        },
+        7 => Frame::HandoffRequest {
+            object: gen_string(r),
+        },
+        8 => Frame::MetricsRequest,
+        9 => Frame::Shutdown,
+        10 => Frame::HelloAck {
+            proto: r.gen_range(0u32..9) as u16,
+            server: gen_string(r),
+        },
+        11 => Frame::Ok,
+        12 => Frame::Err {
+            code: r.gen_range(0u32..9) as u8,
+            msg: gen_string(r),
+        },
+        13 => Frame::Verdict {
+            kind: r.gen_range(0u32..6) as u8,
+            reason: r.gen_bool(0.5).then(|| gen_string(r)),
+        },
+        14 => Frame::VerdictBatch {
+            verdicts: (0..r.gen_range(0usize..4))
+                .map(|_| {
+                    (
+                        r.gen_range(0u32..6) as u8,
+                        r.gen_bool(0.5).then(|| gen_string(r)),
+                    )
+                })
+                .collect(),
+        },
+        15 => Frame::HandoffState {
+            object: gen_string(r),
+            state: gen_handoff(r),
+        },
+        _ => Frame::MetricsJson {
+            json: gen_string(r),
+        },
+    }
+}
+
+#[test]
+fn arbitrary_frames_round_trip() {
+    forall("frame-round-trip", 0xF00D, 512, |r| {
+        let frame = gen_frame(r);
+        let bytes = frame.encode();
+        let back = Frame::decode(&bytes).unwrap_or_else(|e| {
+            panic!("decode of encoded {frame:?} failed: {e}");
+        });
+        assert_eq!(back, frame, "round-trip changed the frame");
+        assert_eq!(back.encode(), bytes, "encoding is not canonical");
+    });
+}
+
+#[test]
+fn truncated_frames_error_cleanly() {
+    forall("frame-truncation", 0xBEEF, 256, |r| {
+        let frame = gen_frame(r);
+        let bytes = frame.encode();
+        // Every strict prefix must decode to an error — never a panic,
+        // and never a silently shorter frame.
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(other) => {
+                    // A prefix that happens to be a complete valid frame
+                    // can only occur if trailing bytes were ignored —
+                    // finish() forbids that.
+                    panic!("prefix {cut}/{} decoded as {other:?}", bytes.len());
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn corrupted_frames_never_panic() {
+    forall("frame-corruption", 0xCAFE, 512, |r| {
+        let frame = gen_frame(r);
+        let mut bytes = frame.encode();
+        if bytes.is_empty() {
+            return;
+        }
+        // Flip a random byte (possibly the version, tag, a length, or a
+        // UTF-8 continuation) and require a clean Ok-or-Err outcome.
+        let idx = r.gen_range(0..bytes.len());
+        let flip = (r.next_u64() % 255 + 1) as u8;
+        bytes[idx] ^= flip;
+        let _ = Frame::decode(&bytes);
+        // Also: random garbage of random length.
+        let len = r.gen_range(0usize..64);
+        let garbage: Vec<u8> = (0..len).map(|_| (r.next_u64() & 0xFF) as u8).collect();
+        let _ = Frame::decode(&garbage);
+    });
+}
+
+#[test]
+fn hostile_vec_counts_do_not_allocate() {
+    // A Vocab frame claiming u32::MAX names must fail on bounds, fast.
+    let mut payload = vec![1u8, 0x02];
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    match Frame::decode(&payload) {
+        Err(WireError::TooLarge(_)) | Err(WireError::Truncated { .. }) => {}
+        other => panic!("hostile count decoded as {other:?}"),
+    }
+}

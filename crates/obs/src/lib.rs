@@ -66,6 +66,9 @@ pub enum Counter {
     VerdictDeniedTemporal,
     /// Verdict: denied — request names an unknown object/server.
     VerdictDeniedUnknownTarget,
+    /// Verdict: denied fail-safe — the object's custody is in flight,
+    /// resident elsewhere, or the coordination layer could not answer.
+    VerdictDeniedCoordination,
     /// Cursor answered the spatial check in O(|residual|) (DESIGN.md §8 fast path).
     CursorFastPathHit,
     /// No cursor existed yet for this (object, permission); built from scratch.
@@ -96,10 +99,27 @@ pub enum Counter {
     /// A panicking per-request decision inside `decide_batch` was caught and
     /// converted into a fail-safe denial.
     BatchPanicRecovered,
+    /// A wire frame was sent (daemon or client side).
+    NetFrameTx,
+    /// A wire frame was received.
+    NetFrameRx,
+    /// Payload bytes sent over the wire (length prefixes excluded).
+    NetBytesTx,
+    /// Payload bytes received over the wire (length prefixes excluded).
+    NetBytesRx,
+    /// A failed handoff attempt was retried after backoff.
+    NetRetry,
+    /// A custody handoff was pulled from a peer and applied.
+    NetHandoffApplied,
+    /// A custody handoff gave up after exhausting its retry budget.
+    NetHandoffFailed,
+    /// A client could not reach a daemon and synthesised a fail-safe
+    /// `DeniedCoordination` verdict locally.
+    NetFailsafeDenial,
 }
 
 /// Number of distinct counters.
-pub const COUNTERS: usize = 18;
+pub const COUNTERS: usize = 27;
 
 impl Counter {
     /// All counters, in declaration order (matches the `[u64; COUNTERS]`
@@ -110,6 +130,7 @@ impl Counter {
         Counter::VerdictDeniedSpatial,
         Counter::VerdictDeniedTemporal,
         Counter::VerdictDeniedUnknownTarget,
+        Counter::VerdictDeniedCoordination,
         Counter::CursorFastPathHit,
         Counter::CursorColdStart,
         Counter::CursorDeclineTableVersion,
@@ -123,6 +144,14 @@ impl Counter {
         Counter::WatermarkAdvance,
         Counter::ClockRegression,
         Counter::BatchPanicRecovered,
+        Counter::NetFrameTx,
+        Counter::NetFrameRx,
+        Counter::NetBytesTx,
+        Counter::NetBytesRx,
+        Counter::NetRetry,
+        Counter::NetHandoffApplied,
+        Counter::NetHandoffFailed,
+        Counter::NetFailsafeDenial,
     ];
 
     /// The five cursor decline reasons of DESIGN.md §8, in rule order.
@@ -135,12 +164,13 @@ impl Counter {
     ];
 
     /// The verdict counters, one per `DecisionKind`.
-    pub const VERDICTS: [Counter; 5] = [
+    pub const VERDICTS: [Counter; 6] = [
         Counter::VerdictGranted,
         Counter::VerdictDeniedNoPermission,
         Counter::VerdictDeniedSpatial,
         Counter::VerdictDeniedTemporal,
         Counter::VerdictDeniedUnknownTarget,
+        Counter::VerdictDeniedCoordination,
     ];
 
     /// Stable label used as the JSON key for this counter.
@@ -151,6 +181,7 @@ impl Counter {
             Counter::VerdictDeniedSpatial => "verdict.denied-spatial",
             Counter::VerdictDeniedTemporal => "verdict.denied-temporal",
             Counter::VerdictDeniedUnknownTarget => "verdict.denied-unknown-target",
+            Counter::VerdictDeniedCoordination => "verdict.denied-coordination",
             Counter::CursorFastPathHit => "cursor.fast-path-hit",
             Counter::CursorColdStart => "cursor.cold-start",
             Counter::CursorDeclineTableVersion => "cursor.decline.table-version",
@@ -164,6 +195,14 @@ impl Counter {
             Counter::WatermarkAdvance => "proof.watermark-advance",
             Counter::ClockRegression => "clock.regression",
             Counter::BatchPanicRecovered => "batch.panic-recovered",
+            Counter::NetFrameTx => "net.frame-tx",
+            Counter::NetFrameRx => "net.frame-rx",
+            Counter::NetBytesTx => "net.bytes-tx",
+            Counter::NetBytesRx => "net.bytes-rx",
+            Counter::NetRetry => "net.retry",
+            Counter::NetHandoffApplied => "net.handoff-applied",
+            Counter::NetHandoffFailed => "net.handoff-failed",
+            Counter::NetFailsafeDenial => "net.failsafe-denial",
         }
     }
 }
@@ -176,6 +215,7 @@ struct Stripe {
     decide_ns: [AtomicU64; BUCKETS],
     batch_ns: [AtomicU64; BUCKETS],
     batch_size: [AtomicU64; BUCKETS],
+    handoff_ns: [AtomicU64; BUCKETS],
 }
 
 #[allow(clippy::declare_interior_mutable_const)]
@@ -188,6 +228,7 @@ impl Stripe {
         decide_ns: [ZERO; BUCKETS],
         batch_ns: [ZERO; BUCKETS],
         batch_size: [ZERO; BUCKETS],
+        handoff_ns: [ZERO; BUCKETS],
     };
 }
 
@@ -294,6 +335,21 @@ pub fn count(c: Counter) {
     }
 }
 
+/// Record `n` occurrences of `c` in one store (used by the wire layer to
+/// account whole-frame byte counts without a per-byte loop).
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    if enabled() {
+        let idx = stripe_idx();
+        let slot = &REGISTRY[idx].counters[c as usize];
+        if idx < EXCLUSIVE_STRIPES {
+            slot.store(slot.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+        } else {
+            slot.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Histogram bucket for `v`: `floor(log2(max(v, 1)))`, clamped to the last
 /// bucket.
 #[inline]
@@ -353,6 +409,23 @@ pub fn observe_batch(start: Option<Instant>, batch_len: usize) {
     }
 }
 
+/// Start timing a custody handoff (every handoff is timed — handoffs are
+/// rare, one per migration). Pass the result to [`observe_handoff`].
+#[inline]
+pub fn handoff_timer() -> Option<Instant> {
+    enabled().then(Instant::now)
+}
+
+/// Record a custody-handoff latency started by [`handoff_timer`].
+#[inline]
+pub fn observe_handoff(start: Option<Instant>) {
+    if let Some(t0) = start {
+        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let idx = stripe_idx();
+        bump(idx, &REGISTRY[idx].handoff_ns[bucket(ns)]);
+    }
+}
+
 /// A consistent-enough point-in-time aggregation of all stripes. Fixed-size
 /// (no heap) so taking one is itself allocation-free; only
 /// [`MetricsSnapshot::to_json`] allocates.
@@ -368,6 +441,8 @@ pub struct MetricsSnapshot {
     pub batch_ns: [u64; BUCKETS],
     /// `decide_batch` size histogram (requests per batch, log₂ buckets).
     pub batch_size: [u64; BUCKETS],
+    /// Custody-handoff latency histogram (nanoseconds, log₂ buckets).
+    pub handoff_ns: [u64; BUCKETS],
 }
 
 impl MetricsSnapshot {
@@ -376,7 +451,7 @@ impl MetricsSnapshot {
         self.counters[c as usize]
     }
 
-    /// Sum of the five verdict counters — the total number of decisions
+    /// Sum of the six verdict counters — the total number of decisions
     /// recorded (every decision produces exactly one verdict).
     pub fn verdict_total(&self) -> u64 {
         Counter::VERDICTS.iter().map(|&c| self.counter(c)).sum()
@@ -398,6 +473,7 @@ impl MetricsSnapshot {
             d.decide_ns[i] = d.decide_ns[i].saturating_sub(earlier.decide_ns[i]);
             d.batch_ns[i] = d.batch_ns[i].saturating_sub(earlier.batch_ns[i]);
             d.batch_size[i] = d.batch_size[i].saturating_sub(earlier.batch_size[i]);
+            d.handoff_ns[i] = d.handoff_ns[i].saturating_sub(earlier.handoff_ns[i]);
         }
         d
     }
@@ -439,6 +515,8 @@ impl MetricsSnapshot {
         hist(&mut out, "batch_latency_ns", &self.batch_ns);
         out.push_str(",\n");
         hist(&mut out, "batch_size", &self.batch_size);
+        out.push_str(",\n");
+        hist(&mut out, "handoff_latency_ns", &self.handoff_ns);
         out.push_str("\n}\n");
         out
     }
@@ -459,6 +537,7 @@ pub fn snapshot() -> MetricsSnapshot {
             snap.decide_ns[i] += s.decide_ns[i].load(Ordering::Relaxed);
             snap.batch_ns[i] += s.batch_ns[i].load(Ordering::Relaxed);
             snap.batch_size[i] += s.batch_size[i].load(Ordering::Relaxed);
+            snap.handoff_ns[i] += s.handoff_ns[i].load(Ordering::Relaxed);
         }
     }
     snap
@@ -476,6 +555,7 @@ pub fn reset() {
             s.decide_ns[i].store(0, Ordering::Relaxed);
             s.batch_ns[i].store(0, Ordering::Relaxed);
             s.batch_size[i].store(0, Ordering::Relaxed);
+            s.handoff_ns[i].store(0, Ordering::Relaxed);
         }
     }
 }
@@ -519,6 +599,7 @@ mod tests {
             "decide_latency_ns",
             "batch_latency_ns",
             "batch_size",
+            "handoff_latency_ns",
             "log2_buckets",
         ] {
             assert!(

@@ -186,6 +186,46 @@ struct ObjectGate {
     cursors: HashMap<PermId, SpatialCursor>,
 }
 
+/// Which budget a timeline in an [`ObjectGateExport`] draws from. Keyed
+/// by *name*, not by interned id: interner orders differ across
+/// coalition members, so ids are meaningless on the wire.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GateBudget {
+    /// The permission's own budget.
+    Perm(String),
+    /// A shared validity-class budget.
+    Class(String),
+}
+
+impl GateBudget {
+    /// The budget's name.
+    pub fn name(&self) -> &str {
+        match self {
+            GateBudget::Perm(n) | GateBudget::Class(n) => n,
+        }
+    }
+}
+
+/// A by-name snapshot of one object's per-object decision state, for
+/// coalition custody handoff. Carries exactly the state a future
+/// decision can observe: the arrival log, the validity timelines and the
+/// established spatial approvals. Cursor *seeds* (proofs consumed per
+/// permission) travel as hints — the importing side rebuilds cursors
+/// from its own replicated proof store, and a missing cursor only
+/// declines the fast path, never changes a verdict.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObjectGateExport {
+    /// Recorded server-arrival times, non-decreasing.
+    pub arrivals: Vec<TimePoint>,
+    /// Validity timelines, sorted by budget name.
+    pub timelines: Vec<(GateBudget, stacl_temporal::TimelineParts)>,
+    /// Names of permissions with an established spatial approval, sorted.
+    pub spatial_ok: Vec<String>,
+    /// Proofs consumed by each permission's spatial cursor, sorted by
+    /// permission name (informational seed for [`ExtendedRbac::warm_cursor`]).
+    pub cursor_seeds: Vec<(String, u64)>,
+}
+
 /// The string-keyed ablation state (see
 /// [`ExtendedRbac::decide_string_keyed`]), bundled behind one lock.
 #[derive(Debug, Default)]
@@ -934,6 +974,133 @@ impl ExtendedRbac {
         let tl = gate.lock().timelines.get(&bkey).cloned();
         tl
     }
+
+    /// Export an object's gate shard by name, for coalition custody
+    /// handoff. An object with no recorded state exports an empty
+    /// snapshot (the receiving member starts it fresh). Deterministic:
+    /// every list is sorted by name.
+    pub fn export_gate(&self, object: &str) -> ObjectGateExport {
+        let Some(oid) = self.objects.get(object) else {
+            return ObjectGateExport::default();
+        };
+        let Some(gate) = self.gates.read().get(&oid).map(Arc::clone) else {
+            return ObjectGateExport::default();
+        };
+        let gate = gate.lock();
+        let mut timelines: Vec<(GateBudget, stacl_temporal::TimelineParts)> = gate
+            .timelines
+            .iter()
+            .map(|(k, tl)| {
+                let key = match *k {
+                    BudgetKey::Perm(p) => GateBudget::Perm(self.perms.resolve(p).to_string()),
+                    BudgetKey::Class(c) => GateBudget::Class(self.class_ids.resolve(c).to_string()),
+                };
+                (key, tl.to_parts())
+            })
+            .collect();
+        timelines.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut spatial_ok: Vec<String> = gate
+            .spatial_ok
+            .iter()
+            .map(|&p| self.perms.resolve(p).to_string())
+            .collect();
+        spatial_ok.sort_unstable();
+        let mut cursor_seeds: Vec<(String, u64)> = gate
+            .cursors
+            .iter()
+            .map(|(&p, sc)| {
+                (
+                    self.perms.resolve(p).to_string(),
+                    sc.cursor.consumed() as u64,
+                )
+            })
+            .collect();
+        cursor_seeds.sort_unstable();
+        ObjectGateExport {
+            arrivals: gate.arrivals.clone(),
+            timelines,
+            spatial_ok,
+            cursor_seeds,
+        }
+    }
+
+    /// Install an exported gate shard for `object`, replacing any state
+    /// this member previously held for it. Validates everything — the
+    /// export typically arrives over a wire from another coalition
+    /// member. Cursors are *not* reconstructed here (see
+    /// [`ExtendedRbac::warm_cursor`]); a cold cursor only declines the
+    /// fast path. The string-keyed ablation state is not touched:
+    /// handoff is an interned-path feature.
+    pub fn import_gate(&self, object: &str, export: &ObjectGateExport) -> Result<(), String> {
+        for w in export.arrivals.windows(2) {
+            if w[1] < w[0] {
+                return Err(format!(
+                    "gate arrivals out of order: {} precedes {}",
+                    w[1], w[0]
+                ));
+            }
+        }
+        let mut gate = ObjectGate {
+            arrivals: export.arrivals.clone(),
+            ..ObjectGate::default()
+        };
+        for (key, parts) in &export.timelines {
+            let tl = PermissionTimeline::from_parts(parts.clone())
+                .map_err(|e| format!("timeline for budget `{}`: {e}", key.name()))?;
+            let bkey = match key {
+                GateBudget::Perm(n) => BudgetKey::Perm(self.perms.intern(n)),
+                GateBudget::Class(n) => BudgetKey::Class(self.class_ids.intern(n)),
+            };
+            if gate.timelines.insert(bkey, tl).is_some() {
+                return Err(format!("duplicate timeline budget `{}`", key.name()));
+            }
+        }
+        for p in &export.spatial_ok {
+            gate.spatial_ok.insert(self.perms.intern(p));
+        }
+        let oid = self.objects.intern(object);
+        self.gates.write().insert(oid, Arc::new(Mutex::new(gate)));
+        Ok(())
+    }
+
+    /// Rebuild the spatial cursor for `(object, perm)` from this member's
+    /// proof store, after a custody import. Returns `true` when a cursor
+    /// was installed. Purely an optimisation: verdicts are identical with
+    /// or without the cursor (it declines, never disagrees).
+    pub fn warm_cursor(
+        &self,
+        object: &str,
+        perm: &str,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> bool {
+        let Some(pid) = self.perms.get(perm) else {
+            return false;
+        };
+        let Some(p) = self.model.permission(perm) else {
+            return false;
+        };
+        let Some(c) = &p.spatial else {
+            return false;
+        };
+        if p.scope == HistoryScope::Team {
+            return false; // team scope never uses cursors
+        }
+        let Some(oid) = self.objects.get(object) else {
+            return false;
+        };
+        let generation = self.model.generation();
+        let history = proofs.history_of(object, table);
+        let mut cursor = ConstraintCursor::new(c, table, &mut self.cache.lock());
+        if !cursor.advance_trace(&history) {
+            return false;
+        }
+        let gate = self.gate_of(oid);
+        gate.lock()
+            .cursors
+            .insert(pid, SpatialCursor { cursor, generation });
+        true
+    }
 }
 
 #[cfg(test)]
@@ -1490,5 +1657,68 @@ mod tests {
                 proofs.issue("naplet-1", a.clone(), tp(t));
             }
         }
+    }
+
+    #[test]
+    fn gate_export_import_round_trip_across_interning_orders() {
+        let perm = Permission::new("p-exec", AccessPattern::parse("exec:rsw:*").unwrap())
+            .with_spatial(parse_constraint("count(0, 100, resource=rsw)").unwrap())
+            .with_validity(2.0, BaseTimeScheme::WholeLifetime);
+        let (x1, sid1) = setup(perm.clone());
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let access_ = Access::new("exec", "rsw", "s1");
+        let prog = access("exec", "rsw", "s1");
+        let req = |t: f64, sid: SessionId| AccessRequest {
+            object: "naplet-1",
+            session: sid,
+            access: &access_,
+            program: &prog,
+            time: tp(t),
+            reuse_spatial: false,
+        };
+
+        x1.note_arrival("naplet-1", tp(0.0));
+        assert!(x1.decide(&req(0.0, sid1), &proofs, &mut table).is_granted());
+        proofs.issue("naplet-1", access_.clone(), tp(0.0));
+        let export = x1.export_gate("naplet-1");
+        assert!(!export.timelines.is_empty());
+        assert_eq!(export.spatial_ok, vec!["p-exec".to_string()]);
+        assert_eq!(export.arrivals, vec![tp(0.0)]);
+
+        // The receiving member interns names in a different order (a decoy
+        // object and its own decisions come first) — by-name keys must
+        // survive the id remapping.
+        let (mut x2, _) = setup(perm);
+        x2.note_arrival("decoy", tp(0.0));
+        let sid2 = x2.open_session("naplet-1", vec![]).unwrap();
+        x2.activate_role(sid2, "worker").unwrap();
+        x2.import_gate("naplet-1", &export).unwrap();
+
+        // Re-export matches the import (cursors do not travel).
+        let mut back = x2.export_gate("naplet-1");
+        back.cursor_seeds = export.cursor_seeds.clone();
+        assert_eq!(back, export);
+
+        // Temporal continuity: the 2-second whole-lifetime budget started
+        // at t=0 on the sender, so t=1 grants and t=3 is exhausted — on
+        // the receiver, against its own replicated proof store.
+        let proofs2 = ProofStore::new();
+        proofs2.issue("naplet-1", access_.clone(), tp(0.0));
+        let mut table2 = AccessTable::new();
+        assert!(x2.warm_cursor("naplet-1", "p-exec", &proofs2, &mut table2));
+        assert!(x2
+            .decide(&req(1.0, sid2), &proofs2, &mut table2)
+            .is_granted());
+        let d = x2.decide(&req(3.0, sid2), &proofs2, &mut table2);
+        assert_eq!(d.kind, DecisionKind::DeniedTemporal);
+
+        // Malformed imports are rejected, not panicked on.
+        let mut bad = export.clone();
+        bad.arrivals = vec![tp(5.0), tp(1.0)];
+        assert!(x2.import_gate("naplet-1", &bad).is_err());
+        let mut bad = export;
+        bad.timelines[0].1.active_now = !bad.timelines[0].1.active_now;
+        assert!(x2.import_gate("naplet-1", &bad).is_err());
     }
 }

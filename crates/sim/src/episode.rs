@@ -68,8 +68,10 @@ pub struct Episode {
     pub divergence: Option<Divergence>,
 }
 
-/// Build the real decision stack for a scenario.
-fn build_guard(sc: &Scenario) -> CoordinatedGuard {
+/// Build the real decision stack for a scenario. Public so transports
+/// other than the in-process driver (the networked coalition of
+/// `stacl-net`) can replicate the policy onto every member.
+pub fn build_guard(sc: &Scenario) -> CoordinatedGuard {
     let mut model = RbacModel::new();
     for o in &sc.objects {
         model.add_user(&o.name);

@@ -32,14 +32,17 @@
 #![warn(missing_docs)]
 
 pub mod episode;
+pub mod net_driver;
 pub mod oracle;
 pub mod report;
 pub mod scenario;
 pub mod shrink;
 
 pub use episode::{
-    episode_for_seed, episode_for_seed_batched, run_episode, run_episode_with, Divergence, Episode,
+    build_guard, episode_for_seed, episode_for_seed_batched, run_episode, run_episode_with,
+    Divergence, Episode,
 };
+pub use net_driver::{episode_for_seed_net, run_episode_net};
 pub use oracle::{OracleBug, ReferenceOracle};
 pub use report::{repro, SweepReport};
 pub use scenario::{Event, Scenario};

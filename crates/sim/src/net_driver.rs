@@ -1,0 +1,243 @@
+//! The networked episode driver: wire-level differential validation.
+//!
+//! [`run_episode_net`] replays a scenario's exact event stream against a
+//! coalition of `stacl-net` daemons on loopback — one
+//! [`stacl_naplet::guard::CoordinatedGuard`] shard per daemon, custody
+//! enforcement on — and produces an [`Episode`] whose log is
+//! **byte-identical** to [`crate::run_episode_with`]'s for every seed.
+//!
+//! How the distributed replay preserves identity:
+//!
+//! * **Policy** is replicated at build time: every daemon gets the same
+//!   [`build_guard`] output (same scenario, same enrollments).
+//! * **Proofs** are replicated by the driver: after every grant it
+//!   broadcasts `IssueProof` to *all* members in event order, so each
+//!   replica's proof store is identical (same contents, same sequence
+//!   numbers) — team-scoped constraints read the same combined history
+//!   everywhere.
+//! * **Per-object gate state** (arrival history, temporal timelines,
+//!   spatial approvals) travels with the object: a migration onto a
+//!   different daemon triggers the wire handoff pull, after which the
+//!   receiver's gate equals the single in-process guard's.
+//! * **Topology** stays driver-side, exactly like the in-process driver:
+//!   a dead or unknown server denies `DeniedUnknownTarget` before any
+//!   member is consulted, and a server death never kills a daemon (a
+//!   member outliving one of its servers still custodies its objects).
+//!
+//! Decisions route to the object's *custodian* — the daemon serving the
+//! server of its last non-dropped arrival (server index modulo daemon
+//! count when the coalition is smaller than the topology).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use stacl_coalition::{CoalitionEnv, DecisionKind, ProofStore, Verdict};
+use stacl_net::{Client, DaemonConfig, DaemonHandle};
+use stacl_sral::Access;
+
+use crate::episode::{build_guard, Divergence, Episode};
+use crate::oracle::{OracleBug, ReferenceOracle};
+use crate::scenario::{Event, Scenario};
+
+/// Replay `sc` over a loopback coalition of `n_daemons` members.
+///
+/// Returns an error only on transport-setup or migration failures — a
+/// member that cannot *decide* never errors, it fail-safes to
+/// `DeniedCoordination` (and that would surface as a divergence).
+pub fn run_episode_net(
+    sc: &Scenario,
+    bug: Option<OracleBug>,
+    n_daemons: usize,
+) -> Result<Episode, String> {
+    assert!(n_daemons >= 1, "a coalition needs at least one member");
+    let d_of = |server: &str| -> usize {
+        sc.servers.iter().position(|s| s == server).unwrap_or(0) % n_daemons
+    };
+
+    // Spawn the members: identical policy replicas, custody enforced.
+    let mut handles: Vec<DaemonHandle> = Vec::with_capacity(n_daemons);
+    for i in 0..n_daemons {
+        let guard = build_guard(sc);
+        guard.set_custody_enforcement(true);
+        let mut cfg = DaemonConfig::new(format!("d{i}"));
+        cfg.skew = sc.skews.get(i).copied().unwrap_or(0.0);
+        let h = stacl_net::spawn(guard, ProofStore::new(), cfg)
+            .map_err(|e| format!("spawn daemon d{i}: {e}"))?;
+        handles.push(h);
+    }
+    let peers: Vec<(String, SocketAddr)> = handles
+        .iter()
+        .map(|h| (h.name().to_string(), h.addr()))
+        .collect();
+    for h in &handles {
+        for (n, a) in &peers {
+            if n != h.name() {
+                h.add_peer(n, *a);
+            }
+        }
+    }
+
+    // One client per member, vocabulary pre-announced in one frame so
+    // the steady-state replay is ids-only.
+    let timeout = Some(Duration::from_secs(10));
+    let mut clients: Vec<Client> = Vec::with_capacity(n_daemons);
+    for h in &handles {
+        let mut c = Client::connect(h.addr(), "sim-driver", timeout)
+            .map_err(|e| format!("connect to {}: {e}", h.name()))?;
+        let names = sc
+            .objects
+            .iter()
+            .map(|o| o.name.as_str())
+            .chain(sc.ops.iter().map(String::as_str))
+            .chain(sc.resources.iter().map(String::as_str))
+            .chain(sc.servers.iter().map(String::as_str));
+        c.sync_vocab(names)
+            .map_err(|e| format!("vocab sync to {}: {e}", h.name()))?;
+        clients.push(c);
+    }
+
+    // Driver-side topology and oracle state — mirrors run_episode_with.
+    let mut env = CoalitionEnv::new();
+    for s in &sc.servers {
+        env.add_server(s);
+        for res in &sc.resources {
+            env.add_resource(s, res, sc.ops.iter().map(String::as_str));
+        }
+    }
+    let mut oracle = ReferenceOracle::new(bug);
+    let per_object: Vec<Vec<Access>> = (0..sc.objects.len())
+        .map(|i| {
+            sc.events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Access { obj, access, .. } if *obj == i => Some(access.clone()),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    let mut cursor = vec![0usize; sc.objects.len()];
+    // The object's current custodian member, set by its first arrival.
+    let mut custodian = vec![0usize; sc.objects.len()];
+    let mut has_custodian = vec![false; sc.objects.len()];
+
+    let mut dead: BTreeSet<String> = BTreeSet::new();
+    let mut log = String::new();
+    let mut histogram: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut decisions = 0usize;
+    let mut divergence = None;
+
+    use std::fmt::Write as _;
+    'events: for (step, event) in sc.events.iter().enumerate() {
+        match event {
+            Event::Arrival {
+                obj,
+                server,
+                time,
+                dropped,
+            } => {
+                let name = &sc.objects[*obj].name;
+                if *dropped {
+                    let _ = writeln!(log, "[{time}] arrive {name} @ {server} DROPPED");
+                } else {
+                    let d = d_of(server);
+                    // Name the previous custodian so a cross-member move
+                    // pulls the handoff; the very first arrival has none.
+                    let from = has_custodian[*obj].then(|| peers[custodian[*obj]].0.clone());
+                    clients[d]
+                        .arrive(name, *time, from.as_deref())
+                        .map_err(|e| format!("arrival of {name} at d{d}: {e}"))?;
+                    custodian[*obj] = d;
+                    has_custodian[*obj] = true;
+                    oracle.note_arrival(*obj, *time);
+                    let _ = writeln!(log, "[{time}] arrive {name} @ {server}");
+                }
+            }
+            Event::ServerDeath { server, time } => {
+                dead.insert(server.clone());
+                oracle.note_death(server);
+                let _ = writeln!(log, "[{time}] server-death {server}");
+            }
+            Event::Access { obj, access, time } => {
+                let name = &sc.objects[*obj].name;
+                let remaining = &per_object[*obj][cursor[*obj]..];
+                cursor[*obj] += 1;
+                let reachable = !dead.contains(&*access.server) && env.resolve(access).is_ok();
+                let system_v = if reachable {
+                    // An unreachable or crashed member resolves to the
+                    // counted fail-safe denial inside decide_failsafe.
+                    clients[custodian[*obj]].decide_failsafe(name, access, remaining, *time)
+                } else {
+                    stacl_obs::count(stacl_obs::Counter::VerdictDeniedUnknownTarget);
+                    Verdict::denied(
+                        DecisionKind::DeniedUnknownTarget,
+                        format!("server {} is unreachable", access.server),
+                    )
+                };
+                let oracle_v = oracle.decide(sc, *obj, access, remaining, *time);
+
+                decisions += 1;
+                *histogram.entry(system_v.kind.label()).or_insert(0) += 1;
+                let _ = writeln!(
+                    log,
+                    "[{time}] access {name} {access} -> guard={} oracle={}",
+                    system_v.kind.label(),
+                    oracle_v.kind.label()
+                );
+
+                if system_v.kind != oracle_v.kind {
+                    divergence = Some(Divergence {
+                        step,
+                        time: *time,
+                        object: name.clone(),
+                        access: access.clone(),
+                        guard: system_v.kind,
+                        oracle: oracle_v.kind,
+                    });
+                    let _ = writeln!(log, "DIVERGENCE at step {step}");
+                    break 'events;
+                }
+
+                if system_v.is_granted() {
+                    let skew = sc
+                        .servers
+                        .iter()
+                        .position(|s| **s == *access.server)
+                        .map(|i| sc.skews[i])
+                        .unwrap_or(0.0);
+                    // Replicate the proof onto every member, in event
+                    // order, so all proof stores stay identical.
+                    for (i, c) in clients.iter_mut().enumerate() {
+                        c.issue_proof(name, access, *time + skew)
+                            .map_err(|e| format!("proof replication to d{i}: {e}"))?;
+                    }
+                    oracle.note_grant(*obj, access.clone());
+                }
+            }
+        }
+    }
+
+    drop(clients);
+    for mut h in handles {
+        h.shutdown();
+    }
+
+    Ok(Episode {
+        seed: sc.seed,
+        log,
+        histogram,
+        decisions,
+        divergence,
+    })
+}
+
+/// Generate the scenario for `seed` and replay it over a loopback
+/// coalition of `n_daemons` members.
+pub fn episode_for_seed_net(
+    seed: u64,
+    bug: Option<OracleBug>,
+    n_daemons: usize,
+) -> Result<Episode, String> {
+    run_episode_net(&Scenario::generate(seed), bug, n_daemons)
+}

@@ -1,0 +1,56 @@
+//! Wire-level differential validation: replaying an episode's event
+//! stream over loopback TCP daemons must produce a verdict log
+//! **byte-identical** to the in-process driver's, for every seed.
+
+use stacl_sim::{episode_for_seed, episode_for_seed_net};
+
+fn assert_identical(seed: u64, daemons: usize) {
+    let local = episode_for_seed(seed, None);
+    let net = episode_for_seed_net(seed, None, daemons)
+        .unwrap_or_else(|e| panic!("seed {seed}: net transport failed: {e}"));
+    assert!(
+        net.divergence.is_none(),
+        "seed {seed}: net transport diverged from the oracle: {:?}",
+        net.divergence
+    );
+    assert_eq!(
+        net.log, local.log,
+        "seed {seed}: wire log differs from the in-process log"
+    );
+    assert_eq!(
+        net.histogram, local.histogram,
+        "seed {seed}: histograms differ"
+    );
+    assert_eq!(
+        net.decisions, local.decisions,
+        "seed {seed}: decision counts differ"
+    );
+}
+
+/// Satellite (b): a single daemon hosting the whole coalition — the wire
+/// protocol round-trips every decision without changing a byte.
+#[test]
+fn single_daemon_matches_in_process_seeds_0_16() {
+    for seed in 0..16 {
+        assert_identical(seed, 1);
+    }
+}
+
+/// The tentpole acceptance shape at tier-1 scale: four members, custody
+/// migrating between them via wire handoffs, still byte-identical.
+#[test]
+fn four_daemons_match_in_process_seeds_0_16() {
+    for seed in 0..16 {
+        assert_identical(seed, 4);
+    }
+}
+
+/// Full acceptance range (seeds 0..64, 4 daemons). Ignored by default so
+/// tier-1 stays fast; CI's `net` job covers 0..16 via `sim run`.
+#[test]
+#[ignore = "full acceptance sweep; run with --ignored"]
+fn four_daemons_match_in_process_seeds_0_64() {
+    for seed in 0..64 {
+        assert_identical(seed, 4);
+    }
+}

@@ -57,4 +57,4 @@ pub mod timeline;
 pub use scheme::BaseTimeScheme;
 pub use step::StepFn;
 pub use time::{TimeDelta, TimePoint};
-pub use timeline::{ClockRegression, PermissionTimeline};
+pub use timeline::{ClockRegression, PermissionTimeline, TimelineParts};

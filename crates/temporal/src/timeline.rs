@@ -38,6 +38,25 @@ impl std::fmt::Display for ClockRegression {
     }
 }
 
+/// The raw recorded state of a [`PermissionTimeline`], exposed for
+/// coalition custody handoff: when a mobile object migrates between
+/// guard daemons, its timelines travel over the wire as plain data and
+/// are revalidated on arrival. The derived validity memo is *not* part
+/// of the state — the importing side rebuilds it lazily.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineParts {
+    /// Validity duration in seconds; `None` = time-insensitive.
+    pub budget: Option<f64>,
+    /// The base-time scheme in force.
+    pub scheme: BaseTimeScheme,
+    /// Server arrival times, non-decreasing.
+    pub arrivals: Vec<TimePoint>,
+    /// Activation toggles, non-decreasing, alternating starting `true`.
+    pub toggles: Vec<(TimePoint, bool)>,
+    /// Activation state after the last toggle.
+    pub active_now: bool,
+}
+
 /// The recorded history and derived validity of one permission.
 #[derive(Clone, Debug)]
 pub struct PermissionTimeline {
@@ -96,6 +115,75 @@ impl PermissionTimeline {
     /// The base-time scheme in force.
     pub fn scheme(&self) -> BaseTimeScheme {
         self.scheme
+    }
+
+    /// Export the raw recorded state for custody handoff. The validity
+    /// memo is derived, so it does not travel.
+    pub fn to_parts(&self) -> TimelineParts {
+        TimelineParts {
+            budget: self.budget,
+            scheme: self.scheme,
+            arrivals: self.arrivals.clone(),
+            toggles: self.toggles.clone(),
+            active_now: self.active_now,
+        }
+    }
+
+    /// Rebuild a timeline from exported parts, revalidating every
+    /// invariant the recording API maintains — parts arriving over a wire
+    /// are untrusted. Errors instead of panicking on malformed input.
+    pub fn from_parts(parts: TimelineParts) -> Result<Self, String> {
+        if let Some(d) = parts.budget {
+            if !(d.is_finite() && d >= 0.0) {
+                return Err(format!("timeline budget must be finite and >= 0, got {d}"));
+            }
+        }
+        for w in parts.arrivals.windows(2) {
+            if w[1] < w[0] {
+                return Err(format!(
+                    "timeline arrivals out of order: {} precedes {}",
+                    w[1], w[0]
+                ));
+            }
+        }
+        let mut expect_on = true;
+        for (i, &(t, on)) in parts.toggles.iter().enumerate() {
+            if !t.seconds().is_finite() {
+                return Err(format!("timeline toggle {i} has non-finite time"));
+            }
+            if on != expect_on {
+                return Err(format!(
+                    "timeline toggles must alternate starting with an activation; \
+                     toggle {i} is {on}"
+                ));
+            }
+            if i > 0 && t < parts.toggles[i - 1].0 {
+                return Err(format!(
+                    "timeline toggles out of order: {} precedes {}",
+                    t,
+                    parts.toggles[i - 1].0
+                ));
+            }
+            expect_on = !expect_on;
+        }
+        let tail_active = parts.toggles.last().map(|&(_, on)| on).unwrap_or(false);
+        if parts.active_now != tail_active {
+            return Err(format!(
+                "timeline active_now ({}) disagrees with the last toggle ({})",
+                parts.active_now, tail_active
+            ));
+        }
+        if parts.arrivals.iter().any(|a| !a.seconds().is_finite()) {
+            return Err("timeline arrival has non-finite time".to_string());
+        }
+        Ok(PermissionTimeline {
+            budget: parts.budget,
+            scheme: parts.scheme,
+            arrivals: parts.arrivals,
+            toggles: parts.toggles,
+            active_now: parts.active_now,
+            valid_cache: RefCell::new(None),
+        })
     }
 
     fn last_time(&self) -> Option<TimePoint> {
@@ -535,6 +623,65 @@ mod tests {
         assert!(!tl.is_valid_at(tp(9.5)));
         tl.activate(tp(10.0));
         assert!(tl.is_valid_at(tp(10.5)));
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_validity() {
+        let mut tl = PermissionTimeline::new(3.0, BaseTimeScheme::CurrentServer);
+        tl.arrive_at_server(tp(0.0));
+        tl.activate(tp(0.5));
+        tl.deactivate(tp(2.0));
+        tl.arrive_at_server(tp(4.0));
+        tl.activate(tp(5.0));
+        assert!(tl.is_valid_at(tp(6.0))); // warms the memo before export
+        let back = PermissionTimeline::from_parts(tl.to_parts()).unwrap();
+        assert_eq!(back.to_parts(), tl.to_parts());
+        for t in [0.0, 0.7, 1.9, 2.5, 4.5, 5.5, 6.0, 9.0, 50.0] {
+            assert_eq!(back.is_valid_at(tp(t)), tl.is_valid_at(tp(t)), "t={t}");
+        }
+        // The import accepts further recording where the original would.
+        let mut back = back;
+        assert!(back.try_arrive_at_server(tp(7.0)).is_ok());
+        assert!(back.try_activate(tp(3.0)).is_err());
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_state() {
+        let good = {
+            let mut tl = PermissionTimeline::new(3.0, BaseTimeScheme::WholeLifetime);
+            tl.arrive_at_server(tp(0.0));
+            tl.activate(tp(1.0));
+            tl.to_parts()
+        };
+        assert!(PermissionTimeline::from_parts(good.clone()).is_ok());
+
+        let mut bad = good.clone();
+        bad.budget = Some(f64::NAN);
+        assert!(PermissionTimeline::from_parts(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.arrivals = vec![tp(5.0), tp(1.0)];
+        assert!(PermissionTimeline::from_parts(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.toggles = vec![(tp(1.0), false)];
+        bad.active_now = false;
+        assert!(
+            PermissionTimeline::from_parts(bad).is_err(),
+            "first toggle must be an activation"
+        );
+
+        let mut bad = good.clone();
+        bad.toggles = vec![(tp(1.0), true), (tp(0.5), false)];
+        bad.active_now = false;
+        assert!(PermissionTimeline::from_parts(bad).is_err());
+
+        let mut bad = good;
+        bad.active_now = false;
+        assert!(
+            PermissionTimeline::from_parts(bad).is_err(),
+            "active_now must match the last toggle"
+        );
     }
 
     #[test]
