@@ -144,8 +144,12 @@ pub fn check(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// `stacl policy <file.policy>`
+/// `stacl policy <file.policy>` — parse and normalise a policy.
+/// `stacl policy push …` routes to the live two-phase coalition rollout.
 pub fn policy(args: &[String]) -> Result<(), String> {
+    if args.first().map(String::as_str) == Some("push") {
+        return crate::netcmd::policy_push(&args[1..]);
+    }
     let opts = Opts::parse(args, &[])?;
     let [path] = opts.expect_positional(&["<file.policy>"])? else {
         unreachable!()
@@ -352,6 +356,35 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `stacl ledger verify <file>`
+///
+/// Re-derives the FNV-1a hash chain of an audit ledger (written by
+/// `stacl sim run --ledger FILE`) and fails if any entry was altered,
+/// dropped or reordered.
+pub fn ledger(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("usage: stacl ledger verify <file>".into());
+    };
+    match sub.as_str() {
+        "verify" => {
+            let opts = Opts::parse(rest, &[])?;
+            let [path] = opts.expect_positional(&["<ledger-file>"])? else {
+                unreachable!()
+            };
+            let chain = stacl::coalition::Ledger::parse(&read(path)?)
+                .map_err(|e| format!("`{path}`: {e}"))?;
+            chain
+                .verify()
+                .map_err(|e| format!("`{path}`: chain verification FAILED: {e}"))?;
+            println!("ledger OK: {} entries, hash chain intact", chain.len());
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown ledger subcommand `{other}` (expected verify)"
+        )),
+    }
+}
+
 /// `stacl metrics [--seeds N] [--start-seed S] [--batch true|false]
 /// [--out FILE]`
 ///
@@ -402,10 +435,16 @@ pub fn metrics(args: &[String]) -> Result<(), String> {
 /// divergence results) are byte-identical to the sequential driver's.
 /// `--transport net` replays each episode over a loopback coalition of
 /// `--daemons N` guard daemons speaking the wire protocol, again with
-/// byte-identical logs.
+/// byte-identical logs. `--churn F` injects `F` mid-episode policy flips
+/// per scenario (live two-phase rollouts over the wire under
+/// `--transport net`). `--ledger FILE` journals every policy change and
+/// sampled verdict into one hash-chained audit ledger across the whole
+/// sweep and writes it to `FILE` — under `--transport net` the wire
+/// ledger must also byte-match the in-process reference chain.
 pub fn sim_run(args: &[String]) -> Result<(), String> {
+    use stacl::coalition::Ledger;
     use stacl_sim::{
-        episode_for_seed_batched, episode_for_seed_net, repro, OracleBug, SweepReport,
+        repro, run_episode_net_opts, run_episode_opts, OracleBug, Scenario, SweepReport,
     };
     let opts = Opts::parse(
         args,
@@ -419,6 +458,8 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
             "stats",
             "transport",
             "daemons",
+            "churn",
+            "ledger",
         ],
     )?;
     let [] = opts.expect_positional(&[])? else {
@@ -437,11 +478,18 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown transport `{other}` (in-process|net)")),
     };
     let daemons: usize = opts.get_parsed("daemons", 4)?;
+    let churn: usize = opts.get_parsed("churn", 0)?;
+    let ledger_path = opts.get("ledger").map(str::to_string);
     if net && batch {
         return Err("--transport net replays decisions one frame at a time; \
                     it cannot be combined with --batch true"
             .into());
     }
+    // One chain for the whole sweep; under --transport net a second chain
+    // journals the in-process reference episodes so the two can be
+    // byte-compared at the end.
+    let mut ledger = ledger_path.as_ref().map(|_| Ledger::new());
+    let mut ref_ledger = (net && ledger.is_some()).then(Ledger::new);
     let obs_baseline = stacl_obs::snapshot();
 
     if let Some(dir) = &out_dir {
@@ -454,11 +502,16 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
             println!("time budget reached after {} episodes", report.episodes);
             break;
         }
+        let sc = if churn > 0 {
+            Scenario::generate_churn(seed, churn)
+        } else {
+            Scenario::generate(seed)
+        };
         let ep = if net {
-            let ep = episode_for_seed_net(seed, bug, daemons)?;
+            let ep = run_episode_net_opts(&sc, bug, daemons, ledger.as_mut())?;
             // Wire-level differential validation: the networked replay
             // must reproduce the in-process verdict log byte for byte.
-            let reference = stacl_sim::episode_for_seed(seed, bug);
+            let reference = run_episode_opts(&sc, bug, false, ref_ledger.as_mut());
             if ep.log != reference.log {
                 if let Some(dir) = &out_dir {
                     let path = format!("{dir}/seed-{seed}-transport.txt");
@@ -474,19 +527,38 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
                 ));
             }
             ep
-        } else if batch {
-            episode_for_seed_batched(seed, bug)
         } else {
-            stacl_sim::episode_for_seed(seed, bug)
+            run_episode_opts(&sc, bug, batch, ledger.as_mut())
         };
         if ep.divergence.is_some() {
             if let Some(dir) = &out_dir {
                 let path = format!("{dir}/seed-{seed}.txt");
-                fs::write(&path, repro(seed, bug))
-                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                let dump = if churn == 0 {
+                    repro(seed, bug)
+                } else {
+                    // `repro` regenerates the churn-free scenario; for a
+                    // churn sweep dump the actual episode log instead.
+                    format!("seed {seed} (churn {churn}) diverged:\n{}", ep.log)
+                };
+                fs::write(&path, dump).map_err(|e| format!("cannot write `{path}`: {e}"))?;
             }
         }
         report.absorb(seed, &ep);
+    }
+    if let (Some(path), Some(chain)) = (&ledger_path, &ledger) {
+        if let Some(reference) = &ref_ledger {
+            if chain.render() != reference.render() {
+                return Err("audit ledger diverged between the net and in-process drivers".into());
+            }
+        }
+        chain
+            .verify()
+            .map_err(|e| format!("ledger self-verification failed: {e}"))?;
+        fs::write(path, chain.render()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!(
+            "ledger: {} hash-chained entries -> {path} (check with `stacl ledger verify`)",
+            chain.len()
+        );
     }
     print!("{}", report.render());
     if stats {

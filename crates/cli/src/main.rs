@@ -8,6 +8,10 @@
 //!        --semantics forall|exists   (default forall)
 //!        --history  "op r s; op r s; …"  proven accesses before the program
 //! stacl policy <file.policy>                       parse + normalise a policy
+//! stacl policy push <file.policy> [opts]           live two-phase coalition rollout
+//!        --addr host:port,…  --epoch N
+//!        --classes name:dur:scheme,…  --timeout-secs T
+//! stacl ledger verify <file>                       check a hash-chained audit ledger
 //! stacl run    <file.policy> <program.sral> [opts] execute in the Naplet emulator
 //!        --agent NAME    (default: first policy user)
 //!        --roles r1,r2   (default: the agent's assigned roles)
@@ -19,6 +23,7 @@
 //! stacl sim    run [opts]                          differential simulator sweep
 //!        --seeds N --start-seed S --oracle-bug B --out DIR --max-seconds T
 //!        --transport in-process|net --daemons N
+//!        --churn F (policy flips per episode) --ledger FILE
 //! stacl sim    repro <seed> [--oracle-bug B]       replay + shrink one seed
 //! stacl metrics [opts]                             decision-path telemetry JSON
 //!        --seeds N --start-seed S --batch true|false --out FILE
@@ -45,6 +50,7 @@ fn main() -> ExitCode {
         "run" => commands::run(rest),
         "audit" => commands::audit(rest),
         "sim" => commands::sim(rest),
+        "ledger" => commands::ledger(rest),
         "serve" => stacl_cli::netcmd::serve(rest),
         "net-decide" => stacl_cli::netcmd::net_decide(rest),
         "metrics" => commands::metrics(rest),
@@ -72,13 +78,17 @@ USAGE:
   stacl check  <program.sral> <constraint> [--semantics forall|exists]
                [--history \"op res server; …\"]
   stacl policy <file.policy>
+  stacl policy push <file.policy> --addr host:port[,host:port…] --epoch N
+               [--classes name:dur:scheme,…] [--timeout-secs T]
+  stacl ledger verify <file>
   stacl run    <file.policy> <program.sral> [--agent NAME] [--roles r1,r2]
                [--home SERVER] [--mode preventive|reactive]
                [--on-deny abort|skip]
   stacl audit  [--modules N] [--servers K] [--seed S] [--tamper NAME|first]
   stacl sim    run [--seeds N] [--start-seed S] [--oracle-bug B] [--out DIR]
                [--max-seconds T] [--batch true|false] [--stats true|false]
-               [--transport in-process|net] [--daemons N]
+               [--transport in-process|net] [--daemons N] [--churn F]
+               [--ledger FILE]
   stacl sim    repro <seed> [--oracle-bug B]
   stacl metrics [--seeds N] [--start-seed S] [--batch true|false] [--out FILE]
   stacl serve  --policy <file.policy> --name SERVER [--listen ADDR]

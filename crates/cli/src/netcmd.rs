@@ -1,5 +1,6 @@
 //! The networked-coalition subcommands: `stacl serve` hosts one member's
-//! guard daemon; `stacl net-decide` drives a decision over the wire.
+//! guard daemon; `stacl net-decide` drives a decision over the wire;
+//! `stacl policy push` performs a live two-phase policy rollout.
 
 use std::fs;
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -7,6 +8,8 @@ use std::time::Duration;
 
 use stacl::prelude::*;
 use stacl::rbac::policy::parse_policy;
+use stacl::temporal::BaseTimeScheme;
+use stacl_net::frames::scheme_to_u8;
 use stacl_net::{Client, DaemonConfig};
 
 use crate::opts::Opts;
@@ -91,6 +94,103 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `stacl policy push <file.policy> --addr host:port[,host:port…]
+/// --epoch N [--classes name:dur:scheme,…] [--timeout-secs T]`
+///
+/// Live coalition-wide rollout: phase 1 ships the policy to every member
+/// (`PolicyPrepare`), and only after **all** of them have staged it does
+/// phase 2 flip them (`PolicyActivate`). The epoch must exceed every
+/// member's current epoch. A member that misses a phase fail-safes to
+/// `DeniedCoordination` on every decision until a later complete round
+/// re-synchronizes it — the coalition never serves mixed epochs.
+pub fn policy_push(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["addr", "epoch", "classes", "timeout-secs"])?;
+    let [path] = opts.expect_positional(&["<file.policy>"])? else {
+        unreachable!()
+    };
+    let src = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    // Validate locally before shipping anything: a malformed policy must
+    // never reach phase 1 of a live rollout.
+    parse_policy(&src).map_err(|e| format!("policy rejected: {e}"))?;
+    let epoch: u64 = opts
+        .get("epoch")
+        .ok_or("missing --epoch N (must exceed the members' current epoch)")?
+        .parse()
+        .map_err(|_| "invalid --epoch value".to_string())?;
+    let classes = parse_classes(opts.get("classes").unwrap_or(""))?;
+    let timeout_secs: u64 = opts.get_parsed("timeout-secs", 5)?;
+    let timeout = Some(Duration::from_secs(timeout_secs));
+
+    let mut members: Vec<(String, Client)> = Vec::new();
+    for entry in opts
+        .get("addr")
+        .ok_or("missing --addr host:port[,host:port…]")?
+        .split(',')
+        .map(str::trim)
+        .filter(|e| !e.is_empty())
+    {
+        let client = Client::connect(resolve_addr(entry)?, "stacl-push", timeout)
+            .map_err(|e| format!("connect to {entry}: {e}"))?;
+        members.push((entry.to_string(), client));
+    }
+    if members.is_empty() {
+        return Err("--addr names no members".into());
+    }
+
+    for (addr, c) in &mut members {
+        c.policy_prepare(epoch, &src, &classes).map_err(|e| {
+            format!("prepare epoch {epoch} at {addr}: {e} (no member was activated)")
+        })?;
+        println!(
+            "prepared  epoch {epoch} at {addr} (member `{}`)",
+            c.server_name()
+        );
+    }
+    for (addr, c) in &mut members {
+        c.policy_activate(epoch).map_err(|e| {
+            format!(
+                "activate epoch {epoch} at {addr}: {e} — members left behind deny with \
+                 DeniedCoordination until the next complete rollout"
+            )
+        })?;
+        println!(
+            "activated epoch {epoch} at {addr} (member `{}`)",
+            c.server_name()
+        );
+    }
+    println!(
+        "coalition is at epoch {epoch} ({} member(s))",
+        members.len()
+    );
+    Ok(())
+}
+
+/// Parse `name:dur:scheme,…` validity-class declarations into the wire
+/// tuple form.
+fn parse_classes(spec: &str) -> Result<Vec<(String, f64, u8)>, String> {
+    let mut out = Vec::new();
+    for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let parts: Vec<&str> = entry.split(':').collect();
+        let [name, dur, scheme] = parts[..] else {
+            return Err(format!("class `{entry}` must be `name:dur:scheme`"));
+        };
+        let dur: f64 = dur
+            .parse()
+            .map_err(|_| format!("class `{entry}`: invalid duration `{dur}`"))?;
+        let scheme = match scheme {
+            "current-server" => scheme_to_u8(BaseTimeScheme::CurrentServer),
+            "whole-lifetime" => scheme_to_u8(BaseTimeScheme::WholeLifetime),
+            other => {
+                return Err(format!(
+                    "class `{entry}`: unknown scheme `{other}` (current-server|whole-lifetime)"
+                ))
+            }
+        };
+        out.push((name.to_string(), dur, scheme));
+    }
+    Ok(out)
+}
+
 /// `stacl net-decide --addr host:port --object NAME --access "op res server"
 /// [--remaining "op res s; …"] [--time T] [--arrive true|false]
 /// [--from PEER] [--metrics true|false]`
@@ -144,10 +244,17 @@ pub fn net_decide(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("arrival rejected: {e}"))?;
     }
     let v = client.decide_failsafe(object, &access, &remaining, time);
+    let epoch = v.epoch;
     match (&v.kind.is_granted(), &v.reason) {
-        (true, _) => println!("{access} at t={time}: granted"),
-        (false, Some(r)) => println!("{access} at t={time}: DENIED [{}]: {r}", v.kind.label()),
-        (false, None) => println!("{access} at t={time}: DENIED [{}]", v.kind.label()),
+        (true, _) => println!("{access} at t={time}: granted (epoch {epoch})"),
+        (false, Some(r)) => println!(
+            "{access} at t={time}: DENIED [{}] (epoch {epoch}): {r}",
+            v.kind.label()
+        ),
+        (false, None) => println!(
+            "{access} at t={time}: DENIED [{}] (epoch {epoch})",
+            v.kind.label()
+        ),
     }
     if opts.get_parsed("metrics", false)? {
         print!("{}", client.metrics().map_err(|e| e.to_string())?);

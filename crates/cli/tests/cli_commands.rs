@@ -148,6 +148,94 @@ fn run_executes_compliant_program() {
     .is_err());
 }
 
+/// An epoch-1 replacement for [`POLICY`]: the spatial cap drops to zero,
+/// so every access that granted under the boot policy denies after a push.
+const POLICY_DENY: &str = r#"
+user  bot
+role  auditor
+permission p-none grants=*:*:* spatial="count(0, 0, all)"
+grant auditor p-none
+assign bot auditor
+"#;
+
+#[test]
+fn sim_churn_ledger_roundtrip_and_verify() {
+    let out = temp_file("chain.txt", "");
+    let path = out.to_str().unwrap();
+    assert!(commands::sim(&args(&[
+        "run", "--seeds", "2", "--churn", "3", "--ledger", path,
+    ]))
+    .is_ok());
+    assert!(commands::ledger(&args(&["verify", path])).is_ok());
+
+    // Tampering with a recorded payload breaks the hash chain.
+    let text = fs::read_to_string(path).unwrap();
+    assert!(text.contains("|policy|epoch=1 "));
+    let tampered = temp_file(
+        "chain-tampered.txt",
+        &text.replacen("epoch=1", "epoch=7", 1),
+    );
+    assert!(commands::ledger(&args(&["verify", tampered.to_str().unwrap()])).is_err());
+
+    assert!(commands::ledger(&args(&["frobnicate"])).is_err());
+    assert!(commands::ledger(&args(&["verify", "/no/such/chain.txt"])).is_err());
+}
+
+#[test]
+fn policy_push_flips_a_live_member() {
+    use stacl::prelude::*;
+    use std::time::Duration;
+
+    let model = stacl::rbac::policy::parse_policy(POLICY).unwrap();
+    let guard = CoordinatedGuard::new(ExtendedRbac::new(model));
+    guard.enroll("bot", ["auditor"]);
+    let mut h = stacl_net::spawn(guard, ProofStore::new(), stacl_net::DaemonConfig::new("m0"))
+        .expect("daemon binds on loopback");
+    let addr = h.addr().to_string();
+    let v1 = temp_file("push-v1.policy", POLICY_DENY);
+    let v1 = v1.to_str().unwrap();
+
+    // Bad inputs never reach the wire.
+    assert!(commands::policy(&args(&["push", v1])).is_err()); // missing --addr/--epoch
+    assert!(commands::policy(&args(&[
+        "push",
+        v1,
+        "--addr",
+        &addr,
+        "--epoch",
+        "1",
+        "--classes",
+        "not-a-class",
+    ]))
+    .is_err());
+
+    // The full two-phase rollout, with a validity class along for the ride.
+    assert!(commands::policy(&args(&[
+        "push",
+        v1,
+        "--addr",
+        &addr,
+        "--epoch",
+        "1",
+        "--classes",
+        "fast:2.5:current-server",
+    ]))
+    .is_ok());
+    // Replaying the same epoch is stale and rejected before activation.
+    assert!(commands::policy(&args(&["push", v1, "--addr", &addr, "--epoch", "1"])).is_err());
+
+    // Decisions now carry epoch 1 and the zero-cap policy denies.
+    let mut c = stacl_net::Client::connect(h.addr(), "test", Some(Duration::from_secs(5)))
+        .expect("client connects");
+    c.arrive("bot", 0.0, None).expect("arrival accepted");
+    let a = Access::new("read", "r", "s1");
+    let v = c.decide_failsafe("bot", &a, std::slice::from_ref(&a), 0.0);
+    assert_eq!(v.epoch, 1, "verdict is stamped with the pushed epoch");
+    assert!(!v.kind.is_granted(), "the epoch-1 zero-cap policy denies");
+    drop(c);
+    h.shutdown();
+}
+
 #[test]
 fn audit_clean_and_tampered() {
     // Clean audit passes.

@@ -21,6 +21,8 @@
 //!   granted access is recorded with its time and issuing server, and the
 //!   store answers the queries Definition 3.6 needs;
 //! * [`log`] — the audit log of granted/denied access decisions;
+//! * [`ledger`] — the append-only, hash-chained audit ledger recording
+//!   policy changes and sampled verdicts, verifiable offline;
 //! * [`event`] — a generic discrete-event queue for the simulation core.
 //!
 //! All shared state is wrapped in lightweight in-tree (`stacl_ids::sync`) locks so a single
@@ -33,6 +35,7 @@ pub mod channel;
 pub mod clock;
 pub mod env;
 pub mod event;
+pub mod ledger;
 pub mod log;
 pub mod proof;
 pub mod signal;
@@ -41,6 +44,7 @@ pub use channel::ChannelHub;
 pub use clock::VirtualClock;
 pub use env::CoalitionEnv;
 pub use event::EventQueue;
+pub use ledger::{Ledger, LedgerEntry, LedgerKind};
 pub use log::{AccessLog, Decision, DecisionKind, Verdict};
 pub use proof::{ExecutionProof, ProofStore};
 pub use signal::SignalBoard;

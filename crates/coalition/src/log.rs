@@ -84,6 +84,13 @@ impl fmt::Display for DecisionKind {
 pub struct Verdict {
     /// The outcome class.
     pub kind: DecisionKind,
+    /// The [`stacl_ids::PolicyEpoch`] the decision was made under. Every
+    /// decision runs against exactly one activated policy snapshot; the
+    /// stamp makes that auditable (and lets the differential harness
+    /// prove no decision ever mixes tables from two epochs). Verdicts
+    /// synthesised outside a policy gate (topology denials, transport
+    /// fail-safes) carry epoch 0.
+    pub epoch: stacl_ids::PolicyEpoch,
     /// Detail for denials (failed constraint, exhausted budget, …).
     pub reason: Option<String>,
 }
@@ -93,6 +100,7 @@ impl Verdict {
     pub fn granted() -> Self {
         Verdict {
             kind: DecisionKind::Granted,
+            epoch: 0,
             reason: None,
         }
     }
@@ -102,8 +110,15 @@ impl Verdict {
         debug_assert!(!kind.is_granted(), "denied() called with Granted");
         Verdict {
             kind,
+            epoch: 0,
             reason: Some(reason.into()),
         }
+    }
+
+    /// Stamp the policy epoch the decision was made under.
+    pub fn with_epoch(mut self, epoch: stacl_ids::PolicyEpoch) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// True for `Granted`.
@@ -119,7 +134,11 @@ impl Verdict {
 
 impl From<DecisionKind> for Verdict {
     fn from(kind: DecisionKind) -> Self {
-        Verdict { kind, reason: None }
+        Verdict {
+            kind,
+            epoch: 0,
+            reason: None,
+        }
     }
 }
 

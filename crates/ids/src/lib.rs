@@ -18,14 +18,29 @@
 //! * [`rng`] — a tiny deterministic SplitMix64 generator for seeded
 //!   workload generation;
 //! * [`prop`] — a seeded property-test driver (`forall`) used by the
-//!   randomized test suites.
+//!   randomized test suites;
+//! * [`json`] — the shared pretty-printed JSON emitter behind metrics
+//!   snapshots and bench artifacts.
+//!
+//! It also defines [`PolicyEpoch`], the coalition-wide version stamp of
+//! an activated policy: epoch 0 is the policy a process booted with, and
+//! every live rollout activates a strictly larger epoch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod sync;
+
+/// The coalition-wide version stamp of an activated policy.
+///
+/// Plain `u64` semantics by design: epochs are proposed by a coordinator,
+/// must strictly increase at every activation, and are compared/stamped on
+/// hot paths (every verdict carries the epoch it was decided under), so a
+/// transparent alias keeps the stamp allocation- and ceremony-free.
+pub type PolicyEpoch = u64;
 
 use std::collections::HashMap;
 use std::fmt;

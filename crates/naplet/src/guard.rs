@@ -226,6 +226,17 @@ impl CoordinatedGuard {
         f(&mut self.rbac.write())
     }
 
+    /// Run a closure against the RBAC engine read-only — concurrent
+    /// decisions are *not* drained. This is how a coalition member builds
+    /// a [`stacl_rbac::PreparedEpoch`] off the hot path: preparation
+    /// reads the engine while decisions keep flowing; only the subsequent
+    /// [`ExtendedRbac::activate_epoch`] (via
+    /// [`CoordinatedGuard::with_rbac`]) takes the write lock, and only
+    /// for the cheap flip.
+    pub fn with_rbac_read<R>(&self, f: impl FnOnce(&ExtendedRbac) -> R) -> R {
+        f(&self.rbac.read())
+    }
+
     /// The state shard for `object`, created on first contact — but only
     /// for enrolled objects, so strangers cannot grow the shard map.
     fn object_state(&self, object: &str) -> Option<Arc<Mutex<ObjectState>>> {
@@ -355,7 +366,8 @@ impl CoordinatedGuard {
                 return Verdict::denied(
                     DecisionKind::DeniedCoordination,
                     format!("object custody is {} on this member", c.label()),
-                );
+                )
+                .with_epoch(self.rbac.read().epoch());
             }
         }
         let Some(state) = self.object_state(req.object) else {

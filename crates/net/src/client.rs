@@ -240,8 +240,13 @@ impl Client {
     ) -> Result<Verdict, NetError> {
         let item = self.item(object, access, remaining, time)?;
         match self.call(&Frame::Decide(item))? {
-            Frame::Verdict { kind, reason } => Ok(Verdict {
+            Frame::Verdict {
+                kind,
+                epoch,
+                reason,
+            } => Ok(Verdict {
                 kind: kind_from_u8(kind)?,
+                epoch,
                 reason,
             }),
             other => Err(unexpected("Verdict", &other)),
@@ -283,9 +288,10 @@ impl Client {
         match self.call(&Frame::DecideBatch { items })? {
             Frame::VerdictBatch { verdicts } if verdicts.len() == n => verdicts
                 .into_iter()
-                .map(|(kind, reason)| {
+                .map(|(kind, epoch, reason)| {
                     Ok(Verdict {
                         kind: kind_from_u8(kind)?,
+                        epoch,
                         reason,
                     })
                 })
@@ -295,6 +301,38 @@ impl Client {
                 verdicts.len()
             ))),
             other => Err(unexpected("VerdictBatch", &other)),
+        }
+    }
+
+    /// Phase 1 of a coalition-wide policy rollout: ship the replacement
+    /// policy text (see `stacl_rbac::policy`) plus validity-class
+    /// definitions `(name, duration, wire scheme)` and have the daemon
+    /// build — but not install — the epoch. Returns the acknowledged
+    /// epoch.
+    pub fn policy_prepare(
+        &mut self,
+        epoch: u64,
+        policy: &str,
+        classes: &[(String, f64, u8)],
+    ) -> Result<u64, NetError> {
+        match self.call(&Frame::PolicyPrepare {
+            epoch,
+            policy: policy.to_string(),
+            classes: classes.to_vec(),
+        })? {
+            Frame::EpochAck { epoch } => Ok(epoch),
+            other => Err(unexpected("EpochAck", &other)),
+        }
+    }
+
+    /// Phase 2: flip the daemon to the epoch it prepared. Returns the
+    /// now-active epoch; a daemon that missed the prepare answers with a
+    /// daemon error and fail-safes its decisions until a full rollout
+    /// round reaches it.
+    pub fn policy_activate(&mut self, epoch: u64) -> Result<u64, NetError> {
+        match self.call(&Frame::PolicyActivate { epoch })? {
+            Frame::EpochAck { epoch } => Ok(epoch),
+            other => Err(unexpected("EpochAck", &other)),
         }
     }
 

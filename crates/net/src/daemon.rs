@@ -33,17 +33,20 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use stacl_coalition::{ProofStore, Verdict};
+use stacl_coalition::{DecisionKind, ProofStore, Verdict};
 use stacl_ids::sync::{Mutex, RwLock};
 use stacl_naplet::guard::{BatchRequest, CoordinatedGuard, Custody, GuardRequest};
 use stacl_obs::Counter;
+use stacl_rbac::policy::parse_policy;
+use stacl_rbac::PreparedEpoch;
 use stacl_sral::ast::Access;
 use stacl_sral::Program;
 use stacl_temporal::TimePoint;
 use stacl_trace::AccessTable;
 
 use crate::frames::{
-    DecideItem, Frame, HandoffWire, WireAccess, ERR_BAD_REQUEST, ERR_HANDOFF, ERR_NOT_CUSTODIAN,
+    scheme_from_u8, DecideItem, Frame, HandoffWire, WireAccess, ERR_BAD_REQUEST, ERR_HANDOFF,
+    ERR_NOT_CUSTODIAN, ERR_STATE,
 };
 use crate::wire::{self, PROTOCOL_VERSION};
 
@@ -88,6 +91,17 @@ struct Shared {
     peers: RwLock<HashMap<String, SocketAddr>>,
     shutdown: AtomicBool,
     conns: Mutex<Vec<TcpStream>>,
+    /// The epoch built by the last `PolicyPrepare`, awaiting its
+    /// `PolicyActivate` (two-phase coalition-wide rollout).
+    pending_epoch: Mutex<Option<PreparedEpoch>>,
+    /// Set when this member missed (or failed) a rollout phase another
+    /// member completed: a `PolicyActivate` arrived with no matching
+    /// prepared epoch. While set, decisions fail safe to
+    /// `DeniedCoordination` — this member must never answer under an
+    /// epoch the coalition has moved past, and must never mix epochs
+    /// within one decision or batch. A subsequent complete
+    /// prepare+activate round clears it.
+    epoch_desync: AtomicBool,
 }
 
 /// A handle to a spawned daemon: its bound address, peer registration,
@@ -114,6 +128,8 @@ pub fn spawn(
         peers: RwLock::new(HashMap::new()),
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
+        pending_epoch: Mutex::new(None),
+        epoch_desync: AtomicBool::new(false),
     });
     let accept = {
         let shared = Arc::clone(&shared);
@@ -220,7 +236,9 @@ fn serve_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
     // table-independent, so connections never share one).
     let mut vocab: Vec<String> = Vec::new();
     let mut table = AccessTable::new();
-    shared.guard.with_rbac(|r| r.saturate_alphabet(&mut table));
+    shared
+        .guard
+        .with_rbac_read(|r| r.saturate_alphabet(&mut table));
     while let Ok(payload) = wire::read_frame(&mut stream) {
         let (reply, shutdown_after) = match Frame::decode(&payload) {
             Ok(frame) => handle(shared, &mut vocab, &mut table, frame),
@@ -309,8 +327,20 @@ fn own_request(vocab: &[String], it: &DecideItem) -> Result<OwnedRequest, Reject
     })
 }
 
-fn verdict_frame(v: &Verdict) -> (u8, Option<String>) {
-    (crate::frames::kind_to_u8(v.kind), v.reason.clone())
+fn verdict_frame(v: &Verdict) -> (u8, u64, Option<String>) {
+    (crate::frames::kind_to_u8(v.kind), v.epoch, v.reason.clone())
+}
+
+/// The fail-safe verdict an epoch-desynchronized member answers with:
+/// counted like any other decision outcome and stamped with the stale
+/// epoch this member is stuck on.
+fn desync_verdict(shared: &Shared) -> Verdict {
+    stacl_obs::count(Counter::VerdictDeniedCoordination);
+    Verdict::denied(
+        DecisionKind::DeniedCoordination,
+        "policy epoch desynchronized: this member missed a coalition rollout phase",
+    )
+    .with_epoch(shared.guard.with_rbac_read(|r| r.epoch()))
 }
 
 fn handle(
@@ -340,15 +370,23 @@ fn handle(
         },
         Frame::Decide(it) => match own_request(vocab, &it) {
             Ok(req) => {
-                let greq = GuardRequest {
-                    object: &req.object,
-                    access: &req.access,
-                    remaining: &req.remaining,
-                    time: req.time,
+                let v = if shared.epoch_desync.load(Ordering::SeqCst) {
+                    desync_verdict(shared)
+                } else {
+                    let greq = GuardRequest {
+                        object: &req.object,
+                        access: &req.access,
+                        remaining: &req.remaining,
+                        time: req.time,
+                    };
+                    shared.guard.decide(&greq, &shared.proofs, table)
                 };
-                let v = shared.guard.decide(&greq, &shared.proofs, table);
-                let (kind, reason) = verdict_frame(&v);
-                Frame::Verdict { kind, reason }
+                let (kind, epoch, reason) = verdict_frame(&v);
+                Frame::Verdict {
+                    kind,
+                    epoch,
+                    reason,
+                }
             }
             Err(e) => e.into_frame(),
         },
@@ -358,16 +396,20 @@ fn handle(
             .collect::<Result<Vec<_>, Reject>>()
         {
             Ok(owned) => {
-                let reqs: Vec<BatchRequest<'_>> = owned
-                    .iter()
-                    .map(|r| BatchRequest {
-                        object: &r.object,
-                        access: &r.access,
-                        remaining: &r.remaining,
-                        time: r.time,
-                    })
-                    .collect();
-                let verdicts = shared.guard.decide_batch(&reqs, &shared.proofs, false);
+                let verdicts = if shared.epoch_desync.load(Ordering::SeqCst) {
+                    owned.iter().map(|_| desync_verdict(shared)).collect()
+                } else {
+                    let reqs: Vec<BatchRequest<'_>> = owned
+                        .iter()
+                        .map(|r| BatchRequest {
+                            object: &r.object,
+                            access: &r.access,
+                            remaining: &r.remaining,
+                            time: r.time,
+                        })
+                        .collect();
+                    shared.guard.decide_batch(&reqs, &shared.proofs, false)
+                };
                 Frame::VerdictBatch {
                     verdicts: verdicts.iter().map(verdict_frame).collect(),
                 }
@@ -402,11 +444,89 @@ fn handle(
         Frame::MetricsRequest => Frame::MetricsJson {
             json: stacl_obs::snapshot().to_json(),
         },
+        Frame::PolicyPrepare {
+            epoch,
+            policy,
+            classes,
+        } => policy_prepare(shared, table, epoch, &policy, &classes),
+        Frame::PolicyActivate { epoch } => policy_activate(shared, epoch),
         Frame::Shutdown => return (Frame::Ok, true),
         // Reply frames arriving as requests are protocol violations.
         other => err_frame(ERR_BAD_REQUEST, format!("frame {other:?} is not a request")),
     };
     (reply, false)
+}
+
+/// Phase 1 of the two-phase rollout: parse and build the replacement
+/// epoch off the hot path (decisions keep flowing under the old policy),
+/// then stash it for the coordinator's `PolicyActivate`. Re-preparing
+/// replaces any earlier pending epoch.
+fn policy_prepare(
+    shared: &Arc<Shared>,
+    table: &mut AccessTable,
+    epoch: u64,
+    policy: &str,
+    classes: &[(String, f64, u8)],
+) -> Frame {
+    let model = match parse_policy(policy) {
+        Ok(m) => m,
+        Err(e) => return err_frame(ERR_BAD_REQUEST, format!("policy parse error: {e}")),
+    };
+    let classes = match classes
+        .iter()
+        .map(|(n, dur, s)| Ok((n.clone(), *dur, scheme_from_u8(*s)?)))
+        .collect::<Result<Vec<_>, crate::wire::WireError>>()
+    {
+        Ok(c) => c,
+        Err(e) => return err_frame(ERR_BAD_REQUEST, e.to_string()),
+    };
+    match shared
+        .guard
+        .with_rbac_read(|r| r.prepare_epoch(model, classes, epoch, table))
+    {
+        Ok(prepared) => {
+            *shared.pending_epoch.lock() = Some(prepared);
+            Frame::EpochAck { epoch }
+        }
+        Err(e) => err_frame(ERR_STATE, e.to_string()),
+    }
+}
+
+/// Phase 2: flip to the prepared epoch. A daemon whose pending epoch is
+/// missing or different missed phase 1 of this rollout — it marks itself
+/// desynchronized (counted) and fail-safes decisions rather than
+/// answering under a policy the coalition has moved past.
+fn policy_activate(shared: &Arc<Shared>, epoch: u64) -> Frame {
+    let pending = shared.pending_epoch.lock().take();
+    match pending {
+        Some(prepared) if prepared.epoch() == epoch => {
+            match shared.guard.with_rbac(|r| r.activate_epoch(prepared)) {
+                Ok(active) => {
+                    shared.epoch_desync.store(false, Ordering::SeqCst);
+                    Frame::EpochAck { epoch: active }
+                }
+                Err(e) => {
+                    stacl_obs::count(Counter::EpochDesync);
+                    shared.epoch_desync.store(true, Ordering::SeqCst);
+                    err_frame(ERR_STATE, e.to_string())
+                }
+            }
+        }
+        pending => {
+            let had = pending.map(|p| p.epoch());
+            stacl_obs::count(Counter::EpochDesync);
+            shared.epoch_desync.store(true, Ordering::SeqCst);
+            err_frame(
+                ERR_STATE,
+                match had {
+                    Some(p) => {
+                        format!("activate for epoch {epoch} but epoch {p} was prepared")
+                    }
+                    None => format!("activate for epoch {epoch} with no prepared epoch"),
+                },
+            )
+        }
+    }
 }
 
 fn enroll(

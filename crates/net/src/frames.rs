@@ -160,6 +160,29 @@ pub enum Frame {
     MetricsRequest,
     /// Ask the daemon to stop accepting and close. Replied with `Ok`.
     Shutdown,
+    /// Phase 1 of a coalition-wide policy rollout: ship the replacement
+    /// policy and have the daemon build (but not install) the epoch.
+    /// Replied with `EpochAck` on success, `Err` otherwise.
+    PolicyPrepare {
+        /// The epoch the rollout targets (strictly greater than the
+        /// daemon's active epoch).
+        epoch: u64,
+        /// The replacement policy, in the `stacl_rbac::policy` text
+        /// format (name-keyed: interner orders differ across daemons).
+        policy: String,
+        /// Validity-class definitions `(name, duration seconds, scheme)`
+        /// accompanying the policy (classes are engine-level state, not
+        /// part of the policy text).
+        classes: Vec<(String, f64, u8)>,
+    },
+    /// Phase 2: flip to the epoch prepared by the matching
+    /// `PolicyPrepare`. Replied with `EpochAck`; a daemon with no (or a
+    /// different) prepared epoch replies `Err` and fail-safes subsequent
+    /// decisions until a rollout completes (never mixing epochs).
+    PolicyActivate {
+        /// The epoch to flip to.
+        epoch: u64,
+    },
 
     /// Reply to `Hello`: revision + the daemon's server name.
     HelloAck {
@@ -181,13 +204,16 @@ pub enum Frame {
     Verdict {
         /// Encoded [`DecisionKind`] (see [`kind_to_u8`]).
         kind: u8,
+        /// The policy epoch the deciding daemon stamped on the verdict.
+        epoch: u64,
         /// Denial detail, absent on grants.
         reason: Option<String>,
     },
-    /// Reply to `DecideBatch`, one `(kind, reason)` per item in order.
+    /// Reply to `DecideBatch`, one `(kind, epoch, reason)` per item in
+    /// order.
     VerdictBatch {
         /// The verdicts.
-        verdicts: Vec<(u8, Option<String>)>,
+        verdicts: Vec<(u8, u64, Option<String>)>,
     },
     /// Reply to `HandoffRequest`.
     HandoffState {
@@ -200,6 +226,12 @@ pub enum Frame {
     MetricsJson {
         /// The JSON document.
         json: String,
+    },
+    /// Reply to `PolicyPrepare` / `PolicyActivate`: the epoch now
+    /// prepared (respectively active) on the daemon.
+    EpochAck {
+        /// The acknowledged epoch.
+        epoch: u64,
     },
 }
 
@@ -224,6 +256,8 @@ const TAG_ARRIVE: u8 = 0x07;
 const TAG_HANDOFF_REQUEST: u8 = 0x08;
 const TAG_METRICS_REQUEST: u8 = 0x09;
 const TAG_SHUTDOWN: u8 = 0x0A;
+const TAG_POLICY_PREPARE: u8 = 0x0B;
+const TAG_POLICY_ACTIVATE: u8 = 0x0C;
 const TAG_HELLO_ACK: u8 = 0x81;
 const TAG_OK: u8 = 0x82;
 const TAG_ERR: u8 = 0x83;
@@ -231,6 +265,7 @@ const TAG_VERDICT: u8 = 0x84;
 const TAG_VERDICT_BATCH: u8 = 0x85;
 const TAG_HANDOFF_STATE: u8 = 0x86;
 const TAG_METRICS_JSON: u8 = 0x87;
+const TAG_EPOCH_ACK: u8 = 0x88;
 
 /// Map a [`DecisionKind`] to its stable wire value.
 pub fn kind_to_u8(kind: DecisionKind) -> u8 {
@@ -257,14 +292,17 @@ pub fn kind_from_u8(v: u8) -> Result<DecisionKind, WireError> {
     })
 }
 
-fn scheme_to_u8(s: BaseTimeScheme) -> u8 {
+/// Map a [`BaseTimeScheme`] to its stable wire value (also used by
+/// `PolicyPrepare` class definitions and the CLI's `policy push`).
+pub fn scheme_to_u8(s: BaseTimeScheme) -> u8 {
     match s {
         BaseTimeScheme::CurrentServer => 0,
         BaseTimeScheme::WholeLifetime => 1,
     }
 }
 
-fn scheme_from_u8(v: u8) -> Result<BaseTimeScheme, WireError> {
+/// Decode a wire base-time scheme.
+pub fn scheme_from_u8(v: u8) -> Result<BaseTimeScheme, WireError> {
     match v {
         0 => Ok(BaseTimeScheme::CurrentServer),
         1 => Ok(BaseTimeScheme::WholeLifetime),
@@ -607,6 +645,25 @@ impl Frame {
             }
             Frame::MetricsRequest => put_u8(&mut b, TAG_METRICS_REQUEST),
             Frame::Shutdown => put_u8(&mut b, TAG_SHUTDOWN),
+            Frame::PolicyPrepare {
+                epoch,
+                policy,
+                classes,
+            } => {
+                put_u8(&mut b, TAG_POLICY_PREPARE);
+                put_u64(&mut b, *epoch);
+                put_str(&mut b, policy);
+                put_u32(&mut b, classes.len() as u32);
+                for (name, dur, scheme) in classes {
+                    put_str(&mut b, name);
+                    put_f64(&mut b, *dur);
+                    put_u8(&mut b, *scheme);
+                }
+            }
+            Frame::PolicyActivate { epoch } => {
+                put_u8(&mut b, TAG_POLICY_ACTIVATE);
+                put_u64(&mut b, *epoch);
+            }
             Frame::HelloAck { proto, server } => {
                 put_u8(&mut b, TAG_HELLO_ACK);
                 crate::wire::put_u16(&mut b, *proto);
@@ -618,16 +675,22 @@ impl Frame {
                 put_u8(&mut b, *code);
                 put_str(&mut b, msg);
             }
-            Frame::Verdict { kind, reason } => {
+            Frame::Verdict {
+                kind,
+                epoch,
+                reason,
+            } => {
                 put_u8(&mut b, TAG_VERDICT);
                 put_u8(&mut b, *kind);
+                put_u64(&mut b, *epoch);
                 put_opt_str(&mut b, reason.as_deref());
             }
             Frame::VerdictBatch { verdicts } => {
                 put_u8(&mut b, TAG_VERDICT_BATCH);
                 put_u32(&mut b, verdicts.len() as u32);
-                for (kind, reason) in verdicts {
+                for (kind, epoch, reason) in verdicts {
                     put_u8(&mut b, *kind);
+                    put_u64(&mut b, *epoch);
                     put_opt_str(&mut b, reason.as_deref());
                 }
             }
@@ -639,6 +702,10 @@ impl Frame {
             Frame::MetricsJson { json } => {
                 put_u8(&mut b, TAG_METRICS_JSON);
                 put_str(&mut b, json);
+            }
+            Frame::EpochAck { epoch } => {
+                put_u8(&mut b, TAG_EPOCH_ACK);
+                put_u64(&mut b, *epoch);
             }
         }
         b
@@ -697,6 +764,28 @@ impl Frame {
             TAG_HANDOFF_REQUEST => Frame::HandoffRequest { object: d.str()? },
             TAG_METRICS_REQUEST => Frame::MetricsRequest,
             TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_POLICY_PREPARE => {
+                let epoch = d.u64()?;
+                let policy = d.str()?;
+                let n = d.count()?;
+                let mut classes = Vec::new();
+                for _ in 0..n {
+                    let name = d.str()?;
+                    let dur = d.f64()?;
+                    let scheme = d.u8()?;
+                    scheme_from_u8(scheme)?;
+                    if !dur.is_finite() || dur < 0.0 {
+                        return Err(WireError::BadValue("non-finite class duration"));
+                    }
+                    classes.push((name, dur, scheme));
+                }
+                Frame::PolicyPrepare {
+                    epoch,
+                    policy,
+                    classes,
+                }
+            }
+            TAG_POLICY_ACTIVATE => Frame::PolicyActivate { epoch: d.u64()? },
             TAG_HELLO_ACK => Frame::HelloAck {
                 proto: d.u16()?,
                 server: d.str()?,
@@ -708,6 +797,7 @@ impl Frame {
             },
             TAG_VERDICT => Frame::Verdict {
                 kind: d.u8()?,
+                epoch: d.u64()?,
                 reason: d.opt_str()?,
             },
             TAG_VERDICT_BATCH => {
@@ -715,8 +805,9 @@ impl Frame {
                 let mut verdicts = Vec::new();
                 for _ in 0..n {
                     let kind = d.u8()?;
+                    let epoch = d.u64()?;
                     let reason = d.opt_str()?;
-                    verdicts.push((kind, reason));
+                    verdicts.push((kind, epoch, reason));
                 }
                 Frame::VerdictBatch { verdicts }
             }
@@ -725,6 +816,7 @@ impl Frame {
                 state: dec_handoff(&mut d)?,
             },
             TAG_METRICS_JSON => Frame::MetricsJson { json: d.str()? },
+            TAG_EPOCH_ACK => Frame::EpochAck { epoch: d.u64()? },
             other => return Err(WireError::BadTag(other)),
         };
         d.finish()?;
@@ -784,6 +876,12 @@ mod tests {
             },
             Frame::MetricsRequest,
             Frame::Shutdown,
+            Frame::PolicyPrepare {
+                epoch: 3,
+                policy: "user n0\nrole worker\n".into(),
+                classes: vec![("night".into(), 4.5, 1)],
+            },
+            Frame::PolicyActivate { epoch: 3 },
             Frame::HelloAck {
                 proto: 1,
                 server: "s2".into(),
@@ -795,10 +893,11 @@ mod tests {
             },
             Frame::Verdict {
                 kind: 5,
+                epoch: 2,
                 reason: Some("custody in flight".into()),
             },
             Frame::VerdictBatch {
-                verdicts: vec![(0, None), (3, Some("budget".into()))],
+                verdicts: vec![(0, 0, None), (3, 7, Some("budget".into()))],
             },
             Frame::HandoffState {
                 object: "o".into(),
@@ -823,6 +922,7 @@ mod tests {
                 },
             },
             Frame::MetricsJson { json: "{}".into() },
+            Frame::EpochAck { epoch: 9 },
         ];
         for f in frames {
             let bytes = f.encode();

@@ -69,7 +69,7 @@ fn gen_handoff(r: &mut SplitMix64) -> HandoffWire {
 }
 
 fn gen_frame(r: &mut SplitMix64) -> Frame {
-    match r.gen_range(0u32..17) {
+    match r.gen_range(0u32..20) {
         0 => Frame::Hello {
             proto: r.gen_range(0u32..9) as u16,
             peer: gen_string(r),
@@ -113,6 +113,7 @@ fn gen_frame(r: &mut SplitMix64) -> Frame {
         },
         13 => Frame::Verdict {
             kind: r.gen_range(0u32..6) as u8,
+            epoch: r.gen_range(0u32..9) as u64,
             reason: r.gen_bool(0.5).then(|| gen_string(r)),
         },
         14 => Frame::VerdictBatch {
@@ -120,6 +121,7 @@ fn gen_frame(r: &mut SplitMix64) -> Frame {
                 .map(|_| {
                     (
                         r.gen_range(0u32..6) as u8,
+                        r.gen_range(0u32..9) as u64,
                         r.gen_bool(0.5).then(|| gen_string(r)),
                     )
                 })
@@ -128,6 +130,25 @@ fn gen_frame(r: &mut SplitMix64) -> Frame {
         15 => Frame::HandoffState {
             object: gen_string(r),
             state: gen_handoff(r),
+        },
+        16 => Frame::PolicyPrepare {
+            epoch: r.gen_range(0u32..9) as u64,
+            policy: gen_string(r),
+            classes: (0..r.gen_range(0usize..3))
+                .map(|_| {
+                    (
+                        gen_string(r),
+                        r.gen_range(0i64..100) as f64 / 4.0,
+                        r.gen_range(0u32..2) as u8,
+                    )
+                })
+                .collect(),
+        },
+        17 => Frame::PolicyActivate {
+            epoch: r.gen_range(0u32..9) as u64,
+        },
+        18 => Frame::EpochAck {
+            epoch: r.gen_range(0u32..9) as u64,
         },
         _ => Frame::MetricsJson {
             json: gen_string(r),

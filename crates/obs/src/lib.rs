@@ -116,10 +116,20 @@ pub enum Counter {
     /// A client could not reach a daemon and synthesised a fail-safe
     /// `DeniedCoordination` verdict locally.
     NetFailsafeDenial,
+    /// A policy epoch was prepared (tables and automata built off the hot
+    /// path, awaiting activation).
+    EpochPrepare,
+    /// A prepared policy epoch was activated (snapshot flipped).
+    EpochActivate,
+    /// A coalition member detected an epoch desynchronisation (activate
+    /// without a matching prepare, or a stale proposal) and fail-safed.
+    EpochDesync,
+    /// An entry was appended to the hash-chained audit ledger.
+    LedgerAppend,
 }
 
 /// Number of distinct counters.
-pub const COUNTERS: usize = 27;
+pub const COUNTERS: usize = 31;
 
 impl Counter {
     /// All counters, in declaration order (matches the `[u64; COUNTERS]`
@@ -152,6 +162,10 @@ impl Counter {
         Counter::NetHandoffApplied,
         Counter::NetHandoffFailed,
         Counter::NetFailsafeDenial,
+        Counter::EpochPrepare,
+        Counter::EpochActivate,
+        Counter::EpochDesync,
+        Counter::LedgerAppend,
     ];
 
     /// The five cursor decline reasons of DESIGN.md §8, in rule order.
@@ -203,6 +217,10 @@ impl Counter {
             Counter::NetHandoffApplied => "net.handoff-applied",
             Counter::NetHandoffFailed => "net.handoff-failed",
             Counter::NetFailsafeDenial => "net.failsafe-denial",
+            Counter::EpochPrepare => "epoch.prepare",
+            Counter::EpochActivate => "epoch.activate",
+            Counter::EpochDesync => "epoch.desync",
+            Counter::LedgerAppend => "ledger.append",
         }
     }
 }
@@ -478,47 +496,30 @@ impl MetricsSnapshot {
         d
     }
 
-    /// Render as a self-describing JSON object (hand-rolled; the workspace
-    /// is zero-external-dependency).
+    /// Render as a self-describing JSON object, through the workspace's
+    /// shared emitter ([`stacl_ids::json`]) — the same path the bench
+    /// artifacts use, so new counters serialize identically everywhere.
     pub fn to_json(&self) -> String {
-        fn hist(out: &mut String, name: &str, buckets: &[u64; BUCKETS]) {
-            let samples: u64 = buckets.iter().sum();
-            out.push_str(&format!(
-                "  \"{name}\": {{\n    \"samples\": {samples},\n    \"log2_buckets\": ["
-            ));
-            for (i, b) in buckets.iter().enumerate() {
-                if i > 0 {
-                    out.push_str(", ");
-                }
-                out.push_str(&b.to_string());
-            }
-            out.push_str("]\n  }");
+        let mut w = stacl_ids::json::JsonWriter::object();
+        w.field_bool("telemetry_enabled", self.telemetry_enabled);
+        w.field_u64("sample_every", SAMPLE_EVERY);
+        w.open_object("counters");
+        for c in Counter::ALL.iter() {
+            w.field_u64(c.label(), self.counter(*c));
         }
-        let mut out = String::new();
-        out.push_str("{\n");
-        out.push_str(&format!(
-            "  \"telemetry_enabled\": {},\n  \"sample_every\": {},\n",
-            self.telemetry_enabled, SAMPLE_EVERY
-        ));
-        out.push_str("  \"counters\": {\n");
-        for (i, c) in Counter::ALL.iter().enumerate() {
-            out.push_str(&format!(
-                "    \"{}\": {}{}\n",
-                c.label(),
-                self.counter(*c),
-                if i + 1 < COUNTERS { "," } else { "" }
-            ));
+        w.close();
+        for (name, buckets) in [
+            ("decide_latency_ns", &self.decide_ns),
+            ("batch_latency_ns", &self.batch_ns),
+            ("batch_size", &self.batch_size),
+            ("handoff_latency_ns", &self.handoff_ns),
+        ] {
+            w.open_object(name);
+            w.field_u64("samples", buckets.iter().sum());
+            w.array_u64("log2_buckets", buckets.iter().copied());
+            w.close();
         }
-        out.push_str("  },\n");
-        hist(&mut out, "decide_latency_ns", &self.decide_ns);
-        out.push_str(",\n");
-        hist(&mut out, "batch_latency_ns", &self.batch_ns);
-        out.push_str(",\n");
-        hist(&mut out, "batch_size", &self.batch_size);
-        out.push_str(",\n");
-        hist(&mut out, "handoff_latency_ns", &self.handoff_ns);
-        out.push_str("\n}\n");
-        out
+        w.finish()
     }
 }
 

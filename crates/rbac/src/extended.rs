@@ -159,6 +159,10 @@ struct SessionPerms {
 struct PermTable {
     /// The model generation the entries were filled against.
     generation: u64,
+    /// The policy epoch the table belongs to (see
+    /// [`ExtendedRbac::activate_epoch`]). Incremental rebuilds within an
+    /// epoch keep the stamp; only an activation moves it.
+    epoch: stacl_ids::PolicyEpoch,
     entries: Vec<Option<Arc<PermEntry>>>,
 }
 
@@ -235,6 +239,63 @@ struct SkState {
     spatial_ok: HashSet<(Name, Name)>,
 }
 
+/// A fully-built replacement policy, produced off the hot path by
+/// [`ExtendedRbac::prepare_epoch`] and installed atomically by
+/// [`ExtendedRbac::activate_epoch`]. Holds everything the flip needs —
+/// the model, the validity classes and the dense permission table — so
+/// activation itself is a snapshot publish plus cache invalidation, with
+/// no compilation or table fill on the decision path.
+#[derive(Debug)]
+pub struct PreparedEpoch {
+    epoch: stacl_ids::PolicyEpoch,
+    model: RbacModel,
+    classes: HashMap<Name, (f64, BaseTimeScheme)>,
+    table: PermTable,
+    /// Permissions whose *spatial identity* — grant pattern, spatial
+    /// constraint and history scope — is unchanged from the active
+    /// policy. Their established approvals and warm cursors survive the
+    /// flip: the proof they record is about the object's history and
+    /// declared program checked against an identical constraint, so it
+    /// is exactly the state a no-flip run would hold.
+    carried: HashSet<PermId>,
+}
+
+impl PreparedEpoch {
+    /// The epoch this preparation targets.
+    pub fn epoch(&self) -> stacl_ids::PolicyEpoch {
+        self.epoch
+    }
+}
+
+/// Why an epoch transition was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EpochError {
+    /// The proposed epoch does not advance the current one. Epochs are
+    /// strictly increasing: a stale prepare/activate (an out-of-order or
+    /// replayed rollout message) is rejected rather than rolling the
+    /// policy back.
+    Stale {
+        /// The epoch that was proposed.
+        proposed: stacl_ids::PolicyEpoch,
+        /// The epoch currently active (or already prepared past).
+        current: stacl_ids::PolicyEpoch,
+    },
+}
+
+impl std::fmt::Display for EpochError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpochError::Stale { proposed, current } => write!(
+                f,
+                "stale policy epoch {proposed}: current epoch is {current} \
+                 (epochs must strictly increase)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EpochError {}
+
 /// RBAC with coordinated spatio-temporal enforcement.
 #[derive(Debug)]
 pub struct ExtendedRbac {
@@ -274,6 +335,11 @@ pub struct ExtendedRbac {
     /// off reproduces the pre-cursor from-scratch core for the E12
     /// ablation).
     incremental: AtomicBool,
+    /// The active policy epoch (0 = the policy the process booted with).
+    /// Plain field: mutated only through `&mut self`
+    /// ([`ExtendedRbac::activate_epoch`]), which the guard reaches via
+    /// its write lock — decisions (`&self`) observe a stable value.
+    epoch: stacl_ids::PolicyEpoch,
 
     // ---- string-keyed ablation state (decide_string_keyed) ----
     sk: Mutex<SkState>,
@@ -295,6 +361,7 @@ impl Default for ExtendedRbac {
             cache: Mutex::new(ConstraintCache::new()),
             classes: HashMap::new(),
             incremental: AtomicBool::new(true),
+            epoch: 0,
             sk: Mutex::new(SkState::default()),
         }
     }
@@ -510,7 +577,21 @@ impl ExtendedRbac {
     /// constraint cache on slow paths). In the steady state (cursor fast
     /// path or spatial approval reusable, timeline memo warm) a grant
     /// allocates nothing.
+    ///
+    /// Every verdict is stamped with the active [`stacl_ids::PolicyEpoch`].
+    /// `epoch` only moves through `&mut self` (the guard's write lock), so
+    /// one `decide` call — and therefore one verdict — observes exactly
+    /// one epoch: the stamp and the loaded permission table always agree.
     pub fn decide(
+        &self,
+        req: &AccessRequest<'_>,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> Verdict {
+        self.decide_inner(req, proofs, table).with_epoch(self.epoch)
+    }
+
+    fn decide_inner(
         &self,
         req: &AccessRequest<'_>,
         proofs: &ProofStore,
@@ -528,6 +609,10 @@ impl ExtendedRbac {
         };
         let oid = self.objects.intern(req.object);
         let entries = self.perm_table.load();
+        debug_assert_eq!(
+            entries.epoch, self.epoch,
+            "decision loaded a permission table from another epoch"
+        );
         let gate_arc = self.gate_of(oid);
         let mut gate = gate_arc.lock();
 
@@ -766,6 +851,16 @@ impl ExtendedRbac {
     /// differs. Not part of the supported API.
     #[doc(hidden)]
     pub fn decide_string_keyed(
+        &self,
+        req: &AccessRequest<'_>,
+        proofs: &ProofStore,
+        table: &mut AccessTable,
+    ) -> Verdict {
+        self.decide_string_keyed_inner(req, proofs, table)
+            .with_epoch(self.epoch)
+    }
+
+    fn decide_string_keyed_inner(
         &self,
         req: &AccessRequest<'_>,
         proofs: &ProofStore,
@@ -1101,6 +1196,188 @@ impl ExtendedRbac {
             .insert(pid, SpatialCursor { cursor, generation });
         true
     }
+
+    /// The active policy epoch (0 until the first
+    /// [`ExtendedRbac::activate_epoch`]).
+    pub fn epoch(&self) -> stacl_ids::PolicyEpoch {
+        self.epoch
+    }
+
+    /// Build a replacement policy off the hot path: everything expensive
+    /// about a flip — permission-table fill, constraint-vocabulary
+    /// interning, automaton compilation — happens here, against `&self`,
+    /// while decisions keep flowing under the old epoch. The returned
+    /// [`PreparedEpoch`] is installed by
+    /// [`ExtendedRbac::activate_epoch`].
+    ///
+    /// `table` must be (one of) the access table(s) the guard decides
+    /// against: the new constraint vocabulary is interned into it so
+    /// warm-compiled automata stay usable after the flip.
+    ///
+    /// Fails with [`EpochError::Stale`] unless `epoch` strictly advances
+    /// the active epoch — replayed or out-of-order rollout messages can
+    /// never roll the policy back.
+    pub fn prepare_epoch(
+        &self,
+        mut model: RbacModel,
+        classes: impl IntoIterator<Item = (String, f64, BaseTimeScheme)>,
+        epoch: stacl_ids::PolicyEpoch,
+        table: &mut AccessTable,
+    ) -> Result<PreparedEpoch, EpochError> {
+        if epoch <= self.epoch {
+            return Err(EpochError::Stale {
+                proposed: epoch,
+                current: self.epoch,
+            });
+        }
+        // A freshly parsed model starts at generation 0 — the same stamp
+        // the booted policy may still carry. Force it past the active
+        // generation so nothing validated against the old model (session
+        // candidate lists, spatial cursors) survives the flip.
+        model.advance_generation_past(self.model.generation());
+        // Intern the incoming constraint vocabulary first: automata
+        // compiled below are keyed by the table version, and the decision
+        // path must find them there after activation.
+        for p in model.permissions() {
+            if let Some(c) = &p.spatial {
+                for a in c.mentioned_accesses() {
+                    table.intern(a);
+                }
+            }
+        }
+        // Fill the dense permission table for *every* permission (not
+        // lazily, as session rebuilds do): the flip must not pay a
+        // cold-start fill storm. The shared interner keeps `PermId`s
+        // stable across epochs. While filling, diff each entry against
+        // the active table: spatially-identical permissions are marked
+        // `carried` so activation can keep their warm state instead of
+        // forcing every object through a from-scratch residual check.
+        let current = self.perm_table.load();
+        let mut carried = HashSet::new();
+        let mut entries: Vec<Option<Arc<PermEntry>>> = Vec::new();
+        for p in model.permissions() {
+            let pid = self.perms.intern(&p.name);
+            let idx = pid.as_usize();
+            if entries.len() <= idx {
+                entries.resize(idx + 1, None);
+            }
+            if current
+                .entries
+                .get(idx)
+                .and_then(Option::as_ref)
+                .is_some_and(|old| {
+                    old.grants == p.grants && old.spatial == p.spatial && old.scope == p.scope
+                })
+            {
+                carried.insert(pid);
+            }
+            entries[idx] = Some(Arc::new(PermEntry {
+                name: p.name.clone(),
+                grants: p.grants.clone(),
+                spatial: p.spatial.clone(),
+                scope: p.scope,
+                validity: p.validity,
+                scheme: p.scheme,
+                class: p.class.clone(),
+            }));
+        }
+        // Warm the compiled-constraint cache: entries inserted now carry
+        // the *current* cache epoch, which `begin_epoch`'s two-epoch
+        // grace keeps alive across the flip.
+        {
+            let mut cache = self.cache.lock();
+            for p in model.permissions() {
+                if let Some(c) = &p.spatial {
+                    let _ = ConstraintCursor::new(c, table, &mut cache);
+                }
+            }
+        }
+        let classes = classes
+            .into_iter()
+            .map(|(n, dur, scheme)| {
+                assert!(dur.is_finite() && dur >= 0.0);
+                (stacl_sral::ast::name(n), (dur, scheme))
+            })
+            .collect();
+        stacl_obs::count(Counter::EpochPrepare);
+        Ok(PreparedEpoch {
+            epoch,
+            table: PermTable {
+                generation: model.generation(),
+                epoch,
+                entries,
+            },
+            model,
+            classes,
+            carried,
+        })
+    }
+
+    /// Flip to a prepared epoch. Cheap by construction — everything
+    /// expensive happened in [`ExtendedRbac::prepare_epoch`]: this
+    /// publishes the pre-built permission table, swaps the model and
+    /// validity classes, drops state the new policy invalidates
+    /// (session candidate lists, and spatial approvals/cursors for
+    /// permissions whose constraint changed — per-object *budgets*
+    /// persist: a policy change does not refund spent validity time),
+    /// and ages the constraint cache.
+    ///
+    /// Spatial state for `carried` permissions — spatially identical in
+    /// the old and new policy — survives the flip with its cursor
+    /// re-stamped to the new generation. The carried approval is a proof
+    /// about the object's history and declared program against an
+    /// identical constraint, so keeping it is behaviourally identical to
+    /// a no-flip run; dropping it would charge every warm
+    /// (object, permission) pair a from-scratch residual check for
+    /// nothing.
+    ///
+    /// Takes `&mut self`, i.e. the guard's write lock: no decision can
+    /// run during the flip, so no decision ever mixes two epochs.
+    pub fn activate_epoch(
+        &mut self,
+        prepared: PreparedEpoch,
+    ) -> Result<stacl_ids::PolicyEpoch, EpochError> {
+        if prepared.epoch <= self.epoch {
+            return Err(EpochError::Stale {
+                proposed: prepared.epoch,
+                current: self.epoch,
+            });
+        }
+        let PreparedEpoch {
+            epoch,
+            model,
+            classes,
+            table,
+            carried,
+        } = prepared;
+        let generation = table.generation;
+        self.model = model;
+        self.classes = classes;
+        {
+            let _rebuilding = self.rebuild.lock();
+            self.perm_table.publish(table);
+        }
+        self.session_perms.write().clear();
+        // Established spatial approvals are proofs about the *old*
+        // constraints; the new policy may constrain differently. Only
+        // spatially-unchanged (`carried`) permissions keep theirs, with
+        // cursors re-stamped so the fast path stays warm across the
+        // flip. The string-keyed ablation path is not epoch-optimised —
+        // it just drops everything (always safe, merely slower).
+        for gate in self.gates.read().values() {
+            let mut g = gate.lock();
+            g.spatial_ok.retain(|pid| carried.contains(pid));
+            g.cursors.retain(|pid, _| carried.contains(pid));
+            for sc in g.cursors.values_mut() {
+                sc.generation = generation;
+            }
+        }
+        self.sk.lock().spatial_ok.clear();
+        self.cache.lock().begin_epoch(epoch);
+        self.epoch = epoch;
+        stacl_obs::count(Counter::EpochActivate);
+        Ok(epoch)
+    }
 }
 
 #[cfg(test)]
@@ -1116,15 +1393,22 @@ mod tests {
     }
 
     /// A model with one mobile object `naplet-1` holding role `worker`
-    /// with permission `p-exec` = `exec:rsw:*`.
-    fn setup(perm: Permission) -> (ExtendedRbac, SessionId) {
+    /// with the given permission (named `p-exec` by convention).
+    fn model_with(perm: Permission) -> RbacModel {
         let mut m = RbacModel::new();
         m.add_user("naplet-1");
         m.add_role("worker");
+        let name = perm.name.clone();
         m.add_permission(perm).unwrap();
-        m.assign_permission("worker", "p-exec").unwrap();
+        m.assign_permission("worker", &name).unwrap();
         m.assign_user("naplet-1", "worker").unwrap();
-        let mut x = ExtendedRbac::new(m);
+        m
+    }
+
+    /// A model with one mobile object `naplet-1` holding role `worker`
+    /// with permission `p-exec` = `exec:rsw:*`.
+    fn setup(perm: Permission) -> (ExtendedRbac, SessionId) {
+        let mut x = ExtendedRbac::new(model_with(perm));
         let sid = x.open_session("naplet-1", vec![]).unwrap();
         x.activate_role(sid, "worker").unwrap();
         (x, sid)
@@ -1720,5 +2004,86 @@ mod tests {
         let mut bad = export;
         bad.timelines[0].1.active_now = !bad.timelines[0].1.active_now;
         assert!(x2.import_gate("naplet-1", &bad).is_err());
+    }
+
+    #[test]
+    fn epoch_flip_swaps_policy_and_stamps_verdicts() {
+        let (mut x, sid) = setup(exec_perm());
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let access_ = Access::new("exec", "rsw", "s1");
+        let prog = access_prog();
+        let req = |t: f64| AccessRequest {
+            object: "naplet-1",
+            session: sid,
+            access: &access_,
+            program: &prog,
+            time: tp(t),
+            reuse_spatial: false,
+        };
+
+        assert_eq!(x.epoch(), 0);
+        let v = x.decide(&req(0.0), &proofs, &mut table);
+        assert!(v.is_granted());
+        assert_eq!(v.epoch, 0);
+
+        // Epoch 1 forbids what epoch 0 allowed: spatial budget 0.
+        let tight =
+            exec_perm().with_spatial(parse_constraint("count(0, 0, resource=rsw)").unwrap());
+        let prepared = x
+            .prepare_epoch(model_with(tight), [], 1, &mut table)
+            .unwrap();
+        assert_eq!(prepared.epoch(), 1);
+        // Decisions under the old epoch keep flowing while prepared.
+        let v = x.decide(&req(1.0), &proofs, &mut table);
+        assert!(v.is_granted());
+        assert_eq!(v.epoch, 0);
+
+        assert_eq!(x.activate_epoch(prepared).unwrap(), 1);
+        assert_eq!(x.epoch(), 1);
+        let d = x.decide(&req(2.0), &proofs, &mut table);
+        assert_eq!(d.kind, DecisionKind::DeniedSpatial);
+        assert_eq!(d.epoch, 1);
+
+        // Stale transitions (replayed rollout messages) are rejected.
+        assert!(matches!(
+            x.prepare_epoch(model_with(exec_perm()), [], 1, &mut table),
+            Err(EpochError::Stale {
+                proposed: 1,
+                current: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn epoch_flip_does_not_refund_validity_budgets() {
+        let perm = exec_perm().with_validity(2.0, BaseTimeScheme::WholeLifetime);
+        let (mut x, sid) = setup(perm.clone());
+        x.note_arrival("naplet-1", tp(0.0));
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        let access_ = Access::new("exec", "rsw", "s1");
+        let prog = access_prog();
+        let req = |t: f64| AccessRequest {
+            object: "naplet-1",
+            session: sid,
+            access: &access_,
+            program: &prog,
+            time: tp(t),
+            reuse_spatial: false,
+        };
+
+        assert!(x.decide(&req(0.0), &proofs, &mut table).is_granted());
+
+        // Flip to an *identical* policy: the 2-second whole-lifetime
+        // budget started at t=0 and must stay spent.
+        let prepared = x
+            .prepare_epoch(model_with(perm), [], 1, &mut table)
+            .unwrap();
+        x.activate_epoch(prepared).unwrap();
+        assert!(x.decide(&req(1.0), &proofs, &mut table).is_granted());
+        let d = x.decide(&req(3.0), &proofs, &mut table);
+        assert_eq!(d.kind, DecisionKind::DeniedTemporal);
+        assert_eq!(d.epoch, 1);
     }
 }

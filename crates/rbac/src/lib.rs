@@ -40,7 +40,10 @@ pub mod policy;
 pub mod session;
 pub mod sod;
 
-pub use extended::{AccessRequest, ExtendedRbac, GateBudget, ObjectGateExport, PermissionState};
+pub use extended::{
+    AccessRequest, EpochError, ExtendedRbac, GateBudget, ObjectGateExport, PermissionState,
+    PreparedEpoch,
+};
 pub use model::{RbacError, RbacModel};
 pub use perm::{AccessPattern, HistoryScope, Permission};
 pub use session::{Session, SessionId};

@@ -79,6 +79,21 @@ impl RbacModel {
         self.generation
     }
 
+    /// Force this model's generation strictly past `floor`.
+    ///
+    /// Every freshly-built model starts at generation 0, so swapping one
+    /// in for a live model (an epoch activation) would otherwise *reuse*
+    /// generation numbers the old model already published — and every
+    /// generation-validated cache (session candidate lists, permission
+    /// tables, spatial cursors) would wrongly validate stale state. The
+    /// activation path calls this before the swap so the new model's
+    /// generation is unambiguously newer.
+    pub fn advance_generation_past(&mut self, floor: u64) {
+        if self.generation <= floor {
+            self.generation = floor + 1;
+        }
+    }
+
     /// Add a user (idempotent).
     pub fn add_user(&mut self, user: impl AsRef<str>) -> &mut Self {
         self.users.insert(name(user));

@@ -10,8 +10,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use stacl_coalition::ledger::{fnv1a, Ledger};
 use stacl_coalition::{CoalitionEnv, DecisionKind, ProofStore, Verdict};
 use stacl_naplet::guard::{BatchRequest, CoordinatedGuard, GuardRequest};
+use stacl_rbac::policy::render_policy;
 use stacl_rbac::{AccessPattern, ExtendedRbac, Permission, RbacModel};
 use stacl_sral::{Access, Program};
 use stacl_temporal::TimePoint;
@@ -68,10 +70,10 @@ pub struct Episode {
     pub divergence: Option<Divergence>,
 }
 
-/// Build the real decision stack for a scenario. Public so transports
-/// other than the in-process driver (the networked coalition of
-/// `stacl-net`) can replicate the policy onto every member.
-pub fn build_guard(sc: &Scenario) -> CoordinatedGuard {
+/// Build the RBAC model for policy revision `rev` of a scenario (0 = the
+/// base policy). Public so the networked driver can render revision
+/// models into policy text for `PolicyPrepare` frames.
+pub fn build_model(sc: &Scenario, rev: usize) -> RbacModel {
     let mut model = RbacModel::new();
     for o in &sc.objects {
         model.add_user(&o.name);
@@ -79,7 +81,7 @@ pub fn build_guard(sc: &Scenario) -> CoordinatedGuard {
     for role in &sc.roles {
         model.add_role(&role.name);
     }
-    for p in &sc.perms {
+    for p in sc.perms_at(rev) {
         let pattern = AccessPattern {
             op: p.op.as_deref().map(stacl_sral::ast::name),
             resource: p.resource.as_deref().map(stacl_sral::ast::name),
@@ -100,10 +102,10 @@ pub fn build_guard(sc: &Scenario) -> CoordinatedGuard {
         }
         model.add_permission(perm).expect("unique generated names");
     }
-    for role in &sc.roles {
-        for &pi in &role.perms {
+    for (ri, role) in sc.roles.iter().enumerate() {
+        for &pi in sc.role_perms_at(rev, ri) {
             model
-                .assign_permission(&role.name, &sc.perms[pi].name)
+                .assign_permission(&role.name, &sc.perms_at(rev)[pi].name)
                 .expect("role and permission exist");
         }
     }
@@ -119,8 +121,14 @@ pub fn build_guard(sc: &Scenario) -> CoordinatedGuard {
                 .expect("user and role exist");
         }
     }
+    model
+}
 
-    let mut rbac = ExtendedRbac::new(model);
+/// Build the real decision stack for a scenario. Public so transports
+/// other than the in-process driver (the networked coalition of
+/// `stacl-net`) can replicate the policy onto every member.
+pub fn build_guard(sc: &Scenario) -> CoordinatedGuard {
+    let mut rbac = ExtendedRbac::new(build_model(sc, 0));
     for c in &sc.classes {
         rbac.define_validity_class(&c.name, c.dur, c.scheme);
     }
@@ -168,7 +176,31 @@ struct PendingAccess<'a> {
 /// size 1 (companion histories make cross-object decisions order-
 /// dependent).
 pub fn run_episode_with(sc: &Scenario, bug: Option<OracleBug>, batched: bool) -> Episode {
+    run_episode_opts(sc, bug, batched, None)
+}
+
+/// How often the episode drivers journal a verdict into the audit
+/// ledger: every `LEDGER_SAMPLE`-th decision (1-indexed), the same on
+/// every transport so ledgers byte-compare across them.
+pub const LEDGER_SAMPLE: usize = 8;
+
+/// [`run_episode_with`], optionally journaling policy changes and
+/// sampled verdicts into an append-only audit [`Ledger`]. The ledger is
+/// transport-independent: the networked driver
+/// ([`crate::net_driver::run_episode_net_opts`]) produces a byte-identical
+/// chain for the same scenario.
+pub fn run_episode_opts(
+    sc: &Scenario,
+    bug: Option<OracleBug>,
+    batched: bool,
+    mut ledger: Option<&mut Ledger>,
+) -> Episode {
     let guard = build_guard(sc);
+    if let Some(l) = ledger.as_deref_mut() {
+        // Epoch 0 is the boot policy; hash the canonical rendering so
+        // in-process and wire chains agree byte-for-byte.
+        l.record_policy_change(0, fnv1a(render_policy(&build_model(sc, 0)).as_bytes()));
+    }
     let mut env = CoalitionEnv::new();
     for s in &sc.servers {
         env.add_server(s);
@@ -233,6 +265,25 @@ pub fn run_episode_with(sc: &Scenario, bug: Option<OracleBug>, batched: bool) ->
                 dead.insert(server.clone());
                 oracle.note_death(server);
                 let _ = writeln!(log, "[{time}] server-death {server}");
+                step += 1;
+            }
+            Event::PolicyFlip { rev, time } => {
+                // The in-process half of the two-phase rollout: build the
+                // revision off the hot path, then flip atomically. Epoch
+                // numbers are revision numbers.
+                let model = build_model(sc, *rev);
+                if let Some(l) = ledger.as_deref_mut() {
+                    l.record_policy_change(*rev as u64, fnv1a(render_policy(&model).as_bytes()));
+                }
+                let classes = sc.classes.iter().map(|c| (c.name.clone(), c.dur, c.scheme));
+                let prepared = guard
+                    .with_rbac_read(|r| r.prepare_epoch(model, classes, *rev as u64, &mut table))
+                    .expect("scenario epochs strictly increase");
+                guard
+                    .with_rbac(|r| r.activate_epoch(prepared))
+                    .expect("prepared epoch activates");
+                oracle.note_flip(*rev);
+                let _ = writeln!(log, "[{time}] policy-flip epoch={rev}");
                 step += 1;
             }
             Event::Access { .. } => {
@@ -338,6 +389,11 @@ pub fn run_episode_with(sc: &Scenario, bug: Option<OracleBug>, batched: bool) ->
 
                     decisions += 1;
                     *histogram.entry(system_v.kind.label()).or_insert(0) += 1;
+                    if decisions % LEDGER_SAMPLE == 1 {
+                        if let Some(l) = ledger.as_deref_mut() {
+                            l.record_verdict(time, name, &access.to_string(), &system_v);
+                        }
+                    }
                     let _ = writeln!(
                         log,
                         "[{time}] access {name} {access} -> guard={} oracle={}",

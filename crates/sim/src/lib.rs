@@ -39,11 +39,11 @@ pub mod scenario;
 pub mod shrink;
 
 pub use episode::{
-    build_guard, episode_for_seed, episode_for_seed_batched, run_episode, run_episode_with,
-    Divergence, Episode,
+    build_guard, build_model, episode_for_seed, episode_for_seed_batched, run_episode,
+    run_episode_opts, run_episode_with, Divergence, Episode, LEDGER_SAMPLE,
 };
-pub use net_driver::{episode_for_seed_net, run_episode_net};
+pub use net_driver::{episode_for_seed_net, run_episode_net, run_episode_net_opts};
 pub use oracle::{OracleBug, ReferenceOracle};
 pub use report::{repro, SweepReport};
-pub use scenario::{Event, Scenario};
+pub use scenario::{Event, PolicyRev, Scenario};
 pub use shrink::shrink;

@@ -32,11 +32,14 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::net::SocketAddr;
 use std::time::Duration;
 
+use stacl_coalition::ledger::{fnv1a, Ledger};
 use stacl_coalition::{CoalitionEnv, DecisionKind, ProofStore, Verdict};
+use stacl_net::frames::scheme_to_u8;
 use stacl_net::{Client, DaemonConfig, DaemonHandle};
+use stacl_rbac::policy::render_policy;
 use stacl_sral::Access;
 
-use crate::episode::{build_guard, Divergence, Episode};
+use crate::episode::{build_guard, build_model, Divergence, Episode, LEDGER_SAMPLE};
 use crate::oracle::{OracleBug, ReferenceOracle};
 use crate::scenario::{Event, Scenario};
 
@@ -50,7 +53,24 @@ pub fn run_episode_net(
     bug: Option<OracleBug>,
     n_daemons: usize,
 ) -> Result<Episode, String> {
+    run_episode_net_opts(sc, bug, n_daemons, None)
+}
+
+/// [`run_episode_net`], optionally journaling policy changes and sampled
+/// verdicts into an audit [`Ledger`]. Sampling (every
+/// [`LEDGER_SAMPLE`]-th decision) and payloads mirror
+/// [`crate::episode::run_episode_opts`] exactly, so the chain
+/// byte-compares across transports.
+pub fn run_episode_net_opts(
+    sc: &Scenario,
+    bug: Option<OracleBug>,
+    n_daemons: usize,
+    mut ledger: Option<&mut Ledger>,
+) -> Result<Episode, String> {
     assert!(n_daemons >= 1, "a coalition needs at least one member");
+    if let Some(l) = ledger.as_deref_mut() {
+        l.record_policy_change(0, fnv1a(render_policy(&build_model(sc, 0)).as_bytes()));
+    }
     let d_of = |server: &str| -> usize {
         sc.servers.iter().position(|s| s == server).unwrap_or(0) % n_daemons
     };
@@ -159,6 +179,33 @@ pub fn run_episode_net(
                 oracle.note_death(server);
                 let _ = writeln!(log, "[{time}] server-death {server}");
             }
+            Event::PolicyFlip { rev, time } => {
+                // The wire half of the two-phase rollout: ship the
+                // rendered revision to every member (phase 1), then flip
+                // them all (phase 2). A member that fails either phase is
+                // a transport failure here — the sim models complete
+                // rollouts; partial ones are covered by the stacl-net
+                // chaos tests.
+                let policy = render_policy(&build_model(sc, *rev));
+                if let Some(l) = ledger.as_deref_mut() {
+                    l.record_policy_change(*rev as u64, fnv1a(policy.as_bytes()));
+                }
+                let classes: Vec<(String, f64, u8)> = sc
+                    .classes
+                    .iter()
+                    .map(|c| (c.name.clone(), c.dur, scheme_to_u8(c.scheme)))
+                    .collect();
+                for (i, c) in clients.iter_mut().enumerate() {
+                    c.policy_prepare(*rev as u64, &policy, &classes)
+                        .map_err(|e| format!("prepare epoch {rev} at d{i}: {e}"))?;
+                }
+                for (i, c) in clients.iter_mut().enumerate() {
+                    c.policy_activate(*rev as u64)
+                        .map_err(|e| format!("activate epoch {rev} at d{i}: {e}"))?;
+                }
+                oracle.note_flip(*rev);
+                let _ = writeln!(log, "[{time}] policy-flip epoch={rev}");
+            }
             Event::Access { obj, access, time } => {
                 let name = &sc.objects[*obj].name;
                 let remaining = &per_object[*obj][cursor[*obj]..];
@@ -179,6 +226,11 @@ pub fn run_episode_net(
 
                 decisions += 1;
                 *histogram.entry(system_v.kind.label()).or_insert(0) += 1;
+                if decisions % LEDGER_SAMPLE == 1 {
+                    if let Some(l) = ledger.as_deref_mut() {
+                        l.record_verdict(*time, name, &access.to_string(), &system_v);
+                    }
+                }
                 let _ = writeln!(
                     log,
                     "[{time}] access {name} {access} -> guard={} oracle={}",

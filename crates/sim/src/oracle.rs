@@ -68,6 +68,10 @@ impl OracleBug {
 #[derive(Debug, Default)]
 pub struct ReferenceOracle {
     bug: Option<OracleBug>,
+    /// The active policy revision (0 = base). Journals — grants,
+    /// arrivals, budget activations — persist across flips: a rollout
+    /// swaps the policy, never the objects' histories or spent budgets.
+    rev: usize,
     /// Every granted access in grant order, with the granting object.
     grants: Vec<(usize, Access)>,
     /// Per-object observed arrival times.
@@ -95,6 +99,12 @@ impl ReferenceOracle {
     /// Record a server death.
     pub fn note_death(&mut self, server: &str) {
         self.dead.insert(server.to_string());
+    }
+
+    /// Record a coalition-wide policy flip: revision `rev` is now the
+    /// active policy.
+    pub fn note_flip(&mut self, rev: usize) {
+        self.rev = rev;
     }
 
     /// Record a granted access (the oracle's mirror of proof issuance).
@@ -127,7 +137,7 @@ impl ReferenceOracle {
         let mut temporal_failed = false;
         for pname in self.candidate_perms(sc, obj) {
             let p = sc
-                .perms
+                .perms_at(self.rev)
                 .iter()
                 .find(|p| p.name == pname)
                 .expect("candidate names come from the scenario");
@@ -182,8 +192,8 @@ impl ReferenceOracle {
                 continue;
             }
             for junior in junior_closure(sc, role) {
-                for &pi in &sc.roles[junior].perms {
-                    out.insert(sc.perms[pi].name.clone());
+                for &pi in sc.role_perms_at(self.rev, junior) {
+                    out.insert(sc.perms_at(self.rev)[pi].name.clone());
                 }
             }
         }

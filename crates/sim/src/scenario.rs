@@ -79,6 +79,22 @@ pub struct ObjectSpec {
     pub enrolled: Vec<usize>,
 }
 
+/// One policy revision installed by a mid-episode [`Event::PolicyFlip`]:
+/// the full replacement permission set and role→permission assignment.
+/// Everything else — names, roles, objects, classes, inheritance,
+/// validity attributes — is fixed across revisions, so budget keys,
+/// enrollments and batching soundness are revision-invariant.
+#[derive(Clone, Debug)]
+pub struct PolicyRev {
+    /// Replacement permissions (same names and count as
+    /// [`Scenario::perms`]; only grant patterns and spatial constraints
+    /// move).
+    pub perms: Vec<PermSpec>,
+    /// Replacement role→permission assignment, indexed like
+    /// [`Scenario::roles`].
+    pub role_perms: Vec<Vec<usize>>,
+}
+
 /// One scheduled event. Times are strictly increasing across the episode.
 #[derive(Clone, Debug)]
 pub enum Event {
@@ -112,6 +128,14 @@ pub enum Event {
         /// Death time.
         time: f64,
     },
+    /// A coalition-wide policy rollout lands: revision `rev` becomes the
+    /// active policy (epoch `rev`) on every member before the next event.
+    PolicyFlip {
+        /// 1-based index into [`Scenario::revisions`].
+        rev: usize,
+        /// Activation time.
+        time: f64,
+    },
 }
 
 impl Event {
@@ -120,7 +144,8 @@ impl Event {
         match self {
             Event::Access { time, .. }
             | Event::Arrival { time, .. }
-            | Event::ServerDeath { time, .. } => *time,
+            | Event::ServerDeath { time, .. }
+            | Event::PolicyFlip { time, .. } => *time,
         }
     }
 }
@@ -153,6 +178,11 @@ pub struct Scenario {
     pub inherits: Vec<(usize, usize)>,
     /// Mobile objects.
     pub objects: Vec<ObjectSpec>,
+    /// Policy revisions installed by [`Event::PolicyFlip`] events, in
+    /// epoch order (revision `k` is epoch `k`; the base policy is
+    /// epoch 0). Empty unless generated with
+    /// [`Scenario::generate_churn`].
+    pub revisions: Vec<PolicyRev>,
     /// The time-ordered event schedule.
     pub events: Vec<Event>,
 }
@@ -346,7 +376,111 @@ impl Scenario {
             roles,
             inherits,
             objects,
+            revisions: Vec::new(),
             events,
+        }
+    }
+
+    /// Generate the scenario for a seed, then append `flips` mid-episode
+    /// policy rollouts, each followed by a burst of post-flip traffic.
+    ///
+    /// Churn draws from its *own* deterministic stream (derived from the
+    /// seed), so [`Scenario::generate`] stays byte-stable for every
+    /// existing seed, and `generate_churn(seed, n)` is a strict extension
+    /// of `generate(seed)`: same topology, same policy base, same event
+    /// prefix.
+    pub fn generate_churn(seed: u64, flips: usize) -> Scenario {
+        let mut sc = Scenario::generate(seed);
+        if flips == 0 {
+            return sc;
+        }
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5bd1_e995_9e37_79b9);
+        let r = &mut rng;
+        let mut t = sc.events.last().map(|e| e.time() + 1.0).unwrap_or(0.0);
+        let n_objects = sc.objects.len();
+        for k in 1..=flips {
+            // Each revision perturbs the previous one: grant patterns and
+            // spatial constraints move; names, validity attributes,
+            // team scope and class bindings are revision-invariant (budget
+            // keys survive flips, batching soundness is schedule-global).
+            let mut perms = sc.perms_at(k - 1).to_vec();
+            for p in &mut perms {
+                if r.gen_bool(0.5) {
+                    let pick = |r: &mut SplitMix64, pool: &[String]| -> Option<String> {
+                        if r.gen_bool(0.4) {
+                            Some(r.choose(pool).clone())
+                        } else {
+                            None
+                        }
+                    };
+                    p.op = pick(r, &sc.ops);
+                    p.resource = pick(r, &sc.resources);
+                    p.server = pick(r, &sc.servers);
+                }
+                if r.gen_bool(0.45) {
+                    p.spatial = r
+                        .gen_bool(0.8)
+                        .then(|| gen_constraint(r, &sc.ops, &sc.resources, &sc.servers, 2));
+                }
+            }
+            let mut role_perms: Vec<Vec<usize>> = (0..sc.roles.len())
+                .map(|i| sc.role_perms_at(k - 1, i).to_vec())
+                .collect();
+            for (i, rp) in role_perms.iter_mut().enumerate() {
+                if r.gen_bool(0.5) {
+                    *rp = (0..perms.len()).filter(|_| r.gen_bool(0.6)).collect();
+                    if i == 0 && rp.is_empty() && !perms.is_empty() {
+                        rp.push(r.gen_range(0..perms.len()));
+                    }
+                }
+            }
+            sc.revisions.push(PolicyRev { perms, role_perms });
+            sc.events.push(Event::PolicyFlip { rev: k, time: t });
+            t += 1.0;
+            // Post-flip traffic so every revision actually decides. No
+            // new server deaths: the death/approval-reuse envelope is
+            // settled by the base generation.
+            for _ in 0..r.gen_range(3usize..8) {
+                if r.gen_bool(0.25) {
+                    sc.events.push(Event::Arrival {
+                        obj: r.gen_range(0..n_objects),
+                        server: r.choose(&sc.servers).clone(),
+                        time: t,
+                        dropped: r.gen_bool(0.25),
+                    });
+                } else {
+                    sc.events.push(Event::Access {
+                        obj: r.gen_range(0..n_objects),
+                        access: Access::new(
+                            r.choose(&sc.ops),
+                            r.choose(&sc.resources),
+                            r.choose(&sc.servers),
+                        ),
+                        time: t,
+                    });
+                }
+                t += 1.0;
+            }
+        }
+        sc
+    }
+
+    /// The permission set of policy revision `rev` (0 = the base policy).
+    pub fn perms_at(&self, rev: usize) -> &[PermSpec] {
+        if rev == 0 {
+            &self.perms
+        } else {
+            &self.revisions[rev - 1].perms
+        }
+    }
+
+    /// The permission indices assigned to `role` at policy revision
+    /// `rev` (0 = the base policy).
+    pub fn role_perms_at(&self, rev: usize, role: usize) -> &[usize] {
+        if rev == 0 {
+            &self.roles[role].perms
+        } else {
+            &self.revisions[rev - 1].role_perms[role]
         }
     }
 }
@@ -468,28 +602,7 @@ impl fmt::Display for Scenario {
             )?;
         }
         for p in &self.perms {
-            let part = |x: &Option<String>| x.clone().unwrap_or_else(|| "*".to_string());
-            write!(
-                f,
-                "perm {} grants={}:{}:{}",
-                p.name,
-                part(&p.op),
-                part(&p.resource),
-                part(&p.server)
-            )?;
-            if let Some(c) = &p.spatial {
-                write!(f, " spatial=\"{c}\"")?;
-            }
-            if p.team_scope {
-                write!(f, " scope=team")?;
-            }
-            if let Some(v) = p.validity {
-                write!(f, " validity={v} scheme={}", p.scheme.name())?;
-            }
-            if let Some(c) = &p.class {
-                write!(f, " class={c}")?;
-            }
-            writeln!(f)?;
+            write_perm(f, p, "")?;
         }
         for role in &self.roles {
             let names: Vec<&str> = role
@@ -517,6 +630,16 @@ impl fmt::Display for Scenario {
                 names(&o.enrolled)
             )?;
         }
+        for (k, rev) in self.revisions.iter().enumerate() {
+            writeln!(f, "revision {} (epoch {}):", k + 1, k + 1)?;
+            for p in &rev.perms {
+                write_perm(f, p, "  ")?;
+            }
+            for (i, rp) in rev.role_perms.iter().enumerate() {
+                let names: Vec<&str> = rp.iter().map(|&pi| rev.perms[pi].name.as_str()).collect();
+                writeln!(f, "  role {} perms={}", self.roles[i].name, names.join(","))?;
+            }
+        }
         writeln!(f, "events:")?;
         for e in &self.events {
             match e {
@@ -539,10 +662,40 @@ impl fmt::Display for Scenario {
                 Event::ServerDeath { server, time } => {
                     writeln!(f, "  [{time}] server-death {server}")?;
                 }
+                Event::PolicyFlip { rev, time } => {
+                    writeln!(f, "  [{time}] policy-flip epoch={rev}")?;
+                }
             }
         }
         Ok(())
     }
+}
+
+/// Write one permission line (shared by the base policy and revision
+/// sections of the scenario rendering).
+fn write_perm(f: &mut fmt::Formatter<'_>, p: &PermSpec, indent: &str) -> fmt::Result {
+    let part = |x: &Option<String>| x.clone().unwrap_or_else(|| "*".to_string());
+    write!(
+        f,
+        "{indent}perm {} grants={}:{}:{}",
+        p.name,
+        part(&p.op),
+        part(&p.resource),
+        part(&p.server)
+    )?;
+    if let Some(c) = &p.spatial {
+        write!(f, " spatial=\"{c}\"")?;
+    }
+    if p.team_scope {
+        write!(f, " scope=team")?;
+    }
+    if let Some(v) = p.validity {
+        write!(f, " validity={v} scheme={}", p.scheme.name())?;
+    }
+    if let Some(c) = &p.class {
+        write!(f, " class={c}")?;
+    }
+    writeln!(f)
 }
 
 #[cfg(test)]
@@ -564,6 +717,44 @@ mod tests {
             let sc = Scenario::generate(seed);
             for w in sc.events.windows(2) {
                 assert!(w[0].time() < w[1].time(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_generation_is_deterministic() {
+        for seed in [0u64, 3, 42] {
+            let a = Scenario::generate_churn(seed, 4).to_string();
+            let b = Scenario::generate_churn(seed, 4).to_string();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn churn_extends_the_base_schedule() {
+        for seed in 0..32u64 {
+            let base = Scenario::generate(seed);
+            let churned = Scenario::generate_churn(seed, 4);
+            assert_eq!(churned.revisions.len(), 4, "seed {seed}");
+            // Strict extension: the base prefix is untouched and times
+            // keep strictly increasing through the churn tail.
+            assert!(churned.events.len() > base.events.len(), "seed {seed}");
+            for (a, b) in base.events.iter().zip(&churned.events) {
+                assert_eq!(a.time(), b.time(), "seed {seed}");
+            }
+            for w in churned.events.windows(2) {
+                assert!(w[0].time() < w[1].time(), "seed {seed}");
+            }
+            // Revisions never move the revision-invariant attributes.
+            for rev in 0..=churned.revisions.len() {
+                let perms = churned.perms_at(rev);
+                assert_eq!(perms.len(), base.perms.len(), "seed {seed}");
+                for (p, q) in base.perms.iter().zip(perms) {
+                    assert_eq!(p.name, q.name, "seed {seed}");
+                    assert_eq!(p.team_scope, q.team_scope, "seed {seed}");
+                    assert_eq!(p.validity, q.validity, "seed {seed}");
+                    assert_eq!(p.class, q.class, "seed {seed}");
+                }
             }
         }
     }

@@ -135,9 +135,20 @@ pub fn check_residual(
 /// stable and every lookup hits.
 #[derive(Default, Debug)]
 pub struct ConstraintCache {
-    map: std::collections::HashMap<(Constraint, u64), std::sync::Arc<Dfa>>,
+    map: std::collections::HashMap<(Constraint, u64), CacheEntry>,
     hits: u64,
     misses: u64,
+    /// The policy epoch the cache currently serves (see
+    /// [`ConstraintCache::begin_epoch`]). Every entry touched while this
+    /// epoch is current gets stamped with it.
+    epoch: u64,
+}
+
+/// One cached automaton plus the last policy epoch that touched it.
+#[derive(Debug)]
+struct CacheEntry {
+    dfa: std::sync::Arc<Dfa>,
+    epoch: u64,
 }
 
 impl ConstraintCache {
@@ -149,6 +160,38 @@ impl ConstraintCache {
     /// Cache statistics: `(hits, misses)`.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// The policy epoch this cache currently serves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of cached automata.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Advance the cache to a new policy epoch.
+    ///
+    /// Entries touched (compiled *or* hit) while the previous epoch was
+    /// current survive — an epoch *prepare* warms the constraints of the
+    /// incoming policy before activation calls this, so the flip causes
+    /// no compile storm. Entries last touched under an older epoch are
+    /// dropped: retired constraints would otherwise accumulate across a
+    /// churning coalition's lifetime. No-op if `epoch` is not newer.
+    pub fn begin_epoch(&mut self, epoch: u64) {
+        if epoch <= self.epoch {
+            return;
+        }
+        let floor = self.epoch;
+        self.map.retain(|_, e| e.epoch >= floor);
+        self.epoch = epoch;
     }
 
     /// Automata are stored behind `Arc` so cache hits are refcount bumps
@@ -166,15 +209,23 @@ impl ConstraintCache {
             "the cache expects the full-table alphabet"
         );
         let key = (c.clone(), table.version());
-        if let Some(d) = self.map.get(&key) {
+        let epoch = self.epoch;
+        if let Some(e) = self.map.get_mut(&key) {
+            e.epoch = epoch;
             self.hits += 1;
             stacl_obs::count(stacl_obs::Counter::CacheHit);
-            return std::sync::Arc::clone(d);
+            return std::sync::Arc::clone(&e.dfa);
         }
         self.misses += 1;
         stacl_obs::count(stacl_obs::Counter::CacheMiss);
         let d = std::sync::Arc::new(compile(c, al, table));
-        self.map.insert(key, std::sync::Arc::clone(&d));
+        self.map.insert(
+            key,
+            CacheEntry {
+                dfa: std::sync::Arc::clone(&d),
+                epoch,
+            },
+        );
         d
     }
 }
