@@ -1,19 +1,24 @@
-//! `bench_net` — the E14 wire-overhead experiment (DESIGN.md §11,
-//! EXPERIMENTS.md E14), emitted as machine-readable JSON.
+//! `bench_net` — the E14 wire-overhead and E16 pipelining experiments
+//! (DESIGN.md §11/§13, EXPERIMENTS.md E14/E16), emitted as
+//! machine-readable JSON.
 //!
 //! Measures what the coalition protocol costs relative to calling the
-//! guard in process. The same all-grant fleet workload runs three ways:
+//! guard in process. The same all-grant fleet workload runs four ways:
 //!
 //! | mode | path |
 //! |---|---|
 //! | `in-process`      | `CoordinatedGuard::decide` directly |
-//! | `wire-sequential` | one `Decide` frame per decision over loopback TCP |
+//! | `wire-sequential` | one `Decide` frame per decision over loopback TCP (v1) |
 //! | `wire-batch`      | one `DecideBatch` frame per 32 time steps (all objects) |
+//! | `wire-pipelined-wN` | E16: a window of N correlated `Decide2` frames in flight |
 //!
-//! Both wire modes share **one** daemon and **one** vocabulary-synced
+//! The pipelined phase sweeps the window depth; the best window's
+//! throughput lands in `ops_per_sec_wire_pipelined` / `pipeline_window`.
+//!
+//! All wire modes share **one** daemon and **one** vocabulary-synced
 //! connection — the realistic steady state, where a member joins once
 //! and stays. The one-time connect + vocabulary-sync cost is measured
-//! separately (`connect_sync_s`) instead of being smeared into either
+//! separately (`connect_sync_s`) instead of being smeared into any
 //! mode's throughput.
 //!
 //! Telemetry runs for the wire modes, so the report also carries the
@@ -33,7 +38,7 @@ use stacl_ids::json::JsonWriter;
 use stacl_net::{Client, DaemonConfig};
 
 struct ModeResult {
-    name: &'static str,
+    name: String,
     ops_per_sec: f64,
     elapsed_s: f64,
     decisions: usize,
@@ -101,13 +106,44 @@ fn main() {
     let wire_seq = run_wire(&mut client, false, objects, accesses, &names, &vocab);
     let wire_stats = stacl::obs::snapshot().diff(&before_wire);
     let wire_batch = run_wire(&mut client, true, objects, accesses, &names, &vocab);
+
+    // E16: sweep the pipeline window depth over the same workload.
+    let windows = [16usize, 64, 256, 1024];
+    let mut sweep: Vec<ModeResult> = Vec::new();
+    let before_pipe = stacl::obs::snapshot();
+    for &win in &windows {
+        sweep.push(run_wire_pipelined(
+            &mut client,
+            win,
+            objects,
+            accesses,
+            &names,
+            &vocab,
+        ));
+    }
+    let pipe_stats = stacl::obs::snapshot().diff(&before_pipe);
     drop(client);
     handle.shutdown();
+
+    let best = sweep
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.ops_per_sec.total_cmp(&b.1.ops_per_sec))
+        .map(|(i, m)| (windows[i], m))
+        .expect("non-empty sweep");
 
     let frames_tx = wire_stats.counter(Counter::NetFrameTx);
     let bytes_tx = wire_stats.counter(Counter::NetBytesTx);
     let overhead_x = local.ops_per_sec / wire_seq.ops_per_sec;
     let batch_recovery_x = wire_batch.ops_per_sec / wire_seq.ops_per_sec;
+    let pipeline_recovery_x = best.1.ops_per_sec / wire_seq.ops_per_sec;
+    // Frames-per-wakeup and frames-per-flush over the whole pipelined
+    // sweep: how much readiness batching and write coalescing the event
+    // loop actually achieved.
+    let wakeups = pipe_stats.counter(Counter::NetWakeup).max(1);
+    let flushes = pipe_stats.counter(Counter::NetWriteFlush).max(1);
+    let pipe_frames_rx = pipe_stats.counter(Counter::NetFrameRx);
+    let pipe_frames_tx = pipe_stats.counter(Counter::NetFrameTx);
 
     let round3 = |x: f64| (x * 1000.0).round() / 1000.0;
     let mut w = JsonWriter::object();
@@ -115,8 +151,8 @@ fn main() {
     w.field_usize("objects", objects);
     w.field_usize("accesses_per_object", accesses);
     w.open_object("modes");
-    for m in [&local, &wire_seq, &wire_batch] {
-        w.open_object(m.name);
+    for m in [&local, &wire_seq, &wire_batch].into_iter().chain(&sweep) {
+        w.open_object(&m.name);
         w.field_f64("ops_per_sec", round3(m.ops_per_sec));
         w.field_f64("elapsed_s", round3(m.elapsed_s));
         w.field_usize("decisions", m.decisions);
@@ -126,8 +162,19 @@ fn main() {
     w.field_f64("ops_per_sec_in_process", round3(local.ops_per_sec));
     w.field_f64("ops_per_sec_wire", round3(wire_seq.ops_per_sec));
     w.field_f64("ops_per_sec_wire_batch", round3(wire_batch.ops_per_sec));
+    w.field_f64("ops_per_sec_wire_pipelined", round3(best.1.ops_per_sec));
+    w.field_usize("pipeline_window", best.0);
     w.field_f64("overhead_x", round3(overhead_x));
     w.field_f64("batch_recovery_x", round3(batch_recovery_x));
+    w.field_f64("pipeline_recovery_x", round3(pipeline_recovery_x));
+    w.field_f64(
+        "pipeline_frames_per_wakeup",
+        round3(pipe_frames_rx as f64 / wakeups as f64),
+    );
+    w.field_f64(
+        "pipeline_frames_per_flush",
+        round3(pipe_frames_tx as f64 / flushes as f64),
+    );
     w.field_f64("connect_sync_s", connect_sync_s);
     w.field_u64("frames_tx", frames_tx);
     w.field_u64("bytes_tx", bytes_tx);
@@ -184,7 +231,7 @@ fn run_in_process(
         }
     }
     ModeResult {
-        name: "in-process",
+        name: "in-process".to_string(),
         ops_per_sec: (objects * accesses) as f64 / start.elapsed().as_secs_f64(),
         elapsed_s: start.elapsed().as_secs_f64(),
         decisions: objects * accesses,
@@ -237,10 +284,51 @@ fn run_wire(
     let elapsed = start.elapsed().as_secs_f64();
     ModeResult {
         name: if batch {
-            "wire-batch"
+            "wire-batch".to_string()
         } else {
-            "wire-sequential"
+            "wire-sequential".to_string()
         },
+        ops_per_sec: (objects * accesses) as f64 / elapsed,
+        elapsed_s: elapsed,
+        decisions: objects * accesses,
+    }
+}
+
+/// E16: drive the workload through a pipelined window of correlated
+/// `Decide2` frames, claiming completions as they land. The submit path
+/// applies backpressure when the window fills, so in-flight depth never
+/// exceeds `window`.
+fn run_wire_pipelined(
+    client: &mut Client,
+    window: usize,
+    objects: usize,
+    accesses: usize,
+    names: &[String],
+    vocab: &[Access],
+) -> ModeResult {
+    let remaining: Vec<Vec<Access>> = vocab.iter().map(|a| vec![a.clone()]).collect();
+    let start = Instant::now();
+    let mut granted = 0usize;
+    let mut p = client.pipeline(window).expect("daemon speaks protocol v2");
+    for k in 0..accesses {
+        let a = &vocab[k % vocab.len()];
+        let rem = &remaining[k % vocab.len()];
+        for obj in names {
+            p.submit(obj, a, rem, k as f64).expect("pipelined submit");
+            for (_, v) in p.take() {
+                assert!(v.is_granted(), "fleet workload must be all-grant");
+                granted += 1;
+            }
+        }
+    }
+    for (_, v) in p.finish().expect("pipeline drain") {
+        assert!(v.is_granted(), "fleet workload must be all-grant");
+        granted += 1;
+    }
+    assert_eq!(granted, objects * accesses, "every request must resolve");
+    let elapsed = start.elapsed().as_secs_f64();
+    ModeResult {
+        name: format!("wire-pipelined-w{window}"),
         ops_per_sec: (objects * accesses) as f64 / elapsed,
         elapsed_s: elapsed,
         decisions: objects * accesses,

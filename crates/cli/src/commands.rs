@@ -441,10 +441,14 @@ pub fn metrics(args: &[String]) -> Result<(), String> {
 /// sampled verdict into one hash-chained audit ledger across the whole
 /// sweep and writes it to `FILE` — under `--transport net` the wire
 /// ledger must also byte-match the in-process reference chain.
+/// `--pipeline true` (net only) replays decisions over the pipelined v2
+/// protocol — request-id-correlated `Decide2` frames — instead of
+/// synchronous v1 `Decide` calls; logs and ledgers must still match.
 pub fn sim_run(args: &[String]) -> Result<(), String> {
     use stacl::coalition::Ledger;
     use stacl_sim::{
-        repro, run_episode_net_opts, run_episode_opts, OracleBug, Scenario, SweepReport,
+        repro, run_episode_net_opts, run_episode_net_pipelined, run_episode_opts, OracleBug,
+        Scenario, SweepReport,
     };
     let opts = Opts::parse(
         args,
@@ -460,6 +464,7 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
             "daemons",
             "churn",
             "ledger",
+            "pipeline",
         ],
     )?;
     let [] = opts.expect_positional(&[])? else {
@@ -480,10 +485,14 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
     let daemons: usize = opts.get_parsed("daemons", 4)?;
     let churn: usize = opts.get_parsed("churn", 0)?;
     let ledger_path = opts.get("ledger").map(str::to_string);
+    let pipeline: bool = opts.get_parsed("pipeline", false)?;
     if net && batch {
         return Err("--transport net replays decisions one frame at a time; \
                     it cannot be combined with --batch true"
             .into());
+    }
+    if pipeline && !net {
+        return Err("--pipeline true requires --transport net".into());
     }
     // One chain for the whole sweep; under --transport net a second chain
     // journals the in-process reference episodes so the two can be
@@ -508,7 +517,11 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
             Scenario::generate(seed)
         };
         let ep = if net {
-            let ep = run_episode_net_opts(&sc, bug, daemons, ledger.as_mut())?;
+            let ep = if pipeline {
+                run_episode_net_pipelined(&sc, bug, daemons, ledger.as_mut())?
+            } else {
+                run_episode_net_opts(&sc, bug, daemons, ledger.as_mut())?
+            };
             // Wire-level differential validation: the networked replay
             // must reproduce the in-process verdict log byte for byte.
             let reference = run_episode_opts(&sc, bug, false, ref_ledger.as_mut());

@@ -193,13 +193,16 @@ fn parse_classes(spec: &str) -> Result<Vec<(String, f64, u8)>, String> {
 
 /// `stacl net-decide --addr host:port --object NAME --access "op res server"
 /// [--remaining "op res s; …"] [--time T] [--arrive true|false]
-/// [--from PEER] [--metrics true|false]`
+/// [--from PEER] [--metrics true|false] [--pipeline W]`
 ///
 /// Connects to a member daemon and asks for one decision. With
 /// `--arrive true` (the default) the object's arrival is announced first;
 /// `--from` names the previous custodian so a strict-custody member pulls
 /// the migration handoff. `--metrics true` also prints the member's
-/// telemetry snapshot afterwards.
+/// telemetry snapshot afterwards. `--pipeline W` (W ≥ 1) instead decides
+/// the whole declared remaining program as one pipelined stream of
+/// request-id-correlated v2 frames with up to `W` decisions in flight:
+/// step k asks for `remaining[k]` with the program tail from k onward.
 pub fn net_decide(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
@@ -212,6 +215,7 @@ pub fn net_decide(args: &[String]) -> Result<(), String> {
             "arrive",
             "from",
             "metrics",
+            "pipeline",
         ],
     )?;
     opts.expect_positional(&[])?;
@@ -242,6 +246,43 @@ pub fn net_decide(args: &[String]) -> Result<(), String> {
         client
             .arrive(object, time, opts.get("from"))
             .map_err(|e| format!("arrival rejected: {e}"))?;
+    }
+    let window: usize = opts.get_parsed("pipeline", 0)?;
+    if window > 0 {
+        // Pipelined mode: decide every step of the declared program in
+        // one correlated stream, step k seeing the tail from k onward.
+        let requests: Vec<(&str, &Access, &[Access], f64)> = remaining
+            .iter()
+            .enumerate()
+            .map(|(k, a)| (object, a, &remaining[k..], time))
+            .collect();
+        let verdicts = client.decide_stream_failsafe(&requests, window);
+        let mut denied = 0usize;
+        for ((_, a, _, _), v) in requests.iter().zip(&verdicts) {
+            if v.kind.is_granted() {
+                println!("{a} at t={time}: granted (epoch {})", v.epoch);
+            } else {
+                denied += 1;
+                println!(
+                    "{a} at t={time}: DENIED [{}] (epoch {})",
+                    v.kind.label(),
+                    v.epoch
+                );
+            }
+        }
+        println!(
+            "pipelined {} decisions (window {window}, proto v{})",
+            verdicts.len(),
+            client.proto()
+        );
+        if opts.get_parsed("metrics", false)? {
+            print!("{}", client.metrics().map_err(|e| e.to_string())?);
+        }
+        return if denied == 0 {
+            Ok(())
+        } else {
+            Err(format!("{denied} of {} accesses denied", verdicts.len()))
+        };
     }
     let v = client.decide_failsafe(object, &access, &remaining, time);
     let epoch = v.epoch;

@@ -178,6 +178,11 @@ pub struct CoordinatedGuard {
     /// Whether decisions require resident custody (default off — the
     /// in-process guard is its own sole custodian).
     custody_enforced: AtomicBool,
+    /// Recycled batch-worker interning tables. Verdicts are
+    /// table-independent, so a worker may inherit any table; reuse keeps
+    /// the interned alphabet warm across [`CoordinatedGuard::decide_batch`]
+    /// calls instead of re-growing it per batch.
+    table_pool: Mutex<Vec<AccessTable>>,
 }
 
 impl CoordinatedGuard {
@@ -191,6 +196,7 @@ impl CoordinatedGuard {
             approval_reuse: true,
             custody: RwLock::new(HashMap::new()),
             custody_enforced: AtomicBool::new(false),
+            table_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -480,8 +486,9 @@ impl CoordinatedGuard {
                 s.spawn(|| {
                     // Verdicts are independent of the caller's table (ids
                     // are internal to a decision), so each worker interns
-                    // into its own.
-                    let mut table = AccessTable::new();
+                    // into its own — recycled across batches via the pool
+                    // so the alphabet stays warm.
+                    let mut table = self.table_pool.lock().pop().unwrap_or_default();
                     loop {
                         let g = next.fetch_add(1, Ordering::Relaxed);
                         let Some(group) = groups.get(g) else { break };
@@ -514,6 +521,7 @@ impl CoordinatedGuard {
                             *slots[i].lock() = Some(v);
                         }
                     }
+                    self.table_pool.lock().push(table);
                 });
             }
         });

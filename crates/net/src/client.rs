@@ -10,10 +10,22 @@
 //! transport or protocol failure while asking a member for a decision
 //! becomes a counted `DeniedCoordination` verdict instead of an error —
 //! an unreachable guard never fails open.
+//!
+//! ## Pipelining (protocol v2)
+//!
+//! The handshake offers protocol 2; a daemon that accepts unlocks
+//! [`Client::pipeline`]: a window of up to N request-id-correlated
+//! `Decide2` frames in flight at once, written coalesced (one syscall
+//! flushes many requests) and matched to their `Verdict2` replies by id,
+//! not arrival order. A full window applies **backpressure** — submit
+//! blocks until a reply frees a slot; nothing is ever dropped.
+//! [`Client::decide_stream_failsafe`] is the pipelined fail-safe driver:
+//! any transport failure resolves *every* unresolved request to a
+//! counted `DeniedCoordination`.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -22,7 +34,7 @@ use stacl_obs::Counter;
 use stacl_sral::ast::Access;
 
 use crate::frames::{kind_from_u8, DecideItem, Frame, WireAccess};
-use crate::wire::{self, WireError, PROTOCOL_VERSION};
+use crate::wire::{self, FrameAssembler, WireError, PROTOCOL_VERSION, PROTOCOL_VERSION_2};
 
 /// A client-side protocol failure.
 #[derive(Debug)]
@@ -68,22 +80,52 @@ impl From<WireError> for NetError {
 }
 
 /// A connected client. Not thread-safe by design — one request stream
-/// per connection, replies strictly in order.
+/// per connection; v1 replies arrive strictly in order, v2 replies are
+/// correlated by request id.
 pub struct Client {
     stream: TcpStream,
     vocab: HashMap<String, u32>,
     server: String,
+    /// Incremental reassembly of inbound frames: one big read can carry
+    /// a whole window of pipelined replies.
+    asm: FrameAssembler,
+    /// The negotiated protocol revision (1 or 2, from the handshake).
+    proto: u8,
+    /// Coalesced, not-yet-written pipelined request frames.
+    out2: Vec<u8>,
+    /// In-flight v2 request ids, oldest first.
+    pend2: Vec<u64>,
+    /// Correlated replies received but not yet claimed by the pipeline.
+    done2: Vec<(u64, Verdict)>,
+    next_id: u64,
 }
 
 impl Client {
     /// Connect, handshake, and learn the daemon's server name. The
     /// timeout (if any) applies to connect and to every subsequent read
-    /// and write.
+    /// and write. Offers protocol 2; a daemon that refuses it is
+    /// re-greeted at protocol 1, so pipelining degrades instead of
+    /// failing the connection.
     pub fn connect(
         addr: SocketAddr,
         name: &str,
         io_timeout: Option<Duration>,
     ) -> Result<Client, NetError> {
+        let mut c = Client::dial(addr, io_timeout)?;
+        match c.hello(name, PROTOCOL_VERSION_2) {
+            Ok(()) => Ok(c),
+            Err(NetError::Daemon { .. }) => {
+                // An old daemon rejects the v2 greeting after reading it
+                // cleanly, so the same connection can be re-greeted.
+                let mut c = Client::dial(addr, io_timeout)?;
+                c.hello(name, PROTOCOL_VERSION)?;
+                Ok(c)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn dial(addr: SocketAddr, io_timeout: Option<Duration>) -> Result<Client, NetError> {
         let stream = match io_timeout {
             Some(t) => TcpStream::connect_timeout(&addr, t)?,
             None => TcpStream::connect(addr)?,
@@ -91,19 +133,35 @@ impl Client {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(io_timeout)?;
         stream.set_write_timeout(io_timeout)?;
-        let mut c = Client {
+        Ok(Client {
             stream,
             vocab: HashMap::new(),
             server: String::new(),
-        };
-        match c.call(&Frame::Hello {
-            proto: PROTOCOL_VERSION as u16,
+            asm: FrameAssembler::new(),
+            proto: PROTOCOL_VERSION,
+            out2: Vec::new(),
+            pend2: Vec::new(),
+            done2: Vec::new(),
+            next_id: 0,
+        })
+    }
+
+    fn hello(&mut self, name: &str, proto: u8) -> Result<(), NetError> {
+        match self.call(&Frame::Hello {
+            proto: proto as u16,
             peer: name.to_string(),
         })? {
-            Frame::HelloAck { server, .. } => c.server = server,
-            other => return Err(unexpected("HelloAck", &other)),
+            Frame::HelloAck { proto, server } => {
+                self.server = server;
+                self.proto = if proto >= PROTOCOL_VERSION_2 as u16 {
+                    PROTOCOL_VERSION_2
+                } else {
+                    PROTOCOL_VERSION
+                };
+                Ok(())
+            }
+            other => Err(unexpected("HelloAck", &other)),
         }
-        Ok(c)
     }
 
     /// The daemon's coalition server name (from the handshake).
@@ -111,10 +169,120 @@ impl Client {
         &self.server
     }
 
-    fn call(&mut self, frame: &Frame) -> Result<Frame, NetError> {
-        wire::write_frame(&mut self.stream, &frame.encode())?;
-        let payload = wire::read_frame(&mut self.stream)?;
+    /// The negotiated protocol revision: 2 when the daemon supports
+    /// pipelining, else 1.
+    pub fn proto(&self) -> u8 {
+        self.proto
+    }
+
+    /// Number of pipelined requests currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pend2.len()
+    }
+
+    /// Write out any coalesced pipelined request frames.
+    fn flush_out(&mut self) -> Result<(), NetError> {
+        if self.out2.is_empty() {
+            return Ok(());
+        }
+        self.stream.write_all(&self.out2)?;
+        self.out2.clear();
+        stacl_obs::count(Counter::NetWriteFlush);
+        Ok(())
+    }
+
+    /// Record a correlated completion, enforcing id discipline: a reply
+    /// must match exactly one in-flight request.
+    fn complete(&mut self, id: u64, v: Verdict) -> Result<(), NetError> {
+        match self.pend2.iter().position(|&p| p == id) {
+            Some(at) => {
+                self.pend2.remove(at);
+                self.done2.push((id, v));
+                Ok(())
+            }
+            None => Err(NetError::Protocol(format!(
+                "verdict correlates to no in-flight request (id {id})"
+            ))),
+        }
+    }
+
+    /// Read one whole frame through the assembler (a single socket read
+    /// may yield many buffered frames; later calls drain them without
+    /// touching the socket).
+    fn read_frame_buffered(&mut self) -> Result<Vec<u8>, NetError> {
+        loop {
+            if let Some(payload) = self.asm.next_frame().map_err(NetError::Wire)? {
+                return Ok(payload);
+            }
+            let mut buf = [0u8; 65536];
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(NetError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-stream",
+                )));
+            }
+            self.asm.feed(&buf[..n]).map_err(NetError::Wire)?;
+        }
+    }
+
+    /// Read exactly one frame. A correlated v2 reply is absorbed into
+    /// the pipeline's completion set and reported as `None`; anything
+    /// else comes back as `Some(frame)`.
+    fn absorb_one(&mut self) -> Result<Option<Frame>, NetError> {
+        let payload = self.read_frame_buffered()?;
         match Frame::decode(&payload)? {
+            Frame::Verdict2 {
+                id,
+                kind,
+                epoch,
+                reason,
+            } => {
+                self.complete(
+                    id,
+                    Verdict {
+                        kind: kind_from_u8(kind)?,
+                        epoch,
+                        reason,
+                    },
+                )?;
+                Ok(None)
+            }
+            Frame::Err2 { id, code, msg } => {
+                self.pend2.retain(|&p| p != id);
+                Err(NetError::Daemon { code, msg })
+            }
+            f => Ok(Some(f)),
+        }
+    }
+
+    /// Read until a non-correlated frame arrives (v2 completions are
+    /// absorbed along the way).
+    fn read_reply(&mut self) -> Result<Frame, NetError> {
+        loop {
+            if let Some(f) = self.absorb_one()? {
+                return Ok(f);
+            }
+        }
+    }
+
+    /// Block until at least one in-flight pipelined request completes.
+    fn pump_one(&mut self) -> Result<(), NetError> {
+        let before = self.done2.len();
+        while self.done2.len() == before && !self.pend2.is_empty() {
+            if let Some(other) = self.absorb_one()? {
+                return Err(unexpected("Verdict2", &other));
+            }
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, frame: &Frame) -> Result<Frame, NetError> {
+        // Queued pipelined requests must precede this frame on the wire
+        // so the daemon's interning state stays positional.
+        self.flush_out()?;
+        wire::write_frame(&mut self.stream, &frame.encode())?;
+        match self.read_reply()? {
             Frame::Err { code, msg } => Err(NetError::Daemon { code, msg }),
             f => Ok(f),
         }
@@ -347,6 +515,143 @@ impl Client {
     /// Ask the daemon to shut down.
     pub fn shutdown_daemon(&mut self) -> Result<(), NetError> {
         self.expect_ok(&Frame::Shutdown)
+    }
+
+    /// Open a pipelined view over this connection with a window of up to
+    /// `window` in-flight requests. Requires the negotiated protocol to
+    /// be v2; a v1-only daemon makes this a protocol error (callers that
+    /// can degrade should fall back to [`Client::decide`] loops).
+    pub fn pipeline(&mut self, window: usize) -> Result<Pipeline<'_>, NetError> {
+        if self.proto < PROTOCOL_VERSION_2 {
+            return Err(NetError::Protocol(
+                "daemon negotiated protocol 1; pipelining needs v2".to_string(),
+            ));
+        }
+        Ok(Pipeline {
+            window: window.max(1),
+            client: self,
+        })
+    }
+
+    /// Drive `requests` through a pipelined window, resolving **every**
+    /// unresolved request to a counted fail-safe `DeniedCoordination` on
+    /// any transport or protocol failure — a dying member mid-window
+    /// never hangs the caller and never loses a request. Verdicts come
+    /// back in request order. Falls back to sequential
+    /// [`Client::decide_failsafe`] calls when the daemon only speaks v1.
+    pub fn decide_stream_failsafe(
+        &mut self,
+        requests: &[(&str, &Access, &[Access], f64)],
+        window: usize,
+    ) -> Vec<Verdict> {
+        if self.proto < PROTOCOL_VERSION_2 {
+            return requests
+                .iter()
+                .map(|(o, a, r, t)| self.decide_failsafe(o, a, r, *t))
+                .collect();
+        }
+        let mut slot_of: HashMap<u64, usize> = HashMap::new();
+        let mut out: Vec<Option<Verdict>> = Vec::new();
+        out.resize_with(requests.len(), || None);
+        let drive = (|| -> Result<(), NetError> {
+            let mut p = self.pipeline(window)?;
+            for (i, (object, access, remaining, time)) in requests.iter().enumerate() {
+                let id = p.submit(object, access, remaining, *time)?;
+                slot_of.insert(id, i);
+                for (id, v) in p.take() {
+                    out[slot_of[&id]] = Some(v);
+                }
+            }
+            for (id, v) in p.finish()? {
+                out[slot_of[&id]] = Some(v);
+            }
+            Ok(())
+        })();
+        let failure = drive.err();
+        out.into_iter()
+            .map(|v| match v {
+                Some(v) => v,
+                None => {
+                    stacl_obs::count(Counter::NetFailsafeDenial);
+                    Verdict::denied(
+                        DecisionKind::DeniedCoordination,
+                        match &failure {
+                            Some(e) => format!("coalition member unreachable: {e}"),
+                            None => "coalition member unreachable".to_string(),
+                        },
+                    )
+                }
+            })
+            .collect()
+    }
+}
+
+/// A pipelined view over a [`Client`] connection (protocol v2): up to
+/// `window` request-id-correlated decisions in flight, coalesced writes,
+/// backpressure when the window fills. Dropping the view keeps any
+/// unclaimed completions on the client for the next pipelined use.
+pub struct Pipeline<'a> {
+    client: &'a mut Client,
+    window: usize,
+}
+
+impl Pipeline<'_> {
+    /// The window depth.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Requests submitted but not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.client.pend2.len()
+    }
+
+    /// Queue one decision, returning its request id. When the window is
+    /// full this **blocks** (flushes, then waits for a completion) —
+    /// backpressure, never drops.
+    pub fn submit(
+        &mut self,
+        object: &str,
+        access: &Access,
+        remaining: &[Access],
+        time: f64,
+    ) -> Result<u64, NetError> {
+        while self.client.pend2.len() >= self.window {
+            self.client.flush_out()?;
+            self.client.pump_one()?;
+        }
+        // Vocabulary sync may issue synchronous v1 calls; `call` flushes
+        // the queued request bytes first, so wire order stays positional.
+        let item = self.client.item(object, access, remaining, time)?;
+        let id = self.client.next_id;
+        self.client.next_id += 1;
+        wire::put_frame(&mut self.client.out2, &Frame::Decide2 { id, item }.encode())?;
+        self.client.pend2.push(id);
+        Ok(id)
+    }
+
+    /// Claim completions that have already arrived (never blocks).
+    pub fn take(&mut self) -> Vec<(u64, Verdict)> {
+        std::mem::take(&mut self.client.done2)
+    }
+
+    /// Flush queued requests and block until at least one completion is
+    /// available (or the window is empty), then claim them.
+    pub fn recv_some(&mut self) -> Result<Vec<(u64, Verdict)>, NetError> {
+        self.client.flush_out()?;
+        if self.client.done2.is_empty() {
+            self.client.pump_one()?;
+        }
+        Ok(self.take())
+    }
+
+    /// Flush and drain the whole window, claiming every completion.
+    pub fn finish(mut self) -> Result<Vec<(u64, Verdict)>, NetError> {
+        self.client.flush_out()?;
+        while !self.client.pend2.is_empty() {
+            self.client.pump_one()?;
+        }
+        Ok(self.take())
     }
 }
 

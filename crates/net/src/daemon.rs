@@ -1,11 +1,26 @@
 //! The per-server coalition daemon.
 //!
 //! One daemon hosts one [`CoordinatedGuard`] shard — the guard of one
-//! coalition member — behind a [`std::net::TcpListener`]. Every accepted
-//! connection gets its own OS thread, its own positional vocabulary
-//! (names interned by [`Frame::Vocab`] announcements) and its own
-//! [`AccessTable`] (verdicts are table-independent, so per-connection
-//! interning is sound).
+//! coalition member — behind a [`std::net::TcpListener`]. A single
+//! **readiness-driven event loop** (hand-rolled [`crate::sys::poll`],
+//! nonblocking sockets) multiplexes every connection: per-connection
+//! read reassembly via [`FrameAssembler`], per-connection coalesced
+//! write buffers flushed in one syscall, and many in-flight correlated
+//! v2 frames per connection. Each connection keeps its own positional
+//! vocabulary (names interned by [`Frame::Vocab`] announcements) and its
+//! own [`AccessTable`] (verdicts are table-independent, so
+//! per-connection interning is sound).
+//!
+//! ## Reply ordering
+//!
+//! Replies queue per connection as **slots**. v1 replies flush strictly
+//! in request order — a v1 client is synchronous, so this preserves its
+//! call/reply pairing exactly. The only slow operation (the custody
+//! handoff pull, which dials a peer with retries and backoff) runs on a
+//! helper thread and leaves a *pending* slot in the queue; later v1
+//! replies wait behind it, while v2 replies — correlated by request id,
+//! not position — may overtake it. The event loop itself never blocks on
+//! a peer.
 //!
 //! ## Custody and the handoff pull
 //!
@@ -24,14 +39,22 @@
 //! Clock skew travels explicitly: the sender stamps its skewed clock view
 //! into the payload and the receiver counts a `clock.regression` when
 //! admitting the arrival would move its own skewed clock backwards.
+//!
+//! ## Slow-loris eviction
+//!
+//! A connection that stalls mid-frame (bytes of a header trickled in,
+//! then silence) holds only its own [`FrameAssembler`] — other
+//! connections keep flowing. Past [`DaemonConfig::partial_deadline`] the
+//! loop evicts the stalled connection and counts `net.partial-eviction`.
 
-use std::collections::HashMap;
-use std::io;
-use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use stacl_coalition::{DecisionKind, ProofStore, Verdict};
 use stacl_ids::sync::{Mutex, RwLock};
@@ -48,7 +71,8 @@ use crate::frames::{
     scheme_from_u8, DecideItem, Frame, HandoffWire, WireAccess, ERR_BAD_REQUEST, ERR_HANDOFF,
     ERR_NOT_CUSTODIAN, ERR_STATE,
 };
-use crate::wire::{self, PROTOCOL_VERSION};
+use crate::sys::{self, PollFd, POLLIN, POLLOUT};
+use crate::wire::{self, FrameAssembler, PROTOCOL_VERSION, PROTOCOL_VERSION_2};
 
 /// Daemon configuration. `listen` defaults to an ephemeral loopback port
 /// so tests and the sim driver can spawn coalitions without port math.
@@ -66,11 +90,14 @@ pub struct DaemonConfig {
     pub handoff_backoff: Duration,
     /// Connect/read/write timeout for daemon→daemon calls.
     pub io_timeout: Duration,
+    /// How long a connection may sit stalled mid-frame before the event
+    /// loop evicts it (counted `net.partial-eviction`).
+    pub partial_deadline: Duration,
 }
 
 impl DaemonConfig {
     /// Defaults: ephemeral loopback port, zero skew, 3 retries starting
-    /// at 10 ms, 2 s peer-I/O timeout.
+    /// at 10 ms, 2 s peer-I/O timeout, 5 s stalled-partial eviction.
     pub fn new(name: impl Into<String>) -> Self {
         DaemonConfig {
             name: name.into(),
@@ -79,6 +106,7 @@ impl DaemonConfig {
             handoff_retries: 3,
             handoff_backoff: Duration::from_millis(10),
             io_timeout: Duration::from_secs(2),
+            partial_deadline: Duration::from_secs(5),
         }
     }
 }
@@ -90,7 +118,10 @@ struct Shared {
     addr: SocketAddr,
     peers: RwLock<HashMap<String, SocketAddr>>,
     shutdown: AtomicBool,
-    conns: Mutex<Vec<TcpStream>>,
+    /// Write side of the event loop's wake channel (a loopback TCP
+    /// self-pair — the workspace has no `libc` for a real pipe). One
+    /// byte unblocks a parked [`sys::poll`].
+    wake_tx: TcpStream,
     /// The epoch built by the last `PolicyPrepare`, awaiting its
     /// `PolicyActivate` (two-phase coalition-wide rollout).
     pending_epoch: Mutex<Option<PreparedEpoch>>,
@@ -111,6 +142,16 @@ pub struct DaemonHandle {
     accept: Option<JoinHandle<()>>,
 }
 
+/// Build the event loop's wake channel: a connected loopback TCP pair.
+fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    tx.set_nodelay(true)?;
+    let (rx, _) = listener.accept()?;
+    rx.set_nonblocking(true)?;
+    Ok((rx, tx))
+}
+
 /// Spawn a daemon serving `guard`/`proofs` per `cfg`. Returns once the
 /// listener is bound and accepting.
 pub fn spawn(
@@ -120,6 +161,7 @@ pub fn spawn(
 ) -> io::Result<DaemonHandle> {
     let listener = TcpListener::bind(&cfg.listen)?;
     let addr = listener.local_addr()?;
+    let (wake_rx, wake_tx) = wake_pair()?;
     let shared = Arc::new(Shared {
         guard,
         proofs,
@@ -127,7 +169,7 @@ pub fn spawn(
         addr,
         peers: RwLock::new(HashMap::new()),
         shutdown: AtomicBool::new(false),
-        conns: Mutex::new(Vec::new()),
+        wake_tx,
         pending_epoch: Mutex::new(None),
         epoch_desync: AtomicBool::new(false),
     });
@@ -135,7 +177,7 @@ pub fn spawn(
         let shared = Arc::clone(&shared);
         thread::Builder::new()
             .name(format!("stacl-net-{}", shared.cfg.name))
-            .spawn(move || accept_loop(&shared, listener))?
+            .spawn(move || event_loop(&shared, listener, wake_rx))?
     };
     Ok(DaemonHandle {
         shared,
@@ -165,7 +207,7 @@ impl DaemonHandle {
         &self.shared.guard
     }
 
-    /// Stop accepting, sever live connections, and join the accept loop.
+    /// Stop accepting, sever live connections, and join the event loop.
     /// Idempotent.
     pub fn shutdown(&mut self) {
         initiate_shutdown(&self.shared);
@@ -198,60 +240,349 @@ impl Drop for DaemonHandle {
     }
 }
 
-fn initiate_shutdown(shared: &Arc<Shared>) {
+fn initiate_shutdown(shared: &Shared) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }
-    // Unblock the accept loop, then sever every live connection so their
-    // threads observe an error and exit.
-    let _ = TcpStream::connect(shared.addr);
-    for c in shared.conns.lock().iter() {
-        let _ = c.shutdown(SockShutdown::Both);
-    }
+    wake(shared);
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
-    for conn in listener.incoming() {
+/// Unblock a parked event loop. Failures are ignored: a dead wake socket
+/// means the loop already exited.
+fn wake(shared: &Shared) {
+    let _ = (&shared.wake_tx).write_all(&[1]);
+}
+
+/// One queued reply. v1 slots flush strictly in order; a pending slot
+/// (helper-thread handoff pull in flight) blocks later v1 slots but not
+/// v2 slots, whose request-id correlation frees them from positional
+/// ordering.
+enum Slot {
+    Ready { v2: bool, payload: Vec<u8> },
+    Pending { token: u64 },
+}
+
+/// Per-connection event-loop state.
+struct Conn {
+    serial: u64,
+    stream: TcpStream,
+    asm: FrameAssembler,
+    /// Coalesced outbound bytes; one `write` flushes many frames.
+    out: Vec<u8>,
+    out_pos: usize,
+    slots: VecDeque<Slot>,
+    vocab: Vec<String>,
+    table: AccessTable,
+    /// When the connection first stalled mid-frame (slow-loris clock).
+    partial_since: Option<Instant>,
+    next_token: u64,
+    dead: bool,
+}
+
+/// A helper thread finished a handoff pull for slot `token` of
+/// connection `serial`.
+struct Completion {
+    serial: u64,
+    token: u64,
+    reply: Frame,
+}
+
+fn event_loop(shared: &Arc<Shared>, listener: TcpListener, wake_rx: TcpStream) {
+    let _ = listener.set_nonblocking(true);
+    let (ctx, crx) = mpsc::channel::<Completion>();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut next_serial: u64 = 0;
+
+    loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let stream = match conn {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        let _ = stream.set_nodelay(true);
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().push(clone);
-        }
-        let shared = Arc::clone(shared);
-        let _ = thread::Builder::new()
-            .name("stacl-net-conn".to_string())
-            .spawn(move || serve_conn(&shared, stream));
-    }
-}
 
-fn serve_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
-    // Per-connection interning state: positional vocabulary plus an
-    // access table pre-saturated with the policy alphabet (verdicts are
-    // table-independent, so connections never share one).
-    let mut vocab: Vec<String> = Vec::new();
-    let mut table = AccessTable::new();
-    shared
-        .guard
-        .with_rbac_read(|r| r.saturate_alphabet(&mut table));
-    while let Ok(payload) = wire::read_frame(&mut stream) {
-        let (reply, shutdown_after) = match Frame::decode(&payload) {
-            Ok(frame) => handle(shared, &mut vocab, &mut table, frame),
-            Err(e) => (err_frame(ERR_BAD_REQUEST, e.to_string()), false),
+        let mut fds = Vec::with_capacity(conns.len() + 2);
+        fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+        fds.push(PollFd::new(wake_rx.as_raw_fd(), POLLIN));
+        for c in &conns {
+            let mut ev = POLLIN;
+            if !c.out.is_empty() {
+                ev |= POLLOUT;
+            }
+            fds.push(PollFd::new(c.stream.as_raw_fd(), ev));
+        }
+        let n = match sys::poll(&mut fds, poll_timeout(&conns, shared.cfg.partial_deadline)) {
+            Ok(n) => n,
+            Err(_) => {
+                thread::sleep(Duration::from_millis(1));
+                continue;
+            }
         };
-        if wire::write_frame(&mut stream, &reply.encode()).is_err() {
+        if n > 0 {
+            stacl_obs::count(Counter::NetWakeup);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        if shutdown_after {
+
+        if fds[1].readable() {
+            drain_wake(&wake_rx);
+        }
+
+        // Helper-thread pull completions: resolve the pending slot and
+        // flush whatever it unblocks.
+        while let Ok(c) = crx.try_recv() {
+            if let Some(conn) = conns.iter_mut().find(|k| k.serial == c.serial) {
+                for slot in conn.slots.iter_mut() {
+                    if matches!(slot, Slot::Pending { token } if *token == c.token) {
+                        *slot = Slot::Ready {
+                            v2: false,
+                            payload: c.reply.encode(),
+                        };
+                        break;
+                    }
+                }
+                flush_conn(conn);
+            }
+        }
+
+        if fds[0].readable() {
+            accept_ready(shared, &listener, &mut conns, &mut next_serial);
+        }
+
+        let polled = conns.len().min(fds.len().saturating_sub(2));
+        let mut shutdown_requested = false;
+        for i in 0..polled {
+            let (readable, writable) = (fds[2 + i].readable(), fds[2 + i].writable());
+            let conn = &mut conns[i];
+            if writable {
+                write_out(conn);
+            }
+            if readable && !conn.dead {
+                if !read_conn(conn) {
+                    conn.dead = true;
+                }
+                if process_frames(shared, &ctx, conn) {
+                    shutdown_requested = true;
+                }
+            }
+            // Slow-loris clock: ticking only while a frame sits
+            // incomplete in the assembler.
+            if conn.asm.has_partial() {
+                if conn.partial_since.is_none() {
+                    conn.partial_since = Some(Instant::now());
+                }
+            } else {
+                conn.partial_since = None;
+            }
+        }
+
+        for c in conns.iter_mut() {
+            if c.dead {
+                continue;
+            }
+            if let Some(t0) = c.partial_since {
+                if t0.elapsed() >= shared.cfg.partial_deadline {
+                    c.dead = true;
+                    stacl_obs::count(Counter::NetPartialEviction);
+                }
+            }
+        }
+        conns.retain(|c| !c.dead);
+
+        if shutdown_requested {
+            // Best-effort: let the Shutdown reply (and anything queued
+            // before it) leave before severing connections.
+            for _ in 0..50 {
+                if conns.iter().all(|c| c.out.is_empty()) {
+                    break;
+                }
+                for c in conns.iter_mut() {
+                    write_out(c);
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
             initiate_shutdown(shared);
             break;
         }
     }
+}
+
+/// Milliseconds until the earliest stalled-partial eviction is due, or
+/// `-1` (sleep until I/O or a wake byte) when nothing is stalled.
+fn poll_timeout(conns: &[Conn], deadline: Duration) -> i32 {
+    let mut best: Option<Duration> = None;
+    for c in conns {
+        if let Some(t0) = c.partial_since {
+            let left = deadline.saturating_sub(t0.elapsed());
+            best = Some(best.map_or(left, |b| b.min(left)));
+        }
+    }
+    match best {
+        Some(d) => (d.as_millis().min(60_000) as i32).saturating_add(1),
+        None => -1,
+    }
+}
+
+fn drain_wake(mut rx: &TcpStream) {
+    let mut buf = [0u8; 64];
+    loop {
+        match rx.read(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+fn accept_ready(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    conns: &mut Vec<Conn>,
+    next_serial: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(true);
+                // Per-connection interning state: positional vocabulary
+                // plus an access table pre-saturated with the policy
+                // alphabet (verdicts are table-independent, so
+                // connections never share one).
+                let mut table = AccessTable::new();
+                shared
+                    .guard
+                    .with_rbac_read(|r| r.saturate_alphabet(&mut table));
+                *next_serial += 1;
+                conns.push(Conn {
+                    serial: *next_serial,
+                    stream,
+                    asm: FrameAssembler::new(),
+                    out: Vec::new(),
+                    out_pos: 0,
+                    slots: VecDeque::new(),
+                    vocab: Vec::new(),
+                    table,
+                    partial_since: None,
+                    next_token: 0,
+                    dead: false,
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Drain the socket into the assembler. Returns `false` when the
+/// connection is finished (EOF, I/O error, or hostile frame length).
+fn read_conn(conn: &mut Conn) -> bool {
+    let mut buf = [0u8; 65536];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => return false,
+            Ok(n) => {
+                if conn.asm.feed(&buf[..n]).is_err() {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Decode and handle every complete frame the assembler holds, then
+/// flush the replies. Returns `true` when a `Shutdown` frame arrived.
+fn process_frames(shared: &Arc<Shared>, ctx: &mpsc::Sender<Completion>, conn: &mut Conn) -> bool {
+    let mut shutdown = false;
+    while !shutdown && !conn.dead {
+        match conn.asm.next_frame() {
+            Ok(Some(payload)) => match Frame::decode(&payload) {
+                Ok(frame) => shutdown = handle_frame(shared, ctx, conn, frame),
+                Err(e) => push_v1(conn, err_frame(ERR_BAD_REQUEST, e.to_string())),
+            },
+            Ok(None) => break,
+            Err(_) => {
+                conn.dead = true;
+            }
+        }
+    }
+    flush_conn(conn);
+    shutdown
+}
+
+/// Move eligible reply slots into the coalesced out-buffer, then write.
+fn flush_conn(conn: &mut Conn) {
+    let mut blocked_v1 = false;
+    let mut i = 0;
+    while i < conn.slots.len() {
+        let eligible = match &conn.slots[i] {
+            Slot::Pending { .. } => {
+                blocked_v1 = true;
+                false
+            }
+            Slot::Ready { v2, .. } => *v2 || !blocked_v1,
+        };
+        if !eligible {
+            i += 1;
+            continue;
+        }
+        let Some(Slot::Ready { payload, .. }) = conn.slots.remove(i) else {
+            unreachable!("slot {i} examined above");
+        };
+        if wire::put_frame(&mut conn.out, &payload).is_err() {
+            conn.dead = true;
+            return;
+        }
+    }
+    write_out(conn);
+}
+
+/// Write as much of the out-buffer as the socket will take without
+/// blocking; the remainder rides on `POLLOUT`.
+fn write_out(conn: &mut Conn) {
+    if conn.dead || conn.out.is_empty() {
+        return;
+    }
+    loop {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                if conn.out_pos == conn.out.len() {
+                    conn.out.clear();
+                    conn.out_pos = 0;
+                    stacl_obs::count(Counter::NetWriteFlush);
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+fn push_v1(conn: &mut Conn, frame: Frame) {
+    conn.slots.push_back(Slot::Ready {
+        v2: false,
+        payload: frame.encode(),
+    });
+}
+
+fn push_v2(conn: &mut Conn, frame: Frame) {
+    conn.slots.push_back(Slot::Ready {
+        v2: true,
+        payload: frame.encode(),
+    });
 }
 
 fn err_frame(code: u8, msg: impl Into<String>) -> Frame {
@@ -343,118 +674,202 @@ fn desync_verdict(shared: &Shared) -> Verdict {
     .with_epoch(shared.guard.with_rbac_read(|r| r.epoch()))
 }
 
-fn handle(
+/// Decide one owned request against the guard (or fail safe under epoch
+/// desync). Shared by the v1 `Decide` and v2 `Decide2` paths.
+fn decide_one(shared: &Shared, req: &OwnedRequest, table: &mut AccessTable) -> Verdict {
+    if shared.epoch_desync.load(Ordering::SeqCst) {
+        return desync_verdict(shared);
+    }
+    let greq = GuardRequest {
+        object: &req.object,
+        access: &req.access,
+        remaining: &req.remaining,
+        time: req.time,
+    };
+    shared.guard.decide(&greq, &shared.proofs, table)
+}
+
+/// Decide an owned batch (or fail safe under epoch desync). Shared by
+/// the v1 and v2 batch paths.
+fn decide_many(shared: &Shared, owned: &[OwnedRequest]) -> Vec<Verdict> {
+    if shared.epoch_desync.load(Ordering::SeqCst) {
+        return owned.iter().map(|_| desync_verdict(shared)).collect();
+    }
+    let reqs: Vec<BatchRequest<'_>> = owned
+        .iter()
+        .map(|r| BatchRequest {
+            object: &r.object,
+            access: &r.access,
+            remaining: &r.remaining,
+            time: r.time,
+        })
+        .collect();
+    shared.guard.decide_batch(&reqs, &shared.proofs, false)
+}
+
+/// Handle one decoded frame, queueing replies as slots. Returns `true`
+/// when the frame was `Shutdown`.
+fn handle_frame(
     shared: &Arc<Shared>,
-    vocab: &mut Vec<String>,
-    table: &mut AccessTable,
+    ctx: &mpsc::Sender<Completion>,
+    conn: &mut Conn,
     frame: Frame,
-) -> (Frame, bool) {
-    let reply = match frame {
+) -> bool {
+    match frame {
         Frame::Hello { proto, peer: _ } => {
-            if proto != PROTOCOL_VERSION as u16 {
-                err_frame(ERR_BAD_REQUEST, format!("unsupported protocol {proto}"))
-            } else {
+            let reply = if proto == PROTOCOL_VERSION as u16 || proto == PROTOCOL_VERSION_2 as u16 {
                 Frame::HelloAck {
-                    proto: PROTOCOL_VERSION as u16,
+                    proto,
                     server: shared.cfg.name.clone(),
                 }
-            }
+            } else {
+                err_frame(ERR_BAD_REQUEST, format!("unsupported protocol {proto}"))
+            };
+            push_v1(conn, reply);
         }
         Frame::Vocab { names } => {
-            vocab.extend(names);
-            Frame::Ok
+            conn.vocab.extend(names);
+            push_v1(conn, Frame::Ok);
         }
-        Frame::Enroll { object, roles } => match enroll(shared, vocab, object, &roles) {
-            Ok(()) => Frame::Ok,
-            Err(e) => e.into_frame(),
-        },
-        Frame::Decide(it) => match own_request(vocab, &it) {
-            Ok(req) => {
-                let v = if shared.epoch_desync.load(Ordering::SeqCst) {
-                    desync_verdict(shared)
-                } else {
-                    let greq = GuardRequest {
-                        object: &req.object,
-                        access: &req.access,
-                        remaining: &req.remaining,
-                        time: req.time,
-                    };
-                    shared.guard.decide(&greq, &shared.proofs, table)
-                };
-                let (kind, epoch, reason) = verdict_frame(&v);
-                Frame::Verdict {
-                    kind,
-                    epoch,
-                    reason,
+        Frame::Enroll { object, roles } => {
+            let reply = match enroll(shared, &conn.vocab, object, &roles) {
+                Ok(()) => Frame::Ok,
+                Err(e) => e.into_frame(),
+            };
+            push_v1(conn, reply);
+        }
+        Frame::Decide(it) => {
+            let reply = match own_request(&conn.vocab, &it) {
+                Ok(req) => {
+                    let (kind, epoch, reason) =
+                        verdict_frame(&decide_one(shared, &req, &mut conn.table));
+                    Frame::Verdict {
+                        kind,
+                        epoch,
+                        reason,
+                    }
                 }
-            }
-            Err(e) => e.into_frame(),
-        },
-        Frame::DecideBatch { items } => match items
-            .iter()
-            .map(|it| own_request(vocab, it))
-            .collect::<Result<Vec<_>, Reject>>()
-        {
-            Ok(owned) => {
-                let verdicts = if shared.epoch_desync.load(Ordering::SeqCst) {
-                    owned.iter().map(|_| desync_verdict(shared)).collect()
-                } else {
-                    let reqs: Vec<BatchRequest<'_>> = owned
+                Err(e) => e.into_frame(),
+            };
+            push_v1(conn, reply);
+        }
+        Frame::DecideBatch { items } => {
+            let reply = match items
+                .iter()
+                .map(|it| own_request(&conn.vocab, it))
+                .collect::<Result<Vec<_>, Reject>>()
+            {
+                Ok(owned) => Frame::VerdictBatch {
+                    verdicts: decide_many(shared, &owned)
                         .iter()
-                        .map(|r| BatchRequest {
-                            object: &r.object,
-                            access: &r.access,
-                            remaining: &r.remaining,
-                            time: r.time,
-                        })
-                        .collect();
-                    shared.guard.decide_batch(&reqs, &shared.proofs, false)
-                };
-                Frame::VerdictBatch {
-                    verdicts: verdicts.iter().map(verdict_frame).collect(),
+                        .map(verdict_frame)
+                        .collect(),
+                },
+                Err(e) => e.into_frame(),
+            };
+            push_v1(conn, reply);
+        }
+        Frame::Decide2 { id, item } => {
+            let reply = match own_request(&conn.vocab, &item) {
+                Ok(req) => {
+                    let (kind, epoch, reason) =
+                        verdict_frame(&decide_one(shared, &req, &mut conn.table));
+                    Frame::Verdict2 {
+                        id,
+                        kind,
+                        epoch,
+                        reason,
+                    }
                 }
-            }
-            Err(e) => e.into_frame(),
-        },
+                Err(e) => Frame::Err2 {
+                    id,
+                    code: e.code,
+                    msg: e.msg,
+                },
+            };
+            push_v2(conn, reply);
+        }
+        Frame::DecideBatch2 { id, items } => {
+            let reply = match items
+                .iter()
+                .map(|it| own_request(&conn.vocab, it))
+                .collect::<Result<Vec<_>, Reject>>()
+            {
+                Ok(owned) => Frame::VerdictBatch2 {
+                    id,
+                    verdicts: decide_many(shared, &owned)
+                        .iter()
+                        .map(verdict_frame)
+                        .collect(),
+                },
+                Err(e) => Frame::Err2 {
+                    id,
+                    code: e.code,
+                    msg: e.msg,
+                },
+            };
+            push_v2(conn, reply);
+        }
         Frame::IssueProof {
             object,
             access,
             time,
         } => {
-            match (|| {
-                let object = name_of(vocab, object)?;
-                let access = mk_access(vocab, &access)?;
+            let reply = match (|| {
+                let object = name_of(&conn.vocab, object)?;
+                let access = mk_access(&conn.vocab, &access)?;
                 let time = finite_time(time)?;
                 shared.proofs.issue(object, access, time);
                 Ok::<(), Reject>(())
             })() {
                 Ok(()) => Frame::Ok,
                 Err(e) => e.into_frame(),
+            };
+            push_v1(conn, reply);
+        }
+        Frame::Arrive { object, time, from } => {
+            match (|| {
+                let object = name_of(&conn.vocab, object)?.to_string();
+                let tp = finite_time(time)?;
+                Ok::<(String, TimePoint), Reject>((object, tp))
+            })() {
+                Ok((object, tp)) => arrive(shared, ctx, conn, object, tp, from.as_deref()),
+                Err(e) => push_v1(conn, e.into_frame()),
             }
         }
-        Frame::Arrive { object, time, from } => match (|| {
-            let object = name_of(vocab, object)?.to_string();
-            let tp = finite_time(time)?;
-            Ok::<(String, TimePoint), Reject>((object, tp))
-        })() {
-            Ok((object, tp)) => arrive(shared, &object, tp, from.as_deref()),
-            Err(e) => e.into_frame(),
-        },
-        Frame::HandoffRequest { object } => handoff_out(shared, &object),
-        Frame::MetricsRequest => Frame::MetricsJson {
-            json: stacl_obs::snapshot().to_json(),
-        },
+        Frame::HandoffRequest { object } => {
+            let reply = handoff_out(shared, &object);
+            push_v1(conn, reply);
+        }
+        Frame::MetricsRequest => push_v1(
+            conn,
+            Frame::MetricsJson {
+                json: stacl_obs::snapshot().to_json(),
+            },
+        ),
         Frame::PolicyPrepare {
             epoch,
             policy,
             classes,
-        } => policy_prepare(shared, table, epoch, &policy, &classes),
-        Frame::PolicyActivate { epoch } => policy_activate(shared, epoch),
-        Frame::Shutdown => return (Frame::Ok, true),
+        } => {
+            let reply = policy_prepare(shared, &mut conn.table, epoch, &policy, &classes);
+            push_v1(conn, reply);
+        }
+        Frame::PolicyActivate { epoch } => {
+            let reply = policy_activate(shared, epoch);
+            push_v1(conn, reply);
+        }
+        Frame::Shutdown => {
+            push_v1(conn, Frame::Ok);
+            return true;
+        }
         // Reply frames arriving as requests are protocol violations.
-        other => err_frame(ERR_BAD_REQUEST, format!("frame {other:?} is not a request")),
-    };
-    (reply, false)
+        other => push_v1(
+            conn,
+            err_frame(ERR_BAD_REQUEST, format!("frame {other:?} is not a request")),
+        ),
+    }
+    false
 }
 
 /// Phase 1 of the two-phase rollout: parse and build the replacement
@@ -545,22 +960,73 @@ fn enroll(
 }
 
 /// Admit an arrival. When custody enforcement is on and `from` names a
-/// different member, pull the handoff first; the object stays in-flight
+/// different member, the handoff pull runs on a helper thread: a pending
+/// slot holds the reply position while the object stays in-flight
 /// (fail-safe denials) until the pull lands.
-fn arrive(shared: &Arc<Shared>, object: &str, time: TimePoint, from: Option<&str>) -> Frame {
+fn arrive(
+    shared: &Arc<Shared>,
+    ctx: &mpsc::Sender<Completion>,
+    conn: &mut Conn,
+    object: String,
+    time: TimePoint,
+    from: Option<&str>,
+) {
     if shared.guard.custody_enforced() {
         match from {
             Some(peer) if peer != shared.cfg.name => {
-                shared.guard.begin_handoff(object);
-                if let Err(msg) = pull_handoff(shared, peer, object, time) {
-                    return err_frame(ERR_HANDOFF, msg);
-                }
+                shared.guard.begin_handoff(&object);
+                let token = conn.next_token;
+                conn.next_token += 1;
+                conn.slots.push_back(Slot::Pending { token });
+                spawn_pull(
+                    shared,
+                    ctx,
+                    conn.serial,
+                    token,
+                    peer.to_string(),
+                    object,
+                    time,
+                );
+                return;
             }
-            _ => shared.guard.take_custody(object),
+            _ => shared.guard.take_custody(&object),
         }
     }
-    shared.guard.note_arrival(object, time);
-    Frame::Ok
+    shared.guard.note_arrival(&object, time);
+    push_v1(conn, Frame::Ok);
+}
+
+/// Run a handoff pull off the event loop. The completion lands via the
+/// channel and a wake byte; a completion for a since-closed connection
+/// is silently dropped.
+fn spawn_pull(
+    shared: &Arc<Shared>,
+    ctx: &mpsc::Sender<Completion>,
+    serial: u64,
+    token: u64,
+    peer: String,
+    object: String,
+    arrival: TimePoint,
+) {
+    let shared = Arc::clone(shared);
+    let ctx = ctx.clone();
+    let _ = thread::Builder::new()
+        .name("stacl-net-pull".to_string())
+        .spawn(move || {
+            let reply = match pull_handoff(&shared, &peer, &object, arrival) {
+                Ok(()) => {
+                    shared.guard.note_arrival(&object, arrival);
+                    Frame::Ok
+                }
+                Err(msg) => err_frame(ERR_HANDOFF, msg),
+            };
+            let _ = ctx.send(Completion {
+                serial,
+                token,
+                reply,
+            });
+            wake(&shared);
+        });
 }
 
 /// Serve a custody handoff to a pulling peer.

@@ -18,7 +18,7 @@ use stacl_temporal::{BaseTimeScheme, TimePoint, TimelineParts};
 
 use crate::wire::{
     put_bool, put_f64, put_opt_str, put_str, put_u32, put_u64, put_u8, Dec, WireError,
-    PROTOCOL_VERSION,
+    PROTOCOL_VERSION, PROTOCOL_VERSION_2,
 };
 
 /// An access reference in interned form: `op resource @ server`.
@@ -183,6 +183,24 @@ pub enum Frame {
         /// The epoch to flip to.
         epoch: u64,
     },
+    /// Protocol v2: decide one access, correlated. Replied with a
+    /// `Verdict2` (or `Err2`) echoing `id`; replies to distinct ids may
+    /// arrive in any order, so many `Decide2` frames can be in flight on
+    /// one connection (the pipelined mode).
+    Decide2 {
+        /// Caller-chosen correlation id, echoed by the reply.
+        id: u64,
+        /// The request.
+        item: DecideItem,
+    },
+    /// Protocol v2: decide a batch, correlated. Replied with
+    /// `VerdictBatch2` (or `Err2`) echoing `id`.
+    DecideBatch2 {
+        /// Caller-chosen correlation id, echoed by the reply.
+        id: u64,
+        /// The requests, answered in order within the batch.
+        items: Vec<DecideItem>,
+    },
 
     /// Reply to `Hello`: revision + the daemon's server name.
     HelloAck {
@@ -233,6 +251,34 @@ pub enum Frame {
         /// The acknowledged epoch.
         epoch: u64,
     },
+    /// Protocol v2 reply to `Decide2`, correlated by `id`.
+    Verdict2 {
+        /// The request's correlation id, echoed.
+        id: u64,
+        /// Encoded [`DecisionKind`] (see [`kind_to_u8`]).
+        kind: u8,
+        /// The policy epoch the deciding daemon stamped on the verdict.
+        epoch: u64,
+        /// Denial detail, absent on grants.
+        reason: Option<String>,
+    },
+    /// Protocol v2 reply to `DecideBatch2`, correlated by `id`.
+    VerdictBatch2 {
+        /// The request's correlation id, echoed.
+        id: u64,
+        /// One `(kind, epoch, reason)` per item, in request order.
+        verdicts: Vec<(u8, u64, Option<String>)>,
+    },
+    /// Protocol v2 failure reply, correlated by `id` — a malformed or
+    /// rejected correlated request must not desynchronize the pipeline.
+    Err2 {
+        /// The request's correlation id, echoed.
+        id: u64,
+        /// Machine-readable code (see `ERR_*` constants).
+        code: u8,
+        /// Human-readable detail.
+        msg: String,
+    },
 }
 
 /// `Err` code: the frame could not be decoded or referenced an unknown
@@ -258,6 +304,8 @@ const TAG_METRICS_REQUEST: u8 = 0x09;
 const TAG_SHUTDOWN: u8 = 0x0A;
 const TAG_POLICY_PREPARE: u8 = 0x0B;
 const TAG_POLICY_ACTIVATE: u8 = 0x0C;
+const TAG_DECIDE2: u8 = 0x10;
+const TAG_DECIDE_BATCH2: u8 = 0x11;
 const TAG_HELLO_ACK: u8 = 0x81;
 const TAG_OK: u8 = 0x82;
 const TAG_ERR: u8 = 0x83;
@@ -266,6 +314,9 @@ const TAG_VERDICT_BATCH: u8 = 0x85;
 const TAG_HANDOFF_STATE: u8 = 0x86;
 const TAG_METRICS_JSON: u8 = 0x87;
 const TAG_EPOCH_ACK: u8 = 0x88;
+const TAG_VERDICT2: u8 = 0x90;
+const TAG_VERDICT_BATCH2: u8 = 0x91;
+const TAG_ERR2: u8 = 0x92;
 
 /// Map a [`DecisionKind`] to its stable wire value.
 pub fn kind_to_u8(kind: DecisionKind) -> u8 {
@@ -587,10 +638,24 @@ impl HandoffWire {
 }
 
 impl Frame {
+    /// The protocol revision this frame's encoding is stamped with: the
+    /// correlated (`*2`) frames are v2, everything else stays v1 so a v1
+    /// peer decodes every frame a well-behaved counterpart sends it.
+    pub fn wire_version(&self) -> u8 {
+        match self {
+            Frame::Decide2 { .. }
+            | Frame::DecideBatch2 { .. }
+            | Frame::Verdict2 { .. }
+            | Frame::VerdictBatch2 { .. }
+            | Frame::Err2 { .. } => PROTOCOL_VERSION_2,
+            _ => PROTOCOL_VERSION,
+        }
+    }
+
     /// Encode into a versioned payload ready for [`crate::wire::write_frame`].
     pub fn encode(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(16);
-        put_u8(&mut b, PROTOCOL_VERSION);
+        put_u8(&mut b, self.wire_version());
         match self {
             Frame::Hello { proto, peer } => {
                 put_u8(&mut b, TAG_HELLO);
@@ -664,6 +729,19 @@ impl Frame {
                 put_u8(&mut b, TAG_POLICY_ACTIVATE);
                 put_u64(&mut b, *epoch);
             }
+            Frame::Decide2 { id, item } => {
+                put_u8(&mut b, TAG_DECIDE2);
+                put_u64(&mut b, *id);
+                put_item(&mut b, item);
+            }
+            Frame::DecideBatch2 { id, items } => {
+                put_u8(&mut b, TAG_DECIDE_BATCH2);
+                put_u64(&mut b, *id);
+                put_u32(&mut b, items.len() as u32);
+                for it in items {
+                    put_item(&mut b, it);
+                }
+            }
             Frame::HelloAck { proto, server } => {
                 put_u8(&mut b, TAG_HELLO_ACK);
                 crate::wire::put_u16(&mut b, *proto);
@@ -707,6 +785,34 @@ impl Frame {
                 put_u8(&mut b, TAG_EPOCH_ACK);
                 put_u64(&mut b, *epoch);
             }
+            Frame::Verdict2 {
+                id,
+                kind,
+                epoch,
+                reason,
+            } => {
+                put_u8(&mut b, TAG_VERDICT2);
+                put_u64(&mut b, *id);
+                put_u8(&mut b, *kind);
+                put_u64(&mut b, *epoch);
+                put_opt_str(&mut b, reason.as_deref());
+            }
+            Frame::VerdictBatch2 { id, verdicts } => {
+                put_u8(&mut b, TAG_VERDICT_BATCH2);
+                put_u64(&mut b, *id);
+                put_u32(&mut b, verdicts.len() as u32);
+                for (kind, epoch, reason) in verdicts {
+                    put_u8(&mut b, *kind);
+                    put_u64(&mut b, *epoch);
+                    put_opt_str(&mut b, reason.as_deref());
+                }
+            }
+            Frame::Err2 { id, code, msg } => {
+                put_u8(&mut b, TAG_ERR2);
+                put_u64(&mut b, *id);
+                put_u8(&mut b, *code);
+                put_str(&mut b, msg);
+            }
         }
         b
     }
@@ -716,10 +822,20 @@ impl Frame {
     pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
         let mut d = Dec::new(payload);
         let version = d.u8()?;
-        if version != PROTOCOL_VERSION {
+        if version != PROTOCOL_VERSION && version != PROTOCOL_VERSION_2 {
             return Err(WireError::BadVersion(version));
         }
         let tag = d.u8()?;
+        // Version/tag consistency: correlated tags require the v2 stamp and
+        // v1 tags must not carry it, so a peer can dispatch on the version
+        // byte alone without re-inspecting the tag.
+        let is_v2_tag = matches!(
+            tag,
+            TAG_DECIDE2 | TAG_DECIDE_BATCH2 | TAG_VERDICT2 | TAG_VERDICT_BATCH2 | TAG_ERR2
+        );
+        if is_v2_tag != (version == PROTOCOL_VERSION_2) {
+            return Err(WireError::BadVersion(version));
+        }
         let frame = match tag {
             TAG_HELLO => Frame::Hello {
                 proto: d.u16()?,
@@ -817,6 +933,39 @@ impl Frame {
             },
             TAG_METRICS_JSON => Frame::MetricsJson { json: d.str()? },
             TAG_EPOCH_ACK => Frame::EpochAck { epoch: d.u64()? },
+            TAG_DECIDE2 => Frame::Decide2 {
+                id: d.u64()?,
+                item: dec_item(&mut d)?,
+            },
+            TAG_DECIDE_BATCH2 => {
+                let id = d.u64()?;
+                let n = d.count()?;
+                let mut items = Vec::new();
+                for _ in 0..n {
+                    items.push(dec_item(&mut d)?);
+                }
+                Frame::DecideBatch2 { id, items }
+            }
+            TAG_VERDICT2 => Frame::Verdict2 {
+                id: d.u64()?,
+                kind: d.u8()?,
+                epoch: d.u64()?,
+                reason: d.opt_str()?,
+            },
+            TAG_VERDICT_BATCH2 => {
+                let id = d.u64()?;
+                let n = d.count()?;
+                let mut verdicts = Vec::new();
+                for _ in 0..n {
+                    verdicts.push((d.u8()?, d.u64()?, d.opt_str()?));
+                }
+                Frame::VerdictBatch2 { id, verdicts }
+            }
+            TAG_ERR2 => Frame::Err2 {
+                id: d.u64()?,
+                code: d.u8()?,
+                msg: d.str()?,
+            },
             other => return Err(WireError::BadTag(other)),
         };
         d.finish()?;

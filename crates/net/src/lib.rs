@@ -16,27 +16,38 @@
 //!   interned `u32` ids after a per-connection `Vocab` announcement;
 //!   custody handoffs travel name-keyed ([`frames::HandoffWire`])
 //!   because interning orders differ across members;
-//! * [`daemon`] — the per-server daemon: accept loop, per-connection
-//!   threads, custody gate, and the migration handoff **pull** with
-//!   bounded retries, doubling backoff and fail-safe denial;
+//! * [`sys`] — the hand-rolled `poll(2)` syscall (no `libc` in the
+//!   workspace) behind the daemon's readiness loop;
+//! * [`daemon`] — the per-server daemon: a single readiness-driven
+//!   event loop multiplexing every connection (nonblocking sockets,
+//!   incremental frame reassembly, coalesced writes), the custody gate,
+//!   and the migration handoff **pull** with bounded retries, doubling
+//!   backoff and fail-safe denial — pulls run on helper threads so one
+//!   slow peer never stalls the loop;
 //! * [`client`] — the synchronous client, including
 //!   [`client::Client::decide_failsafe`]: an unreachable member yields a
-//!   counted `DeniedCoordination`, never an open gate.
+//!   counted `DeniedCoordination`, never an open gate — plus the
+//!   pipelined v2 mode ([`client::Pipeline`]) keeping a window of
+//!   request-id-correlated decisions in flight per connection.
 //!
 //! Telemetry rides on `stacl-obs`: `net.frame-tx/rx`, `net.bytes-tx/rx`,
-//! `net.retry`, `net.handoff-applied/failed`, `net.failsafe-denial`, and
-//! a handoff-latency histogram; a daemon serves its snapshot as JSON on
-//! a `MetricsRequest` frame.
+//! `net.retry`, `net.handoff-applied/failed`, `net.failsafe-denial`,
+//! `net.wakeup`, `net.write-flush`, `net.partial-eviction`, and a
+//! handoff-latency histogram; a daemon serves its snapshot as JSON on a
+//! `MetricsRequest` frame.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`sys`] module carries the one
+// `#[allow(unsafe_code)]` for the raw poll syscall.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod daemon;
 pub mod frames;
+pub mod sys;
 pub mod wire;
 
-pub use client::{Client, NetError};
+pub use client::{Client, NetError, Pipeline};
 pub use daemon::{spawn, DaemonConfig, DaemonHandle};
 pub use frames::Frame;
-pub use wire::{WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use wire::{FrameAssembler, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION, PROTOCOL_VERSION_2};

@@ -146,3 +146,121 @@ fn killed_member_fails_safe_to_denied_coordination() {
         h.shutdown();
     }
 }
+
+/// Kill a member with a full pipelined window in flight: every
+/// outstanding request must resolve to a *counted* fail-safe
+/// `DeniedCoordination` — none dropped, none hung.
+#[test]
+fn killed_member_fails_whole_pipeline_window_safe() {
+    stacl_obs::set_telemetry(true);
+    let baseline = stacl_obs::snapshot();
+
+    let mut cfg = DaemonConfig::new("pipe-kill-d0");
+    cfg.io_timeout = Duration::from_millis(300);
+    let mut h = stacl_net::spawn(make_guard(), ProofStore::new(), cfg).expect("bind loopback");
+
+    let access = Access::new("read", "db", "s0");
+    let program = [access.clone()];
+    let mut client =
+        Client::connect(h.addr(), "pipe-chaos", Some(Duration::from_secs(1))).expect("connect");
+    client.arrive("o0", 0.0, None).expect("arrival");
+
+    // Prove the pipelined path is live before the failure.
+    let warm = client.decide_stream_failsafe(&[("o0", &access, &program[..], 1.0)], 4);
+    assert_eq!(
+        warm[0].kind,
+        DecisionKind::Granted,
+        "pre-kill pipelined grant"
+    );
+
+    // Kill the daemon, then drive a full window of requests at the
+    // corpse. The stream must come back complete — one verdict per
+    // request, all fail-safe coordination denials, each counted.
+    h.kill();
+    const N: usize = 16;
+    let requests: Vec<(&str, &Access, &[Access], f64)> = (0..N)
+        .map(|i| ("o0", &access, &program[..], 2.0 + i as f64))
+        .collect();
+    let verdicts = client.decide_stream_failsafe(&requests, 8);
+    assert_eq!(verdicts.len(), N, "a request was dropped mid-window");
+    for (i, v) in verdicts.iter().enumerate() {
+        assert_eq!(
+            v.kind,
+            DecisionKind::DeniedCoordination,
+            "slot {i} did not fail safe: {v:?}"
+        );
+        assert!(
+            v.reason.as_deref().unwrap_or("").contains("unreachable"),
+            "slot {i} reason names the unreachable member: {:?}",
+            v.reason
+        );
+    }
+    let d = stacl_obs::snapshot().diff(&baseline);
+    assert!(
+        d.counter(Counter::NetFailsafeDenial) >= N as u64,
+        "every window slot counted a fail-safe denial (got {})",
+        d.counter(Counter::NetFailsafeDenial)
+    );
+}
+
+/// Slow-loris: a connection trickles part of a frame header and then
+/// stalls. The event loop must evict the idle partial on its deadline —
+/// counted — while continuing to serve well-behaved clients, and the
+/// loris must observe its connection closed.
+#[test]
+fn slow_loris_partial_is_evicted_on_deadline() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    stacl_obs::set_telemetry(true);
+    let baseline = stacl_obs::snapshot();
+
+    let mut cfg = DaemonConfig::new("loris-d0");
+    cfg.partial_deadline = Duration::from_millis(100);
+    let mut h = stacl_net::spawn(make_guard(), ProofStore::new(), cfg).expect("bind loopback");
+
+    // The loris: three bytes of a length prefix, then silence.
+    let mut loris = TcpStream::connect(h.addr()).expect("connect loris");
+    loris
+        .write_all(&[0x20, 0x00, 0x00])
+        .expect("trickle header");
+
+    // A well-behaved client keeps getting service while the loris stalls.
+    let access = Access::new("read", "db", "s0");
+    let program = [access.clone()];
+    let mut client =
+        Client::connect(h.addr(), "polite", Some(Duration::from_secs(1))).expect("connect");
+    client.arrive("o0", 0.0, None).expect("arrival");
+    let v = client.decide_failsafe("o0", &access, &program, 1.0);
+    assert_eq!(v.kind, DecisionKind::Granted, "polite client served");
+
+    // The loris is evicted on the deadline: its socket reaches EOF and
+    // the eviction is counted. Poll with a generous overall budget.
+    loris
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .expect("read timeout");
+    let started = std::time::Instant::now();
+    let mut evicted = false;
+    let mut byte = [0u8; 1];
+    while started.elapsed() < Duration::from_secs(5) {
+        match loris.read(&mut byte) {
+            Ok(0) => {
+                evicted = true;
+                break;
+            }
+            Ok(_) => panic!("daemon wrote to a half-open partial connection"),
+            Err(_) => {} // timeout — keep waiting for the deadline
+        }
+    }
+    assert!(evicted, "stalled partial connection was never evicted");
+    let d = stacl_obs::snapshot().diff(&baseline);
+    assert!(
+        d.counter(Counter::NetPartialEviction) >= 1,
+        "eviction was not counted"
+    );
+
+    // Service continues after the eviction.
+    let v = client.decide_failsafe("o0", &access, &program, 2.0);
+    assert_eq!(v.kind, DecisionKind::Granted, "post-eviction service");
+    h.shutdown();
+}

@@ -3,158 +3,12 @@
 //! make the decoder panic — malformed input is always a clean
 //! [`WireError`].
 
+mod common;
+
+use common::gen_frame;
 use stacl_ids::prop::forall;
-use stacl_ids::rng::SplitMix64;
-use stacl_net::frames::{DecideItem, Frame, HandoffWire, WireAccess, WireBudget, WireTimeline};
+use stacl_net::frames::Frame;
 use stacl_net::WireError;
-
-fn gen_string(r: &mut SplitMix64) -> String {
-    const POOL: &[&str] = &["", "o1", "read", "db", "s0", "héllo-wörld", "a b c", "🌍"];
-    r.choose(POOL).to_string()
-}
-
-fn gen_access(r: &mut SplitMix64) -> WireAccess {
-    WireAccess {
-        op: r.gen_range(0u32..9),
-        resource: r.gen_range(0u32..9),
-        server: r.gen_range(0u32..9),
-    }
-}
-
-fn gen_item(r: &mut SplitMix64) -> DecideItem {
-    let n = r.gen_range(0usize..4);
-    DecideItem {
-        object: r.gen_range(0u32..9),
-        time: r.gen_range(0i64..1000) as f64 / 8.0,
-        access: gen_access(r),
-        remaining: (0..n).map(|_| gen_access(r)).collect(),
-    }
-}
-
-fn gen_timeline(r: &mut SplitMix64) -> WireTimeline {
-    let n = r.gen_range(0usize..3);
-    WireTimeline {
-        budget: r.gen_bool(0.5).then(|| r.gen_range(0i64..100) as f64 / 4.0),
-        scheme: r.gen_range(0u32..2) as u8,
-        arrivals: (0..n).map(|i| i as f64).collect(),
-        toggles: (0..n).map(|i| (i as f64, i % 2 == 0)).collect(),
-        active_now: r.gen_bool(0.5),
-    }
-}
-
-fn gen_handoff(r: &mut SplitMix64) -> HandoffWire {
-    let nt = r.gen_range(0usize..3);
-    let ns = r.gen_range(0usize..3);
-    HandoffWire {
-        watermark: r.gen_range(0u64..1_000_000),
-        clean: r.gen_bool(0.5),
-        sender_clock: r.gen_range(0i64..1000) as f64,
-        sender_skew: r.gen_range(0i64..5) as f64,
-        arrivals: (0..ns).map(|i| i as f64 * 1.5).collect(),
-        timelines: (0..nt)
-            .map(|_| {
-                let key = if r.gen_bool(0.5) {
-                    WireBudget::Perm(gen_string(r))
-                } else {
-                    WireBudget::Class(gen_string(r))
-                };
-                (key, gen_timeline(r))
-            })
-            .collect(),
-        spatial_ok: (0..ns).map(|_| gen_string(r)).collect(),
-        cursor_seeds: (0..nt)
-            .map(|_| (gen_string(r), r.next_u64() % 100))
-            .collect(),
-    }
-}
-
-fn gen_frame(r: &mut SplitMix64) -> Frame {
-    match r.gen_range(0u32..20) {
-        0 => Frame::Hello {
-            proto: r.gen_range(0u32..9) as u16,
-            peer: gen_string(r),
-        },
-        1 => Frame::Vocab {
-            names: (0..r.gen_range(0usize..5)).map(|_| gen_string(r)).collect(),
-        },
-        2 => Frame::Enroll {
-            object: r.gen_range(0u32..9),
-            roles: (0..r.gen_range(0usize..4))
-                .map(|_| r.gen_range(0u32..9))
-                .collect(),
-        },
-        3 => Frame::Decide(gen_item(r)),
-        4 => Frame::DecideBatch {
-            items: (0..r.gen_range(0usize..4)).map(|_| gen_item(r)).collect(),
-        },
-        5 => Frame::IssueProof {
-            object: r.gen_range(0u32..9),
-            access: gen_access(r),
-            time: r.gen_range(0i64..1000) as f64,
-        },
-        6 => Frame::Arrive {
-            object: r.gen_range(0u32..9),
-            time: r.gen_range(0i64..1000) as f64,
-            from: r.gen_bool(0.5).then(|| gen_string(r)),
-        },
-        7 => Frame::HandoffRequest {
-            object: gen_string(r),
-        },
-        8 => Frame::MetricsRequest,
-        9 => Frame::Shutdown,
-        10 => Frame::HelloAck {
-            proto: r.gen_range(0u32..9) as u16,
-            server: gen_string(r),
-        },
-        11 => Frame::Ok,
-        12 => Frame::Err {
-            code: r.gen_range(0u32..9) as u8,
-            msg: gen_string(r),
-        },
-        13 => Frame::Verdict {
-            kind: r.gen_range(0u32..6) as u8,
-            epoch: r.gen_range(0u32..9) as u64,
-            reason: r.gen_bool(0.5).then(|| gen_string(r)),
-        },
-        14 => Frame::VerdictBatch {
-            verdicts: (0..r.gen_range(0usize..4))
-                .map(|_| {
-                    (
-                        r.gen_range(0u32..6) as u8,
-                        r.gen_range(0u32..9) as u64,
-                        r.gen_bool(0.5).then(|| gen_string(r)),
-                    )
-                })
-                .collect(),
-        },
-        15 => Frame::HandoffState {
-            object: gen_string(r),
-            state: gen_handoff(r),
-        },
-        16 => Frame::PolicyPrepare {
-            epoch: r.gen_range(0u32..9) as u64,
-            policy: gen_string(r),
-            classes: (0..r.gen_range(0usize..3))
-                .map(|_| {
-                    (
-                        gen_string(r),
-                        r.gen_range(0i64..100) as f64 / 4.0,
-                        r.gen_range(0u32..2) as u8,
-                    )
-                })
-                .collect(),
-        },
-        17 => Frame::PolicyActivate {
-            epoch: r.gen_range(0u32..9) as u64,
-        },
-        18 => Frame::EpochAck {
-            epoch: r.gen_range(0u32..9) as u64,
-        },
-        _ => Frame::MetricsJson {
-            json: gen_string(r),
-        },
-    }
-}
 
 #[test]
 fn arbitrary_frames_round_trip() {

@@ -126,10 +126,20 @@ pub enum Counter {
     EpochDesync,
     /// An entry was appended to the hash-chained audit ledger.
     LedgerAppend,
+    /// The daemon event loop woke from readiness polling with work to do
+    /// (frames per wakeup = `net.frame-rx` / `net.wakeup`).
+    NetWakeup,
+    /// The event loop flushed a connection's coalesced write buffer (one
+    /// flush may carry many reply frames; coalescing factor =
+    /// `net.frame-tx` / `net.write-flush`).
+    NetWriteFlush,
+    /// A connection stalled mid-frame past the partial-frame deadline and
+    /// was evicted by the event loop (slow-loris defence).
+    NetPartialEviction,
 }
 
 /// Number of distinct counters.
-pub const COUNTERS: usize = 31;
+pub const COUNTERS: usize = 34;
 
 impl Counter {
     /// All counters, in declaration order (matches the `[u64; COUNTERS]`
@@ -166,6 +176,9 @@ impl Counter {
         Counter::EpochActivate,
         Counter::EpochDesync,
         Counter::LedgerAppend,
+        Counter::NetWakeup,
+        Counter::NetWriteFlush,
+        Counter::NetPartialEviction,
     ];
 
     /// The five cursor decline reasons of DESIGN.md §8, in rule order.
@@ -221,6 +234,9 @@ impl Counter {
             Counter::EpochActivate => "epoch.activate",
             Counter::EpochDesync => "epoch.desync",
             Counter::LedgerAppend => "ledger.append",
+            Counter::NetWakeup => "net.wakeup",
+            Counter::NetWriteFlush => "net.write-flush",
+            Counter::NetPartialEviction => "net.partial-eviction",
         }
     }
 }
@@ -447,7 +463,7 @@ pub fn observe_handoff(start: Option<Instant>) {
 /// A consistent-enough point-in-time aggregation of all stripes. Fixed-size
 /// (no heap) so taking one is itself allocation-free; only
 /// [`MetricsSnapshot::to_json`] allocates.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Whether recording was enabled when the snapshot was taken.
     pub telemetry_enabled: bool,
@@ -461,6 +477,20 @@ pub struct MetricsSnapshot {
     pub batch_size: [u64; BUCKETS],
     /// Custody-handoff latency histogram (nanoseconds, log₂ buckets).
     pub handoff_ns: [u64; BUCKETS],
+}
+
+// Derived `Default` stops at 32-element arrays; `COUNTERS` outgrew that.
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            telemetry_enabled: false,
+            counters: [0; COUNTERS],
+            decide_ns: [0; BUCKETS],
+            batch_ns: [0; BUCKETS],
+            batch_size: [0; BUCKETS],
+            handoff_ns: [0; BUCKETS],
+        }
+    }
 }
 
 impl MetricsSnapshot {

@@ -42,7 +42,9 @@ pub use episode::{
     build_guard, build_model, episode_for_seed, episode_for_seed_batched, run_episode,
     run_episode_opts, run_episode_with, Divergence, Episode, LEDGER_SAMPLE,
 };
-pub use net_driver::{episode_for_seed_net, run_episode_net, run_episode_net_opts};
+pub use net_driver::{
+    episode_for_seed_net, run_episode_net, run_episode_net_opts, run_episode_net_pipelined,
+};
 pub use oracle::{OracleBug, ReferenceOracle};
 pub use report::{repro, SweepReport};
 pub use scenario::{Event, PolicyRev, Scenario};

@@ -56,6 +56,14 @@ pub fn run_episode_net(
     run_episode_net_opts(sc, bug, n_daemons, None)
 }
 
+/// The window depth the pipelined replay opens per decision. The
+/// driver's event stream is data-dependent (each verdict gates the next
+/// proof broadcast), so the effective in-flight depth is 1 — what the
+/// pipelined replay validates is the full v2 correlated frame path
+/// (`Decide2`/`Verdict2`, id matching, coalesced writes), byte-identical
+/// to the in-process episode.
+const PIPELINE_WINDOW: usize = 16;
+
 /// [`run_episode_net`], optionally journaling policy changes and sampled
 /// verdicts into an audit [`Ledger`]. Sampling (every
 /// [`LEDGER_SAMPLE`]-th decision) and payloads mirror
@@ -65,7 +73,31 @@ pub fn run_episode_net_opts(
     sc: &Scenario,
     bug: Option<OracleBug>,
     n_daemons: usize,
+    ledger: Option<&mut Ledger>,
+) -> Result<Episode, String> {
+    run_episode_net_driver(sc, bug, n_daemons, ledger, false)
+}
+
+/// [`run_episode_net_opts`] over the **pipelined v2 transport**:
+/// decisions travel as request-id-correlated `Decide2` frames through
+/// [`Client::decide_stream_failsafe`] instead of synchronous v1
+/// `Decide` calls. Logs and ledgers must stay byte-identical to both
+/// the v1 replay and the in-process episode.
+pub fn run_episode_net_pipelined(
+    sc: &Scenario,
+    bug: Option<OracleBug>,
+    n_daemons: usize,
+    ledger: Option<&mut Ledger>,
+) -> Result<Episode, String> {
+    run_episode_net_driver(sc, bug, n_daemons, ledger, true)
+}
+
+fn run_episode_net_driver(
+    sc: &Scenario,
+    bug: Option<OracleBug>,
+    n_daemons: usize,
     mut ledger: Option<&mut Ledger>,
+    pipelined: bool,
 ) -> Result<Episode, String> {
     assert!(n_daemons >= 1, "a coalition needs at least one member");
     if let Some(l) = ledger.as_deref_mut() {
@@ -213,8 +245,18 @@ pub fn run_episode_net_opts(
                 let reachable = !dead.contains(&*access.server) && env.resolve(access).is_ok();
                 let system_v = if reachable {
                     // An unreachable or crashed member resolves to the
-                    // counted fail-safe denial inside decide_failsafe.
-                    clients[custodian[*obj]].decide_failsafe(name, access, remaining, *time)
+                    // counted fail-safe denial inside either driver.
+                    if pipelined {
+                        clients[custodian[*obj]]
+                            .decide_stream_failsafe(
+                                &[(name.as_str(), access, remaining, *time)],
+                                PIPELINE_WINDOW,
+                            )
+                            .pop()
+                            .expect("one verdict per submitted request")
+                    } else {
+                        clients[custodian[*obj]].decide_failsafe(name, access, remaining, *time)
+                    }
                 } else {
                     stacl_obs::count(stacl_obs::Counter::VerdictDeniedUnknownTarget);
                     Verdict::denied(
