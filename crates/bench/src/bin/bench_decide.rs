@@ -35,6 +35,17 @@
 //! hot path, and the activation write lock is held only for the pointer
 //! swap.
 //!
+//! A fourth phase (E17) sweeps the *coalition vocabulary width*: the
+//! incremental-sequential workload is re-run with the access table
+//! padded to 64→4096 interned ids the permission's constraint never
+//! selects, once with compressed leaf alphabets (the default) and once
+//! with `set_alphabet_compression(false)` so every leaf compiles over
+//! the full table. The 4096-id pair yields the headline
+//! `ops_per_sec_large_vocab` / `alphabet_compression_x` keys: with
+//! compression the leaf alphabet stays at the constraint's ~2 symbol
+//! classes regardless of table width, so compile and cold-start costs
+//! stop scaling with coalition size.
+//!
 //! Usage: `bench_decide [--objects 64] [--accesses 1000] [--threads 0] [--out BENCH_decide.json]
 //! [--obs-out BENCH_obs.json]` (`--threads 0` = available parallelism).
 
@@ -154,6 +165,31 @@ fn main() {
     results.push(no_flip);
     results.push(under_flips);
 
+    // ---- E17: alphabet-size sweep (DESIGN.md §14, EXPERIMENTS.md E17) ----
+    // Same steady incremental workload, but the per-run table is padded
+    // with filler ids the constraint never selects — the large-coalition
+    // shape where any one permission mentions a sliver of the vocabulary.
+    // Each width runs compressed (default) and full-alphabet
+    // back-to-back so the ratio is taken under the same machine
+    // conditions; the flag is restored before the later E13 phase.
+    const VOCAB_SIZES: [usize; 4] = [64, 256, 1024, 4096];
+    eprintln!("bench_decide: E17 alphabet-size sweep (compressed vs full leaf alphabets)");
+    let mut sweep: Vec<(usize, ModeResult, ModeResult)> = Vec::new();
+    for ids in VOCAB_SIZES {
+        stacl::srac::set_alphabet_compression(true);
+        let on = run_large_vocab("large-vocab-compressed", objects, accesses, ids);
+        stacl::srac::set_alphabet_compression(false);
+        let off = run_large_vocab("large-vocab-full-alphabet", objects, accesses, ids);
+        stacl::srac::set_alphabet_compression(true);
+        eprintln!(
+            "  {ids:>5} table ids: {:>12.0} ops/s compressed  {:>12.0} ops/s full  ({:.2}x)",
+            on.ops_per_sec,
+            off.ops_per_sec,
+            on.ops_per_sec / off.ops_per_sec
+        );
+        sweep.push((ids, on, off));
+    }
+
     for r in &results {
         match (r.p50_us, r.p99_us) {
             (Some(p50), Some(p99)) => eprintln!(
@@ -167,7 +203,7 @@ fn main() {
         }
     }
 
-    let json = render_json(objects, accesses, threads, &results, epoch_flips);
+    let json = render_json(objects, accesses, threads, &results, epoch_flips, &sweep);
     std::fs::write(&out, json).expect("write --out");
     eprintln!("wrote {out}");
 
@@ -301,6 +337,21 @@ fn warm_table(vocab: &[Access]) -> AccessTable {
     table
 }
 
+/// [`warm_table`] padded to `total_ids` interned accesses with filler
+/// the fleet constraint's `resource = rsw` selector never matches (E17).
+/// Under compression every filler id lands in one merged symbol class;
+/// with compression off each is its own leaf-alphabet symbol, so
+/// compile cost and transition-table width scale with the table.
+fn warm_table_padded(vocab: &[Access], total_ids: usize) -> AccessTable {
+    let mut table = warm_table(vocab);
+    let mut j = 0usize;
+    while table.len() < total_ids {
+        table.intern(&Access::new("read", "db", format!("p{j}")));
+        j += 1;
+    }
+    table
+}
+
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     if sorted_us.is_empty() {
         return 0.0;
@@ -331,16 +382,38 @@ fn run_sequential(
     incremental: bool,
 ) -> ModeResult {
     let guard = fleet_guard(objects, accesses, incremental);
-    let (elapsed_s, lat_us) = decide_loop(&guard, objects, accesses);
+    let (elapsed_s, lat_us) = decide_loop(&guard, objects, accesses, 0);
+    stats(name, elapsed_s, lat_us, objects * accesses)
+}
+
+/// E17: the incremental-sequential workload against a table padded to
+/// `table_ids` interned accesses. Timing starts before the first
+/// decision, so the run carries the real cold-start bill — leaf compile
+/// plus per-object residual products — which is exactly the cost the
+/// compressed alphabet decouples from table width.
+fn run_large_vocab(
+    name: &'static str,
+    objects: usize,
+    accesses: usize,
+    table_ids: usize,
+) -> ModeResult {
+    let guard = fleet_guard(objects, accesses, true);
+    let (elapsed_s, lat_us) = decide_loop(&guard, objects, accesses, table_ids);
     stats(name, elapsed_s, lat_us, objects * accesses)
 }
 
 /// The steady single-threaded workload against an existing guard; returns
-/// `(elapsed seconds, per-decision latencies in µs)`.
-fn decide_loop(guard: &CoordinatedGuard, objects: usize, accesses: usize) -> (f64, Vec<f64>) {
+/// `(elapsed seconds, per-decision latencies in µs)`. `table_ids` pads
+/// the run's table beyond the 4-access workload vocabulary (0 = none).
+fn decide_loop(
+    guard: &CoordinatedGuard,
+    objects: usize,
+    accesses: usize,
+    table_ids: usize,
+) -> (f64, Vec<f64>) {
     let proofs = ProofStore::new();
     let vocab = vocab();
-    let mut table = warm_table(&vocab);
+    let mut table = warm_table_padded(&vocab, table_ids);
     let names: Vec<String> = (0..objects).map(|i| format!("n{i}")).collect();
     let programs: Vec<Program> = vocab.iter().map(|a| Program::Access(a.clone())).collect();
 
@@ -420,7 +493,7 @@ fn run_under_flips(objects: usize, accesses: usize, flip_every: Duration) -> (Mo
                 flips.fetch_add(1, Ordering::Relaxed);
             }
         });
-        let r = decide_loop(guard, objects, accesses);
+        let r = decide_loop(guard, objects, accesses, 0);
         stop.store(true, Ordering::Relaxed);
         r
     });
@@ -559,6 +632,7 @@ fn render_json(
     threads: usize,
     results: &[ModeResult],
     epoch_flips: u64,
+    sweep: &[(usize, ModeResult, ModeResult)],
 ) -> String {
     let find = |n: &str| results.iter().find(|r| r.name == n).expect("mode present");
     let scratch = find("from-scratch-sequential");
@@ -617,6 +691,24 @@ fn render_json(
     w.field_f64(
         "flip_throughput_ratio",
         round3(flipped.ops_per_sec / no_flip.ops_per_sec),
+    );
+    // E17 alphabet-size sweep: per-width pairs plus the 4096-id headline
+    // keys the CI schema check pins.
+    w.open_object("vocab_sweep");
+    for (ids, on, off) in sweep {
+        w.open_object(&format!("table-{ids}"));
+        w.field_usize("table_ids", *ids);
+        w.field_f64("ops_per_sec_compressed", round3(on.ops_per_sec));
+        w.field_f64("ops_per_sec_full_alphabet", round3(off.ops_per_sec));
+        w.field_f64("compression_x", round3(on.ops_per_sec / off.ops_per_sec));
+        w.close();
+    }
+    w.close();
+    let (_, large_on, large_off) = sweep.last().expect("sweep is non-empty");
+    w.field_f64("ops_per_sec_large_vocab", round3(large_on.ops_per_sec));
+    w.field_f64(
+        "alphabet_compression_x",
+        round3(large_on.ops_per_sec / large_off.ops_per_sec),
     );
     w.finish()
 }

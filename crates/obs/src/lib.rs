@@ -136,10 +136,22 @@ pub enum Counter {
     /// A connection stalled mid-frame past the partial-frame deadline and
     /// was evicted by the event loop (slow-loris defence).
     NetPartialEviction,
+    /// A freshly compiled constraint automaton was structurally identical
+    /// to a cached one and got pointer-shared instead of stored twice
+    /// (`ConstraintCache` hash-consing).
+    CacheHashConsHit,
+    /// A cursor consulted with a symbol outside its compressed-alphabet
+    /// class map (interned after the cursor was built); the cursor
+    /// declined rather than guess. Diagnostic sub-cause of
+    /// `cursor.decline.unknown-symbol`, not a sixth decline rule.
+    CursorOutOfClass,
+    /// One proof event advanced a whole bank of lockstep cursor leaves in
+    /// a single structure-of-arrays sweep (`CursorBank::advance_synced`).
+    CursorSoaBatchAdvance,
 }
 
 /// Number of distinct counters.
-pub const COUNTERS: usize = 34;
+pub const COUNTERS: usize = 37;
 
 impl Counter {
     /// All counters, in declaration order (matches the `[u64; COUNTERS]`
@@ -179,6 +191,9 @@ impl Counter {
         Counter::NetWakeup,
         Counter::NetWriteFlush,
         Counter::NetPartialEviction,
+        Counter::CacheHashConsHit,
+        Counter::CursorOutOfClass,
+        Counter::CursorSoaBatchAdvance,
     ];
 
     /// The five cursor decline reasons of DESIGN.md §8, in rule order.
@@ -237,6 +252,9 @@ impl Counter {
             Counter::NetWakeup => "net.wakeup",
             Counter::NetWriteFlush => "net.write-flush",
             Counter::NetPartialEviction => "net.partial-eviction",
+            Counter::CacheHashConsHit => "cache.hash-cons-hit",
+            Counter::CursorOutOfClass => "cursor.out-of-class",
+            Counter::CursorSoaBatchAdvance => "cursor.soa-batch-advance",
         }
     }
 }

@@ -50,8 +50,11 @@
 //!
 //! Spatial checks keep a per-(object, permission) [`ConstraintCursor`]:
 //! the constraint automaton's state after the object's proven history.
-//! On each decision the cursor folds in just the proofs issued since it
-//! last advanced (watermark subscription on the [`ProofStore`]) and
+//! Per object the cursors live in a structure-of-arrays [`CursorBank`],
+//! so folding in one newly proven access advances *every* in-lockstep
+//! permission's leaves in a single flat sweep. On each decision the
+//! bank folds in just the proofs issued since the driven cursor last
+//! advanced (watermark subscription on the [`ProofStore`]) and
 //! answers the residual ∀-check from that state — `O(1)` for reactive
 //! single-access programs. The from-scratch `check_residual_cached` walk
 //! remains as the slow path, taken whenever a cursor is missing or
@@ -69,7 +72,7 @@ use stacl_ids::sync::{Mutex, RwLock, Snapshot};
 use stacl_ids::{ClassId, IdKind, Interner, ObjectId, PermId};
 use stacl_obs::Counter;
 use stacl_srac::check::{check_residual_cached, ConstraintCache, Semantics};
-use stacl_srac::{Constraint, ConstraintCursor};
+use stacl_srac::{Constraint, ConstraintCursor, CursorBank};
 use stacl_sral::ast::Name;
 use stacl_sral::{Access, Program};
 use stacl_temporal::{BaseTimeScheme, PermissionTimeline, TimePoint};
@@ -166,14 +169,6 @@ struct PermTable {
     entries: Vec<Option<Arc<PermEntry>>>,
 }
 
-/// One permission's incremental spatial cursor, tied to the policy
-/// generation whose constraint it compiled.
-#[derive(Debug)]
-struct SpatialCursor {
-    cursor: ConstraintCursor,
-    generation: u64,
-}
-
 /// All per-object mutable decision state, one shard per object: two
 /// decisions contend only when they concern the *same* object.
 #[derive(Debug, Default)]
@@ -186,8 +181,12 @@ struct ObjectGate {
     /// Permissions whose spatial constraint has been established for the
     /// object's declared program (see [`AccessRequest::reuse_spatial`]).
     spatial_ok: HashSet<PermId>,
-    /// Incremental residual-check cursors (the fast path).
-    cursors: HashMap<PermId, SpatialCursor>,
+    /// Incremental residual-check cursors (the fast path), keyed by
+    /// `PermId` index, stored structure-of-arrays so one proof event
+    /// advances every in-lockstep permission's leaves in a single
+    /// flat sweep ([`CursorBank::advance_synced`]). Each cursor's
+    /// model-generation stamp lives in the bank entry.
+    bank: CursorBank,
 }
 
 /// Which budget a timeline in an [`ObjectGateExport`] draws from. Keyed
@@ -756,37 +755,41 @@ impl ExtendedRbac {
         }
         let generation = self.model.generation();
         let watermark = proofs.watermark_of(req.object);
+        let key = pid.index();
         // Validity (DESIGN.md §8): same policy generation (the compiled
         // constraint is current), same table id-mapping, and the proof
         // store hasn't been swapped under us (consumed beyond its
         // watermark). The *first failing rule* is the counted decline.
-        match gate.cursors.get_mut(&pid) {
+        match gate.bank.consumed(key) {
             None => stacl_obs::count(Counter::CursorColdStart),
-            Some(sc) if sc.generation != generation => {
+            Some(_) if gate.bank.generation(key) != Some(generation) => {
                 stacl_obs::count(Counter::CursorDeclineGeneration)
             }
-            Some(sc) if !sc.cursor.in_sync_with(table) => {
+            Some(_) if !gate.bank.in_sync_with(key, table) => {
                 stacl_obs::count(Counter::CursorDeclineTableVersion)
             }
-            Some(sc) if sc.cursor.consumed() > watermark => {
+            Some(consumed) if consumed > watermark => {
                 stacl_obs::count(Counter::CursorDeclineWatermark)
             }
-            Some(sc) => {
+            Some(consumed) => {
                 // Fold in exactly the proofs issued since the cursor last
-                // advanced. An unknown symbol aborts the fold, leaving the
-                // cursor partially advanced — invalid — and falls through
-                // to the slow path, which rebuilds it.
+                // advanced — advancing every other permission's cursor in
+                // lockstep with it in the same SoA sweep. An unknown or
+                // out-of-class symbol aborts the fold (the bank is left
+                // untouched by the failing step) and falls through to the
+                // slow path, which rebuilds this cursor.
                 let mut ok = true;
                 {
                     let tbl: &AccessTable = table;
-                    proofs.visit_suffix(req.object, sc.cursor.consumed(), |p| {
+                    let bank = &mut gate.bank;
+                    proofs.visit_suffix(req.object, consumed, |p| {
                         if ok {
-                            ok = sc.cursor.advance_access(&p.access, tbl);
+                            ok = bank.advance_synced(key, &p.access, tbl);
                         }
                     });
                 }
                 if ok {
-                    if let Some(holds) = sc.cursor.check_residual_program(req.program, table) {
+                    if let Some(holds) = gate.bank.check_residual_program(key, req.program, table) {
                         stacl_obs::count(Counter::CursorFastPathHit);
                         return holds;
                     }
@@ -809,10 +812,9 @@ impl ExtendedRbac {
         .holds;
         let mut cursor = ConstraintCursor::new(c, table, &mut self.cache.lock());
         if cursor.advance_trace(&history) {
-            gate.cursors
-                .insert(pid, SpatialCursor { cursor, generation });
+            gate.bank.insert(key, cursor, generation);
         } else {
-            gate.cursors.remove(&pid);
+            gate.bank.remove(key);
         }
         holds
     }
@@ -1101,14 +1103,9 @@ impl ExtendedRbac {
             .collect();
         spatial_ok.sort_unstable();
         let mut cursor_seeds: Vec<(String, u64)> = gate
-            .cursors
-            .iter()
-            .map(|(&p, sc)| {
-                (
-                    self.perms.resolve(p).to_string(),
-                    sc.cursor.consumed() as u64,
-                )
-            })
+            .bank
+            .iter_consumed()
+            .map(|(key, consumed)| (self.perms.resolve(PermId(key)).to_string(), consumed as u64))
             .collect();
         cursor_seeds.sort_unstable();
         ObjectGateExport {
@@ -1191,9 +1188,7 @@ impl ExtendedRbac {
             return false;
         }
         let gate = self.gate_of(oid);
-        gate.lock()
-            .cursors
-            .insert(pid, SpatialCursor { cursor, generation });
+        gate.lock().bank.insert(pid.index(), cursor, generation);
         true
     }
 
@@ -1367,10 +1362,8 @@ impl ExtendedRbac {
         for gate in self.gates.read().values() {
             let mut g = gate.lock();
             g.spatial_ok.retain(|pid| carried.contains(pid));
-            g.cursors.retain(|pid, _| carried.contains(pid));
-            for sc in g.cursors.values_mut() {
-                sc.generation = generation;
-            }
+            g.bank.retain_keys(|key| carried.contains(&PermId(key)));
+            g.bank.set_generation_all(generation);
         }
         self.sk.lock().spatial_ok.clear();
         self.cache.lock().begin_epoch(epoch);

@@ -20,12 +20,16 @@
 //! checked, so execution proofs participate exactly as Definition 3.6
 //! requires.
 
+use std::sync::Arc;
+
 use stacl_sral::Program;
 use stacl_trace::abstraction::{traces, AbstractionConfig};
 use stacl_trace::dfa::{advance, ProductMode};
+use stacl_trace::hash::{fnv_hash_one, FnvHashMap};
 use stacl_trace::{AccessTable, Dfa, Trace};
 
 use crate::ast::Constraint;
+use crate::classes::SymbolClasses;
 use crate::compile::{checking_alphabet, compile};
 
 /// Quantification over the program's traces.
@@ -120,6 +124,10 @@ pub fn check_residual(
     }
 }
 
+/// One hash bucket of the cache's key layer: fully-keyed entries whose
+/// `(constraint, version)` hash collided.
+type KeyBucket = Vec<((Constraint, u64), CacheEntry)>;
+
 /// A memo for compiled constraint automata.
 ///
 /// The permission gate re-checks the *same* constraints on every access;
@@ -133,9 +141,23 @@ pub fn check_residual(
 /// their own table): two tables of equal length can map the same id to
 /// different accesses. Once the vocabulary saturates the version is
 /// stable and every lookup hits.
+///
+/// Two layers of sharing keep the store small:
+///
+/// * entries live in FNV-1a hash buckets keyed by the *hash* of
+///   `(constraint, version)`, so a lookup hashes the borrowed constraint
+///   and compares in place — no key clone on the hit path;
+/// * compiled automata are **hash-consed**: every leaf is minimised and
+///   [canonicalized](Dfa::canonicalize) before storage, so
+///   language-equal constraints (across permissions, epochs and
+///   syntactic variants) resolve to one pointer-shared [`Arc<Dfa>`],
+///   found by structural hash + [`Dfa::same_structure`].
 #[derive(Default, Debug)]
 pub struct ConstraintCache {
-    map: std::collections::HashMap<(Constraint, u64), CacheEntry>,
+    /// `fnv(constraint, version)` → entries with that key hash.
+    map: FnvHashMap<u64, KeyBucket>,
+    /// `structural hash` → canonical automata with that hash.
+    consed: FnvHashMap<u64, Vec<Arc<Dfa>>>,
     hits: u64,
     misses: u64,
     /// The policy epoch the cache currently serves (see
@@ -144,10 +166,21 @@ pub struct ConstraintCache {
     epoch: u64,
 }
 
-/// One cached automaton plus the last policy epoch that touched it.
+/// One compiled cursor leaf: the canonical minimal automaton over the
+/// constraint's compressed alphabet, plus the symbol-class partition
+/// that bridges global ids to that alphabet.
+#[derive(Clone, Debug)]
+pub struct CompiledLeaf {
+    /// The canonical minimal DFA over the class-representative alphabet.
+    pub dfa: Arc<Dfa>,
+    /// The global-id → class map the automaton must be stepped through.
+    pub classes: Arc<SymbolClasses>,
+}
+
+/// One cached leaf plus the last policy epoch that touched it.
 #[derive(Debug)]
 struct CacheEntry {
-    dfa: std::sync::Arc<Dfa>,
+    leaf: CompiledLeaf,
     epoch: u64,
 }
 
@@ -167,9 +200,15 @@ impl ConstraintCache {
         self.epoch
     }
 
-    /// Number of cached automata.
+    /// Number of cached entries (distinct `(constraint, version)` keys).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Number of *distinct* automata behind those entries — always
+    /// `≤ len()`; the gap is what hash-consing saved.
+    pub fn distinct_automata(&self) -> usize {
+        self.consed.values().map(Vec::len).sum()
     }
 
     /// True when nothing is cached.
@@ -190,43 +229,80 @@ impl ConstraintCache {
             return;
         }
         let floor = self.epoch;
-        self.map.retain(|_, e| e.epoch >= floor);
+        for bucket in self.map.values_mut() {
+            bucket.retain(|(_, e)| e.epoch >= floor);
+        }
+        self.map.retain(|_, bucket| !bucket.is_empty());
+        // Rebuild the hash-cons store from the survivors so retired
+        // automata actually free their transition tables.
+        self.consed.clear();
+        let mut consed: FnvHashMap<u64, Vec<Arc<Dfa>>> = FnvHashMap::default();
+        for (_, entry) in self.map.values().flatten() {
+            let bucket = consed.entry(entry.leaf.dfa.structural_hash()).or_default();
+            if !bucket.iter().any(|d| Arc::ptr_eq(d, &entry.leaf.dfa)) {
+                bucket.push(Arc::clone(&entry.leaf.dfa));
+            }
+        }
+        self.consed = consed;
         self.epoch = epoch;
     }
 
     /// Automata are stored behind `Arc` so cache hits are refcount bumps
     /// and long-lived cursor leaves share the cached automaton instead of
-    /// cloning transition tables.
-    pub(crate) fn get_or_compile(
-        &mut self,
-        c: &Constraint,
-        al: &stacl_trace::Alphabet,
-        table: &AccessTable,
-    ) -> std::sync::Arc<Dfa> {
-        debug_assert_eq!(
-            al.len(),
-            table.len(),
-            "the cache expects the full-table alphabet"
-        );
-        let key = (c.clone(), table.version());
+    /// cloning transition tables. Leaves are compiled over the
+    /// constraint's compressed class alphabet (see [`SymbolClasses`]) and
+    /// hash-consed, so equivalent constraints share one automaton.
+    pub(crate) fn get_or_compile(&mut self, c: &Constraint, table: &AccessTable) -> CompiledLeaf {
+        let version = table.version();
+        let key_hash = fnv_hash_one(&(c, version));
         let epoch = self.epoch;
-        if let Some(e) = self.map.get_mut(&key) {
-            e.epoch = epoch;
-            self.hits += 1;
-            stacl_obs::count(stacl_obs::Counter::CacheHit);
-            return std::sync::Arc::clone(&e.dfa);
+        if let Some(bucket) = self.map.get_mut(&key_hash) {
+            if let Some((_, entry)) = bucket
+                .iter_mut()
+                .find(|((kc, kv), _)| *kv == version && kc == c)
+            {
+                entry.epoch = epoch;
+                self.hits += 1;
+                stacl_obs::count(stacl_obs::Counter::CacheHit);
+                return entry.leaf.clone();
+            }
         }
         self.misses += 1;
         stacl_obs::count(stacl_obs::Counter::CacheMiss);
-        let d = std::sync::Arc::new(compile(c, al, table));
-        self.map.insert(
-            key,
+        let classes = SymbolClasses::for_constraint(c, table);
+        let compiled = compile(c, &classes.alphabet(), table)
+            .minimize()
+            .canonicalize();
+        let dfa = self.hash_cons(compiled);
+        let leaf = CompiledLeaf {
+            dfa,
+            classes: Arc::new(classes),
+        };
+        self.map.entry(key_hash).or_default().push((
+            (c.clone(), version),
             CacheEntry {
-                dfa: std::sync::Arc::clone(&d),
+                leaf: leaf.clone(),
                 epoch,
             },
-        );
-        d
+        ));
+        leaf
+    }
+
+    /// Return the pointer-shared canonical automaton for `d`, inserting
+    /// it if no structurally identical one is stored. `d` must already
+    /// be minimal and canonical, which makes structural identity
+    /// coincide with language identity over the same alphabet.
+    fn hash_cons(&mut self, d: Dfa) -> Arc<Dfa> {
+        let bucket = self.consed.entry(d.structural_hash()).or_default();
+        for existing in bucket.iter() {
+            if existing.same_structure(&d) {
+                stacl_obs::count(stacl_obs::Counter::CacheHashConsHit);
+                return Arc::clone(existing);
+            }
+        }
+        let arc = Arc::new(d);
+        bucket.push(Arc::clone(&arc));
+        arc
     }
 }
 
@@ -241,20 +317,23 @@ pub fn check_residual_cached(
     semantics: Semantics,
     cache: &mut ConstraintCache,
 ) -> Verdict {
-    // Intern everything first, then use the *full table* as the checking
-    // alphabet so cache keys stay stable once the vocabulary saturates.
+    // Intern everything first (so the leaf partitions built below cover
+    // every symbol in play), then compile the program over just its own
+    // trace alphabet: the mapped product bridges program-local symbols
+    // to each leaf's classes, so the program automaton — unlike the
+    // uncompressed leaves of old — never scales with table width.
     let re = traces(p, table, AbstractionConfig::default());
     for a in c.mentioned_accesses() {
         table.intern(a);
     }
-    let al = stacl_trace::Alphabet::from_ids((0..table.len() as u32).map(stacl_trace::AccessId));
-    let prog = Dfa::from_regex_with(&re, al.clone());
+    let al = re.alphabet();
+    let prog = Dfa::from_regex_with(&re, al);
     let program_states = prog.num_states();
 
     let nnf = c.to_nnf();
     let (holds, witness, constraint_states) = match semantics {
-        Semantics::ForAll => forall_cached(&prog, &nnf, history, &al, table, cache),
-        Semantics::Exists => exists_cached(&prog, &nnf, history, &al, table, cache),
+        Semantics::ForAll => forall_cached(&prog, &nnf, history, table, cache),
+        Semantics::Exists => exists_cached(&prog, &nnf, history, table, cache),
     };
     Verdict {
         holds,
@@ -265,29 +344,53 @@ pub fn check_residual_cached(
     }
 }
 
+/// Fold `history` through a compiled leaf's class map, yielding the state
+/// the constraint automaton reaches after the proven prefix.
+fn fold_history(leaf: &CompiledLeaf, history: &Trace) -> u32 {
+    let mut state = leaf.dfa.start;
+    for &id in &history.0 {
+        let cls = leaf
+            .classes
+            .class_of(id)
+            .expect("history symbols are in the checking alphabet");
+        state = leaf.dfa.next(state, cls);
+    }
+    state
+}
+
+/// Turn a mapped-product witness (program-local symbols) back into a
+/// trace of global access ids.
+fn witness_trace(prog: &Dfa, word: Vec<u32>) -> Trace {
+    Trace::from_ids(word.into_iter().map(|sym| prog.alphabet.id_at(sym)))
+}
+
 fn forall_cached(
     prog: &Dfa,
     c: &Constraint,
     history: &Trace,
-    al: &stacl_trace::Alphabet,
     table: &AccessTable,
     cache: &mut ConstraintCache,
 ) -> (bool, Option<Trace>, usize) {
     if let Constraint::And(a, b) = c {
-        let (ha, wa, sa) = forall_cached(prog, a, history, al, table, cache);
+        let (ha, wa, sa) = forall_cached(prog, a, history, table, cache);
         if !ha {
             return (false, wa, sa);
         }
-        let (hb, wb, sb) = forall_cached(prog, b, history, al, table, cache);
+        let (hb, wb, sb) = forall_cached(prog, b, history, table, cache);
         return (hb, wb, sa.max(sb));
     }
-    let cons = cache.get_or_compile(c, al, table);
-    let cons = advance(&cons, history).expect("history symbols are in the checking alphabet");
-    let states = cons.num_states();
-    let bad = prog.product(&cons.complement(), ProductMode::And);
-    match bad.shortest_accepted() {
+    let leaf = cache.get_or_compile(c, table);
+    let state = fold_history(&leaf, history);
+    let states = leaf.dfa.num_states();
+    let map = leaf
+        .classes
+        .map_alphabet(&prog.alphabet)
+        .expect("program symbols are interned before leaf compilation");
+    // L(A_P) ⊆ L(A_C) ⟺ the mapped Diff product accepts nothing; the
+    // product is explored lazily and never materialised.
+    match prog.product_shortest_mapped(prog.start, &leaf.dfa, state, ProductMode::Diff, &map) {
         None => (true, None, states),
-        Some(w) => (false, Some(w), states),
+        Some(w) => (false, Some(witness_trace(prog, w)), states),
     }
 }
 
@@ -295,24 +398,26 @@ fn exists_cached(
     prog: &Dfa,
     c: &Constraint,
     history: &Trace,
-    al: &stacl_trace::Alphabet,
     table: &AccessTable,
     cache: &mut ConstraintCache,
 ) -> (bool, Option<Trace>, usize) {
     if let Constraint::Or(a, b) = c {
-        let (ha, wa, sa) = exists_cached(prog, a, history, al, table, cache);
+        let (ha, wa, sa) = exists_cached(prog, a, history, table, cache);
         if ha {
             return (true, wa, sa);
         }
-        let (hb, wb, sb) = exists_cached(prog, b, history, al, table, cache);
+        let (hb, wb, sb) = exists_cached(prog, b, history, table, cache);
         return (hb, wb, sa.max(sb));
     }
-    let cons = cache.get_or_compile(c, al, table);
-    let cons = advance(&cons, history).expect("history symbols are in the checking alphabet");
-    let states = cons.num_states();
-    let good = prog.product(&cons, ProductMode::And);
-    match good.shortest_accepted() {
-        Some(w) => (true, Some(w), states),
+    let leaf = cache.get_or_compile(c, table);
+    let state = fold_history(&leaf, history);
+    let states = leaf.dfa.num_states();
+    let map = leaf
+        .classes
+        .map_alphabet(&prog.alphabet)
+        .expect("program symbols are interned before leaf compilation");
+    match prog.product_shortest_mapped(prog.start, &leaf.dfa, state, ProductMode::And, &map) {
+        Some(w) => (true, Some(witness_trace(prog, w)), states),
         None => (false, None, states),
     }
 }
@@ -606,5 +711,50 @@ mod tests {
         );
         assert!(v2.holds, "cache key must distinguish tables: {v2:?}");
         assert_eq!(cache.stats().1, 2, "two distinct tables ⇒ two compiles");
+    }
+
+    /// Hash-consing: language-equal constraints — even syntactically
+    /// different ones — resolve to one pointer-shared automaton, because
+    /// leaves are minimised and canonicalised before storage.
+    #[test]
+    fn hash_consing_shares_language_equal_automata() {
+        let mut cache = ConstraintCache::new();
+        let mut table = tbl();
+        // In this vocabulary `resource=rsw` ⟺ `op=exec`, so the two
+        // selectors induce the same symbol classes and the same language.
+        table.intern(&Access::new("exec", "rsw", "s1"));
+        table.intern(&Access::new("read", "db", "s1"));
+        table.intern(&Access::new("exec", "rsw", "s2"));
+
+        let c1 = Constraint::at_most(2, Selector::any().with_resources(["rsw"]));
+        let c2 = Constraint::at_most(2, Selector::any().with_ops(["exec"]));
+        let l1 = cache.get_or_compile(&c1, &table);
+        let l2 = cache.get_or_compile(&c2, &table);
+        assert!(
+            Arc::ptr_eq(&l1.dfa, &l2.dfa),
+            "language-equal constraints must share one automaton"
+        );
+        assert_eq!(cache.len(), 2, "two cache entries (distinct constraints)");
+        assert_eq!(cache.distinct_automata(), 1, "one shared automaton");
+
+        // Trivially-true constraints collapse onto one universal DFA too.
+        let t1 = cache.get_or_compile(&Constraint::True, &table);
+        let t2 = cache.get_or_compile(
+            &Constraint::Card {
+                min: 0,
+                max: None,
+                selector: Selector::any(),
+            },
+            &table,
+        );
+        assert!(Arc::ptr_eq(&t1.dfa, &t2.dfa));
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.distinct_automata(), 2);
+        assert_eq!(cache.stats(), (0, 4), "four misses, all fresh keys");
+
+        // Repeat lookups hit without cloning the constraint key.
+        let l1b = cache.get_or_compile(&c1, &table);
+        assert!(Arc::ptr_eq(&l1.dfa, &l1b.dfa));
+        assert_eq!(cache.stats(), (1, 4));
     }
 }

@@ -14,45 +14,66 @@
 //!   single transition + acceptance lookup per conjunct — `O(1)`, zero
 //!   allocations;
 //! * for a general program, `L(A_P) ⊆ L(A_C)`-from-state is decided as
-//!   emptiness of [`Dfa::product_from`] in `Diff` mode, skipping both
-//!   the history walk and the `advance` clone of the slow path.
+//!   emptiness of the lazily explored
+//!   [`Dfa::product_shortest_mapped`], skipping the history walk, the
+//!   `advance` clone *and* the product materialisation of the slow
+//!   path.
+//!
+//! Leaf automata are compiled over their constraint's **compressed
+//! class alphabet** (see [`crate::classes`]): a handful of symbols
+//! independent of coalition vocabulary, with a dense global-id → class
+//! map bridging proof events to local transitions.
 //!
 //! ## Exactness
 //!
 //! The cursor replicates `check_residual_cached` bit for bit: same NNF
 //! `And`-decomposition in the same left-to-right order, leaf automata
-//! from the same [`ConstraintCache`] keyed by the same full-table
-//! alphabet, and `prog ×_Diff cons`-from-state is the same language as
-//! `prog ×_And ¬(advance(cons, history))` from the start states. The
-//! only thing the fast path may do is *decline* (`None`), never return
-//! a different verdict.
+//! from the same [`ConstraintCache`] keyed by the same table version,
+//! and the mapped `Diff` product from the leaf state is the same
+//! language test as the slow path's. The only thing the fast path may
+//! do is *decline* (`None`), never return a different verdict.
 //!
 //! ## Validity
 //!
-//! Stored leaf states are local symbol indices into a specific alphabet
-//! built from a specific [`AccessTable`], so a cursor is only
-//! meaningful against a table with the *identical* id ↔ access mapping.
-//! [`AccessTable::version`] stamps make that checkable in `O(1)`:
-//! callers must verify [`ConstraintCursor::in_sync_with`] (and rebuild
-//! via the slow path otherwise). Other invalidation rules — proof
-//! watermark regressions, unknown symbols, policy-generation changes,
-//! team-scoped histories — live with the callers, see DESIGN.md §8.
+//! Stored class maps cover the ids interned when the leaves were
+//! compiled, so a cursor is only meaningful against a table with the
+//! *identical* id ↔ access mapping. [`AccessTable::version`] stamps
+//! make that checkable in `O(1)`: callers must verify
+//! [`ConstraintCursor::in_sync_with`] (and rebuild via the slow path
+//! otherwise). Ids interned after the build fall outside the class-map
+//! domain and make the cursor decline (`cursor.out-of-class`). Other
+//! invalidation rules — proof watermark regressions, unknown symbols,
+//! policy-generation changes, team-scoped histories — live with the
+//! callers, see DESIGN.md §8.
+//!
+//! ## The SoA bank
+//!
+//! A gate tracks one cursor per (object, permission), and every proof
+//! event must advance *all* of them. [`CursorBank`] stores the leaves
+//! of all cursors in structure-of-arrays form (parallel `states` /
+//! `dfas` / `maps` / `strides` vectors) so one proof event advances
+//! every in-lockstep leaf in a single tight loop over flat arrays —
+//! no per-permission hash lookups, no pointer chasing through
+//! per-cursor `Vec`s, and a layout ready for SIMD gathers.
 
 use std::sync::Arc;
 
 use stacl_sral::{Access, Program};
 use stacl_trace::abstraction::{traces, AbstractionConfig};
 use stacl_trace::dfa::ProductMode;
-use stacl_trace::{AccessId, AccessTable, Alphabet, Dfa, Trace};
+use stacl_trace::{AccessId, AccessTable, Dfa, Trace};
 
 use crate::ast::Constraint;
 use crate::check::ConstraintCache;
+use crate::classes::SymbolClasses;
 
 /// One ∀-conjunct of the constraint in NNF: a shared compiled automaton
-/// plus the state it reached after the consumed history.
+/// over the conjunct's class alphabet, the class map bridging global
+/// ids to it, and the state reached after the consumed history.
 #[derive(Clone, Debug)]
 struct CursorLeaf {
     dfa: Arc<Dfa>,
+    classes: Arc<SymbolClasses>,
     state: u32,
 }
 
@@ -62,11 +83,11 @@ struct CursorLeaf {
 pub struct ConstraintCursor {
     /// NNF `And`-leaves in `forall_cached`'s left-to-right order.
     leaves: Vec<CursorLeaf>,
-    /// Length of the full-table checking alphabet the leaves were
-    /// compiled over. All leaves share it, and by construction local
-    /// symbol index `i` is exactly `AccessId(i)`.
-    alphabet_len: usize,
-    /// The version stamp of the table the alphabet was built from.
+    /// Length of the interning table when the leaves were compiled —
+    /// the shared domain of every leaf's class map. Ids at or beyond
+    /// it are out of class: the cursor declines.
+    table_len: usize,
+    /// The version stamp of the table the class maps were built from.
     table_version: u64,
     /// How many history accesses have been folded into the leaf states.
     consumed: usize,
@@ -74,19 +95,18 @@ pub struct ConstraintCursor {
 
 impl ConstraintCursor {
     /// Build a cursor for `c` at the empty history, compiling (or
-    /// cache-hitting) one leaf automaton per NNF ∀-conjunct over the
-    /// full-table checking alphabet — the same alphabet
+    /// cache-hitting) one leaf automaton per NNF ∀-conjunct over its
+    /// compressed class alphabet — the same cache entries
     /// `check_residual_cached` uses, so verdicts line up exactly.
     pub fn new(c: &Constraint, table: &mut AccessTable, cache: &mut ConstraintCache) -> Self {
         for a in c.mentioned_accesses() {
             table.intern(a);
         }
-        let al = Alphabet::from_ids((0..table.len() as u32).map(AccessId));
         let mut leaves = Vec::new();
-        collect_forall_leaves(&c.to_nnf(), &al, table, cache, &mut leaves);
+        collect_forall_leaves(&c.to_nnf(), table, cache, &mut leaves);
         ConstraintCursor {
             leaves,
-            alphabet_len: al.len(),
+            table_len: table.len(),
             table_version: table.version(),
             consumed: 0,
         }
@@ -97,7 +117,7 @@ impl ConstraintCursor {
         self.consumed
     }
 
-    /// Whether the cursor's stored symbol indices are valid against
+    /// Whether the cursor's stored class maps are valid against
     /// `table`: equal [`AccessTable::version`] stamps guarantee the
     /// identical id mapping the leaves were compiled over.
     pub fn in_sync_with(&self, table: &AccessTable) -> bool {
@@ -106,16 +126,15 @@ impl ConstraintCursor {
 
     /// Step every leaf by one proven access. Returns `false` — leaving
     /// the cursor invalid (partially advanced) — when the id is outside
-    /// the compiled alphabet; the caller must then rebuild via the slow
+    /// the class-map domain; the caller must then rebuild via the slow
     /// path.
     pub fn advance(&mut self, id: AccessId) -> bool {
-        if id.index() >= self.alphabet_len {
+        if id.index() >= self.table_len {
+            stacl_obs::count(stacl_obs::Counter::CursorOutOfClass);
             return false;
         }
-        // The alphabet is `AccessId(0..len)` in order, so the local
-        // symbol index is the id itself.
-        let sym = id.0;
         for leaf in &mut self.leaves {
+            let sym = leaf.classes.map()[id.index()];
             leaf.state = leaf.dfa.next(leaf.state, sym);
         }
         self.consumed += 1;
@@ -123,7 +142,7 @@ impl ConstraintCursor {
     }
 
     /// [`ConstraintCursor::advance`] from an un-interned access. `false`
-    /// when the access is unknown to `table` or outside the alphabet.
+    /// when the access is unknown to `table` or out of class.
     pub fn advance_access(&mut self, access: &Access, table: &AccessTable) -> bool {
         match table.id_of(access) {
             Some(id) => self.advance(id),
@@ -132,34 +151,36 @@ impl ConstraintCursor {
     }
 
     /// Fold a whole history trace into the cursor. `false` (cursor
-    /// invalid) if any symbol falls outside the alphabet.
+    /// invalid) if any symbol falls out of class.
     pub fn advance_trace(&mut self, history: &Trace) -> bool {
         history.0.iter().all(|&id| self.advance(id))
     }
 
     /// The `O(1)` reactive fast path: `history · a ⊨ C` (∀) for the
     /// single-access program `a`, from the cursor's state, with zero
-    /// allocations. `None` when `a` is unknown or outside the compiled
-    /// alphabet (take the slow path). A straight-line single-access
-    /// program has exactly one trace, so ∀-satisfaction per conjunct is
-    /// one transition + acceptance lookup.
+    /// allocations. `None` when `a` is unknown or out of class (take
+    /// the slow path). A straight-line single-access program has
+    /// exactly one trace, so ∀-satisfaction per conjunct is one
+    /// transition + acceptance lookup.
     pub fn check_one(&self, access: &Access, table: &AccessTable) -> Option<bool> {
         let id = table.id_of(access)?;
-        if id.index() >= self.alphabet_len {
+        if id.index() >= self.table_len {
+            stacl_obs::count(stacl_obs::Counter::CursorOutOfClass);
             return None;
         }
-        Some(
-            self.leaves
-                .iter()
-                .all(|l| l.dfa.is_accepting(l.dfa.next(l.state, id.0))),
-        )
+        Some(self.leaves.iter().all(|l| {
+            let sym = l.classes.map()[id.index()];
+            l.dfa.is_accepting(l.dfa.next(l.state, sym))
+        }))
     }
 
     /// The general-program fast path: `history · P ⊨ C` (∀) from the
-    /// cursor's state. Builds the program automaton over the full-table
-    /// alphabet and checks `L(A_P ×_Diff A_C-from-state) = ∅` per leaf.
-    /// `None` when building the program's trace model interned accesses
-    /// the cursor's alphabet doesn't cover (take the slow path).
+    /// cursor's state. Builds the program automaton over just the
+    /// program's own trace alphabet and checks emptiness of the mapped
+    /// `Diff` product per leaf, without materialising it — neither side
+    /// scales with table width. `None` when building the program's
+    /// trace model interned accesses the cursor's class maps don't
+    /// cover (take the slow path).
     pub fn check_residual_program(&self, p: &Program, table: &mut AccessTable) -> Option<bool> {
         if let Program::Access(a) = p {
             return self.check_one(a, table);
@@ -170,12 +191,17 @@ impl ConstraintCursor {
             // compiled over.
             return None;
         }
-        let al = Alphabet::from_ids((0..table.len() as u32).map(AccessId));
-        let prog = Dfa::from_regex_with(&re, al);
-        Some(self.leaves.iter().all(|l| {
-            prog.product_from(prog.start, &l.dfa, l.state, ProductMode::Diff)
-                .is_empty()
-        }))
+        let prog = Dfa::from_regex_with(&re, re.alphabet());
+        for l in &self.leaves {
+            let map = l.classes.map_alphabet(&prog.alphabet)?;
+            if prog
+                .product_shortest_mapped(prog.start, &l.dfa, l.state, ProductMode::Diff, &map)
+                .is_some()
+            {
+                return Some(false);
+            }
+        }
+        Some(true)
     }
 }
 
@@ -186,19 +212,273 @@ impl ConstraintCursor {
 /// equivalent.
 fn collect_forall_leaves(
     c: &Constraint,
-    al: &Alphabet,
     table: &AccessTable,
     cache: &mut ConstraintCache,
     out: &mut Vec<CursorLeaf>,
 ) {
     if let Constraint::And(a, b) = c {
-        collect_forall_leaves(a, al, table, cache, out);
-        collect_forall_leaves(b, al, table, cache, out);
+        collect_forall_leaves(a, table, cache, out);
+        collect_forall_leaves(b, table, cache, out);
         return;
     }
-    let dfa = cache.get_or_compile(c, al, table);
-    let state = dfa.start;
-    out.push(CursorLeaf { dfa, state });
+    let leaf = cache.get_or_compile(c, table);
+    let state = leaf.dfa.start;
+    out.push(CursorLeaf {
+        dfa: leaf.dfa,
+        classes: leaf.classes,
+        state,
+    });
+}
+
+/// Bookkeeping for one cursor stored in a [`CursorBank`]: which leaf
+/// range it owns and the validity stamps of [`ConstraintCursor`].
+#[derive(Clone, Debug)]
+struct BankEntry {
+    key: u32,
+    leaf_start: usize,
+    leaf_len: usize,
+    consumed: usize,
+    table_version: u64,
+    table_len: usize,
+    generation: u64,
+}
+
+/// A structure-of-arrays bank of constraint cursors, keyed by a caller
+/// `u32` (the gate's permission id).
+///
+/// All cursors' leaves live in four parallel flat vectors; one proof
+/// event advances every leaf of every *in-lockstep* cursor (same table
+/// version, same consumed count as the one being driven) in a single
+/// branch-light sweep over those arrays — the gate's per-proof cost is
+/// `O(total leaves)` sequential loads/stores instead of a hash lookup
+/// and pointer chase per permission.
+#[derive(Default, Debug)]
+pub struct CursorBank {
+    entries: Vec<BankEntry>,
+    // Parallel leaf arrays (the SoA): states is the hot column the
+    // advance loop writes; dfas/maps/strides are read-only per leaf.
+    states: Vec<u32>,
+    dfas: Vec<Arc<Dfa>>,
+    maps: Vec<Arc<SymbolClasses>>,
+    strides: Vec<u32>,
+}
+
+impl CursorBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        CursorBank::default()
+    }
+
+    /// Number of cursors stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the bank holds no cursors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn pos(&self, key: u32) -> Option<usize> {
+        self.entries.iter().position(|e| e.key == key)
+    }
+
+    /// Whether a cursor is stored under `key`.
+    pub fn contains(&self, key: u32) -> bool {
+        self.pos(key).is_some()
+    }
+
+    /// The stored security-model generation stamp for `key`.
+    pub fn generation(&self, key: u32) -> Option<u64> {
+        self.pos(key).map(|p| self.entries[p].generation)
+    }
+
+    /// How many proofs the cursor under `key` has consumed.
+    pub fn consumed(&self, key: u32) -> Option<usize> {
+        self.pos(key).map(|p| self.entries[p].consumed)
+    }
+
+    /// Whether the cursor under `key` was built against `table`'s
+    /// current id mapping (version-stamp equality, as
+    /// [`ConstraintCursor::in_sync_with`]).
+    pub fn in_sync_with(&self, key: u32, table: &AccessTable) -> bool {
+        self.pos(key)
+            .is_some_and(|p| self.entries[p].table_version == table.version())
+    }
+
+    /// Store `cursor` under `key` with a model-generation stamp,
+    /// replacing any previous cursor for that key.
+    pub fn insert(&mut self, key: u32, cursor: ConstraintCursor, generation: u64) {
+        self.remove(key);
+        let leaf_start = self.states.len();
+        let ConstraintCursor {
+            leaves,
+            table_len,
+            table_version,
+            consumed,
+        } = cursor;
+        let leaf_len = leaves.len();
+        for leaf in leaves {
+            self.states.push(leaf.state);
+            self.strides.push(leaf.dfa.alphabet_len() as u32);
+            self.dfas.push(leaf.dfa);
+            self.maps.push(leaf.classes);
+        }
+        self.entries.push(BankEntry {
+            key,
+            leaf_start,
+            leaf_len,
+            consumed,
+            table_version,
+            table_len,
+            generation,
+        });
+    }
+
+    /// Drop the cursor under `key` (no-op when absent), compacting the
+    /// leaf arrays.
+    pub fn remove(&mut self, key: u32) {
+        let Some(p) = self.pos(key) else { return };
+        let e = self.entries.remove(p);
+        let range = e.leaf_start..e.leaf_start + e.leaf_len;
+        self.states.drain(range.clone());
+        self.dfas.drain(range.clone());
+        self.maps.drain(range.clone());
+        self.strides.drain(range);
+        for other in &mut self.entries {
+            if other.leaf_start > e.leaf_start {
+                other.leaf_start -= e.leaf_len;
+            }
+        }
+    }
+
+    /// Keep only cursors whose key satisfies `f` (epoch activation drops
+    /// the permissions the incoming policy retired).
+    pub fn retain_keys(&mut self, mut f: impl FnMut(u32) -> bool) {
+        let dead: Vec<u32> = self
+            .entries
+            .iter()
+            .filter(|e| !f(e.key))
+            .map(|e| e.key)
+            .collect();
+        for key in dead {
+            self.remove(key);
+        }
+    }
+
+    /// Re-stamp every cursor with a new security-model generation
+    /// (epoch activation carries cursors across the flip).
+    pub fn set_generation_all(&mut self, generation: u64) {
+        for e in &mut self.entries {
+            e.generation = generation;
+        }
+    }
+
+    /// Iterate `(key, consumed)` pairs — the gate's export format.
+    pub fn iter_consumed(&self) -> impl Iterator<Item = (u32, usize)> + '_ {
+        self.entries.iter().map(|e| (e.key, e.consumed))
+    }
+
+    /// Advance the cursor under `key` by one proven access — and, in
+    /// the same pass, every other stored cursor in lockstep with it
+    /// (same table version and consumed count), each leaf stepped in a
+    /// flat sweep over the SoA arrays. Returns `false` (caller takes
+    /// the slow path; bank state for `key` is untouched) when the
+    /// access is unknown, the cursor is missing or out of sync, or the
+    /// id is out of class.
+    ///
+    /// Batching preserves each peer's invariant — its state is always
+    /// the fold of the object's first `consumed` proofs — because peers
+    /// share the version stamp (identical id mapping and class-map
+    /// domain) and the consumed count, so this proof is exactly the
+    /// next one each of them was waiting for.
+    pub fn advance_synced(&mut self, key: u32, access: &Access, table: &AccessTable) -> bool {
+        let Some(p) = self.pos(key) else { return false };
+        let Some(id) = table.id_of(access) else {
+            return false;
+        };
+        let version = table.version();
+        let consumed = self.entries[p].consumed;
+        if self.entries[p].table_version != version {
+            return false;
+        }
+        if id.index() >= self.entries[p].table_len {
+            stacl_obs::count(stacl_obs::Counter::CursorOutOfClass);
+            return false;
+        }
+        stacl_obs::count(stacl_obs::Counter::CursorSoaBatchAdvance);
+        let sym_of = id.index();
+        for e in &mut self.entries {
+            if e.table_version != version || e.consumed != consumed {
+                continue;
+            }
+            // Equal versions ⟹ equal table_len, so the bound check
+            // above covers every lockstep peer too.
+            for i in e.leaf_start..e.leaf_start + e.leaf_len {
+                let sym = self.maps[i].map()[sym_of] as usize;
+                let tr = self.dfas[i].transitions();
+                self.states[i] = tr[self.states[i] as usize * self.strides[i] as usize + sym];
+            }
+            e.consumed += 1;
+        }
+        true
+    }
+
+    /// [`ConstraintCursor::check_one`] for the cursor under `key`:
+    /// `history · a ⊨ C` with zero allocations, or `None` to decline.
+    pub fn check_one(&self, key: u32, access: &Access, table: &AccessTable) -> Option<bool> {
+        let p = self.pos(key)?;
+        let id = table.id_of(access)?;
+        let e = &self.entries[p];
+        if e.table_version != table.version() {
+            return None;
+        }
+        if id.index() >= e.table_len {
+            stacl_obs::count(stacl_obs::Counter::CursorOutOfClass);
+            return None;
+        }
+        Some((e.leaf_start..e.leaf_start + e.leaf_len).all(|i| {
+            let sym = self.maps[i].map()[id.index()];
+            self.dfas[i].is_accepting(self.dfas[i].next(self.states[i], sym))
+        }))
+    }
+
+    /// [`ConstraintCursor::check_residual_program`] for the cursor under
+    /// `key`: the general-program residual check from the stored
+    /// states, or `None` to decline.
+    pub fn check_residual_program(
+        &self,
+        key: u32,
+        program: &Program,
+        table: &mut AccessTable,
+    ) -> Option<bool> {
+        if let Program::Access(a) = program {
+            return self.check_one(key, a, table);
+        }
+        let p = self.pos(key)?;
+        let re = traces(program, table, AbstractionConfig::default());
+        let e = &self.entries[p];
+        if e.table_version != table.version() {
+            return None;
+        }
+        let prog = Dfa::from_regex_with(&re, re.alphabet());
+        for i in e.leaf_start..e.leaf_start + e.leaf_len {
+            let map = self.maps[i].map_alphabet(&prog.alphabet)?;
+            if prog
+                .product_shortest_mapped(
+                    prog.start,
+                    &self.dfas[i],
+                    self.states[i],
+                    ProductMode::Diff,
+                    &map,
+                )
+                .is_some()
+            {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
 }
 
 #[cfg(test)]
@@ -298,7 +578,7 @@ mod tests {
         assert!(cursor.in_sync_with(&other));
         other.intern(&acc("exec", "rsw", "s9"));
         assert!(!cursor.in_sync_with(&other));
-        // Advancing on an out-of-alphabet id is refused.
+        // Advancing on an out-of-class id is refused.
         let mut cursor2 = cursor.clone();
         assert!(!cursor2.advance(AccessId(999)));
     }
@@ -315,5 +595,98 @@ mod tests {
         let h = Trace::from_ids([table.id_of(&a).unwrap(); 3]);
         assert!(cursor.advance_trace(&h));
         assert_eq!(cursor.consumed(), 3);
+    }
+
+    /// Out-of-class accesses (interned after the cursor was built) make
+    /// the cursor *decline* — never mis-verdict. Regression for the
+    /// compressed-alphabet decline rule.
+    #[test]
+    fn compressed_cursor_declines_on_out_of_class_access() {
+        let c = parse_constraint("count(0, 2, resource=rsw)").unwrap();
+        let mut table = AccessTable::new();
+        let mut cache = ConstraintCache::new();
+        table.intern(&acc("exec", "rsw", "s1"));
+        let mut cursor = ConstraintCursor::new(&c, &mut table, &mut cache);
+
+        // A fresh access interned after the build: unknown to the class
+        // map even though the table can resolve it.
+        let late = acc("read", "late", "s9");
+        let late_id = table.intern(&late);
+        assert!(!cursor.in_sync_with(&table));
+        assert_eq!(cursor.check_one(&late, &table), None, "must decline");
+        assert!(!cursor.advance(late_id), "must refuse to advance");
+
+        // The slow path still answers, and a rebuilt cursor agrees.
+        let slow = check_residual_cached(
+            &Trace::empty(),
+            &Program::Access(late.clone()),
+            &c,
+            &mut table,
+            Semantics::ForAll,
+            &mut cache,
+        );
+        let rebuilt = ConstraintCursor::new(&c, &mut table, &mut cache);
+        assert_eq!(rebuilt.check_one(&late, &table), Some(slow.holds));
+    }
+
+    #[test]
+    fn bank_advances_lockstep_cursors_together() {
+        let c1 = parse_constraint("count(0, 2, resource=rsw)").unwrap();
+        let c2 = parse_constraint("count(0, 4, op=exec)").unwrap();
+        let mut table = AccessTable::new();
+        let mut cache = ConstraintCache::new();
+        let a = acc("exec", "rsw", "s1");
+        table.intern(&a);
+
+        let mut bank = CursorBank::new();
+        bank.insert(7, ConstraintCursor::new(&c1, &mut table, &mut cache), 1);
+        bank.insert(9, ConstraintCursor::new(&c2, &mut table, &mut cache), 1);
+        assert_eq!(bank.len(), 2);
+
+        // Driving key 7 advances key 9 too: both are in lockstep.
+        assert!(bank.advance_synced(7, &a, &table));
+        assert_eq!(bank.consumed(7), Some(1));
+        assert_eq!(bank.consumed(9), Some(1));
+
+        // Independent reference cursors advanced one by one agree with
+        // the bank's batched answers at every step.
+        let mut r1 = ConstraintCursor::new(&c1, &mut table, &mut cache);
+        let mut r2 = ConstraintCursor::new(&c2, &mut table, &mut cache);
+        assert!(r1.advance_access(&a, &table) && r2.advance_access(&a, &table));
+        for _ in 0..4 {
+            assert_eq!(bank.check_one(7, &a, &table), r1.check_one(&a, &table));
+            assert_eq!(bank.check_one(9, &a, &table), r2.check_one(&a, &table));
+            assert!(bank.advance_synced(9, &a, &table));
+            assert!(r1.advance_access(&a, &table) && r2.advance_access(&a, &table));
+        }
+    }
+
+    #[test]
+    fn bank_remove_compacts_leaf_ranges() {
+        let c1 = parse_constraint("count(0, 2, resource=rsw) and count(0, 9, op=exec)").unwrap();
+        let c2 = parse_constraint("count(0, 4, op=exec)").unwrap();
+        let mut table = AccessTable::new();
+        let mut cache = ConstraintCache::new();
+        let a = acc("exec", "rsw", "s1");
+        table.intern(&a);
+
+        let mut bank = CursorBank::new();
+        bank.insert(1, ConstraintCursor::new(&c1, &mut table, &mut cache), 0);
+        bank.insert(2, ConstraintCursor::new(&c2, &mut table, &mut cache), 0);
+        bank.insert(3, ConstraintCursor::new(&c2, &mut table, &mut cache), 0);
+        bank.remove(1);
+        assert!(!bank.contains(1));
+        assert_eq!(bank.len(), 2);
+        // Survivors still answer correctly after compaction.
+        assert_eq!(bank.check_one(2, &a, &table), Some(true));
+        assert_eq!(bank.check_one(3, &a, &table), Some(true));
+        assert!(bank.advance_synced(2, &a, &table));
+        assert_eq!(bank.consumed(3), Some(1), "lockstep peer advanced");
+        // Generation re-stamp + retain.
+        bank.set_generation_all(5);
+        assert_eq!(bank.generation(2), Some(5));
+        bank.retain_keys(|k| k == 3);
+        assert_eq!(bank.len(), 1);
+        assert!(bank.contains(3));
     }
 }

@@ -47,6 +47,7 @@
 
 pub mod ast;
 pub mod check;
+pub mod classes;
 pub mod compile;
 pub mod cursor;
 pub mod parser;
@@ -56,6 +57,7 @@ pub mod trace_sat;
 
 pub use ast::Constraint;
 pub use check::{check_program, Semantics, Verdict};
-pub use cursor::ConstraintCursor;
+pub use classes::{alphabet_compression_enabled, set_alphabet_compression, SymbolClasses};
+pub use cursor::{ConstraintCursor, CursorBank};
 pub use selector::Selector;
 pub use simplify::simplify;

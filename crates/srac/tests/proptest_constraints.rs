@@ -293,6 +293,66 @@ fn cursor_verdict_equals_from_scratch_residual() {
     );
 }
 
+/// Compressed-alphabet leaves decide exactly like full-alphabet
+/// compilation: `check_residual_cached` (symbol-class-compressed,
+/// hash-consed leaves + lazily explored mapped product) must agree with
+/// the non-cached `check_residual` oracle (full checking alphabet,
+/// materialised product) on random (history, program, constraint)
+/// triples, under both semantics — and its witnesses must be genuine by
+/// Definition 3.6. This is the "leaf-compressed ≡ leaf-full" pin the
+/// alphabet-compression optimisation rests on.
+#[test]
+fn leaf_compressed_equals_leaf_full() {
+    forall("leaf_compressed_equals_leaf_full", 0xac09, 192, |rng| {
+        let c = gen_constraint(rng, 3);
+        let (mut table, _, accs) = vocab_table();
+        let mut cache = ConstraintCache::new();
+        let history: Vec<Access> = (0..rng.gen_range(0usize..5))
+            .map(|_| accs[rng.gen_range(0usize..8)].clone())
+            .collect();
+        let future: Vec<Access> = (0..rng.gen_range(1usize..4))
+            .map(|_| accs[rng.gen_range(0usize..8)].clone())
+            .collect();
+        let prog = stacl_sral::Program::seq_all(
+            future
+                .iter()
+                .map(|a| stacl_sral::Program::Access(a.clone())),
+        );
+        let h_trace = Trace::from_ids(history.iter().map(|a| table.id_of(a).unwrap()));
+        for sem in [Semantics::ForAll, Semantics::Exists] {
+            // Full-width oracle on its own fresh table.
+            let mut full_table = AccessTable::new();
+            let h_full = Trace::from_ids(history.iter().map(|a| full_table.intern(a)));
+            let full = check_residual(&h_full, &prog, &c, &mut full_table, sem);
+            let compressed =
+                check_residual_cached(&h_trace, &prog, &c, &mut table, sem, &mut cache);
+            assert_eq!(compressed.holds, full.holds, "constraint {c} ({sem:?})");
+            // Witnesses must be genuine: a failing ForAll's trace
+            // violates C, a holding Exists' trace satisfies it.
+            let oracle = ProofOracle::assume_all();
+            match sem {
+                Semantics::ForAll if !compressed.holds => {
+                    let w = compressed.witness.expect("failing ForAll has a witness");
+                    let whole = h_trace.concat(&w);
+                    assert!(
+                        !trace_satisfies(&whole, &c, &table, &oracle),
+                        "bogus counterexample {whole} for {c}"
+                    );
+                }
+                Semantics::Exists if compressed.holds => {
+                    let w = compressed.witness.expect("holding Exists has a witness");
+                    let whole = h_trace.concat(&w);
+                    assert!(
+                        trace_satisfies(&whole, &c, &table, &oracle),
+                        "bogus satisfying witness {whole} for {c}"
+                    );
+                }
+                _ => {}
+            }
+        }
+    });
+}
+
 /// The production checking pipeline (`compile.rs` automata driven through
 /// `check.rs`'s residual check) agrees with `trace_sat.rs`'s naive
 /// Definition 3.6 evaluation on random (trace, constraint) pairs: for a

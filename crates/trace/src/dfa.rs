@@ -8,8 +8,9 @@
 //! witnesses, and language equivalence — everything Theorem 3.2's
 //! satisfaction checking and Theorem 3.1's round-trip validation need.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use crate::hash::FnvHashMap;
 use crate::nfa::Nfa;
 use crate::regex::Regex;
 use crate::symbol::Alphabet;
@@ -100,7 +101,7 @@ impl Dfa {
     pub fn from_nfa(nfa: &Nfa, alphabet: Alphabet) -> Dfa {
         assert_eq!(nfa.alphabet_len, alphabet.len());
         let k = alphabet.len();
-        let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut index: FnvHashMap<Vec<u32>, u32> = FnvHashMap::default();
         let mut trans: Vec<u32> = Vec::new();
         let mut accept: Vec<bool> = Vec::new();
         let mut queue: VecDeque<Vec<u32>> = VecDeque::new();
@@ -238,7 +239,7 @@ impl Dfa {
         assert!((self_start as usize) < self.num_states());
         assert!((other_start as usize) < other.num_states());
         let k = self.alphabet.len();
-        let mut index: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut index: FnvHashMap<(u32, u32), u32> = FnvHashMap::default();
         let mut trans: Vec<u32> = Vec::new();
         let mut accept: Vec<bool> = Vec::new();
         let mut queue = VecDeque::new();
@@ -385,33 +386,64 @@ impl Dfa {
             blocks.push(b);
         }
 
-        // Reverse transitions: rev[sym][t] = states s with trans(s,sym)=t.
-        let mut rev: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); n]; k];
+        // Reverse transitions in CSR layout: for bucket `i = sym * n + t`,
+        // `rev[rev_off[i]..rev_off[i + 1]]` lists the states s with
+        // trans(s, sym) = t. A `Vec<Vec<Vec<u32>>>` here would allocate
+        // k × n vectors — ruinous for large (identity-mapped) alphabets —
+        // while CSR is two flat arrays filled in two passes.
+        let mut rev_off = vec![0u32; k * n + 1];
         for s in 0..n {
             for sym in 0..k {
-                rev[sym][trans[s * k + sym] as usize].push(s as u32);
+                rev_off[sym * n + trans[s * k + sym] as usize + 1] += 1;
             }
         }
-
-        // Worklist of (block id, symbol).
-        let mut worklist: VecDeque<(u32, u32)> = VecDeque::new();
-        for b in 0..blocks.len() as u32 {
-            for sym in 0..k as u32 {
-                worklist.push_back((b, sym));
+        for i in 0..k * n {
+            rev_off[i + 1] += rev_off[i];
+        }
+        let mut rev = vec![0u32; n * k];
+        {
+            let mut cursor: Vec<u32> = rev_off[..k * n].to_vec();
+            for s in 0..n {
+                for sym in 0..k {
+                    let bucket = sym * n + trans[s * k + sym] as usize;
+                    rev[cursor[bucket] as usize] = s as u32;
+                    cursor[bucket] += 1;
+                }
             }
+        }
+        let rev_of = |sym: usize, t: usize| {
+            let i = sym * n + t;
+            &rev[rev_off[i] as usize..rev_off[i + 1] as usize]
+        };
+
+        // Worklist of (block id, symbol), seeded per Hopcroft with only
+        // the *smaller* of the two initial partitions: refining against
+        // min(F, Q∖F) on every symbol already distinguishes everything
+        // refining against both would (the classic worklist invariant),
+        // and the split step below keeps the invariant by leaving the
+        // larger half under the old id — pending entries keep referring
+        // to it — while enqueuing the smaller half.
+        let mut worklist: VecDeque<(u32, u32)> = VecDeque::new();
+        let seed = if blocks.len() == 2 && blocks[1].len() < blocks[0].len() {
+            1u32
+        } else {
+            0u32
+        };
+        for sym in 0..k as u32 {
+            worklist.push_back((seed, sym));
         }
 
         while let Some((b_id, sym)) = worklist.pop_front() {
             // X = preimage of block b under sym.
             let mut x: Vec<u32> = Vec::new();
             for &t in &blocks[b_id as usize] {
-                x.extend_from_slice(&rev[sym as usize][t as usize]);
+                x.extend_from_slice(rev_of(sym as usize, t as usize));
             }
             if x.is_empty() {
                 continue;
             }
             // Group X by current block.
-            let mut touched: HashMap<u32, Vec<u32>> = HashMap::new();
+            let mut touched: FnvHashMap<u32, Vec<u32>> = FnvHashMap::default();
             for &s in &x {
                 touched.entry(block[s as usize]).or_default().push(s);
             }
@@ -463,6 +495,158 @@ impl Dfa {
             start: block[0], // reachable-state 0 is the original start.
             accept: q_accept,
         }
+    }
+
+    /// The raw row-major transition table (`trans[state * k + sym]`).
+    /// Exposed read-only so batch cursor banks can advance many automata
+    /// in a flat loop without per-step method dispatch.
+    #[inline]
+    pub fn transitions(&self) -> &[u32] {
+        &self.trans
+    }
+
+    /// Renumber states by breadth-first discovery order from the start
+    /// state, exploring symbols in index order, and drop unreachable
+    /// states. A *minimal* DFA is unique up to state renaming, and BFS
+    /// discovery order is itself determined by the transition structure —
+    /// so two minimal automata recognise the same language over the same
+    /// alphabet **iff** their canonical forms are structurally identical.
+    /// That equivalence is what [`Dfa::structural_hash`] hash-consing
+    /// rests on.
+    pub fn canonicalize(&self) -> Dfa {
+        let n = self.num_states();
+        let k = self.alphabet.len();
+        let mut map = vec![u32::MAX; n];
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        map[self.start as usize] = 0;
+        order.push(self.start);
+        let mut head = 0;
+        while head < order.len() {
+            let s = order[head];
+            head += 1;
+            for sym in 0..k as u32 {
+                let t = self.next(s, sym);
+                if map[t as usize] == u32::MAX {
+                    map[t as usize] = order.len() as u32;
+                    order.push(t);
+                }
+            }
+        }
+        let m = order.len();
+        let mut trans = vec![0u32; m * k];
+        let mut accept = vec![false; m];
+        for (new_s, &old_s) in order.iter().enumerate() {
+            accept[new_s] = self.accept[old_s as usize];
+            for sym in 0..k {
+                trans[new_s * k + sym] = map[self.next(old_s, sym as u32) as usize];
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            trans,
+            start: 0,
+            accept,
+        }
+    }
+
+    /// FNV-1a hash of the automaton's exact structure: alphabet ids,
+    /// start state, acceptance flags and transition table. Equal
+    /// structures hash equal; on [canonical](Dfa::canonicalize) minimal
+    /// automata the hash is therefore a language fingerprint (modulo
+    /// collisions, which [`Dfa::same_structure`] resolves).
+    pub fn structural_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = crate::hash::FnvHasher::default();
+        for id in self.alphabet.ids() {
+            id.0.hash(&mut h);
+        }
+        self.start.hash(&mut h);
+        self.accept.hash(&mut h);
+        self.trans.hash(&mut h);
+        h.finish()
+    }
+
+    /// Exact structural equality: same alphabet (ids in the same order),
+    /// start, acceptance and transitions. On canonical minimal automata
+    /// this *is* language equality over that alphabet.
+    pub fn same_structure(&self, other: &Dfa) -> bool {
+        self.start == other.start
+            && self.accept == other.accept
+            && self.trans == other.trans
+            && self.alphabet == other.alphabet
+    }
+
+    /// Shortest word accepted by the *mapped* product of `self` (stepped
+    /// on its own symbols, from `self_start`) and `other` (stepped on
+    /// `map[sym]`, from `other_start`), combining acceptance with `mode`.
+    /// Returns the word in `self`-local symbols, or `None` when the
+    /// product language is empty.
+    ///
+    /// `map` must translate every `self` symbol to an `other` symbol —
+    /// the compressed-alphabet bridge: `self` is a program automaton over
+    /// the full-table alphabet, `other` a constraint automaton over its
+    /// symbol-class representatives, and `map` the global-id → class
+    /// table. Because every id in a class acts identically on the
+    /// constraint, this explores exactly the reachable part of the
+    /// product `self × reindex(other)` would — without ever materialising
+    /// either the reindexed automaton or the product transition table,
+    /// and stopping at the first (BFS-shortest) accepting pair.
+    pub fn product_shortest_mapped(
+        &self,
+        self_start: u32,
+        other: &Dfa,
+        other_start: u32,
+        mode: ProductMode,
+        map: &[u32],
+    ) -> Option<Vec<u32>> {
+        assert_eq!(
+            map.len(),
+            self.alphabet.len(),
+            "symbol map must cover the left alphabet"
+        );
+        debug_assert!(map
+            .iter()
+            .all(|&m| (m as usize) < other.alphabet_len().max(1)));
+        assert!((self_start as usize) < self.num_states());
+        assert!((other_start as usize) < other.num_states());
+        let k = self.alphabet.len();
+        let start = (self_start, other_start);
+        if mode.combine(
+            self.accept[self_start as usize],
+            other.accept[other_start as usize],
+        ) {
+            return Some(Vec::new());
+        }
+        let mut index: FnvHashMap<(u32, u32), u32> = FnvHashMap::default();
+        let mut pairs: Vec<(u32, u32)> = vec![start];
+        // pred[i] = (parent index, symbol taken); u32::MAX marks the root.
+        let mut pred: Vec<(u32, u32)> = vec![(u32::MAX, 0)];
+        index.insert(start, 0);
+        let mut head = 0usize;
+        while head < pairs.len() {
+            let (qa, qb) = pairs[head];
+            for sym in 0..k as u32 {
+                let pair = (self.next(qa, sym), other.next(qb, map[sym as usize]));
+                if index.contains_key(&pair) {
+                    continue;
+                }
+                index.insert(pair, pairs.len() as u32);
+                if mode.combine(self.accept[pair.0 as usize], other.accept[pair.1 as usize]) {
+                    let mut word = vec![sym];
+                    let mut at = head as u32;
+                    while pred[at as usize].0 != u32::MAX {
+                        word.push(pred[at as usize].1);
+                        at = pred[at as usize].0;
+                    }
+                    word.reverse();
+                    return Some(word);
+                }
+                pred.push((head as u32, sym));
+                pairs.push(pair);
+            }
+            head += 1;
+        }
+        None
     }
 
     /// Language equivalence via symmetric-difference emptiness, after
@@ -724,6 +908,110 @@ mod tests {
         assert!(d.accepts(&t(&[0, 1, 0, 1])));
         assert!(!d.accepts(&t(&[1, 0, 0, 1])));
         assert!(!d.accepts(&t(&[0, 1])));
+    }
+
+    #[test]
+    fn canonicalize_is_language_preserving_and_stable() {
+        let re = Regex::shuffle(Regex::star(sym(0)), Regex::cat(sym(1), sym(2)));
+        let d = Dfa::from_regex(&re).minimize().canonicalize();
+        assert!(d.equivalent(&Dfa::from_regex(&re)));
+        assert_eq!(d.start, 0);
+        // Canonicalizing twice is a fixpoint.
+        let d2 = d.canonicalize();
+        assert!(d.same_structure(&d2));
+        assert_eq!(d.structural_hash(), d2.structural_hash());
+    }
+
+    #[test]
+    fn canonical_forms_of_equal_languages_coincide() {
+        // Two syntactically different regexes for the same language must
+        // canonicalize to bit-identical automata (the hash-consing
+        // invariant).
+        let a = Regex::star(sym(0));
+        let b = Regex::alt(Regex::Eps, Regex::cat(sym(0), Regex::star(sym(0))));
+        let union = Regex::alt(sym(0), sym(1)).alphabet();
+        let da = Dfa::from_regex_with(&a, union.clone())
+            .minimize()
+            .canonicalize();
+        let db = Dfa::from_regex_with(&b, union).minimize().canonicalize();
+        assert!(da.same_structure(&db));
+        assert_eq!(da.structural_hash(), db.structural_hash());
+        // And a genuinely different language must differ structurally.
+        let dc = Dfa::from_regex(&sym(0)).minimize().canonicalize();
+        assert!(!da.same_structure(&dc));
+    }
+
+    #[test]
+    fn mapped_product_equals_materialised_product() {
+        // Identity map: the mapped BFS must agree with product_from +
+        // shortest_accepted_local on every mode and start pair.
+        let union = Regex::alt(sym(0), sym(1)).alphabet();
+        let cons = Dfa::from_regex_with(&Regex::star(Regex::alt(sym(1), sym(0))), union.clone());
+        let prog = Dfa::from_regex_with(&Regex::cat(sym(0), sym(1)), union.clone());
+        let ident: Vec<u32> = (0..union.len() as u32).collect();
+        for mode in [
+            ProductMode::And,
+            ProductMode::Or,
+            ProductMode::Diff,
+            ProductMode::Xor,
+        ] {
+            let fast = prog.product_shortest_mapped(prog.start, &cons, cons.start, mode, &ident);
+            let slow = prog
+                .product_from(prog.start, &cons, cons.start, mode)
+                .shortest_accepted_local();
+            assert_eq!(fast, slow, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn mapped_product_bridges_compressed_alphabets() {
+        // prog over {0,1,2}; cons over a 2-symbol compressed alphabet
+        // where global ids 1 and 2 share class 1. The mapped Diff
+        // emptiness must equal the full-width product after reindexing.
+        let full = Alphabet::from_ids([AccessId(0), AccessId(1), AccessId(2)]);
+        let prog = Dfa::from_regex_with(&Regex::cat(sym(1), sym(2)), full.clone());
+        // cons (compressed): "at most one symbol of class 1".
+        let small = Alphabet::from_ids([AccessId(0), AccessId(1)]);
+        let cons_small = Dfa::from_regex_with(
+            &Regex::cat(
+                Regex::star(Regex::Sym(AccessId(0))),
+                Regex::alt(
+                    Regex::Eps,
+                    Regex::cat(
+                        Regex::Sym(AccessId(1)),
+                        Regex::star(Regex::Sym(AccessId(0))),
+                    ),
+                ),
+            ),
+            small,
+        );
+        let map = vec![0u32, 1, 1]; // ids 1 and 2 collapse to class 1.
+                                    // prog performs two class-1 accesses: violates the cap.
+        let witness = prog
+            .product_shortest_mapped(
+                prog.start,
+                &cons_small,
+                cons_small.start,
+                ProductMode::Diff,
+                &map,
+            )
+            .expect("two class-1 accesses violate the cap");
+        assert_eq!(witness, vec![1, 2]);
+        // The same language expressed full-width agrees.
+        let cons_full = Dfa::from_regex_with(
+            &Regex::cat(
+                Regex::star(sym(0)),
+                Regex::alt(
+                    Regex::Eps,
+                    Regex::cat(Regex::alt(sym(1), sym(2)), Regex::star(sym(0))),
+                ),
+            ),
+            full,
+        );
+        let slow = prog
+            .product_from(prog.start, &cons_full, cons_full.start, ProductMode::Diff)
+            .shortest_accepted_local();
+        assert_eq!(slow, Some(vec![1, 2]));
     }
 
     #[test]

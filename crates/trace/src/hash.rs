@@ -1,0 +1,94 @@
+//! FNV-1a hashing for the automata hot paths.
+//!
+//! Subset construction, product construction and the constraint cache all
+//! key small, trusted, fixed-shape values (`Vec<u32>` state sets,
+//! `(u32, u32)` state pairs, constraint ASTs). The std `HashMap`'s
+//! SipHash is DoS-resistant but pays for it per byte; these maps never
+//! see attacker-chosen keys, so the ledger's FNV-1a (already hand-rolled
+//! in `stacl-coalition`) is the right trade — and keeps the workspace
+//! dependency-free.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a hasher (64-bit).
+#[derive(Clone, Debug)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// A [`BuildHasher`] producing [`FnvHasher`]s — drop-in hasher parameter
+/// for `HashMap`s on the automata hot paths.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FnvBuildHasher;
+
+impl BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::default()
+    }
+}
+
+/// A `HashMap` keyed with FNV-1a instead of SipHash.
+pub type FnvHashMap<K, V> = HashMap<K, V, FnvBuildHasher>;
+
+/// Hash `value` with FNV-1a via its `Hash` impl.
+pub fn fnv_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FnvHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        fn fnv(bytes: &[u8]) -> u64 {
+            let mut h = FnvHasher::default();
+            h.write(bytes);
+            h.finish()
+        }
+        assert_eq!(fnv(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FnvHashMap<(u32, u32), u32> = FnvHashMap::default();
+        m.insert((1, 2), 3);
+        m.insert((2, 1), 4);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        assert_eq!(m.get(&(2, 1)), Some(&4));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -213,3 +213,53 @@ fn enumeration_is_sound_and_complete() {
         assert_eq!(listed.len() as u64, total);
     });
 }
+
+/// `minimize` output is *minimal*: no two states are language-equivalent.
+/// Checked by Moore refinement to a fixpoint — if the automaton were not
+/// minimal, two states would share acceptance and successor classes at
+/// every refinement round and the class count would fall short of the
+/// state count. Also pins that canonicalization keeps minimality and is
+/// deterministic across two independent builds of the same language.
+#[test]
+fn minimize_output_is_minimal() {
+    forall("minimize_output_is_minimal", 0xd0ab, 128, |rng| {
+        let re = gen_regex(rng, 3, 3);
+        let d = Dfa::from_regex(&re).minimize();
+        let n = d.num_states();
+        let k = d.alphabet_len();
+        // Moore refinement: classes start as acceptance, refine by
+        // (own class, successor-class vector) signatures. Each round
+        // strictly refines the partition or reaches the fixpoint, so the
+        // class count is stationary exactly at the fixpoint.
+        let mut class: Vec<u32> = d.accept.iter().map(|&a| u32::from(a)).collect();
+        let mut distinct = class.iter().collect::<std::collections::HashSet<_>>().len();
+        loop {
+            let mut sig_index: std::collections::HashMap<(u32, Vec<u32>), u32> =
+                std::collections::HashMap::new();
+            let mut next_class = vec![0u32; n];
+            for s in 0..n as u32 {
+                let succ: Vec<u32> = (0..k as u32)
+                    .map(|sym| class[d.next(s, sym) as usize])
+                    .collect();
+                let fresh = sig_index.len() as u32;
+                let id = *sig_index.entry((class[s as usize], succ)).or_insert(fresh);
+                next_class[s as usize] = id;
+            }
+            let next_distinct = sig_index.len();
+            class = next_class;
+            if next_distinct == distinct {
+                break;
+            }
+            distinct = next_distinct;
+        }
+        assert_eq!(
+            distinct, n,
+            "minimize left language-equivalent states: {distinct} classes over {n} states ({re})"
+        );
+        // Canonical forms of independently built equal languages coincide.
+        let c1 = d.canonicalize();
+        let c2 = Dfa::from_regex(&re).minimize().canonicalize();
+        assert!(c1.same_structure(&c2), "canonical form unstable for {re}");
+        assert_eq!(c1.structural_hash(), c2.structural_hash());
+    });
+}
