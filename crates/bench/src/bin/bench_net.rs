@@ -28,14 +28,16 @@
 //!
 //! Usage: `bench_net [--objects 32] [--accesses 500] [--out BENCH_net.json]`
 
+use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
+use stacl::coalition::Placement;
 use stacl::naplet::guard::GuardRequest;
 use stacl::obs::Counter;
 use stacl::prelude::*;
 use stacl_bench::fleet_model;
 use stacl_ids::json::JsonWriter;
-use stacl_net::{Client, DaemonConfig};
+use stacl_net::{Client, DaemonConfig, DaemonHandle};
 
 struct ModeResult {
     name: String,
@@ -47,6 +49,8 @@ struct ModeResult {
 fn main() {
     let mut objects = 32usize;
     let mut accesses = 500usize;
+    let mut placement_objects = 1_000_000usize;
+    let mut placement_daemons = 8usize;
     let mut out = String::from("BENCH_net.json");
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,9 +64,13 @@ fn main() {
         match key {
             "--objects" => objects = val.parse().expect("--objects"),
             "--accesses" => accesses = val.parse().expect("--accesses"),
+            "--placement-objects" => placement_objects = val.parse().expect("--placement-objects"),
+            "--placement-daemons" => placement_daemons = val.parse().expect("--placement-daemons"),
             "--out" => out = val.clone(),
             _ => {
-                eprintln!("unknown flag {key} (expected --objects/--accesses/--out)");
+                eprintln!(
+                    "unknown flag {key} (expected --objects/--accesses/--placement-objects/--placement-daemons/--out)"
+                );
                 std::process::exit(2);
             }
         }
@@ -125,6 +133,12 @@ fn main() {
     drop(client);
     handle.shutdown();
 
+    // E18: the million-object placement phase — custody pinned by the
+    // rendezvous ring across a full coalition, decide throughput with the
+    // whole population resident, churn drain rate and tail latency, and
+    // the compaction-bounded proof memory proxy.
+    let placed = run_placement(placement_objects, placement_daemons);
+
     let best = sweep
         .iter()
         .enumerate()
@@ -182,11 +196,287 @@ fn main() {
         "bytes_per_decision",
         round3(bytes_tx as f64 / decisions as f64),
     );
+    // E18 placement phase: the schema-checked headline keys at top level,
+    // full detail nested under "placement".
+    w.open_object("placement");
+    w.field_usize("objects", placed.objects);
+    w.field_usize("daemons", placed.daemons);
+    w.field_usize("hot_objects", placed.hot);
+    w.field_usize("steps", placed.steps);
+    w.field_usize("compact_after", placed.compact_after);
+    w.field_f64("claims_per_sec", round3(placed.claims_per_sec));
+    w.field_f64("ops_per_sec", round3(placed.ops_per_sec));
+    w.field_usize("decisions", placed.decisions);
+    w.field_f64("p50_us_churn", round3(placed.p50_us_churn));
+    w.field_f64("p99_us_churn", round3(placed.p99_us_churn));
+    w.field_usize("churn_samples", placed.churn_samples);
+    w.field_u64("handoffs", placed.handoffs);
+    w.field_f64("churn_elapsed_s", round3(placed.churn_elapsed_s));
+    w.field_f64("handoff_rate", round3(placed.handoff_rate));
+    w.field_usize("proofs_issued", placed.proofs_issued);
+    w.field_usize("live_proof_count", placed.live_proof_count);
+    w.field_usize("live_cursor_working_set", placed.live_cursor_working_set);
+    w.field_f64(
+        "live_to_working_set_x",
+        round3(placed.live_proof_count as f64 / placed.live_cursor_working_set.max(1) as f64),
+    );
+    w.close();
+    w.field_f64("ops_per_sec_1m_objects", round3(placed.ops_per_sec));
+    w.field_f64("p99_us_churn", round3(placed.p99_us_churn));
+    w.field_f64("handoff_rate", round3(placed.handoff_rate));
+    w.field_usize("live_proof_count", placed.live_proof_count);
     let s = w.finish();
 
     std::fs::write(&out, &s).expect("write report");
     print!("{s}");
     eprintln!("wrote {out}");
+}
+
+struct PlacementResult {
+    objects: usize,
+    daemons: usize,
+    hot: usize,
+    steps: usize,
+    compact_after: usize,
+    claims_per_sec: f64,
+    ops_per_sec: f64,
+    decisions: usize,
+    p50_us_churn: f64,
+    p99_us_churn: f64,
+    churn_samples: usize,
+    handoffs: u64,
+    churn_elapsed_s: f64,
+    handoff_rate: f64,
+    proofs_issued: usize,
+    live_proof_count: usize,
+    live_cursor_working_set: usize,
+}
+
+/// E18: the million-object / 8-daemon placement phase.
+///
+/// * **Claims** — every one of `objects` custodies is computed from the
+///   rendezvous ring (O(members), no broadcast) and claimed on its home
+///   daemon; `claims_per_sec` is that placement rate.
+/// * **Steady state** — a hot set of objects decides over the wire at
+///   their ring homes, replicating one proof per grant, with
+///   watermark-based compaction sealing consumed prefixes
+///   (`ops_per_sec_1m_objects` counts decisions; the measured loop also
+///   carries the proof traffic).
+/// * **Churn** — the last member leaves and rejoins; only the keys whose
+///   home moved drain through the rebalance pull. `handoff_rate` is
+///   drained keys per second, and `p99_us_churn` is the tail of
+///   fail-safe decide latency sampled *during* the drains (in-flight
+///   custody resolves to the counted `DeniedCoordination`, never a hang).
+/// * **Proof memory** — `live_proof_count` (unsealed proofs summed over
+///   members) is the RSS proxy; the phase asserts it stays under 2× the
+///   live-cursor working set (`hot × compact_after`, the window the
+///   warm cursors are configured to need).
+fn run_placement(objects: usize, daemons: usize) -> PlacementResult {
+    assert!(daemons >= 2, "the churn phase needs a member to leave");
+    let hot = 512.min(objects);
+    let steps = 192usize;
+    let compact_after = 64usize;
+    let vocab: Vec<Access> = (0..4)
+        .map(|s| Access::new("exec", "rsw", format!("s{s}")))
+        .collect();
+
+    // Members: identical hot-set policy replicas, custody enforced,
+    // compaction on. The at_most cap compiles to a counting automaton
+    // (one state per count), so size it to the per-object history it
+    // must admit — each hot object accrues `steps` proofs.
+    let mut handles: Vec<DaemonHandle> = Vec::with_capacity(daemons);
+    for i in 0..daemons {
+        let guard =
+            CoordinatedGuard::new(ExtendedRbac::new(fleet_model(hot, "rsw", 2 * steps + 2)))
+                .with_mode(EnforcementMode::Reactive);
+        for h in 0..hot {
+            guard.enroll(format!("n{h}"), ["licensee"]);
+        }
+        guard.set_custody_enforcement(true);
+        let mut cfg = DaemonConfig::new(format!("d{i}"));
+        cfg.compact_after = compact_after;
+        handles.push(stacl_net::spawn(guard, ProofStore::new(), cfg).expect("bind loopback"));
+    }
+    let peers: Vec<(String, SocketAddr)> = handles
+        .iter()
+        .map(|h| (h.name().to_string(), h.addr()))
+        .collect();
+    for h in &handles {
+        for (n, a) in &peers {
+            if n != h.name() {
+                h.add_peer(n, *a);
+            }
+        }
+        h.set_members(&peers);
+    }
+    let ring = Placement::new(peers.iter().map(|(n, _)| n.clone()));
+    let member_idx = |m: &str| -> usize {
+        peers
+            .iter()
+            .position(|(n, _)| n == m)
+            .expect("home comes from the peer ring")
+    };
+
+    // Phase 1: place and claim the full population. The same
+    // ring-validated call the daemon's arrival path makes, driven
+    // in-process so the rate measures placement, not 1M TCP round trips.
+    let leaver = daemons - 1;
+    let mut on_leaver = 0usize;
+    let start = Instant::now();
+    for k in 0..objects {
+        let name = format!("n{k}");
+        let d = member_idx(ring.home_of(&name).expect("nonempty ring"));
+        handles[d]
+            .guard()
+            .take_custody(&name)
+            .expect("ring-valid claim");
+        if d == leaver {
+            on_leaver += 1;
+        }
+    }
+    let claims_per_sec = objects as f64 / start.elapsed().as_secs_f64();
+    eprintln!("placement: claimed {objects} custodies ({claims_per_sec:.0}/s), {on_leaver} on the churn leaver");
+
+    // One vocabulary-synced client per member; the hot names group by
+    // their ring home.
+    let timeout = Some(Duration::from_secs(10));
+    let mut clients: Vec<Client> = Vec::with_capacity(daemons);
+    let hot_names: Vec<String> = (0..hot).map(|k| format!("n{k}")).collect();
+    for h in &handles {
+        let mut c = Client::connect(h.addr(), "bench-placement", timeout).expect("connect");
+        c.sync_vocab(
+            hot_names
+                .iter()
+                .map(String::as_str)
+                .chain(["exec", "rsw", "s0", "s1", "s2", "s3"]),
+        )
+        .expect("vocab sync");
+        clients.push(c);
+    }
+    let mut hot_by_home: Vec<Vec<&str>> = vec![Vec::new(); daemons];
+    for name in &hot_names {
+        hot_by_home[member_idx(ring.home_of(name).expect("nonempty ring"))].push(name);
+    }
+
+    // Phase 2: steady-state decide throughput at ring homes — one proof
+    // replicated per grant (that's what compaction bounds), one batched
+    // decide frame per time step per member.
+    let remaining: Vec<Vec<Access>> = vocab.iter().map(|a| vec![a.clone()]).collect();
+    let decisions = hot * steps;
+    let start = Instant::now();
+    for k in 0..steps {
+        let a = &vocab[k % vocab.len()];
+        let rem = &remaining[k % vocab.len()];
+        for (d, names) in hot_by_home.iter().enumerate() {
+            if names.is_empty() {
+                continue;
+            }
+            for obj in names {
+                clients[d].issue_proof(obj, a, k as f64).expect("proof");
+            }
+            let items: Vec<(&str, &Access, &[Access], f64)> = names
+                .iter()
+                .map(|obj| (*obj, a, rem.as_slice(), k as f64))
+                .collect();
+            for v in clients[d].decide_batch(&items).expect("batch decide") {
+                assert!(v.is_granted(), "placement workload must be all-grant");
+            }
+        }
+    }
+    let ops_per_sec = decisions as f64 / start.elapsed().as_secs_f64();
+    eprintln!("placement: {decisions} decisions at ring homes ({ops_per_sec:.0}/s)");
+
+    // Phase 3: churn. The last member leaves (draining exactly the keys
+    // it homed) and rejoins (pulling them back); fail-safe decide latency
+    // is sampled concurrently at the current ring homes.
+    let before = stacl::obs::snapshot();
+    let expected = (2 * on_leaver) as u64;
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let t0 = Instant::now();
+    let left = peers[..leaver].to_vec();
+    for h in &handles {
+        h.set_members(&left);
+    }
+    let ring_left = Placement::new(left.iter().map(|(n, _)| n.clone()));
+    let mut rejoined = false;
+    let mut s = 0usize;
+    loop {
+        let obj = &hot_names[s % hot];
+        let r = if rejoined { &ring } else { &ring_left };
+        let d = member_idx(r.home_of(obj).expect("nonempty ring"));
+        let a = &vocab[s % vocab.len()];
+        let t = Instant::now();
+        let _ = clients[d].decide_failsafe(obj, a, &remaining[s % vocab.len()], steps as f64);
+        latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+        s += 1;
+
+        let applied = stacl::obs::snapshot()
+            .diff(&before)
+            .counter(Counter::NetHandoffApplied);
+        if !rejoined && applied >= expected / 2 {
+            // Leave drain complete: rejoin, draining the keys back.
+            for h in &handles {
+                h.set_members(&peers);
+            }
+            rejoined = true;
+        } else if rejoined && applied >= expected {
+            break;
+        }
+        if s.is_multiple_of(50_000) {
+            let d = stacl::obs::snapshot().diff(&before);
+            eprintln!(
+                "placement: churn sample {s}, applied {applied}/{expected}, failed {}, retry {}, rebalance {}, rejoined={rejoined}",
+                d.counter(Counter::NetHandoffFailed),
+                d.counter(Counter::NetRetry),
+                d.counter(Counter::PlacementRebalance),
+            );
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(600),
+            "churn drain stalled: {applied}/{expected} handoffs after {s} samples"
+        );
+    }
+    let churn_elapsed_s = t0.elapsed().as_secs_f64();
+    eprintln!("placement: churn drained {expected} handoffs in {churn_elapsed_s:.1}s");
+    let handoffs = stacl::obs::snapshot()
+        .diff(&before)
+        .counter(Counter::NetHandoffApplied);
+    latencies_us.sort_by(f64::total_cmp);
+    let pct = |p: usize| latencies_us[(latencies_us.len() - 1) * p / 100];
+
+    // Phase 4: the RSS proxy. Unsealed proofs across all members against
+    // the configured live-cursor working set — the acceptance bound.
+    let live_proof_count: usize = handles.iter().map(|h| h.proofs().live_proof_total()).sum();
+    let live_cursor_working_set = hot * compact_after;
+    assert!(
+        live_proof_count < 2 * live_cursor_working_set,
+        "compaction failed to bound proof memory: {live_proof_count} live vs working set {live_cursor_working_set}"
+    );
+
+    let result = PlacementResult {
+        objects,
+        daemons,
+        hot,
+        steps,
+        compact_after,
+        claims_per_sec,
+        ops_per_sec,
+        decisions,
+        p50_us_churn: pct(50),
+        p99_us_churn: pct(99),
+        churn_samples: latencies_us.len(),
+        handoffs,
+        churn_elapsed_s,
+        handoff_rate: handoffs as f64 / churn_elapsed_s,
+        proofs_issued: decisions,
+        live_proof_count,
+        live_cursor_working_set,
+    };
+    drop(clients);
+    for mut h in handles {
+        h.shutdown();
+    }
+    result
 }
 
 /// The guard every mode runs against: the all-grant fleet policy with a

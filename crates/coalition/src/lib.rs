@@ -23,6 +23,9 @@
 //! * [`log`] — the audit log of granted/denied access decisions;
 //! * [`ledger`] — the append-only, hash-chained audit ledger recording
 //!   policy changes and sampled verdicts, verifiable offline;
+//! * [`placement`] — the rendezvous-hash custody ring
+//!   ([`placement::Placement`]): every member computes every object's
+//!   home custodian deterministically, with no broadcast or directory;
 //! * [`event`] — a generic discrete-event queue for the simulation core.
 //!
 //! All shared state is wrapped in lightweight in-tree (`stacl_ids::sync`) locks so a single
@@ -37,6 +40,7 @@ pub mod env;
 pub mod event;
 pub mod ledger;
 pub mod log;
+pub mod placement;
 pub mod proof;
 pub mod signal;
 
@@ -46,5 +50,6 @@ pub use env::CoalitionEnv;
 pub use event::EventQueue;
 pub use ledger::{Ledger, LedgerEntry, LedgerKind};
 pub use log::{AccessLog, Decision, DecisionKind, Verdict};
+pub use placement::Placement;
 pub use proof::{ExecutionProof, ProofStore};
 pub use signal::SignalBoard;

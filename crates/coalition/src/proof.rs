@@ -8,13 +8,29 @@
 //! exists.
 //!
 //! The store is **sharded per mobile object**: each object's proofs live
-//! in their own lock-protected vector, so the dominant query —
+//! in their own lock-protected shard, so the dominant query —
 //! [`ProofStore::history_of`] for the requesting object — touches only
 //! that object's shard and never scans (or contends with) the proofs of
 //! its companions. A global atomic sequence number preserves the
 //! coalition-wide issue order; cross-object views
 //! ([`ProofStore::combined_history`], [`ProofStore::snapshot`]) merge the
 //! shards by sequence number.
+//!
+//! ## Bounded memory: watermark compaction
+//!
+//! Shards are logically append-only forever, but a million-object daemon
+//! cannot keep every `ExecutionProof` materialised. Once every live
+//! cursor for an object has consumed past watermark `n`, the prefix
+//! `[0, n)` can be folded into a **sealed summary**
+//! ([`ProofStore::compact_prefix`]): the distinct accesses are interned
+//! once and the folded proofs shrink to three parallel scalars
+//! (symbol index, seq, time) — roughly a quarter of the live
+//! representation, with no `Arc` per proof. The fold is **lossless**:
+//! every query reconstructs the sealed prefix exactly, so compaction can
+//! never change a verdict — only the shard's resident footprint
+//! ([`ProofStore::live_proof_count`]). [`ProofStore::compaction_base`]
+//! exposes how much of a shard is sealed; custody handoffs carry it so
+//! the importer can validate the exported watermark against it.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,7 +55,83 @@ pub struct ExecutionProof {
     pub seq: u64,
 }
 
-type Shard = Arc<RwLock<Vec<ExecutionProof>>>;
+/// The sealed prefix of a shard: proofs folded into a
+/// structure-of-arrays summary. Distinct accesses are interned once in
+/// `symbols` (first-appearance order); each folded proof is a
+/// `(symbol, seq, time)` triple across the three parallel vectors.
+#[derive(Default, Debug)]
+struct Sealed {
+    symbols: Vec<Access>,
+    sym: Vec<u32>,
+    seqs: Vec<u64>,
+    times: Vec<f64>,
+}
+
+impl Sealed {
+    fn len(&self) -> usize {
+        self.sym.len()
+    }
+
+    fn intern(&mut self, access: &Access) -> u32 {
+        match self.symbols.iter().position(|a| a == access) {
+            Some(i) => i as u32,
+            None => {
+                self.symbols.push(access.clone());
+                (self.symbols.len() - 1) as u32
+            }
+        }
+    }
+
+    fn fold(&mut self, p: &ExecutionProof) {
+        let s = self.intern(&p.access);
+        self.sym.push(s);
+        self.seqs.push(p.seq);
+        self.times.push(p.time.seconds());
+    }
+
+    /// Reconstruct the `i`-th folded proof exactly as it was issued.
+    fn rebuild(&self, object: &Name, i: usize) -> ExecutionProof {
+        ExecutionProof {
+            object: object.clone(),
+            access: self.symbols[self.sym[i] as usize].clone(),
+            time: TimePoint::new(self.times[i]),
+            seq: self.seqs[i],
+        }
+    }
+
+    fn contains(&self, access: &Access) -> bool {
+        self.symbols.iter().any(|a| a == access)
+    }
+}
+
+/// One object's shard: a sealed prefix plus the live suffix.
+#[derive(Default, Debug)]
+struct ShardState {
+    object: Name,
+    sealed: Sealed,
+    live: Vec<ExecutionProof>,
+}
+
+impl ShardState {
+    /// Total logical length (sealed + live) — the shard's watermark.
+    fn len(&self) -> usize {
+        self.sealed.len() + self.live.len()
+    }
+
+    /// Visit proofs from logical index `from` in issue order,
+    /// reconstructing sealed ones on the fly.
+    fn visit_from(&self, from: usize, f: &mut impl FnMut(&ExecutionProof)) {
+        let base = self.sealed.len();
+        for i in from..base {
+            f(&self.sealed.rebuild(&self.object, i));
+        }
+        for p in self.live.iter().skip(from.saturating_sub(base)) {
+            f(p);
+        }
+    }
+}
+
+type Shard = Arc<RwLock<ShardState>>;
 
 #[derive(Default, Debug)]
 struct Inner {
@@ -75,7 +167,12 @@ impl ProofStore {
         }
         let mut map = self.inner.shards.write();
         map.entry(stacl_sral::ast::name(object))
-            .or_default()
+            .or_insert_with(|| {
+                Arc::new(RwLock::new(ShardState {
+                    object: stacl_sral::ast::name(object),
+                    ..ShardState::default()
+                }))
+            })
             .clone()
     }
 
@@ -97,7 +194,7 @@ impl ProofStore {
             time,
             seq: self.inner.seq.fetch_add(1, Ordering::SeqCst),
         };
-        v.push(proof.clone());
+        v.live.push(proof.clone());
         stacl_obs::count(stacl_obs::Counter::WatermarkAdvance);
         proof
     }
@@ -106,16 +203,20 @@ impl ProofStore {
     /// object)?
     pub fn proven(&self, access: &Access) -> bool {
         let shards = self.inner.shards.read();
-        shards
-            .values()
-            .any(|s| s.read().iter().any(|p| &p.access == access))
+        shards.values().any(|s| {
+            let st = s.read();
+            st.sealed.contains(access) || st.live.iter().any(|p| &p.access == access)
+        })
     }
 
     /// `Pr_x(a)` restricted to one mobile object — touches only that
     /// object's shard.
     pub fn proven_by(&self, object: &str, access: &Access) -> bool {
         match self.shard(object) {
-            Some(s) => s.read().iter().any(|p| &p.access == access),
+            Some(s) => {
+                let st = s.read();
+                st.sealed.contains(access) || st.live.iter().any(|p| &p.access == access)
+            }
             None => false,
         }
     }
@@ -124,7 +225,16 @@ impl ProofStore {
     /// order), interned through `table`. Touches only that object's shard.
     pub fn history_of(&self, object: &str, table: &mut AccessTable) -> Trace {
         match self.shard(object) {
-            Some(s) => Trace::from_ids(s.read().iter().map(|p| table.intern(&p.access))),
+            Some(s) => {
+                let st = s.read();
+                // Interning the handful of distinct sealed symbols first
+                // turns the sealed prefix into a plain index translation.
+                let sym_ids: Vec<_> = st.sealed.symbols.iter().map(|a| table.intern(a)).collect();
+                let mut ids: Vec<_> = Vec::with_capacity(st.len());
+                ids.extend(st.sealed.sym.iter().map(|&i| sym_ids[i as usize]));
+                ids.extend(st.live.iter().map(|p| table.intern(&p.access)));
+                Trace::from_ids(ids)
+            }
             None => Trace::empty(),
         }
     }
@@ -140,22 +250,68 @@ impl ProofStore {
     /// watermark` proofs can catch up by visiting exactly the suffix
     /// `[n, watermark)` (see [`ProofStore::visit_suffix`]); a cursor
     /// with `n > watermark` was built against a *different* store and
-    /// must be invalidated.
+    /// must be invalidated. Compaction never moves the watermark: it
+    /// only changes how the prefix below it is stored.
     pub fn watermark_of(&self, object: &str) -> usize {
         self.len_of(object)
     }
 
     /// Visit the object's proofs from index `from` (in issue order) —
     /// the subscription primitive incremental cursors use to fold in
-    /// accesses proven since they were last advanced. The shard's read
-    /// lock is held for the duration of the walk, so `f` must not call
-    /// back into this store.
+    /// accesses proven since they were last advanced. Sealed proofs below
+    /// `from` are skipped without reconstruction; a `from` inside the
+    /// sealed prefix is served losslessly by rebuilding it. The shard's
+    /// read lock is held for the duration of the walk, so `f` must not
+    /// call back into this store.
     pub fn visit_suffix(&self, object: &str, from: usize, mut f: impl FnMut(&ExecutionProof)) {
         if let Some(s) = self.shard(object) {
-            for p in s.read().iter().skip(from) {
-                f(p);
-            }
+            s.read().visit_from(from, &mut f);
         }
+    }
+
+    /// Fold the object's proofs below logical index `upto` into the
+    /// shard's sealed summary, returning how many proofs were folded.
+    ///
+    /// Safe to call with any `upto`: indices already sealed or beyond the
+    /// watermark are clamped. The caller chooses `upto` — typically the
+    /// minimum consumed position across the object's live cursors, so no
+    /// cursor ever needs a proof that only exists in reconstructed form
+    /// on its fast path. Queries remain exact either way; compaction is
+    /// purely a representation change.
+    pub fn compact_prefix(&self, object: &str, upto: usize) -> usize {
+        let Some(s) = self.shard(object) else {
+            return 0;
+        };
+        let mut st = s.write();
+        let base = st.sealed.len();
+        let n = upto.min(st.len()).saturating_sub(base);
+        if n == 0 {
+            return 0;
+        }
+        for p in st.live.drain(..n).collect::<Vec<_>>() {
+            st.sealed.fold(&p);
+        }
+        stacl_obs::add(stacl_obs::Counter::ProofCompaction, n as u64);
+        n
+    }
+
+    /// How many of the object's proofs are sealed — the compaction base.
+    /// Handoffs carry this so the importer can validate the exported
+    /// watermark (`base ≤ watermark`) before accepting custody.
+    pub fn compaction_base(&self, object: &str) -> usize {
+        self.shard(object).map_or(0, |s| s.read().sealed.len())
+    }
+
+    /// Number of *live* (unsealed) proofs held for one object — the RSS
+    /// proxy the million-object bench reports.
+    pub fn live_proof_count(&self, object: &str) -> usize {
+        self.shard(object).map_or(0, |s| s.read().live.len())
+    }
+
+    /// Total live proofs across all shards.
+    pub fn live_proof_total(&self) -> usize {
+        let shards = self.inner.shards.read();
+        shards.values().map(|s| s.read().live.len()).sum()
     }
 
     /// The combined history of *all* objects in issue order — the
@@ -169,10 +325,15 @@ impl ProofStore {
     /// Count proven accesses matching a predicate (across all shards).
     pub fn count_matching(&self, mut pred: impl FnMut(&ExecutionProof) -> bool) -> usize {
         let shards = self.inner.shards.read();
-        shards
-            .values()
-            .map(|s| s.read().iter().filter(|p| pred(p)).count())
-            .sum()
+        let mut n = 0usize;
+        for s in shards.values() {
+            s.read().visit_from(0, &mut |p| {
+                if pred(p) {
+                    n += 1;
+                }
+            });
+        }
+        n
     }
 
     /// Total number of proofs ever issued.
@@ -190,13 +351,15 @@ impl ProofStore {
         self.merged()
     }
 
-    /// All proofs from all shards, sorted by sequence number.
+    /// All proofs from all shards, sorted by sequence number. Sealed
+    /// proofs are reconstructed, so the view is identical before and
+    /// after compaction.
     fn merged(&self) -> Vec<ExecutionProof> {
         let shards = self.inner.shards.read();
-        let mut all: Vec<ExecutionProof> = shards
-            .values()
-            .flat_map(|s| s.read().iter().cloned().collect::<Vec<_>>())
-            .collect();
+        let mut all: Vec<ExecutionProof> = Vec::new();
+        for s in shards.values() {
+            s.read().visit_from(0, &mut |p| all.push(p.clone()));
+        }
         all.sort_by_key(|p| p.seq);
         all
     }
@@ -337,5 +500,107 @@ mod tests {
         let snap = store.snapshot();
         assert_eq!(snap.len(), 200);
         assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    /// Compaction is a pure representation change: every query answers
+    /// identically before and after folding the prefix.
+    #[test]
+    fn compaction_is_lossless() {
+        let store = ProofStore::new();
+        for i in 0..20u32 {
+            // Few distinct accesses, many proofs — the compression case.
+            let a = Access::new(format!("op{}", i % 3), "r", format!("s{}", i % 2));
+            store.issue("o", a, tp(i as f64));
+        }
+        store.issue("other", Access::new("z", "r", "s9"), tp(99.0));
+
+        let mut t1 = AccessTable::new();
+        let before_hist = store.history_of("o", &mut t1);
+        let before_snap = store.snapshot();
+        let before_all = store.combined_history(&mut t1);
+        let wm = store.watermark_of("o");
+
+        let folded = store.compact_prefix("o", 12);
+        assert_eq!(folded, 12);
+        assert_eq!(store.compaction_base("o"), 12);
+        assert_eq!(store.live_proof_count("o"), 8);
+        assert_eq!(
+            store.watermark_of("o"),
+            wm,
+            "compaction keeps the watermark"
+        );
+
+        let mut t2 = AccessTable::new();
+        assert_eq!(store.history_of("o", &mut t2).0, before_hist.0);
+        assert_eq!(store.snapshot(), before_snap);
+        assert_eq!(store.combined_history(&mut t2).0, before_all.0);
+        assert!(store.proven_by("o", &Access::new("op0", "r", "s0")));
+        assert!(!store.proven_by("o", &Access::new("op9", "r", "s0")));
+
+        // visit_suffix from inside the sealed prefix rebuilds it exactly.
+        let mut seen = Vec::new();
+        store.visit_suffix("o", 10, |p| seen.push((p.seq, p.access.clone(), p.time)));
+        assert_eq!(seen.len(), wm - 10);
+        for (i, (seq, access, time)) in seen.iter().enumerate() {
+            let j = 10 + i;
+            assert_eq!(*seq, j as u64);
+            assert_eq!(access, &before_snap[j].access);
+            assert_eq!(*time, before_snap[j].time);
+        }
+    }
+
+    #[test]
+    fn compaction_clamps_and_is_idempotent() {
+        let store = ProofStore::new();
+        assert_eq!(store.compact_prefix("ghost", 10), 0, "no shard, no fold");
+        for i in 0..5u32 {
+            store.issue("o", Access::new("a", "r", "s"), tp(i as f64));
+        }
+        assert_eq!(store.compact_prefix("o", 100), 5, "clamped to watermark");
+        assert_eq!(store.compact_prefix("o", 100), 0, "idempotent");
+        assert_eq!(store.compact_prefix("o", 3), 0, "below base is a no-op");
+        assert_eq!(store.live_proof_count("o"), 0);
+        assert_eq!(store.compaction_base("o"), 5);
+        // New issues land live again and fold on the next pass.
+        store.issue("o", Access::new("b", "r", "s"), tp(9.0));
+        assert_eq!(store.live_proof_count("o"), 1);
+        assert_eq!(store.compact_prefix("o", 6), 1);
+        assert_eq!(store.live_proof_total(), 0);
+    }
+
+    /// Sweep: random interleavings of issue/compact keep every view
+    /// byte-identical to an uncompacted twin store.
+    #[test]
+    fn compaction_sweep_matches_uncompacted_twin() {
+        let mut state = 0x9e37_79b9_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let compacted = ProofStore::new();
+        let plain = ProofStore::new();
+        for step in 0..400u32 {
+            let obj = format!("o{}", rng() % 5);
+            let a = Access::new(format!("op{}", rng() % 4), "r", format!("s{}", rng() % 3));
+            compacted.issue(&obj, a.clone(), tp(step as f64));
+            plain.issue(&obj, a, tp(step as f64));
+            if rng() % 7 == 0 {
+                let wm = compacted.watermark_of(&obj);
+                compacted.compact_prefix(&obj, wm.saturating_sub((rng() % 4) as usize));
+            }
+        }
+        assert_eq!(compacted.snapshot(), plain.snapshot());
+        let mut t1 = AccessTable::new();
+        let mut t2 = AccessTable::new();
+        for i in 0..5 {
+            let obj = format!("o{i}");
+            assert_eq!(
+                compacted.history_of(&obj, &mut t1).0,
+                plain.history_of(&obj, &mut t2).0
+            );
+        }
+        assert!(compacted.live_proof_total() < plain.live_proof_total());
     }
 }

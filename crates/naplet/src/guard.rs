@@ -18,7 +18,7 @@
 //! session opens. [`CoordinatedGuard::decide_batch`] fans a batch of
 //! requests across object shards on a scoped thread pool.
 
-use stacl_coalition::{DecisionKind, ProofStore, Verdict};
+use stacl_coalition::{DecisionKind, Placement, ProofStore, Verdict};
 use stacl_ids::sync::{Mutex, RwLock};
 use stacl_rbac::{AccessRequest, ExtendedRbac, ObjectGateExport, SessionId};
 use stacl_srac::check::{check_residual_cached, ConstraintCache, Semantics};
@@ -178,6 +178,12 @@ pub struct CoordinatedGuard {
     /// Whether decisions require resident custody (default off — the
     /// in-process guard is its own sole custodian).
     custody_enforced: AtomicBool,
+    /// The coalition's rendezvous placement ring plus this member's own
+    /// name on it. When set, custody claims are validated against the
+    /// ring: only the object's home may claim residency by arrival
+    /// (explicit handoff imports stay authoritative), so two members can
+    /// never both claim a racing arrival.
+    placement: RwLock<Option<(String, Placement)>>,
     /// Recycled batch-worker interning tables. Verdicts are
     /// table-independent, so a worker may inherit any table; reuse keeps
     /// the interned alphabet warm across [`CoordinatedGuard::decide_batch`]
@@ -196,6 +202,7 @@ impl CoordinatedGuard {
             approval_reuse: true,
             custody: RwLock::new(HashMap::new()),
             custody_enforced: AtomicBool::new(false),
+            placement: RwLock::new(None),
             table_pool: Mutex::new(Vec::new()),
         }
     }
@@ -297,10 +304,77 @@ impl CoordinatedGuard {
             .unwrap_or(Custody::Remote)
     }
 
-    /// Claim custody of `object` on this member (its arrival was local,
-    /// or a handoff completed).
-    pub fn take_custody(&self, object: &str) {
+    /// Install the coalition's placement ring and this member's name on
+    /// it. From then on [`CoordinatedGuard::take_custody`] validates
+    /// claims: only the object's rendezvous home may claim residency by
+    /// arrival. Pass the new ring again on every membership change.
+    pub fn set_placement(&self, member: impl Into<String>, ring: Placement) {
+        *self.placement.write() = Some((member.into(), ring));
+    }
+
+    /// Remove the placement ring: custody claims go back to first-come
+    /// (the pre-ring, single-custodian behaviour).
+    pub fn clear_placement(&self) {
+        *self.placement.write() = None;
+    }
+
+    /// The current placement ring, if one is installed.
+    pub fn placement(&self) -> Option<Placement> {
+        self.placement.read().as_ref().map(|(_, p)| p.clone())
+    }
+
+    /// The rendezvous home for `object` under the installed ring, if any.
+    pub fn placement_home(&self, object: &str) -> Option<String> {
+        self.placement
+            .read()
+            .as_ref()
+            .and_then(|(_, p)| p.home_of(object).map(str::to_string))
+    }
+
+    /// Claim custody of `object` on this member because its arrival was
+    /// local. With a placement ring installed the claim is validated:
+    /// a member that is not the object's rendezvous home gets an error
+    /// (counted `placement.claim-rejected`) and custody stays unclaimed —
+    /// the caller maps this to a fail-safe
+    /// [`DecisionKind::DeniedCoordination`]. Handoff imports do not pass
+    /// through here; see [`CoordinatedGuard::import_object`].
+    pub fn take_custody(&self, object: &str) -> Result<(), String> {
+        if let Some((member, ring)) = self.placement.read().as_ref() {
+            match ring.home_of(object) {
+                Some(home) if home == member => {}
+                Some(home) => {
+                    stacl_obs::count(stacl_obs::Counter::PlacementClaimRejected);
+                    return Err(format!(
+                        "object `{object}` is homed on `{home}`, not on `{member}`"
+                    ));
+                }
+                None => {
+                    stacl_obs::count(stacl_obs::Counter::PlacementClaimRejected);
+                    return Err(format!(
+                        "placement ring is empty; cannot home object `{object}`"
+                    ));
+                }
+            }
+        }
+        self.claim_custody(object);
+        Ok(())
+    }
+
+    /// Unconditionally mark `object` resident — the internal path shared
+    /// by validated claims and authoritative handoff imports.
+    fn claim_custody(&self, object: &str) {
         self.custody.write().insert(name(object), Custody::Resident);
+    }
+
+    /// The objects currently resident on this member — the drain list a
+    /// custody rebalance walks after a membership change.
+    pub fn resident_objects(&self) -> Vec<String> {
+        self.custody
+            .read()
+            .iter()
+            .filter(|(_, c)| **c == Custody::Resident)
+            .map(|(n, _)| n.to_string())
+            .collect()
     }
 
     /// Mark `object`'s custody as in flight while a handoff is pulled
@@ -329,11 +403,23 @@ impl CoordinatedGuard {
     /// enrolled here or the handoff is malformed.
     pub fn import_object(&self, object: &str, handoff: &ObjectHandoff) -> Result<(), String> {
         let Some(state) = self.object_state(object) else {
+            // A custody-only move: the previous custodian held residency
+            // but no decision state (never enrolled, never decided — the
+            // common case for the cold majority of a million-object
+            // coalition). Park residency here; enrollment arrives with
+            // policy when the object first matters.
+            if handoff.clean && handoff.gate == ObjectGateExport::default() {
+                self.claim_custody(object);
+                return Ok(());
+            }
             return Err(format!("object `{object}` is not enrolled on this member"));
         };
         self.rbac.read().import_gate(object, &handoff.gate)?;
         state.lock().clean = handoff.clean;
-        self.take_custody(object);
+        // An explicit import is authoritative: the previous custodian
+        // already released, so residency transfers even if the ring says
+        // this member is not the home (a rebalance drain will move it).
+        self.claim_custody(object);
         Ok(())
     }
 
@@ -799,7 +885,7 @@ mod tests {
             g1.decide(&req, &proofs, &mut table).kind,
             DecisionKind::DeniedCoordination
         );
-        g1.take_custody("n1");
+        g1.take_custody("n1").expect("no ring: claim is free");
         g1.note_arrival("n1", tp(0.0));
         assert!(g1.decide(&req, &proofs, &mut table).is_granted());
 
@@ -828,6 +914,78 @@ mod tests {
         g3.set_custody_enforcement(true);
         assert!(g3.import_object("stranger", &h).is_err());
         assert_eq!(g3.custody_of("stranger"), Custody::Remote);
+    }
+
+    /// Satellite regression: with a placement ring installed, two members
+    /// racing the same arrival can no longer both claim residency — the
+    /// non-home claim errors (counted) and that member keeps denying
+    /// fail-safe with `DeniedCoordination`.
+    #[test]
+    fn placement_ring_rejects_double_custody_claims() {
+        fn guard() -> CoordinatedGuard {
+            let mut m = RbacModel::new();
+            m.add_user("n1");
+            m.add_role("r");
+            m.add_permission(Permission::new("p", AccessPattern::any()))
+                .unwrap();
+            m.assign_permission("r", "p").unwrap();
+            m.assign_user("n1", "r").unwrap();
+            let g = CoordinatedGuard::new(ExtendedRbac::new(m));
+            g.enroll("n1", ["r"]);
+            g.set_custody_enforcement(true);
+            g
+        }
+        stacl_obs::set_telemetry(true);
+        let baseline = stacl_obs::snapshot();
+
+        let ring = stacl_coalition::Placement::new(["m1", "m2"]);
+        let home = ring.home_of("n1").unwrap().to_string();
+        let other = if home == "m1" { "m2" } else { "m1" };
+
+        let g_home = guard();
+        g_home.set_placement(&home, ring.clone());
+        let g_other = guard();
+        g_other.set_placement(other, ring.clone());
+        assert_eq!(g_other.placement_home("n1"), Some(home.clone()));
+
+        // The race: both members see the arrival and claim custody.
+        g_home.take_custody("n1").expect("home claim is valid");
+        let err = g_other.take_custody("n1").expect_err("non-home claim");
+        assert!(
+            err.contains("homed on"),
+            "claim error names the home: {err}"
+        );
+        assert_eq!(g_home.custody_of("n1"), Custody::Resident);
+        assert_eq!(g_other.custody_of("n1"), Custody::Remote);
+
+        // The loser keeps denying fail-safe.
+        let a = Access::new("read", "x", "s");
+        let p = access("read", "x", "s");
+        let req = GuardRequest {
+            object: "n1",
+            access: &a,
+            remaining: &p,
+            time: tp(0.0),
+        };
+        let proofs = ProofStore::new();
+        let mut table = AccessTable::new();
+        g_home.note_arrival("n1", tp(0.0));
+        assert!(g_home.decide(&req, &proofs, &mut table).is_granted());
+        assert_eq!(
+            g_other.decide(&req, &proofs, &mut table).kind,
+            DecisionKind::DeniedCoordination
+        );
+        let d = stacl_obs::snapshot().diff(&baseline);
+        assert!(
+            d.counter(stacl_obs::Counter::PlacementClaimRejected) >= 1,
+            "rejected claim was counted"
+        );
+
+        // An explicit handoff import stays authoritative even off-home.
+        let h = g_home.export_object("n1");
+        g_other.import_object("n1", &h).expect("import off-home");
+        assert_eq!(g_other.custody_of("n1"), Custody::Resident);
+        assert_eq!(g_other.resident_objects(), vec!["n1".to_string()]);
     }
 
     #[test]

@@ -52,6 +52,18 @@ pub enum NetError {
     },
     /// The daemon answered with a frame the request does not admit.
     Protocol(String),
+    /// The daemon is not the object's custodian and pointed at its
+    /// placement-ring home instead. Following the hop (see [`Router`])
+    /// resolves the decision at `home`; at most one hop is ever needed
+    /// because every member computes the same ring.
+    Redirected {
+        /// The object whose decision was redirected.
+        object: String,
+        /// The home custodian's coalition server name.
+        home: String,
+        /// The home's dial address, when the redirecting daemon knows it.
+        addr: Option<String>,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -61,6 +73,9 @@ impl fmt::Display for NetError {
             NetError::Wire(e) => write!(f, "wire error: {e}"),
             NetError::Daemon { code, msg } => write!(f, "daemon error {code}: {msg}"),
             NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            NetError::Redirected { object, home, .. } => {
+                write!(f, "object {object} is homed on {home}")
+            }
         }
     }
 }
@@ -417,7 +432,22 @@ impl Client {
                 epoch,
                 reason,
             }),
+            Frame::Redirect { object, home, addr } => {
+                Err(NetError::Redirected { object, home, addr })
+            }
             other => Err(unexpected("Verdict", &other)),
+        }
+    }
+
+    /// Ask this daemon where `object` is homed. Any ring member answers
+    /// from pure arithmetic — no broadcast. Returns the home member name
+    /// and its dial address when the daemon knows one.
+    pub fn locate(&mut self, object: &str) -> Result<(String, Option<String>), NetError> {
+        match self.call(&Frame::Locate {
+            object: object.to_string(),
+        })? {
+            Frame::Redirect { home, addr, .. } => Ok((home, addr)),
+            other => Err(unexpected("Redirect", &other)),
         }
     }
 
@@ -652,6 +682,83 @@ impl Pipeline<'_> {
             self.client.pump_one()?;
         }
         Ok(self.take())
+    }
+}
+
+/// A coalition-aware client pool that follows placement redirects.
+///
+/// Holds one lazily-dialed [`Client`] per member. A decision sent to the
+/// wrong member comes back as a [`Frame::Redirect`] naming the object's
+/// ring home; the router re-issues the decision there. Because every
+/// member computes the same rendezvous ring, **one hop always
+/// suffices** — a second redirect is reported as a protocol error rather
+/// than followed.
+pub struct Router {
+    name: String,
+    io_timeout: Option<Duration>,
+    addrs: HashMap<String, SocketAddr>,
+    clients: HashMap<String, Client>,
+}
+
+impl Router {
+    /// A router greeting daemons as `name`.
+    pub fn new(name: &str, io_timeout: Option<Duration>) -> Router {
+        Router {
+            name: name.to_string(),
+            io_timeout,
+            addrs: HashMap::new(),
+            clients: HashMap::new(),
+        }
+    }
+
+    /// Register (or update) a member's dial address. An existing cached
+    /// connection to that member is dropped so the next call re-dials.
+    pub fn add_member(&mut self, member: &str, addr: SocketAddr) {
+        self.addrs.insert(member.to_string(), addr);
+        self.clients.remove(member);
+    }
+
+    /// The connected client for `member`, dialing on first use.
+    pub fn client(&mut self, member: &str) -> Result<&mut Client, NetError> {
+        if !self.clients.contains_key(member) {
+            let addr = *self
+                .addrs
+                .get(member)
+                .ok_or_else(|| NetError::Protocol(format!("unknown member {member}")))?;
+            let c = Client::connect(addr, &self.name, self.io_timeout)?;
+            self.clients.insert(member.to_string(), c);
+        }
+        Ok(self.clients.get_mut(member).expect("inserted above"))
+    }
+
+    /// Decide via `member`, following at most one placement redirect.
+    /// Returns the verdict and the member that actually answered.
+    pub fn decide(
+        &mut self,
+        member: &str,
+        object: &str,
+        access: &Access,
+        remaining: &[Access],
+        time: f64,
+    ) -> Result<(Verdict, String), NetError> {
+        match self.client(member)?.decide(object, access, remaining, time) {
+            Ok(v) => Ok((v, member.to_string())),
+            Err(NetError::Redirected { home, addr, .. }) => {
+                // Learn the address the redirecting daemon told us, then
+                // take the single hop to the home custodian.
+                if let Some(a) = addr.and_then(|a| a.parse::<SocketAddr>().ok()) {
+                    self.addrs.entry(home.clone()).or_insert(a);
+                }
+                match self.client(&home)?.decide(object, access, remaining, time) {
+                    Ok(v) => Ok((v, home)),
+                    Err(NetError::Redirected { home: again, .. }) => Err(NetError::Protocol(
+                        format!("{object} redirected twice: {member} -> {home} -> {again}"),
+                    )),
+                    Err(e) => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 

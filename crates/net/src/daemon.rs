@@ -93,11 +93,18 @@ pub struct DaemonConfig {
     /// How long a connection may sit stalled mid-frame before the event
     /// loop evicts it (counted `net.partial-eviction`).
     pub partial_deadline: Duration,
+    /// Proof-history compaction trigger: once an object holds at least
+    /// this many *live* (uncompacted) proofs, the daemon folds the
+    /// prefix every warm cursor has consumed past into a sealed summary
+    /// after issuing, bounding resident memory per object. `0` disables
+    /// compaction.
+    pub compact_after: usize,
 }
 
 impl DaemonConfig {
     /// Defaults: ephemeral loopback port, zero skew, 3 retries starting
-    /// at 10 ms, 2 s peer-I/O timeout, 5 s stalled-partial eviction.
+    /// at 10 ms, 2 s peer-I/O timeout, 5 s stalled-partial eviction,
+    /// compaction once 512 live proofs accumulate on an object.
     pub fn new(name: impl Into<String>) -> Self {
         DaemonConfig {
             name: name.into(),
@@ -107,6 +114,7 @@ impl DaemonConfig {
             handoff_backoff: Duration::from_millis(10),
             io_timeout: Duration::from_secs(2),
             partial_deadline: Duration::from_secs(5),
+            compact_after: 512,
         }
     }
 }
@@ -201,10 +209,75 @@ impl DaemonHandle {
         self.shared.peers.write().insert(name.to_string(), addr);
     }
 
+    /// Install the coalition membership: a placement ring over exactly
+    /// the named members (this daemon included or not — leaving itself
+    /// off the list is a graceful leave that drains everything it holds)
+    /// plus their dial addresses. Then **rebalance**: every resident
+    /// object whose ring home moved off this member is pushed to its new
+    /// home with a [`Frame::Rebalance`], which makes the new home pull
+    /// custody through the ordinary handoff machinery (helper threads,
+    /// bounded retries, fail-safe `DeniedCoordination` while in flight).
+    /// Only keys whose home actually moved drain; the rest never notice.
+    ///
+    /// Peer addresses accumulate — a departed member's address is kept so
+    /// late pulls *from* it still resolve. Returns the number of objects
+    /// whose drain was initiated.
+    pub fn set_members(&self, members: &[(String, SocketAddr)]) -> usize {
+        {
+            let mut peers = self.shared.peers.write();
+            for (name, addr) in members {
+                if name != &self.shared.cfg.name {
+                    peers.insert(name.clone(), *addr);
+                }
+            }
+        }
+        let ring = stacl_coalition::Placement::new(members.iter().map(|(n, _)| n.clone()));
+        self.shared
+            .guard
+            .set_placement(&self.shared.cfg.name, ring.clone());
+        if ring.is_empty() {
+            return 0;
+        }
+        let moves: Vec<(String, String)> = self
+            .shared
+            .guard
+            .resident_objects()
+            .into_iter()
+            .filter_map(|obj| {
+                let home = ring.home_of(&obj)?.to_string();
+                (home != self.shared.cfg.name).then_some((obj, home))
+            })
+            .collect();
+        let n = moves.len();
+        if n > 0 {
+            let shared = Arc::clone(&self.shared);
+            let _ = thread::Builder::new()
+                .name("stacl-net-rebalance".to_string())
+                .spawn(move || {
+                    let peers = shared.peers.read().clone();
+                    for (object, home) in moves {
+                        let Some(addr) = peers.get(&home).copied() else {
+                            continue;
+                        };
+                        if rebalance_push(&shared, addr, &object).is_ok() {
+                            stacl_obs::count(Counter::PlacementRebalance);
+                        }
+                    }
+                });
+        }
+        n
+    }
+
     /// The hosted guard, for pre-wiring state (enrollments, custody
     /// enforcement) before traffic arrives.
     pub fn guard(&self) -> &CoordinatedGuard {
         &self.shared.guard
+    }
+
+    /// The hosted proof store — the million-object bench reads its live
+    /// proof counts as the RSS proxy for compaction effectiveness.
+    pub fn proofs(&self) -> &ProofStore {
+        &self.shared.proofs
     }
 
     /// Stop accepting, sever live connections, and join the event loop.
@@ -285,6 +358,12 @@ struct Completion {
     serial: u64,
     token: u64,
     reply: Frame,
+    /// Set when the pull imported custody successfully: the object name
+    /// plus the arrival time to note (`None` for a verdict-neutral
+    /// rebalance pull). The arrival is applied by the event loop at
+    /// drain time — even when the requesting connection has since died —
+    /// so an orphaned completion never strands imported custody.
+    imported: Option<(String, Option<TimePoint>)>,
 }
 
 fn event_loop(shared: &Arc<Shared>, listener: TcpListener, wake_rx: TcpStream) {
@@ -327,8 +406,15 @@ fn event_loop(shared: &Arc<Shared>, listener: TcpListener, wake_rx: TcpStream) {
         }
 
         // Helper-thread pull completions: resolve the pending slot and
-        // flush whatever it unblocks.
+        // flush whatever it unblocks. Custody side effects apply first,
+        // unconditionally — a completion whose connection died mid-pull
+        // must still land its imported object (counted
+        // `net.orphaned-completion`), or custody would silently vanish
+        // from the coalition.
         while let Ok(c) = crx.try_recv() {
+            if let Some((object, Some(t))) = &c.imported {
+                shared.guard.note_arrival(object, *t);
+            }
             if let Some(conn) = conns.iter_mut().find(|k| k.serial == c.serial) {
                 for slot in conn.slots.iter_mut() {
                     if matches!(slot, Slot::Pending { token } if *token == c.token) {
@@ -340,6 +426,11 @@ fn event_loop(shared: &Arc<Shared>, listener: TcpListener, wake_rx: TcpStream) {
                     }
                 }
                 flush_conn(conn);
+            } else {
+                // The requester is gone; the import above already
+                // re-parked the object as resident here, so only the
+                // reply is lost.
+                stacl_obs::count(Counter::NetOrphanedCompletion);
             }
         }
 
@@ -359,7 +450,12 @@ fn event_loop(shared: &Arc<Shared>, listener: TcpListener, wake_rx: TcpStream) {
                 if !read_conn(conn) {
                     conn.dead = true;
                 }
-                if process_frames(shared, &ctx, conn) {
+                // A read that hit EOF or an I/O error may still have left
+                // complete frames in the assembler — but the peer is gone
+                // and can never observe a reply, so processing them would
+                // mutate guard state (verdict counters, custody) on
+                // behalf of a severed client. Skip them.
+                if !conn.dead && process_frames(shared, &ctx, conn) {
                     shutdown_requested = true;
                 }
             }
@@ -740,15 +836,24 @@ fn handle_frame(
         }
         Frame::Decide(it) => {
             let reply = match own_request(&conn.vocab, &it) {
-                Ok(req) => {
-                    let (kind, epoch, reason) =
-                        verdict_frame(&decide_one(shared, &req, &mut conn.table));
-                    Frame::Verdict {
-                        kind,
-                        epoch,
-                        reason,
+                Ok(req) => match redirect_for(shared, &req.object) {
+                    // Wrong daemon, and the ring knows who is right:
+                    // point the client at the home custodian instead of
+                    // burning a fail-safe denial. One extra hop resolves
+                    // the decision. (The pipelined v2 path keeps its
+                    // counted `DeniedCoordination` verdicts — chaos
+                    // accounting depends on them.)
+                    Some(redirect) => redirect,
+                    None => {
+                        let (kind, epoch, reason) =
+                            verdict_frame(&decide_one(shared, &req, &mut conn.table));
+                        Frame::Verdict {
+                            kind,
+                            epoch,
+                            reason,
+                        }
                     }
-                }
+                },
                 Err(e) => e.into_frame(),
             };
             push_v1(conn, reply);
@@ -820,6 +925,7 @@ fn handle_frame(
                 let access = mk_access(&conn.vocab, &access)?;
                 let time = finite_time(time)?;
                 shared.proofs.issue(object, access, time);
+                maybe_compact(shared, object);
                 Ok::<(), Reject>(())
             })() {
                 Ok(()) => Frame::Ok,
@@ -858,6 +964,34 @@ fn handle_frame(
         Frame::PolicyActivate { epoch } => {
             let reply = policy_activate(shared, epoch);
             push_v1(conn, reply);
+        }
+        Frame::Locate { object } => {
+            // Any member answers a locate purely from the ring: O(N)
+            // arithmetic, no broadcast, no directory lookup.
+            let reply = match shared.guard.placement_home(&object) {
+                Some(home) => {
+                    let addr = if home == shared.cfg.name {
+                        Some(shared.addr.to_string())
+                    } else {
+                        shared.peers.read().get(&home).map(|a| a.to_string())
+                    };
+                    Frame::Redirect { object, home, addr }
+                }
+                None => err_frame(ERR_STATE, "no placement ring installed"),
+            };
+            push_v1(conn, reply);
+        }
+        Frame::Rebalance { object, from } => {
+            // A peer whose ring home for `object` moved here is draining
+            // it to us: pull its custody state exactly like an Arrive
+            // handoff, but verdict-neutrally (no arrival is noted — the
+            // object did not move in the modelled world, only its
+            // custodian did).
+            shared.guard.begin_handoff(&object);
+            let token = conn.next_token;
+            conn.next_token += 1;
+            conn.slots.push_back(Slot::Pending { token });
+            spawn_pull(shared, ctx, conn.serial, token, from, object, None);
         }
         Frame::Shutdown => {
             push_v1(conn, Frame::Ok);
@@ -985,20 +1119,73 @@ fn arrive(
                     token,
                     peer.to_string(),
                     object,
-                    time,
+                    Some(time),
                 );
                 return;
             }
-            _ => shared.guard.take_custody(&object),
+            _ => {
+                // A first arrival claims custody — but under a placement
+                // ring the claim must land on the object's ring home, or
+                // two members could both believe themselves custodian.
+                if let Err(e) = shared.guard.take_custody(&object) {
+                    push_v1(conn, err_frame(ERR_NOT_CUSTODIAN, e));
+                    return;
+                }
+            }
         }
     }
     shared.guard.note_arrival(&object, time);
     push_v1(conn, Frame::Ok);
 }
 
-/// Run a handoff pull off the event loop. The completion lands via the
-/// channel and a wake byte; a completion for a since-closed connection
-/// is silently dropped.
+/// The redirect a v1 `Decide` for `object` should get instead of a
+/// fail-safe denial: present only when custody is enforced, the object is
+/// `Remote` here, and the placement ring names a different member as its
+/// home. Counted `placement.redirect`.
+fn redirect_for(shared: &Shared, object: &str) -> Option<Frame> {
+    if !shared.guard.custody_enforced() {
+        return None;
+    }
+    if shared.guard.custody_of(object) != Custody::Remote {
+        return None;
+    }
+    let home = shared.guard.placement_home(object)?;
+    if home == shared.cfg.name {
+        return None;
+    }
+    stacl_obs::count(Counter::PlacementRedirect);
+    let addr = shared.peers.read().get(&home).map(|a| a.to_string());
+    Some(Frame::Redirect {
+        object: object.to_string(),
+        home,
+        addr,
+    })
+}
+
+/// Fold the compactable prefix of `object`'s proof history into its
+/// sealed summary once enough live proofs accumulate. The watermark is
+/// the minimum warm-cursor consumed count — no cursor ever needs to
+/// re-read below it — falling back to the full history when the object
+/// has no warm cursors at all.
+fn maybe_compact(shared: &Shared, object: &str) {
+    let trigger = shared.cfg.compact_after;
+    if trigger == 0 || shared.proofs.live_proof_count(object) < trigger {
+        return;
+    }
+    let watermark = shared.proofs.watermark_of(object);
+    let upto = shared
+        .guard
+        .with_rbac_read(|r| r.min_cursor_consumed(object))
+        .unwrap_or(watermark);
+    shared.proofs.compact_prefix(object, upto);
+}
+
+/// Run a handoff pull off the event loop. `arrival` is `None` for a
+/// verdict-neutral rebalance pull (custody moves; no arrival is noted).
+/// The completion lands via the channel and a wake byte; the event loop
+/// applies the arrival side effect at drain time so a completion for a
+/// since-closed connection still lands its custody (counted
+/// `net.orphaned-completion`) instead of being silently dropped.
 fn spawn_pull(
     shared: &Arc<Shared>,
     ctx: &mpsc::Sender<Completion>,
@@ -1006,24 +1193,22 @@ fn spawn_pull(
     token: u64,
     peer: String,
     object: String,
-    arrival: TimePoint,
+    arrival: Option<TimePoint>,
 ) {
     let shared = Arc::clone(shared);
     let ctx = ctx.clone();
     let _ = thread::Builder::new()
         .name("stacl-net-pull".to_string())
         .spawn(move || {
-            let reply = match pull_handoff(&shared, &peer, &object, arrival) {
-                Ok(()) => {
-                    shared.guard.note_arrival(&object, arrival);
-                    Frame::Ok
-                }
-                Err(msg) => err_frame(ERR_HANDOFF, msg),
+            let (reply, imported) = match pull_handoff(&shared, &peer, &object, arrival) {
+                Ok(()) => (Frame::Ok, Some((object, arrival))),
+                Err(msg) => (err_frame(ERR_HANDOFF, msg), None),
             };
             let _ = ctx.send(Completion {
                 serial,
                 token,
                 reply,
+                imported,
             });
             wake(&shared);
         });
@@ -1045,10 +1230,11 @@ fn handoff_out(shared: &Arc<Shared>, object: &str) -> Frame {
     // member fail-safes its decisions and the puller is the custodian.
     let h = shared.guard.export_object(object);
     let watermark = shared.proofs.watermark_of(object) as u64;
+    let base = shared.proofs.compaction_base(object) as u64;
     let sender_clock = h.gate.arrivals.last().map(|t| t.seconds()).unwrap_or(0.0) + shared.cfg.skew;
     Frame::HandoffState {
         object: object.to_string(),
-        state: HandoffWire::from_handoff(&h, watermark, sender_clock, shared.cfg.skew),
+        state: HandoffWire::from_handoff(&h, watermark, base, sender_clock, shared.cfg.skew),
     }
 }
 
@@ -1059,7 +1245,7 @@ fn pull_handoff(
     shared: &Arc<Shared>,
     peer: &str,
     object: &str,
-    arrival: TimePoint,
+    arrival: Option<TimePoint>,
 ) -> Result<(), String> {
     let Some(addr) = shared.peers.read().get(peer).copied() else {
         stacl_obs::count(Counter::NetHandoffFailed);
@@ -1100,16 +1286,36 @@ fn pull_handoff(
 fn apply_handoff(
     shared: &Arc<Shared>,
     object: &str,
-    arrival: TimePoint,
+    arrival: Option<TimePoint>,
     state: &HandoffWire,
 ) -> Result<(), String> {
     let handoff = state
         .to_handoff()
         .map_err(|e| format!("malformed handoff payload: {e}"))?;
+    // Every cursor seed must sit at or above the sender's compaction
+    // base: a seed below it would claim a cursor position inside history
+    // the sender has already sealed, which no replay here can reproduce.
+    if let Some((perm, n)) = handoff
+        .gate
+        .cursor_seeds
+        .iter()
+        .find(|(_, n)| *n < state.compaction_base)
+    {
+        return Err(format!(
+            "cursor seed for {perm} at {n} is behind compaction base {}",
+            state.compaction_base
+        ));
+    }
     // Wire-level clock check: admitting the arrival must not move this
     // member's skewed clock behind the sender's released clock view.
-    if state.sender_clock.is_finite() && state.sender_clock > arrival.seconds() + shared.cfg.skew {
-        stacl_obs::count(Counter::ClockRegression);
+    // (A rebalance pull has no arrival: custody moves, the object's
+    // modelled position does not.)
+    if let Some(arrival) = arrival {
+        if state.sender_clock.is_finite()
+            && state.sender_clock > arrival.seconds() + shared.cfg.skew
+        {
+            stacl_obs::count(Counter::ClockRegression);
+        }
     }
     shared.guard.import_object(object, &handoff)?;
     // Warm the receiver's cursors from the (replicated) local proof
@@ -1123,6 +1329,40 @@ fn apply_handoff(
         }
     });
     Ok(())
+}
+
+/// Tell the new home at `addr` to pull `object` from this member. The
+/// reply (`Ok` once its pull lands, or an error) closes the drain for
+/// this key.
+fn rebalance_push(shared: &Shared, addr: SocketAddr, object: &str) -> Result<(), String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, shared.cfg.io_timeout).map_err(|e| e.to_string())?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.io_timeout));
+    send(
+        &mut stream,
+        &Frame::Hello {
+            proto: PROTOCOL_VERSION as u16,
+            peer: shared.cfg.name.clone(),
+        },
+    )?;
+    match recv(&mut stream)? {
+        Frame::HelloAck { .. } => {}
+        other => return Err(format!("expected HelloAck, got {other:?}")),
+    }
+    send(
+        &mut stream,
+        &Frame::Rebalance {
+            object: object.to_string(),
+            from: shared.cfg.name.clone(),
+        },
+    )?;
+    match recv(&mut stream)? {
+        Frame::Ok => Ok(()),
+        Frame::Err { code, msg } => Err(format!("rebalance refused (code {code}): {msg}")),
+        other => Err(format!("expected Ok, got {other:?}")),
+    }
 }
 
 fn send(stream: &mut TcpStream, frame: &Frame) -> Result<(), String> {

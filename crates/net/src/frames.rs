@@ -78,6 +78,12 @@ pub enum WireBudget {
 pub struct HandoffWire {
     /// The sender's proof watermark for the object (proofs issued).
     pub watermark: u64,
+    /// How many of those proofs the sender had folded into its sealed
+    /// compaction summary (`ProofStore::compaction_base`). Always ≤
+    /// `watermark`; the decoder rejects payloads that violate the
+    /// invariant, so an import never seeds cursors against a watermark
+    /// the compacted prefix contradicts.
+    pub compaction_base: u64,
     /// Whether the object's declared program was still clean (no denials).
     pub clean: bool,
     /// The sender's local clock view at release (its last recorded
@@ -155,6 +161,24 @@ pub enum Frame {
     HandoffRequest {
         /// The object's name (handoffs are name-keyed).
         object: String,
+    },
+    /// Where does the placement ring home this object? Replied with
+    /// `Redirect` (or `Err` when the daemon has no ring installed). Any
+    /// member can answer: the ring is deterministic, so no broadcast.
+    Locate {
+        /// The object's name (placement is name-keyed).
+        object: String,
+    },
+    /// Daemon→daemon: a membership change re-homed `object` onto the
+    /// receiver; pull its custody from `from` (the current custodian)
+    /// through the ordinary handoff machinery. Replied with `Ok` once the
+    /// pull is queued, or `Err`. Unlike `Arrive` this performs no
+    /// arrival — rebalancing is verdict-neutral.
+    Rebalance {
+        /// The object's name.
+        object: String,
+        /// The member currently holding custody.
+        from: String,
     },
     /// Ask for the daemon's metrics snapshot. Replied with `MetricsJson`.
     MetricsRequest,
@@ -251,6 +275,18 @@ pub enum Frame {
         /// The acknowledged epoch.
         epoch: u64,
     },
+    /// Reply to `Locate` — and to a `Decide` aimed at a member that the
+    /// placement ring says is not the object's home: the caller re-aims
+    /// at `home` and resolves in one extra hop instead of a broadcast.
+    Redirect {
+        /// The object's name (echoed).
+        object: String,
+        /// The rendezvous home member's name.
+        home: String,
+        /// The home's listen address, when the answering daemon knows it
+        /// (`host:port`); callers with their own peer table may ignore it.
+        addr: Option<String>,
+    },
     /// Protocol v2 reply to `Decide2`, correlated by `id`.
     Verdict2 {
         /// The request's correlation id, echoed.
@@ -304,6 +340,8 @@ const TAG_METRICS_REQUEST: u8 = 0x09;
 const TAG_SHUTDOWN: u8 = 0x0A;
 const TAG_POLICY_PREPARE: u8 = 0x0B;
 const TAG_POLICY_ACTIVATE: u8 = 0x0C;
+const TAG_LOCATE: u8 = 0x0D;
+const TAG_REBALANCE: u8 = 0x0E;
 const TAG_DECIDE2: u8 = 0x10;
 const TAG_DECIDE_BATCH2: u8 = 0x11;
 const TAG_HELLO_ACK: u8 = 0x81;
@@ -314,6 +352,7 @@ const TAG_VERDICT_BATCH: u8 = 0x85;
 const TAG_HANDOFF_STATE: u8 = 0x86;
 const TAG_METRICS_JSON: u8 = 0x87;
 const TAG_EPOCH_ACK: u8 = 0x88;
+const TAG_REDIRECT: u8 = 0x89;
 const TAG_VERDICT2: u8 = 0x90;
 const TAG_VERDICT_BATCH2: u8 = 0x91;
 const TAG_ERR2: u8 = 0x92;
@@ -476,6 +515,7 @@ fn dec_budget(d: &mut Dec<'_>) -> Result<WireBudget, WireError> {
 
 fn put_handoff(b: &mut Vec<u8>, h: &HandoffWire) {
     put_u64(b, h.watermark);
+    put_u64(b, h.compaction_base);
     put_bool(b, h.clean);
     put_f64(b, h.sender_clock);
     put_f64(b, h.sender_skew);
@@ -501,6 +541,10 @@ fn put_handoff(b: &mut Vec<u8>, h: &HandoffWire) {
 
 fn dec_handoff(d: &mut Dec<'_>) -> Result<HandoffWire, WireError> {
     let watermark = d.u64()?;
+    let compaction_base = d.u64()?;
+    if compaction_base > watermark {
+        return Err(WireError::BadValue("compaction base exceeds watermark"));
+    }
     let clean = d.bool()?;
     let sender_clock = d.f64()?;
     let sender_skew = d.f64()?;
@@ -530,6 +574,7 @@ fn dec_handoff(d: &mut Dec<'_>) -> Result<HandoffWire, WireError> {
     }
     Ok(HandoffWire {
         watermark,
+        compaction_base,
         clean,
         sender_clock,
         sender_skew,
@@ -545,6 +590,7 @@ impl HandoffWire {
     pub fn from_handoff(
         h: &ObjectHandoff,
         watermark: u64,
+        compaction_base: u64,
         sender_clock: f64,
         sender_skew: f64,
     ) -> Self {
@@ -573,6 +619,7 @@ impl HandoffWire {
             .collect();
         HandoffWire {
             watermark,
+            compaction_base,
             clean: h.clean,
             sender_clock,
             sender_skew,
@@ -708,6 +755,15 @@ impl Frame {
                 put_u8(&mut b, TAG_HANDOFF_REQUEST);
                 put_str(&mut b, object);
             }
+            Frame::Locate { object } => {
+                put_u8(&mut b, TAG_LOCATE);
+                put_str(&mut b, object);
+            }
+            Frame::Rebalance { object, from } => {
+                put_u8(&mut b, TAG_REBALANCE);
+                put_str(&mut b, object);
+                put_str(&mut b, from);
+            }
             Frame::MetricsRequest => put_u8(&mut b, TAG_METRICS_REQUEST),
             Frame::Shutdown => put_u8(&mut b, TAG_SHUTDOWN),
             Frame::PolicyPrepare {
@@ -784,6 +840,12 @@ impl Frame {
             Frame::EpochAck { epoch } => {
                 put_u8(&mut b, TAG_EPOCH_ACK);
                 put_u64(&mut b, *epoch);
+            }
+            Frame::Redirect { object, home, addr } => {
+                put_u8(&mut b, TAG_REDIRECT);
+                put_str(&mut b, object);
+                put_str(&mut b, home);
+                put_opt_str(&mut b, addr.as_deref());
             }
             Frame::Verdict2 {
                 id,
@@ -878,6 +940,11 @@ impl Frame {
                 from: d.opt_str()?,
             },
             TAG_HANDOFF_REQUEST => Frame::HandoffRequest { object: d.str()? },
+            TAG_LOCATE => Frame::Locate { object: d.str()? },
+            TAG_REBALANCE => Frame::Rebalance {
+                object: d.str()?,
+                from: d.str()?,
+            },
             TAG_METRICS_REQUEST => Frame::MetricsRequest,
             TAG_SHUTDOWN => Frame::Shutdown,
             TAG_POLICY_PREPARE => {
@@ -933,6 +1000,11 @@ impl Frame {
             },
             TAG_METRICS_JSON => Frame::MetricsJson { json: d.str()? },
             TAG_EPOCH_ACK => Frame::EpochAck { epoch: d.u64()? },
+            TAG_REDIRECT => Frame::Redirect {
+                object: d.str()?,
+                home: d.str()?,
+                addr: d.opt_str()?,
+            },
             TAG_DECIDE2 => Frame::Decide2 {
                 id: d.u64()?,
                 item: dec_item(&mut d)?,
@@ -1023,6 +1095,13 @@ mod tests {
             Frame::HandoffRequest {
                 object: "obj".into(),
             },
+            Frame::Locate {
+                object: "obj".into(),
+            },
+            Frame::Rebalance {
+                object: "obj".into(),
+                from: "s1".into(),
+            },
             Frame::MetricsRequest,
             Frame::Shutdown,
             Frame::PolicyPrepare {
@@ -1052,6 +1131,7 @@ mod tests {
                 object: "o".into(),
                 state: HandoffWire {
                     watermark: 42,
+                    compaction_base: 17,
                     clean: true,
                     sender_clock: 10.5,
                     sender_skew: 0.5,
@@ -1072,6 +1152,16 @@ mod tests {
             },
             Frame::MetricsJson { json: "{}".into() },
             Frame::EpochAck { epoch: 9 },
+            Frame::Redirect {
+                object: "o".into(),
+                home: "s3".into(),
+                addr: Some("127.0.0.1:9000".into()),
+            },
+            Frame::Redirect {
+                object: "o".into(),
+                home: "s3".into(),
+                addr: None,
+            },
         ];
         for f in frames {
             let bytes = f.encode();
@@ -1096,9 +1186,43 @@ mod tests {
     }
 
     #[test]
+    fn handoff_decode_rejects_base_above_watermark() {
+        let good = Frame::HandoffState {
+            object: "o".into(),
+            state: HandoffWire {
+                watermark: 3,
+                compaction_base: 3,
+                clean: true,
+                sender_clock: 0.0,
+                sender_skew: 0.0,
+                arrivals: vec![],
+                timelines: vec![],
+                spatial_ok: vec![],
+                cursor_seeds: vec![],
+            },
+        };
+        assert_eq!(Frame::decode(&good.encode()).unwrap(), good);
+        let bad = Frame::HandoffState {
+            object: "o".into(),
+            state: HandoffWire {
+                compaction_base: 4,
+                ..match good {
+                    Frame::HandoffState { state, .. } => state,
+                    _ => unreachable!(),
+                }
+            },
+        };
+        assert_eq!(
+            Frame::decode(&bad.encode()),
+            Err(WireError::BadValue("compaction base exceeds watermark"))
+        );
+    }
+
+    #[test]
     fn handoff_conversion_rejects_non_finite_times() {
         let w = HandoffWire {
             watermark: 0,
+            compaction_base: 0,
             clean: true,
             sender_clock: 0.0,
             sender_skew: 0.0,

@@ -47,7 +47,7 @@ pub mod frames;
 pub mod sys;
 pub mod wire;
 
-pub use client::{Client, NetError, Pipeline};
+pub use client::{Client, NetError, Pipeline, Router};
 pub use daemon::{spawn, DaemonConfig, DaemonHandle};
 pub use frames::Frame;
 pub use wire::{FrameAssembler, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION, PROTOCOL_VERSION_2};

@@ -42,8 +42,12 @@ pub fn gen_timeline(r: &mut SplitMix64) -> WireTimeline {
 pub fn gen_handoff(r: &mut SplitMix64) -> HandoffWire {
     let nt = r.gen_range(0usize..3);
     let ns = r.gen_range(0usize..3);
+    let watermark = r.gen_range(0u64..1_000_000);
     HandoffWire {
-        watermark: r.gen_range(0u64..1_000_000),
+        watermark,
+        // The decoder rejects a base above the watermark, so generate in
+        // range.
+        compaction_base: watermark.min(r.next_u64() % 1_000),
         clean: r.gen_bool(0.5),
         sender_clock: r.gen_range(0i64..1000) as f64,
         sender_skew: r.gen_range(0i64..5) as f64,
@@ -66,7 +70,7 @@ pub fn gen_handoff(r: &mut SplitMix64) -> HandoffWire {
 }
 
 pub fn gen_frame(r: &mut SplitMix64) -> Frame {
-    match r.gen_range(0u32..25) {
+    match r.gen_range(0u32..28) {
         0 => Frame::Hello {
             proto: r.gen_range(0u32..9) as u16,
             peer: gen_string(r),
@@ -177,10 +181,23 @@ pub fn gen_frame(r: &mut SplitMix64) -> Frame {
                 })
                 .collect(),
         },
-        _ => Frame::Err2 {
+        24 => Frame::Err2 {
             id: r.next_u64(),
             code: r.gen_range(0u32..9) as u8,
             msg: gen_string(r),
+        },
+        // Placement frames: locate, custody rebalance, redirect.
+        25 => Frame::Locate {
+            object: gen_string(r),
+        },
+        26 => Frame::Rebalance {
+            object: gen_string(r),
+            from: gen_string(r),
+        },
+        _ => Frame::Redirect {
+            object: gen_string(r),
+            home: gen_string(r),
+            addr: r.gen_bool(0.5).then(|| gen_string(r)),
         },
     }
 }

@@ -148,10 +148,26 @@ pub enum Counter {
     /// One proof event advanced a whole bank of lockstep cursor leaves in
     /// a single structure-of-arrays sweep (`CursorBank::advance_synced`).
     CursorSoaBatchAdvance,
+    /// A helper-thread handoff completion arrived after its originating
+    /// connection died; the imported custody was re-parked on the event
+    /// loop instead of being silently discarded.
+    NetOrphanedCompletion,
+    /// A decide reached a member that is not the object's rendezvous home
+    /// and was answered with a `Redirect` frame instead of a verdict.
+    PlacementRedirect,
+    /// A custody rebalance drain moved one object toward its new
+    /// rendezvous home after a membership change.
+    PlacementRebalance,
+    /// A custody claim was rejected because the placement ring homes the
+    /// object on a different member (racing-arrival double-claim defence).
+    PlacementClaimRejected,
+    /// One execution proof was folded out of a shard's live vector into
+    /// its sealed prefix summary (`ProofStore::compact_prefix`).
+    ProofCompaction,
 }
 
 /// Number of distinct counters.
-pub const COUNTERS: usize = 37;
+pub const COUNTERS: usize = 42;
 
 impl Counter {
     /// All counters, in declaration order (matches the `[u64; COUNTERS]`
@@ -194,6 +210,11 @@ impl Counter {
         Counter::CacheHashConsHit,
         Counter::CursorOutOfClass,
         Counter::CursorSoaBatchAdvance,
+        Counter::NetOrphanedCompletion,
+        Counter::PlacementRedirect,
+        Counter::PlacementRebalance,
+        Counter::PlacementClaimRejected,
+        Counter::ProofCompaction,
     ];
 
     /// The five cursor decline reasons of DESIGN.md §8, in rule order.
@@ -255,6 +276,11 @@ impl Counter {
             Counter::CacheHashConsHit => "cache.hash-cons-hit",
             Counter::CursorOutOfClass => "cursor.out-of-class",
             Counter::CursorSoaBatchAdvance => "cursor.soa-batch-advance",
+            Counter::NetOrphanedCompletion => "net.orphaned-completion",
+            Counter::PlacementRedirect => "placement.redirect",
+            Counter::PlacementRebalance => "placement.rebalance",
+            Counter::PlacementClaimRejected => "placement.claim-rejected",
+            Counter::ProofCompaction => "proof.compaction",
         }
     }
 }

@@ -1072,6 +1072,22 @@ impl ExtendedRbac {
         tl
     }
 
+    /// The smallest cursor `consumed` count across an object's warm
+    /// cursors — the proof-history *watermark* every live cursor has
+    /// already read past. Proof prefixes below this index can be
+    /// compacted without changing any future fast-path answer. `None`
+    /// when the object has no gate or no warm cursors (in which case the
+    /// caller may compact the whole history).
+    pub fn min_cursor_consumed(&self, object: &str) -> Option<usize> {
+        let oid = self.objects.get(object)?;
+        let gate = self.gates.read().get(&oid).map(Arc::clone)?;
+        let gate = gate.lock();
+        gate.bank
+            .iter_consumed()
+            .map(|(_, consumed)| consumed)
+            .min()
+    }
+
     /// Export an object's gate shard by name, for coalition custody
     /// handoff. An object with no recorded state exports an empty
     /// snapshot (the receiving member starts it fresh). Deterministic:

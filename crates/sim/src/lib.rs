@@ -44,6 +44,7 @@ pub use episode::{
 };
 pub use net_driver::{
     episode_for_seed_net, run_episode_net, run_episode_net_opts, run_episode_net_pipelined,
+    run_episode_net_placement, PlacementOpts,
 };
 pub use oracle::{OracleBug, ReferenceOracle};
 pub use report::{repro, SweepReport};

@@ -30,10 +30,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::SocketAddr;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use stacl_coalition::ledger::{fnv1a, Ledger};
-use stacl_coalition::{CoalitionEnv, DecisionKind, ProofStore, Verdict};
+use stacl_coalition::{CoalitionEnv, DecisionKind, Placement, ProofStore, Verdict};
+use stacl_naplet::guard::Custody;
 use stacl_net::frames::scheme_to_u8;
 use stacl_net::{Client, DaemonConfig, DaemonHandle};
 use stacl_rbac::policy::render_policy;
@@ -75,7 +76,7 @@ pub fn run_episode_net_opts(
     n_daemons: usize,
     ledger: Option<&mut Ledger>,
 ) -> Result<Episode, String> {
-    run_episode_net_driver(sc, bug, n_daemons, ledger, false)
+    run_episode_net_driver(sc, bug, n_daemons, ledger, false, None)
 }
 
 /// [`run_episode_net_opts`] over the **pipelined v2 transport**:
@@ -89,7 +90,39 @@ pub fn run_episode_net_pipelined(
     n_daemons: usize,
     ledger: Option<&mut Ledger>,
 ) -> Result<Episode, String> {
-    run_episode_net_driver(sc, bug, n_daemons, ledger, true)
+    run_episode_net_driver(sc, bug, n_daemons, ledger, true, None)
+}
+
+/// Options for the placement-routed replay ([`run_episode_net_placement`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementOpts {
+    /// Inject membership churn mid-episode: the last member leaves at the
+    /// one-third mark and rejoins at the two-thirds mark, each change
+    /// draining exactly the moved keys through the custody rebalance
+    /// before the replay continues.
+    pub churn: bool,
+    /// Per-daemon proof-compaction trigger
+    /// ([`stacl_net::DaemonConfig::compact_after`]); `0` disables
+    /// compaction. Either setting must leave the verdict log
+    /// byte-identical — compaction is verdict-neutral by construction.
+    pub compact_after: usize,
+}
+
+/// Replay `sc` over a coalition routed by the **rendezvous placement
+/// ring** instead of arrival-following custody: every object lives on its
+/// ring home, every arrival and decision routes there directly (no
+/// handoff per migration), and membership churn rebalances custody via
+/// [`stacl_net::DaemonHandle::set_members`]. The verdict log must stay
+/// byte-identical to the in-process driver's for every seed, under any
+/// churn/compaction setting.
+pub fn run_episode_net_placement(
+    sc: &Scenario,
+    bug: Option<OracleBug>,
+    n_daemons: usize,
+    ledger: Option<&mut Ledger>,
+    opts: PlacementOpts,
+) -> Result<Episode, String> {
+    run_episode_net_driver(sc, bug, n_daemons, ledger, false, Some(opts))
 }
 
 fn run_episode_net_driver(
@@ -98,6 +131,7 @@ fn run_episode_net_driver(
     n_daemons: usize,
     mut ledger: Option<&mut Ledger>,
     pipelined: bool,
+    placement: Option<PlacementOpts>,
 ) -> Result<Episode, String> {
     assert!(n_daemons >= 1, "a coalition needs at least one member");
     if let Some(l) = ledger.as_deref_mut() {
@@ -114,6 +148,9 @@ fn run_episode_net_driver(
         guard.set_custody_enforcement(true);
         let mut cfg = DaemonConfig::new(format!("d{i}"));
         cfg.skew = sc.skews.get(i).copied().unwrap_or(0.0);
+        // The legacy (custody-following) replay predates compaction; keep
+        // it byte-for-byte stable by disabling the trigger there.
+        cfg.compact_after = placement.map_or(0, |p| p.compact_after);
         let h = stacl_net::spawn(guard, ProofStore::new(), cfg)
             .map_err(|e| format!("spawn daemon d{i}: {e}"))?;
         handles.push(h);
@@ -129,6 +166,30 @@ fn run_episode_net_driver(
             }
         }
     }
+
+    // Placement mode: install the full-membership ring everywhere. The
+    // driver mirrors it to route arrivals and decisions straight to each
+    // object's home custodian.
+    let mut ring: Option<Placement> = placement.map(|_| {
+        let ring = Placement::new(peers.iter().map(|(n, _)| n.clone()));
+        for h in &handles {
+            h.set_members(&peers);
+        }
+        ring
+    });
+    let member_idx = |m: &str| -> usize {
+        peers
+            .iter()
+            .position(|(n, _)| n == m)
+            .expect("ring members come from the peer list")
+    };
+    // Churn schedule: the last member leaves a third of the way in and
+    // rejoins at two thirds. Requires at least two members and enough
+    // events for the marks to be distinct interior points.
+    let churn_marks = placement.and_then(|p| {
+        let (p1, p2) = (sc.events.len() / 3, sc.events.len() * 2 / 3);
+        (p.churn && n_daemons >= 2 && p1 >= 1 && p2 > p1).then_some((p1, p2))
+    });
 
     // One client per member, vocabulary pre-announced in one frame so
     // the steady-state replay is ids-only.
@@ -182,6 +243,56 @@ fn run_episode_net_driver(
 
     use std::fmt::Write as _;
     'events: for (step, event) in sc.events.iter().enumerate() {
+        // Membership churn (placement mode): apply the scheduled change
+        // and wait for the custody rebalance to settle — every claimed
+        // object resident on its (possibly new) ring home — before
+        // replaying further events. The drain moves only keys whose home
+        // moved, and it is verdict-neutral, so the log never notices.
+        if let (Some((p1, p2)), Some(r)) = (churn_marks, ring.as_mut()) {
+            let change: Option<Vec<(String, SocketAddr)>> = if step == p1 {
+                // Leave: evict the member homing the first claimed key, so
+                // the churn provably drains at least one custody (object
+                // names hash deterministically — a fixed choice of leaver
+                // could own none of the scenario's few keys).
+                let leaver = has_custodian
+                    .iter()
+                    .position(|c| *c)
+                    .map(|i| member_idx(r.home_of(&sc.objects[i].name).expect("nonempty ring")))
+                    .unwrap_or(n_daemons - 1);
+                Some(
+                    peers
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != leaver)
+                        .map(|(_, p)| p.clone())
+                        .collect(),
+                )
+            } else if step == p2 {
+                Some(peers.clone())
+            } else {
+                None
+            };
+            if let Some(members) = change {
+                *r = Placement::new(members.iter().map(|(n, _)| n.clone()));
+                for h in &handles {
+                    h.set_members(&members);
+                }
+                let deadline = Instant::now() + Duration::from_secs(20);
+                for (i, claimed) in has_custodian.iter().enumerate() {
+                    if !*claimed {
+                        continue;
+                    }
+                    let name = &sc.objects[i].name;
+                    let home = member_idx(r.home_of(name).expect("nonempty ring"));
+                    while handles[home].guard().custody_of(name) != Custody::Resident {
+                        if Instant::now() > deadline {
+                            return Err(format!("rebalance of {name} to d{home} never settled"));
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            }
+        }
         match event {
             Event::Arrival {
                 obj,
@@ -193,10 +304,20 @@ fn run_episode_net_driver(
                 if *dropped {
                     let _ = writeln!(log, "[{time}] arrive {name} @ {server} DROPPED");
                 } else {
-                    let d = d_of(server);
-                    // Name the previous custodian so a cross-member move
-                    // pulls the handoff; the very first arrival has none.
-                    let from = has_custodian[*obj].then(|| peers[custodian[*obj]].0.clone());
+                    // Placement mode pins custody to the ring home: every
+                    // arrival lands there (no `from` — custody never
+                    // follows arrivals), so the home accumulates the full
+                    // arrival history like the in-process guard. The
+                    // legacy replay names the previous custodian so a
+                    // cross-member move pulls the handoff; the very first
+                    // arrival has none.
+                    let (d, from) = match ring.as_ref() {
+                        Some(r) => (member_idx(r.home_of(name).expect("nonempty ring")), None),
+                        None => (
+                            d_of(server),
+                            has_custodian[*obj].then(|| peers[custodian[*obj]].0.clone()),
+                        ),
+                    };
                     clients[d]
                         .arrive(name, *time, from.as_deref())
                         .map_err(|e| format!("arrival of {name} at d{d}: {e}"))?;
@@ -243,11 +364,17 @@ fn run_episode_net_driver(
                 let remaining = &per_object[*obj][cursor[*obj]..];
                 cursor[*obj] += 1;
                 let reachable = !dead.contains(&*access.server) && env.resolve(access).is_ok();
+                // Placement mode routes straight to the ring home — any
+                // other member would answer with a Redirect.
+                let target = match ring.as_ref() {
+                    Some(r) => member_idx(r.home_of(name).expect("nonempty ring")),
+                    None => custodian[*obj],
+                };
                 let system_v = if reachable {
                     // An unreachable or crashed member resolves to the
                     // counted fail-safe denial inside either driver.
                     if pipelined {
-                        clients[custodian[*obj]]
+                        clients[target]
                             .decide_stream_failsafe(
                                 &[(name.as_str(), access, remaining, *time)],
                                 PIPELINE_WINDOW,
@@ -255,7 +382,7 @@ fn run_episode_net_driver(
                             .pop()
                             .expect("one verdict per submitted request")
                     } else {
-                        clients[custodian[*obj]].decide_failsafe(name, access, remaining, *time)
+                        clients[target].decide_failsafe(name, access, remaining, *time)
                     }
                 } else {
                     stacl_obs::count(stacl_obs::Counter::VerdictDeniedUnknownTarget);
