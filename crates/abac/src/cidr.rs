@@ -1,0 +1,191 @@
+//! IPv4 addresses and CIDR prefixes — the spatial attribute vocabulary.
+//!
+//! Everything is a `u32` plus a mask; there is deliberately no dependency
+//! on `std::net` so the parse/containment semantics are pinned by this
+//! file alone and the naive oracle check shares nothing with the lowering
+//! beyond these few lines of bit arithmetic.
+
+use std::fmt;
+
+/// Parse a dotted-quad IPv4 address into its big-endian `u32` value.
+pub fn parse_ipv4(s: &str) -> Result<u32, String> {
+    let mut out: u32 = 0;
+    let mut octets = 0usize;
+    for part in s.split('.') {
+        if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(format!("bad IPv4 address {s:?}"));
+        }
+        let v: u32 = part
+            .parse()
+            .map_err(|_| format!("bad IPv4 address {s:?}"))?;
+        if v > 255 || (part.len() > 1 && part.starts_with('0')) {
+            return Err(format!("bad IPv4 address {s:?}"));
+        }
+        out = (out << 8) | v;
+        octets += 1;
+    }
+    if octets != 4 {
+        return Err(format!("bad IPv4 address {s:?}"));
+    }
+    Ok(out)
+}
+
+/// An IPv4 CIDR block: a base address and a prefix length. A bare
+/// address parses as a `/32` host block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Cidr {
+    /// Network base address (host bits need not be zero; containment
+    /// masks them off).
+    pub addr: u32,
+    /// Prefix length, `0..=32`.
+    pub prefix: u8,
+}
+
+impl Cidr {
+    /// Parse `a.b.c.d/p` (or a bare `a.b.c.d`, meaning `/32`).
+    pub fn parse(s: &str) -> Result<Cidr, String> {
+        let (addr_s, prefix) = match s.split_once('/') {
+            Some((a, p)) => {
+                let prefix: u8 = p.parse().map_err(|_| format!("bad CIDR prefix in {s:?}"))?;
+                if prefix > 32 {
+                    return Err(format!("CIDR prefix > 32 in {s:?}"));
+                }
+                (a, prefix)
+            }
+            None => (s, 32u8),
+        };
+        Ok(Cidr {
+            addr: parse_ipv4(addr_s)?,
+            prefix,
+        })
+    }
+
+    /// The network mask for this prefix length.
+    pub fn mask(&self) -> u32 {
+        if self.prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.prefix)
+        }
+    }
+
+    /// Does the block contain `ip`?
+    pub fn contains(&self, ip: u32) -> bool {
+        (ip & self.mask()) == (self.addr & self.mask())
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.addr;
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            a >> 24,
+            (a >> 16) & 0xff,
+            (a >> 8) & 0xff,
+            a & 0xff,
+            self.prefix
+        )
+    }
+}
+
+/// A spatial attribute rule: an access location (the server's IPv4
+/// address) is permitted iff it falls in *some* allow block and *no*
+/// deny block. An empty allow set permits nothing — attribute policies
+/// are default-deny.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CidrRule {
+    /// Blocks that admit an address.
+    pub allow: Vec<Cidr>,
+    /// Blocks that veto an address even when allowed.
+    pub deny: Vec<Cidr>,
+}
+
+impl CidrRule {
+    /// Parse allow/deny block lists.
+    pub fn parse(allow: &[impl AsRef<str>], deny: &[impl AsRef<str>]) -> Result<CidrRule, String> {
+        let parse_all = |xs: &[&str]| -> Result<Vec<Cidr>, String> {
+            xs.iter().map(|s| Cidr::parse(s)).collect()
+        };
+        let allow: Vec<&str> = allow.iter().map(|s| s.as_ref()).collect();
+        let deny: Vec<&str> = deny.iter().map(|s| s.as_ref()).collect();
+        Ok(CidrRule {
+            allow: parse_all(&allow)?,
+            deny: parse_all(&deny)?,
+        })
+    }
+
+    /// Is `ip` permitted by the rule?
+    pub fn permits(&self, ip: u32) -> bool {
+        self.allow.iter().any(|c| c.contains(ip)) && !self.deny.iter().any(|c| c.contains(ip))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_ipv4_round_trips() {
+        assert_eq!(parse_ipv4("0.0.0.0").unwrap(), 0);
+        assert_eq!(parse_ipv4("255.255.255.255").unwrap(), u32::MAX);
+        assert_eq!(parse_ipv4("10.0.0.1").unwrap(), 0x0a00_0001);
+        assert_eq!(parse_ipv4("192.168.1.20").unwrap(), 0xc0a8_0114);
+    }
+
+    #[test]
+    fn parse_ipv4_rejects_garbage() {
+        for bad in [
+            "",
+            "10",
+            "10.0.0",
+            "10.0.0.0.0",
+            "256.0.0.1",
+            "1.2.3.04",
+            "a.b.c.d",
+            "1..2.3",
+            "-1.0.0.0",
+            "1.2.3.4 ",
+        ] {
+            assert!(parse_ipv4(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn cidr_containment() {
+        let c = Cidr::parse("10.0.0.0/8").unwrap();
+        assert!(c.contains(parse_ipv4("10.1.2.3").unwrap()));
+        assert!(!c.contains(parse_ipv4("11.0.0.0").unwrap()));
+        let host = Cidr::parse("192.168.1.20").unwrap();
+        assert_eq!(host.prefix, 32);
+        assert!(host.contains(parse_ipv4("192.168.1.20").unwrap()));
+        assert!(!host.contains(parse_ipv4("192.168.1.21").unwrap()));
+        let all = Cidr::parse("0.0.0.0/0").unwrap();
+        assert!(all.contains(0) && all.contains(u32::MAX));
+    }
+
+    #[test]
+    fn cidr_rejects_bad_prefixes() {
+        assert!(Cidr::parse("10.0.0.0/33").is_err());
+        assert!(Cidr::parse("10.0.0.0/x").is_err());
+        assert!(Cidr::parse("10.0.0/8").is_err());
+    }
+
+    #[test]
+    fn rule_is_default_deny_and_deny_wins() {
+        let empty = CidrRule::default();
+        assert!(!empty.permits(parse_ipv4("10.0.0.1").unwrap()));
+        let rule = CidrRule::parse(&["10.0.0.0/8"], &["10.2.0.0/16"]).unwrap();
+        assert!(rule.permits(parse_ipv4("10.1.0.1").unwrap()));
+        assert!(!rule.permits(parse_ipv4("10.2.0.1").unwrap()), "deny wins");
+        assert!(!rule.permits(parse_ipv4("11.0.0.1").unwrap()));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["10.0.0.0/8", "192.168.1.20/32", "0.0.0.0/0"] {
+            assert_eq!(Cidr::parse(s).unwrap().to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! `stacl-abac` — the attribute-based policy front-end.
+//!
+//! Real deployments answer the paper's "where" with network attributes
+//! (IPv4/CIDR allow/deny sets over server addresses) and its "when" with
+//! calendar schedules (cron expressions with durations). This crate
+//! parses both from a typed [`AttributePolicy`] (TOML surface syntax)
+//! and **lowers** them deterministically onto the engine's existing
+//! primitives:
+//!
+//! - a CIDR rule becomes a `count(0, 0, server=…)` SRAC constraint over
+//!   the non-permitted servers — an ordinary compiled automaton whose
+//!   alphabet compresses to two symbol classes, served unchanged by the
+//!   incremental cursor fast path;
+//! - a cron window becomes an ordinary validity budget (seconds,
+//!   `WholeLifetime` scheme) sampled at the policy's epoch reference
+//!   time, served unchanged by the temporal timeline.
+//!
+//! Because the lowered output is a plain [`RbacModel`], attribute
+//! policies ride the whole existing stack for free: `render_policy`
+//! text, the wire protocol's `PolicyPrepare`/`PolicyActivate` frames,
+//! epoch-versioned live rollout, the audit ledger, and the differential
+//! simulator. Lowering failures never grant: they are counted fail-safe
+//! declines (`abac.lower-error.spatial` / `abac.lower-error.temporal`).
+//!
+//! The module split mirrors the pipeline: [`toml`] (surface subset) →
+//! [`policy`] (typed AST, strict validation) → [`lower`] (deterministic
+//! lowering), with [`cidr`] and [`cron`] holding the two attribute
+//! vocabularies plus their *naive* evaluators — the independent
+//! semantics the simulator oracle cross-checks the lowering against.
+//!
+//! [`RbacModel`]: stacl_rbac::RbacModel
+
+#![warn(missing_docs)]
+
+pub mod cidr;
+pub mod cron;
+pub mod lower;
+pub mod policy;
+pub mod toml;
+
+pub use cidr::{parse_ipv4, Cidr, CidrRule};
+pub use cron::{
+    calendar_at, naive_validity_at, parse_duration, validity_at, Calendar, CronExpr,
+    MAX_VALIDITY_SECS,
+};
+pub use lower::{
+    cron_to_stepfn, cron_validity_failsafe, lower_cidr_failsafe, lower_cidr_rule, lower_policy,
+    LoweredPolicy,
+};
+pub use policy::{AttributePolicy, AttributeRule, RoleDecl};

@@ -1,0 +1,333 @@
+//! Deterministic lowering from attribute policies to the engine's
+//! primitives — SRAC constraints for the spatial side, validity budgets
+//! (the temporal step-function/duration model) for the temporal side.
+//!
+//! The point of the design: **no new hot-path code**. A CIDR rule over
+//! the coalition's server addresses becomes an ordinary
+//! `count(0, 0, server=…)` constraint over the *non-permitted* servers,
+//! which compiles to a two-symbol-class automaton under alphabet
+//! compression and is served by the existing incremental cursor fast
+//! path. A cron window becomes an ordinary validity budget sampled at
+//! the policy's epoch reference time, served by the existing
+//! `PermissionTimeline`. Epoch-aware recompilation falls out for free:
+//! `prepare_epoch`/`activate_epoch` already swap whole permission
+//! tables, so re-lowering at each epoch's reference time is a live
+//! rollout of the attribute policy.
+//!
+//! Lowering failures are *counted fail-safe declines*, per kind: a
+//! spatial rule that won't lower becomes `Constraint::False`
+//! (`abac.lower-error.spatial`), a temporal rule becomes a zero validity
+//! budget (`abac.lower-error.temporal`). Either way the permission
+//! denies rather than silently granting.
+
+use stacl_obs::{count, Counter};
+use stacl_rbac::{AccessPattern, Permission, RbacModel};
+use stacl_srac::{Constraint, Selector};
+use stacl_sral::ast::name;
+use stacl_temporal::{BaseTimeScheme, StepFn, TimePoint};
+
+use crate::cidr::{parse_ipv4, CidrRule};
+use crate::cron::{parse_duration, validity_at, CronExpr};
+use crate::policy::AttributePolicy;
+
+/// Lower a parsed CIDR rule over the coalition's server→address map
+/// into a pure SRAC constraint. `None` means every server is permitted
+/// (no constraint needed); servers with no known address (`None` in the
+/// map) are never permitted — attribute policies are default-deny.
+pub fn lower_cidr_rule(rule: &CidrRule, servers: &[(String, Option<u32>)]) -> Option<Constraint> {
+    let permitted: Vec<&str> = servers
+        .iter()
+        .filter(|(_, ip)| ip.map(|ip| rule.permits(ip)).unwrap_or(false))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    if permitted.is_empty() {
+        // Nothing is permitted; an empty-set selector isn't expressible,
+        // so deny outright.
+        return Some(Constraint::False);
+    }
+    let non_permitted: Vec<&str> = servers
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .filter(|n| !permitted.contains(n))
+        .collect();
+    if non_permitted.is_empty() {
+        return None;
+    }
+    Some(Constraint::forbid(
+        Selector::any().with_servers(non_permitted),
+    ))
+}
+
+/// Parse + lower a CIDR rule from raw allow/deny strings; on a parse
+/// error, count `abac.lower-error.spatial` and fail safe to an
+/// always-deny constraint.
+pub fn lower_cidr_failsafe(
+    allow: &[String],
+    deny: &[String],
+    servers: &[(String, Option<u32>)],
+) -> Option<Constraint> {
+    match CidrRule::parse(allow, deny) {
+        Ok(rule) => lower_cidr_rule(&rule, servers),
+        Err(_) => {
+            count(Counter::AbacLowerErrorSpatial);
+            Some(Constraint::False)
+        }
+    }
+}
+
+/// Parse + evaluate a cron validity at reference time `at`; on any
+/// error, count `abac.lower-error.temporal` and fail safe to a zero
+/// budget (never valid).
+pub fn cron_validity_failsafe(expr: &str, dur: f64, at: f64) -> f64 {
+    let lowered = CronExpr::parse(expr).and_then(|e| validity_at(&e, dur, at));
+    match lowered {
+        Ok(v) => v,
+        Err(_) => {
+            count(Counter::AbacLowerErrorTemporal);
+            0.0
+        }
+    }
+}
+
+/// Materialize a schedule's merged windows over `[from, to]` as a
+/// [`StepFn`] — the temporal model's native representation, used for
+/// offline analysis and to pin the window semantics against
+/// [`crate::cron::naive_validity_at`] in tests.
+pub fn cron_to_stepfn(expr: &CronExpr, dur: f64, from: f64, to: f64) -> StepFn {
+    let mut windows: Vec<(TimePoint, TimePoint)> = Vec::new();
+    if dur > 0.0 {
+        let mut cur = from.max(0.0) as u64;
+        while let Some(f) = expr.next_fire(cur) {
+            if f as f64 > to {
+                break;
+            }
+            windows.push((TimePoint::new(f as f64), TimePoint::new(f as f64 + dur)));
+            cur = f + 1;
+        }
+    }
+    StepFn::from_windows(windows)
+}
+
+/// A lowered attribute policy: an ordinary RBAC model (rendered and
+/// shipped exactly like a hand-written one) plus notes describing any
+/// fail-safe substitutions that were made.
+#[derive(Debug)]
+pub struct LoweredPolicy {
+    /// The compiled model.
+    pub model: RbacModel,
+    /// Human-readable notes, one per fail-safe substitution.
+    pub notes: Vec<String>,
+}
+
+/// Lower a whole [`AttributePolicy`] at epoch reference time `at`
+/// (seconds since the calendar epoch). Structural problems — a server
+/// address that isn't an IPv4 literal — are hard errors; per-rule
+/// attribute problems fail safe and are reported in `notes`.
+pub fn lower_policy(p: &AttributePolicy, at: f64) -> Result<LoweredPolicy, String> {
+    let mut servers: Vec<(String, Option<u32>)> = Vec::new();
+    for (srv, addr) in &p.servers {
+        let ip = parse_ipv4(addr).map_err(|e| format!("server {srv:?}: {e}"))?;
+        servers.push((srv.clone(), Some(ip)));
+    }
+
+    let mut model = RbacModel::new();
+    let mut notes = Vec::new();
+    for role in &p.roles {
+        model.add_role(&role.name);
+        for user in &role.users {
+            model.add_user(user);
+            model
+                .assign_user(user, &role.name)
+                .map_err(|e| format!("assign {user:?} to {:?}: {e:?}", role.name))?;
+        }
+    }
+    for rule in &p.rules {
+        let pattern = AccessPattern {
+            op: rule.op.as_deref().map(name),
+            resource: rule.resource.as_deref().map(name),
+            server: rule.server.as_deref().map(name),
+        };
+        let mut perm = Permission::new(&rule.name, pattern);
+        if !rule.allow.is_empty() || !rule.deny.is_empty() {
+            let lowered = match CidrRule::parse(&rule.allow, &rule.deny) {
+                Ok(cidr) => lower_cidr_rule(&cidr, &servers),
+                Err(e) => {
+                    count(Counter::AbacLowerErrorSpatial);
+                    notes.push(format!("rule {:?}: spatial fail-safe deny: {e}", rule.name));
+                    Some(Constraint::False)
+                }
+            };
+            if let Some(c) = lowered {
+                perm = perm.with_spatial(c);
+            }
+        }
+        if let (Some(cron), Some(dur)) = (&rule.cron, &rule.duration) {
+            let lowered = parse_duration(dur)
+                .and_then(|d| CronExpr::parse(cron).map(|e| (e, d)))
+                .and_then(|(e, d)| validity_at(&e, d, at));
+            let v = match lowered {
+                Ok(v) => v,
+                Err(e) => {
+                    count(Counter::AbacLowerErrorTemporal);
+                    notes.push(format!(
+                        "rule {:?}: temporal fail-safe zero budget: {e}",
+                        rule.name
+                    ));
+                    0.0
+                }
+            };
+            perm = perm.with_validity(v, BaseTimeScheme::WholeLifetime);
+        }
+        model
+            .add_permission(perm)
+            .map_err(|e| format!("permission {:?}: {e:?}", rule.name))?;
+        for role in &rule.roles {
+            model
+                .assign_permission(role, &rule.name)
+                .map_err(|e| format!("assign {:?} to role {role:?}: {e:?}", rule.name))?;
+        }
+    }
+    Ok(LoweredPolicy { model, notes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cron::naive_validity_at;
+    use stacl_rbac::policy::{parse_policy, render_policy};
+
+    fn servers() -> Vec<(String, Option<u32>)> {
+        vec![
+            ("s0".into(), Some(parse_ipv4("10.0.0.4").unwrap())),
+            ("s1".into(), Some(parse_ipv4("10.2.7.9").unwrap())),
+            ("s2".into(), Some(parse_ipv4("192.168.1.20").unwrap())),
+            ("s3".into(), None),
+        ]
+    }
+
+    #[test]
+    fn cidr_lowering_emits_forbid_over_non_permitted() {
+        let rule = CidrRule::parse(&["10.0.0.0/8"], &["10.2.0.0/16"]).unwrap();
+        let c = lower_cidr_rule(&rule, &servers()).unwrap();
+        // s0 permitted; s1 denied (deny wins); s2 outside allow; s3 unmapped.
+        assert_eq!(c.to_string(), "count(0, 0, server=s1|s2|s3)");
+    }
+
+    #[test]
+    fn all_permitted_lowers_to_no_constraint() {
+        let rule = CidrRule::parse(&["0.0.0.0/0"], &[] as &[String]).unwrap();
+        let servers: Vec<(String, Option<u32>)> = servers()
+            .into_iter()
+            .filter(|(_, ip)| ip.is_some())
+            .collect();
+        assert_eq!(lower_cidr_rule(&rule, &servers), None);
+    }
+
+    #[test]
+    fn nothing_permitted_lowers_to_false() {
+        let rule = CidrRule::parse(&["172.16.0.0/12"], &[] as &[String]).unwrap();
+        assert_eq!(lower_cidr_rule(&rule, &servers()), Some(Constraint::False));
+        // No servers at all: likewise.
+        assert_eq!(lower_cidr_rule(&rule, &[]), Some(Constraint::False));
+    }
+
+    #[test]
+    fn failsafe_counts_and_denies() {
+        stacl_obs::set_telemetry(true);
+        let before = stacl_obs::snapshot().counter(Counter::AbacLowerErrorSpatial);
+        let c = lower_cidr_failsafe(&["not-a-cidr".into()], &[], &servers());
+        assert_eq!(c, Some(Constraint::False));
+        let after = stacl_obs::snapshot().counter(Counter::AbacLowerErrorSpatial);
+        assert_eq!(after, before + 1);
+
+        let tbefore = stacl_obs::snapshot().counter(Counter::AbacLowerErrorTemporal);
+        assert_eq!(cron_validity_failsafe("not a cron", 10.0, 0.0), 0.0);
+        let tafter = stacl_obs::snapshot().counter(Counter::AbacLowerErrorTemporal);
+        assert_eq!(tafter, tbefore + 1);
+    }
+
+    #[test]
+    fn stepfn_windows_agree_with_naive_membership() {
+        let e = CronExpr::parse("*/2 * * * * *").unwrap(); // every 2nd second
+        let f = cron_to_stepfn(&e, 1.5, 0.0, 30.0);
+        for t in 0..60 {
+            let t = t as f64 * 0.5;
+            assert_eq!(
+                f.at(TimePoint::new(t)),
+                naive_validity_at(&e, 1.5, t) > 0.0,
+                "t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowered_policy_round_trips_through_policy_text() {
+        let p = AttributePolicy::parse(
+            r#"
+[servers]
+s0 = "10.0.0.4"
+s1 = "10.2.7.9"
+
+[[role]]
+name = "employee"
+users = ["alice"]
+
+[[rule]]
+name = "office-read"
+roles = ["employee"]
+op = "read"
+allow = ["10.0.0.0/8"]
+deny = ["10.2.0.0/16"]
+cron = "* * * * *"
+duration = "45s"
+"#,
+        )
+        .unwrap();
+        // Reference time second 10: inside the window that opened at 0.
+        let lowered = lower_policy(&p, 10.0).unwrap();
+        assert!(lowered.notes.is_empty(), "{:?}", lowered.notes);
+        let text = render_policy(&lowered.model);
+        let reparsed = parse_policy(&text).expect("lowered policies are ordinary policy text");
+        let perm = reparsed.permission("office-read").unwrap();
+        assert_eq!(
+            perm.spatial.as_ref().unwrap().to_string(),
+            "count(0, 0, server=s1)"
+        );
+        assert_eq!(perm.validity, Some(35.0));
+    }
+
+    #[test]
+    fn lower_policy_failsafes_are_noted_not_fatal() {
+        let p = AttributePolicy::parse(
+            r#"
+[[role]]
+name = "r"
+users = ["u"]
+
+[[rule]]
+name = "bad-spatial"
+roles = ["r"]
+allow = ["299.0.0.0/8"]
+
+[[rule]]
+name = "bad-temporal"
+roles = ["r"]
+cron = "61 * * * *"
+duration = "1h"
+"#,
+        )
+        .unwrap();
+        let lowered = lower_policy(&p, 0.0).unwrap();
+        assert_eq!(lowered.notes.len(), 2, "{:?}", lowered.notes);
+        let spatial = lowered.model.permission("bad-spatial").unwrap();
+        assert_eq!(spatial.spatial, Some(Constraint::False));
+        let temporal = lowered.model.permission("bad-temporal").unwrap();
+        assert_eq!(temporal.validity, Some(0.0));
+    }
+
+    #[test]
+    fn bad_server_address_is_a_hard_error() {
+        let p = AttributePolicy::parse("[servers]\ns0 = \"nope\"").unwrap();
+        assert!(lower_policy(&p, 0.0).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! The typed `AttributePolicy` AST and its TOML surface syntax.
+//!
+//! A policy file names the coalition's servers (with their IPv4
+//! addresses), declares roles with their members, and lists attribute
+//! rules. Each rule grants an access pattern to a set of roles, guarded
+//! by a spatial attribute (CIDR allow/deny sets over the server
+//! addresses) and/or a temporal attribute (a cron window with a
+//! duration):
+//!
+//! ```toml
+//! [servers]
+//! s0 = "10.0.0.4"
+//! s1 = "10.1.7.9"
+//!
+//! [[role]]
+//! name = "employee"
+//! users = ["alice", "bob"]
+//!
+//! [[rule]]
+//! name = "office-read"
+//! roles = ["employee"]
+//! op = "read"                # optional; omitted or "*" = any
+//! resource = "doc"
+//! allow = ["10.0.0.0/8"]     # CIDR allow set
+//! deny = ["10.2.0.0/16"]     # CIDR deny set (deny wins)
+//! cron = "0 9 * * MON-FRI"   # calendar window…
+//! duration = "8h"            # …open for 8 hours per fire
+//! ```
+//!
+//! Parsing is strict: unknown keys, unknown role references, duplicate
+//! names and malformed values are errors here, *before* lowering — the
+//! fail-safe decline path in `lower` is for attribute values whose
+//! syntax is plausible but whose semantics can't be compiled, not for
+//! typos.
+
+use crate::toml::{self, Table, Value};
+
+/// A role declaration: a name plus its member users.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RoleDecl {
+    /// Role name.
+    pub name: String,
+    /// Users assigned the role.
+    pub users: Vec<String>,
+}
+
+/// One attribute rule — the unlowered, source-level form.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct AttributeRule {
+    /// Permission name (unique per policy).
+    pub name: String,
+    /// Roles the permission is assigned to.
+    pub roles: Vec<String>,
+    /// Required operation (`None` = any).
+    pub op: Option<String>,
+    /// Required resource (`None` = any).
+    pub resource: Option<String>,
+    /// Required server (`None` = any).
+    pub server: Option<String>,
+    /// CIDR allow blocks (raw source strings).
+    pub allow: Vec<String>,
+    /// CIDR deny blocks (raw source strings).
+    pub deny: Vec<String>,
+    /// Cron window expression.
+    pub cron: Option<String>,
+    /// Window duration (raw source string, e.g. `"8h"`).
+    pub duration: Option<String>,
+}
+
+/// A parsed attribute policy.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct AttributePolicy {
+    /// Server name → dotted-quad IPv4 address, in file order.
+    pub servers: Vec<(String, String)>,
+    /// Role declarations, in file order.
+    pub roles: Vec<RoleDecl>,
+    /// Attribute rules, in file order.
+    pub rules: Vec<AttributeRule>,
+}
+
+impl AttributePolicy {
+    /// Parse and validate a policy from TOML source.
+    pub fn parse(src: &str) -> Result<AttributePolicy, String> {
+        let doc = toml::parse(src)?;
+        if let Some((k, _)) = doc.root.first() {
+            return Err(format!("unexpected top-level key {k:?}"));
+        }
+        for (name, _) in &doc.tables {
+            if name != "servers" {
+                return Err(format!("unexpected table [{name}]"));
+            }
+        }
+        for (name, _) in &doc.table_arrays {
+            if name != "role" && name != "rule" {
+                return Err(format!("unexpected table array [[{name}]]"));
+            }
+        }
+
+        let mut servers = Vec::new();
+        if let Some(table) = doc.table("servers") {
+            for (name, v) in table {
+                let addr = v
+                    .as_str()
+                    .ok_or_else(|| format!("server {name:?}: address must be a string"))?;
+                servers.push((name.clone(), addr.to_string()));
+            }
+        }
+
+        let mut roles = Vec::new();
+        for table in doc.array_of("role") {
+            let role = parse_role(table)?;
+            if roles.iter().any(|r: &RoleDecl| r.name == role.name) {
+                return Err(format!("duplicate role {:?}", role.name));
+            }
+            roles.push(role);
+        }
+
+        let mut rules: Vec<AttributeRule> = Vec::new();
+        for table in doc.array_of("rule") {
+            let rule = parse_rule(table)?;
+            if rules.iter().any(|r| r.name == rule.name) {
+                return Err(format!("duplicate rule {:?}", rule.name));
+            }
+            for role in &rule.roles {
+                if !roles.iter().any(|r| r.name == *role) {
+                    return Err(format!(
+                        "rule {:?} references unknown role {role:?}",
+                        rule.name
+                    ));
+                }
+            }
+            rules.push(rule);
+        }
+
+        Ok(AttributePolicy {
+            servers,
+            roles,
+            rules,
+        })
+    }
+}
+
+fn get_str(table: &Table, key: &str, what: &str) -> Result<Option<String>, String> {
+    match table.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Value::Str(s))) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("{what}: {key} must be a string")),
+    }
+}
+
+fn get_str_array(table: &Table, key: &str, what: &str) -> Result<Vec<String>, String> {
+    match table.iter().find(|(k, _)| k == key) {
+        None => Ok(Vec::new()),
+        Some((_, v)) => v
+            .as_str_array()
+            .ok_or_else(|| format!("{what}: {key} must be an array of strings")),
+    }
+}
+
+fn parse_role(table: &Table) -> Result<RoleDecl, String> {
+    for (k, _) in table {
+        if !matches!(k.as_str(), "name" | "users") {
+            return Err(format!("unexpected key {k:?} in [[role]]"));
+        }
+    }
+    let name = get_str(table, "name", "[[role]]")?.ok_or("role without a name")?;
+    let users = get_str_array(table, "users", "[[role]]")?;
+    Ok(RoleDecl { name, users })
+}
+
+fn parse_rule(table: &Table) -> Result<AttributeRule, String> {
+    const KEYS: [&str; 9] = [
+        "name", "roles", "op", "resource", "server", "allow", "deny", "cron", "duration",
+    ];
+    for (k, _) in table {
+        if !KEYS.contains(&k.as_str()) {
+            return Err(format!("unexpected key {k:?} in [[rule]]"));
+        }
+    }
+    let name = get_str(table, "name", "[[rule]]")?.ok_or("rule without a name")?;
+    let what = format!("rule {name:?}");
+    let wildcard = |v: Option<String>| v.filter(|s| s != "*");
+    let rule = AttributeRule {
+        roles: get_str_array(table, "roles", &what)?,
+        op: wildcard(get_str(table, "op", &what)?),
+        resource: wildcard(get_str(table, "resource", &what)?),
+        server: wildcard(get_str(table, "server", &what)?),
+        allow: get_str_array(table, "allow", &what)?,
+        deny: get_str_array(table, "deny", &what)?,
+        cron: get_str(table, "cron", &what)?,
+        duration: get_str(table, "duration", &what)?,
+        name,
+    };
+    if rule.roles.is_empty() {
+        return Err(format!("rule {:?} names no roles", rule.name));
+    }
+    if rule.cron.is_some() != rule.duration.is_some() {
+        return Err(format!(
+            "rule {:?}: cron and duration must appear together",
+            rule.name
+        ));
+    }
+    Ok(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OFFICE: &str = r#"
+[servers]
+s0 = "10.0.0.4"
+s1 = "10.2.7.9"
+
+[[role]]
+name = "employee"
+users = ["alice", "bob"]
+
+[[rule]]
+name = "office-read"
+roles = ["employee"]
+op = "read"
+resource = "doc"
+allow = ["10.0.0.0/8"]
+deny = ["10.2.0.0/16"]
+cron = "0 9 * * MON-FRI"
+duration = "8h"
+"#;
+
+    #[test]
+    fn parses_the_office_policy() {
+        let p = AttributePolicy::parse(OFFICE).unwrap();
+        assert_eq!(p.servers.len(), 2);
+        assert_eq!(p.roles[0].name, "employee");
+        assert_eq!(p.roles[0].users, vec!["alice", "bob"]);
+        let r = &p.rules[0];
+        assert_eq!(r.name, "office-read");
+        assert_eq!(r.op.as_deref(), Some("read"));
+        assert_eq!(r.server, None, "omitted server is a wildcard");
+        assert_eq!(r.allow, vec!["10.0.0.0/8"]);
+        assert_eq!(r.cron.as_deref(), Some("0 9 * * MON-FRI"));
+        assert_eq!(r.duration.as_deref(), Some("8h"));
+    }
+
+    #[test]
+    fn star_components_are_wildcards() {
+        let p = AttributePolicy::parse(
+            r#"
+[[role]]
+name = "r"
+users = []
+
+[[rule]]
+name = "x"
+roles = ["r"]
+op = "*"
+"#,
+        )
+        .unwrap();
+        assert_eq!(p.rules[0].op, None);
+    }
+
+    #[test]
+    fn strict_validation_rejects_mistakes() {
+        for (src, needle) in [
+            ("top = 1", "unexpected top-level key"),
+            ("[serverz]\ns0 = \"1.2.3.4\"", "unexpected table"),
+            ("[[rules]]\nname = \"x\"", "unexpected table array"),
+            (
+                "[[role]]\nname = \"r\"\nusers = []\ncolor = \"red\"",
+                "unexpected key",
+            ),
+            (
+                "[[role]]\nname = \"r\"\nusers = []\n[[rule]]\nname = \"x\"\nroles = [\"ghost\"]",
+                "unknown role",
+            ),
+            (
+                "[[role]]\nname = \"r\"\nusers = []\n[[rule]]\nname = \"x\"\nroles = []",
+                "names no roles",
+            ),
+            (
+                "[[role]]\nname = \"r\"\nusers = []\n[[rule]]\nname = \"x\"\nroles = [\"r\"]\ncron = \"0 9 * * *\"",
+                "cron and duration",
+            ),
+            (
+                "[[role]]\nname = \"r\"\nusers = []\n[[role]]\nname = \"r\"\nusers = []",
+                "duplicate role",
+            ),
+        ] {
+            let err = AttributePolicy::parse(src).unwrap_err();
+            assert!(err.contains(needle), "{src:?} -> {err}");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! A minimal hand-rolled TOML subset for attribute-policy files.
+//!
+//! Supported: `# comments`, `[table]` headers, `[[array-of-table]]`
+//! headers, and single-line `key = value` pairs where a value is a basic
+//! string, a number, a boolean, or a single-line array of those. Keys
+//! are bare (`[A-Za-z0-9_-]`) or basic-quoted. That is everything the
+//! `AttributePolicy` format needs; anything else is a parse error with a
+//! line number — the repo is zero-external-dependency by design, so this
+//! subset is pinned here rather than pulled from a TOML crate.
+
+/// A parsed TOML value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// An integer or float.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A single-line array.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements as strings, if this is an array of strings.
+    pub fn as_str_array(&self) -> Option<Vec<String>> {
+        match self {
+            Value::Array(xs) => xs.iter().map(|v| v.as_str().map(str::to_string)).collect(),
+            _ => None,
+        }
+    }
+}
+
+/// One table: ordered key/value pairs (order is load-bearing — lowering
+/// is deterministic in file order).
+pub type Table = Vec<(String, Value)>;
+
+/// A parsed document: top-level pairs, named tables, and arrays of
+/// tables, each in file order.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Doc {
+    /// Pairs before any header.
+    pub root: Table,
+    /// `[name]` tables.
+    pub tables: Vec<(String, Table)>,
+    /// `[[name]]` instances, one entry per header occurrence.
+    pub table_arrays: Vec<(String, Table)>,
+}
+
+impl Doc {
+    /// The first `[name]` table, if present.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// All `[[name]]` instances, in file order.
+    pub fn array_of(&self, name: &str) -> Vec<&Table> {
+        self.table_arrays
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, t)| t)
+            .collect()
+    }
+}
+
+enum Target {
+    Root,
+    Table(usize),
+    ArrayInstance(usize),
+}
+
+/// Parse a document (see the module docs for the supported subset).
+pub fn parse(src: &str) -> Result<Doc, String> {
+    let mut doc = Doc::default();
+    let mut target = Target::Root;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| format!("line {lineno}: malformed [[table]] header"))?
+                .trim();
+            check_key(name, lineno)?;
+            doc.table_arrays.push((name.to_string(), Vec::new()));
+            target = Target::ArrayInstance(doc.table_arrays.len() - 1);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: malformed [table] header"))?
+                .trim();
+            check_key(name, lineno)?;
+            if doc.table(name).is_some() {
+                return Err(format!("line {lineno}: duplicate table [{name}]"));
+            }
+            doc.tables.push((name.to_string(), Vec::new()));
+            target = Target::Table(doc.tables.len() - 1);
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+        let key = parse_key(key.trim(), lineno)?;
+        let value = parse_value(value.trim(), lineno)?;
+        let table = match target {
+            Target::Root => &mut doc.root,
+            Target::Table(i) => &mut doc.tables[i].1,
+            Target::ArrayInstance(i) => &mut doc.table_arrays[i].1,
+        };
+        if table.iter().any(|(k, _)| *k == key) {
+            return Err(format!("line {lineno}: duplicate key {key:?}"));
+        }
+        table.push((key, value));
+    }
+    Ok(doc)
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn check_key(k: &str, lineno: usize) -> Result<(), String> {
+    if !k.is_empty()
+        && k.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+    {
+        Ok(())
+    } else {
+        Err(format!("line {lineno}: bad key {k:?}"))
+    }
+}
+
+fn parse_key(k: &str, lineno: usize) -> Result<String, String> {
+    if let Some(inner) = k.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        if inner.is_empty() || inner.contains('"') {
+            return Err(format!("line {lineno}: bad quoted key {k:?}"));
+        }
+        return Ok(inner.to_string());
+    }
+    check_key(k, lineno)?;
+    Ok(k.to_string())
+}
+
+fn parse_value(v: &str, lineno: usize) -> Result<Value, String> {
+    if let Some(rest) = v.strip_prefix('[') {
+        let inner = rest
+            .strip_suffix(']')
+            .ok_or_else(|| format!("line {lineno}: arrays must be single-line"))?
+            .trim();
+        let mut items = Vec::new();
+        if !inner.is_empty() {
+            for item in split_array_items(inner, lineno)? {
+                items.push(parse_value(item.trim(), lineno)?);
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(rest) = v.strip_prefix('"') {
+        let inner = rest
+            .strip_suffix('"')
+            .ok_or_else(|| format!("line {lineno}: unterminated string"))?;
+        if inner.contains('"') {
+            return Err(format!("line {lineno}: stray quote inside string"));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    match v {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    v.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("line {lineno}: bad value {v:?}"))
+}
+
+/// Split a single-line array body on commas outside quotes.
+fn split_array_items(inner: &str, lineno: usize) -> Result<Vec<&str>, String> {
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, b) in inner.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b',' if !in_str => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err(format!("line {lineno}: unterminated string in array"));
+    }
+    let last = inner[start..].trim();
+    if !last.is_empty() {
+        items.push(&inner[start..]);
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_policy_shape() {
+        let doc = parse(
+            r#"
+# attribute policy
+version = 1
+
+[servers]
+s0 = "10.0.0.4"   # trailing comment
+s1 = "10.1.7.9"
+
+[[rule]]
+name = "office-read"
+allow = ["10.0.0.0/8", "192.168.0.0/16"]
+deny = []
+enabled = true
+
+[[rule]]
+name = "second"
+duration = "8h"
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.root, vec![("version".into(), Value::Num(1.0))]);
+        let servers = doc.table("servers").unwrap();
+        assert_eq!(servers[0], ("s0".into(), Value::Str("10.0.0.4".into())));
+        assert_eq!(servers[1], ("s1".into(), Value::Str("10.1.7.9".into())));
+        let rules = doc.array_of("rule");
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0][0].1.as_str(), Some("office-read"));
+        assert_eq!(
+            rules[0][1].1.as_str_array().unwrap(),
+            vec!["10.0.0.0/8", "192.168.0.0/16"]
+        );
+        assert_eq!(rules[0][2].1, Value::Array(vec![]));
+        assert_eq!(rules[0][3].1, Value::Bool(true));
+        assert_eq!(rules[1][1].1.as_str(), Some("8h"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse(r##"k = "a#b""##).unwrap();
+        assert_eq!(doc.root[0].1.as_str(), Some("a#b"));
+    }
+
+    #[test]
+    fn quoted_keys_and_commas_in_strings() {
+        let doc = parse(r#""dotted.key" = ["a,b", "c"]"#).unwrap();
+        assert_eq!(doc.root[0].0, "dotted.key");
+        assert_eq!(doc.root[0].1.as_str_array().unwrap(), vec!["a,b", "c"]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (src, needle) in [
+            ("x", "line 1"),
+            ("[t\nk = 1", "line 1"),
+            ("[t]\n[t]", "line 2"),
+            ("k = 1\nk = 2", "line 2"),
+            ("k = [1, 2", "line 1"),
+            ("k = \"abc", "line 1"),
+            ("k = nope", "line 1"),
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(err.contains(needle), "{src:?} -> {err}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Compliance-scenario smoke test: the NIST SP 800-53 AC-family policy
+//! pack under `examples/` must parse, lower cleanly (no fail-safe
+//! notes), and produce the constraints each control promises.
+
+use stacl_abac::{lower_policy, AttributePolicy};
+use stacl_rbac::policy::{parse_policy, render_policy};
+
+const HOUR: f64 = 3600.0;
+
+fn load() -> AttributePolicy {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/nist_800_53_ac.toml"
+    );
+    let src = std::fs::read_to_string(path).expect("examples/nist_800_53_ac.toml");
+    AttributePolicy::parse(&src).expect("the shipped compliance pack must parse")
+}
+
+#[test]
+fn nist_ac_pack_lowers_to_the_promised_constraints() {
+    let p = load();
+    assert_eq!(p.servers.len(), 4);
+    assert_eq!(p.roles.len(), 3);
+    assert_eq!(p.rules.len(), 5);
+
+    // Reference time: 10:00 on the calendar epoch's first Monday —
+    // inside both the AC-17 business window (09:00+8h) and the AC-11
+    // daily window's closed tail (08:00+30m has already lapsed).
+    let lowered = lower_policy(&p, 10.0 * HOUR).unwrap();
+    assert!(lowered.notes.is_empty(), "{:?}", lowered.notes);
+    let m = &lowered.model;
+
+    // AC-3: headquarters segments only — the lab and the VPN gateway
+    // are outside the allow block.
+    let ac3 = m.permission("ac3-enforce-read").unwrap();
+    assert_eq!(
+        ac3.spatial.as_ref().unwrap().to_string(),
+        "count(0, 0, server=lab|vpn)"
+    );
+    assert_eq!(ac3.validity, None, "AC-3 carries no temporal attribute");
+
+    // AC-17: only the remote-access concentrator, 7h left of the 8h
+    // window that opened at 09:00.
+    let ac17 = m.permission("ac17-remote-access").unwrap();
+    assert_eq!(
+        ac17.spatial.as_ref().unwrap().to_string(),
+        "count(0, 0, server=hq0|hq1|lab)"
+    );
+    assert_eq!(ac17.validity, Some(7.0 * HOUR));
+
+    // AC-6: privileged writes pinned to segment A.
+    let ac6 = m.permission("ac6-privileged-write").unwrap();
+    assert_eq!(
+        ac6.spatial.as_ref().unwrap().to_string(),
+        "count(0, 0, server=hq1|lab|vpn)"
+    );
+
+    // AC-11: the 30-minute morning session has expired by 10:00.
+    let ac11 = m.permission("ac11-audit-session").unwrap();
+    assert_eq!(ac11.validity, Some(0.0));
+
+    // AC-4: exports are denied everywhere, explicitly.
+    let ac4 = m.permission("ac4-no-export").unwrap();
+    assert_eq!(ac4.spatial.as_ref().unwrap().to_string(), "false");
+}
+
+#[test]
+fn nist_ac_pack_ships_as_ordinary_policy_text() {
+    // The lowered pack renders to the same policy text the wire rollout
+    // pushes (`stacl policy push --abac …`), and that text re-parses —
+    // daemons never see attribute syntax.
+    let lowered = lower_policy(&load(), 9.0 * HOUR).unwrap();
+    let text = render_policy(&lowered.model);
+    let reparsed = parse_policy(&text).expect("lowered compliance pack is ordinary policy text");
+    // Full 8h window at 09:00 sharp.
+    assert_eq!(
+        reparsed.permission("ac17-remote-access").unwrap().validity,
+        Some(8.0 * HOUR)
+    );
+}

@@ -1,0 +1,198 @@
+//! Hand-rolled seeded property tests: lowering is a semantics morphism.
+//!
+//! Two differential surfaces, mirroring what the simulator oracle
+//! checks at scenario scale:
+//!
+//! 1. **Spatial.** A random CIDR rule lowered over a random server map
+//!    must satisfy exactly the traces whose every access lands on a
+//!    server the rule permits — where "permits" is recomputed by naive
+//!    bitmask membership, not the lowering.
+//! 2. **Temporal.** A random cron schedule's arithmetic window validity
+//!    ([`validity_at`]) must equal the brute per-second expansion
+//!    ([`naive_validity_at`]) at random reference times over a bounded
+//!    horizon, and the [`StepFn`] materialization must agree on
+//!    membership.
+//!
+//! No external property-testing crate: deterministic `SplitMix64`
+//! loops, with the failing seed in every assertion message.
+
+use stacl_abac::{
+    cron_to_stepfn, lower_cidr_rule, naive_validity_at, validity_at, Cidr, CidrRule, CronExpr,
+    MAX_VALIDITY_SECS,
+};
+use stacl_ids::rng::SplitMix64;
+use stacl_srac::trace_sat::{trace_satisfies, ProofOracle};
+use stacl_temporal::TimePoint;
+use stacl_trace::{AccessTable, Trace};
+
+fn random_cidr(rng: &mut SplitMix64, near: &[u32]) -> Cidr {
+    // Half the blocks are anchored near a real server address so allow
+    // sets actually hit; the rest are uniform noise.
+    let addr = if !near.is_empty() && rng.gen_bool(0.5) {
+        near[rng.gen_range(0..near.len())] ^ (rng.next_u64() as u32 & 0xffff)
+    } else {
+        rng.next_u64() as u32
+    };
+    Cidr {
+        addr,
+        prefix: rng.gen_range(0..33u32) as u8,
+    }
+}
+
+#[test]
+fn cidr_lowering_matches_naive_bitmask_membership() {
+    for seed in 0..2000u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let n_servers = rng.gen_range(1..6usize);
+        let servers: Vec<(String, Option<u32>)> = (0..n_servers)
+            .map(|i| {
+                let ip = if rng.gen_bool(0.85) {
+                    // Cluster most addresses in 10.0.0.0/8 so prefix
+                    // boundaries are exercised, not just misses.
+                    Some(0x0a00_0000 | (rng.next_u64() as u32 & 0x00ff_ffff))
+                } else {
+                    None // unmapped server
+                };
+                (format!("s{i}"), ip)
+            })
+            .collect();
+        let ips: Vec<u32> = servers.iter().filter_map(|(_, ip)| *ip).collect();
+        let rule = CidrRule {
+            allow: (0..rng.gen_range(0..4usize))
+                .map(|_| random_cidr(&mut rng, &ips))
+                .collect(),
+            deny: (0..rng.gen_range(0..3usize))
+                .map(|_| random_cidr(&mut rng, &ips))
+                .collect(),
+        };
+
+        let lowered = lower_cidr_rule(&rule, &servers);
+
+        // Naive side: which servers does raw bitmask membership permit?
+        let naive_permits = |i: usize| -> bool {
+            match servers[i].1 {
+                Some(ip) => {
+                    rule.allow.iter().any(|c| c.contains(ip))
+                        && !rule.deny.iter().any(|c| c.contains(ip))
+                }
+                None => false,
+            }
+        };
+
+        // Random non-empty traces over the coalition's servers.
+        let mut table = AccessTable::new();
+        for trial in 0..8 {
+            let len = rng.gen_range(1..6usize);
+            let picks: Vec<usize> = (0..len).map(|_| rng.gen_range(0..n_servers)).collect();
+            let trace = Trace::from_ids(
+                picks
+                    .iter()
+                    .map(|&i| table.intern_parts("op", "res", &servers[i].0)),
+            );
+            let expected = picks.iter().all(|&i| naive_permits(i));
+            let actual = match &lowered {
+                None => true,
+                Some(c) => trace_satisfies(&trace, c, &table, &ProofOracle::assume_all()),
+            };
+            assert_eq!(
+                actual, expected,
+                "seed {seed} trial {trial}: trace over {picks:?}, lowered {lowered:?}"
+            );
+        }
+    }
+}
+
+/// Generate a random cron expression biased toward schedules that fire
+/// within a two-hour horizon (coarse fields mostly stay `*`).
+fn random_cron(rng: &mut SplitMix64) -> CronExpr {
+    let field = |rng: &mut SplitMix64, lo: u32, hi: u32, p_star: f64| -> String {
+        if rng.gen_bool(p_star) {
+            return "*".into();
+        }
+        match rng.gen_range(0..4u32) {
+            0 => format!("{}", rng.gen_range(lo..hi + 1)),
+            1 => {
+                let a = rng.gen_range(lo..hi);
+                let b = rng.gen_range(a + 1..hi + 1);
+                format!("{a}-{b}")
+            }
+            2 => format!("*/{}", rng.gen_range(1..8u32)),
+            _ => {
+                let a = rng.gen_range(lo..hi + 1);
+                let b = rng.gen_range(lo..hi + 1);
+                format!("{a},{b}")
+            }
+        }
+    };
+    // Horizon is the first two hours of day 0 (a Monday, January 1), so
+    // hour restricts to {0, 1}, day-of-month to 1-3 and day-of-week may
+    // be anything (a non-Monday pick just yields zero validity on both
+    // sides).
+    let src = if rng.gen_bool(0.5) {
+        format!(
+            "{} {} {} {} {}",
+            field(rng, 0, 59, 0.4), // minute
+            field(rng, 0, 1, 0.6),  // hour
+            field(rng, 1, 3, 0.85), // day-of-month
+            "*",                    // month
+            field(rng, 0, 6, 0.85), // day-of-week
+        )
+    } else {
+        format!(
+            "{} {} {} * * *",
+            field(rng, 0, 59, 0.4), // second
+            field(rng, 0, 59, 0.5), // minute
+            field(rng, 0, 1, 0.6),  // hour
+        )
+    };
+    CronExpr::parse(&src).unwrap_or_else(|e| panic!("generated {src:?}: {e}"))
+}
+
+/// Shared body for the fast and full cron sweeps. The naive evaluator
+/// rescans every second from the epoch, so cost is roughly
+/// `seeds × trials × horizon`; the fast tier keeps that around 10⁵.
+fn cron_sweep(seeds: std::ops::Range<u64>, trials: usize, horizon: f64) {
+    for seed in seeds {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0xc0ffee);
+        let expr = random_cron(&mut rng);
+        let dur = rng.gen_f64() * 299.5 + 0.5;
+        for trial in 0..trials {
+            let t = rng.gen_f64() * horizon;
+            let fast = validity_at(&expr, dur, t).expect("bounded schedules enumerate");
+            let slow = naive_validity_at(&expr, dur, t);
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "seed {seed} trial {trial}: expr {expr:?} dur {dur} t {t}: \
+                 arithmetic {fast} vs naive {slow}"
+            );
+        }
+        // StepFn materialization agrees on window membership.
+        let f = cron_to_stepfn(&expr, dur, 0.0, horizon);
+        for trial in 0..6 {
+            let t = rng.gen_f64() * (horizon - dur);
+            assert_eq!(
+                f.at(TimePoint::new(t)),
+                naive_validity_at(&expr, dur, t) > 0.0,
+                "seed {seed} trial {trial}: expr {expr:?} dur {dur} t {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cron_arithmetic_matches_naive_expansion() {
+    cron_sweep(0..20, 5, 3600.0); // one calendar hour, fast tier
+}
+
+#[test]
+#[ignore = "full sweep; run with --include-ignored (CI abac job)"]
+fn cron_arithmetic_matches_naive_expansion_full() {
+    cron_sweep(0..150, 12, 7200.0);
+}
+
+#[test]
+fn always_on_schedules_clamp_identically() {
+    let e = CronExpr::parse("* * * * *").unwrap();
+    assert_eq!(validity_at(&e, 90.0, 45.0).unwrap(), MAX_VALIDITY_SECS);
+    assert_eq!(naive_validity_at(&e, 90.0, 45.0), MAX_VALIDITY_SECS);
+}

@@ -46,6 +46,16 @@
 //! classes regardless of table width, so compile and cold-start costs
 //! stop scaling with coalition size.
 //!
+//! A fifth phase (E19) prices the attribute front-end: the same steady
+//! workload is run against a guard built from a hand-written
+//! SRAC/temporal policy and against one built from an `stacl-abac`
+//! attribute policy (CIDR allow set + cron window) that *lowers to the
+//! same primitives*. Lowering happens entirely before guard
+//! construction, so the two hot paths are identical code — the measured
+//! ratio must stay within 5% of 1.0 (acceptance), and the phase asserts
+//! the lowered constraint/validity are structurally the promised ones
+//! so the comparison can't silently go vacuous.
+//!
 //! Usage: `bench_decide [--objects 64] [--accesses 1000] [--threads 0] [--out BENCH_decide.json]
 //! [--obs-out BENCH_obs.json]` (`--threads 0` = available parallelism).
 
@@ -190,6 +200,41 @@ fn main() {
         sweep.push((ids, on, off));
     }
 
+    // ---- E19: attribute front-end vs hand-written policies ----
+    // Interleaved best-of-N like E13: noise on a shared box only slows a
+    // run down, so the best run of each side is the closest estimate of
+    // its true cost, and the ratio of bests is the fairest comparison.
+    const ATTR_TRIALS: usize = 7;
+    eprintln!("bench_decide: E19 lowered-attribute vs hand-written policy (best of {ATTR_TRIALS})");
+    let best = |a: ModeResult, b: ModeResult| {
+        if b.ops_per_sec > a.ops_per_sec {
+            b
+        } else {
+            a
+        }
+    };
+    let (hand_text, lowered_text) = attr_policy_pair(objects);
+    let mut hand = run_policy_text("attr-handwritten", &hand_text, objects, accesses);
+    let mut lowered = run_policy_text("attr-lowered", &lowered_text, objects, accesses);
+    for _ in 1..ATTR_TRIALS {
+        hand = best(
+            hand,
+            run_policy_text("attr-handwritten", &hand_text, objects, accesses),
+        );
+        lowered = best(
+            lowered,
+            run_policy_text("attr-lowered", &lowered_text, objects, accesses),
+        );
+    }
+    eprintln!(
+        "  attr phase: {:>12.0} ops/s hand-written  {:>12.0} ops/s lowered  (ratio {:.3}, \
+         acceptance: within 5% of 1.0)",
+        hand.ops_per_sec,
+        lowered.ops_per_sec,
+        lowered.ops_per_sec / hand.ops_per_sec
+    );
+    let attr_pair = (hand, lowered);
+
     for r in &results {
         match (r.p50_us, r.p99_us) {
             (Some(p50), Some(p99)) => eprintln!(
@@ -203,7 +248,15 @@ fn main() {
         }
     }
 
-    let json = render_json(objects, accesses, threads, &results, epoch_flips, &sweep);
+    let json = render_json(
+        objects,
+        accesses,
+        threads,
+        &results,
+        epoch_flips,
+        &sweep,
+        &attr_pair,
+    );
     std::fs::write(&out, json).expect("write --out");
     eprintln!("wrote {out}");
 
@@ -621,11 +674,77 @@ fn run_batch_api(name: &'static str, objects: usize, accesses: usize) -> ModeRes
     }
 }
 
+/// E19 fixture: a hand-written policy and an attribute policy that
+/// lowers to the *same* SRAC/temporal primitives, both as pushable
+/// policy text. The fleet's four workload servers sit inside the
+/// allowed 10.0.0.0/8 block; a fifth server `s4` sits outside it, so
+/// the CIDR rule lowers to a real `count(0, 0, server=s4)` constraint
+/// (every decision runs a spatial check) while the workload stays
+/// all-grant. The always-on cron window clamps to the one-week budget,
+/// which the hand-written side carries literally.
+fn attr_policy_pair(objects: usize) -> (String, String) {
+    use stacl_abac::{lower_policy, AttributePolicy, MAX_VALIDITY_SECS};
+
+    let mut hand = String::new();
+    let mut toml = String::from("[servers]\n");
+    for s in 0..4 {
+        toml.push_str(&format!("s{s} = \"10.0.0.{}\"\n", 4 + s));
+    }
+    toml.push_str("s4 = \"192.168.1.9\"\n\n[[role]]\nname = \"licensee\"\nusers = [");
+    for i in 0..objects {
+        hand.push_str(&format!("user n{i}\n"));
+        if i > 0 {
+            toml.push_str(", ");
+        }
+        toml.push_str(&format!("\"n{i}\""));
+    }
+    toml.push_str(
+        "]\n\n[[rule]]\nname = \"p\"\nroles = [\"licensee\"]\nop = \"exec\"\n\
+         resource = \"rsw\"\nallow = [\"10.0.0.0/8\"]\ncron = \"* * * * *\"\nduration = \"7d\"\n",
+    );
+    hand.push_str(&format!(
+        "role licensee\npermission p grants=exec:rsw:* validity={MAX_VALIDITY_SECS} \
+         scheme=whole-lifetime spatial=\"count(0, 0, server=s4)\"\ngrant licensee p\n"
+    ));
+    for i in 0..objects {
+        hand.push_str(&format!("assign n{i} licensee\n"));
+    }
+
+    let attr = AttributePolicy::parse(&toml).expect("bench attribute policy parses");
+    let lowered = lower_policy(&attr, 0.0).expect("bench attribute policy lowers");
+    assert!(lowered.notes.is_empty(), "{:?}", lowered.notes);
+    // Guard against a vacuous comparison: the lowered permission must be
+    // exactly the primitives the hand-written side spells out.
+    let p = lowered.model.permission("p").expect("lowered permission");
+    assert_eq!(
+        p.spatial.as_ref().expect("lowered constraint").to_string(),
+        "count(0, 0, server=s4)"
+    );
+    assert_eq!(p.validity, Some(MAX_VALIDITY_SECS));
+    (hand, stacl::rbac::policy::render_policy(&lowered.model))
+}
+
+/// E19 measurement: the steady sequential workload against a reactive
+/// guard built from arbitrary policy text (the same construction path a
+/// daemon uses for a pushed policy).
+fn run_policy_text(name: &'static str, text: &str, objects: usize, accesses: usize) -> ModeResult {
+    let model = stacl::rbac::policy::parse_policy(text).expect("bench policy text parses");
+    let guard =
+        CoordinatedGuard::new(ExtendedRbac::new(model)).with_mode(EnforcementMode::Reactive);
+    guard.with_rbac(|r| r.set_incremental(true));
+    for i in 0..objects {
+        guard.enroll(format!("n{i}"), ["licensee"]);
+    }
+    let (elapsed_s, lat_us) = decide_loop(&guard, objects, accesses, 0);
+    stats(name, elapsed_s, lat_us, objects * accesses)
+}
+
 /// Round to three decimals — the reports' historical precision.
 fn round3(x: f64) -> f64 {
     (x * 1000.0).round() / 1000.0
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     objects: usize,
     accesses: usize,
@@ -633,6 +752,7 @@ fn render_json(
     results: &[ModeResult],
     epoch_flips: u64,
     sweep: &[(usize, ModeResult, ModeResult)],
+    attr_pair: &(ModeResult, ModeResult),
 ) -> String {
     let find = |n: &str| results.iter().find(|r| r.name == n).expect("mode present");
     let scratch = find("from-scratch-sequential");
@@ -709,6 +829,14 @@ fn render_json(
     w.field_f64(
         "alphabet_compression_x",
         round3(large_on.ops_per_sec / large_off.ops_per_sec),
+    );
+    // E19: the attribute front-end must be free at decide time.
+    let (hand, lowered) = attr_pair;
+    w.field_f64("ops_per_sec_handwritten", round3(hand.ops_per_sec));
+    w.field_f64("ops_per_sec_lowered_attr", round3(lowered.ops_per_sec));
+    w.field_f64(
+        "lowered_vs_handwritten_ratio",
+        round3(lowered.ops_per_sec / hand.ops_per_sec),
     );
     w.finish()
 }

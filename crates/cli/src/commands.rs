@@ -444,11 +444,15 @@ pub fn metrics(args: &[String]) -> Result<(), String> {
 /// `--pipeline true` (net only) replays decisions over the pipelined v2
 /// protocol — request-id-correlated `Decide2` frames — instead of
 /// synchronous v1 `Decide` calls; logs and ledgers must still match.
+/// `--profile NAME` generates scenarios from a named mobility profile
+/// (commuter, fleet-convoy, flash-crowd, partition-heal, workflow) whose
+/// itineraries carry CIDR/cron attribute policies; the profile name is
+/// recorded in every episode log header so replays are self-describing.
 pub fn sim_run(args: &[String]) -> Result<(), String> {
     use stacl::coalition::Ledger;
     use stacl_sim::{
-        repro, run_episode_net_opts, run_episode_net_pipelined, run_episode_opts, OracleBug,
-        Scenario, SweepReport,
+        repro, repro_profile, run_episode_net_opts, run_episode_net_pipelined, run_episode_opts,
+        OracleBug, Profile, Scenario, SweepReport,
     };
     let opts = Opts::parse(
         args,
@@ -465,6 +469,7 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
             "churn",
             "ledger",
             "pipeline",
+            "profile",
         ],
     )?;
     let [] = opts.expect_positional(&[])? else {
@@ -486,6 +491,12 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
     let churn: usize = opts.get_parsed("churn", 0)?;
     let ledger_path = opts.get("ledger").map(str::to_string);
     let pipeline: bool = opts.get_parsed("pipeline", false)?;
+    let profile = opts.get("profile").map(Profile::parse).transpose()?;
+    if profile.is_some() && churn > 0 {
+        return Err("--profile generates its own fixed policy; \
+                    it cannot be combined with --churn"
+            .into());
+    }
     if net && batch {
         return Err("--transport net replays decisions one frame at a time; \
                     it cannot be combined with --batch true"
@@ -511,7 +522,9 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
             println!("time budget reached after {} episodes", report.episodes);
             break;
         }
-        let sc = if churn > 0 {
+        let sc = if let Some(p) = profile {
+            Scenario::generate_profile(seed, p)
+        } else if churn > 0 {
             Scenario::generate_churn(seed, churn)
         } else {
             Scenario::generate(seed)
@@ -546,7 +559,9 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
         if ep.divergence.is_some() {
             if let Some(dir) = &out_dir {
                 let path = format!("{dir}/seed-{seed}.txt");
-                let dump = if churn == 0 {
+                let dump = if let Some(p) = profile {
+                    repro_profile(seed, p, bug)
+                } else if churn == 0 {
                     repro(seed, bug)
                 } else {
                     // `repro` regenerates the churn-free scenario; for a
@@ -588,14 +603,16 @@ pub fn sim_run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// `stacl sim repro <seed> [--oracle-bug B]`
+/// `stacl sim repro <seed> [--oracle-bug B] [--profile NAME]`
 ///
 /// Regenerates the scenario for a seed, replays the episode, and — if it
 /// diverges — prints the deterministically shrunk witness. Always exits 0:
-/// this is the diagnostic half of the workflow.
+/// this is the diagnostic half of the workflow. `--profile NAME` replays
+/// a mobility-profile scenario (the profile an episode was generated
+/// from is recorded in its log header).
 pub fn sim_repro(args: &[String]) -> Result<(), String> {
-    use stacl_sim::{repro, OracleBug};
-    let opts = Opts::parse(args, &["oracle-bug"])?;
+    use stacl_sim::{repro, repro_profile, OracleBug, Profile};
+    let opts = Opts::parse(args, &["oracle-bug", "profile"])?;
     let [seed] = opts.expect_positional(&["<seed>"])? else {
         unreachable!()
     };
@@ -603,6 +620,9 @@ pub fn sim_repro(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|e| format!("invalid seed `{seed}`: {e}"))?;
     let bug = OracleBug::parse(opts.get("oracle-bug").unwrap_or("none"))?;
-    print!("{}", repro(seed, bug));
+    match opts.get("profile").map(Profile::parse).transpose()? {
+        Some(p) => print!("{}", repro_profile(seed, p, bug)),
+        None => print!("{}", repro(seed, bug)),
+    }
     Ok(())
 }

@@ -11,6 +11,7 @@
 //! stacl policy push <file.policy> [opts]           live two-phase coalition rollout
 //!        --addr host:port,…  --epoch N
 //!        --classes name:dur:scheme,…  --timeout-secs T
+//!        --abac file.toml --at T   (attribute policy, lowered before push)
 //! stacl ledger verify <file>                       check a hash-chained audit ledger
 //! stacl run    <file.policy> <program.sral> [opts] execute in the Naplet emulator
 //!        --agent NAME    (default: first policy user)
@@ -24,7 +25,8 @@
 //!        --seeds N --start-seed S --oracle-bug B --out DIR --max-seconds T
 //!        --transport in-process|net --daemons N
 //!        --churn F (policy flips per episode) --ledger FILE
-//! stacl sim    repro <seed> [--oracle-bug B]       replay + shrink one seed
+//!        --profile commuter|fleet-convoy|flash-crowd|partition-heal|workflow
+//! stacl sim    repro <seed> [--oracle-bug B] [--profile NAME]
 //! stacl metrics [opts]                             decision-path telemetry JSON
 //!        --seeds N --start-seed S --batch true|false --out FILE
 //! ```
@@ -80,6 +82,7 @@ USAGE:
   stacl policy <file.policy>
   stacl policy push <file.policy> --addr host:port[,host:port…] --epoch N
                [--classes name:dur:scheme,…] [--timeout-secs T]
+               [--abac file.toml [--at T]]  (attribute TOML, lowered locally)
   stacl ledger verify <file>
   stacl run    <file.policy> <program.sral> [--agent NAME] [--roles r1,r2]
                [--home SERVER] [--mode preventive|reactive]
@@ -88,8 +91,8 @@ USAGE:
   stacl sim    run [--seeds N] [--start-seed S] [--oracle-bug B] [--out DIR]
                [--max-seconds T] [--batch true|false] [--stats true|false]
                [--transport in-process|net] [--daemons N] [--churn F]
-               [--ledger FILE]
-  stacl sim    repro <seed> [--oracle-bug B]
+               [--ledger FILE] [--profile NAME]
+  stacl sim    repro <seed> [--oracle-bug B] [--profile NAME]
   stacl metrics [--seeds N] [--start-seed S] [--batch true|false] [--out FILE]
   stacl serve  --policy <file.policy> --name SERVER [--listen ADDR]
                [--peers n=addr,...] [--custody open|strict] [--skew S]

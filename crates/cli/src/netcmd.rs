@@ -96,6 +96,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
 
 /// `stacl policy push <file.policy> --addr host:port[,host:port…]
 /// --epoch N [--classes name:dur:scheme,…] [--timeout-secs T]`
+/// or `stacl policy push --abac <file.toml> [--at T] --addr … --epoch N`
 ///
 /// Live coalition-wide rollout: phase 1 ships the policy to every member
 /// (`PolicyPrepare`), and only after **all** of them have staged it does
@@ -103,12 +104,42 @@ pub fn serve(args: &[String]) -> Result<(), String> {
 /// member's current epoch. A member that misses a phase fail-safes to
 /// `DeniedCoordination` on every decision until a later complete round
 /// re-synchronizes it — the coalition never serves mixed epochs.
+///
+/// `--abac file.toml` takes an attribute policy (CIDR allow/deny sets +
+/// cron schedules with durations) instead of a `.policy` file, lowers it
+/// to ordinary SRAC/temporal primitives at reference time `--at T`
+/// (default 0), and pushes the lowered text — the daemons never see
+/// attribute syntax, so the rollout and decide paths are unchanged.
+/// Per-rule lowering problems print as warnings; the affected rules
+/// fail safe (deny) rather than aborting the rollout.
 pub fn policy_push(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["addr", "epoch", "classes", "timeout-secs"])?;
-    let [path] = opts.expect_positional(&["<file.policy>"])? else {
-        unreachable!()
+    let opts = Opts::parse(
+        args,
+        &["addr", "epoch", "classes", "timeout-secs", "abac", "at"],
+    )?;
+    let src = match opts.get("abac") {
+        Some(toml_path) => {
+            opts.expect_positional(&[])
+                .map_err(|_| "--abac replaces the <file.policy> argument".to_string())?;
+            let toml_src = fs::read_to_string(toml_path)
+                .map_err(|e| format!("cannot read `{toml_path}`: {e}"))?;
+            let attr = stacl_abac::AttributePolicy::parse(&toml_src)
+                .map_err(|e| format!("attribute policy rejected: {e}"))?;
+            let at: f64 = opts.get_parsed("at", 0.0)?;
+            let lowered = stacl_abac::lower_policy(&attr, at)
+                .map_err(|e| format!("attribute policy rejected: {e}"))?;
+            for note in &lowered.notes {
+                eprintln!("warning: {note} (rule fails safe)");
+            }
+            stacl::rbac::policy::render_policy(&lowered.model)
+        }
+        None => {
+            let [path] = opts.expect_positional(&["<file.policy>"])? else {
+                unreachable!()
+            };
+            fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+        }
     };
-    let src = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     // Validate locally before shipping anything: a malformed policy must
     // never reach phase 1 of a live rollout.
     parse_policy(&src).map_err(|e| format!("policy rejected: {e}"))?;

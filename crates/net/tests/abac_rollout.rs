@@ -1,0 +1,129 @@
+//! Attribute policies roll out over the wire exactly like hand-written
+//! ones: `lower_policy` at an epoch reference time produces ordinary
+//! policy text, the two-phase prepare/activate protocol ships it, and
+//! re-lowering the *same* attribute file at a later reference time is a
+//! live recompilation — the cron window's remaining validity moves with
+//! the epoch while the CIDR constraint stays put. The daemons never see
+//! attribute syntax.
+
+use std::time::Duration;
+
+use stacl_abac::{lower_policy, AttributePolicy};
+use stacl_coalition::{DecisionKind, ProofStore};
+use stacl_naplet::guard::CoordinatedGuard;
+use stacl_net::{Client, DaemonConfig, DaemonHandle};
+use stacl_rbac::policy::{parse_policy, render_policy};
+use stacl_sral::Access;
+
+/// Coalition of two servers: `s0` sits inside the allowed block,
+/// `s1` outside it. The one rule is spatially *and* temporally
+/// attributed: business hours (09:00 + 8h) on the allowed segment.
+const ATTR_POLICY: &str = r#"
+[servers]
+s0 = "10.0.0.4"
+s1 = "192.168.1.9"
+
+[[role]]
+name = "worker"
+users = ["n0", "n1", "n2"]
+
+[[rule]]
+name = "p"
+roles = ["worker"]
+op = "exec"
+resource = "rsw"
+allow = ["10.0.0.0/8"]
+cron = "0 9 * * *"
+duration = "8h"
+"#;
+
+const HOUR: f64 = 3600.0;
+
+/// Lower the attribute file at reference time `at` into pushable text.
+fn lowered_text(at: f64) -> String {
+    let p = AttributePolicy::parse(ATTR_POLICY).expect("attribute policy parses");
+    let lowered = lower_policy(&p, at).expect("lowers cleanly");
+    assert!(lowered.notes.is_empty(), "{:?}", lowered.notes);
+    render_policy(&lowered.model)
+}
+
+fn spawn_member(name: &str) -> DaemonHandle {
+    // Boot policy: epoch 0 grants nothing (no rules at all), so every
+    // post-rollout verdict is attributable to the pushed epoch.
+    let boot = "user n0\nuser n1\nuser n2\nrole worker\n\
+                assign n0 worker\nassign n1 worker\nassign n2 worker\n";
+    let guard = CoordinatedGuard::new(stacl_rbac::ExtendedRbac::new(parse_policy(boot).unwrap()));
+    let mut cfg = DaemonConfig::new(name);
+    cfg.io_timeout = Duration::from_millis(500);
+    stacl_net::spawn(guard, ProofStore::new(), cfg).expect("bind loopback")
+}
+
+#[test]
+fn lowered_attribute_policy_rolls_out_and_recompiles_per_epoch() {
+    let handles = [spawn_member("d0"), spawn_member("d1")];
+    let mut clients: Vec<Client> = handles
+        .iter()
+        .map(|h| {
+            let mut c = Client::connect(h.addr(), "abac-push", Some(Duration::from_secs(1)))
+                .expect("connect");
+            for obj in ["n0", "n1", "n2"] {
+                c.enroll(obj, &["worker"]).expect("enroll");
+            }
+            c
+        })
+        .collect();
+
+    let on_allowed = Access::new("exec", "rsw", "s0");
+    let on_denied = Access::new("exec", "rsw", "s1");
+
+    // Epoch 0: the boot policy has no permission at all.
+    let v = clients[0]
+        .decide("n0", &on_allowed, std::slice::from_ref(&on_allowed), 0.5)
+        .expect("decide");
+    assert_eq!(v.kind, DecisionKind::DeniedNoPermission);
+
+    // Epoch 1: lowered at 08:00 — the 09:00 window hasn't opened, so
+    // the rule ships with a zero validity budget.
+    let early = lowered_text(8.0 * HOUR);
+    for c in &mut clients {
+        c.policy_prepare(1, &early, &[]).expect("prepare 1");
+    }
+    for c in &mut clients {
+        assert_eq!(c.policy_activate(1).expect("activate 1"), 1);
+    }
+    let v = clients[0]
+        .decide("n0", &on_allowed, std::slice::from_ref(&on_allowed), 1.0)
+        .expect("decide");
+    assert_eq!(v.kind, DecisionKind::DeniedTemporal, "window not open yet");
+    assert_eq!(v.epoch, 1);
+
+    // Epoch 2: the same attribute file re-lowered at 09:00 — a live
+    // recompilation. Fresh objects so each check sees this epoch's
+    // budget from its own first activation.
+    let open = lowered_text(9.0 * HOUR);
+    for c in &mut clients {
+        c.policy_prepare(2, &open, &[]).expect("prepare 2");
+    }
+    for c in &mut clients {
+        assert_eq!(c.policy_activate(2).expect("activate 2"), 2);
+    }
+    for c in &mut clients {
+        let v = c
+            .decide("n1", &on_allowed, std::slice::from_ref(&on_allowed), 2.0)
+            .expect("decide");
+        assert_eq!(v.kind, DecisionKind::Granted, "inside window, allowed CIDR");
+        assert_eq!(v.epoch, 2);
+    }
+    // The CIDR side is epoch-invariant: s1 is outside the allow block
+    // at every reference time.
+    let v = clients[1]
+        .decide("n2", &on_denied, std::slice::from_ref(&on_denied), 2.5)
+        .expect("decide");
+    assert_eq!(v.kind, DecisionKind::DeniedSpatial, "forbidden segment");
+    assert_eq!(v.epoch, 2);
+
+    drop(clients);
+    for mut h in handles {
+        h.shutdown();
+    }
+}

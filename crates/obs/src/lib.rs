@@ -164,10 +164,16 @@ pub enum Counter {
     /// One execution proof was folded out of a shard's live vector into
     /// its sealed prefix summary (`ProofStore::compact_prefix`).
     ProofCompaction,
+    /// An attribute-policy spatial rule (CIDR allow/deny set) failed to
+    /// lower — the permission gets a fail-safe always-deny constraint.
+    AbacLowerErrorSpatial,
+    /// An attribute-policy temporal rule (cron window + duration) failed
+    /// to lower — the permission gets a fail-safe zero validity budget.
+    AbacLowerErrorTemporal,
 }
 
 /// Number of distinct counters.
-pub const COUNTERS: usize = 42;
+pub const COUNTERS: usize = 44;
 
 impl Counter {
     /// All counters, in declaration order (matches the `[u64; COUNTERS]`
@@ -215,6 +221,8 @@ impl Counter {
         Counter::PlacementRebalance,
         Counter::PlacementClaimRejected,
         Counter::ProofCompaction,
+        Counter::AbacLowerErrorSpatial,
+        Counter::AbacLowerErrorTemporal,
     ];
 
     /// The five cursor decline reasons of DESIGN.md §8, in rule order.
@@ -281,6 +289,8 @@ impl Counter {
             Counter::PlacementRebalance => "placement.rebalance",
             Counter::PlacementClaimRejected => "placement.claim-rejected",
             Counter::ProofCompaction => "proof.compaction",
+            Counter::AbacLowerErrorSpatial => "abac.lower-error.spatial",
+            Counter::AbacLowerErrorTemporal => "abac.lower-error.temporal",
         }
     }
 }

@@ -73,7 +73,27 @@ pub struct Episode {
 /// Build the RBAC model for policy revision `rev` of a scenario (0 = the
 /// base policy). Public so the networked driver can render revision
 /// models into policy text for `PolicyPrepare` frames.
+///
+/// Attribute (CIDR/cron) permissions are lowered here, exactly as the
+/// `stacl-abac` front-end lowers policy files: CIDR rules become pure
+/// SRAC constraints over the scenario's server→IP map, cron windows
+/// become validity budgets sampled at the revision's reference time
+/// ([`Scenario::rev_time`]). Lowering problems fail safe (deny) and are
+/// counted under `abac.lower-error.*`.
 pub fn build_model(sc: &Scenario, rev: usize) -> RbacModel {
+    let at = sc.rev_time(rev);
+    let server_map: Vec<(String, Option<u32>)> = sc
+        .servers
+        .iter()
+        .map(|srv| {
+            let ip = sc
+                .server_ips
+                .iter()
+                .find(|(n, _)| n == srv)
+                .and_then(|(_, a)| stacl_abac::parse_ipv4(a).ok());
+            (srv.clone(), ip)
+        })
+        .collect();
     let mut model = RbacModel::new();
     for o in &sc.objects {
         model.add_user(&o.name);
@@ -88,14 +108,26 @@ pub fn build_model(sc: &Scenario, rev: usize) -> RbacModel {
             server: p.server.as_deref().map(stacl_sral::ast::name),
         };
         let mut perm = Permission::new(&p.name, pattern);
-        if let Some(c) = &p.spatial {
-            perm = perm.with_spatial(c.clone());
+        let spatial = match &p.attr_cidr {
+            Some(a) => stacl_abac::lower_cidr_failsafe(&a.allow, &a.deny, &server_map),
+            None => p.spatial.clone(),
+        };
+        if let Some(c) = spatial {
+            perm = perm.with_spatial(c);
         }
         if p.team_scope {
             perm = perm.with_scope(stacl_rbac::HistoryScope::Team);
         }
-        if let Some(v) = p.validity {
-            perm = perm.with_validity(v, p.scheme);
+        match &p.attr_cron {
+            Some(c) => {
+                let v = stacl_abac::cron_validity_failsafe(&c.expr, c.dur, at);
+                perm = perm.with_validity(v, stacl_temporal::BaseTimeScheme::WholeLifetime);
+            }
+            None => {
+                if let Some(v) = p.validity {
+                    perm = perm.with_validity(v, p.scheme);
+                }
+            }
         }
         if let Some(class) = &p.class {
             perm = perm.with_class(class);
@@ -242,6 +274,11 @@ pub fn run_episode_opts(
     let mut divergence = None;
 
     use std::fmt::Write as _;
+    // Profile scenarios announce their workload shape up front, so every
+    // replay (and transport) log is self-describing.
+    if let Some(p) = sc.profile {
+        let _ = writeln!(log, "profile {}", p.name());
+    }
     let mut step = 0usize;
     'events: while step < sc.events.len() {
         match &sc.events[step] {

@@ -47,6 +47,6 @@ pub use net_driver::{
     run_episode_net_placement, PlacementOpts,
 };
 pub use oracle::{OracleBug, ReferenceOracle};
-pub use report::{repro, SweepReport};
-pub use scenario::{Event, PolicyRev, Scenario};
+pub use report::{repro, repro_profile, SweepReport};
+pub use scenario::{AttrCidrSpec, AttrCronSpec, Event, PolicyRev, Profile, Scenario};
 pub use shrink::shrink;

@@ -242,6 +242,11 @@ fn run_episode_net_driver(
     let mut divergence = None;
 
     use std::fmt::Write as _;
+    // Same self-describing header as the in-process driver — logs must
+    // stay byte-identical across transports.
+    if let Some(p) = sc.profile {
+        let _ = writeln!(log, "profile {}", p.name());
+    }
     'events: for (step, event) in sc.events.iter().enumerate() {
         // Membership churn (placement mode): apply the scheduled change
         // and wait for the custody rebalance to settle — every claimed

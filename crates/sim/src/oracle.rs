@@ -22,6 +22,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use stacl_abac::{naive_validity_at, parse_ipv4, Cidr, CronExpr};
 use stacl_coalition::{DecisionKind, Verdict};
 use stacl_srac::trace_sat::{trace_satisfies, ProofOracle};
 use stacl_srac::Constraint;
@@ -29,7 +30,7 @@ use stacl_sral::Access;
 use stacl_temporal::BaseTimeScheme;
 use stacl_trace::{AccessTable, Trace};
 
-use crate::scenario::{PermSpec, Scenario};
+use crate::scenario::{AttrCidrSpec, PermSpec, Scenario};
 
 /// A deliberate defect injected into the oracle to prove the differential
 /// harness catches real divergences end to end.
@@ -39,6 +40,10 @@ pub enum OracleBug {
     CardMaxOffByOne,
     /// Per-server budget refills on migration are ignored.
     IgnoreRefills,
+    /// The naive CIDR membership check widens every allow prefix by one
+    /// bit (too lax on the allow side) — a deliberately broken attribute
+    /// lowering for the shrinking-witness self-test.
+    CidrWiden,
 }
 
 impl OracleBug {
@@ -47,6 +52,7 @@ impl OracleBug {
         match self {
             OracleBug::CardMaxOffByOne => "card-max-off-by-one",
             OracleBug::IgnoreRefills => "ignore-refills",
+            OracleBug::CidrWiden => "cidr-widen",
         }
     }
 
@@ -56,8 +62,10 @@ impl OracleBug {
             "none" => Ok(None),
             "card-max-off-by-one" => Ok(Some(OracleBug::CardMaxOffByOne)),
             "ignore-refills" => Ok(Some(OracleBug::IgnoreRefills)),
+            "cidr-widen" => Ok(Some(OracleBug::CidrWiden)),
             other => Err(format!(
-                "unknown oracle bug `{other}` (expected none, card-max-off-by-one or ignore-refills)"
+                "unknown oracle bug `{other}` (expected none, card-max-off-by-one, \
+                 ignore-refills or cidr-widen)"
             )),
         }
     }
@@ -76,8 +84,13 @@ pub struct ReferenceOracle {
     grants: Vec<(usize, Access)>,
     /// Per-object observed arrival times.
     arrivals: BTreeMap<usize, Vec<f64>>,
-    /// (object, budget-key) → time the budget was first activated.
-    activations: BTreeMap<(usize, String), f64>,
+    /// (object, budget-key) → the budget captured at first activation:
+    /// activation time, duration and scheme. The gate creates each
+    /// timeline once, with the attributes in force at first consult, and
+    /// the timeline persists across policy flips — so the oracle journals
+    /// the whole budget, not just the activation time (this only matters
+    /// for cron attributes, whose lowered duration is epoch-dependent).
+    activations: BTreeMap<(usize, String), (f64, Option<f64>, BaseTimeScheme)>,
     /// Dead servers.
     dead: BTreeSet<String>,
 }
@@ -146,15 +159,23 @@ impl ReferenceOracle {
             }
             covered = true;
 
-            if let Some(c) = &p.spatial {
-                if !self.spatial_holds(sc, obj, p, c, access, remaining) {
-                    spatial_failed = true;
-                    continue;
-                }
+            let spatial_ok = match &p.attr_cidr {
+                Some(a) => self.cidr_holds(sc, obj, p, a, access, remaining),
+                None => match &p.spatial {
+                    Some(c) => self.spatial_holds(sc, obj, p, c, access, remaining),
+                    None => true,
+                },
+            };
+            if !spatial_ok {
+                spatial_failed = true;
+                continue;
             }
 
-            let (key, dur, scheme) = budget_of(sc, p);
-            let act = *self.activations.entry((obj, key)).or_insert(time);
+            let (key, dur, scheme) = budget_of(sc, p, sc.rev_time(self.rev));
+            let (act, dur, scheme) = *self
+                .activations
+                .entry((obj, key))
+                .or_insert((time, dur, scheme));
             let valid = match dur {
                 None => true,
                 Some(d) => self.valid_at(obj, act, scheme, d, time),
@@ -200,6 +221,29 @@ impl ReferenceOracle {
         out
     }
 
+    /// The full access sequence a spatial check ranges over: proven
+    /// history (per scope) plus the declared future (mode-dependent).
+    fn full_trace<'a>(
+        &'a self,
+        sc: &Scenario,
+        obj: usize,
+        p: &PermSpec,
+        access: &'a Access,
+        remaining: &'a [Access],
+    ) -> Vec<&'a Access> {
+        let mut full: Vec<&Access> = self
+            .grants
+            .iter()
+            .filter(|(o, _)| p.team_scope || *o == obj)
+            .map(|(_, a)| a)
+            .collect();
+        match sc.mode {
+            stacl_naplet::guard::EnforcementMode::Preventive => full.extend(remaining),
+            stacl_naplet::guard::EnforcementMode::Reactive => full.push(access),
+        }
+        full
+    }
+
     /// `P ⊨ C` by naive trace evaluation: proven history (per scope) plus
     /// the declared future, one flat trace, Definition 3.6 from scratch.
     fn spatial_holds(
@@ -211,20 +255,62 @@ impl ReferenceOracle {
         access: &Access,
         remaining: &[Access],
     ) -> bool {
-        let mut full: Vec<&Access> = self
-            .grants
-            .iter()
-            .filter(|(o, _)| p.team_scope || *o == obj)
-            .map(|(_, a)| a)
-            .collect();
-        match sc.mode {
-            stacl_naplet::guard::EnforcementMode::Preventive => full.extend(remaining),
-            stacl_naplet::guard::EnforcementMode::Reactive => full.push(access),
-        }
+        let full = self.full_trace(sc, obj, p, access, remaining);
         let mut table = AccessTable::new();
         let trace = Trace::from_ids(full.iter().map(|a| table.intern(a)));
         let c = self.bugged(c);
         trace_satisfies(&trace, &c, &table, &ProofOracle::assume_all())
+    }
+
+    /// The CIDR attribute by naive bitmask membership, independent of the
+    /// SRAC lowering: every access in the trace must land on a server
+    /// whose address the rule permits. Unparsable blocks or unmapped
+    /// servers deny (default-deny, mirroring the lowering's fail-safe).
+    fn cidr_holds(
+        &self,
+        sc: &Scenario,
+        obj: usize,
+        p: &PermSpec,
+        a: &AttrCidrSpec,
+        access: &Access,
+        remaining: &[Access],
+    ) -> bool {
+        let parse_all = |blocks: &[String], widen: bool| -> Option<Vec<Cidr>> {
+            blocks
+                .iter()
+                .map(|b| {
+                    Cidr::parse(b).ok().map(|c| {
+                        if widen {
+                            Cidr {
+                                addr: c.addr,
+                                prefix: c.prefix.saturating_sub(1),
+                            }
+                        } else {
+                            c
+                        }
+                    })
+                })
+                .collect()
+        };
+        let widen = self.bug == Some(OracleBug::CidrWiden);
+        let (Some(allow), Some(deny)) = (parse_all(&a.allow, widen), parse_all(&a.deny, false))
+        else {
+            return false; // parse error: fail-safe deny, like the lowering
+        };
+        let permits = |server: &str| -> bool {
+            let Some(ip) = sc
+                .server_ips
+                .iter()
+                .find(|(n, _)| n == server)
+                .and_then(|(_, addr)| parse_ipv4(addr).ok())
+            else {
+                return false;
+            };
+            allow.iter().any(|c| c.contains(ip)) && !deny.iter().any(|c| c.contains(ip))
+        };
+        self.full_trace(sc, obj, p, access, remaining)
+            .iter()
+            .all(|acc| permits(&acc.server))
     }
 
     /// Accumulated-duration validity at `time`, recomputed from the
@@ -322,12 +408,21 @@ fn junior_closure(sc: &Scenario, role: usize) -> BTreeSet<usize> {
 /// The budget a permission draws from: `(string key, duration, scheme)`.
 /// A defined validity class yields the shared class budget; an undefined
 /// class falls back to the permission's own attributes (mirroring the
-/// gate's fallback path).
-fn budget_of(sc: &Scenario, p: &PermSpec) -> (String, Option<f64>, BaseTimeScheme) {
+/// gate's fallback path). A cron attribute's duration is re-derived by
+/// naive per-second expansion at the epoch reference time `at` —
+/// independent of the arithmetic lowering the guard compiled.
+fn budget_of(sc: &Scenario, p: &PermSpec, at: f64) -> (String, Option<f64>, BaseTimeScheme) {
     if let Some(class) = &p.class {
         if let Some(cs) = sc.classes.iter().find(|c| c.name == *class) {
             return (format!("class:{}", cs.name), Some(cs.dur), cs.scheme);
         }
+    }
+    if let Some(c) = &p.attr_cron {
+        let dur = match CronExpr::parse(&c.expr) {
+            Ok(e) => naive_validity_at(&e, c.dur, at),
+            Err(_) => 0.0, // parse error: zero budget, like the lowering
+        };
+        return (p.name.clone(), Some(dur), BaseTimeScheme::WholeLifetime);
     }
     (p.name.clone(), p.validity, p.scheme)
 }

@@ -3,9 +3,9 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::episode::{episode_for_seed, Episode};
+use crate::episode::{run_episode, Episode};
 use crate::oracle::OracleBug;
-use crate::scenario::Scenario;
+use crate::scenario::{Profile, Scenario};
 use crate::shrink::shrink;
 
 /// Aggregated results of a multi-seed sweep.
@@ -64,8 +64,18 @@ impl SweepReport {
 /// episode log, and — when the episode diverges — the deterministic
 /// shrunk witness with its own log.
 pub fn repro(seed: u64, bug: Option<OracleBug>) -> String {
-    let sc = Scenario::generate(seed);
-    let ep = episode_for_seed(seed, bug);
+    repro_scenario(&Scenario::generate(seed), bug)
+}
+
+/// [`repro`] for a profile-generated scenario: same report, driven by
+/// [`Scenario::generate_profile`].
+pub fn repro_profile(seed: u64, profile: Profile, bug: Option<OracleBug>) -> String {
+    repro_scenario(&Scenario::generate_profile(seed, profile), bug)
+}
+
+fn repro_scenario(sc: &Scenario, bug: Option<OracleBug>) -> String {
+    let sc = sc.clone();
+    let ep = run_episode(&sc, bug);
     let mut out = String::new();
     let _ = writeln!(out, "{sc}");
     let _ = writeln!(out, "episode log:");

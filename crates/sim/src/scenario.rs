@@ -23,6 +23,30 @@ use stacl_temporal::BaseTimeScheme;
 /// Operation vocabulary the generator draws from.
 const OPS: [&str; 3] = ["read", "write", "exec"];
 
+/// A CIDR attribute on a permission: raw allow/deny blocks over the
+/// scenario's [`Scenario::server_ips`] map, lowered to a pure SRAC
+/// constraint at model-build time (the oracle re-evaluates it by naive
+/// bitmask membership instead).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AttrCidrSpec {
+    /// CIDR allow blocks (source strings, e.g. `"10.1.0.0/16"`).
+    pub allow: Vec<String>,
+    /// CIDR deny blocks (deny wins).
+    pub deny: Vec<String>,
+}
+
+/// A cron attribute on a permission: a calendar window schedule with a
+/// per-fire duration, lowered to an ordinary validity budget at each
+/// epoch's reference time (the oracle re-derives the budget by naive
+/// per-second expansion instead).
+#[derive(Clone, PartialEq, Debug)]
+pub struct AttrCronSpec {
+    /// Cron expression (5-field, or 6-field with leading seconds).
+    pub expr: String,
+    /// Seconds each fire keeps the window open.
+    pub dur: f64,
+}
+
 /// One generated permission.
 #[derive(Clone, Debug)]
 pub struct PermSpec {
@@ -45,6 +69,11 @@ pub struct PermSpec {
     /// Validity class name, if the permission draws from a shared budget.
     /// May reference an undefined class (exercises the fallback path).
     pub class: Option<String>,
+    /// CIDR attribute rule; takes precedence over `spatial` when set.
+    pub attr_cidr: Option<AttrCidrSpec>,
+    /// Cron attribute window; takes precedence over `validity`/`scheme`
+    /// when set (lowered budgets always use the whole-lifetime scheme).
+    pub attr_cron: Option<AttrCronSpec>,
 }
 
 /// One generated validity class (a shared per-object budget).
@@ -150,11 +179,73 @@ impl Event {
     }
 }
 
+/// A named mobility profile: a workload shape for the itinerary
+/// generator. Profile scenarios carry attribute (CIDR/cron) permissions
+/// and a server→IPv4 map, so every profile sweep also differentially
+/// validates the attribute lowering pipeline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Profile {
+    /// Objects oscillate between a home and an office server on a
+    /// regular cadence; office access rides a cron window.
+    Commuter,
+    /// All objects move together through the server sequence, accessing
+    /// at every hop.
+    FleetConvoy,
+    /// Scattered objects converge on one hot server in a burst, then
+    /// disperse.
+    FlashCrowd,
+    /// A server dies mid-episode; its residents migrate to survivors and
+    /// resume (stale accesses still target the dead server).
+    PartitionHeal,
+    /// A TRBAC-style task chain: `prepare` → `approve` → `commit`, where
+    /// commit requires approved history and approve rides a cron window.
+    Workflow,
+}
+
+impl Profile {
+    /// Every profile, in CLI order.
+    pub const ALL: [Profile; 5] = [
+        Profile::Commuter,
+        Profile::FleetConvoy,
+        Profile::FlashCrowd,
+        Profile::PartitionHeal,
+        Profile::Workflow,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Commuter => "commuter",
+            Profile::FleetConvoy => "fleet-convoy",
+            Profile::FlashCrowd => "flash-crowd",
+            Profile::PartitionHeal => "partition-heal",
+            Profile::Workflow => "workflow",
+        }
+    }
+
+    /// Parse the CLI name.
+    pub fn parse(s: &str) -> Result<Profile, String> {
+        Profile::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Profile::ALL.iter().map(|p| p.name()).collect();
+                format!("unknown profile `{s}` (expected {})", names.join(", "))
+            })
+    }
+}
+
 /// A complete generated simulation scenario.
 #[derive(Clone, Debug)]
 pub struct Scenario {
     /// The generating seed.
     pub seed: u64,
+    /// The mobility profile the scenario was generated from, if any.
+    /// Recorded in the episode log header so replays are self-describing.
+    pub profile: Option<Profile>,
+    /// Server name → dotted-quad IPv4 address. Empty unless generated by
+    /// [`Scenario::generate_profile`] (attribute scenarios only).
+    pub server_ips: Vec<(String, String)>,
     /// Guard enforcement mode.
     pub mode: EnforcementMode,
     /// Whether monotone spatial-approval reuse is enabled on the guard.
@@ -272,6 +363,8 @@ impl Scenario {
                 },
                 scheme: gen_scheme(r),
                 class,
+                attr_cidr: None,
+                attr_cron: None,
             });
         }
 
@@ -365,6 +458,8 @@ impl Scenario {
 
         Scenario {
             seed,
+            profile: None,
+            server_ips: Vec::new(),
             mode,
             approval_reuse,
             servers,
@@ -483,6 +578,454 @@ impl Scenario {
             &self.revisions[rev - 1].role_perms[role]
         }
     }
+
+    /// The epoch reference time of policy revision `rev`: the activation
+    /// time of its [`Event::PolicyFlip`], or `0` for the base policy.
+    /// Attribute (cron) lowering samples calendar windows here, so a live
+    /// rollout re-lowers the same attribute spec at the flip time.
+    pub fn rev_time(&self, rev: usize) -> f64 {
+        if rev == 0 {
+            return 0.0;
+        }
+        self.events
+            .iter()
+            .find_map(|e| match e {
+                Event::PolicyFlip { rev: k, time } if *k == rev => Some(*time),
+                _ => None,
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Deterministically generate an attribute-carrying scenario shaped
+    /// by a named mobility [`Profile`].
+    ///
+    /// Profile scenarios draw from their *own* stream (derived from the
+    /// seed and the profile), so [`Scenario::generate`] stays byte-stable
+    /// for every existing seed. Every profile:
+    ///
+    /// * maps each server to an IPv4 address inside its own `10.<i>/16`
+    ///   block, so CIDR attributes select server subsets crisply;
+    /// * includes at least one CIDR-attributed and one cron-attributed
+    ///   permission (second-granularity schedules, so windows open and
+    ///   close within the episode);
+    /// * may install one mid-episode policy rollout, re-lowering the
+    ///   same attribute specs at the flip's reference time.
+    pub fn generate_profile(seed: u64, profile: Profile) -> Scenario {
+        let idx = Profile::ALL.iter().position(|p| *p == profile).unwrap() as u64;
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x6d0b_11e5_ab5c_0000 ^ (idx << 4));
+        let r = &mut rng;
+
+        // Topology: per-server /16 blocks in 10.0.0.0/8.
+        let n_servers = match profile {
+            Profile::Commuter | Profile::Workflow => r.gen_range(2usize..4),
+            _ => r.gen_range(3usize..5),
+        };
+        let servers: Vec<String> = (0..n_servers).map(|i| format!("s{i}")).collect();
+        let server_ips: Vec<(String, String)> = (0..n_servers)
+            .map(|i| {
+                let addr = format!("10.{i}.{}.{}", r.gen_range(0i64..4), r.gen_range(1i64..255));
+                (format!("s{i}"), addr)
+            })
+            .collect();
+        let skews: Vec<f64> = (0..n_servers)
+            .map(|_| {
+                if r.gen_bool(0.3) {
+                    r.gen_range(1i64..5) as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let resources: Vec<String> = (0..2).map(|i| format!("r{i}")).collect();
+        let ops: Vec<String> = match profile {
+            Profile::Workflow => ["prepare", "approve", "commit"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            _ => OPS[..r.gen_range(2usize..4)]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        };
+        let mode = if r.gen_bool(0.6) {
+            EnforcementMode::Preventive
+        } else {
+            EnforcementMode::Reactive
+        };
+        // Partition-heal schedules server deaths, which are unsound with
+        // approval reuse (see `generate`); every other profile may reuse.
+        let approval_reuse = profile != Profile::PartitionHeal && r.gen_bool(0.7);
+
+        // The attribute permission pack.
+        let cidr_attr = |r: &mut SplitMix64| -> AttrCidrSpec {
+            // Allow a subset of the per-server /16 blocks (occasionally
+            // the whole /8); deny one allowed block's half 30% of the
+            // time, so deny-wins is exercised.
+            let mut allow: Vec<String> = Vec::new();
+            if r.gen_bool(0.15) {
+                allow.push("10.0.0.0/8".to_string());
+            } else {
+                let k = r.gen_range(1..n_servers + 1);
+                for i in 0..n_servers {
+                    if allow.len() < k && (n_servers - i <= k - allow.len() || r.gen_bool(0.5)) {
+                        allow.push(format!("10.{i}.0.0/16"));
+                    }
+                }
+            }
+            let deny = if r.gen_bool(0.3) {
+                vec![format!("10.{}.0.0/17", r.gen_range(0..n_servers))]
+            } else {
+                Vec::new()
+            };
+            AttrCidrSpec { allow, deny }
+        };
+        let cron_attr = |r: &mut SplitMix64| -> AttrCronSpec {
+            // Second-granularity schedules so windows cycle inside the
+            // episode's few dozen seconds.
+            let expr = match r.gen_range(0u32..3) {
+                0 => format!("*/{} * * * * *", r.gen_range(2i64..10)),
+                1 => {
+                    let a = r.gen_range(0i64..40);
+                    format!("{a}-{} * * * * *", a + r.gen_range(5i64..20))
+                }
+                _ => "0 * * * *".to_string(), // fires once at t=0
+            };
+            AttrCronSpec {
+                expr,
+                dur: r.gen_range(2i64..12) as f64,
+            }
+        };
+        let blank = |name: &str| PermSpec {
+            name: name.to_string(),
+            op: None,
+            resource: None,
+            server: None,
+            spatial: None,
+            team_scope: false,
+            validity: None,
+            scheme: BaseTimeScheme::WholeLifetime,
+            class: None,
+            attr_cidr: None,
+            attr_cron: None,
+        };
+        let mut perms: Vec<PermSpec> = Vec::new();
+        match profile {
+            Profile::Workflow => {
+                // prepare is unguarded; approve rides a cron window;
+                // commit requires approved history from a permitted zone.
+                let mut prep = blank("p-prepare");
+                prep.op = Some("prepare".to_string());
+                let mut appr = blank("p-approve");
+                appr.op = Some("approve".to_string());
+                appr.attr_cron = Some(cron_attr(r));
+                let mut commit = blank("p-commit");
+                commit.op = Some("commit".to_string());
+                commit.attr_cidr = Some(cidr_attr(r));
+                commit.spatial = Some(Constraint::at_least(
+                    1,
+                    Selector::any().with_ops(["approve"]),
+                ));
+                perms.extend([prep, appr, commit]);
+            }
+            _ => {
+                let mut geo = blank("p-geo");
+                geo.attr_cidr = Some(cidr_attr(r));
+                if r.gen_bool(0.4) {
+                    geo.op = Some(r.choose(&ops).clone());
+                }
+                let mut shift = blank("p-shift");
+                shift.attr_cron = Some(cron_attr(r));
+                if r.gen_bool(0.4) {
+                    shift.resource = Some(r.choose(&resources).clone());
+                }
+                let mut mixed = blank("p-mixed");
+                if r.gen_bool(0.5) {
+                    mixed.attr_cidr = Some(cidr_attr(r));
+                    mixed.attr_cron = Some(cron_attr(r));
+                } else {
+                    mixed.spatial = Some(gen_constraint(r, &ops, &resources, &servers, 1));
+                    if r.gen_bool(0.5) {
+                        mixed.validity = Some(r.gen_range(2i64..9) as f64);
+                        mixed.scheme = gen_scheme(r);
+                    }
+                }
+                if profile == Profile::FleetConvoy && r.gen_bool(0.5) {
+                    mixed.team_scope = true;
+                }
+                perms.extend([geo, shift, mixed]);
+            }
+        }
+
+        // Roles and objects: role0 holds the full pack; a second role
+        // holds a subset half the time.
+        let mut roles = vec![RoleSpec {
+            name: "role0".to_string(),
+            perms: (0..perms.len()).collect(),
+        }];
+        if r.gen_bool(0.5) {
+            roles.push(RoleSpec {
+                name: "role1".to_string(),
+                perms: (0..perms.len()).filter(|_| r.gen_bool(0.5)).collect(),
+            });
+        }
+        let n_objects = match profile {
+            Profile::FlashCrowd => 3,
+            Profile::Commuter | Profile::Workflow => r.gen_range(1usize..3),
+            _ => r.gen_range(2usize..4),
+        };
+        let objects: Vec<ObjectSpec> = (0..n_objects)
+            .map(|i| {
+                let assigned = if roles.len() > 1 && r.gen_bool(0.3) {
+                    vec![0, 1]
+                } else {
+                    vec![0]
+                };
+                ObjectSpec {
+                    name: format!("n{i}"),
+                    enrolled: assigned.clone(),
+                    assigned,
+                }
+            })
+            .collect();
+
+        // Itinerary. The scheduler advances time by one per event, so
+        // times strictly increase by construction.
+        struct Sched {
+            events: Vec<Event>,
+            t: f64,
+        }
+        impl Sched {
+            fn arrive(&mut self, obj: usize, server: &str, dropped: bool) {
+                let time = self.t;
+                self.t += 1.0;
+                self.events.push(Event::Arrival {
+                    obj,
+                    server: server.to_string(),
+                    time,
+                    dropped,
+                });
+            }
+            fn access(&mut self, obj: usize, op: &str, res: &str, server: &str) {
+                let time = self.t;
+                self.t += 1.0;
+                self.events.push(Event::Access {
+                    obj,
+                    access: Access::new(op, res, server),
+                    time,
+                });
+            }
+            fn death(&mut self, server: &str) {
+                let time = self.t;
+                self.t += 1.0;
+                self.events.push(Event::ServerDeath {
+                    server: server.to_string(),
+                    time,
+                });
+            }
+        }
+        // One optional mid-episode rollout (always for workflow): the
+        // same attribute pack re-lowered at the flip time, with grant
+        // patterns lightly perturbed.
+        fn do_flip(
+            sched: &mut Sched,
+            r: &mut SplitMix64,
+            revisions: &mut Vec<PolicyRev>,
+            perms: &[PermSpec],
+            roles: &[RoleSpec],
+            servers: &[String],
+            profile: Profile,
+        ) {
+            if !revisions.is_empty() {
+                return;
+            }
+            let mut rev_perms = perms.to_vec();
+            for p in &mut rev_perms {
+                if profile != Profile::Workflow && r.gen_bool(0.4) {
+                    p.server = r.gen_bool(0.4).then(|| r.choose(servers).clone());
+                }
+            }
+            revisions.push(PolicyRev {
+                perms: rev_perms,
+                role_perms: roles.iter().map(|role| role.perms.clone()).collect(),
+            });
+            let time = sched.t;
+            sched.t += 1.0;
+            sched.events.push(Event::PolicyFlip { rev: 1, time });
+        }
+
+        let with_flip = profile == Profile::Workflow || r.gen_bool(0.35);
+        let mut revisions: Vec<PolicyRev> = Vec::new();
+        let mut s = Sched {
+            events: Vec::new(),
+            t: 0.0,
+        };
+        match profile {
+            Profile::Commuter => {
+                // Per-object home/office pair; oscillate with office work
+                // and occasional home reads.
+                let pairs: Vec<(usize, usize)> = (0..n_objects)
+                    .map(|_| {
+                        let home = r.gen_range(0..n_servers);
+                        let office = (home + 1 + r.gen_range(0..n_servers - 1)) % n_servers;
+                        (home, office)
+                    })
+                    .collect();
+                for (i, (home, _)) in pairs.iter().enumerate() {
+                    s.arrive(i, &servers[*home], false);
+                }
+                let cycles = r.gen_range(2usize..4);
+                for c in 0..cycles {
+                    if c == cycles / 2 && with_flip {
+                        do_flip(&mut s, r, &mut revisions, &perms, &roles, &servers, profile);
+                    }
+                    for (i, (home, office)) in pairs.iter().enumerate() {
+                        s.arrive(i, &servers[*office], r.gen_bool(0.1));
+                        for _ in 0..r.gen_range(1usize..4) {
+                            let (op, res) = (r.choose(&ops).clone(), r.choose(&resources).clone());
+                            s.access(i, &op, &res, &servers[*office]);
+                        }
+                        s.arrive(i, &servers[*home], false);
+                        if r.gen_bool(0.4) {
+                            let (op, res) = (r.choose(&ops).clone(), r.choose(&resources).clone());
+                            s.access(i, &op, &res, &servers[*home]);
+                        }
+                    }
+                }
+            }
+            Profile::FleetConvoy => {
+                // The whole fleet hops the server ring together.
+                let start = r.gen_range(0..n_servers);
+                for i in 0..n_objects {
+                    s.arrive(i, &servers[start], false);
+                }
+                let hops = r.gen_range(3usize..6);
+                for h in 1..=hops {
+                    if h == hops / 2 + 1 && with_flip {
+                        do_flip(&mut s, r, &mut revisions, &perms, &roles, &servers, profile);
+                    }
+                    let stop = (start + h) % n_servers;
+                    for i in 0..n_objects {
+                        s.arrive(i, &servers[stop], r.gen_bool(0.15));
+                    }
+                    for i in 0..n_objects {
+                        let (op, res) = (r.choose(&ops).clone(), r.choose(&resources).clone());
+                        s.access(i, &op, &res, &servers[stop]);
+                    }
+                }
+            }
+            Profile::FlashCrowd => {
+                // Scatter, converge on the hot server, disperse.
+                let hot = r.gen_range(0..n_servers);
+                let starts: Vec<usize> =
+                    (0..n_objects).map(|_| r.gen_range(0..n_servers)).collect();
+                for (i, st) in starts.iter().enumerate() {
+                    s.arrive(i, &servers[*st], false);
+                }
+                for (i, st) in starts.iter().enumerate() {
+                    if r.gen_bool(0.6) {
+                        let (op, res) = (r.choose(&ops).clone(), r.choose(&resources).clone());
+                        s.access(i, &op, &res, &servers[*st]);
+                    }
+                }
+                if with_flip {
+                    do_flip(&mut s, r, &mut revisions, &perms, &roles, &servers, profile);
+                }
+                for i in 0..n_objects {
+                    s.arrive(i, &servers[hot], false);
+                    for _ in 0..r.gen_range(2usize..4) {
+                        let (op, res) = (r.choose(&ops).clone(), r.choose(&resources).clone());
+                        s.access(i, &op, &res, &servers[hot]);
+                    }
+                }
+                for i in 0..n_objects {
+                    let away = (hot + 1 + r.gen_range(0..n_servers - 1)) % n_servers;
+                    s.arrive(i, &servers[away], r.gen_bool(0.2));
+                    let (op, res) = (r.choose(&ops).clone(), r.choose(&resources).clone());
+                    s.access(i, &op, &res, &servers[away]);
+                }
+            }
+            Profile::PartitionHeal => {
+                // Spread out, lose a server, heal onto survivors; some
+                // stale traffic still targets the victim.
+                let victim = r.gen_range(0..n_servers);
+                let starts: Vec<usize> =
+                    (0..n_objects).map(|_| r.gen_range(0..n_servers)).collect();
+                for (i, st) in starts.iter().enumerate() {
+                    s.arrive(i, &servers[*st], false);
+                }
+                for (i, st) in starts.iter().enumerate() {
+                    let (op, res) = (r.choose(&ops).clone(), r.choose(&resources).clone());
+                    s.access(i, &op, &res, &servers[*st]);
+                }
+                s.death(&servers[victim]);
+                if with_flip {
+                    do_flip(&mut s, r, &mut revisions, &perms, &roles, &servers, profile);
+                }
+                for (i, st) in starts.iter().enumerate() {
+                    if r.gen_bool(0.4) {
+                        // Stale access to the dead server.
+                        let (op, res) = (r.choose(&ops).clone(), r.choose(&resources).clone());
+                        s.access(i, &op, &res, &servers[victim]);
+                    }
+                    let heal = if *st == victim {
+                        (victim + 1 + r.gen_range(0..n_servers - 1)) % n_servers
+                    } else {
+                        *st
+                    };
+                    s.arrive(i, &servers[heal], false);
+                    let (op, res) = (r.choose(&ops).clone(), r.choose(&resources).clone());
+                    s.access(i, &op, &res, &servers[heal]);
+                }
+            }
+            Profile::Workflow => {
+                // prepare → approve → commit chains, twice, with the
+                // rollout between the two rounds.
+                let starts: Vec<usize> =
+                    (0..n_objects).map(|_| r.gen_range(0..n_servers)).collect();
+                for (i, st) in starts.iter().enumerate() {
+                    s.arrive(i, &servers[*st], false);
+                }
+                for round in 0..2 {
+                    if round == 1 && with_flip {
+                        do_flip(&mut s, r, &mut revisions, &perms, &roles, &servers, profile);
+                    }
+                    for (i, st) in starts.iter().enumerate() {
+                        for op in ["prepare", "approve", "commit"] {
+                            if op == "approve" && r.gen_bool(0.2) {
+                                continue; // skipped approval starves commit
+                            }
+                            let res = r.choose(&resources).clone();
+                            s.access(i, op, &res, &servers[*st]);
+                        }
+                        if r.gen_bool(0.3) {
+                            let next = (*st + 1) % n_servers;
+                            s.arrive(i, &servers[next], false);
+                        }
+                    }
+                }
+            }
+        }
+        let events = s.events;
+
+        Scenario {
+            seed,
+            profile: Some(profile),
+            server_ips,
+            mode,
+            approval_reuse,
+            servers,
+            skews,
+            resources,
+            ops,
+            classes: Vec::new(),
+            perms,
+            roles,
+            inherits: Vec::new(),
+            objects,
+            revisions,
+            events,
+        }
+    }
 }
 
 fn gen_scheme(r: &mut SplitMix64) -> BaseTimeScheme {
@@ -567,16 +1110,22 @@ fn gen_constraint(
 
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario seed={}", self.seed)?;
+        if let Some(p) = self.profile {
+            write!(f, " profile={}", p.name())?;
+        }
         writeln!(
             f,
-            "scenario seed={} mode={} reuse={}",
-            self.seed,
+            " mode={} reuse={}",
             match self.mode {
                 EnforcementMode::Preventive => "preventive",
                 EnforcementMode::Reactive => "reactive",
             },
             if self.approval_reuse { "on" } else { "off" }
         )?;
+        for (srv, addr) in &self.server_ips {
+            writeln!(f, "server-ip {srv} {addr}")?;
+        }
         let skewed: Vec<String> = self
             .servers
             .iter()
@@ -694,6 +1243,15 @@ fn write_perm(f: &mut fmt::Formatter<'_>, p: &PermSpec, indent: &str) -> fmt::Re
     }
     if let Some(c) = &p.class {
         write!(f, " class={c}")?;
+    }
+    if let Some(a) = &p.attr_cidr {
+        write!(f, " cidr-allow={}", a.allow.join("|"))?;
+        if !a.deny.is_empty() {
+            write!(f, " cidr-deny={}", a.deny.join("|"))?;
+        }
+    }
+    if let Some(c) = &p.attr_cron {
+        write!(f, " cron=\"{}\" cron-dur={}", c.expr, c.dur)?;
     }
     writeln!(f)
 }

@@ -80,6 +80,37 @@ pub fn shrink(sc: &Scenario, bug: Option<OracleBug>) -> (Scenario, Episode) {
                 candidate.perms[pi].class = None;
                 changed |= try_accept(&mut current, &mut episode, candidate, bug);
             }
+            if current.perms[pi].attr_cron.is_some() {
+                let mut candidate = current.clone();
+                candidate.perms[pi].attr_cron = None;
+                changed |= try_accept(&mut current, &mut episode, candidate, bug);
+            }
+            if current.perms[pi].attr_cidr.is_some() {
+                // Drop the whole attribute first, then individual deny
+                // blocks (the allow set carries the witness most often).
+                let mut candidate = current.clone();
+                candidate.perms[pi].attr_cidr = None;
+                if try_accept(&mut current, &mut episode, candidate, bug) {
+                    changed = true;
+                } else {
+                    let n_deny = current.perms[pi]
+                        .attr_cidr
+                        .as_ref()
+                        .expect("attr survived the drop attempt")
+                        .deny
+                        .len();
+                    for di in (0..n_deny).rev() {
+                        let mut candidate = current.clone();
+                        candidate.perms[pi]
+                            .attr_cidr
+                            .as_mut()
+                            .expect("attr survived the drop attempt")
+                            .deny
+                            .remove(di);
+                        changed |= try_accept(&mut current, &mut episode, candidate, bug);
+                    }
+                }
+            }
         }
 
         // Unassign permissions from roles.

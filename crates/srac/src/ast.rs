@@ -104,6 +104,15 @@ impl Constraint {
         }
     }
 
+    /// Shorthand forbidding matching accesses outright: `count(0, 0, σ)`.
+    /// This is the shape attribute lowering emits for a set of
+    /// non-permitted servers — under alphabet compression the selector
+    /// yields a two-class symbol partition, so the compiled automaton
+    /// stays constant-size no matter how wide the coalition vocabulary is.
+    pub fn forbid(selector: Selector) -> Self {
+        Constraint::at_most(0, selector)
+    }
+
     /// Number of AST nodes — the `n` of Theorem 3.2.
     pub fn size(&self) -> usize {
         match self {
@@ -269,6 +278,20 @@ mod tests {
             Constraint::at_most(5, Selector::any()).and(Constraint::at_least(9, Selector::any()));
         assert_eq!(c.max_card_bound(), 9);
         assert_eq!(Constraint::True.max_card_bound(), 0);
+    }
+
+    #[test]
+    fn forbid_is_a_zero_card_constraint() {
+        let c = Constraint::forbid(Selector::any().with_servers(["s1", "s3"]));
+        assert_eq!(
+            c,
+            Constraint::Card {
+                min: 0,
+                max: Some(0),
+                selector: Selector::any().with_servers(["s1", "s3"]),
+            }
+        );
+        assert_eq!(c.to_string(), "count(0, 0, server=s1|s3)");
     }
 
     #[test]

@@ -70,6 +70,44 @@ impl StepFn {
         }
     }
 
+    /// The union of half-open windows `[start, end)` as a step function —
+    /// the lowering target for calendar-window (cron) attribute policies.
+    /// Windows may overlap or abut in any order; a depth sweep over the
+    /// endpoints emits a change point only where coverage crosses zero,
+    /// so overlapping windows merge instead of cancelling (which is why
+    /// this is not [`StepFn::from_changes`]). Empty/inverted windows are
+    /// ignored.
+    pub fn from_windows(windows: impl IntoIterator<Item = (TimePoint, TimePoint)>) -> Self {
+        let mut events: Vec<(TimePoint, i32)> = Vec::new();
+        for (start, end) in windows {
+            if start < end {
+                events.push((start, 1));
+                events.push((end, -1));
+            }
+        }
+        // Starts before ends at equal times, so abutting windows
+        // ([1,2) ∪ [2,3)) never emit a spurious zero-width gap.
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)));
+        let mut changes = Vec::new();
+        let mut depth = 0i32;
+        for (t, delta) in events {
+            let was_covered = depth > 0;
+            depth += delta;
+            let covered = depth > 0;
+            if covered != was_covered {
+                if changes.last() == Some(&t) {
+                    changes.pop();
+                } else {
+                    changes.push(t);
+                }
+            }
+        }
+        StepFn {
+            initial: false,
+            changes,
+        }
+    }
+
     /// The value at time `t` (right-continuous).
     pub fn at(&self, t: TimePoint) -> bool {
         // Number of change points ≤ t.
@@ -249,6 +287,33 @@ mod tests {
         assert_eq!(f, StepFn::from_onward(tp(2.0)));
         let g = StepFn::from_changes(false, vec![tp(1.0), tp(1.0), tp(1.0)]);
         assert_eq!(g, StepFn::from_onward(tp(1.0)));
+    }
+
+    #[test]
+    fn from_windows_merges_overlaps_and_abutments() {
+        // Overlapping windows merge into one pulse.
+        let f = StepFn::from_windows([(tp(1.0), tp(4.0)), (tp(3.0), tp(6.0))]);
+        assert_eq!(f, StepFn::pulse(tp(1.0), tp(6.0)));
+        // Abutting windows fuse without a zero-width gap.
+        let g = StepFn::from_windows([(tp(1.0), tp(2.0)), (tp(2.0), tp(3.0))]);
+        assert_eq!(g, StepFn::pulse(tp(1.0), tp(3.0)));
+        // Disjoint windows stay disjoint, whatever the input order.
+        let h = StepFn::from_windows([(tp(4.0), tp(5.0)), (tp(0.0), tp(1.0))]);
+        assert_eq!(
+            h,
+            StepFn::from_changes(false, vec![tp(0.0), tp(1.0), tp(4.0), tp(5.0)])
+        );
+        // Empty and inverted windows contribute nothing.
+        let e = StepFn::from_windows([(tp(2.0), tp(2.0)), (tp(5.0), tp(1.0))]);
+        assert_eq!(e, StepFn::constant(false));
+        // Equals the OR-fold of the individual pulses.
+        let windows = [(tp(0.0), tp(2.5)), (tp(2.0), tp(3.0)), (tp(7.0), tp(8.0))];
+        let folded = windows
+            .iter()
+            .fold(StepFn::constant(false), |acc, &(s, e)| {
+                acc.or(&StepFn::pulse(s, e))
+            });
+        assert_eq!(StepFn::from_windows(windows), folded);
     }
 
     #[test]
